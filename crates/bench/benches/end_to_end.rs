@@ -1,0 +1,53 @@
+//! End-to-end simulator throughput (backs experiment R-F6): full
+//! simulations at growing job counts and platform sizes, measured by
+//! criterion. Reported together with `exp_scalability`, which prints the
+//! events/second table.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use elastisim::{ReconfigCost, SimConfig, Simulation};
+use elastisim_platform::{NodeSpec, PlatformSpec};
+use elastisim_sched::ElasticScheduler;
+use elastisim_workload::{SizeDistribution, WorkloadConfig};
+
+fn simulate(nodes: usize, jobs: usize) -> u64 {
+    let platform = PlatformSpec::homogeneous("bench", nodes, NodeSpec::default());
+    let max = (nodes as u32 / 2).max(2);
+    let workload = WorkloadConfig::new(jobs)
+        .with_platform_nodes(nodes as u32)
+        .with_malleable_fraction(0.5)
+        .with_sizes(SizeDistribution::Uniform { min: 2, max })
+        .with_seed(3)
+        .generate();
+    let cfg = SimConfig::default()
+        .with_reconfig_cost(ReconfigCost::Fixed(5.0))
+        .without_gantt();
+    let report = Simulation::new(&platform, workload, Box::new(ElasticScheduler::new()), cfg)
+        .expect("valid workload")
+        .run();
+    report.events
+}
+
+fn bench_jobs(c: &mut Criterion) {
+    let mut group = c.benchmark_group("end_to_end_jobs");
+    group.sample_size(10);
+    for jobs in [50usize, 100, 200] {
+        group.bench_with_input(BenchmarkId::from_parameter(jobs), &jobs, |b, &jobs| {
+            b.iter(|| black_box(simulate(64, jobs)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_nodes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("end_to_end_nodes");
+    group.sample_size(10);
+    for nodes in [32usize, 64, 128] {
+        group.bench_with_input(BenchmarkId::from_parameter(nodes), &nodes, |b, &nodes| {
+            b.iter(|| black_box(simulate(nodes, 100)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_jobs, bench_nodes);
+criterion_main!(benches);

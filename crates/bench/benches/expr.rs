@@ -1,0 +1,33 @@
+//! Ablation bench (DESIGN.md §4): performance-model evaluation cost, raw
+//! AST versus constant-folded — models are evaluated on every task start,
+//! millions of times in a large run.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use elastisim_expr::{Context, Expr};
+
+const MODEL: &str =
+    "(1e12 + 3e11 * 2) / num_nodes + (2e8 + 5e7) * log2(min(num_nodes, 64)) + 4 * 1e6";
+
+fn bench_eval(c: &mut Criterion) {
+    let raw = Expr::parse(MODEL).unwrap();
+    let folded = raw.fold_constants();
+    let ctx = Context::with_num_nodes(32);
+
+    let mut group = c.benchmark_group("expr_eval");
+    group.bench_function("raw_ast", |b| {
+        b.iter(|| black_box(raw.eval(black_box(&ctx)).unwrap()))
+    });
+    group.bench_function("constant_folded", |b| {
+        b.iter(|| black_box(folded.eval(black_box(&ctx)).unwrap()))
+    });
+    group.bench_function("parse_and_eval", |b| {
+        b.iter(|| {
+            let e = Expr::parse(black_box(MODEL)).unwrap();
+            black_box(e.eval(&ctx).unwrap())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_eval);
+criterion_main!(benches);

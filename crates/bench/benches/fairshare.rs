@@ -1,0 +1,101 @@
+//! Ablation bench (DESIGN.md §4): cost of the bottleneck max-min solver as
+//! the number of concurrent activities and resources grows — the dominant
+//! cost of the flow engine and the reason simulator wall-time has a
+//! superlinear component in platform size (experiment R-F6).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use elastisim_des::fairshare::{solve, solve_with, Demand, Workspace};
+
+/// `(capacities, per-activity usages, per-activity bounds)`.
+type InstanceData = (Vec<f64>, Vec<Vec<(usize, f64)>>, Vec<f64>);
+
+/// Builds a contended instance: `acts` activities over `res` resources,
+/// each activity using 3 resources in a strided pattern, a third of them
+/// rate-bounded.
+fn instance(res: usize, acts: usize) -> InstanceData {
+    let caps: Vec<f64> = (0..res).map(|j| 100.0 + (j % 7) as f64 * 10.0).collect();
+    let usages: Vec<Vec<(usize, f64)>> = (0..acts)
+        .map(|i| {
+            (0..3)
+                .map(|k| ((i * 31 + k * 17) % res, 1.0 + (i % 3) as f64 * 0.5))
+                .collect()
+        })
+        .collect();
+    let bounds: Vec<f64> = (0..acts)
+        .map(|i| if i % 3 == 0 { 5.0 + i as f64 } else { f64::INFINITY })
+        .collect();
+    (caps, usages, bounds)
+}
+
+fn bench_solver(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fairshare");
+    for (res, acts) in [(64, 64), (256, 256), (1024, 1024), (4096, 1024)] {
+        let (caps, usages, bounds) = instance(res, acts);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{res}res_{acts}act")),
+            &(caps, usages, bounds),
+            |b, (caps, usages, bounds)| {
+                b.iter(|| {
+                    let demands: Vec<Demand> = usages
+                        .iter()
+                        .zip(bounds)
+                        .map(|(u, &bound)| Demand { usages: u, bound })
+                        .collect();
+                    black_box(solve(caps, &demands))
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+/// The sparse case that motivated the active-resource optimization: a huge
+/// platform with only a few busy resources.
+fn bench_sparse(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fairshare_sparse");
+    for res in [1_000usize, 10_000, 100_000] {
+        let (caps, usages, bounds) = {
+            let caps: Vec<f64> = vec![100.0; res];
+            // 32 activities all packed into the first 16 resources.
+            let usages: Vec<Vec<(usize, f64)>> =
+                (0..32).map(|i| vec![(i % 16, 1.0)]).collect();
+            let bounds = vec![f64::INFINITY; 32];
+            (caps, usages, bounds)
+        };
+        // Fresh workspace per solve: pays O(total resources) zeroing.
+        group.bench_with_input(
+            BenchmarkId::new("fresh", format!("{res}res_32act")),
+            &(caps.clone(), usages.clone(), bounds.clone()),
+            |b, (caps, usages, bounds)| {
+                b.iter(|| {
+                    let demands: Vec<Demand> = usages
+                        .iter()
+                        .zip(bounds)
+                        .map(|(u, &bound)| Demand { usages: u, bound })
+                        .collect();
+                    black_box(solve(caps, &demands))
+                })
+            },
+        );
+        // Reused workspace (what the flow engine does): O(active) per solve.
+        group.bench_with_input(
+            BenchmarkId::new("reused", format!("{res}res_32act")),
+            &(caps, usages, bounds),
+            |b, (caps, usages, bounds)| {
+                let mut ws = Workspace::new();
+                b.iter(|| {
+                    let demands: Vec<Demand> = usages
+                        .iter()
+                        .zip(bounds)
+                        .map(|(u, &bound)| Demand { usages: u, bound })
+                        .collect();
+                    black_box(solve_with(&mut ws, caps, &demands))
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_solver, bench_sparse);
+criterion_main!(benches);

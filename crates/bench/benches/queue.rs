@@ -1,0 +1,84 @@
+//! Ablation bench (DESIGN.md §4): the deterministic binary-heap event
+//! queue versus the naive sorted-vector alternative it replaced.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use elastisim_des::{EventQueue, Time};
+
+/// The naive contender: a vector kept sorted by linear-scan insertion.
+struct SortedVec<E> {
+    entries: Vec<(Time, u64, E)>,
+    seq: u64,
+}
+
+impl<E> SortedVec<E> {
+    fn new() -> Self {
+        SortedVec { entries: Vec::new(), seq: 0 }
+    }
+
+    fn push(&mut self, t: Time, e: E) {
+        let seq = self.seq;
+        self.seq += 1;
+        let pos = self
+            .entries
+            .partition_point(|(et, es, _)| (*et, *es) < (t, seq));
+        self.entries.insert(pos, (t, seq, e));
+    }
+
+    fn pop(&mut self) -> Option<(Time, E)> {
+        if self.entries.is_empty() {
+            None
+        } else {
+            let (t, _, e) = self.entries.remove(0);
+            Some((t, e))
+        }
+    }
+}
+
+/// Interleaved push/pop at a steady queue depth — the DES access pattern.
+fn churn_heap(depth: usize, ops: usize) -> u64 {
+    let mut q = EventQueue::new();
+    for i in 0..depth {
+        q.push(Time::from_secs(i as f64), i as u64);
+    }
+    let mut acc: u64 = 0;
+    for i in 0..ops {
+        let (t, v) = q.pop().unwrap();
+        acc = acc.wrapping_add(v);
+        q.push(t + ((i * 7919) % 1000) as f64 + 1.0, i as u64);
+    }
+    acc
+}
+
+fn churn_vec(depth: usize, ops: usize) -> u64 {
+    let mut q = SortedVec::new();
+    for i in 0..depth {
+        q.push(Time::from_secs(i as f64), i as u64);
+    }
+    let mut acc: u64 = 0;
+    for i in 0..ops {
+        let (t, v) = q.pop().unwrap();
+        acc = acc.wrapping_add(v);
+        q.push(t + ((i * 7919) % 1000) as f64 + 1.0, i as u64);
+    }
+    acc
+}
+
+fn bench_queues(c: &mut Criterion) {
+    let mut group = c.benchmark_group("event_queue");
+    for depth in [100usize, 1_000, 10_000] {
+        group.bench_with_input(
+            BenchmarkId::new("binary_heap", depth),
+            &depth,
+            |b, &depth| b.iter(|| black_box(churn_heap(depth, 1_000))),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("sorted_vec", depth),
+            &depth,
+            |b, &depth| b.iter(|| black_box(churn_vec(depth, 1_000))),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_queues);
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! R-F7 — scheduling-algorithm comparison on the same workload: FCFS,
+//! EASY backfilling, and the elastic algorithm, at 0 % and 50 % malleable
+//! share.
+//!
+//! Expected shape: EASY beats FCFS on waits via backfilling; the elastic
+//! algorithm matches EASY on rigid-only workloads (it degrades to its EASY
+//! base) and beats it once malleable jobs exist.
+
+use elastisim_bench::{mean_std, pm, reference_workload, run, SEEDS};
+use elastisim_sched::by_name;
+
+fn main() {
+    println!("R-F7: algorithm comparison ({} seeds)", SEEDS.len());
+    println!(
+        "{:>10} {:>10} {:>14} {:>14} {:>12} {:>10}",
+        "algorithm", "malleable", "makespan[s]", "mean wait[s]", "slowdown", "util[%]"
+    );
+    for &frac in &[0.0, 0.5] {
+        for name in ["fcfs", "easy", "conservative", "first-fit", "elastic"] {
+            let mut makespans = Vec::new();
+            let mut waits = Vec::new();
+            let mut slows = Vec::new();
+            let mut utils = Vec::new();
+            for &seed in &SEEDS {
+                let jobs = reference_workload(frac, seed).generate();
+                let s = run(jobs, by_name(name).expect("registered")).summary();
+                makespans.push(s.makespan);
+                waits.push(s.mean_wait);
+                slows.push(s.mean_bounded_slowdown);
+                utils.push(s.utilization * 100.0);
+            }
+            let (mk, mks) = mean_std(&makespans);
+            let (w, ws) = mean_std(&waits);
+            let (sl, _) = mean_std(&slows);
+            let (u, _) = mean_std(&utils);
+            println!(
+                "{:>10} {:>9.0}% {:>14} {:>14} {:>12.2} {:>10.1}",
+                name,
+                frac * 100.0,
+                pm(mk, mks),
+                pm(w, ws),
+                sl,
+                u
+            );
+        }
+    }
+}

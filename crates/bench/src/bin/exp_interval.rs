@@ -1,0 +1,46 @@
+//! R-F5 — sensitivity to the scheduling interval.
+//!
+//! The scheduler's periodic invocation interval trades decision latency
+//! against scheduler overhead (invocation count). With event-driven
+//! invocation points enabled (the default), metrics degrade only mildly
+//! with longer intervals; with pure timer-driven scheduling they degrade
+//! sharply — quantifying the value of ElastiSim's invocation points.
+
+use elastisim_bench::{reference_config, reference_platform, reference_workload, run_on, SEEDS};
+use elastisim_sched::ElasticScheduler;
+
+fn main() {
+    println!("R-F5: scheduling-interval sensitivity (50% malleable)");
+    println!(
+        "{:>10} {:>8} {:>14} {:>14} {:>12} {:>14}",
+        "interval", "events", "makespan[s]", "mean wait[s]", "util[%]", "invocations"
+    );
+    for &event_driven in &[true, false] {
+        for interval in [10.0, 30.0, 60.0, 120.0, 300.0] {
+            let mut cfg = reference_config().with_interval(interval);
+            cfg.invoke_on_submit = event_driven;
+            cfg.invoke_on_completion = event_driven;
+            cfg.invoke_on_release = event_driven;
+            cfg.invoke_on_evolving_request = event_driven;
+            let jobs = reference_workload(0.5, SEEDS[0]).generate();
+            let report = run_on(
+                &reference_platform(),
+                jobs,
+                Box::new(ElasticScheduler::new()),
+                cfg,
+            );
+            let s = report.summary();
+            println!(
+                "{:>9.0}s {:>8} {:>14.0} {:>14.0} {:>12.1} {:>14}",
+                interval,
+                if event_driven { "yes" } else { "no" },
+                s.makespan,
+                s.mean_wait,
+                s.utilization * 100.0,
+                report.scheduler_invocations
+            );
+        }
+    }
+    println!("\nExpected shape: with event-driven invocation the interval barely");
+    println!("matters; timer-only scheduling loses utilization as the interval grows.");
+}

@@ -1,0 +1,78 @@
+//! R-F4 — I/O contention: shared-PFS checkpointing versus node-local
+//! burst buffers as the number of concurrent writers grows.
+//!
+//! Each job writes the same checkpoint volume; the table shows per-job
+//! effective write bandwidth and the makespan ratio — PFS degrades as
+//! 1/k once the server pool saturates, burst buffers stay flat.
+
+use elastisim::{SimConfig, Simulation};
+use elastisim_platform::{NodeSpec, PlatformSpec};
+use elastisim_sched::FcfsScheduler;
+use elastisim_workload::{
+    ApplicationModel, IoTarget, JobSpec, PerfExpr, Phase, Task,
+};
+
+const VOLUME: f64 = 100e9; // bytes written per node
+
+fn workload(count: u64, target: IoTarget) -> Vec<JobSpec> {
+    (0..count)
+        .map(|id| {
+            let app = ApplicationModel::new(vec![Phase::once(
+                "ckpt",
+                vec![Task::write("w", PerfExpr::constant(VOLUME), target)],
+            )]);
+            JobSpec::rigid(id, 0.0, 1, app)
+        })
+        .collect()
+}
+
+fn makespan(count: u64, target: IoTarget) -> f64 {
+    let platform = PlatformSpec::homogeneous("io", 32, NodeSpec::default());
+    Simulation::new(
+        &platform,
+        workload(count, target),
+        Box::new(FcfsScheduler::new()),
+        SimConfig::default(),
+    )
+    .unwrap()
+    .run()
+    .summary()
+    .makespan
+}
+
+fn main() {
+    println!("R-F4: PFS contention vs burst buffers ({} GB per writer)", VOLUME / 1e9);
+    println!(
+        "{:>8} {:>12} {:>14} {:>12} {:>14}",
+        "writers", "PFS[s]", "PFS eff[GB/s]", "BB[s]", "BB eff[GB/s]"
+    );
+    let mut rows = Vec::new();
+    for count in [1u64, 2, 4, 8, 16, 32] {
+        let pfs = makespan(count, IoTarget::Pfs);
+        let bb = makespan(count, IoTarget::BurstBuffer);
+        rows.push((count, pfs, bb));
+        println!(
+            "{:>8} {:>12.1} {:>14.2} {:>12.1} {:>14.2}",
+            count,
+            pfs,
+            VOLUME / 1e9 / pfs,
+            bb,
+            VOLUME / 1e9 / bb
+        );
+    }
+    // The crossover: below it the NIC limits (PFS flat), above it the PFS
+    // pool saturates and per-writer bandwidth scales as 1/k.
+    let nic = NodeSpec::default().nic_bw;
+    let pool = elastisim_platform::PfsSpec::default().write_bw;
+    println!(
+        "\nanalytic crossover at pool/nic = {:.0} writers; beyond it PFS time doubles per doubling",
+        pool / nic
+    );
+    let last = rows.len() - 1;
+    println!(
+        "measured: PFS {:.1}× slower at {} writers than at 1; BB {:.2}×",
+        rows[last].1 / rows[0].1,
+        rows[last].0,
+        rows[last].2 / rows[0].2
+    );
+}

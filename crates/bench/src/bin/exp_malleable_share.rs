@@ -1,0 +1,49 @@
+//! R-F2 — the headline figure: scheduling metrics versus the share of
+//! malleable jobs, averaged over five seeds.
+//!
+//! Expected qualitative shape (recorded in EXPERIMENTS.md): every metric
+//! improves monotonically with the malleable share; mean bounded slowdown
+//! roughly halves from 0 % to 100 %.
+
+use elastisim_bench::{mean_std, pm, reference_workload, run, SEEDS};
+use elastisim_sched::ElasticScheduler;
+
+fn main() {
+    println!("R-F2: metrics vs malleable share ({} seeds)", SEEDS.len());
+    println!(
+        "{:>10} {:>14} {:>14} {:>14} {:>12} {:>10}",
+        "malleable", "makespan[s]", "mean wait[s]", "mean tat[s]", "slowdown", "util[%]"
+    );
+    for pct in [0, 25, 50, 75, 100] {
+        let mut makespans = Vec::new();
+        let mut waits = Vec::new();
+        let mut tats = Vec::new();
+        let mut slows = Vec::new();
+        let mut utils = Vec::new();
+        for &seed in &SEEDS {
+            let jobs = reference_workload(pct as f64 / 100.0, seed).generate();
+            let s = run(jobs, Box::new(ElasticScheduler::new())).summary();
+            makespans.push(s.makespan);
+            waits.push(s.mean_wait);
+            tats.push(s.mean_turnaround);
+            slows.push(s.mean_bounded_slowdown);
+            utils.push(s.utilization * 100.0);
+        }
+        let (mk, mks) = mean_std(&makespans);
+        let (w, ws) = mean_std(&waits);
+        let (t, ts) = mean_std(&tats);
+        let (sl, sls) = mean_std(&slows);
+        let (u, us) = mean_std(&utils);
+        println!(
+            "{:>9}% {:>14} {:>14} {:>14} {:>7.2}±{:<4.2} {:>6.1}±{:<3.1}",
+            pct,
+            pm(mk, mks),
+            pm(w, ws),
+            pm(t, ts),
+            sl,
+            sls,
+            u,
+            us
+        );
+    }
+}

@@ -1,0 +1,43 @@
+//! R-T1 — the platform-configuration table.
+//!
+//! Prints the reference platform exactly as instantiated by every other
+//! experiment, in the style of a paper's "simulated system" table, plus
+//! the JSON form the simulator consumes.
+
+use elastisim_bench::reference_platform;
+
+fn main() {
+    let p = reference_platform();
+    let node = &p.nodes[0];
+    println!("R-T1: reference platform configuration");
+    println!("--------------------------------------");
+    println!("{:<28} {}", "nodes", p.num_nodes());
+    println!("{:<28} {:.1} Tflop/s", "node compute", node.flops / 1e12);
+    println!("{:<28} {}", "cores per node", node.cores);
+    println!("{:<28} {}", "gpus per node", node.gpus.len());
+    println!("{:<28} {:.1} GB/s", "NIC bandwidth", node.nic_bw / 1e9);
+    match &node.burst_buffer {
+        Some(bb) => {
+            println!(
+                "{:<28} {:.1} TB, {:.0}/{:.0} GB/s r/w",
+                "burst buffer",
+                bb.capacity / 1e12,
+                bb.read_bw / 1e9,
+                bb.write_bw / 1e9
+            );
+        }
+        None => println!("{:<28} none", "burst buffer"),
+    }
+    println!("{:<28} {:.0} GB/s", "backbone", p.network.backbone_bw / 1e9);
+    println!("{:<28} {:.1} µs", "network latency", p.network.latency * 1e6);
+    println!(
+        "{:<28} {:.0}/{:.0} GB/s r/w",
+        "PFS bandwidth",
+        p.pfs.read_bw / 1e9,
+        p.pfs.write_bw / 1e9
+    );
+    println!("{:<28} {:.2} Pflop/s", "aggregate compute", p.total_flops() / 1e15);
+    println!("\nplatform JSON (feed back via PlatformSpec::from_json):\n");
+    println!("{}", &p.to_json()[..600.min(p.to_json().len())]);
+    println!("... (truncated)");
+}

@@ -1,0 +1,73 @@
+//! R-F6 — simulator performance: wall-clock time and event throughput as
+//! the simulated system grows (jobs × nodes).
+//!
+//! Absolute numbers depend on the host; the reproduction target is the
+//! *shape*: events/second roughly constant in the job dimension, with a
+//! mild superlinear component in the node dimension from the fair-sharing
+//! recomputation over more concurrent activities.
+
+use std::time::Instant;
+
+use elastisim::{ReconfigCost, SimConfig};
+use elastisim_bench::run_on;
+use elastisim_platform::{NodeSpec, PlatformSpec};
+use elastisim_sched::ElasticScheduler;
+use elastisim_workload::{SizeDistribution, WorkloadConfig};
+
+fn bench(nodes: usize, jobs: usize) -> (f64, u64, u64) {
+    let platform = PlatformSpec::homogeneous("scale", nodes, NodeSpec::default());
+    let max = (nodes as u32 / 2).max(2);
+    let workload = WorkloadConfig::new(jobs)
+        .with_platform_nodes(nodes as u32)
+        .with_malleable_fraction(0.5)
+        .with_sizes(SizeDistribution::Uniform { min: 2, max })
+        .with_seed(3)
+        .generate();
+    let cfg = SimConfig::default()
+        .with_reconfig_cost(ReconfigCost::Fixed(5.0))
+        .without_gantt();
+    let t0 = Instant::now();
+    let report = run_on(&platform, workload, Box::new(ElasticScheduler::new()), cfg);
+    let wall = t0.elapsed().as_secs_f64();
+    (wall, report.events, report.recomputes)
+}
+
+fn main() {
+    println!("R-F6: simulator wall-clock scaling");
+    println!(
+        "{:>8} {:>8} {:>10} {:>12} {:>12} {:>14}",
+        "nodes", "jobs", "wall[s]", "events", "recomputes", "events/s"
+    );
+    // Job dimension at fixed platform.
+    for jobs in [100, 200, 400, 800, 1600] {
+        let (wall, events, recomputes) = bench(128, jobs);
+        println!(
+            "{:>8} {:>8} {:>10.3} {:>12} {:>12} {:>14.0}",
+            128,
+            jobs,
+            wall,
+            events,
+            recomputes,
+            events as f64 / wall
+        );
+    }
+    println!();
+    // Node dimension at fixed job count. Superlinear by design: jobs scale
+    // with the platform, so both the event count (one activity per rank)
+    // and the per-recompute cost (activities sharing resources) grow with
+    // node count — the O(events × activities) profile of full-recompute
+    // flow models (SimGrid's partial-invalidation exists for the same
+    // reason; see the dirty-set ablation note in DESIGN.md).
+    for nodes in [32, 64, 128, 256] {
+        let (wall, events, recomputes) = bench(nodes, 150);
+        println!(
+            "{:>8} {:>8} {:>10.3} {:>12} {:>12} {:>14.0}",
+            nodes,
+            150,
+            wall,
+            events,
+            recomputes,
+            events as f64 / wall
+        );
+    }
+}

@@ -1,0 +1,58 @@
+//! R-T2 — the workload-configuration table.
+//!
+//! Prints the generator parameters and the empirical statistics of the
+//! generated reference workload (sizes, runtimes, offered load, class mix).
+
+use elastisim_bench::{mean_std, reference_workload, REF_NODES, SEEDS};
+use elastisim_workload::JobClass;
+
+fn main() {
+    let cfg = reference_workload(0.5, SEEDS[0]);
+    println!("R-T2: reference workload configuration");
+    println!("--------------------------------------");
+    println!("{:<28} {}", "jobs", cfg.num_jobs);
+    println!("{:<28} {:?}", "arrival", cfg.arrival);
+    println!("{:<28} {:?}", "sizes", cfg.size);
+    println!("{:<28} {:?}", "runtime", cfg.runtime);
+    println!("{:<28} {:?}", "app iterations", cfg.app.iterations);
+    println!(
+        "{:<28} {:.0} MiB/node/iter",
+        "halo volume",
+        cfg.app.comm_bytes_per_node / (1024.0 * 1024.0)
+    );
+    println!(
+        "{:<28} {:.1} GB/node every {} iters",
+        "checkpoints",
+        cfg.app.checkpoint_bytes_per_node / 1e9,
+        cfg.app.checkpoint_every
+    );
+    println!(
+        "{:<28} {:.1} GB/node",
+        "input staging",
+        cfg.app.input_bytes_per_node / 1e9
+    );
+
+    let jobs = cfg.generate();
+    // The generator derives elastic ranges [size/2, 2·size] from the drawn
+    // size; report both ends.
+    let mins: Vec<f64> = jobs.iter().map(|j| j.min_nodes as f64).collect();
+    let maxs: Vec<f64> = jobs.iter().map(|j| j.max_nodes as f64).collect();
+    let (mmin, smin) = mean_std(&mins);
+    let (mmax, smax) = mean_std(&maxs);
+    println!("\nempirical (seed {}):", cfg.seed);
+    println!("{:<28} {:.1} ± {:.1} nodes", "min allocation", mmin, smin);
+    println!("{:<28} {:.1} ± {:.1} nodes", "max allocation", mmax, smax);
+    let span = jobs.last().unwrap().submit_time - jobs[0].submit_time;
+    println!("{:<28} {:.0} s", "submission span", span);
+    println!(
+        "{:<28} {:.2}",
+        "offered load (approx)",
+        cfg.expected_load() / (span * REF_NODES as f64)
+    );
+    for class in [JobClass::Rigid, JobClass::Moldable, JobClass::Malleable, JobClass::Evolving] {
+        let n = jobs.iter().filter(|j| j.class == class).count();
+        println!("{:<28} {}", format!("{class} jobs"), n);
+    }
+    let execs: u64 = jobs.iter().map(|j| j.app.total_task_executions()).sum();
+    println!("{:<28} {}", "total task executions", execs);
+}

@@ -1,0 +1,358 @@
+//! The CLI subcommands, as library functions so they are unit-testable
+//! without spawning processes.
+
+use std::fs;
+use std::path::Path;
+
+use elastisim::{
+    gantt_csv, jobs_csv, utilization_csv, ReconfigCost, Report, SimConfig, Simulation,
+};
+use elastisim_platform::{NodeSpec, PlatformSpec};
+use elastisim_workload::{parse_swf, ArrivalProcess, JobSpec, SizeDistribution, WorkloadConfig};
+
+use crate::args::{Args, UsageError};
+
+/// Top-level error for CLI commands.
+#[derive(Debug)]
+pub enum CliError {
+    /// Bad arguments.
+    Usage(UsageError),
+    /// Filesystem problem, with the path involved.
+    Io(String, std::io::Error),
+    /// Bad input data.
+    Data(String),
+}
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CliError::Usage(e) => write!(f, "usage: {e}"),
+            CliError::Io(path, e) => write!(f, "{path}: {e}"),
+            CliError::Data(msg) => write!(f, "{msg}"),
+        }
+    }
+}
+
+impl std::error::Error for CliError {}
+
+impl From<UsageError> for CliError {
+    fn from(e: UsageError) -> Self {
+        CliError::Usage(e)
+    }
+}
+
+/// Help text printed by `elastisim help` and on usage errors.
+pub const HELP: &str = "\
+elastisim — batch-system simulator for malleable workloads
+
+USAGE:
+  elastisim platform  --nodes N [--gpus G] [--name S] --out platform.json
+  elastisim generate  --nodes N --jobs N [--malleable F] [--seed S]
+                      [--min-size N] [--max-size N] [--interarrival S]
+                      --out jobs.json
+  elastisim run       --platform platform.json --jobs jobs.json|trace.swf
+                      [--scheduler NAME] [--interval S]
+                      [--reconfig-cost free|fixed:S|data:BYTES]
+                      [--out DIR]
+  elastisim schedulers
+  elastisim help
+
+`run` prints the summary and, with --out, writes jobs.csv,
+utilization.csv, gantt.csv and summary.txt into DIR.
+";
+
+/// Parses a `--reconfig-cost` value: `free`, `fixed:SECONDS`, or
+/// `data:BYTES_PER_NODE`.
+pub fn parse_reconfig_cost(s: &str) -> Result<ReconfigCost, UsageError> {
+    if s == "free" {
+        return Ok(ReconfigCost::Free);
+    }
+    if let Some(v) = s.strip_prefix("fixed:") {
+        let secs: f64 = v
+            .parse()
+            .map_err(|_| UsageError(format!("bad fixed cost `{v}`")))?;
+        return Ok(ReconfigCost::Fixed(secs));
+    }
+    if let Some(v) = s.strip_prefix("data:") {
+        let bytes: f64 = v
+            .parse()
+            .map_err(|_| UsageError(format!("bad data volume `{v}`")))?;
+        return Ok(ReconfigCost::DataVolume { bytes_per_node: bytes });
+    }
+    Err(UsageError(format!(
+        "bad --reconfig-cost `{s}` (expected free, fixed:SECONDS, data:BYTES)"
+    )))
+}
+
+/// `elastisim platform`: writes a homogeneous platform JSON.
+pub fn cmd_platform(args: &Args) -> Result<String, CliError> {
+    args.expect_only(&["nodes", "gpus", "name", "out"])?;
+    let nodes = args.int("nodes", 0)?;
+    if nodes == 0 {
+        return Err(UsageError("--nodes must be ≥ 1".into()).into());
+    }
+    let gpus = args.int("gpus", 0)?;
+    let name = args.get_or("name", "generated");
+    let node = if gpus > 0 {
+        NodeSpec::default().with_gpus(gpus as usize)
+    } else {
+        NodeSpec::default()
+    };
+    let spec = PlatformSpec::homogeneous(name, nodes as usize, node);
+    let json = spec.to_json();
+    if let Some(path) = args.get("out") {
+        fs::write(path, &json).map_err(|e| CliError::Io(path.into(), e))?;
+    }
+    Ok(json)
+}
+
+/// `elastisim generate`: writes a synthetic workload JSON.
+pub fn cmd_generate(args: &Args) -> Result<Vec<JobSpec>, CliError> {
+    args.expect_only(&[
+        "nodes",
+        "jobs",
+        "malleable",
+        "seed",
+        "min-size",
+        "max-size",
+        "interarrival",
+        "out",
+    ])?;
+    let nodes = args.int("nodes", 0)?;
+    let jobs = args.int("jobs", 0)?;
+    if nodes == 0 || jobs == 0 {
+        return Err(UsageError("--nodes and --jobs must be ≥ 1".into()).into());
+    }
+    let malleable = args.num("malleable", 0.0)?;
+    if !(0.0..=1.0).contains(&malleable) {
+        return Err(UsageError("--malleable must be in [0, 1]".into()).into());
+    }
+    let min = args.int("min-size", 1)? as u32;
+    let max = args.int("max-size", (nodes / 2).max(1))? as u32;
+    let interarrival = args.num("interarrival", 300.0)?;
+    let cfg = WorkloadConfig::new(jobs as usize)
+        .with_platform_nodes(nodes as u32)
+        .with_malleable_fraction(malleable)
+        .with_sizes(SizeDistribution::Uniform { min, max })
+        .with_arrival(ArrivalProcess::Poisson { mean_interarrival: interarrival })
+        .with_seed(args.int("seed", 1)?);
+    let workload = cfg.generate();
+    if let Some(path) = args.get("out") {
+        let json = serde_json::to_string_pretty(&workload)
+            .map_err(|e| CliError::Data(format!("serializing workload: {e}")))?;
+        fs::write(path, json).map_err(|e| CliError::Io(path.into(), e))?;
+    }
+    Ok(workload)
+}
+
+/// Loads a workload file: `.swf` traces or JSON job lists.
+pub fn load_jobs(path: &str, node_flops: f64) -> Result<Vec<JobSpec>, CliError> {
+    let text = fs::read_to_string(path).map_err(|e| CliError::Io(path.into(), e))?;
+    if path.ends_with(".swf") {
+        let jobs = parse_swf(&text).map_err(|e| CliError::Data(format!("{path}: {e}")))?;
+        Ok(jobs.iter().map(|j| j.to_job_spec(node_flops, 1)).collect())
+    } else {
+        serde_json::from_str(&text).map_err(|e| CliError::Data(format!("{path}: {e}")))
+    }
+}
+
+/// `elastisim run`: simulates and optionally writes result files.
+pub fn cmd_run(args: &Args) -> Result<(Report, String), CliError> {
+    args.expect_only(&["platform", "jobs", "scheduler", "interval", "reconfig-cost", "out"])?;
+    let platform_path = args.require("platform")?;
+    let platform_json =
+        fs::read_to_string(platform_path).map_err(|e| CliError::Io(platform_path.into(), e))?;
+    let platform = PlatformSpec::from_json(&platform_json)
+        .map_err(|e| CliError::Data(format!("{platform_path}: {e}")))?;
+
+    let jobs_path = args.require("jobs")?;
+    let jobs = load_jobs(jobs_path, platform.nodes[0].flops)?;
+
+    let sched_name = args.get_or("scheduler", "elastic");
+    let scheduler = elastisim_sched::by_name(sched_name).ok_or_else(|| {
+        CliError::Usage(UsageError(format!(
+            "unknown scheduler `{sched_name}` (known: {})",
+            elastisim_sched::SCHEDULER_NAMES.join(", ")
+        )))
+    })?;
+
+    let mut cfg = SimConfig::default().with_interval(args.num("interval", 60.0)?);
+    if let Some(rc) = args.get("reconfig-cost") {
+        cfg = cfg.with_reconfig_cost(parse_reconfig_cost(rc)?);
+    }
+
+    let report = Simulation::new(&platform, jobs, scheduler, cfg)
+        .map_err(|e| CliError::Data(e.to_string()))?
+        .run();
+    let summary = render_summary(&report, sched_name);
+
+    if let Some(dir) = args.get("out") {
+        let dir = Path::new(dir);
+        fs::create_dir_all(dir).map_err(|e| CliError::Io(dir.display().to_string(), e))?;
+        let write = |name: &str, data: String| -> Result<(), CliError> {
+            let path = dir.join(name);
+            fs::write(&path, data).map_err(|e| CliError::Io(path.display().to_string(), e))
+        };
+        write("jobs.csv", jobs_csv(&report))?;
+        write("utilization.csv", utilization_csv(&report))?;
+        write("gantt.csv", gantt_csv(&report))?;
+        write("summary.txt", summary.clone())?;
+    }
+    Ok((report, summary))
+}
+
+/// Renders the human-readable run summary.
+pub fn render_summary(report: &Report, scheduler: &str) -> String {
+    let s = report.summary();
+    let mut out = String::new();
+    out.push_str(&format!("scheduler        : {scheduler}\n"));
+    out.push_str(&format!("nodes            : {}\n", report.total_nodes));
+    out.push_str(&format!("jobs completed   : {}\n", s.completed));
+    out.push_str(&format!("jobs killed      : {}\n", s.killed));
+    out.push_str(&format!("makespan         : {:.1} s\n", s.makespan));
+    out.push_str(&format!("mean wait        : {:.1} s\n", s.mean_wait));
+    out.push_str(&format!("mean turnaround  : {:.1} s\n", s.mean_turnaround));
+    out.push_str(&format!("mean bnd slowdown: {:.2}\n", s.mean_bounded_slowdown));
+    out.push_str(&format!("utilization      : {:.1} %\n", s.utilization * 100.0));
+    out.push_str(&format!("des events       : {}\n", report.events));
+    out.push_str(&format!("sched invocations: {}\n", report.scheduler_invocations));
+    for w in &report.warnings {
+        out.push_str(&format!("warning: {w}\n"));
+    }
+    out
+}
+
+/// Dispatches a parsed command line. Returns the text to print.
+pub fn dispatch(args: &Args) -> Result<String, CliError> {
+    match args.command.as_str() {
+        "platform" => cmd_platform(args),
+        "generate" => {
+            let jobs = cmd_generate(args)?;
+            Ok(format!("generated {} jobs", jobs.len()))
+        }
+        "run" => cmd_run(args).map(|(_, summary)| summary),
+        "schedulers" => Ok(elastisim_sched::SCHEDULER_NAMES.join("\n")),
+        "help" => Ok(HELP.to_string()),
+        other => Err(UsageError(format!("unknown command `{other}`")).into()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmpdir() -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "elastisim-cli-test-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn reconfig_cost_parsing() {
+        assert_eq!(parse_reconfig_cost("free").unwrap(), ReconfigCost::Free);
+        assert_eq!(parse_reconfig_cost("fixed:5").unwrap(), ReconfigCost::Fixed(5.0));
+        assert_eq!(
+            parse_reconfig_cost("data:1e9").unwrap(),
+            ReconfigCost::DataVolume { bytes_per_node: 1e9 }
+        );
+        assert!(parse_reconfig_cost("fixed:x").is_err());
+        assert!(parse_reconfig_cost("gratis").is_err());
+    }
+
+    #[test]
+    fn full_pipeline_platform_generate_run() {
+        let dir = tmpdir();
+        let p = dir.join("platform.json");
+        let j = dir.join("jobs.json");
+        let out = dir.join("results");
+
+        let args = Args::parse([
+            "platform", "--nodes", "8", "--out", p.to_str().unwrap(),
+        ])
+        .unwrap();
+        cmd_platform(&args).unwrap();
+
+        let args = Args::parse([
+            "generate", "--nodes", "8", "--jobs", "12", "--malleable", "0.5",
+            "--seed", "3", "--out", j.to_str().unwrap(),
+        ])
+        .unwrap();
+        let jobs = cmd_generate(&args).unwrap();
+        assert_eq!(jobs.len(), 12);
+
+        let args = Args::parse([
+            "run", "--platform", p.to_str().unwrap(), "--jobs", j.to_str().unwrap(),
+            "--scheduler", "elastic", "--out", out.to_str().unwrap(),
+        ])
+        .unwrap();
+        let (report, summary) = cmd_run(&args).unwrap();
+        assert_eq!(report.summary().completed, 12);
+        assert!(summary.contains("jobs completed   : 12"));
+        for f in ["jobs.csv", "utilization.csv", "gantt.csv", "summary.txt"] {
+            assert!(out.join(f).exists(), "{f} missing");
+        }
+        fs::remove_dir_all(dir).unwrap();
+    }
+
+    #[test]
+    fn run_accepts_swf_traces() {
+        let dir = tmpdir();
+        let p = dir.join("platform.json");
+        let t = dir.join("trace.swf");
+        cmd_platform(
+            &Args::parse(["platform", "--nodes", "8", "--out", p.to_str().unwrap()]).unwrap(),
+        )
+        .unwrap();
+        fs::write(&t, "1 0 0 60 2 -1 -1 2 120 -1 1 1 1 -1 1 -1 -1 -1\n").unwrap();
+        let args = Args::parse([
+            "run", "--platform", p.to_str().unwrap(), "--jobs", t.to_str().unwrap(),
+            "--scheduler", "fcfs",
+        ])
+        .unwrap();
+        let (report, _) = cmd_run(&args).unwrap();
+        assert_eq!(report.summary().completed, 1);
+        fs::remove_dir_all(dir).unwrap();
+    }
+
+    #[test]
+    fn dispatch_covers_commands() {
+        assert!(dispatch(&Args::parse(["help"]).unwrap()).unwrap().contains("USAGE"));
+        let scheds = dispatch(&Args::parse(["schedulers"]).unwrap()).unwrap();
+        assert!(scheds.contains("elastic"));
+        assert!(dispatch(&Args::parse(["frobnicate"]).unwrap()).is_err());
+    }
+
+    #[test]
+    fn unknown_scheduler_is_usage_error() {
+        let dir = tmpdir();
+        let p = dir.join("platform.json");
+        cmd_platform(
+            &Args::parse(["platform", "--nodes", "4", "--out", p.to_str().unwrap()]).unwrap(),
+        )
+        .unwrap();
+        let j = dir.join("jobs.json");
+        fs::write(&j, "[]").unwrap();
+        let args = Args::parse([
+            "run", "--platform", p.to_str().unwrap(), "--jobs", j.to_str().unwrap(),
+            "--scheduler", "quantum",
+        ])
+        .unwrap();
+        assert!(matches!(cmd_run(&args), Err(CliError::Usage(_))));
+        fs::remove_dir_all(dir).unwrap();
+    }
+
+    #[test]
+    fn generate_validates_ranges() {
+        assert!(cmd_generate(&Args::parse(["generate", "--nodes", "0", "--jobs", "5"]).unwrap())
+            .is_err());
+        assert!(cmd_generate(
+            &Args::parse(["generate", "--nodes", "4", "--jobs", "5", "--malleable", "2"])
+                .unwrap()
+        )
+        .is_err());
+    }
+}

@@ -1,0 +1,29 @@
+//! `elastisim` binary entry point — parse, dispatch, print.
+
+use std::process::ExitCode;
+
+use elastisim_cli::{dispatch, Args, HELP};
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let args = match Args::parse(argv) {
+        Ok(args) => args,
+        Err(e) => {
+            eprintln!("error: {e}\n\n{HELP}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match dispatch(&args) {
+        Ok(output) => {
+            println!("{output}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            if matches!(e, elastisim_cli::CliError::Usage(_)) {
+                eprintln!("\n{HELP}");
+            }
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,849 @@
+//! The batch-system simulation engine.
+//!
+//! [`Simulation`] owns the DES kernel, the instantiated platform, the job
+//! table, and the scheduling algorithm, and drives jobs through their
+//! lifecycle: submit → start → phases/tasks (with scheduling points where
+//! reconfigurations are applied) → completion. See the crate docs for the
+//! full contract.
+
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+
+use elastisim_des::{ActivitySpec, Simulator, Time};
+use elastisim_platform::{NodeId, Platform, PlatformSpec};
+use elastisim_sched::{
+    Decision, Invocation, JobRunInfo, JobState, JobView, Scheduler, SystemView,
+};
+use elastisim_workload::{validate_workload, JobClass, JobId, JobSpec, WorkloadError};
+
+use crate::config::{ReconfigCost, SimConfig};
+use crate::exec::{has_latency, task_activities, task_context};
+use crate::lifecycle::{JobRuntime, RunState, Stage, Step};
+use crate::stats::{GanttEntry, JobRecord, Outcome, Report, UtilizationSeries};
+
+/// Event payloads circulating through the DES kernel.
+#[derive(Clone, Copy, Debug)]
+enum Ev {
+    /// A job reaches its submit time.
+    Submit(JobId),
+    /// One rank activity of a job's current task (or reconfiguration cost)
+    /// finished. The epoch guards against stale deliveries.
+    Unit { job: JobId, epoch: u64 },
+    /// A job's walltime limit expired.
+    Walltime { job: JobId, epoch: u64 },
+    /// Periodic scheduler invocation.
+    Tick,
+    /// A node fails (victim chosen when the event fires).
+    NodeFail,
+    /// A failed node returns to service.
+    NodeRepair(NodeId),
+}
+
+/// A complete simulation: platform + workload + scheduling algorithm.
+pub struct Simulation {
+    sim: Simulator<Ev>,
+    platform: Platform,
+    cfg: SimConfig,
+    scheduler: Box<dyn Scheduler>,
+    jobs: BTreeMap<JobId, JobRuntime>,
+    /// Nodes not allocated and not reserved.
+    free: BTreeSet<NodeId>,
+    /// Nodes reserved for pending reconfiguration expansions.
+    reserved: BTreeSet<NodeId>,
+    /// Nodes currently failed (out of service).
+    down: BTreeSet<NodeId>,
+    /// State of the failure process's deterministic RNG (SplitMix64).
+    failure_rng: u64,
+    allocated_total: u32,
+    util: UtilizationSeries,
+    gantt: Vec<GanttEntry>,
+    gantt_open: HashMap<(JobId, NodeId), f64>,
+    outcomes: HashMap<JobId, (Outcome, f64)>,
+    warnings: Vec<String>,
+    sched_invocations: u64,
+    tick_pending: bool,
+    idle_ticks: u32,
+    in_invoke: bool,
+    deferred_invokes: Vec<Invocation>,
+}
+
+impl Simulation {
+    /// Builds a simulation. Validates the workload against the platform.
+    pub fn new(
+        platform_spec: &PlatformSpec,
+        workload: Vec<JobSpec>,
+        scheduler: Box<dyn Scheduler>,
+        cfg: SimConfig,
+    ) -> Result<Self, WorkloadError> {
+        validate_workload(&workload, platform_spec.num_nodes())?;
+        let mut sim = Simulator::new();
+        let platform = Platform::instantiate(platform_spec, &mut sim);
+        let mut jobs = BTreeMap::new();
+        for spec in workload {
+            sim.schedule_at(Time::from_secs(spec.submit_time), Ev::Submit(spec.id));
+            jobs.insert(spec.id, JobRuntime::new(spec));
+        }
+        let free: BTreeSet<NodeId> = platform.node_ids().collect();
+        let mut util = UtilizationSeries::default();
+        util.record(0.0, 0);
+        let failure_rng = cfg.failures.map(|f| f.seed).unwrap_or(0);
+        Ok(Simulation {
+            sim,
+            platform,
+            cfg,
+            scheduler,
+            jobs,
+            free,
+            reserved: BTreeSet::new(),
+            down: BTreeSet::new(),
+            failure_rng,
+            allocated_total: 0,
+            util,
+            gantt: Vec::new(),
+            gantt_open: HashMap::new(),
+            outcomes: HashMap::new(),
+            warnings: Vec::new(),
+            sched_invocations: 0,
+            tick_pending: false,
+            idle_ticks: 0,
+            in_invoke: false,
+            deferred_invokes: Vec::new(),
+        })
+    }
+
+    /// Runs to completion and returns the report.
+    pub fn run(mut self) -> Report {
+        self.ensure_tick(0.0);
+        self.schedule_next_failure(0.0);
+        while let Some((t, ev)) = self.sim.step() {
+            let now = t.as_secs();
+            match ev {
+                Ev::Submit(id) => {
+                    if self.cfg.invoke_on_submit {
+                        self.invoke_scheduler(now, Invocation::JobSubmitted(id));
+                    }
+                    self.ensure_tick(now);
+                }
+                Ev::Unit { job, epoch } => {
+                    if self.jobs.get(&job).is_some_and(|j| j.epoch == epoch) {
+                        self.handle_unit(job, now);
+                    }
+                }
+                Ev::Walltime { job, epoch } => {
+                    let live = self
+                        .jobs
+                        .get(&job)
+                        .is_some_and(|j| j.epoch == epoch && j.state != RunState::Done);
+                    if live {
+                        self.terminate(job, now, Outcome::WalltimeExceeded);
+                        if self.cfg.invoke_on_completion {
+                            self.invoke_scheduler(now, Invocation::JobCompleted(job));
+                        }
+                    }
+                }
+                Ev::NodeFail => {
+                    self.handle_node_failure(now);
+                }
+                Ev::NodeRepair(node) => {
+                    self.down.remove(&node);
+                    self.free.insert(node);
+                    // Freed capacity: let the scheduler use it right away.
+                    self.invoke_scheduler(now, Invocation::Periodic);
+                }
+                Ev::Tick => {
+                    self.tick_pending = false;
+                    let before = self.sched_invocations; // marker, unused
+                    let _ = before;
+                    let applied = self.invoke_scheduler(now, Invocation::Periodic);
+                    let anything_running = self
+                        .jobs
+                        .values()
+                        .any(|j| matches!(j.state, RunState::Running | RunState::Reconfiguring));
+                    if applied == 0 && !anything_running && self.all_submitted(now) {
+                        // Nothing running, nothing started: the scheduler is
+                        // not going to make progress by being asked again.
+                        self.idle_ticks += 1;
+                    } else {
+                        self.idle_ticks = 0;
+                    }
+                    if self.idle_ticks < 2 {
+                        self.ensure_tick(now);
+                    } else if self.jobs.values().any(|j| j.state == RunState::Pending) {
+                        self.warnings.push(format!(
+                            "scheduler made no progress at t={now}; \
+                             ending with pending jobs unstarted"
+                        ));
+                    }
+                }
+            }
+        }
+        let stalled = self.sim.stalled_activities();
+        if !stalled.is_empty() {
+            self.warnings
+                .push(format!("{} activities stalled at end of simulation", stalled.len()));
+        }
+        self.build_report()
+    }
+
+    // ------------------------------------------------------------------
+    // Event handling
+    // ------------------------------------------------------------------
+
+    fn all_submitted(&self, now: f64) -> bool {
+        self.jobs.values().all(|j| j.spec.submit_time <= now)
+    }
+
+    /// All `afterok` dependencies of a job completed successfully.
+    fn deps_satisfied(&self, rt: &JobRuntime) -> bool {
+        rt.spec.dependencies.iter().all(|dep| {
+            matches!(self.outcomes.get(dep), Some((Outcome::Completed, _)))
+        })
+    }
+
+    /// Cancels every pending job that (transitively) depends on a job that
+    /// ended unsuccessfully — `afterok` semantics.
+    fn cascade_dependency_failures(&mut self, now: f64) {
+        loop {
+            let doomed: Vec<JobId> = self
+                .jobs
+                .values()
+                .filter(|rt| rt.state == RunState::Pending)
+                .filter(|rt| {
+                    rt.spec.dependencies.iter().any(|dep| {
+                        matches!(
+                            self.outcomes.get(dep),
+                            Some((o, _)) if *o != Outcome::Completed
+                        )
+                    })
+                })
+                .map(|rt| rt.spec.id)
+                .collect();
+            if doomed.is_empty() {
+                return;
+            }
+            for id in doomed {
+                let rt = self.jobs.get_mut(&id).expect("doomed job exists");
+                rt.state = RunState::Done;
+                rt.epoch += 1;
+                self.outcomes.insert(id, (Outcome::Killed, now));
+                self.warnings
+                    .push(format!("{id}: cancelled, a dependency did not complete"));
+            }
+        }
+    }
+
+    fn handle_unit(&mut self, id: JobId, now: f64) {
+        let rt = self.jobs.get_mut(&id).expect("unit for unknown job");
+        debug_assert!(rt.outstanding > 0, "unit underflow for {id}");
+        rt.outstanding -= 1;
+        if rt.outstanding > 0 {
+            return;
+        }
+        rt.activities.clear();
+        match rt.state {
+            RunState::Reconfiguring => {
+                rt.state = RunState::Running;
+                self.continue_job(id, now);
+            }
+            RunState::Running => {
+                if rt.stage == Stage::Latency {
+                    rt.stage = Stage::Flow;
+                    self.start_current_task(id, now, /*after_latency=*/ true);
+                } else {
+                    rt.units_done += 1;
+                    rt.cursor.advance_after_task();
+                    self.continue_job(id, now);
+                }
+            }
+            RunState::Pending | RunState::Done => {
+                // Stale unit after kill; epoch should have filtered it.
+                debug_assert!(false, "unit for job in state {:?}", rt.state);
+            }
+        }
+    }
+
+    /// Advances a running job through its cursor until a task starts, a
+    /// reconfiguration pause begins, or the job completes.
+    fn continue_job(&mut self, id: JobId, now: f64) {
+        loop {
+            let rt = self.jobs.get_mut(&id).expect("continue for unknown job");
+            if rt.state == RunState::Done {
+                return;
+            }
+            let step = rt.cursor.step(&rt.spec.app);
+            match step {
+                Step::Task => {
+                    self.start_current_task(id, now, false);
+                    return;
+                }
+                Step::SchedulingPoint => {
+                    if self.cfg.invoke_on_scheduling_point {
+                        self.invoke_scheduler(now, Invocation::SchedulingPoint(id));
+                    }
+                    if self.apply_pending_reconfig(id, now) {
+                        return; // paused for the reconfiguration cost
+                    }
+                }
+                Step::PhaseEntry => {
+                    self.on_phase_entry(id, now);
+                    if self.apply_pending_reconfig(id, now) {
+                        return;
+                    }
+                }
+                Step::Done => {
+                    self.terminate(id, now, Outcome::Completed);
+                    if self.cfg.invoke_on_completion {
+                        self.invoke_scheduler(now, Invocation::JobCompleted(id));
+                    }
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Fires the evolving request attached to the phase the cursor just
+    /// entered, if any.
+    fn on_phase_entry(&mut self, id: JobId, now: f64) {
+        let rt = self.jobs.get_mut(&id).expect("phase entry for unknown job");
+        if rt.spec.class != JobClass::Evolving {
+            return;
+        }
+        let phase = &rt.spec.app.phases[rt.cursor.phase];
+        let Some(want) = phase.evolving_request else {
+            return;
+        };
+        if want as usize == rt.alloc.len() {
+            return;
+        }
+        rt.evolving_desired = Some((want, now));
+        if self.cfg.invoke_on_evolving_request {
+            self.invoke_scheduler(now, Invocation::EvolvingRequest(id, want));
+        }
+    }
+
+    /// Starts the task under the cursor. With `after_latency` the latency
+    /// prologue already ran and the flows start directly.
+    fn start_current_task(&mut self, id: JobId, now: f64, after_latency: bool) {
+        let latency = self.platform.latency();
+        let rt = self.jobs.get_mut(&id).expect("start task for unknown job");
+        let phase = &rt.spec.app.phases[rt.cursor.phase];
+        let task = &phase.tasks[rt.cursor.task];
+
+        if !after_latency && latency > 0.0 && has_latency(&task.kind) {
+            rt.stage = Stage::Latency;
+            rt.outstanding = 1;
+            let epoch = rt.epoch;
+            let act = self.sim.start_activity(
+                ActivitySpec::new(latency, []).with_bound(1.0),
+                Ev::Unit { job: id, epoch },
+            );
+            self.jobs.get_mut(&id).unwrap().activities.push(act);
+            return;
+        }
+
+        let ctx = task_context(rt.alloc.len(), rt.cursor.phase, rt.cursor.iter);
+        let specs = match task_activities(&self.platform, &rt.alloc, &task.kind, &ctx) {
+            Ok(specs) => specs,
+            Err(e) => {
+                let msg = format!("{id}: task `{}` failed: {e}", task.name);
+                self.warnings.push(msg);
+                self.terminate(id, now, Outcome::Killed);
+                if self.cfg.invoke_on_completion {
+                    self.invoke_scheduler(now, Invocation::JobCompleted(id));
+                }
+                return;
+            }
+        };
+        let epoch = rt.epoch;
+        rt.stage = Stage::Flow;
+        rt.outstanding = specs.len();
+        let mut acts = Vec::with_capacity(specs.len());
+        for spec in specs {
+            acts.push(self.sim.start_activity(spec, Ev::Unit { job: id, epoch }));
+        }
+        self.jobs.get_mut(&id).unwrap().activities = acts;
+    }
+
+    // ------------------------------------------------------------------
+    // Failure injection
+    // ------------------------------------------------------------------
+
+    /// SplitMix64 step yielding a uniform value in `[0, 1)`.
+    fn next_uniform(&mut self) -> f64 {
+        self.failure_rng = self.failure_rng.wrapping_add(0x9E3779B97F4A7C15);
+        let mut z = self.failure_rng;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^= z >> 31;
+        (z >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// Schedules the next cluster failure (exponential inter-arrival with
+    /// rate nodes/MTBF) while work remains.
+    fn schedule_next_failure(&mut self, now: f64) {
+        let Some(model) = self.cfg.failures else { return };
+        if !self.jobs.values().any(|j| j.state != RunState::Done) {
+            return; // don't keep an idle simulation alive
+        }
+        let rate = self.platform.num_nodes() as f64 / model.node_mtbf;
+        let u = self.next_uniform().max(f64::MIN_POSITIVE);
+        let dt = -u.ln() / rate;
+        self.sim.schedule_at(Time::from_secs(now + dt), Ev::NodeFail);
+    }
+
+    /// One node fails: whatever ran on it dies, the node goes down for the
+    /// repair time.
+    fn handle_node_failure(&mut self, now: f64) {
+        let Some(model) = self.cfg.failures else { return };
+        // Pick a victim uniformly among up nodes.
+        let up: Vec<NodeId> = self
+            .platform
+            .node_ids()
+            .filter(|n| !self.down.contains(n))
+            .collect();
+        if !up.is_empty() {
+            let victim = up[(self.next_uniform() * up.len() as f64) as usize % up.len()];
+            self.down.insert(victim);
+            self.sim
+                .schedule_at(Time::from_secs(now + model.repair_time), Ev::NodeRepair(victim));
+
+            if self.free.remove(&victim) {
+                // Idle node: just out of the pool until repaired.
+            } else if self.reserved.contains(&victim) {
+                // Reserved for a pending expansion: cancel that reconfig so
+                // the job never receives a dead node.
+                let owner = self
+                    .jobs
+                    .values()
+                    .find(|rt| {
+                        rt.pending_reconfig
+                            .as_ref()
+                            .is_some_and(|nodes| nodes.contains(&victim))
+                    })
+                    .map(|rt| rt.spec.id);
+                if let Some(id) = owner {
+                    let rt = self.jobs.get_mut(&id).expect("owner exists");
+                    let nodes = rt.pending_reconfig.take().expect("checked");
+                    let alloc: BTreeSet<NodeId> = rt.alloc.iter().copied().collect();
+                    for node in nodes {
+                        if !alloc.contains(&node) && self.reserved.remove(&node) && node != victim
+                        {
+                            self.free.insert(node);
+                        }
+                    }
+                    self.reserved.remove(&victim);
+                    self.warnings
+                        .push(format!("{id}: reconfiguration cancelled, {victim} failed"));
+                }
+            } else {
+                // Allocated: the job dies with the node.
+                let owner = self
+                    .jobs
+                    .values()
+                    .find(|rt| {
+                        matches!(rt.state, RunState::Running | RunState::Reconfiguring)
+                            && rt.alloc.contains(&victim)
+                    })
+                    .map(|rt| rt.spec.id);
+                if let Some(id) = owner {
+                    self.warnings.push(format!("{id}: killed by failure of {victim}"));
+                    self.terminate(id, now, Outcome::NodeFailure);
+                    // terminate() freed the whole allocation including the
+                    // victim; pull it back out of the pool.
+                    self.free.remove(&victim);
+                    if self.cfg.invoke_on_completion {
+                        self.invoke_scheduler(now, Invocation::JobCompleted(id));
+                    }
+                }
+            }
+        }
+        self.schedule_next_failure(now);
+    }
+
+    // ------------------------------------------------------------------
+    // Allocation changes
+    // ------------------------------------------------------------------
+
+    /// Applies a pending reconfiguration at a scheduling point. Returns
+    /// `true` if the job is now paused paying the reconfiguration cost.
+    fn apply_pending_reconfig(&mut self, id: JobId, now: f64) -> bool {
+        let rt = self.jobs.get_mut(&id).expect("reconfig for unknown job");
+        let Some(new_nodes) = rt.pending_reconfig.take() else {
+            return false;
+        };
+        let old: BTreeSet<NodeId> = rt.alloc.iter().copied().collect();
+        let new: BTreeSet<NodeId> = new_nodes.iter().copied().collect();
+        let removed: Vec<NodeId> = old.difference(&new).copied().collect();
+        let added: Vec<NodeId> = new.difference(&old).copied().collect();
+
+        rt.accrue(now);
+        rt.alloc = new_nodes;
+        rt.reconfigs += 1;
+        rt.max_nodes_held = rt.max_nodes_held.max(rt.alloc.len() as u32);
+        if let Some((want, asked)) = rt.evolving_desired {
+            if rt.alloc.len() == want as usize {
+                rt.evolving_latencies.push(now - asked);
+                rt.evolving_desired = None;
+            }
+        }
+
+        for &node in &removed {
+            self.free.insert(node);
+            self.close_gantt(id, node, now);
+        }
+        for &node in &added {
+            let was_reserved = self.reserved.remove(&node);
+            debug_assert!(was_reserved, "expansion node {node} was not reserved");
+            self.open_gantt(id, node, now);
+        }
+        self.allocated_total =
+            self.allocated_total + added.len() as u32 - removed.len() as u32;
+        self.util.record(now, self.allocated_total);
+        if !removed.is_empty() && self.cfg.invoke_on_release {
+            // Hand the released nodes out immediately; otherwise the queue
+            // head waits for the next periodic tick.
+            self.invoke_scheduler(now, Invocation::SchedulingPoint(id));
+        }
+
+        // Pay the cost.
+        let rt = self.jobs.get_mut(&id).unwrap();
+        let epoch = rt.epoch;
+        let specs: Vec<ActivitySpec> = match self.cfg.reconfig_cost {
+            ReconfigCost::Free => return false,
+            ReconfigCost::Fixed(secs) => {
+                vec![ActivitySpec::new(secs, []).with_bound(1.0)]
+            }
+            ReconfigCost::DataVolume { bytes_per_node } => rt
+                .alloc
+                .iter()
+                .map(|&n| {
+                    ActivitySpec::new(bytes_per_node, [])
+                        .with_usage(self.platform.node(n).nic_up, 1.0)
+                        .with_usage(self.platform.backbone, 1.0)
+                })
+                .collect(),
+        };
+        rt.state = RunState::Reconfiguring;
+        rt.outstanding = specs.len();
+        let mut acts = Vec::with_capacity(specs.len());
+        for spec in specs {
+            acts.push(self.sim.start_activity(spec, Ev::Unit { job: id, epoch }));
+        }
+        self.jobs.get_mut(&id).unwrap().activities = acts;
+        true
+    }
+
+    /// Ends a job (completion or kill): cancels work, releases nodes,
+    /// records the outcome.
+    fn terminate(&mut self, id: JobId, now: f64, outcome: Outcome) {
+        let rt = self.jobs.get_mut(&id).expect("terminate unknown job");
+        debug_assert!(rt.state != RunState::Done);
+        rt.epoch += 1;
+        let activities = std::mem::take(&mut rt.activities);
+        rt.outstanding = 0;
+        if let Some(timer) = rt.walltime_timer.take() {
+            self.sim.cancel_timer(timer);
+        }
+        for act in activities {
+            let _ = self.sim.cancel_activity(act);
+        }
+        let rt = self.jobs.get_mut(&id).unwrap();
+        rt.accrue(now);
+        let released = std::mem::take(&mut rt.alloc);
+        let pending = rt.pending_reconfig.take();
+        rt.state = RunState::Done;
+        self.outcomes.insert(id, (outcome, now));
+
+        for &node in &released {
+            self.free.insert(node);
+            self.close_gantt(id, node, now);
+        }
+        self.allocated_total -= released.len() as u32;
+        // Reserved expansion nodes of an unapplied reconfig go back too.
+        if let Some(nodes) = pending {
+            for node in nodes {
+                if self.reserved.remove(&node) {
+                    self.free.insert(node);
+                }
+            }
+        }
+        self.util.record(now, self.allocated_total);
+        if outcome != Outcome::Completed {
+            self.cascade_dependency_failures(now);
+        }
+    }
+
+    fn open_gantt(&mut self, id: JobId, node: NodeId, now: f64) {
+        if self.cfg.record_gantt {
+            self.gantt_open.insert((id, node), now);
+        }
+    }
+
+    fn close_gantt(&mut self, id: JobId, node: NodeId, now: f64) {
+        if let Some(from) = self.gantt_open.remove(&(id, node)) {
+            self.gantt.push(GanttEntry { job: id, node, from, to: now });
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Scheduler interplay
+    // ------------------------------------------------------------------
+
+    fn ensure_tick(&mut self, now: f64) {
+        let work_remains = self.jobs.values().any(|j| j.state != RunState::Done);
+        if !self.tick_pending && work_remains {
+            self.tick_pending = true;
+            self.sim
+                .schedule_at(Time::from_secs(now + self.cfg.scheduling_interval), Ev::Tick);
+        }
+    }
+
+    fn build_view(&self, now: f64) -> SystemView {
+        let mut jobs = Vec::new();
+        for rt in self.jobs.values() {
+            let state = match rt.state {
+                RunState::Pending if rt.spec.submit_time <= now && self.deps_satisfied(rt) => {
+                    JobState::Pending
+                }
+                RunState::Running | RunState::Reconfiguring => {
+                    JobState::Running(JobRunInfo {
+                        nodes: rt.alloc.clone(),
+                        start_time: rt.start_time.unwrap_or(now),
+                        reconfig_pending: rt.pending_reconfig.is_some()
+                            || rt.state == RunState::Reconfiguring,
+                        progress: rt.progress(),
+                    })
+                }
+                _ => continue,
+            };
+            jobs.push(JobView {
+                id: rt.spec.id,
+                class: rt.spec.class,
+                state,
+                submit_time: rt.spec.submit_time,
+                min_nodes: rt.spec.min_nodes,
+                max_nodes: rt.spec.max_nodes,
+                walltime: rt.spec.walltime,
+                evolving_request: rt.evolving_desired.map(|(n, _)| n),
+                fixed_start: rt.spec.user_fixed_start(),
+            });
+        }
+        SystemView {
+            now,
+            total_nodes: self.platform.num_nodes(),
+            free_nodes: self.free.iter().copied().collect(),
+            jobs,
+        }
+    }
+
+    /// Invokes the scheduling algorithm and applies its decisions. Returns
+    /// how many decisions were applied. Re-entrant invocations (triggered
+    /// by lifecycle changes during application) are deferred and run after
+    /// the current one finishes.
+    fn invoke_scheduler(&mut self, now: f64, why: Invocation) -> usize {
+        if self.in_invoke {
+            self.deferred_invokes.push(why);
+            return 0;
+        }
+        self.in_invoke = true;
+        let mut applied = 0;
+        let mut pending = vec![why];
+        while let Some(why) = pending.pop() {
+            self.sched_invocations += 1;
+            let view = self.build_view(now);
+            let decisions = self.scheduler.schedule(&view, why);
+            for decision in decisions {
+                match self.apply_decision(decision, now) {
+                    Ok(()) => applied += 1,
+                    Err(msg) => self.warnings.push(msg),
+                }
+            }
+            pending.append(&mut self.deferred_invokes);
+        }
+        self.in_invoke = false;
+        applied
+    }
+
+    fn apply_decision(&mut self, decision: Decision, now: f64) -> Result<(), String> {
+        match decision {
+            Decision::Start { job, nodes } => self.apply_start(job, nodes, now),
+            Decision::Reconfigure { job, nodes } => self.apply_reconfigure(job, nodes, now),
+            Decision::Kill { job } => {
+                let rt = self
+                    .jobs
+                    .get(&job)
+                    .ok_or_else(|| format!("kill: unknown job {job}"))?;
+                match rt.state {
+                    RunState::Done => Err(format!("kill: {job} already done")),
+                    RunState::Pending => {
+                        let rt = self.jobs.get_mut(&job).unwrap();
+                        rt.state = RunState::Done;
+                        rt.epoch += 1;
+                        self.outcomes.insert(job, (Outcome::Killed, now));
+                        self.cascade_dependency_failures(now);
+                        Ok(())
+                    }
+                    _ => {
+                        self.terminate(job, now, Outcome::Killed);
+                        Ok(())
+                    }
+                }
+            }
+        }
+    }
+
+    fn apply_start(&mut self, id: JobId, nodes: Vec<NodeId>, now: f64) -> Result<(), String> {
+        let rt = self
+            .jobs
+            .get(&id)
+            .ok_or_else(|| format!("start: unknown job {id}"))?;
+        if rt.state != RunState::Pending {
+            return Err(format!("start: {id} is not pending"));
+        }
+        if rt.spec.submit_time > now {
+            return Err(format!("start: {id} not submitted yet"));
+        }
+        if !self.deps_satisfied(rt) {
+            return Err(format!("start: {id} has unmet dependencies"));
+        }
+        let n = nodes.len();
+        if n < rt.spec.min_nodes as usize || n > rt.spec.max_nodes as usize {
+            return Err(format!(
+                "start: {id} given {n} nodes outside [{}, {}]",
+                rt.spec.min_nodes, rt.spec.max_nodes
+            ));
+        }
+        if let Some(fixed) = rt.spec.user_fixed_start() {
+            if n != fixed as usize {
+                return Err(format!(
+                    "start: {id} requires exactly {fixed} nodes, given {n}"
+                ));
+            }
+        }
+        let unique: BTreeSet<NodeId> = nodes.iter().copied().collect();
+        if unique.len() != n {
+            return Err(format!("start: {id} given duplicate nodes"));
+        }
+        if !unique.iter().all(|node| self.free.contains(node)) {
+            return Err(format!("start: {id} given non-free nodes"));
+        }
+        let walltime = rt.spec.walltime;
+
+        for node in &unique {
+            self.free.remove(node);
+            self.open_gantt(id, *node, now);
+        }
+        let rt = self.jobs.get_mut(&id).unwrap();
+        rt.state = RunState::Running;
+        rt.alloc = nodes;
+        rt.start_time = Some(now);
+        rt.last_alloc_change = now;
+        rt.max_nodes_held = n as u32;
+        let epoch = rt.epoch;
+        self.allocated_total += n as u32;
+        self.util.record(now, self.allocated_total);
+        if let Some(w) = walltime {
+            let timer = self
+                .sim
+                .schedule_at(Time::from_secs(now + w), Ev::Walltime { job: id, epoch });
+            self.jobs.get_mut(&id).unwrap().walltime_timer = Some(timer);
+        }
+        self.continue_job(id, now);
+        Ok(())
+    }
+
+    fn apply_reconfigure(
+        &mut self,
+        id: JobId,
+        nodes: Vec<NodeId>,
+        _now: f64,
+    ) -> Result<(), String> {
+        let rt = self
+            .jobs
+            .get(&id)
+            .ok_or_else(|| format!("reconfigure: unknown job {id}"))?;
+        if rt.state != RunState::Running {
+            return Err(format!("reconfigure: {id} is not running"));
+        }
+        if !rt.spec.class.is_elastic() {
+            return Err(format!("reconfigure: {id} is {} (not elastic)", rt.spec.class));
+        }
+        if rt.pending_reconfig.is_some() {
+            return Err(format!("reconfigure: {id} already has one pending"));
+        }
+        let n = nodes.len();
+        if n < rt.spec.min_nodes as usize || n > rt.spec.max_nodes as usize {
+            return Err(format!(
+                "reconfigure: {id} target {n} outside [{}, {}]",
+                rt.spec.min_nodes, rt.spec.max_nodes
+            ));
+        }
+        let unique: BTreeSet<NodeId> = nodes.iter().copied().collect();
+        if unique.len() != n {
+            return Err(format!("reconfigure: {id} given duplicate nodes"));
+        }
+        let old: BTreeSet<NodeId> = rt.alloc.iter().copied().collect();
+        let added: Vec<NodeId> = unique.difference(&old).copied().collect();
+        if !added.iter().all(|node| self.free.contains(node)) {
+            return Err(format!("reconfigure: {id} expansion nodes not free"));
+        }
+        // Reserve additions so no later decision hands them out.
+        for node in &added {
+            self.free.remove(node);
+            self.reserved.insert(*node);
+        }
+        self.jobs.get_mut(&id).unwrap().pending_reconfig = Some(nodes);
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Reporting
+    // ------------------------------------------------------------------
+
+    fn build_report(mut self) -> Report {
+        let mut records = Vec::with_capacity(self.jobs.len());
+        for (id, rt) in &self.jobs {
+            let (outcome, end) = match self.outcomes.get(id) {
+                Some(&(o, e)) => (o, Some(e)),
+                None => (Outcome::Completed, None), // never finished (aborted run)
+            };
+            records.push(JobRecord {
+                id: *id,
+                class: rt.spec.class,
+                submit: rt.spec.submit_time,
+                start: rt.start_time,
+                end,
+                outcome,
+                node_seconds: rt.node_seconds,
+                max_nodes_held: rt.max_nodes_held,
+                reconfigs: rt.reconfigs,
+                evolving_latencies: rt.evolving_latencies.clone(),
+            });
+        }
+        // Close any gantt intervals left open by an aborted run.
+        let open: Vec<((JobId, NodeId), f64)> = self.gantt_open.drain().collect();
+        let horizon = records
+            .iter()
+            .filter_map(|r| r.end)
+            .fold(0.0f64, f64::max);
+        for ((job, node), from) in open {
+            self.gantt.push(GanttEntry { job, node, from, to: horizon.max(from) });
+        }
+        self.gantt.sort_by(|a, b| {
+            a.from
+                .partial_cmp(&b.from)
+                .unwrap()
+                .then(a.job.cmp(&b.job))
+                .then(a.node.cmp(&b.node))
+        });
+        Report {
+            jobs: records,
+            utilization: self.util,
+            gantt: self.gantt,
+            events: self.sim.events_delivered(),
+            recomputes: self.sim.recompute_count(),
+            scheduler_invocations: self.sched_invocations,
+            warnings: self.warnings,
+            total_nodes: self.platform.num_nodes(),
+        }
+    }
+}

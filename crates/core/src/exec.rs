@@ -1,0 +1,413 @@
+//! Task execution: translating application-model tasks into flow-network
+//! activities on the platform's resources.
+//!
+//! Every task expands into one activity per allocated node (its "rank").
+//! The task is complete when all rank activities are — barrier semantics.
+//! The mapping of each task kind onto resources is the flow-level reduction
+//! of the corresponding traffic:
+//!
+//! | task | per-rank activity |
+//! |------|-------------------|
+//! | compute (CPU) | `flops` on the node's CPU resource |
+//! | compute (GPU) | `flops / #gpus` on each GPU (CPU fallback without GPUs) |
+//! | comm ring | `bytes` over own NIC↑, neighbour NIC↓, backbone |
+//! | comm all-to-all | `bytes` over own NIC↑ *and* NIC↓, backbone |
+//! | comm broadcast | non-root ranks receive over root NIC↑, own NIC↓, backbone |
+//! | comm gather | non-root ranks send over own NIC↑, root NIC↓, backbone |
+//! | read/write PFS | `bytes` over PFS pool, own NIC, backbone |
+//! | read/write BB | `bytes` on the node-local burst buffer (PFS fallback) |
+//! | delay | `seconds` of rate-1 work on no resource |
+
+use elastisim_des::ActivitySpec;
+use elastisim_expr::Context;
+use elastisim_platform::{NodeId, Platform};
+use elastisim_workload::{CommPattern, ComputeTarget, IoTarget, TaskKind};
+
+/// A task-expansion failure (undefined performance model at this size).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExecError {
+    /// Human-readable cause.
+    pub message: String,
+}
+
+impl std::fmt::Display for ExecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "task execution error: {}", self.message)
+    }
+}
+
+impl std::error::Error for ExecError {}
+
+/// Builds the evaluation context for a task: `num_nodes` plus progress
+/// variables some models use.
+pub(crate) fn task_context(num_nodes: usize, phase: usize, iteration: u32) -> Context {
+    let mut ctx = Context::with_num_nodes(num_nodes);
+    ctx.set("phase", phase as f64);
+    ctx.set("iteration", iteration as f64);
+    ctx
+}
+
+/// Expands one task on the given allocation into activity specs (one or
+/// more per rank). Loads are evaluated per node and clamped at zero.
+pub(crate) fn task_activities(
+    platform: &Platform,
+    alloc: &[NodeId],
+    task: &TaskKind,
+    ctx: &Context,
+) -> Result<Vec<ActivitySpec>, ExecError> {
+    debug_assert!(!alloc.is_empty(), "task on empty allocation");
+    let n = alloc.len();
+    let eval = |expr: &elastisim_workload::PerfExpr| -> Result<f64, ExecError> {
+        expr.eval(ctx)
+            .map(|v| v.max(0.0))
+            .map_err(|e| ExecError { message: format!("{e} (n={n})") })
+    };
+
+    let mut out = Vec::with_capacity(n);
+    match task {
+        TaskKind::Compute { flops, target } => {
+            let work = eval(flops)?;
+            for &node in alloc {
+                let handles = platform.node(node);
+                match target {
+                    ComputeTarget::Cpu => {
+                        out.push(ActivitySpec::new(work, [handles.cpu]));
+                    }
+                    ComputeTarget::Gpu if !handles.gpus.is_empty() => {
+                        // Split the rank's work evenly over its GPUs.
+                        let per_gpu = work / handles.gpus.len() as f64;
+                        for &gpu in &handles.gpus {
+                            out.push(ActivitySpec::new(per_gpu, [gpu]));
+                        }
+                    }
+                    ComputeTarget::Gpu => {
+                        // Documented fallback: GPU task on a CPU-only node.
+                        out.push(ActivitySpec::new(work, [handles.cpu]));
+                    }
+                }
+            }
+        }
+        TaskKind::Communication { bytes, pattern } => {
+            let work = eval(bytes)?;
+            let flow = |src: NodeId, dst: NodeId| -> ActivitySpec {
+                let mut spec = ActivitySpec::new(work, []);
+                for (r, w) in platform.path_usages(src, dst) {
+                    spec = spec.with_usage(r, w);
+                }
+                spec
+            };
+            match pattern {
+                CommPattern::Ring => {
+                    for (i, &node) in alloc.iter().enumerate() {
+                        out.push(flow(node, alloc[(i + 1) % n]));
+                    }
+                }
+                CommPattern::AllToAll => {
+                    for &node in alloc {
+                        // Each rank injects `work` and receives `work`; the
+                        // spine (and, on tree networks, the rank's leaf
+                        // uplinks) carry only the fraction of peers outside
+                        // the rank's leaf.
+                        let mut spec = ActivitySpec::new(work, [])
+                            .with_usage(platform.node(node).nic_up, 1.0)
+                            .with_usage(platform.node(node).nic_down, 1.0);
+                        match platform.leaf_size() {
+                            Some(_) if n > 1 => {
+                                let leaf = platform.leaf_of(node);
+                                let outside = alloc
+                                    .iter()
+                                    .filter(|&&p| p != node && platform.leaf_of(p) != leaf)
+                                    .count();
+                                let w_out = outside as f64 / (n - 1) as f64;
+                                if w_out > 0.0 {
+                                    let handles =
+                                        platform.leaf(leaf).expect("node's leaf exists");
+                                    spec = spec
+                                        .with_usage(handles.up, w_out)
+                                        .with_usage(handles.down, w_out)
+                                        .with_usage(platform.backbone, w_out);
+                                }
+                            }
+                            Some(_) => {}
+                            None => {
+                                spec = spec.with_usage(platform.backbone, 1.0);
+                            }
+                        }
+                        out.push(spec);
+                    }
+                }
+                CommPattern::Broadcast => {
+                    let root = alloc[0];
+                    for &node in alloc.iter().skip(1) {
+                        out.push(flow(root, node));
+                    }
+                    if n == 1 {
+                        // Degenerate broadcast: nothing moves.
+                        out.push(ActivitySpec::new(0.0, []).with_bound(1.0));
+                    }
+                }
+                CommPattern::Gather => {
+                    let root = alloc[0];
+                    for &node in alloc.iter().skip(1) {
+                        out.push(flow(node, root));
+                    }
+                    if n == 1 {
+                        out.push(ActivitySpec::new(0.0, []).with_bound(1.0));
+                    }
+                }
+            }
+        }
+        TaskKind::Read { bytes, target } => {
+            let work = eval(bytes)?;
+            for &node in alloc {
+                let handles = platform.node(node);
+                match (target, handles.bb_read) {
+                    (IoTarget::BurstBuffer, Some(bb)) => {
+                        out.push(ActivitySpec::new(work, [bb]));
+                    }
+                    _ => {
+                        // PFS servers sit behind the spine: inbound data
+                        // crosses the spine, the node's leaf downlink (on
+                        // tree networks), and the NIC.
+                        let mut spec = ActivitySpec::new(work, [])
+                            .with_usage(platform.pfs_read, 1.0)
+                            .with_usage(handles.nic_down, 1.0)
+                            .with_usage(platform.backbone, 1.0);
+                        if platform.leaf_size().is_some() {
+                            let leaf = platform.leaf(platform.leaf_of(node)).unwrap();
+                            spec = spec.with_usage(leaf.down, 1.0);
+                        }
+                        out.push(spec);
+                    }
+                }
+            }
+        }
+        TaskKind::Write { bytes, target } => {
+            let work = eval(bytes)?;
+            for &node in alloc {
+                let handles = platform.node(node);
+                match (target, handles.bb_write) {
+                    (IoTarget::BurstBuffer, Some(bb)) => {
+                        out.push(ActivitySpec::new(work, [bb]));
+                    }
+                    _ => {
+                        let mut spec = ActivitySpec::new(work, [])
+                            .with_usage(platform.pfs_write, 1.0)
+                            .with_usage(handles.nic_up, 1.0)
+                            .with_usage(platform.backbone, 1.0);
+                        if platform.leaf_size().is_some() {
+                            let leaf = platform.leaf(platform.leaf_of(node)).unwrap();
+                            spec = spec.with_usage(leaf.up, 1.0);
+                        }
+                        out.push(spec);
+                    }
+                }
+            }
+        }
+        TaskKind::Delay { seconds } => {
+            let secs = eval(seconds)?;
+            // A single rate-1 activity; one per task (not per rank) since
+            // all ranks idle together.
+            out.push(ActivitySpec::new(secs, []).with_bound(1.0));
+        }
+    }
+    Ok(out)
+}
+
+/// Whether a task's flows should be preceded by the network latency (a
+/// per-message startup delay): true for communication tasks and PFS I/O.
+pub(crate) fn has_latency(task: &TaskKind) -> bool {
+    matches!(
+        task,
+        TaskKind::Communication { .. } | TaskKind::Read { .. } | TaskKind::Write { .. }
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use elastisim_des::Simulator;
+    use elastisim_platform::{NodeSpec, PlatformSpec};
+    use elastisim_workload::PerfExpr;
+
+    fn platform(nodes: usize) -> (Platform, Simulator<u32>) {
+        let spec = PlatformSpec::homogeneous("t", nodes, NodeSpec::default().with_gpus(2));
+        let mut sim = Simulator::new();
+        let p = Platform::instantiate(&spec, &mut sim);
+        (p, sim)
+    }
+
+    fn alloc(n: u32) -> Vec<NodeId> {
+        (0..n).map(NodeId).collect()
+    }
+
+    #[test]
+    fn compute_one_activity_per_rank() {
+        let (p, _sim) = platform(4);
+        let task = TaskKind::Compute {
+            flops: PerfExpr::parse("1e12 / num_nodes").unwrap(),
+            target: ComputeTarget::Cpu,
+        };
+        let acts = task_activities(&p, &alloc(4), &task, &task_context(4, 0, 0)).unwrap();
+        assert_eq!(acts.len(), 4);
+        assert_eq!(acts[0].work, 0.25e12);
+        assert_eq!(acts[0].usages.len(), 1);
+    }
+
+    #[test]
+    fn gpu_compute_splits_over_gpus() {
+        let (p, _sim) = platform(2);
+        let task = TaskKind::Compute {
+            flops: PerfExpr::constant(1e12),
+            target: ComputeTarget::Gpu,
+        };
+        let acts = task_activities(&p, &alloc(2), &task, &task_context(2, 0, 0)).unwrap();
+        // 2 nodes × 2 GPUs.
+        assert_eq!(acts.len(), 4);
+        assert_eq!(acts[0].work, 0.5e12);
+    }
+
+    #[test]
+    fn gpu_falls_back_to_cpu_without_gpus() {
+        let spec = PlatformSpec::homogeneous("t", 1, NodeSpec::default());
+        let mut sim: Simulator<u32> = Simulator::new();
+        let p = Platform::instantiate(&spec, &mut sim);
+        let task = TaskKind::Compute {
+            flops: PerfExpr::constant(1e12),
+            target: ComputeTarget::Gpu,
+        };
+        let acts = task_activities(&p, &alloc(1), &task, &task_context(1, 0, 0)).unwrap();
+        assert_eq!(acts.len(), 1);
+        assert_eq!(acts[0].usages.len(), 1);
+    }
+
+    #[test]
+    fn ring_uses_up_down_backbone() {
+        let (p, _sim) = platform(3);
+        let task = TaskKind::Communication {
+            bytes: PerfExpr::constant(1e9),
+            pattern: CommPattern::Ring,
+        };
+        let acts = task_activities(&p, &alloc(3), &task, &task_context(3, 0, 0)).unwrap();
+        assert_eq!(acts.len(), 3);
+        for a in &acts {
+            assert_eq!(a.usages.len(), 3, "nic_up + backbone + neighbour nic_down");
+        }
+    }
+
+    #[test]
+    fn single_node_ring_skips_self_receive() {
+        let (p, _sim) = platform(1);
+        let task = TaskKind::Communication {
+            bytes: PerfExpr::constant(1e9),
+            pattern: CommPattern::Ring,
+        };
+        let acts = task_activities(&p, &alloc(1), &task, &task_context(1, 0, 0)).unwrap();
+        assert_eq!(acts.len(), 1);
+        assert_eq!(acts[0].usages.len(), 2, "nic_up + backbone only");
+    }
+
+    #[test]
+    fn broadcast_has_n_minus_one_flows() {
+        let (p, _sim) = platform(4);
+        let task = TaskKind::Communication {
+            bytes: PerfExpr::constant(1e9),
+            pattern: CommPattern::Broadcast,
+        };
+        let acts = task_activities(&p, &alloc(4), &task, &task_context(4, 0, 0)).unwrap();
+        assert_eq!(acts.len(), 3);
+    }
+
+    #[test]
+    fn degenerate_collectives_still_produce_an_activity() {
+        let (p, _sim) = platform(1);
+        for pattern in [CommPattern::Broadcast, CommPattern::Gather] {
+            let task = TaskKind::Communication {
+                bytes: PerfExpr::constant(1e9),
+                pattern,
+            };
+            let acts = task_activities(&p, &alloc(1), &task, &task_context(1, 0, 0)).unwrap();
+            assert_eq!(acts.len(), 1, "barrier still needs something to wait on");
+        }
+    }
+
+    #[test]
+    fn burst_buffer_io_uses_local_resource() {
+        let (p, _sim) = platform(2);
+        let task = TaskKind::Write {
+            bytes: PerfExpr::constant(1e9),
+            target: IoTarget::BurstBuffer,
+        };
+        let acts = task_activities(&p, &alloc(2), &task, &task_context(2, 0, 0)).unwrap();
+        assert_eq!(acts.len(), 2);
+        for a in &acts {
+            assert_eq!(a.usages.len(), 1, "bb only, no PFS/backbone");
+        }
+    }
+
+    #[test]
+    fn bb_io_falls_back_to_pfs() {
+        let spec =
+            PlatformSpec::homogeneous("t", 1, NodeSpec::default().without_burst_buffer());
+        let mut sim: Simulator<u32> = Simulator::new();
+        let p = Platform::instantiate(&spec, &mut sim);
+        let task = TaskKind::Read {
+            bytes: PerfExpr::constant(1e9),
+            target: IoTarget::BurstBuffer,
+        };
+        let acts = task_activities(&p, &alloc(1), &task, &task_context(1, 0, 0)).unwrap();
+        assert_eq!(acts[0].usages.len(), 3, "pfs + nic + backbone");
+    }
+
+    #[test]
+    fn delay_is_single_bounded_activity() {
+        let (p, _sim) = platform(4);
+        let task = TaskKind::Delay { seconds: PerfExpr::constant(7.0) };
+        let acts = task_activities(&p, &alloc(4), &task, &task_context(4, 0, 0)).unwrap();
+        assert_eq!(acts.len(), 1);
+        assert_eq!(acts[0].work, 7.0);
+        assert_eq!(acts[0].bound, 1.0);
+    }
+
+    #[test]
+    fn negative_model_clamps_to_zero() {
+        let (p, _sim) = platform(1);
+        let task = TaskKind::Compute {
+            flops: PerfExpr::parse("0 - 5").unwrap(),
+            target: ComputeTarget::Cpu,
+        };
+        let acts = task_activities(&p, &alloc(1), &task, &task_context(1, 0, 0)).unwrap();
+        assert_eq!(acts[0].work, 0.0);
+    }
+
+    #[test]
+    fn unknown_variable_is_exec_error() {
+        let (p, _sim) = platform(1);
+        let task = TaskKind::Compute {
+            flops: PerfExpr::parse("mystery").unwrap(),
+            target: ComputeTarget::Cpu,
+        };
+        assert!(task_activities(&p, &alloc(1), &task, &task_context(1, 0, 0)).is_err());
+    }
+
+    #[test]
+    fn latency_applies_to_network_touching_tasks() {
+        assert!(has_latency(&TaskKind::Communication {
+            bytes: PerfExpr::constant(1.0),
+            pattern: CommPattern::Ring
+        }));
+        assert!(!has_latency(&TaskKind::Delay { seconds: PerfExpr::constant(1.0) }));
+        assert!(!has_latency(&TaskKind::Compute {
+            flops: PerfExpr::constant(1.0),
+            target: ComputeTarget::Cpu
+        }));
+    }
+
+    #[test]
+    fn context_binds_progress_variables() {
+        let ctx = task_context(8, 2, 5);
+        assert_eq!(ctx.get("num_nodes"), Some(8.0));
+        assert_eq!(ctx.get("phase"), Some(2.0));
+        assert_eq!(ctx.get("iteration"), Some(5.0));
+    }
+}

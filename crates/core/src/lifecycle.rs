@@ -1,0 +1,261 @@
+//! Per-job runtime state and the execution cursor.
+
+use elastisim_des::{ActivityId, TimerId};
+use elastisim_platform::NodeId;
+use elastisim_workload::{ApplicationModel, JobSpec};
+
+/// Where a job stands in its application.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub(crate) struct Cursor {
+    /// Index into `app.phases`.
+    pub phase: usize,
+    /// Iteration within the phase.
+    pub iter: u32,
+    /// Index into the phase's task list.
+    pub task: usize,
+}
+
+/// What the cursor encounters while advancing.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub(crate) enum Step {
+    /// Execute the task at the current cursor position.
+    Task,
+    /// An iteration of a scheduling-point phase just ended (reconfigure
+    /// opportunity); cursor already points at the next position.
+    SchedulingPoint,
+    /// A new phase was entered; its evolving request (if any) should fire.
+    PhaseEntry,
+    /// The application is complete.
+    Done,
+}
+
+impl Cursor {
+    /// Returns what to do at the current cursor position, advancing over
+    /// empty constructs. `advance_after_task` must be called once a task
+    /// completes.
+    pub(crate) fn step(&mut self, app: &ApplicationModel) -> Step {
+        loop {
+            let Some(phase) = app.phases.get(self.phase) else {
+                return Step::Done;
+            };
+            if self.iter >= phase.iterations.max(1) {
+                // Phase exhausted: move on.
+                self.phase += 1;
+                self.iter = 0;
+                self.task = 0;
+                if app.phases.get(self.phase).is_some() {
+                    return Step::PhaseEntry;
+                }
+                return Step::Done;
+            }
+            if self.task >= phase.tasks.len() {
+                // Iteration finished.
+                self.iter += 1;
+                self.task = 0;
+                if phase.scheduling_point {
+                    return Step::SchedulingPoint;
+                }
+                continue;
+            }
+            return Step::Task;
+        }
+    }
+
+    /// Moves past the task that just completed.
+    pub(crate) fn advance_after_task(&mut self) {
+        self.task += 1;
+    }
+}
+
+/// Lifecycle state.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub(crate) enum RunState {
+    /// Submitted, waiting in the queue.
+    Pending,
+    /// Executing tasks.
+    Running,
+    /// Paused while a reconfiguration cost is paid.
+    Reconfiguring,
+    /// Left the system.
+    Done,
+}
+
+/// Which part of the current task is in flight.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub(crate) enum Stage {
+    /// The network-latency prologue of a comm/I/O task.
+    Latency,
+    /// The flow activities themselves.
+    Flow,
+}
+
+/// Everything the engine tracks about one job.
+pub(crate) struct JobRuntime {
+    pub spec: JobSpec,
+    pub state: RunState,
+    pub alloc: Vec<NodeId>,
+    pub cursor: Cursor,
+    pub stage: Stage,
+    /// Rank activities of the current task (or reconfig) still running.
+    pub outstanding: usize,
+    /// Live activity ids, for cancellation on kill.
+    pub activities: Vec<ActivityId>,
+    /// Bumped on kill/completion so stale events are ignored.
+    pub epoch: u64,
+    /// Scheduler-ordered allocation change awaiting the next scheduling
+    /// point (complete new node set; additions already reserved).
+    pub pending_reconfig: Option<Vec<NodeId>>,
+    /// Evolving: node count the application currently wants, and when it
+    /// asked (for the satisfaction-latency metric).
+    pub evolving_desired: Option<(u32, f64)>,
+    pub start_time: Option<f64>,
+    pub walltime_timer: Option<TimerId>,
+    // -- accounting --
+    pub node_seconds: f64,
+    pub last_alloc_change: f64,
+    pub max_nodes_held: u32,
+    pub reconfigs: u32,
+    pub evolving_latencies: Vec<f64>,
+    pub units_done: u64,
+    pub units_total: u64,
+}
+
+impl JobRuntime {
+    pub(crate) fn new(spec: JobSpec) -> Self {
+        let units_total = spec.app.total_task_executions().max(1);
+        JobRuntime {
+            spec,
+            state: RunState::Pending,
+            alloc: Vec::new(),
+            cursor: Cursor::default(),
+            stage: Stage::Flow,
+            outstanding: 0,
+            activities: Vec::new(),
+            epoch: 0,
+            pending_reconfig: None,
+            evolving_desired: None,
+            start_time: None,
+            walltime_timer: None,
+            node_seconds: 0.0,
+            last_alloc_change: 0.0,
+            max_nodes_held: 0,
+            reconfigs: 0,
+            evolving_latencies: Vec::new(),
+            units_done: 0,
+            units_total,
+        }
+    }
+
+    /// Accrues node-seconds up to `now` (call before every allocation
+    /// change and at completion).
+    pub(crate) fn accrue(&mut self, now: f64) {
+        self.node_seconds += self.alloc.len() as f64 * (now - self.last_alloc_change);
+        self.last_alloc_change = now;
+    }
+
+    /// Fraction of task executions completed.
+    pub(crate) fn progress(&self) -> f64 {
+        self.units_done as f64 / self.units_total as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use elastisim_workload::{PerfExpr, Phase, Task};
+
+    fn app(phases: Vec<Phase>) -> ApplicationModel {
+        ApplicationModel::new(phases)
+    }
+
+    fn compute() -> Task {
+        Task::compute("c", PerfExpr::constant(1.0))
+    }
+
+    #[test]
+    fn cursor_walks_tasks_iterations_phases() {
+        let a = app(vec![
+            Phase::repeated("p0", 2, vec![compute(), compute()]),
+            Phase::once("p1", vec![compute()]),
+        ]);
+        let mut c = Cursor::default();
+        let mut trace = Vec::new();
+        loop {
+            let s = c.step(&a);
+            trace.push(s);
+            match s {
+                Step::Task => c.advance_after_task(),
+                Step::Done => break,
+                _ => {}
+            }
+        }
+        use Step::*;
+        assert_eq!(
+            trace,
+            vec![
+                Task, Task, SchedulingPoint, // p0 iter 0
+                Task, Task, SchedulingPoint, // p0 iter 1
+                PhaseEntry, Task, SchedulingPoint, // p1
+                Done
+            ]
+        );
+    }
+
+    #[test]
+    fn cursor_skips_empty_phase() {
+        let a = app(vec![
+            Phase::once("empty", vec![]),
+            Phase::once("p", vec![compute()]),
+        ]);
+        let mut c = Cursor::default();
+        // Empty phase: iteration ends immediately → scheduling point.
+        assert_eq!(c.step(&a), Step::SchedulingPoint);
+        assert_eq!(c.step(&a), Step::PhaseEntry);
+        assert_eq!(c.step(&a), Step::Task);
+    }
+
+    #[test]
+    fn cursor_without_scheduling_points_flows_through() {
+        let a = app(vec![Phase::repeated("p", 3, vec![compute()]).without_scheduling_point()]);
+        let mut c = Cursor::default();
+        let mut tasks = 0;
+        loop {
+            match c.step(&a) {
+                Step::Task => {
+                    tasks += 1;
+                    c.advance_after_task();
+                }
+                Step::Done => break,
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+        assert_eq!(tasks, 3);
+    }
+
+    #[test]
+    fn empty_application_is_done_immediately() {
+        let a = app(vec![]);
+        let mut c = Cursor::default();
+        assert_eq!(c.step(&a), Step::Done);
+    }
+
+    #[test]
+    fn accrue_integrates_alloc() {
+        let spec = JobSpec::rigid(1, 0.0, 2, app(vec![Phase::once("p", vec![compute()])]));
+        let mut rt = JobRuntime::new(spec);
+        rt.alloc = vec![NodeId(0), NodeId(1)];
+        rt.last_alloc_change = 10.0;
+        rt.accrue(25.0);
+        assert_eq!(rt.node_seconds, 30.0);
+        assert_eq!(rt.last_alloc_change, 25.0);
+    }
+
+    #[test]
+    fn progress_fraction() {
+        let spec = JobSpec::rigid(1, 0.0, 2, app(vec![Phase::repeated("p", 4, vec![compute()])]));
+        let mut rt = JobRuntime::new(spec);
+        assert_eq!(rt.progress(), 0.0);
+        rt.units_done = 2;
+        assert_eq!(rt.progress(), 0.5);
+    }
+}

@@ -1,0 +1,398 @@
+//! Statistics collection and the simulation report.
+
+use elastisim_platform::NodeId;
+use elastisim_workload::{JobClass, JobId};
+
+/// Why a job left the system.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Outcome {
+    /// Ran its whole application.
+    Completed,
+    /// Exceeded its walltime limit and was killed.
+    WalltimeExceeded,
+    /// Removed by a scheduler `Kill` decision (or cancelled because a
+    /// dependency did not complete).
+    Killed,
+    /// Lost to a node failure.
+    NodeFailure,
+}
+
+/// Per-job accounting.
+#[derive(Clone, Debug)]
+pub struct JobRecord {
+    /// Job id.
+    pub id: JobId,
+    /// Elasticity class.
+    pub class: JobClass,
+    /// Submission time.
+    pub submit: f64,
+    /// Start time (`None` if it never started).
+    pub start: Option<f64>,
+    /// End time (`None` only for jobs cut off by an aborted run).
+    pub end: Option<f64>,
+    /// How it ended.
+    pub outcome: Outcome,
+    /// Integral of allocated nodes over the job's runtime.
+    pub node_seconds: f64,
+    /// Largest allocation it ever held.
+    pub max_nodes_held: u32,
+    /// Number of applied reconfigurations.
+    pub reconfigs: u32,
+    /// Latency (seconds) from each evolving request to its application;
+    /// empty for non-evolving jobs (experiment R-F3's metric).
+    pub evolving_latencies: Vec<f64>,
+}
+
+impl JobRecord {
+    /// Queue wait: start − submit.
+    pub fn wait(&self) -> Option<f64> {
+        self.start.map(|s| s - self.submit)
+    }
+
+    /// Turnaround: end − submit.
+    pub fn turnaround(&self) -> Option<f64> {
+        self.end.map(|e| e - self.submit)
+    }
+
+    /// Runtime: end − start.
+    pub fn runtime(&self) -> Option<f64> {
+        match (self.start, self.end) {
+            (Some(s), Some(e)) => Some(e - s),
+            _ => None,
+        }
+    }
+
+    /// Bounded slowdown with the conventional 10-second floor.
+    pub fn bounded_slowdown(&self) -> Option<f64> {
+        let t = self.turnaround()?;
+        let r = self.runtime()?.max(10.0);
+        Some((t / r).max(1.0))
+    }
+}
+
+/// One allocation interval for the Gantt trace.
+#[derive(Clone, Debug, PartialEq)]
+pub struct GanttEntry {
+    /// The job.
+    pub job: JobId,
+    /// The node.
+    pub node: NodeId,
+    /// Interval start.
+    pub from: f64,
+    /// Interval end.
+    pub to: f64,
+}
+
+/// Change-point series of the number of allocated nodes over time; exact
+/// (not sampled), so any utilization plot can be derived.
+#[derive(Clone, Debug, Default)]
+pub struct UtilizationSeries {
+    /// `(time, allocated nodes)` — the count holds from this instant until
+    /// the next entry.
+    pub points: Vec<(f64, u32)>,
+}
+
+impl UtilizationSeries {
+    pub(crate) fn record(&mut self, t: f64, allocated: u32) {
+        if let Some(&(lt, lv)) = self.points.last() {
+            if lv == allocated {
+                return;
+            }
+            debug_assert!(t >= lt);
+        }
+        self.points.push((t, allocated));
+    }
+
+    /// Integral of allocated nodes over `[0, horizon]`, node-seconds.
+    pub fn node_seconds(&self, horizon: f64) -> f64 {
+        let mut acc = 0.0;
+        for w in self.points.windows(2) {
+            let (t0, v) = w[0];
+            let (t1, _) = w[1];
+            acc += v as f64 * (t1.min(horizon) - t0.min(horizon));
+        }
+        if let Some(&(t, v)) = self.points.last() {
+            if horizon > t {
+                acc += v as f64 * (horizon - t);
+            }
+        }
+        acc
+    }
+
+    /// Mean allocated nodes over `[0, horizon]`.
+    pub fn mean_allocated(&self, horizon: f64) -> f64 {
+        if horizon <= 0.0 {
+            return 0.0;
+        }
+        self.node_seconds(horizon) / horizon
+    }
+
+    /// Resamples at fixed `dt` (for plotting), returning `(time, value)`
+    /// rows covering `[0, horizon]`.
+    pub fn resample(&self, dt: f64, horizon: f64) -> Vec<(f64, u32)> {
+        assert!(dt > 0.0);
+        let mut out = Vec::new();
+        let mut idx = 0;
+        let mut current = 0u32;
+        let mut t = 0.0;
+        while t <= horizon {
+            while idx < self.points.len() && self.points[idx].0 <= t {
+                current = self.points[idx].1;
+                idx += 1;
+            }
+            out.push((t, current));
+            t += dt;
+        }
+        out
+    }
+}
+
+/// Aggregate metrics over the completed jobs of a run.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Summary {
+    /// Number of jobs that completed normally.
+    pub completed: usize,
+    /// Number of killed jobs (walltime or scheduler).
+    pub killed: usize,
+    /// Latest end time of any job (the makespan of the workload).
+    pub makespan: f64,
+    /// Mean queue wait of started jobs.
+    pub mean_wait: f64,
+    /// Mean turnaround of finished jobs.
+    pub mean_turnaround: f64,
+    /// Mean bounded slowdown of finished jobs.
+    pub mean_bounded_slowdown: f64,
+    /// Node-seconds allocated across all jobs / (nodes × makespan).
+    pub utilization: f64,
+}
+
+/// Full result of one simulation run.
+#[derive(Clone, Debug, Default)]
+pub struct Report {
+    /// Per-job records, ascending id.
+    pub jobs: Vec<JobRecord>,
+    /// Allocated-node change points.
+    pub utilization: UtilizationSeries,
+    /// Gantt trace (empty unless enabled in the config).
+    pub gantt: Vec<GanttEntry>,
+    /// Number of user events the DES delivered.
+    pub events: u64,
+    /// Number of fair-share recomputations.
+    pub recomputes: u64,
+    /// Number of scheduler invocations.
+    pub scheduler_invocations: u64,
+    /// Decisions the engine rejected as invalid, with reasons.
+    pub warnings: Vec<String>,
+    /// Platform size, for utilization math.
+    pub total_nodes: usize,
+}
+
+impl Report {
+    /// Computes aggregate metrics.
+    pub fn summary(&self) -> Summary {
+        let finished: Vec<&JobRecord> =
+            self.jobs.iter().filter(|j| j.end.is_some()).collect();
+        let makespan = finished
+            .iter()
+            .filter_map(|j| j.end)
+            .fold(0.0f64, f64::max);
+        let waits: Vec<f64> = self.jobs.iter().filter_map(JobRecord::wait).collect();
+        let tats: Vec<f64> = finished.iter().filter_map(|j| j.turnaround()).collect();
+        let slows: Vec<f64> = finished
+            .iter()
+            .filter_map(|j| j.bounded_slowdown())
+            .collect();
+        let node_seconds: f64 = self.jobs.iter().map(|j| j.node_seconds).sum();
+        Summary {
+            completed: self
+                .jobs
+                .iter()
+                .filter(|j| j.outcome == Outcome::Completed && j.end.is_some())
+                .count(),
+            killed: self
+                .jobs
+                .iter()
+                .filter(|j| j.end.is_some() && j.outcome != Outcome::Completed)
+                .count(),
+            makespan,
+            mean_wait: mean(&waits),
+            mean_turnaround: mean(&tats),
+            mean_bounded_slowdown: mean(&slows),
+            utilization: if makespan > 0.0 && self.total_nodes > 0 {
+                node_seconds / (self.total_nodes as f64 * makespan)
+            } else {
+                0.0
+            },
+        }
+    }
+
+    /// The record for one job.
+    pub fn job(&self, id: JobId) -> Option<&JobRecord> {
+        self.jobs.iter().find(|j| j.id == id)
+    }
+
+    /// Aggregate metrics restricted to one job class (e.g. to compare how
+    /// rigid vs malleable jobs fared inside a mixed workload).
+    pub fn summary_for_class(&self, class: JobClass) -> Summary {
+        let filtered = Report {
+            jobs: self.jobs.iter().filter(|j| j.class == class).cloned().collect(),
+            utilization: UtilizationSeries::default(),
+            gantt: Vec::new(),
+            events: 0,
+            recomputes: 0,
+            scheduler_invocations: 0,
+            warnings: Vec::new(),
+            total_nodes: self.total_nodes,
+        };
+        let mut s = filtered.summary();
+        // Utilization is a cluster-level quantity; it is not meaningful
+        // per class.
+        s.utilization = 0.0;
+        s
+    }
+
+    /// The `q`-quantile (0 ≤ q ≤ 1, nearest-rank) of a per-job metric over
+    /// finished jobs, e.g. `report.quantile(0.95, |j| j.wait())`.
+    pub fn quantile(&self, q: f64, metric: impl Fn(&JobRecord) -> Option<f64>) -> Option<f64> {
+        assert!((0.0..=1.0).contains(&q), "quantile out of range");
+        let mut xs: Vec<f64> = self.jobs.iter().filter_map(metric).collect();
+        if xs.is_empty() {
+            return None;
+        }
+        xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let idx = ((xs.len() - 1) as f64 * q).round() as usize;
+        Some(xs[idx])
+    }
+}
+
+fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        0.0
+    } else {
+        xs.iter().sum::<f64>() / xs.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(id: u64, submit: f64, start: f64, end: f64) -> JobRecord {
+        JobRecord {
+            id: JobId(id),
+            class: JobClass::Rigid,
+            submit,
+            start: Some(start),
+            end: Some(end),
+            outcome: Outcome::Completed,
+            node_seconds: (end - start) * 2.0,
+            max_nodes_held: 2,
+            reconfigs: 0,
+            evolving_latencies: vec![],
+        }
+    }
+
+    #[test]
+    fn job_record_derived_metrics() {
+        let r = record(1, 10.0, 30.0, 130.0);
+        assert_eq!(r.wait(), Some(20.0));
+        assert_eq!(r.turnaround(), Some(120.0));
+        assert_eq!(r.runtime(), Some(100.0));
+        assert_eq!(r.bounded_slowdown(), Some(1.2));
+    }
+
+    #[test]
+    fn bounded_slowdown_floors_short_jobs() {
+        let r = record(1, 0.0, 100.0, 101.0); // 1 s runtime, 101 s turnaround
+        assert_eq!(r.bounded_slowdown(), Some(101.0 / 10.0));
+    }
+
+    #[test]
+    fn utilization_series_integrates() {
+        let mut u = UtilizationSeries::default();
+        u.record(0.0, 0);
+        u.record(10.0, 4);
+        u.record(20.0, 2);
+        assert_eq!(u.node_seconds(30.0), 4.0 * 10.0 + 2.0 * 10.0);
+        assert_eq!(u.mean_allocated(30.0), 60.0 / 30.0);
+    }
+
+    #[test]
+    fn utilization_series_dedups_equal_values() {
+        let mut u = UtilizationSeries::default();
+        u.record(0.0, 2);
+        u.record(5.0, 2);
+        assert_eq!(u.points.len(), 1);
+    }
+
+    #[test]
+    fn resample_steps() {
+        let mut u = UtilizationSeries::default();
+        u.record(0.0, 1);
+        u.record(2.5, 3);
+        let s = u.resample(1.0, 4.0);
+        assert_eq!(s, vec![(0.0, 1), (1.0, 1), (2.0, 1), (3.0, 3), (4.0, 3)]);
+    }
+
+    #[test]
+    fn summary_aggregates() {
+        let report = Report {
+            jobs: vec![record(1, 0.0, 0.0, 100.0), record(2, 0.0, 50.0, 150.0)],
+            total_nodes: 4,
+            ..Default::default()
+        };
+        let s = report.summary();
+        assert_eq!(s.completed, 2);
+        assert_eq!(s.makespan, 150.0);
+        assert_eq!(s.mean_wait, 25.0);
+        assert_eq!(s.mean_turnaround, 125.0);
+        // node_seconds = 200 + 200 = 400; capacity = 4 × 150 = 600.
+        assert!((s.utilization - 400.0 / 600.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_report_summary_is_zeroed() {
+        let s = Report::default().summary();
+        assert_eq!(s.completed, 0);
+        assert_eq!(s.makespan, 0.0);
+        assert_eq!(s.utilization, 0.0);
+    }
+
+    #[test]
+    fn per_class_summary_filters() {
+        let mut malleable = record(2, 0.0, 10.0, 60.0);
+        malleable.class = JobClass::Malleable;
+        let report = Report {
+            jobs: vec![record(1, 0.0, 0.0, 100.0), malleable],
+            total_nodes: 4,
+            ..Default::default()
+        };
+        let rigid = report.summary_for_class(JobClass::Rigid);
+        assert_eq!(rigid.completed, 1);
+        assert_eq!(rigid.makespan, 100.0);
+        let mall = report.summary_for_class(JobClass::Malleable);
+        assert_eq!(mall.completed, 1);
+        assert_eq!(mall.mean_wait, 10.0);
+        assert_eq!(report.summary_for_class(JobClass::Evolving).completed, 0);
+    }
+
+    #[test]
+    fn quantiles_nearest_rank() {
+        let report = Report {
+            jobs: (0..10).map(|i| record(i, 0.0, i as f64, 100.0)).collect(),
+            total_nodes: 4,
+            ..Default::default()
+        };
+        // Waits are 0..9.
+        assert_eq!(report.quantile(0.0, |j| j.wait()), Some(0.0));
+        assert_eq!(report.quantile(1.0, |j| j.wait()), Some(9.0));
+        assert_eq!(report.quantile(0.5, |j| j.wait()), Some(5.0)); // round(4.5)=5
+        assert_eq!(Report::default().quantile(0.5, |j| j.wait()), None);
+    }
+
+    #[test]
+    #[should_panic]
+    fn quantile_out_of_range_panics() {
+        let _ = Report::default().quantile(1.5, |j| j.wait());
+    }
+}

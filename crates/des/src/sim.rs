@@ -1,0 +1,418 @@
+//! The discrete-event simulator driver.
+//!
+//! [`Simulator`] combines the deterministic event queue with the flow-level
+//! resource model. Users interact through an *inverted* control flow that
+//! sidesteps callback-borrowing problems: every timer and every activity
+//! carries a user-defined payload `E`, and [`Simulator::step`] hands back
+//! `(time, payload)` pairs in deterministic order. The caller owns the world
+//! state and mutates it between steps:
+//!
+//! ```
+//! use elastisim_des::{Simulator, ActivitySpec, Time};
+//!
+//! #[derive(Debug, PartialEq)]
+//! enum Ev { Tick, ComputeDone }
+//!
+//! let mut sim = Simulator::new();
+//! let cpu = sim.add_resource(100.0); // 100 flop/s
+//! sim.schedule_at(Time::from_secs(1.0), Ev::Tick);
+//! sim.start_activity(ActivitySpec::new(500.0, [cpu]), Ev::ComputeDone);
+//!
+//! assert!(matches!(sim.step(), Some((t, Ev::Tick)) if t == Time::from_secs(1.0)));
+//! assert!(matches!(sim.step(), Some((t, Ev::ComputeDone)) if t == Time::from_secs(5.0)));
+//! assert!(sim.step().is_none());
+//! ```
+
+use std::collections::{HashMap, VecDeque};
+
+use crate::flow::{ActivityId, ActivitySpec, FlowNetwork, Progress, ResourceId};
+use crate::queue::{EntryId, EventQueue};
+use crate::time::Time;
+
+/// Handle to a scheduled timer, usable for cancellation.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct TimerId(EntryId);
+
+enum Internal<E> {
+    User(E),
+    /// Wake-up at a predicted flow completion instant.
+    FlowWake,
+}
+
+/// A discrete-event simulator with flow-level resource sharing.
+///
+/// `E` is the caller's event payload type; it is returned verbatim when the
+/// timer fires or the activity completes.
+pub struct Simulator<E> {
+    now: Time,
+    queue: EventQueue<Internal<E>>,
+    flow: FlowNetwork,
+    payloads: HashMap<ActivityId, E>,
+    ready: VecDeque<E>,
+    flow_timer: Option<EntryId>,
+    events_delivered: u64,
+}
+
+impl<E> Default for Simulator<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> Simulator<E> {
+    /// Creates a simulator at time zero with no resources.
+    pub fn new() -> Self {
+        Simulator {
+            now: Time::ZERO,
+            queue: EventQueue::new(),
+            flow: FlowNetwork::new(),
+            payloads: HashMap::new(),
+            ready: VecDeque::new(),
+            flow_timer: None,
+            events_delivered: 0,
+        }
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> Time {
+        self.now
+    }
+
+    /// Total number of user events delivered so far.
+    pub fn events_delivered(&self) -> u64 {
+        self.events_delivered
+    }
+
+    /// Number of sharing-fixed-point recomputations performed so far.
+    pub fn recompute_count(&self) -> u64 {
+        self.flow.recompute_count()
+    }
+
+    // ------------------------------------------------------------------
+    // Timers
+    // ------------------------------------------------------------------
+
+    /// Schedules `payload` at absolute time `t` (must not be in the past).
+    pub fn schedule_at(&mut self, t: Time, payload: E) -> TimerId {
+        assert!(t >= self.now, "cannot schedule in the past: {t} < {}", self.now);
+        TimerId(self.queue.push(t, Internal::User(payload)))
+    }
+
+    /// Schedules `payload` after a delay of `dt` seconds.
+    pub fn schedule_in(&mut self, dt: f64, payload: E) -> TimerId {
+        assert!(dt >= 0.0, "negative delay");
+        self.schedule_at(self.now + dt, payload)
+    }
+
+    /// Cancels a timer; `true` if it had not fired yet.
+    pub fn cancel_timer(&mut self, id: TimerId) -> bool {
+        self.queue.cancel(id.0)
+    }
+
+    // ------------------------------------------------------------------
+    // Resources and activities
+    // ------------------------------------------------------------------
+
+    /// Adds a shared resource (capacity in work-units per second).
+    pub fn add_resource(&mut self, capacity: f64) -> ResourceId {
+        self.flow.add_resource(capacity)
+    }
+
+    /// Current capacity of a resource.
+    pub fn capacity(&self, id: ResourceId) -> f64 {
+        self.flow.capacity(id)
+    }
+
+    /// Changes a resource's capacity, rescaling ongoing activities.
+    pub fn set_capacity(&mut self, id: ResourceId, capacity: f64) {
+        self.flow.advance_to(self.now);
+        self.flow.set_capacity(id, capacity);
+        self.refresh_flow();
+    }
+
+    /// Starts an activity whose completion delivers `payload`.
+    pub fn start_activity(&mut self, spec: ActivitySpec, payload: E) -> ActivityId {
+        self.flow.advance_to(self.now);
+        let id = self.flow.start(spec);
+        self.payloads.insert(id, payload);
+        self.refresh_flow();
+        id
+    }
+
+    /// Cancels an activity, returning `(remaining work, payload)`, or
+    /// `None` if it already completed.
+    pub fn cancel_activity(&mut self, id: ActivityId) -> Option<(f64, E)> {
+        self.flow.advance_to(self.now);
+        let remaining = self.flow.cancel(id)?;
+        let payload = self
+            .payloads
+            .remove(&id)
+            .expect("live activity always has a payload");
+        self.refresh_flow();
+        Some((remaining, payload))
+    }
+
+    /// Progress of an ongoing activity (integrated to "now").
+    pub fn activity_progress(&mut self, id: ActivityId) -> Option<Progress> {
+        self.flow.advance_to(self.now);
+        self.flow.progress(id)
+    }
+
+    /// Instantaneous load on a resource (Σ rate×weight of its users).
+    pub fn resource_load(&mut self, id: ResourceId) -> f64 {
+        self.flow.advance_to(self.now);
+        self.flow.recompute();
+        self.flow.resource_load(id)
+    }
+
+    /// Activities stuck at rate zero (deadlock diagnostics).
+    pub fn stalled_activities(&self) -> Vec<ActivityId> {
+        self.flow.stalled()
+    }
+
+    // ------------------------------------------------------------------
+    // Driving
+    // ------------------------------------------------------------------
+
+    /// Time of the next event that would be delivered, if any.
+    pub fn peek_time(&mut self) -> Option<Time> {
+        if !self.ready.is_empty() {
+            return Some(self.now);
+        }
+        self.queue.peek_time()
+    }
+
+    /// Advances the simulation and returns the next `(time, payload)` pair,
+    /// or `None` when nothing remains to happen. Activities stalled at rate
+    /// zero do *not* keep the simulation alive; inspect
+    /// [`Simulator::stalled_activities`] if `None` arrives unexpectedly.
+    pub fn step(&mut self) -> Option<(Time, E)> {
+        loop {
+            if let Some(payload) = self.ready.pop_front() {
+                self.events_delivered += 1;
+                return Some((self.now, payload));
+            }
+            let (t, internal) = self.queue.pop()?;
+            debug_assert!(t >= self.now);
+            self.now = t;
+            match internal {
+                Internal::User(payload) => {
+                    self.flow.advance_to(t);
+                    self.events_delivered += 1;
+                    return Some((t, payload));
+                }
+                Internal::FlowWake => {
+                    self.flow_timer = None;
+                    self.flow.advance_to(t);
+                    for act in self.flow.harvest_completed() {
+                        let payload = self
+                            .payloads
+                            .remove(&act)
+                            .expect("completed activity has a payload");
+                        self.ready.push_back(payload);
+                    }
+                    self.refresh_flow();
+                    // Loop: deliver from `ready`, or (if the wake was
+                    // spurious) pop the next event.
+                }
+            }
+        }
+    }
+
+    /// Runs `step` until exhaustion, invoking `handler` for each event. The
+    /// handler receives the simulator so it can schedule further work.
+    pub fn run(&mut self, mut handler: impl FnMut(&mut Self, Time, E)) {
+        while let Some((t, e)) = self.step() {
+            handler(self, t, e);
+        }
+    }
+
+    /// Re-solves sharing and (re)schedules the flow wake-up at the next
+    /// predicted completion.
+    fn refresh_flow(&mut self) {
+        self.flow.recompute();
+        if let Some(timer) = self.flow_timer.take() {
+            self.queue.cancel(timer);
+        }
+        if let Some(t) = self.flow.next_completion() {
+            // Completion can be fractionally in the past due to float
+            // round-off; clamp to now.
+            let t = t.max(self.now);
+            self.flow_timer = Some(self.queue.push(t, Internal::FlowWake));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(s: f64) -> Time {
+        Time::from_secs(s)
+    }
+
+    #[derive(Debug, PartialEq, Clone, Copy)]
+    enum Ev {
+        Timer(u32),
+        Done(u32),
+    }
+
+    #[test]
+    fn timers_fire_in_order() {
+        let mut sim: Simulator<Ev> = Simulator::new();
+        sim.schedule_at(t(2.0), Ev::Timer(2));
+        sim.schedule_at(t(1.0), Ev::Timer(1));
+        assert_eq!(sim.step(), Some((t(1.0), Ev::Timer(1))));
+        assert_eq!(sim.step(), Some((t(2.0), Ev::Timer(2))));
+        assert_eq!(sim.step(), None);
+        assert_eq!(sim.events_delivered(), 2);
+    }
+
+    #[test]
+    fn activity_completion_delivers_payload() {
+        let mut sim = Simulator::new();
+        let cpu = sim.add_resource(10.0);
+        sim.start_activity(ActivitySpec::new(100.0, [cpu]), Ev::Done(7));
+        assert_eq!(sim.step(), Some((t(10.0), Ev::Done(7))));
+    }
+
+    #[test]
+    fn sharing_slows_then_speeds_up() {
+        let mut sim = Simulator::new();
+        let cpu = sim.add_resource(10.0);
+        sim.start_activity(ActivitySpec::new(100.0, [cpu]), Ev::Done(1));
+        sim.start_activity(ActivitySpec::new(100.0, [cpu]), Ev::Done(2));
+        // Both at rate 5, finish together at t=20; delivered in id order.
+        assert_eq!(sim.step(), Some((t(20.0), Ev::Done(1))));
+        assert_eq!(sim.step(), Some((t(20.0), Ev::Done(2))));
+    }
+
+    #[test]
+    fn late_arrival_shares_remaining() {
+        let mut sim = Simulator::new();
+        let cpu = sim.add_resource(10.0);
+        sim.start_activity(ActivitySpec::new(100.0, [cpu]), Ev::Done(1));
+        sim.schedule_at(t(5.0), Ev::Timer(0));
+        let (tt, _) = sim.step().unwrap();
+        assert_eq!(tt, t(5.0));
+        // First has 50 left; add a second activity of 50.
+        sim.start_activity(ActivitySpec::new(50.0, [cpu]), Ev::Done(2));
+        // Both at rate 5 → both complete at t=15.
+        assert_eq!(sim.step(), Some((t(15.0), Ev::Done(1))));
+        assert_eq!(sim.step(), Some((t(15.0), Ev::Done(2))));
+    }
+
+    #[test]
+    fn cancel_activity_returns_payload_and_progress() {
+        let mut sim = Simulator::new();
+        let cpu = sim.add_resource(10.0);
+        let a = sim.start_activity(ActivitySpec::new(100.0, [cpu]), Ev::Done(1));
+        sim.schedule_at(t(3.0), Ev::Timer(0));
+        sim.step();
+        let (rem, payload) = sim.cancel_activity(a).unwrap();
+        assert!((rem - 70.0).abs() < 1e-9);
+        assert_eq!(payload, Ev::Done(1));
+        assert_eq!(sim.step(), None, "no completion after cancel");
+    }
+
+    #[test]
+    fn capacity_drop_delays_completion() {
+        let mut sim = Simulator::new();
+        let cpu = sim.add_resource(10.0);
+        sim.start_activity(ActivitySpec::new(100.0, [cpu]), Ev::Done(1));
+        sim.schedule_at(t(5.0), Ev::Timer(0));
+        sim.step();
+        sim.set_capacity(cpu, 1.0);
+        // 50 left at rate 1 → completes at t=55.
+        assert_eq!(sim.step(), Some((t(55.0), Ev::Done(1))));
+    }
+
+    #[test]
+    fn stalled_activity_ends_simulation_with_diagnostic() {
+        let mut sim = Simulator::new();
+        let cpu = sim.add_resource(0.0);
+        let a = sim.start_activity(ActivitySpec::new(10.0, [cpu]), Ev::Done(1));
+        assert_eq!(sim.step(), None);
+        assert_eq!(sim.stalled_activities(), vec![a]);
+    }
+
+    #[test]
+    fn zero_work_activity_completes_now() {
+        let mut sim = Simulator::new();
+        let cpu = sim.add_resource(1.0);
+        sim.schedule_at(t(4.0), Ev::Timer(0));
+        sim.step();
+        sim.start_activity(ActivitySpec::new(0.0, [cpu]), Ev::Done(1));
+        assert_eq!(sim.step(), Some((t(4.0), Ev::Done(1))));
+    }
+
+    #[test]
+    fn progress_is_integrated_to_now() {
+        let mut sim = Simulator::new();
+        let cpu = sim.add_resource(10.0);
+        let a = sim.start_activity(ActivitySpec::new(100.0, [cpu]), Ev::Done(1));
+        sim.schedule_at(t(2.5), Ev::Timer(0));
+        sim.step();
+        let p = sim.activity_progress(a).unwrap();
+        assert!((p.remaining - 75.0).abs() < 1e-9);
+        assert_eq!(p.total, 100.0);
+        assert!((p.rate - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cancelled_timer_does_not_fire() {
+        let mut sim: Simulator<Ev> = Simulator::new();
+        let id = sim.schedule_at(t(1.0), Ev::Timer(1));
+        sim.schedule_at(t(2.0), Ev::Timer(2));
+        assert!(sim.cancel_timer(id));
+        assert_eq!(sim.step(), Some((t(2.0), Ev::Timer(2))));
+    }
+
+    #[test]
+    fn run_drives_to_exhaustion() {
+        let mut sim: Simulator<u32> = Simulator::new();
+        sim.schedule_at(t(1.0), 1);
+        let mut seen = Vec::new();
+        sim.run(|sim, _t, e| {
+            seen.push(e);
+            if e < 3 {
+                sim.schedule_in(1.0, e + 1);
+            }
+        });
+        assert_eq!(seen, vec![1, 2, 3]);
+        assert_eq!(sim.now(), t(3.0));
+    }
+
+    #[test]
+    fn resource_load_visible_mid_run() {
+        let mut sim = Simulator::new();
+        let cpu = sim.add_resource(10.0);
+        sim.start_activity(ActivitySpec::new(100.0, [cpu]), Ev::Done(1));
+        sim.schedule_at(t(1.0), Ev::Timer(0));
+        sim.step();
+        assert!((sim.resource_load(cpu) - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn determinism_same_inputs_same_trace() {
+        let trace = |seed_jobs: &[(f64, f64)]| {
+            let mut sim: Simulator<usize> = Simulator::new();
+            let cpu = sim.add_resource(100.0);
+            for (i, &(at, work)) in seed_jobs.iter().enumerate() {
+                sim.schedule_at(t(at), i);
+                let _ = work;
+            }
+            let mut out = Vec::new();
+            let jobs = seed_jobs.to_vec();
+            while let Some((tt, e)) = sim.step() {
+                out.push((tt.as_secs(), e));
+                if e < jobs.len() {
+                    sim.start_activity(ActivitySpec::new(jobs[e].1, [cpu]), 1000 + e);
+                }
+            }
+            out
+        };
+        let jobs = [(0.0, 100.0), (1.0, 300.0), (1.0, 50.0), (2.5, 500.0)];
+        assert_eq!(trace(&jobs), trace(&jobs));
+    }
+}

@@ -1,0 +1,208 @@
+//! Simulation time.
+//!
+//! Time is measured in seconds as an `f64`. A newtype keeps time values from
+//! being confused with other scalar quantities (work, rates, bytes) that
+//! circulate through the flow engine.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
+
+/// A point in simulated time, in seconds since the start of the simulation.
+///
+/// `Time` is totally ordered for all values produced by the engine (the
+/// engine never emits NaN). Arithmetic is provided for the common
+/// time-point/duration operations; durations are plain `f64` seconds.
+#[derive(Clone, Copy, PartialEq, PartialOrd, Default)]
+pub struct Time(f64);
+
+impl Time {
+    /// The start of the simulation.
+    pub const ZERO: Time = Time(0.0);
+    /// A time later than every schedulable event; used for "never".
+    pub const INFINITY: Time = Time(f64::INFINITY);
+
+    /// Creates a time point from seconds. Panics on NaN or negative input.
+    #[inline]
+    pub fn from_secs(secs: f64) -> Time {
+        assert!(secs >= 0.0 && !secs.is_nan(), "invalid time: {secs}");
+        Time(secs)
+    }
+
+    /// The raw number of seconds since simulation start.
+    #[inline]
+    pub fn as_secs(self) -> f64 {
+        self.0
+    }
+
+    /// Whether this time point is finite (i.e. not "never").
+    #[inline]
+    pub fn is_finite(self) -> bool {
+        self.0.is_finite()
+    }
+
+    /// The later of two time points.
+    #[inline]
+    pub fn max(self, other: Time) -> Time {
+        if self.0 >= other.0 {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// The earlier of two time points.
+    #[inline]
+    pub fn min(self, other: Time) -> Time {
+        if self.0 <= other.0 {
+            self
+        } else {
+            other
+        }
+    }
+}
+
+impl Eq for Time {}
+
+#[allow(clippy::derive_ord_xor_partial_ord)]
+impl Ord for Time {
+    #[inline]
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // The engine never constructs NaN times (from_secs rejects them and
+        // all internal arithmetic preserves non-NaN), so total_cmp agrees
+        // with partial_cmp everywhere it matters.
+        self.0.total_cmp(&other.0)
+    }
+}
+
+impl PartialOrd<f64> for Time {
+    #[inline]
+    fn partial_cmp(&self, other: &f64) -> Option<std::cmp::Ordering> {
+        self.0.partial_cmp(other)
+    }
+}
+
+impl PartialEq<f64> for Time {
+    #[inline]
+    fn eq(&self, other: &f64) -> bool {
+        self.0 == *other
+    }
+}
+
+impl Add<f64> for Time {
+    type Output = Time;
+    #[inline]
+    fn add(self, dt: f64) -> Time {
+        Time(self.0 + dt)
+    }
+}
+
+impl AddAssign<f64> for Time {
+    #[inline]
+    fn add_assign(&mut self, dt: f64) {
+        self.0 += dt;
+    }
+}
+
+impl Sub<f64> for Time {
+    type Output = Time;
+    #[inline]
+    fn sub(self, dt: f64) -> Time {
+        Time(self.0 - dt)
+    }
+}
+
+impl SubAssign<f64> for Time {
+    #[inline]
+    fn sub_assign(&mut self, dt: f64) {
+        self.0 -= dt;
+    }
+}
+
+impl Sub for Time {
+    type Output = f64;
+    #[inline]
+    fn sub(self, other: Time) -> f64 {
+        self.0 - other.0
+    }
+}
+
+impl Mul<f64> for Time {
+    type Output = Time;
+    #[inline]
+    fn mul(self, k: f64) -> Time {
+        Time(self.0 * k)
+    }
+}
+
+impl Div<f64> for Time {
+    type Output = Time;
+    #[inline]
+    fn div(self, k: f64) -> Time {
+        Time(self.0 / k)
+    }
+}
+
+impl fmt::Debug for Time {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}s", self.0)
+    }
+}
+
+impl fmt::Display for Time {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if let Some(prec) = f.precision() {
+            write!(f, "{:.*}", prec, self.0)
+        } else {
+            write!(f, "{}", self.0)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ordering_is_total_for_engine_values() {
+        let a = Time::from_secs(1.0);
+        let b = Time::from_secs(2.0);
+        assert!(a < b);
+        assert!(b > a);
+        assert_eq!(a.max(b), b);
+        assert_eq!(a.min(b), a);
+        assert!(Time::INFINITY > b);
+    }
+
+    #[test]
+    fn arithmetic_roundtrips() {
+        let t = Time::from_secs(10.0) + 5.0;
+        assert_eq!(t.as_secs(), 15.0);
+        assert_eq!(t - Time::from_secs(10.0), 5.0);
+        let back = t - 5.0;
+        assert_eq!(back.as_secs(), 10.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn negative_time_rejected() {
+        let _ = Time::from_secs(-1.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn nan_time_rejected() {
+        let _ = Time::from_secs(f64::NAN);
+    }
+
+    #[test]
+    fn display_with_precision() {
+        let t = Time::from_secs(1.23456);
+        assert_eq!(format!("{t:.2}"), "1.23");
+    }
+
+    #[test]
+    fn infinity_is_not_finite() {
+        assert!(!Time::INFINITY.is_finite());
+        assert!(Time::ZERO.is_finite());
+    }
+}

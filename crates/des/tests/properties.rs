@@ -1,0 +1,253 @@
+//! Property-based tests for the DES kernel: fair-sharing invariants,
+//! workspace-reuse correctness, queue/model equivalence, and flow-level
+//! work conservation.
+
+use elastisim_des::fairshare::{solve, solve_with, Demand, Workspace};
+use elastisim_des::{ActivitySpec, EventQueue, Simulator, Time};
+use proptest::prelude::*;
+
+// ---------------------------------------------------------------------
+// Fair sharing
+// ---------------------------------------------------------------------
+
+#[derive(Debug, Clone)]
+struct Instance {
+    caps: Vec<f64>,
+    usages: Vec<Vec<(usize, f64)>>,
+    bounds: Vec<f64>,
+}
+
+fn arb_instance() -> impl Strategy<Value = Instance> {
+    (1usize..8, 1usize..16).prop_flat_map(|(nres, nact)| {
+        let caps = proptest::collection::vec(0.5f64..200.0, nres..=nres);
+        let usages = proptest::collection::vec(
+            proptest::collection::vec((0..nres, 0.25f64..4.0), 1..4),
+            nact..=nact,
+        );
+        let bounds = proptest::collection::vec(
+            prop_oneof![3 => Just(f64::INFINITY), 2 => 0.5f64..50.0],
+            nact..=nact,
+        );
+        (caps, usages, bounds).prop_map(|(caps, usages, bounds)| Instance {
+            caps,
+            usages,
+            bounds,
+        })
+    })
+}
+
+fn close(a: f64, b: f64) -> bool {
+    (a - b).abs() < 1e-7 * (1.0 + a.abs().max(b.abs()))
+}
+
+/// The max-min correctness oracle: feasible, bound-respecting, and every
+/// activity blocked by either its bound or a saturated resource.
+fn check(inst: &Instance, rates: &[f64]) -> Result<(), TestCaseError> {
+    let mut used = vec![0.0; inst.caps.len()];
+    for ((u, &b), &r) in inst.usages.iter().zip(&inst.bounds).zip(rates) {
+        prop_assert!(r >= 0.0);
+        prop_assert!(r <= b * (1.0 + 1e-9) || close(r, b), "rate {r} over bound {b}");
+        for &(j, w) in u {
+            used[j] += r * w;
+        }
+    }
+    for (j, (&u, &c)) in used.iter().zip(&inst.caps).enumerate() {
+        prop_assert!(u <= c * (1.0 + 1e-6) + 1e-9, "resource {j}: {u} > {c}");
+    }
+    for (i, ((u, &b), &r)) in inst.usages.iter().zip(&inst.bounds).zip(rates).enumerate() {
+        if close(r, b) {
+            continue;
+        }
+        let blocked = u.iter().any(|&(j, _)| close(used[j], inst.caps[j]));
+        prop_assert!(blocked, "activity {i} at {r} neither bounded nor blocked");
+    }
+    Ok(())
+}
+
+proptest! {
+    /// The solver always produces a feasible, non-wasteful allocation.
+    #[test]
+    fn solver_invariants(inst in arb_instance()) {
+        let demands: Vec<Demand> = inst
+            .usages
+            .iter()
+            .zip(&inst.bounds)
+            .map(|(u, &bound)| Demand { usages: u, bound })
+            .collect();
+        let rates = solve(&inst.caps, &demands);
+        check(&inst, &rates)?;
+    }
+
+    /// Reusing one workspace across many instances gives bit-identical
+    /// results to fresh solves — i.e. the end-of-solve cleanup is complete.
+    #[test]
+    fn workspace_reuse_equals_fresh(instances in proptest::collection::vec(arb_instance(), 1..6)) {
+        let mut ws = Workspace::new();
+        for inst in &instances {
+            let demands: Vec<Demand> = inst
+                .usages
+                .iter()
+                .zip(&inst.bounds)
+                .map(|(u, &bound)| Demand { usages: u, bound })
+                .collect();
+            let reused = solve_with(&mut ws, &inst.caps, &demands);
+            let fresh = solve(&inst.caps, &demands);
+            prop_assert_eq!(reused, fresh);
+        }
+    }
+
+    /// Scaling all capacities and bounds by k scales all rates by k.
+    #[test]
+    fn solver_is_scale_invariant(inst in arb_instance(), k in 0.5f64..8.0) {
+        let demands: Vec<Demand> = inst
+            .usages
+            .iter()
+            .zip(&inst.bounds)
+            .map(|(u, &bound)| Demand { usages: u, bound })
+            .collect();
+        let base = solve(&inst.caps, &demands);
+        let caps2: Vec<f64> = inst.caps.iter().map(|c| c * k).collect();
+        let bounds2: Vec<f64> = inst.bounds.iter().map(|b| b * k).collect();
+        let demands2: Vec<Demand> = inst
+            .usages
+            .iter()
+            .zip(&bounds2)
+            .map(|(u, &bound)| Demand { usages: u, bound })
+            .collect();
+        let scaled = solve(&caps2, &demands2);
+        for (a, b) in base.iter().zip(&scaled) {
+            if a.is_finite() {
+                prop_assert!(close(a * k, *b), "{a} * {k} != {b}");
+            } else {
+                prop_assert!(b.is_infinite());
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Event queue vs reference model
+// ---------------------------------------------------------------------
+
+proptest! {
+    /// The heap-backed queue pops in exactly the order a stable sort by
+    /// time would produce.
+    #[test]
+    fn queue_matches_model(times in proptest::collection::vec(0.0f64..1e6, 0..64)) {
+        let mut q = EventQueue::new();
+        for (i, &t) in times.iter().enumerate() {
+            q.push(Time::from_secs(t), i);
+        }
+        let mut model: Vec<(f64, usize)> =
+            times.iter().copied().enumerate().map(|(i, t)| (t, i)).collect();
+        model.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap().then(a.1.cmp(&b.1)));
+        for (t, i) in model {
+            let (qt, qi) = q.pop().expect("queue drained early");
+            prop_assert_eq!(qt, Time::from_secs(t));
+            prop_assert_eq!(qi, i);
+        }
+        prop_assert!(q.pop().is_none());
+    }
+
+    /// Cancelling an arbitrary subset removes exactly those entries.
+    #[test]
+    fn queue_cancellation(
+        times in proptest::collection::vec(0.0f64..1e3, 1..32),
+        cancel_mask in proptest::collection::vec(any::<bool>(), 1..32),
+    ) {
+        let mut q = EventQueue::new();
+        let ids: Vec<_> = times
+            .iter()
+            .enumerate()
+            .map(|(i, &t)| q.push(Time::from_secs(t), i))
+            .collect();
+        let mut kept = Vec::new();
+        for (i, id) in ids.iter().enumerate() {
+            if *cancel_mask.get(i).unwrap_or(&false) {
+                prop_assert!(q.cancel(*id));
+            } else {
+                kept.push(i);
+            }
+        }
+        let mut popped = Vec::new();
+        while let Some((_, i)) = q.pop() {
+            popped.push(i);
+        }
+        popped.sort_unstable();
+        kept.sort_unstable();
+        prop_assert_eq!(popped, kept);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Flow-level work conservation
+// ---------------------------------------------------------------------
+
+proptest! {
+    /// N sequentially independent activities on one resource finish at the
+    /// analytic completion times of processor sharing, regardless of
+    /// arrival pattern: total capacity × makespan == total work when the
+    /// resource never idles.
+    #[test]
+    fn work_conservation_single_resource(
+        works in proptest::collection::vec(1.0f64..1e4, 1..12),
+        cap in 1.0f64..100.0,
+    ) {
+        let mut sim: Simulator<usize> = Simulator::new();
+        let cpu = sim.add_resource(cap);
+        for (i, &w) in works.iter().enumerate() {
+            sim.start_activity(ActivitySpec::new(w, [cpu]), i);
+        }
+        let mut last = Time::ZERO;
+        let mut seen = 0;
+        while let Some((t, _)) = sim.step() {
+            prop_assert!(t >= last, "time went backward");
+            last = t;
+            seen += 1;
+        }
+        prop_assert_eq!(seen, works.len());
+        let total: f64 = works.iter().sum();
+        let expected = total / cap;
+        prop_assert!(
+            (last.as_secs() - expected).abs() < 1e-6 * expected,
+            "makespan {last} != {expected}"
+        );
+    }
+
+    /// With staggered arrivals the makespan is still total-work/capacity
+    /// provided no idle gap occurs (arrivals before previous completion).
+    #[test]
+    fn work_conservation_staggered(
+        works in proptest::collection::vec(10.0f64..1e3, 2..8),
+    ) {
+        let cap = 10.0;
+        let mut sim: Simulator<i64> = Simulator::new();
+        let cpu = sim.add_resource(cap);
+        // First activity starts now; the rest arrive at tiny offsets that
+        // are guaranteed to precede the earliest possible completion.
+        sim.start_activity(ActivitySpec::new(works[0], [cpu]), -1);
+        for (i, &w) in works.iter().enumerate().skip(1) {
+            sim.schedule_at(Time::from_secs(0.01 * i as f64), i as i64);
+            let _ = w;
+        }
+        let mut makespan = Time::ZERO;
+        let works2 = works.clone();
+        while let Some((t, e)) = sim.step() {
+            makespan = t;
+            if e >= 0 {
+                sim.start_activity(ActivitySpec::new(works2[e as usize], [cpu]), -1);
+            }
+        }
+        let total: f64 = works.iter().sum();
+        let lost: f64 = (1..works.len()).map(|i| 0.01 * i as f64).sum::<f64>() * 0.0;
+        let expected = total / cap + lost;
+        // The capacity idles only before each arrival: bounded by the last
+        // arrival offset.
+        let slack = 0.01 * (works.len() - 1) as f64;
+        prop_assert!(
+            makespan.as_secs() >= expected - 1e-9 && makespan.as_secs() <= expected + slack + 1e-9,
+            "makespan {makespan} outside [{expected}, {}]",
+            expected + slack
+        );
+    }
+}

@@ -1,0 +1,292 @@
+//! Abstract syntax tree of performance-model expressions.
+
+use std::fmt;
+
+/// Binary operators, in the usual arithmetic meaning. `^` is
+/// right-associative exponentiation.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum BinOp {
+    /// Addition.
+    Add,
+    /// Subtraction.
+    Sub,
+    /// Multiplication.
+    Mul,
+    /// Division.
+    Div,
+    /// Remainder (`%`).
+    Rem,
+    /// Exponentiation (`^`, right-associative).
+    Pow,
+}
+
+impl BinOp {
+    /// `(left, right)` binding power for the Pratt parser. A higher number
+    /// binds tighter; right > left encodes right-associativity.
+    pub(crate) fn binding_power(self) -> (u8, u8) {
+        match self {
+            BinOp::Add | BinOp::Sub => (1, 2),
+            BinOp::Mul | BinOp::Div | BinOp::Rem => (3, 4),
+            BinOp::Pow => (8, 7),
+        }
+    }
+
+    pub(crate) fn symbol(self) -> &'static str {
+        match self {
+            BinOp::Add => "+",
+            BinOp::Sub => "-",
+            BinOp::Mul => "*",
+            BinOp::Div => "/",
+            BinOp::Rem => "%",
+            BinOp::Pow => "^",
+        }
+    }
+}
+
+/// Unary operators.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum UnOp {
+    /// Arithmetic negation.
+    Neg,
+}
+
+/// Built-in functions. All operate on `f64` with IEEE semantics.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Func {
+    /// Two-argument minimum.
+    Min,
+    /// Two-argument maximum.
+    Max,
+    /// Base-2 logarithm.
+    Log2,
+    /// Base-10 logarithm.
+    Log10,
+    /// Natural logarithm.
+    Ln,
+    /// Natural exponential.
+    Exp,
+    /// Square root.
+    Sqrt,
+    /// Round up.
+    Ceil,
+    /// Round down.
+    Floor,
+    /// Round to nearest.
+    Round,
+    /// Absolute value.
+    Abs,
+}
+
+impl Func {
+    /// Function name as written in the source language.
+    pub fn name(self) -> &'static str {
+        match self {
+            Func::Min => "min",
+            Func::Max => "max",
+            Func::Log2 => "log2",
+            Func::Log10 => "log10",
+            Func::Ln => "ln",
+            Func::Exp => "exp",
+            Func::Sqrt => "sqrt",
+            Func::Ceil => "ceil",
+            Func::Floor => "floor",
+            Func::Round => "round",
+            Func::Abs => "abs",
+        }
+    }
+
+    /// Number of arguments the function expects.
+    pub fn arity(self) -> usize {
+        match self {
+            Func::Min | Func::Max => 2,
+            _ => 1,
+        }
+    }
+
+    pub(crate) fn from_name(name: &str) -> Option<Func> {
+        Some(match name {
+            "min" => Func::Min,
+            "max" => Func::Max,
+            "log2" => Func::Log2,
+            "log10" => Func::Log10,
+            "ln" => Func::Ln,
+            "exp" => Func::Exp,
+            "sqrt" => Func::Sqrt,
+            "ceil" => Func::Ceil,
+            "floor" => Func::Floor,
+            "round" => Func::Round,
+            "abs" => Func::Abs,
+            _ => return None,
+        })
+    }
+
+    /// Applies the function to evaluated arguments.
+    pub(crate) fn apply(self, args: &[f64]) -> f64 {
+        match self {
+            Func::Min => args[0].min(args[1]),
+            Func::Max => args[0].max(args[1]),
+            Func::Log2 => args[0].log2(),
+            Func::Log10 => args[0].log10(),
+            Func::Ln => args[0].ln(),
+            Func::Exp => args[0].exp(),
+            Func::Sqrt => args[0].sqrt(),
+            Func::Ceil => args[0].ceil(),
+            Func::Floor => args[0].floor(),
+            Func::Round => args[0].round(),
+            Func::Abs => args[0].abs(),
+        }
+    }
+}
+
+/// A parsed performance-model expression.
+#[derive(Clone, PartialEq, Debug)]
+pub enum Expr {
+    /// A literal number.
+    Num(f64),
+    /// A free variable, resolved against a [`crate::Context`] at
+    /// evaluation time.
+    Var(String),
+    /// Unary operation.
+    Unary(UnOp, Box<Expr>),
+    /// Binary operation.
+    Binary(BinOp, Box<Expr>, Box<Expr>),
+    /// Function call.
+    Call(Func, Vec<Expr>),
+}
+
+impl Expr {
+    /// Parses an expression from source text.
+    pub fn parse(src: &str) -> Result<Expr, crate::ParseError> {
+        crate::parser::parse(src)
+    }
+
+    /// A literal constant expression.
+    pub fn constant(v: f64) -> Expr {
+        Expr::Num(v)
+    }
+
+    /// A variable reference.
+    pub fn var(name: impl Into<String>) -> Expr {
+        Expr::Var(name.into())
+    }
+
+    /// All free variables, in first-occurrence order, deduplicated.
+    pub fn variables(&self) -> Vec<&str> {
+        let mut out = Vec::new();
+        self.collect_vars(&mut out);
+        out
+    }
+
+    fn collect_vars<'a>(&'a self, out: &mut Vec<&'a str>) {
+        match self {
+            Expr::Num(_) => {}
+            Expr::Var(name) => {
+                if !out.contains(&name.as_str()) {
+                    out.push(name);
+                }
+            }
+            Expr::Unary(_, e) => e.collect_vars(out),
+            Expr::Binary(_, l, r) => {
+                l.collect_vars(out);
+                r.collect_vars(out);
+            }
+            Expr::Call(_, args) => {
+                for a in args {
+                    a.collect_vars(out);
+                }
+            }
+        }
+    }
+
+    /// Whether the expression contains no free variables.
+    pub fn is_constant(&self) -> bool {
+        match self {
+            Expr::Num(_) => true,
+            Expr::Var(_) => false,
+            Expr::Unary(_, e) => e.is_constant(),
+            Expr::Binary(_, l, r) => l.is_constant() && r.is_constant(),
+            Expr::Call(_, args) => args.iter().all(Expr::is_constant),
+        }
+    }
+}
+
+impl fmt::Display for Expr {
+    /// Prints a fully parenthesized form that re-parses to the same AST.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Expr::Num(v) => {
+                if *v < 0.0 || v.is_nan() {
+                    // Negative literals only arise from folding; keep them
+                    // re-parseable.
+                    write!(f, "({v})")
+                } else {
+                    write!(f, "{v}")
+                }
+            }
+            Expr::Var(name) => write!(f, "{name}"),
+            Expr::Unary(UnOp::Neg, e) => write!(f, "(-{e})"),
+            Expr::Binary(op, l, r) => write!(f, "({l} {} {r})", op.symbol()),
+            Expr::Call(func, args) => {
+                write!(f, "{}(", func.name())?;
+                for (i, a) in args.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{a}")?;
+                }
+                write!(f, ")")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn variables_deduplicated_in_order() {
+        let e = Expr::parse("a + b * a + c").unwrap();
+        assert_eq!(e.variables(), vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn is_constant() {
+        assert!(Expr::parse("1 + 2 * 3").unwrap().is_constant());
+        assert!(!Expr::parse("1 + num_nodes").unwrap().is_constant());
+    }
+
+    #[test]
+    fn display_reparses() {
+        for src in [
+            "1 + 2 * 3",
+            "a ^ b ^ c",
+            "min(a, max(b, 3)) - -4",
+            "1e12 / num_nodes",
+        ] {
+            let e = Expr::parse(src).unwrap();
+            let round = Expr::parse(&e.to_string()).unwrap();
+            assert_eq!(e, round, "display round-trip failed for {src}");
+        }
+    }
+
+    #[test]
+    fn func_names_roundtrip() {
+        for f in [
+            Func::Min,
+            Func::Max,
+            Func::Log2,
+            Func::Log10,
+            Func::Ln,
+            Func::Exp,
+            Func::Sqrt,
+            Func::Ceil,
+            Func::Floor,
+            Func::Round,
+            Func::Abs,
+        ] {
+            assert_eq!(Func::from_name(f.name()), Some(f));
+        }
+        assert_eq!(Func::from_name("nope"), None);
+    }
+}

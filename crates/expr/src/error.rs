@@ -1,0 +1,50 @@
+//! Error types for parsing and evaluation.
+
+use std::fmt;
+
+/// A syntax error, with the byte offset where it was detected.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct ParseError {
+    /// Byte offset into the source text.
+    pub offset: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl ParseError {
+    pub(crate) fn new(offset: usize, message: impl Into<String>) -> Self {
+        ParseError {
+            offset,
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at offset {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// An evaluation error.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum EvalError {
+    /// A variable was not bound in the context.
+    UnknownVariable(String),
+    /// Evaluation produced NaN or infinity, which would poison simulated
+    /// work amounts.
+    NotFinite,
+}
+
+impl fmt::Display for EvalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EvalError::UnknownVariable(name) => write!(f, "unknown variable `{name}`"),
+            EvalError::NotFinite => write!(f, "expression evaluated to a non-finite value"),
+        }
+    }
+}
+
+impl std::error::Error for EvalError {}

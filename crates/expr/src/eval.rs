@@ -1,0 +1,167 @@
+//! Evaluation of expressions against a variable context.
+
+use std::collections::HashMap;
+
+use crate::ast::{BinOp, Expr, UnOp};
+use crate::error::EvalError;
+
+/// Variable bindings for evaluation.
+///
+/// The simulator binds the ElastiSim scheduling-time variables before each
+/// evaluation: `num_nodes`, `num_gpus_per_node`, `iteration`, `phase`, and
+/// any workload-specific parameters.
+#[derive(Clone, Debug, Default)]
+pub struct Context {
+    vars: HashMap<String, f64>,
+}
+
+impl Context {
+    /// An empty context.
+    pub fn new() -> Self {
+        Context::default()
+    }
+
+    /// Binds (or rebinds) a variable.
+    pub fn set(&mut self, name: impl Into<String>, value: f64) -> &mut Self {
+        self.vars.insert(name.into(), value);
+        self
+    }
+
+    /// Looks up a variable.
+    pub fn get(&self, name: &str) -> Option<f64> {
+        self.vars.get(name).copied()
+    }
+
+    /// Convenience constructor binding just `num_nodes`, the variable almost
+    /// every ElastiSim performance model uses.
+    pub fn with_num_nodes(n: usize) -> Self {
+        let mut ctx = Context::new();
+        ctx.set("num_nodes", n as f64);
+        ctx
+    }
+}
+
+impl Expr {
+    /// Evaluates the expression. Fails on unbound variables and on
+    /// non-finite results (a non-finite work amount would poison the flow
+    /// engine).
+    pub fn eval(&self, ctx: &Context) -> Result<f64, EvalError> {
+        let v = self.eval_raw(ctx)?;
+        if v.is_finite() {
+            Ok(v)
+        } else {
+            Err(EvalError::NotFinite)
+        }
+    }
+
+    /// Evaluates without the finiteness check (used internally by constant
+    /// folding, which must preserve IEEE semantics exactly).
+    pub(crate) fn eval_raw(&self, ctx: &Context) -> Result<f64, EvalError> {
+        Ok(match self {
+            Expr::Num(v) => *v,
+            Expr::Var(name) => ctx
+                .get(name)
+                .ok_or_else(|| EvalError::UnknownVariable(name.clone()))?,
+            Expr::Unary(UnOp::Neg, e) => -e.eval_raw(ctx)?,
+            Expr::Binary(op, l, r) => {
+                let a = l.eval_raw(ctx)?;
+                let b = r.eval_raw(ctx)?;
+                match op {
+                    BinOp::Add => a + b,
+                    BinOp::Sub => a - b,
+                    BinOp::Mul => a * b,
+                    BinOp::Div => a / b,
+                    BinOp::Rem => a % b,
+                    BinOp::Pow => a.powf(b),
+                }
+            }
+            Expr::Call(func, args) => {
+                let mut vals = [0.0f64; 2];
+                for (slot, a) in vals.iter_mut().zip(args) {
+                    *slot = a.eval_raw(ctx)?;
+                }
+                func.apply(&vals[..args.len()])
+            }
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn eval(src: &str, ctx: &Context) -> f64 {
+        Expr::parse(src).unwrap().eval(ctx).unwrap()
+    }
+
+    #[test]
+    fn arithmetic() {
+        let ctx = Context::new();
+        assert_eq!(eval("1 + 2 * 3", &ctx), 7.0);
+        assert_eq!(eval("10 / 4", &ctx), 2.5);
+        assert_eq!(eval("7 % 3", &ctx), 1.0);
+        assert_eq!(eval("2 ^ 10", &ctx), 1024.0);
+        assert_eq!(eval("-(3 + 4)", &ctx), -7.0);
+    }
+
+    #[test]
+    fn variables_resolve() {
+        let ctx = Context::with_num_nodes(16);
+        assert_eq!(eval("1e12 / num_nodes", &ctx), 1e12 / 16.0);
+    }
+
+    #[test]
+    fn unknown_variable_errors() {
+        let e = Expr::parse("x + 1").unwrap();
+        assert_eq!(
+            e.eval(&Context::new()),
+            Err(EvalError::UnknownVariable("x".into()))
+        );
+    }
+
+    #[test]
+    fn functions_evaluate() {
+        let ctx = Context::new();
+        assert_eq!(eval("min(3, 5)", &ctx), 3.0);
+        assert_eq!(eval("max(3, 5)", &ctx), 5.0);
+        assert_eq!(eval("log2(8)", &ctx), 3.0);
+        assert_eq!(eval("sqrt(16)", &ctx), 4.0);
+        assert_eq!(eval("ceil(1.2)", &ctx), 2.0);
+        assert_eq!(eval("floor(1.8)", &ctx), 1.0);
+        assert_eq!(eval("round(1.5)", &ctx), 2.0);
+        assert_eq!(eval("abs(-3)", &ctx), 3.0);
+        assert_eq!(eval("ln(exp(1))", &ctx), 1.0);
+        assert_eq!(eval("log10(1000)", &ctx), 3.0);
+    }
+
+    #[test]
+    fn division_by_zero_is_not_finite() {
+        let e = Expr::parse("1 / 0").unwrap();
+        assert_eq!(e.eval(&Context::new()), Err(EvalError::NotFinite));
+    }
+
+    #[test]
+    fn log_of_negative_is_not_finite() {
+        let e = Expr::parse("ln(0 - 5)").unwrap();
+        assert_eq!(e.eval(&Context::new()), Err(EvalError::NotFinite));
+    }
+
+    #[test]
+    fn rebinding_overwrites() {
+        let mut ctx = Context::new();
+        ctx.set("n", 1.0);
+        ctx.set("n", 2.0);
+        assert_eq!(eval("n", &ctx), 2.0);
+    }
+
+    #[test]
+    fn realistic_performance_model() {
+        // Strong-scaling compute with a log-shaped communication term.
+        let e = Expr::parse("1e12 / num_nodes + 2e8 * log2(num_nodes)").unwrap();
+        let at = |n: usize| e.eval(&Context::with_num_nodes(n)).unwrap();
+        assert!(at(1) > at(2));
+        assert!(at(2) > at(4));
+        // At very large n the log term dominates: not monotone forever.
+        assert!(at(4096) < at(1));
+    }
+}

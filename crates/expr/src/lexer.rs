@@ -1,0 +1,193 @@
+//! Tokenizer for the expression language.
+
+use crate::error::ParseError;
+
+#[derive(Clone, PartialEq, Debug)]
+pub(crate) enum Token {
+    Num(f64),
+    Ident(String),
+    Plus,
+    Minus,
+    Star,
+    Slash,
+    Percent,
+    Caret,
+    LParen,
+    RParen,
+    Comma,
+}
+
+/// A token plus the byte offset it started at (for error reporting).
+#[derive(Clone, PartialEq, Debug)]
+pub(crate) struct Spanned {
+    pub token: Token,
+    pub offset: usize,
+}
+
+/// Tokenizes the whole input.
+pub(crate) fn lex(src: &str) -> Result<Vec<Spanned>, ParseError> {
+    let bytes = src.as_bytes();
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i];
+        match c {
+            b' ' | b'\t' | b'\n' | b'\r' => {
+                i += 1;
+            }
+            b'+' => {
+                out.push(Spanned { token: Token::Plus, offset: i });
+                i += 1;
+            }
+            b'-' => {
+                out.push(Spanned { token: Token::Minus, offset: i });
+                i += 1;
+            }
+            b'*' => {
+                out.push(Spanned { token: Token::Star, offset: i });
+                i += 1;
+            }
+            b'/' => {
+                out.push(Spanned { token: Token::Slash, offset: i });
+                i += 1;
+            }
+            b'%' => {
+                out.push(Spanned { token: Token::Percent, offset: i });
+                i += 1;
+            }
+            b'^' => {
+                out.push(Spanned { token: Token::Caret, offset: i });
+                i += 1;
+            }
+            b'(' => {
+                out.push(Spanned { token: Token::LParen, offset: i });
+                i += 1;
+            }
+            b')' => {
+                out.push(Spanned { token: Token::RParen, offset: i });
+                i += 1;
+            }
+            b',' => {
+                out.push(Spanned { token: Token::Comma, offset: i });
+                i += 1;
+            }
+            b'0'..=b'9' | b'.' => {
+                let start = i;
+                i = scan_number(bytes, i);
+                let text = &src[start..i];
+                let value: f64 = text
+                    .parse()
+                    .map_err(|_| ParseError::new(start, format!("invalid number `{text}`")))?;
+                out.push(Spanned { token: Token::Num(value), offset: start });
+            }
+            b'a'..=b'z' | b'A'..=b'Z' | b'_' => {
+                let start = i;
+                while i < bytes.len()
+                    && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_')
+                {
+                    i += 1;
+                }
+                out.push(Spanned {
+                    token: Token::Ident(src[start..i].to_string()),
+                    offset: start,
+                });
+            }
+            other => {
+                return Err(ParseError::new(
+                    i,
+                    format!("unexpected character `{}`", other as char),
+                ));
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Scans a number: digits, optional fraction, optional exponent.
+fn scan_number(bytes: &[u8], mut i: usize) -> usize {
+    while i < bytes.len() && bytes[i].is_ascii_digit() {
+        i += 1;
+    }
+    if i < bytes.len() && bytes[i] == b'.' {
+        i += 1;
+        while i < bytes.len() && bytes[i].is_ascii_digit() {
+            i += 1;
+        }
+    }
+    if i < bytes.len() && (bytes[i] == b'e' || bytes[i] == b'E') {
+        let mut j = i + 1;
+        if j < bytes.len() && (bytes[j] == b'+' || bytes[j] == b'-') {
+            j += 1;
+        }
+        if j < bytes.len() && bytes[j].is_ascii_digit() {
+            i = j;
+            while i < bytes.len() && bytes[i].is_ascii_digit() {
+                i += 1;
+            }
+        }
+    }
+    i
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<Token> {
+        lex(src).unwrap().into_iter().map(|s| s.token).collect()
+    }
+
+    #[test]
+    fn lexes_operators_and_numbers() {
+        assert_eq!(
+            kinds("1+2*3"),
+            vec![
+                Token::Num(1.0),
+                Token::Plus,
+                Token::Num(2.0),
+                Token::Star,
+                Token::Num(3.0)
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_scientific_notation() {
+        assert_eq!(kinds("1e12"), vec![Token::Num(1e12)]);
+        assert_eq!(kinds("2.5E-3"), vec![Token::Num(2.5e-3)]);
+        assert_eq!(kinds(".5"), vec![Token::Num(0.5)]);
+    }
+
+    #[test]
+    fn exponent_without_digits_is_ident_suffix() {
+        // `2e` is the number 2 followed by identifier `e`; the parser will
+        // reject the juxtaposition, which is the desired strictness.
+        assert_eq!(kinds("2e"), vec![Token::Num(2.0), Token::Ident("e".into())]);
+    }
+
+    #[test]
+    fn lexes_identifiers() {
+        assert_eq!(
+            kinds("num_nodes * x2"),
+            vec![
+                Token::Ident("num_nodes".into()),
+                Token::Star,
+                Token::Ident("x2".into())
+            ]
+        );
+    }
+
+    #[test]
+    fn skips_whitespace_and_tracks_offsets() {
+        let toks = lex("  a +\n b").unwrap();
+        assert_eq!(toks[0].offset, 2);
+        assert_eq!(toks[1].offset, 4);
+        assert_eq!(toks[2].offset, 7);
+    }
+
+    #[test]
+    fn rejects_unknown_characters() {
+        let err = lex("1 $ 2").unwrap_err();
+        assert_eq!(err.offset, 2);
+    }
+}

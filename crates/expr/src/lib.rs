@@ -1,0 +1,37 @@
+#![warn(missing_docs)]
+
+//! # elastisim-expr — performance-model expression language
+//!
+//! ElastiSim job descriptions state task loads as *performance models*:
+//! arithmetic expressions over scheduling-time variables such as
+//! `num_nodes`, so the same application description yields the right amount
+//! of work after a malleable job is expanded or shrunk. Example from a
+//! stencil-like application:
+//!
+//! ```text
+//! 1e12 / num_nodes + 5e8 * log2(num_nodes)
+//! ```
+//!
+//! This crate provides the small language: a lexer, a Pratt parser, an AST
+//! evaluator with a variable [`Context`], and a constant-folding pass used
+//! by the evaluation-cost ablation bench.
+//!
+//! ```
+//! use elastisim_expr::{Expr, Context};
+//!
+//! let e = Expr::parse("1e12 / num_nodes + 5e8 * log2(num_nodes)").unwrap();
+//! let mut ctx = Context::new();
+//! ctx.set("num_nodes", 8.0);
+//! assert_eq!(e.eval(&ctx).unwrap(), 1e12 / 8.0 + 5e8 * 3.0);
+//! ```
+
+mod ast;
+mod error;
+mod eval;
+mod fold;
+mod lexer;
+mod parser;
+
+pub use ast::{BinOp, Expr, Func, UnOp};
+pub use error::{EvalError, ParseError};
+pub use eval::Context;

@@ -1,0 +1,227 @@
+//! Pratt (precedence-climbing) parser.
+
+use crate::ast::{BinOp, Expr, Func, UnOp};
+use crate::error::ParseError;
+use crate::lexer::{lex, Spanned, Token};
+
+pub(crate) fn parse(src: &str) -> Result<Expr, ParseError> {
+    let tokens = lex(src)?;
+    let mut p = Parser {
+        tokens,
+        pos: 0,
+        end: src.len(),
+    };
+    let expr = p.expr(0)?;
+    if let Some(tok) = p.peek() {
+        return Err(ParseError::new(
+            tok.offset,
+            format!("unexpected trailing token {:?}", tok.token),
+        ));
+    }
+    Ok(expr)
+}
+
+struct Parser {
+    tokens: Vec<Spanned>,
+    pos: usize,
+    end: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&Spanned> {
+        self.tokens.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<Spanned> {
+        let t = self.tokens.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn offset(&self) -> usize {
+        self.peek().map(|t| t.offset).unwrap_or(self.end)
+    }
+
+    fn expect(&mut self, want: &Token, what: &str) -> Result<(), ParseError> {
+        match self.next() {
+            Some(t) if t.token == *want => Ok(()),
+            Some(t) => Err(ParseError::new(t.offset, format!("expected {what}"))),
+            None => Err(ParseError::new(self.end, format!("expected {what}, found end"))),
+        }
+    }
+
+    /// Pratt loop: parse a prefix expression, then fold in binary operators
+    /// whose left binding power exceeds `min_bp`.
+    fn expr(&mut self, min_bp: u8) -> Result<Expr, ParseError> {
+        let mut lhs = self.prefix()?;
+        loop {
+            let op = match self.peek().map(|t| &t.token) {
+                Some(Token::Plus) => BinOp::Add,
+                Some(Token::Minus) => BinOp::Sub,
+                Some(Token::Star) => BinOp::Mul,
+                Some(Token::Slash) => BinOp::Div,
+                Some(Token::Percent) => BinOp::Rem,
+                Some(Token::Caret) => BinOp::Pow,
+                _ => break,
+            };
+            let (lbp, rbp) = op.binding_power();
+            if lbp < min_bp {
+                break;
+            }
+            self.next();
+            let rhs = self.expr(rbp)?;
+            lhs = Expr::Binary(op, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn prefix(&mut self) -> Result<Expr, ParseError> {
+        let tok = self
+            .next()
+            .ok_or_else(|| ParseError::new(self.end, "expected expression, found end"))?;
+        match tok.token {
+            Token::Num(v) => Ok(Expr::Num(v)),
+            Token::Minus => {
+                // Unary minus binds tighter than * but looser than ^, the
+                // conventional choice (-2^2 == -(2^2)).
+                let inner = self.expr(5)?;
+                Ok(Expr::Unary(UnOp::Neg, Box::new(inner)))
+            }
+            Token::LParen => {
+                let inner = self.expr(0)?;
+                self.expect(&Token::RParen, "closing `)`")?;
+                Ok(inner)
+            }
+            Token::Ident(name) => {
+                if matches!(self.peek().map(|t| &t.token), Some(Token::LParen)) {
+                    let func = Func::from_name(&name).ok_or_else(|| {
+                        ParseError::new(tok.offset, format!("unknown function `{name}`"))
+                    })?;
+                    self.next(); // consume `(`
+                    let mut args = Vec::new();
+                    if !matches!(self.peek().map(|t| &t.token), Some(Token::RParen)) {
+                        loop {
+                            args.push(self.expr(0)?);
+                            match self.peek().map(|t| &t.token) {
+                                Some(Token::Comma) => {
+                                    self.next();
+                                }
+                                _ => break,
+                            }
+                        }
+                    }
+                    let close = self.offset();
+                    self.expect(&Token::RParen, "closing `)` of call")?;
+                    if args.len() != func.arity() {
+                        return Err(ParseError::new(
+                            close,
+                            format!(
+                                "`{}` takes {} argument(s), got {}",
+                                func.name(),
+                                func.arity(),
+                                args.len()
+                            ),
+                        ));
+                    }
+                    Ok(Expr::Call(func, args))
+                } else {
+                    Ok(Expr::Var(name))
+                }
+            }
+            other => Err(ParseError::new(
+                tok.offset,
+                format!("unexpected token {other:?}"),
+            )),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(src: &str) -> Expr {
+        Expr::parse(src).unwrap()
+    }
+
+    #[test]
+    fn precedence_mul_over_add() {
+        assert_eq!(p("1 + 2 * 3"), p("1 + (2 * 3)"));
+        assert_ne!(p("1 + 2 * 3"), p("(1 + 2) * 3"));
+    }
+
+    #[test]
+    fn left_associative_sub() {
+        assert_eq!(p("10 - 4 - 3"), p("(10 - 4) - 3"));
+    }
+
+    #[test]
+    fn pow_right_associative_and_tight() {
+        assert_eq!(p("2 ^ 3 ^ 2"), p("2 ^ (3 ^ 2)"));
+        assert_eq!(p("2 * 3 ^ 2"), p("2 * (3 ^ 2)"));
+    }
+
+    #[test]
+    fn unary_minus() {
+        assert_eq!(p("-2 + 3"), p("(-2) + 3"));
+        assert_eq!(p("-2 ^ 2"), p("-(2 ^ 2)"));
+        assert_eq!(p("2 * -3"), p("2 * (-3)"));
+    }
+
+    #[test]
+    fn function_calls() {
+        assert_eq!(
+            p("min(1, 2)"),
+            Expr::Call(Func::Min, vec![Expr::Num(1.0), Expr::Num(2.0)])
+        );
+        assert_eq!(
+            p("log2(num_nodes)"),
+            Expr::Call(Func::Log2, vec![Expr::Var("num_nodes".into())])
+        );
+    }
+
+    #[test]
+    fn wrong_arity_rejected() {
+        assert!(Expr::parse("min(1)").is_err());
+        assert!(Expr::parse("sqrt(1, 2)").is_err());
+    }
+
+    #[test]
+    fn unknown_function_rejected() {
+        let err = Expr::parse("frobnicate(1)").unwrap_err();
+        assert!(err.message.contains("unknown function"));
+    }
+
+    #[test]
+    fn trailing_garbage_rejected() {
+        assert!(Expr::parse("1 + 2 )").is_err());
+        assert!(Expr::parse("1 2").is_err());
+    }
+
+    #[test]
+    fn unbalanced_parens_rejected() {
+        assert!(Expr::parse("(1 + 2").is_err());
+        assert!(Expr::parse("min(1, 2").is_err());
+    }
+
+    #[test]
+    fn empty_input_rejected() {
+        assert!(Expr::parse("").is_err());
+        assert!(Expr::parse("   ").is_err());
+    }
+
+    #[test]
+    fn deep_nesting_parses() {
+        let mut src = String::new();
+        for _ in 0..100 {
+            src.push('(');
+        }
+        src.push('1');
+        for _ in 0..100 {
+            src.push(')');
+        }
+        assert_eq!(p(&src), Expr::Num(1.0));
+    }
+}

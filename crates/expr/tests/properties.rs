@@ -1,0 +1,118 @@
+//! Property-based tests for the expression language.
+
+use elastisim_expr::{Context, Expr};
+use proptest::prelude::*;
+
+/// Strategy generating arbitrary well-formed expression ASTs over variables
+/// `a`, `b`, `c`.
+fn arb_expr() -> impl Strategy<Value = Expr> {
+    let leaf = prop_oneof![
+        (0.0f64..1e6).prop_map(Expr::constant),
+        prop_oneof![Just("a"), Just("b"), Just("c")].prop_map(Expr::var),
+    ];
+    leaf.prop_recursive(6, 64, 3, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(l, r)| Expr::Binary(
+                elastisim_expr::BinOp::Add,
+                Box::new(l),
+                Box::new(r)
+            )),
+            (inner.clone(), inner.clone()).prop_map(|(l, r)| Expr::Binary(
+                elastisim_expr::BinOp::Sub,
+                Box::new(l),
+                Box::new(r)
+            )),
+            (inner.clone(), inner.clone()).prop_map(|(l, r)| Expr::Binary(
+                elastisim_expr::BinOp::Mul,
+                Box::new(l),
+                Box::new(r)
+            )),
+            (inner.clone(), inner.clone()).prop_map(|(l, r)| Expr::Binary(
+                elastisim_expr::BinOp::Div,
+                Box::new(l),
+                Box::new(r)
+            )),
+            (inner.clone(), inner.clone()).prop_map(|(l, r)| Expr::Call(
+                elastisim_expr::Func::Min,
+                vec![l, r]
+            )),
+            (inner.clone(), inner.clone()).prop_map(|(l, r)| Expr::Call(
+                elastisim_expr::Func::Max,
+                vec![l, r]
+            )),
+            inner
+                .clone()
+                .prop_map(|e| Expr::Unary(elastisim_expr::UnOp::Neg, Box::new(e))),
+            inner.prop_map(|e| Expr::Call(elastisim_expr::Func::Abs, vec![e])),
+        ]
+    })
+}
+
+fn ctx(a: f64, b: f64, c: f64) -> Context {
+    let mut ctx = Context::new();
+    ctx.set("a", a).set("b", b).set("c", c);
+    ctx
+}
+
+proptest! {
+    /// Printing an AST and re-parsing it yields the identical AST.
+    #[test]
+    fn display_parse_roundtrip(e in arb_expr()) {
+        let printed = e.to_string();
+        let reparsed = Expr::parse(&printed)
+            .unwrap_or_else(|err| panic!("failed to reparse `{printed}`: {err}"));
+        prop_assert_eq!(e, reparsed);
+    }
+
+    /// Constant folding never changes the evaluated result (including error
+    /// cases collapsing to the same outcome).
+    #[test]
+    fn folding_preserves_semantics(
+        e in arb_expr(),
+        a in 1.0f64..100.0,
+        b in 1.0f64..100.0,
+        c in 1.0f64..100.0,
+    ) {
+        let folded = e.fold_constants();
+        let ctx = ctx(a, b, c);
+        match (e.eval(&ctx), folded.eval(&ctx)) {
+            (Ok(x), Ok(y)) => {
+                // Exact equality: folding runs the identical evaluator.
+                prop_assert!(
+                    x == y || (x.is_nan() && y.is_nan()),
+                    "fold changed value: {x} vs {y}"
+                );
+            }
+            (Err(_), Err(_)) => {}
+            (orig, folded_r) => {
+                prop_assert!(false, "fold changed outcome: {orig:?} vs {folded_r:?}");
+            }
+        }
+    }
+
+    /// `variables()` reports exactly the variables needed: binding them all
+    /// always suffices for evaluation to not report UnknownVariable.
+    #[test]
+    fn variables_is_sound(e in arb_expr()) {
+        let mut ctx = Context::new();
+        for v in e.variables() {
+            ctx.set(v, 2.0);
+        }
+        if let Err(elastisim_expr::EvalError::UnknownVariable(v)) = e.eval(&ctx) {
+            prop_assert!(false, "variable `{v}` missing from variables()");
+        }
+    }
+
+    /// Parser never panics on arbitrary input strings.
+    #[test]
+    fn parser_total_on_garbage(src in "[ -~]{0,64}") {
+        let _ = Expr::parse(&src);
+    }
+
+    /// Numeric literals round-trip through parse + eval.
+    #[test]
+    fn literal_roundtrip(v in 0.0f64..1e15) {
+        let e = Expr::parse(&format!("{v}")).unwrap();
+        prop_assert_eq!(e.eval(&Context::new()).unwrap(), v);
+    }
+}

@@ -1,0 +1,276 @@
+//! Instantiation of a [`PlatformSpec`] into flow-network resources.
+
+use elastisim_des::{ResourceId, Simulator};
+
+use crate::spec::{NodeId, PlatformSpec};
+
+/// Flow-resource handles of one instantiated node.
+#[derive(Clone, Debug)]
+pub struct NodeHandles {
+    /// The node's CPU throughput resource (flop/s).
+    pub cpu: ResourceId,
+    /// One resource per installed GPU (flop/s).
+    pub gpus: Vec<ResourceId>,
+    /// NIC injection path (bytes/s).
+    pub nic_up: ResourceId,
+    /// NIC ejection path (bytes/s).
+    pub nic_down: ResourceId,
+    /// Burst-buffer read/write resources, if the node has one.
+    pub bb_read: Option<ResourceId>,
+    /// See [`NodeHandles::bb_read`].
+    pub bb_write: Option<ResourceId>,
+}
+
+/// Up/down resources of one leaf switch's uplink to the spine.
+#[derive(Clone, Copy, Debug)]
+pub struct LeafHandles {
+    /// Leaf → spine direction.
+    pub up: ResourceId,
+    /// Spine → leaf direction.
+    pub down: ResourceId,
+}
+
+/// An instantiated platform: the spec plus the flow-network resources that
+/// realize it. All simulated work is expressed as demands on these handles.
+pub struct Platform {
+    spec: PlatformSpec,
+    nodes: Vec<NodeHandles>,
+    /// Leaf uplinks (empty for a flat star network).
+    leaves: Vec<LeafHandles>,
+    /// Switch/backbone (spine) resource (bytes/s).
+    pub backbone: ResourceId,
+    /// PFS read-server pool (bytes/s).
+    pub pfs_read: ResourceId,
+    /// PFS write-server pool (bytes/s).
+    pub pfs_write: ResourceId,
+}
+
+impl Platform {
+    /// Creates all resources for `spec` inside `sim`.
+    ///
+    /// The spec must be valid (`spec.validate()`); this is asserted.
+    pub fn instantiate<E>(spec: &PlatformSpec, sim: &mut Simulator<E>) -> Platform {
+        spec.validate().expect("instantiating an invalid platform");
+        let nodes = spec
+            .nodes
+            .iter()
+            .map(|n| NodeHandles {
+                cpu: sim.add_resource(n.flops),
+                gpus: n.gpus.iter().map(|g| sim.add_resource(g.flops)).collect(),
+                nic_up: sim.add_resource(n.nic_bw),
+                nic_down: sim.add_resource(n.nic_bw),
+                bb_read: n.burst_buffer.as_ref().map(|b| sim.add_resource(b.read_bw)),
+                bb_write: n.burst_buffer.as_ref().map(|b| sim.add_resource(b.write_bw)),
+            })
+            .collect();
+        let leaves = match spec.network.tree {
+            Some(tree) => {
+                let count = spec.nodes.len().div_ceil(tree.leaf_size as usize);
+                (0..count)
+                    .map(|_| LeafHandles {
+                        up: sim.add_resource(tree.uplink_bw),
+                        down: sim.add_resource(tree.uplink_bw),
+                    })
+                    .collect()
+            }
+            None => Vec::new(),
+        };
+        Platform {
+            spec: spec.clone(),
+            nodes,
+            leaves,
+            backbone: sim.add_resource(spec.network.backbone_bw),
+            pfs_read: sim.add_resource(spec.pfs.read_bw),
+            pfs_write: sim.add_resource(spec.pfs.write_bw),
+        }
+    }
+
+    /// The originating specification.
+    pub fn spec(&self) -> &PlatformSpec {
+        &self.spec
+    }
+
+    /// Number of nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// All node ids, in order.
+    pub fn node_ids(&self) -> impl Iterator<Item = NodeId> {
+        (0..self.nodes.len() as u32).map(NodeId)
+    }
+
+    /// Resource handles of one node.
+    pub fn node(&self, id: NodeId) -> &NodeHandles {
+        &self.nodes[id.index()]
+    }
+
+    /// One-way network latency, seconds.
+    pub fn latency(&self) -> f64 {
+        self.spec.network.latency
+    }
+
+    /// Nodes per leaf switch, if the network is a tree.
+    pub fn leaf_size(&self) -> Option<u32> {
+        self.spec.network.tree.map(|t| t.leaf_size)
+    }
+
+    /// The leaf index a node belongs to (0 for flat star networks).
+    pub fn leaf_of(&self, node: NodeId) -> usize {
+        match self.spec.network.tree {
+            Some(t) => node.index() / t.leaf_size as usize,
+            None => 0,
+        }
+    }
+
+    /// Leaf uplink handles, if the network is a tree.
+    pub fn leaf(&self, index: usize) -> Option<&LeafHandles> {
+        self.leaves.get(index)
+    }
+
+    /// The weighted resource usages of a unit flow from `src` to `dst`:
+    /// NICs always; leaf uplink/downlink and spine only when the flow
+    /// leaves its leaf (or always the spine on flat star networks).
+    pub fn path_usages(&self, src: NodeId, dst: NodeId) -> Vec<(ResourceId, f64)> {
+        let mut out = Vec::with_capacity(5);
+        out.push((self.nodes[src.index()].nic_up, 1.0));
+        if src != dst {
+            out.push((self.nodes[dst.index()].nic_down, 1.0));
+        }
+        match self.spec.network.tree {
+            Some(_) => {
+                let (sl, dl) = (self.leaf_of(src), self.leaf_of(dst));
+                if sl != dl {
+                    out.push((self.leaves[sl].up, 1.0));
+                    out.push((self.backbone, 1.0));
+                    out.push((self.leaves[dl].down, 1.0));
+                }
+            }
+            None => {
+                out.push((self.backbone, 1.0));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+/// Test helper: an activity of `work` bytes over the given weighted path.
+fn build_activity(
+    work: f64,
+    usages: Vec<(ResourceId, f64)>,
+) -> elastisim_des::ActivitySpec {
+    let mut spec = elastisim_des::ActivitySpec::new(work, []);
+    for (r, w) in usages {
+        spec = spec.with_usage(r, w);
+    }
+    spec
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::node::NodeSpec;
+    use elastisim_des::{ActivitySpec, Time};
+
+    #[test]
+    fn instantiation_creates_all_resources() {
+        let spec = PlatformSpec::homogeneous("t", 3, NodeSpec::default().with_gpus(2));
+        let mut sim: Simulator<u32> = Simulator::new();
+        let p = Platform::instantiate(&spec, &mut sim);
+        assert_eq!(p.num_nodes(), 3);
+        for id in p.node_ids() {
+            let n = p.node(id);
+            assert_eq!(n.gpus.len(), 2);
+            assert!(n.bb_read.is_some());
+            assert_eq!(sim.capacity(n.cpu), NodeSpec::default().flops);
+        }
+        assert_eq!(sim.capacity(p.pfs_read), spec.pfs.read_bw);
+    }
+
+    #[test]
+    fn compute_on_instantiated_node_finishes_at_expected_time() {
+        let spec = PlatformSpec::homogeneous("t", 1, NodeSpec::default().with_flops(1e12));
+        let mut sim: Simulator<&str> = Simulator::new();
+        let p = Platform::instantiate(&spec, &mut sim);
+        let cpu = p.node(NodeId(0)).cpu;
+        sim.start_activity(ActivitySpec::new(2e12, [cpu]), "done");
+        let (t, e) = sim.step().unwrap();
+        assert_eq!(e, "done");
+        assert_eq!(t, Time::from_secs(2.0));
+    }
+
+    #[test]
+    fn pfs_contention_halves_bandwidth() {
+        let spec = PlatformSpec::homogeneous("t", 2, NodeSpec::default());
+        let mut sim: Simulator<u32> = Simulator::new();
+        let p = Platform::instantiate(&spec, &mut sim);
+        let bw = spec.pfs.write_bw;
+        // Two writers of bw bytes each: alone 1 s, together 2 s.
+        sim.start_activity(ActivitySpec::new(bw, [p.pfs_write]), 1);
+        sim.start_activity(ActivitySpec::new(bw, [p.pfs_write]), 2);
+        let (t, _) = sim.step().unwrap();
+        assert_eq!(t, Time::from_secs(2.0));
+    }
+
+    #[test]
+    fn tree_platform_creates_leaf_resources() {
+        let mut spec = PlatformSpec::homogeneous("t", 8, NodeSpec::default());
+        spec.network = spec.network.with_tree(4, NodeSpec::default().nic_bw, 2.0);
+        let mut sim: Simulator<u32> = Simulator::new();
+        let p = Platform::instantiate(&spec, &mut sim);
+        assert_eq!(p.leaf_size(), Some(4));
+        assert_eq!(p.leaf_of(NodeId(0)), 0);
+        assert_eq!(p.leaf_of(NodeId(3)), 0);
+        assert_eq!(p.leaf_of(NodeId(4)), 1);
+        assert!(p.leaf(0).is_some() && p.leaf(1).is_some() && p.leaf(2).is_none());
+    }
+
+    #[test]
+    fn path_usages_star_vs_tree() {
+        // Star: src nic_up + dst nic_down + backbone.
+        let spec = PlatformSpec::homogeneous("s", 4, NodeSpec::default());
+        let mut sim: Simulator<u32> = Simulator::new();
+        let p = Platform::instantiate(&spec, &mut sim);
+        assert_eq!(p.path_usages(NodeId(0), NodeId(1)).len(), 3);
+        assert_eq!(p.path_usages(NodeId(0), NodeId(0)).len(), 2);
+
+        // Tree: intra-leaf flows skip uplinks and spine entirely.
+        let mut spec = PlatformSpec::homogeneous("t", 8, NodeSpec::default());
+        spec.network = spec.network.with_tree(4, NodeSpec::default().nic_bw, 2.0);
+        let mut sim: Simulator<u32> = Simulator::new();
+        let p = Platform::instantiate(&spec, &mut sim);
+        assert_eq!(p.path_usages(NodeId(0), NodeId(1)).len(), 2, "intra-leaf");
+        assert_eq!(p.path_usages(NodeId(0), NodeId(4)).len(), 5, "cross-leaf");
+    }
+
+    #[test]
+    fn cross_leaf_flow_is_uplink_limited() {
+        let nic = NodeSpec::default().nic_bw;
+        let mut spec = PlatformSpec::homogeneous("t", 8, NodeSpec::default());
+        spec.network = spec.network.with_tree(4, nic, 4.0); // uplink = nic
+        let mut sim: Simulator<u32> = Simulator::new();
+        let p = Platform::instantiate(&spec, &mut sim);
+        // Two cross-leaf flows share the one uplink: each at uplink/2.
+        for (i, pair) in [(NodeId(0), NodeId(4)), (NodeId(1), NodeId(5))].iter().enumerate() {
+            let spec_a = build_activity(nic, p.path_usages(pair.0, pair.1));
+            sim.start_activity(spec_a, i as u32);
+        }
+        let (t, _) = sim.step().unwrap();
+        // uplink = nic, two flows → rate nic/2 → nic bytes take 2 s.
+        assert!((t.as_secs() - 2.0).abs() < 1e-9, "got {t}");
+    }
+
+    #[test]
+    #[should_panic]
+    fn invalid_spec_panics_on_instantiate() {
+        let spec = PlatformSpec {
+            name: "x".into(),
+            nodes: vec![],
+            network: crate::network::NetworkSpec::default(),
+            pfs: crate::storage::PfsSpec::default(),
+        };
+        let mut sim: Simulator<u32> = Simulator::new();
+        let _ = Platform::instantiate(&spec, &mut sim);
+    }
+}

@@ -1,0 +1,40 @@
+#![warn(missing_docs)]
+
+//! # elastisim-platform — cluster hardware model
+//!
+//! Describes the simulated machine the batch system schedules onto:
+//! compute nodes (CPU speed, optional GPUs, NICs, optional node-local burst
+//! buffer), a star network with a finite backbone, and a parallel file
+//! system (PFS) with shared read/write servers.
+//!
+//! The crate has two halves:
+//!
+//! * **Specification** ([`PlatformSpec`] and friends) — plain serde-able
+//!   data, built by hand, with [`PlatformSpec::homogeneous`], or loaded from
+//!   JSON (the original ElastiSim also consumes JSON platform files).
+//! * **Instantiation** ([`Platform`]) — the spec realized as resources
+//!   inside a flow-level simulator; all later work (compute kernels,
+//!   message flows, I/O streams) places demands on these resources.
+//!
+//! ```
+//! use elastisim_des::Simulator;
+//! use elastisim_platform::{NodeSpec, PlatformSpec, Platform};
+//!
+//! let spec = PlatformSpec::homogeneous("demo", 4, NodeSpec::default());
+//! let mut sim: Simulator<u32> = Simulator::new();
+//! let platform = Platform::instantiate(&spec, &mut sim);
+//! assert_eq!(platform.num_nodes(), 4);
+//! ```
+
+mod build;
+mod network;
+mod node;
+mod spec;
+mod storage;
+
+pub use build::{LeafHandles, NodeHandles, Platform};
+pub use network::TreeSpec;
+pub use network::NetworkSpec;
+pub use node::{BurstBufferSpec, GpuSpec, NodeSpec};
+pub use spec::{NodeId, PlatformError, PlatformSpec};
+pub use storage::PfsSpec;

@@ -1,0 +1,129 @@
+//! Interconnect specification.
+
+use serde::{Deserialize, Serialize};
+
+/// Two-level tree extension of the star interconnect: nodes are grouped
+/// into *leaves* (rack/leaf-switch domains) of `leaf_size` nodes; traffic
+/// within a leaf only crosses the NICs (leaf switches are non-blocking),
+/// while traffic between leaves additionally crosses the source leaf's
+/// uplink, the spine (backbone), and the destination leaf's downlink.
+///
+/// With `uplink_bw < leaf_size × nic_bw` the tree is oversubscribed and
+/// allocation *locality* matters — the effect experiment R-F8 measures.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct TreeSpec {
+    /// Nodes per leaf switch.
+    pub leaf_size: u32,
+    /// Up- and downlink bandwidth of each leaf switch, bytes/s.
+    pub uplink_bw: f64,
+}
+
+/// Interconnect: a star by default (every NIC into one backbone — the
+/// standard flow-level reduction of a non-blocking fabric), optionally
+/// refined into a two-level [`TreeSpec`]. A flow between two nodes uses
+/// sender NIC up → (leaf uplink → backbone → leaf downlink, if crossing
+/// leaves) → receiver NIC down.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct NetworkSpec {
+    /// Aggregate switch/spine capacity, bytes/s.
+    pub backbone_bw: f64,
+    /// One-way latency applied per message, seconds.
+    pub latency: f64,
+    /// Optional two-level tree refinement (`None` = flat star).
+    #[serde(default)]
+    pub tree: Option<TreeSpec>,
+}
+
+impl Default for NetworkSpec {
+    fn default() -> Self {
+        NetworkSpec {
+            backbone_bw: 400e9, // 400 GB/s aggregate
+            latency: 2e-6,      // 2 µs
+            tree: None,
+        }
+    }
+}
+
+impl NetworkSpec {
+    /// A non-blocking network for the given node count: backbone sized so
+    /// every NIC can inject at full rate simultaneously.
+    pub fn non_blocking(nodes: usize, nic_bw: f64) -> Self {
+        NetworkSpec {
+            backbone_bw: nic_bw * nodes as f64,
+            latency: 2e-6,
+            tree: None,
+        }
+    }
+
+    /// Oversubscribed network: backbone is `1/factor` of aggregate NIC
+    /// bandwidth (factor 2 = 2:1 oversubscription).
+    pub fn oversubscribed(nodes: usize, nic_bw: f64, factor: f64) -> Self {
+        assert!(factor >= 1.0);
+        NetworkSpec {
+            backbone_bw: nic_bw * nodes as f64 / factor,
+            latency: 2e-6,
+            tree: None,
+        }
+    }
+
+    /// Refines this network into a two-level tree: leaves of `leaf_size`
+    /// nodes, each with an uplink oversubscribed by `factor` relative to
+    /// the leaf's aggregate NIC bandwidth.
+    pub fn with_tree(mut self, leaf_size: u32, nic_bw: f64, factor: f64) -> Self {
+        assert!(leaf_size >= 1);
+        assert!(factor >= 1.0);
+        self.tree = Some(TreeSpec {
+            leaf_size,
+            uplink_bw: nic_bw * leaf_size as f64 / factor,
+        });
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn non_blocking_matches_aggregate() {
+        let n = NetworkSpec::non_blocking(128, 12.5e9);
+        assert_eq!(n.backbone_bw, 128.0 * 12.5e9);
+    }
+
+    #[test]
+    fn oversubscription_divides() {
+        let n = NetworkSpec::oversubscribed(128, 12.5e9, 4.0);
+        assert_eq!(n.backbone_bw, 128.0 * 12.5e9 / 4.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn undersubscription_rejected() {
+        NetworkSpec::oversubscribed(4, 1e9, 0.5);
+    }
+
+    #[test]
+    fn tree_refinement_sizes_uplinks() {
+        let n = NetworkSpec::non_blocking(64, 10e9).with_tree(16, 10e9, 4.0);
+        let tree = n.tree.unwrap();
+        assert_eq!(tree.leaf_size, 16);
+        assert_eq!(tree.uplink_bw, 16.0 * 10e9 / 4.0);
+    }
+
+    #[test]
+    fn default_is_flat_star() {
+        assert!(NetworkSpec::default().tree.is_none());
+    }
+
+    #[test]
+    fn tree_serde_roundtrip_and_star_compat() {
+        let n = NetworkSpec::non_blocking(8, 1e9).with_tree(4, 1e9, 2.0);
+        let json = serde_json::to_string(&n).unwrap();
+        let back: NetworkSpec = serde_json::from_str(&json).unwrap();
+        assert_eq!(n, back);
+        // Old star-only JSON (no `tree` field) still deserializes.
+        let old = r#"{"backbone_bw":1e9,"latency":1e-6}"#;
+        let star: NetworkSpec = serde_json::from_str(old).unwrap();
+        assert!(star.tree.is_none());
+    }
+}

@@ -1,0 +1,136 @@
+//! Compute-node specification.
+
+use serde::{Deserialize, Serialize};
+
+/// One accelerator inside a node.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct GpuSpec {
+    /// Peak throughput, flop/s.
+    pub flops: f64,
+}
+
+impl Default for GpuSpec {
+    fn default() -> Self {
+        // A modest data-center accelerator: 10 Tflop/s sustained.
+        GpuSpec { flops: 10e12 }
+    }
+}
+
+/// Node-local burst buffer (NVMe tier) specification.
+///
+/// ElastiSim models two I/O paths: the shared PFS and node-local "wide"
+/// burst buffers that scale with the allocation. Capacity is tracked but
+/// not enforced by the flow model; bandwidths feed the flow resources.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct BurstBufferSpec {
+    /// Usable capacity, bytes.
+    pub capacity: f64,
+    /// Sequential read bandwidth, bytes/s.
+    pub read_bw: f64,
+    /// Sequential write bandwidth, bytes/s.
+    pub write_bw: f64,
+}
+
+impl Default for BurstBufferSpec {
+    fn default() -> Self {
+        BurstBufferSpec {
+            capacity: 1.6e12,  // 1.6 TB NVMe
+            read_bw: 6.0e9,    // 6 GB/s
+            write_bw: 3.0e9,   // 3 GB/s
+        }
+    }
+}
+
+/// One compute node.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct NodeSpec {
+    /// Aggregate CPU throughput of the node, flop/s. ElastiSim (like
+    /// SimGrid hosts) models node-level speed; per-core decomposition is
+    /// folded into this number.
+    pub flops: f64,
+    /// Number of cores (used for reporting and per-core sharing weights).
+    pub cores: u32,
+    /// Accelerators installed in the node.
+    #[serde(default)]
+    pub gpus: Vec<GpuSpec>,
+    /// Injection/ejection bandwidth of the node's NIC, bytes/s.
+    pub nic_bw: f64,
+    /// Optional node-local burst buffer.
+    #[serde(default)]
+    pub burst_buffer: Option<BurstBufferSpec>,
+}
+
+impl Default for NodeSpec {
+    fn default() -> Self {
+        // A plausible mid-2020s HPC node: 48 cores at ~40 Gflop/s each,
+        // a 100 Gbit/s NIC, and a burst buffer.
+        NodeSpec {
+            flops: 2.0e12,
+            cores: 48,
+            gpus: Vec::new(),
+            nic_bw: 12.5e9,
+            burst_buffer: Some(BurstBufferSpec::default()),
+        }
+    }
+}
+
+impl NodeSpec {
+    /// A node with `n` default GPUs attached.
+    pub fn with_gpus(mut self, n: usize) -> Self {
+        self.gpus = vec![GpuSpec::default(); n];
+        self
+    }
+
+    /// Removes the burst buffer (forces all I/O through the PFS).
+    pub fn without_burst_buffer(mut self) -> Self {
+        self.burst_buffer = None;
+        self
+    }
+
+    /// Overrides the CPU throughput.
+    pub fn with_flops(mut self, flops: f64) -> Self {
+        self.flops = flops;
+        self
+    }
+
+    /// Overrides the NIC bandwidth.
+    pub fn with_nic_bw(mut self, bw: f64) -> Self {
+        self.nic_bw = bw;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_node_is_sane() {
+        let n = NodeSpec::default();
+        assert!(n.flops > 0.0);
+        assert!(n.cores > 0);
+        assert!(n.nic_bw > 0.0);
+        assert!(n.burst_buffer.is_some());
+    }
+
+    #[test]
+    fn builders_compose() {
+        let n = NodeSpec::default()
+            .with_gpus(4)
+            .without_burst_buffer()
+            .with_flops(1e12)
+            .with_nic_bw(25e9);
+        assert_eq!(n.gpus.len(), 4);
+        assert!(n.burst_buffer.is_none());
+        assert_eq!(n.flops, 1e12);
+        assert_eq!(n.nic_bw, 25e9);
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let n = NodeSpec::default().with_gpus(2);
+        let json = serde_json::to_string(&n).unwrap();
+        let back: NodeSpec = serde_json::from_str(&json).unwrap();
+        assert_eq!(n, back);
+    }
+}

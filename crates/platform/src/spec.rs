@@ -1,0 +1,244 @@
+//! Whole-platform specification, validation, and JSON I/O.
+
+use serde::{Deserialize, Serialize};
+
+use crate::network::NetworkSpec;
+use crate::node::NodeSpec;
+use crate::storage::PfsSpec;
+
+/// Index of a node within its platform. Node ids are dense `0..num_nodes`.
+#[derive(
+    Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug, Serialize, Deserialize,
+)]
+pub struct NodeId(pub u32);
+
+impl NodeId {
+    /// The dense index of this node.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl std::fmt::Display for NodeId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "node{}", self.0)
+    }
+}
+
+/// Errors from platform validation or JSON decoding.
+#[derive(Debug)]
+pub enum PlatformError {
+    /// The spec violates a structural rule; the string names it.
+    Invalid(String),
+    /// JSON decoding failed.
+    Json(serde_json::Error),
+}
+
+impl std::fmt::Display for PlatformError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PlatformError::Invalid(msg) => write!(f, "invalid platform: {msg}"),
+            PlatformError::Json(e) => write!(f, "platform JSON error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for PlatformError {}
+
+/// Complete machine description.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct PlatformSpec {
+    /// Human-readable platform name (appears in traces and reports).
+    pub name: String,
+    /// All compute nodes. Heterogeneous platforms list differing specs.
+    pub nodes: Vec<NodeSpec>,
+    /// Interconnect.
+    pub network: NetworkSpec,
+    /// Shared parallel file system.
+    pub pfs: PfsSpec,
+}
+
+impl PlatformSpec {
+    /// A platform of `n` identical nodes with a non-blocking network sized
+    /// to match and a default PFS.
+    pub fn homogeneous(name: impl Into<String>, n: usize, node: NodeSpec) -> Self {
+        let network = NetworkSpec::non_blocking(n, node.nic_bw);
+        PlatformSpec {
+            name: name.into(),
+            nodes: vec![node; n],
+            network,
+            pfs: PfsSpec::default(),
+        }
+    }
+
+    /// The 128-node reference cluster used by the reproduced experiments
+    /// (R-T1 in DESIGN.md).
+    pub fn icpp_reference() -> Self {
+        PlatformSpec::homogeneous("icpp-reference", 128, NodeSpec::default())
+    }
+
+    /// Number of nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Iterator over valid node ids.
+    pub fn node_ids(&self) -> impl Iterator<Item = NodeId> {
+        (0..self.nodes.len() as u32).map(NodeId)
+    }
+
+    /// Structural validation: all capacities positive, at least one node.
+    #[allow(clippy::neg_cmp_op_on_partial_ord)] // `!(x > 0)` also rejects NaN
+    pub fn validate(&self) -> Result<(), PlatformError> {
+        if self.nodes.is_empty() {
+            return Err(PlatformError::Invalid("platform has no nodes".into()));
+        }
+        for (i, n) in self.nodes.iter().enumerate() {
+            if !(n.flops > 0.0) {
+                return Err(PlatformError::Invalid(format!(
+                    "node {i}: flops must be positive"
+                )));
+            }
+            if n.cores == 0 {
+                return Err(PlatformError::Invalid(format!("node {i}: zero cores")));
+            }
+            if !(n.nic_bw > 0.0) {
+                return Err(PlatformError::Invalid(format!(
+                    "node {i}: nic_bw must be positive"
+                )));
+            }
+            for (g, gpu) in n.gpus.iter().enumerate() {
+                if !(gpu.flops > 0.0) {
+                    return Err(PlatformError::Invalid(format!(
+                        "node {i} gpu {g}: flops must be positive"
+                    )));
+                }
+            }
+            if let Some(bb) = &n.burst_buffer {
+                if !(bb.read_bw > 0.0 && bb.write_bw > 0.0 && bb.capacity > 0.0) {
+                    return Err(PlatformError::Invalid(format!(
+                        "node {i}: burst buffer parameters must be positive"
+                    )));
+                }
+            }
+        }
+        if !(self.network.backbone_bw > 0.0) {
+            return Err(PlatformError::Invalid("backbone_bw must be positive".into()));
+        }
+        if self.network.latency < 0.0 {
+            return Err(PlatformError::Invalid("latency must be non-negative".into()));
+        }
+        if let Some(tree) = self.network.tree {
+            if tree.leaf_size == 0 {
+                return Err(PlatformError::Invalid("tree leaf_size must be ≥ 1".into()));
+            }
+            if !(tree.uplink_bw > 0.0) {
+                return Err(PlatformError::Invalid(
+                    "tree uplink_bw must be positive".into(),
+                ));
+            }
+        }
+        if !(self.pfs.read_bw > 0.0 && self.pfs.write_bw > 0.0) {
+            return Err(PlatformError::Invalid("PFS bandwidths must be positive".into()));
+        }
+        Ok(())
+    }
+
+    /// Serializes to pretty JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("platform spec serializes")
+    }
+
+    /// Parses and validates a JSON platform file.
+    pub fn from_json(json: &str) -> Result<Self, PlatformError> {
+        let spec: PlatformSpec = serde_json::from_str(json).map_err(PlatformError::Json)?;
+        spec.validate()?;
+        Ok(spec)
+    }
+
+    /// Aggregate compute capacity of the machine, flop/s.
+    pub fn total_flops(&self) -> f64 {
+        self.nodes
+            .iter()
+            .map(|n| n.flops + n.gpus.iter().map(|g| g.flops).sum::<f64>())
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn homogeneous_builds_consistent_spec() {
+        let p = PlatformSpec::homogeneous("t", 16, NodeSpec::default());
+        assert_eq!(p.num_nodes(), 16);
+        assert!(p.validate().is_ok());
+        assert_eq!(p.network.backbone_bw, 16.0 * NodeSpec::default().nic_bw);
+    }
+
+    #[test]
+    fn icpp_reference_is_valid_128_nodes() {
+        let p = PlatformSpec::icpp_reference();
+        assert_eq!(p.num_nodes(), 128);
+        assert!(p.validate().is_ok());
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let p = PlatformSpec::homogeneous("rt", 4, NodeSpec::default().with_gpus(2));
+        let back = PlatformSpec::from_json(&p.to_json()).unwrap();
+        assert_eq!(p, back);
+    }
+
+    #[test]
+    fn empty_platform_invalid() {
+        let p = PlatformSpec {
+            name: "x".into(),
+            nodes: vec![],
+            network: NetworkSpec::default(),
+            pfs: PfsSpec::default(),
+        };
+        assert!(p.validate().is_err());
+    }
+
+    #[test]
+    fn bad_node_rejected() {
+        let mut p = PlatformSpec::homogeneous("x", 2, NodeSpec::default());
+        p.nodes[1].flops = 0.0;
+        let err = p.validate().unwrap_err();
+        assert!(err.to_string().contains("node 1"));
+    }
+
+    #[test]
+    fn bad_json_reports_error() {
+        assert!(PlatformSpec::from_json("{not json").is_err());
+    }
+
+    #[test]
+    fn invalid_json_platform_rejected_on_load() {
+        let p = PlatformSpec {
+            name: "x".into(),
+            nodes: vec![],
+            network: NetworkSpec::default(),
+            pfs: PfsSpec::default(),
+        };
+        let json = serde_json::to_string(&p).unwrap();
+        assert!(PlatformSpec::from_json(&json).is_err());
+    }
+
+    #[test]
+    fn total_flops_includes_gpus() {
+        let node = NodeSpec::default().with_flops(1e12).with_gpus(2);
+        let p = PlatformSpec::homogeneous("x", 3, node);
+        assert_eq!(p.total_flops(), 3.0 * (1e12 + 2.0 * 10e12));
+    }
+
+    #[test]
+    fn node_id_display_and_index() {
+        let id = NodeId(5);
+        assert_eq!(id.to_string(), "node5");
+        assert_eq!(id.index(), 5);
+    }
+}

@@ -1,0 +1,43 @@
+//! Parallel-file-system specification.
+
+use serde::{Deserialize, Serialize};
+
+/// The shared parallel file system. Reads and writes are served by separate
+/// server pools (as in Lustre OST read/write paths), so a read-heavy job
+/// does not slow a write-heavy checkpoint directly; both still contend with
+/// their own kind across all jobs — the effect the I/O experiments measure.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct PfsSpec {
+    /// Aggregate read bandwidth, bytes/s.
+    pub read_bw: f64,
+    /// Aggregate write bandwidth, bytes/s.
+    pub write_bw: f64,
+}
+
+impl Default for PfsSpec {
+    fn default() -> Self {
+        PfsSpec {
+            read_bw: 80e9,  // 80 GB/s
+            write_bw: 50e9, // 50 GB/s
+        }
+    }
+}
+
+impl PfsSpec {
+    /// Symmetric PFS with the same bandwidth both ways.
+    pub fn symmetric(bw: f64) -> Self {
+        PfsSpec { read_bw: bw, write_bw: bw }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn symmetric_sets_both() {
+        let p = PfsSpec::symmetric(10e9);
+        assert_eq!(p.read_bw, 10e9);
+        assert_eq!(p.write_bw, 10e9);
+    }
+}

@@ -1,0 +1,369 @@
+//! EASY backfilling — the standard rigid-scheduling baseline.
+
+use crate::api::{Decision, Invocation, Scheduler, SystemView};
+use crate::node_selection::NodeSet;
+
+/// EASY (Extensible Argonne Scheduling sYstem) backfilling:
+///
+/// 1. Start queued jobs strictly FCFS until the head job does not fit.
+/// 2. Give the head job a *reservation*: the earliest time enough nodes
+///    will be free, assuming running jobs end at their walltime estimates.
+/// 3. *Backfill* later queued jobs iff starting them now cannot delay the
+///    reservation — they end before it, or they use only nodes the head
+///    job will not need.
+///
+/// Jobs without walltime estimates never end (conservatively infinite), so
+/// they can only backfill into the spare-node budget.
+#[derive(Default, Debug, Clone)]
+pub struct EasyBackfilling {
+    sizing: SizingPolicy,
+}
+
+/// How to size allocations for jobs whose node count the scheduler picks
+/// (moldable, malleable).
+#[derive(Default, Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SizingPolicy {
+    /// As many nodes as available, up to the job's maximum. Maximizes each
+    /// job's speed but starves the queue behind it.
+    #[default]
+    Greedy,
+    /// An equal share of the free nodes among the waiting jobs (clamped to
+    /// the job's range). Leaves room for the rest of the queue; under
+    /// elastic scheduling the expand-to-fill pass grows jobs later anyway.
+    EqualShare,
+}
+
+impl SizingPolicy {
+    /// The allocation size to start `job` with, given `free` available
+    /// nodes and `waiting` jobs still queued (including this one); `None`
+    /// if the job cannot start.
+    pub fn start_size(
+        self,
+        job: &crate::api::JobView,
+        free: usize,
+        waiting: usize,
+    ) -> Option<usize> {
+        if let Some(fixed) = job.fixed_start {
+            return (free >= fixed as usize).then_some(fixed as usize);
+        }
+        if free < job.min_nodes as usize {
+            return None;
+        }
+        let target = match self {
+            SizingPolicy::Greedy => job.max_nodes as usize,
+            SizingPolicy::EqualShare => free / waiting.max(1),
+        };
+        Some(
+            target
+                .clamp(job.min_nodes as usize, job.max_nodes as usize)
+                .min(free),
+        )
+    }
+}
+
+impl EasyBackfilling {
+    /// Creates the scheduler with greedy sizing.
+    pub fn new() -> Self {
+        EasyBackfilling::default()
+    }
+
+    /// Creates the scheduler with an explicit sizing policy.
+    pub fn with_sizing(sizing: SizingPolicy) -> Self {
+        EasyBackfilling { sizing }
+    }
+}
+
+/// A running allocation as the reservation computation sees it.
+struct RunningAlloc {
+    end_estimate: f64,
+    nodes: usize,
+}
+
+impl Scheduler for EasyBackfilling {
+    fn name(&self) -> &'static str {
+        "easy-backfilling"
+    }
+
+    fn schedule(&mut self, view: &SystemView, _why: Invocation) -> Vec<Decision> {
+        let mut free = NodeSet::new(&view.free_nodes);
+        let mut out = Vec::new();
+
+        // Allocations occupying nodes: running jobs plus starts we issue
+        // below (their sizes matter for the reservation).
+        let mut allocs: Vec<RunningAlloc> = view
+            .running()
+            .filter_map(|j| {
+                j.run_info().map(|info| RunningAlloc {
+                    end_estimate: j
+                        .walltime
+                        .map(|w| info.start_time + w)
+                        .unwrap_or(f64::INFINITY),
+                    nodes: info.nodes.len(),
+                })
+            })
+            .collect();
+
+        let queue = view.queue();
+        let mut head_index = None;
+        for (qi, job) in queue.iter().enumerate() {
+            let waiting = queue.len() - qi;
+            match self.sizing.start_size(job, free.available(), waiting) {
+                Some(size) => {
+                    let nodes = free.take(size).expect("checked");
+                    allocs.push(RunningAlloc {
+                        end_estimate: job
+                            .walltime
+                            .map(|w| view.now + w)
+                            .unwrap_or(f64::INFINITY),
+                        nodes: size,
+                    });
+                    out.push(Decision::Start { job: job.id, nodes });
+                }
+                None => {
+                    head_index = Some(qi);
+                    break;
+                }
+            }
+        }
+
+        let Some(head_index) = head_index else {
+            return out; // whole queue started
+        };
+        let head = queue[head_index];
+
+        // Reservation for the head: walk allocations in end order,
+        // accumulating freed nodes until the head fits.
+        let needed = head.min_start_size();
+        let (shadow_time, spare_nodes) =
+            reservation(view.now, free.available(), needed, &mut allocs);
+
+        // Backfill pass over the rest of the queue.
+        let mut spare = spare_nodes;
+        for (qi, job) in queue.iter().enumerate().skip(head_index + 1) {
+            let waiting = queue.len() - qi;
+            let Some(size) = self.sizing.start_size(job, free.available(), waiting) else {
+                continue;
+            };
+            // For elastic-size jobs prefer the smallest allocation that
+            // still satisfies the backfill condition: try the greedy size,
+            // fall back to the minimum.
+            let candidates = [size, job.min_start_size()];
+            let mut started = false;
+            for &sz in &candidates {
+                if sz > free.available() || started {
+                    continue;
+                }
+                let ends_before_shadow = job
+                    .walltime
+                    .map(|w| view.now + w <= shadow_time)
+                    .unwrap_or(false);
+                let fits_spare = sz <= spare;
+                if ends_before_shadow || fits_spare {
+                    let nodes = free.take(sz).expect("checked");
+                    if !ends_before_shadow {
+                        spare -= sz;
+                    }
+                    out.push(Decision::Start { job: job.id, nodes });
+                    started = true;
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Computes `(shadow_time, spare_nodes)`: when `needed` nodes become free
+/// given `free_now` free nodes and the running allocations, and how many
+/// nodes beyond `needed` are free at that moment (usable by backfill jobs
+/// that outlive the shadow time).
+fn reservation(
+    now: f64,
+    free_now: usize,
+    needed: usize,
+    allocs: &mut [RunningAlloc],
+) -> (f64, usize) {
+    if free_now >= needed {
+        return (now, free_now - needed);
+    }
+    allocs.sort_by(|a, b| a.end_estimate.partial_cmp(&b.end_estimate).unwrap());
+    let mut avail = free_now;
+    for a in allocs.iter() {
+        avail += a.nodes;
+        if avail >= needed {
+            return (a.end_estimate, avail - needed);
+        }
+    }
+    // Head job can never fit (should have been rejected at submission);
+    // conservatively no backfill budget.
+    (f64::INFINITY, 0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::api::{JobRunInfo, JobState, JobView};
+    use elastisim_platform::NodeId;
+    use elastisim_workload::{JobClass, JobId};
+
+    fn pending(id: u64, submit: f64, size: u32, walltime: Option<f64>) -> JobView {
+        JobView {
+            id: JobId(id),
+            class: JobClass::Rigid,
+            state: JobState::Pending,
+            submit_time: submit,
+            min_nodes: size,
+            max_nodes: size,
+            walltime,
+            evolving_request: None,
+            fixed_start: Some(size),
+        }
+    }
+
+    fn running(id: u64, nodes: &[u32], start: f64, walltime: Option<f64>) -> JobView {
+        JobView {
+            id: JobId(id),
+            class: JobClass::Rigid,
+            state: JobState::Running(JobRunInfo {
+                nodes: nodes.iter().map(|&n| NodeId(n)).collect(),
+                start_time: start,
+                reconfig_pending: false,
+                progress: 0.0,
+            }),
+            submit_time: 0.0,
+            min_nodes: nodes.len() as u32,
+            max_nodes: nodes.len() as u32,
+            walltime,
+            evolving_request: None,
+            fixed_start: Some(nodes.len() as u32),
+        }
+    }
+
+    fn started(decisions: &[Decision]) -> Vec<u64> {
+        decisions
+            .iter()
+            .filter_map(|d| match d {
+                Decision::Start { job, .. } => Some(job.0),
+                _ => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn backfills_short_job_behind_blocked_head() {
+        // 4 nodes: j10 runs on 0..4 until t=100. Head j1 needs 4 nodes
+        // (reservation at t=100). j2 needs 1 node for 50 s — but there are
+        // no free nodes at all, so nothing backfills.
+        let v = SystemView {
+            now: 0.0,
+            total_nodes: 4,
+            free_nodes: vec![],
+            jobs: vec![
+                running(10, &[0, 1, 2, 3], 0.0, Some(100.0)),
+                pending(1, 1.0, 4, Some(1000.0)),
+                pending(2, 2.0, 1, Some(50.0)),
+            ],
+        };
+        let d = EasyBackfilling::new().schedule(&v, Invocation::Periodic);
+        assert!(started(&d).is_empty());
+    }
+
+    #[test]
+    fn backfill_uses_free_nodes_without_delaying_head() {
+        // 4 nodes: j10 runs on 2 nodes until t=100; 2 free. Head j1 needs
+        // 4 → reservation at t=100 with spare = 2 + 2 - 4 = 0... at t=100
+        // all 4 free, spare 0. j2 (1 node, 50 s) ends before the shadow →
+        // backfills. j3 (1 node, 200 s) outlives the shadow and spare is 0
+        // → must wait.
+        let v = SystemView {
+            now: 0.0,
+            total_nodes: 4,
+            free_nodes: vec![NodeId(2), NodeId(3)],
+            jobs: vec![
+                running(10, &[0, 1], 0.0, Some(100.0)),
+                pending(1, 1.0, 4, Some(1000.0)),
+                pending(2, 2.0, 1, Some(50.0)),
+                pending(3, 3.0, 1, Some(200.0)),
+            ],
+        };
+        let d = EasyBackfilling::new().schedule(&v, Invocation::Periodic);
+        assert_eq!(started(&d), vec![2]);
+    }
+
+    #[test]
+    fn spare_nodes_allow_long_backfill() {
+        // 8 nodes: j10 on 4 until t=100, 4 free. Head needs 6 →
+        // reservation t=100, at which 8 are free → spare = 2. j2 (2 nodes,
+        // walltime 1e6) fits the spare budget and backfills despite
+        // outliving the shadow.
+        let v = SystemView {
+            now: 0.0,
+            total_nodes: 8,
+            free_nodes: (4..8).map(NodeId).collect(),
+            jobs: vec![
+                running(10, &[0, 1, 2, 3], 0.0, Some(100.0)),
+                pending(1, 1.0, 6, Some(500.0)),
+                pending(2, 2.0, 2, Some(1e6)),
+            ],
+        };
+        let d = EasyBackfilling::new().schedule(&v, Invocation::Periodic);
+        assert_eq!(started(&d), vec![2]);
+    }
+
+    #[test]
+    fn no_walltime_blocks_shadow_backfill_but_not_spare() {
+        let v = SystemView {
+            now: 0.0,
+            total_nodes: 8,
+            free_nodes: (4..8).map(NodeId).collect(),
+            jobs: vec![
+                running(10, &[0, 1, 2, 3], 0.0, Some(100.0)),
+                pending(1, 1.0, 6, Some(500.0)),
+                pending(2, 2.0, 2, None), // no estimate
+            ],
+        };
+        let d = EasyBackfilling::new().schedule(&v, Invocation::Periodic);
+        // spare = 2 at shadow → job 2 (2 nodes) backfills via spare.
+        assert_eq!(started(&d), vec![2]);
+
+        // With a 3-node job the spare budget (2) is insufficient.
+        let mut v2 = v.clone();
+        v2.jobs[2] = pending(2, 2.0, 3, None);
+        let d2 = EasyBackfilling::new().schedule(&v2, Invocation::Periodic);
+        assert!(started(&d2).is_empty());
+    }
+
+    #[test]
+    fn plain_fcfs_when_everything_fits() {
+        let v = SystemView {
+            now: 0.0,
+            total_nodes: 8,
+            free_nodes: (0..8).map(NodeId).collect(),
+            jobs: vec![pending(1, 0.0, 4, None), pending(2, 1.0, 4, None)],
+        };
+        let d = EasyBackfilling::new().schedule(&v, Invocation::Periodic);
+        assert_eq!(started(&d), vec![1, 2]);
+    }
+
+    #[test]
+    fn running_without_walltime_gives_infinite_shadow() {
+        // j10 has no walltime → its nodes never free up for the
+        // reservation; backfill only via spare (free_now already ≥ ... no:
+        // head needs 4, free 2, j10's 2 nodes end at ∞ → shadow ∞, spare 0
+        // per the fits-never rule).
+        let v = SystemView {
+            now: 0.0,
+            total_nodes: 4,
+            free_nodes: vec![NodeId(2), NodeId(3)],
+            jobs: vec![
+                running(10, &[0, 1], 0.0, None),
+                pending(1, 1.0, 4, Some(100.0)),
+                pending(2, 2.0, 1, Some(10.0)),
+            ],
+        };
+        let d = EasyBackfilling::new().schedule(&v, Invocation::Periodic);
+        // Shadow at infinity: everything "ends before shadow"? No — the
+        // reservation walk reaches 4 nodes only at t=∞, where avail=4 ≥ 4,
+        // spare 0. `now + 10 ≤ ∞` holds, so j2 backfills on a free node.
+        assert_eq!(started(&d), vec![2]);
+    }
+}

@@ -1,0 +1,140 @@
+//! Strict first-come first-served.
+
+use crate::api::{Decision, Invocation, Scheduler, SystemView};
+use crate::node_selection::NodeSet;
+
+/// First-come first-served: starts queued jobs strictly in queue order and
+/// stops at the first job that does not fit — no skipping, no backfilling.
+/// Moldable and malleable jobs are started greedily at
+/// `min(max_nodes, free)`. The baseline every comparison measures against.
+#[derive(Default, Debug, Clone)]
+pub struct FcfsScheduler;
+
+impl FcfsScheduler {
+    /// Creates the scheduler.
+    pub fn new() -> Self {
+        FcfsScheduler
+    }
+}
+
+impl Scheduler for FcfsScheduler {
+    fn name(&self) -> &'static str {
+        "fcfs"
+    }
+
+    fn schedule(&mut self, view: &SystemView, _why: Invocation) -> Vec<Decision> {
+        let mut free = NodeSet::new(&view.free_nodes);
+        let mut out = Vec::new();
+        for job in view.queue() {
+            let Some(size) = job.start_size(free.available()) else {
+                break; // strict FCFS: the head blocks everyone behind it
+            };
+            let nodes = free.take(size).expect("start_size checked availability");
+            out.push(Decision::Start { job: job.id, nodes });
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::api::{JobState, JobView};
+    use elastisim_platform::NodeId;
+    use elastisim_workload::{JobClass, JobId};
+
+    fn pending(id: u64, submit: f64, size: u32) -> JobView {
+        JobView {
+            id: JobId(id),
+            class: JobClass::Rigid,
+            state: JobState::Pending,
+            submit_time: submit,
+            min_nodes: size,
+            max_nodes: size,
+            walltime: None,
+            evolving_request: None,
+            fixed_start: Some(size),
+        }
+    }
+
+    fn moldable(id: u64, submit: f64, min: u32, max: u32) -> JobView {
+        JobView {
+            id: JobId(id),
+            class: JobClass::Moldable,
+            state: JobState::Pending,
+            submit_time: submit,
+            min_nodes: min,
+            max_nodes: max,
+            walltime: None,
+            evolving_request: None,
+            fixed_start: None,
+        }
+    }
+
+    fn view(free: u32, jobs: Vec<JobView>) -> SystemView {
+        SystemView {
+            now: 0.0,
+            total_nodes: free as usize,
+            free_nodes: (0..free).map(NodeId).collect(),
+            jobs,
+        }
+    }
+
+    #[test]
+    fn starts_in_queue_order_until_full() {
+        let mut s = FcfsScheduler::new();
+        let v = view(4, vec![pending(1, 0.0, 2), pending(2, 1.0, 2), pending(3, 2.0, 2)]);
+        let d = s.schedule(&v, Invocation::Periodic);
+        assert_eq!(d.len(), 2);
+        assert!(matches!(&d[0], Decision::Start { job: JobId(1), nodes } if nodes.len() == 2));
+        assert!(matches!(&d[1], Decision::Start { job: JobId(2), nodes } if nodes.len() == 2));
+    }
+
+    #[test]
+    fn head_blocks_queue() {
+        let mut s = FcfsScheduler::new();
+        // Head needs 8, only 4 free; the 1-node job behind it must wait.
+        let v = view(4, vec![pending(1, 0.0, 8), pending(2, 1.0, 1)]);
+        let d = s.schedule(&v, Invocation::Periodic);
+        assert!(d.is_empty());
+    }
+
+    #[test]
+    fn no_double_allocation() {
+        let mut s = FcfsScheduler::new();
+        let v = view(4, vec![pending(1, 0.0, 3), pending(2, 1.0, 1)]);
+        let d = s.schedule(&v, Invocation::Periodic);
+        let mut seen = std::collections::HashSet::new();
+        for dec in &d {
+            if let Decision::Start { nodes, .. } = dec {
+                for n in nodes {
+                    assert!(seen.insert(*n), "node {n:?} allocated twice");
+                }
+            }
+        }
+        assert_eq!(seen.len(), 4);
+    }
+
+    #[test]
+    fn moldable_takes_all_free_up_to_max() {
+        let mut s = FcfsScheduler::new();
+        let v = view(10, vec![moldable(1, 0.0, 2, 6)]);
+        let d = s.schedule(&v, Invocation::Periodic);
+        assert!(matches!(&d[0], Decision::Start { nodes, .. } if nodes.len() == 6));
+    }
+
+    #[test]
+    fn moldable_squeezes_into_remaining() {
+        let mut s = FcfsScheduler::new();
+        let v = view(3, vec![moldable(1, 0.0, 2, 6)]);
+        let d = s.schedule(&v, Invocation::Periodic);
+        assert!(matches!(&d[0], Decision::Start { nodes, .. } if nodes.len() == 3));
+    }
+
+    #[test]
+    fn empty_queue_no_decisions() {
+        let mut s = FcfsScheduler::new();
+        let v = view(4, vec![]);
+        assert!(s.schedule(&v, Invocation::Periodic).is_empty());
+    }
+}

@@ -1,0 +1,93 @@
+//! First-fit list scheduling.
+
+use crate::api::{Decision, Invocation, Scheduler, SystemView};
+use crate::node_selection::NodeSet;
+
+/// First-fit: walk the whole queue in order and start everything that
+/// fits, skipping blocked jobs. Maximizes instantaneous utilization but
+/// can starve large jobs indefinitely — included as the
+/// high-throughput/low-fairness endpoint in the algorithm comparison.
+#[derive(Default, Debug, Clone)]
+pub struct FirstFit;
+
+impl FirstFit {
+    /// Creates the scheduler.
+    pub fn new() -> Self {
+        FirstFit
+    }
+}
+
+impl Scheduler for FirstFit {
+    fn name(&self) -> &'static str {
+        "first-fit"
+    }
+
+    fn schedule(&mut self, view: &SystemView, _why: Invocation) -> Vec<Decision> {
+        let mut free = NodeSet::new(&view.free_nodes);
+        let mut out = Vec::new();
+        for job in view.queue() {
+            // Use the smallest viable size so as many jobs as possible
+            // start; elastic jobs can be grown later by other policies.
+            let size = job.min_start_size();
+            if free.available() >= size {
+                let nodes = free.take(size).expect("checked");
+                out.push(Decision::Start { job: job.id, nodes });
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::api::{JobState, JobView};
+    use elastisim_platform::NodeId;
+    use elastisim_workload::{JobClass, JobId};
+
+    fn pending(id: u64, submit: f64, size: u32) -> JobView {
+        JobView {
+            id: JobId(id),
+            class: JobClass::Rigid,
+            state: JobState::Pending,
+            submit_time: submit,
+            min_nodes: size,
+            max_nodes: size,
+            walltime: None,
+            evolving_request: None,
+            fixed_start: Some(size),
+        }
+    }
+
+    #[test]
+    fn skips_blocked_head_and_fills() {
+        let v = SystemView {
+            now: 0.0,
+            total_nodes: 4,
+            free_nodes: (0..4).map(NodeId).collect(),
+            jobs: vec![pending(1, 0.0, 8), pending(2, 1.0, 3), pending(3, 2.0, 1)],
+        };
+        let d = FirstFit::new().schedule(&v, Invocation::Periodic);
+        let ids: Vec<u64> = d
+            .iter()
+            .filter_map(|d| match d {
+                Decision::Start { job, .. } => Some(job.0),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(ids, vec![2, 3], "head skipped, rest packed");
+    }
+
+    #[test]
+    fn respects_queue_order_among_fitting_jobs() {
+        let v = SystemView {
+            now: 0.0,
+            total_nodes: 2,
+            free_nodes: (0..2).map(NodeId).collect(),
+            jobs: vec![pending(2, 1.0, 2), pending(1, 0.0, 2)],
+        };
+        let d = FirstFit::new().schedule(&v, Invocation::Periodic);
+        assert_eq!(d.len(), 1);
+        assert!(matches!(d[0], Decision::Start { job: JobId(1), .. }));
+    }
+}

@@ -1,0 +1,157 @@
+//! Node-selection helpers shared by the algorithms.
+
+use elastisim_platform::NodeId;
+
+/// Picks the `n` lowest-id nodes from `free` (which must be sorted
+/// ascending, as [`crate::SystemView::free_nodes`] guarantees). Returns
+/// `None` if fewer than `n` are available.
+pub fn lowest_free(free: &[NodeId], n: usize) -> Option<Vec<NodeId>> {
+    if free.len() < n {
+        None
+    } else {
+        Some(free[..n].to_vec())
+    }
+}
+
+/// A small helper tracking a mutable set of free nodes across multiple
+/// decisions within one invocation, so an algorithm never hands out the
+/// same node twice.
+#[derive(Clone, Debug)]
+pub struct NodeSet {
+    free: Vec<NodeId>,
+}
+
+impl NodeSet {
+    /// Starts from the view's free list (ascending order).
+    pub fn new(free: &[NodeId]) -> Self {
+        NodeSet { free: free.to_vec() }
+    }
+
+    /// Nodes still available.
+    pub fn available(&self) -> usize {
+        self.free.len()
+    }
+
+    /// Takes the `n` lowest-id nodes, or `None` (and no change) if short.
+    pub fn take(&mut self, n: usize) -> Option<Vec<NodeId>> {
+        if self.free.len() < n {
+            return None;
+        }
+        let taken: Vec<NodeId> = self.free.drain(..n).collect();
+        Some(taken)
+    }
+
+    /// Returns nodes to the pool (keeps ascending order).
+    pub fn give_back(&mut self, nodes: &[NodeId]) {
+        self.free.extend_from_slice(nodes);
+        self.free.sort_unstable();
+        self.free.dedup();
+    }
+
+    /// Takes `n` nodes packed by network locality: whole leaves (of
+    /// `leaf_size` nodes) are preferred, fullest-leaf first, so an
+    /// allocation spans as few leaf switches as possible. Falls back to
+    /// `None` (no change) if fewer than `n` nodes are free.
+    ///
+    /// With `leaf_size == 1` (or on flat networks) this degrades to
+    /// [`NodeSet::take`].
+    pub fn take_packed(&mut self, n: usize, leaf_size: u32) -> Option<Vec<NodeId>> {
+        if self.free.len() < n {
+            return None;
+        }
+        if leaf_size <= 1 {
+            return self.take(n);
+        }
+        // Group free nodes by leaf.
+        let mut by_leaf: std::collections::BTreeMap<u32, Vec<NodeId>> =
+            std::collections::BTreeMap::new();
+        for &node in &self.free {
+            by_leaf.entry(node.0 / leaf_size).or_default().push(node);
+        }
+        // Fullest leaves first (ties: lowest leaf id).
+        let mut leaves: Vec<(u32, Vec<NodeId>)> = by_leaf.into_iter().collect();
+        leaves.sort_by_key(|(id, nodes)| (std::cmp::Reverse(nodes.len()), *id));
+        let mut taken = Vec::with_capacity(n);
+        for (_, nodes) in leaves {
+            for node in nodes {
+                if taken.len() == n {
+                    break;
+                }
+                taken.push(node);
+            }
+            if taken.len() == n {
+                break;
+            }
+        }
+        self.free.retain(|node| !taken.contains(node));
+        taken.sort_unstable();
+        Some(taken)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ids(v: &[u32]) -> Vec<NodeId> {
+        v.iter().map(|&i| NodeId(i)).collect()
+    }
+
+    #[test]
+    fn lowest_free_takes_prefix() {
+        let free = ids(&[1, 3, 5, 7]);
+        assert_eq!(lowest_free(&free, 2), Some(ids(&[1, 3])));
+        assert_eq!(lowest_free(&free, 5), None);
+        assert_eq!(lowest_free(&free, 0), Some(vec![]));
+    }
+
+    #[test]
+    fn node_set_never_double_allocates() {
+        let mut set = NodeSet::new(&ids(&[0, 1, 2, 3]));
+        let a = set.take(2).unwrap();
+        let b = set.take(2).unwrap();
+        assert_eq!(a, ids(&[0, 1]));
+        assert_eq!(b, ids(&[2, 3]));
+        assert_eq!(set.take(1), None);
+        assert_eq!(set.available(), 0);
+    }
+
+    #[test]
+    fn give_back_restores_sorted() {
+        let mut set = NodeSet::new(&ids(&[0, 1, 2]));
+        let a = set.take(3).unwrap();
+        set.give_back(&a[1..]);
+        assert_eq!(set.take(2), Some(ids(&[1, 2])));
+    }
+
+    #[test]
+    fn take_packed_prefers_fullest_leaf() {
+        // Leaves of 4: leaf 0 has {1,2}, leaf 1 has {4,5,6}, leaf 2 has {9}.
+        let mut set = NodeSet::new(&ids(&[1, 2, 4, 5, 6, 9]));
+        // 3 nodes fit entirely into leaf 1.
+        assert_eq!(set.take_packed(3, 4), Some(ids(&[4, 5, 6])));
+        assert_eq!(set.available(), 3);
+    }
+
+    #[test]
+    fn take_packed_spills_to_next_fullest() {
+        let mut set = NodeSet::new(&ids(&[1, 2, 4, 5, 6, 9]));
+        // 5 nodes: leaf 1 (3) + leaf 0 (2).
+        assert_eq!(set.take_packed(5, 4), Some(ids(&[1, 2, 4, 5, 6])));
+        assert_eq!(set.take(1), Some(ids(&[9])));
+    }
+
+    #[test]
+    fn take_packed_shortfall_is_none() {
+        let mut set = NodeSet::new(&ids(&[0, 1]));
+        assert_eq!(set.take_packed(3, 4), None);
+        assert_eq!(set.available(), 2, "no change on failure");
+    }
+
+    #[test]
+    fn take_packed_degrades_to_take_without_leaves() {
+        let mut a = NodeSet::new(&ids(&[3, 5, 7]));
+        let mut b = NodeSet::new(&ids(&[3, 5, 7]));
+        assert_eq!(a.take_packed(2, 1), b.take(2));
+    }
+}

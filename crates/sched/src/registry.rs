@@ -1,0 +1,61 @@
+//! Name-based scheduler construction, for CLI tools and experiment
+//! harnesses driven by configuration files.
+
+use crate::algo_conservative::ConservativeBackfilling;
+use crate::algo_easy::EasyBackfilling;
+use crate::algo_elastic::ElasticScheduler;
+use crate::algo_fcfs::FcfsScheduler;
+use crate::algo_firstfit::FirstFit;
+use crate::api::Scheduler;
+
+/// Names accepted by [`by_name`], in presentation order.
+pub const SCHEDULER_NAMES: [&str; 5] =
+    ["fcfs", "easy", "conservative", "first-fit", "elastic"];
+
+/// Constructs a scheduler from its name. Returns `None` for unknown names;
+/// see [`SCHEDULER_NAMES`].
+pub fn by_name(name: &str) -> Option<Box<dyn Scheduler>> {
+    Some(match name {
+        "fcfs" => Box::new(FcfsScheduler::new()),
+        "easy" | "easy-backfilling" => Box::new(EasyBackfilling::new()),
+        "conservative" | "conservative-backfilling" => {
+            Box::new(ConservativeBackfilling::new())
+        }
+        "first-fit" | "firstfit" => Box::new(FirstFit::new()),
+        "elastic" => Box::new(ElasticScheduler::new()),
+        _ => return None,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_listed_name_constructs() {
+        for name in SCHEDULER_NAMES {
+            assert!(by_name(name).is_some(), "{name} missing from factory");
+        }
+    }
+
+    #[test]
+    fn aliases_and_unknowns() {
+        assert!(by_name("easy-backfilling").is_some());
+        assert!(by_name("conservative-backfilling").is_some());
+        assert!(by_name("nope").is_none());
+    }
+
+    #[test]
+    fn factory_names_match_scheduler_names() {
+        // The registry name should be the prefix of (or equal to) what the
+        // scheduler reports about itself.
+        for name in SCHEDULER_NAMES {
+            let s = by_name(name).unwrap();
+            assert!(
+                s.name().starts_with(name) || name.starts_with(s.name()) || name == "easy",
+                "registry `{name}` vs scheduler `{}`",
+                s.name()
+            );
+        }
+    }
+}

@@ -1,0 +1,200 @@
+//! Property-based tests for the scheduling algorithms: for arbitrary
+//! system snapshots, every algorithm must emit only *well-formed*
+//! decisions (free, unique nodes; sizes within job ranges; FCFS-safety
+//! where the policy promises it).
+
+use elastisim_platform::NodeId;
+use elastisim_sched::{
+    by_name, Decision, Invocation, JobRunInfo, JobState, JobView, SystemView,
+    SCHEDULER_NAMES,
+};
+use elastisim_workload::{JobClass, JobId};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+struct RawJob {
+    id: u64,
+    submit: f64,
+    size: u32,
+    class: u8,
+    walltime: Option<f64>,
+    running: bool,
+}
+
+fn arb_view() -> impl Strategy<Value = SystemView> {
+    let job = (
+        0u64..1000,
+        0.0f64..1e4,
+        1u32..12,
+        0u8..4,
+        proptest::option::of(10.0f64..1e4),
+        any::<bool>(),
+    )
+        .prop_map(|(id, submit, size, class, walltime, running)| RawJob {
+            id,
+            submit,
+            size,
+            class,
+            walltime,
+            running,
+        });
+    (proptest::collection::vec(job, 0..12), 4usize..24).prop_map(|(raw, total)| {
+        let mut used = std::collections::BTreeSet::new();
+        let mut jobs = Vec::new();
+        let mut seen_ids = std::collections::HashSet::new();
+        let mut next_node = 0u32;
+        for r in raw {
+            if !seen_ids.insert(r.id) {
+                continue;
+            }
+            let class = match r.class {
+                0 => JobClass::Rigid,
+                1 => JobClass::Moldable,
+                2 => JobClass::Malleable,
+                _ => JobClass::Evolving,
+            };
+            let size = r.size.min(total as u32);
+            let (min, max) = match class {
+                JobClass::Rigid => (size, size),
+                _ => ((size / 2).max(1), size),
+            };
+            let state = if r.running {
+                // Assign `min` concrete nodes if they fit.
+                let mut nodes = Vec::new();
+                while nodes.len() < min as usize && (next_node as usize) < total {
+                    nodes.push(NodeId(next_node));
+                    used.insert(next_node);
+                    next_node += 1;
+                }
+                if nodes.len() < min as usize {
+                    continue; // platform full; drop this running job
+                }
+                JobState::Running(JobRunInfo {
+                    nodes,
+                    start_time: r.submit,
+                    reconfig_pending: false,
+                    progress: 0.3,
+                })
+            } else {
+                JobState::Pending
+            };
+            let fixed_start = match class {
+                JobClass::Rigid => Some(size),
+                JobClass::Evolving => Some(min),
+                _ => None,
+            };
+            jobs.push(JobView {
+                id: JobId(r.id),
+                class,
+                state,
+                submit_time: r.submit,
+                min_nodes: min,
+                max_nodes: max.max(min),
+                walltime: r.walltime,
+                evolving_request: None,
+                fixed_start,
+            });
+        }
+        let free_nodes: Vec<NodeId> = (0..total as u32)
+            .filter(|n| !used.contains(n))
+            .map(NodeId)
+            .collect();
+        SystemView { now: 2e4, total_nodes: total, free_nodes, jobs }
+    })
+}
+
+/// Well-formedness oracle for a decision batch against a view.
+fn check_decisions(view: &SystemView, decisions: &[Decision]) -> Result<(), TestCaseError> {
+    let free: std::collections::HashSet<NodeId> = view.free_nodes.iter().copied().collect();
+    let mut handed_out: std::collections::HashSet<NodeId> = Default::default();
+    let mut started: std::collections::HashSet<JobId> = Default::default();
+    for d in decisions {
+        match d {
+            Decision::Start { job, nodes } => {
+                let jv = view.job(*job);
+                prop_assert!(jv.is_some(), "start of unknown job {job}");
+                let jv = jv.unwrap();
+                prop_assert!(jv.is_pending(), "start of non-pending {job}");
+                prop_assert!(started.insert(*job), "double start of {job}");
+                let n = nodes.len() as u32;
+                prop_assert!(
+                    n >= jv.min_nodes && n <= jv.max_nodes,
+                    "{job}: size {n} outside [{}, {}]",
+                    jv.min_nodes,
+                    jv.max_nodes
+                );
+                if let Some(fixed) = jv.fixed_start {
+                    prop_assert_eq!(n, fixed, "fixed-size job given wrong size");
+                }
+                for node in nodes {
+                    prop_assert!(free.contains(node), "{job} given non-free {node}");
+                    prop_assert!(handed_out.insert(*node), "{node} handed out twice");
+                }
+            }
+            Decision::Reconfigure { job, nodes } => {
+                let jv = view.job(*job).expect("reconfigure of unknown job");
+                prop_assert!(jv.class.is_elastic());
+                let n = nodes.len() as u32;
+                prop_assert!(n >= jv.min_nodes && n <= jv.max_nodes);
+                let current: std::collections::HashSet<NodeId> =
+                    jv.run_info().unwrap().nodes.iter().copied().collect();
+                for node in nodes {
+                    let ok = current.contains(node)
+                        || (free.contains(node) && handed_out.insert(*node));
+                    prop_assert!(ok, "{job} reconfigured onto unavailable {node}");
+                }
+            }
+            Decision::Kill { .. } => {}
+        }
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Every registered algorithm emits only well-formed decisions on
+    /// arbitrary snapshots.
+    #[test]
+    fn all_algorithms_emit_well_formed_decisions(view in arb_view()) {
+        for name in SCHEDULER_NAMES {
+            let mut sched = by_name(name).unwrap();
+            let decisions = sched.schedule(&view, Invocation::Periodic);
+            check_decisions(&view, &decisions)
+                .map_err(|e| TestCaseError::fail(format!("{name}: {e}")))?;
+        }
+    }
+
+    /// FCFS never starts a job while an earlier-queued job stays blocked.
+    #[test]
+    fn fcfs_is_order_preserving(view in arb_view()) {
+        let mut sched = by_name("fcfs").unwrap();
+        let decisions = sched.schedule(&view, Invocation::Periodic);
+        let started: std::collections::HashSet<JobId> = decisions
+            .iter()
+            .filter_map(|d| match d {
+                Decision::Start { job, .. } => Some(*job),
+                _ => None,
+            })
+            .collect();
+        let queue = view.queue();
+        let mut blocked_seen = false;
+        for job in queue {
+            if started.contains(&job.id) {
+                prop_assert!(!blocked_seen, "{} started after a blocked job", job.id);
+            } else {
+                blocked_seen = true;
+            }
+        }
+    }
+
+    /// Algorithms are deterministic: the same view gives the same batch.
+    #[test]
+    fn algorithms_are_deterministic(view in arb_view()) {
+        for name in SCHEDULER_NAMES {
+            let a = by_name(name).unwrap().schedule(&view, Invocation::Periodic);
+            let b = by_name(name).unwrap().schedule(&view, Invocation::Periodic);
+            prop_assert_eq!(a, b, "{} not deterministic", name);
+        }
+    }
+}

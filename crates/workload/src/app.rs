@@ -1,0 +1,153 @@
+//! Phase-structured application model.
+
+use serde::{Deserialize, Serialize};
+
+use crate::task::Task;
+
+/// One phase of an application: a task list executed `iterations` times.
+///
+/// Phases are the granularity of elasticity: after each iteration of a
+/// phase marked as a *scheduling point*, the runtime checks for pending
+/// reconfigurations (malleable expand/shrink ordered by the scheduler) and
+/// emits evolving resource requests. This matches ElastiSim's contract that
+/// applications change size only at well-defined points.
+#[derive(Clone, PartialEq, Debug, Serialize, Deserialize)]
+pub struct Phase {
+    /// Label used in traces.
+    pub name: String,
+    /// How many times the task list repeats.
+    pub iterations: u32,
+    /// Tasks run sequentially within an iteration.
+    pub tasks: Vec<Task>,
+    /// Whether a scheduling point follows each iteration of this phase.
+    #[serde(default = "default_true")]
+    pub scheduling_point: bool,
+    /// For evolving jobs: the node count the application *asks for* upon
+    /// entering this phase (`None` = keep current size). Ignored for other
+    /// job classes.
+    #[serde(default)]
+    pub evolving_request: Option<u32>,
+}
+
+fn default_true() -> bool {
+    true
+}
+
+impl Phase {
+    /// A single-iteration phase.
+    pub fn once(name: impl Into<String>, tasks: Vec<Task>) -> Phase {
+        Phase {
+            name: name.into(),
+            iterations: 1,
+            tasks,
+            scheduling_point: true,
+            evolving_request: None,
+        }
+    }
+
+    /// An iterated phase.
+    pub fn repeated(name: impl Into<String>, iterations: u32, tasks: Vec<Task>) -> Phase {
+        Phase {
+            name: name.into(),
+            iterations,
+            tasks,
+            scheduling_point: true,
+            evolving_request: None,
+        }
+    }
+
+    /// Disables the scheduling point after this phase's iterations.
+    pub fn without_scheduling_point(mut self) -> Phase {
+        self.scheduling_point = false;
+        self
+    }
+
+    /// Marks an evolving resource request on phase entry.
+    pub fn with_evolving_request(mut self, nodes: u32) -> Phase {
+        self.evolving_request = Some(nodes);
+        self
+    }
+}
+
+/// A complete application description: the phases a job executes in order.
+#[derive(Clone, PartialEq, Debug, Default, Serialize, Deserialize)]
+pub struct ApplicationModel {
+    /// Phases in execution order.
+    pub phases: Vec<Phase>,
+}
+
+impl ApplicationModel {
+    /// Builds a model from phases.
+    pub fn new(phases: Vec<Phase>) -> Self {
+        ApplicationModel { phases }
+    }
+
+    /// Total number of task executions (Σ iterations × tasks), a rough
+    /// size measure used by the simulator-performance experiments.
+    pub fn total_task_executions(&self) -> u64 {
+        self.phases
+            .iter()
+            .map(|p| p.iterations as u64 * p.tasks.len() as u64)
+            .sum()
+    }
+
+    /// Number of scheduling points the application will pass.
+    pub fn total_scheduling_points(&self) -> u64 {
+        self.phases
+            .iter()
+            .filter(|p| p.scheduling_point)
+            .map(|p| p.iterations as u64)
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr_serde::PerfExpr;
+    use crate::task::{CommPattern, Task};
+
+    fn sample() -> ApplicationModel {
+        ApplicationModel::new(vec![
+            Phase::once("init", vec![Task::delay("boot", PerfExpr::constant(1.0))]),
+            Phase::repeated(
+                "solve",
+                10,
+                vec![
+                    Task::compute("stencil", PerfExpr::parse("1e12 / num_nodes").unwrap()),
+                    Task::comm("halo", PerfExpr::constant(1e8), CommPattern::Ring),
+                ],
+            ),
+        ])
+    }
+
+    #[test]
+    fn counts() {
+        let app = sample();
+        assert_eq!(app.total_task_executions(), 1 + 10 * 2);
+        assert_eq!(app.total_scheduling_points(), 11);
+    }
+
+    #[test]
+    fn scheduling_point_opt_out() {
+        let app = ApplicationModel::new(vec![
+            Phase::repeated("a", 5, vec![]).without_scheduling_point(),
+            Phase::once("b", vec![]),
+        ]);
+        assert_eq!(app.total_scheduling_points(), 1);
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let app = sample();
+        let json = serde_json::to_string_pretty(&app).unwrap();
+        let back: ApplicationModel = serde_json::from_str(&json).unwrap();
+        assert_eq!(app, back);
+    }
+
+    #[test]
+    fn evolving_request_marker() {
+        let p = Phase::once("grow", vec![]).with_evolving_request(32);
+        assert_eq!(p.evolving_request, Some(32));
+    }
+}

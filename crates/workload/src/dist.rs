@@ -1,0 +1,235 @@
+//! Sampling distributions for workload generation.
+//!
+//! `rand` (sanctioned) provides uniform sampling; the classical transforms
+//! below derive the distributions batch-workload models actually use —
+//! exponential inter-arrivals, lognormal runtimes, Weibull bursts — without
+//! pulling in `rand_distr`.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// A parametric distribution over positive reals.
+#[derive(Clone, Copy, PartialEq, Debug, Serialize, Deserialize)]
+#[serde(tag = "dist", rename_all = "snake_case")]
+pub enum Distribution {
+    /// Always `value`.
+    Fixed {
+        /// The constant value.
+        value: f64,
+    },
+    /// Uniform on `[lo, hi)`.
+    Uniform {
+        /// Lower bound (inclusive).
+        lo: f64,
+        /// Upper bound (exclusive).
+        hi: f64,
+    },
+    /// Exponential with the given mean (inter-arrival times of a Poisson
+    /// process).
+    Exponential {
+        /// Mean of the distribution (1/λ).
+        mean: f64,
+    },
+    /// Lognormal: `exp(N(mu, sigma))`. The classic fit for job runtimes.
+    LogNormal {
+        /// Mean of the underlying normal.
+        mu: f64,
+        /// Standard deviation of the underlying normal.
+        sigma: f64,
+    },
+    /// Weibull with shape `k` and scale `lambda`; `k < 1` gives the heavy
+    /// tail seen in supercomputer arrival bursts.
+    Weibull {
+        /// Shape parameter.
+        k: f64,
+        /// Scale parameter.
+        lambda: f64,
+    },
+}
+
+impl Distribution {
+    /// Draws one sample.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        match *self {
+            Distribution::Fixed { value } => value,
+            Distribution::Uniform { lo, hi } => {
+                debug_assert!(hi > lo);
+                rng.gen_range(lo..hi)
+            }
+            Distribution::Exponential { mean } => {
+                // Inverse CDF; guard u=0 which would give infinity.
+                let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+                -mean * u.ln()
+            }
+            Distribution::LogNormal { mu, sigma } => {
+                (mu + sigma * standard_normal(rng)).exp()
+            }
+            Distribution::Weibull { k, lambda } => {
+                let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+                lambda * (-u.ln()).powf(1.0 / k)
+            }
+        }
+    }
+
+    /// The distribution's theoretical mean (used by tests and by workload
+    /// reports).
+    pub fn mean(&self) -> f64 {
+        match *self {
+            Distribution::Fixed { value } => value,
+            Distribution::Uniform { lo, hi } => (lo + hi) / 2.0,
+            Distribution::Exponential { mean } => mean,
+            Distribution::LogNormal { mu, sigma } => (mu + sigma * sigma / 2.0).exp(),
+            Distribution::Weibull { k, lambda } => lambda * gamma(1.0 + 1.0 / k),
+        }
+    }
+}
+
+/// Box–Muller standard normal variate.
+fn standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+    let u2: f64 = rng.gen_range(0.0..1.0);
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+/// Lanczos approximation of the gamma function (for Weibull means).
+fn gamma(x: f64) -> f64 {
+    // g = 7, n = 9 coefficients; |relative error| < 1e-13 on x > 0.5.
+    const G: f64 = 7.0;
+    #[allow(clippy::excessive_precision)] // published Lanczos coefficients
+    const C: [f64; 9] = [
+        0.999_999_999_999_809_9,
+        676.5203681218851,
+        -1259.1392167224028,
+        771.323_428_777_653_1,
+        -176.615_029_162_140_6,
+        12.507343278686905,
+        -0.13857109526572012,
+        9.984_369_578_019_572e-6,
+        1.5056327351493116e-7,
+    ];
+    if x < 0.5 {
+        // Reflection formula.
+        std::f64::consts::PI / ((std::f64::consts::PI * x).sin() * gamma(1.0 - x))
+    } else {
+        let x = x - 1.0;
+        let mut a = C[0];
+        let t = x + G + 0.5;
+        for (i, &c) in C.iter().enumerate().skip(1) {
+            a += c / (x + i as f64);
+        }
+        std::f64::consts::TAU.sqrt() * t.powf(x + 0.5) * (-t).exp() * a
+    }
+}
+
+/// Convenience: a seeded sampler bundling a distribution with an RNG view.
+pub struct Sampler<'a, R: Rng + ?Sized> {
+    dist: Distribution,
+    rng: &'a mut R,
+}
+
+impl<'a, R: Rng + ?Sized> Sampler<'a, R> {
+    /// Creates a sampler.
+    pub fn new(dist: Distribution, rng: &'a mut R) -> Self {
+        Sampler { dist, rng }
+    }
+
+    /// Draws one sample.
+    pub fn draw(&mut self) -> f64 {
+        self.dist.sample(self.rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    fn empirical_mean(d: Distribution, n: usize) -> f64 {
+        let mut rng = StdRng::seed_from_u64(42);
+        (0..n).map(|_| d.sample(&mut rng)).sum::<f64>() / n as f64
+    }
+
+    #[test]
+    fn fixed_is_constant() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let d = Distribution::Fixed { value: 3.0 };
+        for _ in 0..10 {
+            assert_eq!(d.sample(&mut rng), 3.0);
+        }
+    }
+
+    #[test]
+    fn uniform_stays_in_range() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let d = Distribution::Uniform { lo: 2.0, hi: 5.0 };
+        for _ in 0..1000 {
+            let v = d.sample(&mut rng);
+            assert!((2.0..5.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn exponential_mean_converges() {
+        let d = Distribution::Exponential { mean: 10.0 };
+        let m = empirical_mean(d, 200_000);
+        assert!((m - 10.0).abs() < 0.2, "mean {m}");
+    }
+
+    #[test]
+    fn lognormal_mean_converges() {
+        let d = Distribution::LogNormal { mu: 1.0, sigma: 0.5 };
+        let m = empirical_mean(d, 200_000);
+        assert!((m - d.mean()).abs() / d.mean() < 0.02, "mean {m} vs {}", d.mean());
+    }
+
+    #[test]
+    fn weibull_mean_converges() {
+        let d = Distribution::Weibull { k: 1.5, lambda: 2.0 };
+        let m = empirical_mean(d, 200_000);
+        assert!((m - d.mean()).abs() / d.mean() < 0.02, "mean {m} vs {}", d.mean());
+    }
+
+    #[test]
+    fn gamma_known_values() {
+        assert!((gamma(1.0) - 1.0).abs() < 1e-10);
+        assert!((gamma(2.0) - 1.0).abs() < 1e-10);
+        assert!((gamma(5.0) - 24.0).abs() < 1e-8);
+        assert!((gamma(0.5) - std::f64::consts::PI.sqrt()).abs() < 1e-10);
+    }
+
+    #[test]
+    fn samples_are_positive() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for d in [
+            Distribution::Exponential { mean: 1.0 },
+            Distribution::LogNormal { mu: 0.0, sigma: 1.0 },
+            Distribution::Weibull { k: 0.7, lambda: 1.0 },
+        ] {
+            for _ in 0..1000 {
+                assert!(d.sample(&mut rng) > 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let d = Distribution::Exponential { mean: 5.0 };
+        let a: Vec<f64> = {
+            let mut rng = StdRng::seed_from_u64(9);
+            (0..10).map(|_| d.sample(&mut rng)).collect()
+        };
+        let b: Vec<f64> = {
+            let mut rng = StdRng::seed_from_u64(9);
+            (0..10).map(|_| d.sample(&mut rng)).collect()
+        };
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let d = Distribution::Weibull { k: 0.8, lambda: 3.0 };
+        let json = serde_json::to_string(&d).unwrap();
+        let back: Distribution = serde_json::from_str(&json).unwrap();
+        assert_eq!(d, back);
+    }
+}

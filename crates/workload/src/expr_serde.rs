@@ -1,0 +1,97 @@
+//! Serde wrapper for performance-model expressions.
+//!
+//! Job files store performance models as strings (`"1e12 / num_nodes"`),
+//! matching the original ElastiSim JSON job descriptions. [`PerfExpr`]
+//! wraps [`elastisim_expr::Expr`] with string-based serde and a few
+//! conveniences used throughout the workload model.
+
+use std::fmt;
+
+use elastisim_expr::{Context, EvalError, Expr};
+use serde::de::Error as _;
+use serde::{Deserialize, Deserializer, Serialize, Serializer};
+
+/// A performance-model expression, serialized as its source string.
+#[derive(Clone, PartialEq, Debug)]
+pub struct PerfExpr(pub Expr);
+
+impl PerfExpr {
+    /// Parses from source text.
+    pub fn parse(src: &str) -> Result<Self, elastisim_expr::ParseError> {
+        Expr::parse(src).map(|e| PerfExpr(e.fold_constants()))
+    }
+
+    /// A constant model.
+    pub fn constant(v: f64) -> Self {
+        PerfExpr(Expr::constant(v))
+    }
+
+    /// Evaluates with `num_nodes` bound (the dominant use in the
+    /// simulator).
+    pub fn eval_nodes(&self, num_nodes: usize) -> Result<f64, EvalError> {
+        self.0.eval(&Context::with_num_nodes(num_nodes))
+    }
+
+    /// Evaluates against a full context.
+    pub fn eval(&self, ctx: &Context) -> Result<f64, EvalError> {
+        self.0.eval(ctx)
+    }
+}
+
+impl fmt::Display for PerfExpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.0.fmt(f)
+    }
+}
+
+impl From<f64> for PerfExpr {
+    fn from(v: f64) -> Self {
+        PerfExpr::constant(v)
+    }
+}
+
+impl Serialize for PerfExpr {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_str(&self.0.to_string())
+    }
+}
+
+impl<'de> Deserialize<'de> for PerfExpr {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        let src = String::deserialize(deserializer)?;
+        PerfExpr::parse(&src).map_err(|e| D::Error::custom(format!("bad expression: {e}")))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serde_roundtrip_preserves_value() {
+        let e = PerfExpr::parse("1e12 / num_nodes + 5").unwrap();
+        let json = serde_json::to_string(&e).unwrap();
+        let back: PerfExpr = serde_json::from_str(&json).unwrap();
+        for n in [1, 4, 128] {
+            assert_eq!(e.eval_nodes(n), back.eval_nodes(n));
+        }
+    }
+
+    #[test]
+    fn bad_expression_rejected_at_deserialize() {
+        let r: Result<PerfExpr, _> = serde_json::from_str("\"1 +\"");
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn constant_from_f64() {
+        let e: PerfExpr = 42.0.into();
+        assert_eq!(e.eval_nodes(10).unwrap(), 42.0);
+    }
+
+    #[test]
+    fn parse_folds_constants() {
+        let e = PerfExpr::parse("2 * 3 * num_nodes").unwrap();
+        assert_eq!(e.to_string(), "(6 * num_nodes)");
+    }
+}

@@ -1,0 +1,545 @@
+//! Seeded synthetic workload generation.
+//!
+//! Generates the workloads the reconstructed experiments sweep: a stream of
+//! phase-structured jobs with configurable arrival process, size
+//! distribution, runtime distribution, and elasticity-class mix (most
+//! importantly the *malleable share*, the x-axis of experiment R-F2).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+use crate::app::{ApplicationModel, Phase};
+use crate::dist::Distribution;
+use crate::expr_serde::PerfExpr;
+use crate::job::{JobClass, JobSpec};
+use crate::task::{CommPattern, IoTarget, Task};
+
+/// When jobs arrive.
+#[derive(Clone, Copy, PartialEq, Debug, Serialize, Deserialize)]
+#[serde(tag = "process", rename_all = "snake_case")]
+pub enum ArrivalProcess {
+    /// Poisson process with the given mean inter-arrival time (seconds).
+    Poisson {
+        /// Mean seconds between submissions.
+        mean_interarrival: f64,
+    },
+    /// Fixed interval between submissions.
+    Periodic {
+        /// Seconds between submissions.
+        interval: f64,
+    },
+    /// Everything submitted at t=0 (a drained-queue experiment).
+    AllAtOnce,
+}
+
+/// How requested node counts are drawn.
+#[derive(Clone, Copy, PartialEq, Debug, Serialize, Deserialize)]
+#[serde(tag = "sizes", rename_all = "snake_case")]
+pub enum SizeDistribution {
+    /// Uniform over the powers of two in `[min, max]` — the classic HPC
+    /// allocation-size shape.
+    PowersOfTwo {
+        /// Smallest size (rounded up to a power of two).
+        min: u32,
+        /// Largest size (rounded down to a power of two).
+        max: u32,
+    },
+    /// Uniform over `[min, max]`.
+    Uniform {
+        /// Smallest size.
+        min: u32,
+        /// Largest size.
+        max: u32,
+    },
+    /// Every job requests the same size.
+    Fixed {
+        /// The size.
+        nodes: u32,
+    },
+}
+
+impl SizeDistribution {
+    fn sample(&self, rng: &mut StdRng) -> u32 {
+        match *self {
+            SizeDistribution::PowersOfTwo { min, max } => {
+                let lo = min.max(1).next_power_of_two().trailing_zeros();
+                let hi_pow = 31 - max.max(1).leading_zeros(); // floor(log2)
+                let hi = hi_pow.max(lo);
+                1 << rng.gen_range(lo..=hi)
+            }
+            SizeDistribution::Uniform { min, max } => rng.gen_range(min..=max.max(min)),
+            SizeDistribution::Fixed { nodes } => nodes,
+        }
+    }
+}
+
+/// Shape of the generated applications.
+#[derive(Clone, Copy, PartialEq, Debug, Serialize, Deserialize)]
+pub struct AppTemplate {
+    /// Iteration count of the main solver phase.
+    pub iterations: Distribution,
+    /// Reference per-node compute speed used to translate target runtimes
+    /// into flops (flop/s); should match the platform's node speed.
+    pub node_flops: f64,
+    /// Bytes of halo exchange per node per iteration.
+    pub comm_bytes_per_node: f64,
+    /// Bytes read from the PFS at job start (input staging), per node.
+    pub input_bytes_per_node: f64,
+    /// Bytes written per checkpoint, per node.
+    pub checkpoint_bytes_per_node: f64,
+    /// A checkpoint phase is inserted every `checkpoint_every` iterations
+    /// (0 = never).
+    pub checkpoint_every: u32,
+    /// Storage tier for checkpoints.
+    pub checkpoint_target: IoTarget,
+    /// Fraction of the compute load offloaded to GPUs, in `[0, 1]`. On
+    /// CPU-only platforms GPU tasks fall back to the CPU resource; note
+    /// that the offloaded flops are *not* rescaled by the CPU/GPU speed
+    /// ratio — the template expresses where the work runs, the platform
+    /// decides how fast.
+    pub gpu_offload: f64,
+}
+
+impl Default for AppTemplate {
+    fn default() -> Self {
+        AppTemplate {
+            iterations: Distribution::Uniform { lo: 10.0, hi: 50.0 },
+            node_flops: 2.0e12,
+            comm_bytes_per_node: 64.0 * 1024.0 * 1024.0,
+            input_bytes_per_node: 2.0e9,
+            checkpoint_bytes_per_node: 4.0e9,
+            checkpoint_every: 10,
+            checkpoint_target: IoTarget::Pfs,
+            gpu_offload: 0.0,
+        }
+    }
+}
+
+impl AppTemplate {
+    /// Builds an application whose *ideal* runtime on `ref_nodes` nodes is
+    /// `runtime` seconds, structured as input staging, an iterated
+    /// compute+halo phase with periodic checkpoints, and a final write.
+    ///
+    /// The compute load uses a strong-scaling model `W / num_nodes`, so the
+    /// same app runs faster on more nodes — the property malleable
+    /// scheduling exploits.
+    pub fn instantiate(&self, rng: &mut StdRng, runtime: f64, ref_nodes: u32) -> ApplicationModel {
+        let iters = (self.iterations.sample(rng).round() as u32).max(1);
+        // Total flops such that compute time at ref_nodes ≈ runtime; loads
+        // are per node, so divide the per-iteration total by num_nodes.
+        let total_flops = runtime * self.node_flops * ref_nodes as f64;
+        let flops_per_iter = total_flops / iters as f64;
+        let gpu_share = self.gpu_offload.clamp(0.0, 1.0);
+        let cpu_flops = flops_per_iter * (1.0 - gpu_share);
+        let gpu_flops = flops_per_iter * gpu_share;
+        let compute =
+            PerfExpr::parse(&format!("{cpu_flops:e} / num_nodes")).expect("generated model");
+        let gpu_compute = (gpu_share > 0.0).then(|| {
+            PerfExpr::parse(&format!("{gpu_flops:e} / num_nodes")).expect("generated model")
+        });
+        let halo = PerfExpr::constant(self.comm_bytes_per_node);
+
+        let mut phases = Vec::new();
+        if self.input_bytes_per_node > 0.0 {
+            let input = PerfExpr::constant(self.input_bytes_per_node);
+            phases.push(Phase::once(
+                "stage-in",
+                vec![Task::read("input", input, IoTarget::Pfs)],
+            ));
+        }
+
+        let mut solver_tasks = vec![Task::compute("solve", compute)];
+        if let Some(gpu) = gpu_compute {
+            solver_tasks.push(Task::gpu_compute("solve-gpu", gpu));
+        }
+        solver_tasks.push(Task::comm("halo", halo, CommPattern::Ring));
+        if self.checkpoint_every == 0 || self.checkpoint_every >= iters {
+            phases.push(Phase::repeated("solver", iters, solver_tasks));
+        } else {
+            // Segments of `checkpoint_every` iterations, each followed by a
+            // checkpoint write.
+            let ckpt = PerfExpr::constant(self.checkpoint_bytes_per_node);
+            let mut left = iters;
+            let mut seg = 0;
+            while left > 0 {
+                let k = left.min(self.checkpoint_every);
+                phases.push(Phase::repeated(
+                    format!("solver-{seg}"),
+                    k,
+                    solver_tasks.clone(),
+                ));
+                phases.push(Phase::once(
+                    format!("checkpoint-{seg}"),
+                    vec![Task::write("ckpt", ckpt.clone(), self.checkpoint_target)],
+                ));
+                left -= k;
+                seg += 1;
+            }
+        }
+        ApplicationModel::new(phases)
+    }
+}
+
+/// Weights of the four job classes in the generated mix.
+#[derive(Clone, Copy, PartialEq, Debug, Serialize, Deserialize)]
+pub struct ClassMix {
+    /// Weight of rigid jobs.
+    pub rigid: f64,
+    /// Weight of moldable jobs.
+    pub moldable: f64,
+    /// Weight of malleable jobs.
+    pub malleable: f64,
+    /// Weight of evolving jobs.
+    pub evolving: f64,
+}
+
+impl ClassMix {
+    fn draw(&self, rng: &mut StdRng) -> JobClass {
+        let total = self.rigid + self.moldable + self.malleable + self.evolving;
+        assert!(total > 0.0, "class mix has zero total weight");
+        let x: f64 = rng.gen_range(0.0..total);
+        if x < self.rigid {
+            JobClass::Rigid
+        } else if x < self.rigid + self.moldable {
+            JobClass::Moldable
+        } else if x < self.rigid + self.moldable + self.malleable {
+            JobClass::Malleable
+        } else {
+            JobClass::Evolving
+        }
+    }
+}
+
+/// Full generator configuration.
+#[derive(Clone, Copy, PartialEq, Debug, Serialize, Deserialize)]
+pub struct WorkloadConfig {
+    /// Number of jobs to generate.
+    pub num_jobs: usize,
+    /// RNG seed; equal seeds give identical workloads.
+    pub seed: u64,
+    /// Arrival process.
+    pub arrival: ArrivalProcess,
+    /// Requested-size distribution.
+    pub size: SizeDistribution,
+    /// Target runtime (seconds at the requested size).
+    pub runtime: Distribution,
+    /// Class mix.
+    pub mix: ClassMix,
+    /// Application shape.
+    pub app: AppTemplate,
+    /// Platform size cap for elastic ranges.
+    pub platform_nodes: u32,
+    /// Walltime limit factor: limit = factor × target runtime (0 = no
+    /// limit).
+    pub walltime_factor: f64,
+}
+
+impl WorkloadConfig {
+    /// A sensible default configuration: `num_jobs` jobs, Poisson arrivals
+    /// loading a 128-node machine to roughly 85 %, power-of-two sizes 1–32,
+    /// lognormal runtimes, all rigid.
+    pub fn new(num_jobs: usize) -> Self {
+        WorkloadConfig {
+            num_jobs,
+            seed: 1,
+            // Mean size ~9.6 nodes (powers of two 1..32), mean runtime
+            // ~1100 s ⇒ at 85 % of 128 nodes, one job every ~97 s.
+            arrival: ArrivalProcess::Poisson { mean_interarrival: 97.0 },
+            size: SizeDistribution::PowersOfTwo { min: 1, max: 32 },
+            runtime: Distribution::LogNormal { mu: 6.8, sigma: 0.6 },
+            mix: ClassMix { rigid: 1.0, moldable: 0.0, malleable: 0.0, evolving: 0.0 },
+            app: AppTemplate::default(),
+            platform_nodes: 128,
+            walltime_factor: 0.0,
+        }
+    }
+
+    /// Sets the RNG seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Replaces the class mix with `f` malleable / `1-f` rigid.
+    pub fn with_malleable_fraction(mut self, f: f64) -> Self {
+        assert!((0.0..=1.0).contains(&f));
+        self.mix = ClassMix { rigid: 1.0 - f, moldable: 0.0, malleable: f, evolving: 0.0 };
+        self
+    }
+
+    /// Sets an arbitrary class mix.
+    pub fn with_mix(mut self, mix: ClassMix) -> Self {
+        self.mix = mix;
+        self
+    }
+
+    /// Sets the arrival process.
+    pub fn with_arrival(mut self, arrival: ArrivalProcess) -> Self {
+        self.arrival = arrival;
+        self
+    }
+
+    /// Sets the size distribution.
+    pub fn with_sizes(mut self, size: SizeDistribution) -> Self {
+        self.size = size;
+        self
+    }
+
+    /// Sets the platform-size cap.
+    pub fn with_platform_nodes(mut self, n: u32) -> Self {
+        self.platform_nodes = n;
+        self
+    }
+
+    /// Generates the workload, sorted by submit time, ids `0..num_jobs`.
+    pub fn generate(&self) -> Vec<JobSpec> {
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut t = 0.0;
+        let mut jobs = Vec::with_capacity(self.num_jobs);
+        for id in 0..self.num_jobs as u64 {
+            t += match self.arrival {
+                ArrivalProcess::Poisson { mean_interarrival } => {
+                    Distribution::Exponential { mean: mean_interarrival }.sample(&mut rng)
+                }
+                ArrivalProcess::Periodic { interval } => interval,
+                ArrivalProcess::AllAtOnce => 0.0,
+            };
+            let size = self
+                .size
+                .sample(&mut rng)
+                .clamp(1, self.platform_nodes);
+            let runtime = self.runtime.sample(&mut rng).max(1.0);
+            let class = self.mix.draw(&mut rng);
+            let app = self.app.instantiate(&mut rng, runtime, size);
+            let (min, max) = elastic_range(size, self.platform_nodes);
+            let mut job = match class {
+                JobClass::Rigid => JobSpec::rigid(id, t, size, app),
+                JobClass::Moldable => JobSpec::moldable(id, t, min, max, app),
+                JobClass::Malleable => JobSpec::malleable(id, t, min, max, app),
+                JobClass::Evolving => {
+                    let mut app = app;
+                    sprinkle_evolving_requests(&mut app, &mut rng, min, max);
+                    JobSpec::evolving(id, t, size.clamp(min, max), min, max, app)
+                }
+            };
+            if self.walltime_factor > 0.0 {
+                // Walltime limits leave generous headroom: the runtime
+                // target ignores communication, I/O, and contention.
+                job = job.with_walltime(self.walltime_factor * runtime);
+            }
+            jobs.push(job);
+        }
+        jobs
+    }
+
+    /// Aggregate node-seconds of compute demand, for utilization reports.
+    pub fn expected_load(&self) -> f64 {
+        // mean size × mean runtime × jobs; approximate for reports only.
+        let mean_size = match self.size {
+            SizeDistribution::Fixed { nodes } => nodes as f64,
+            SizeDistribution::Uniform { min, max } => (min + max) as f64 / 2.0,
+            SizeDistribution::PowersOfTwo { min, max } => {
+                let lo = min.max(1).next_power_of_two().trailing_zeros();
+                let hi = 31 - max.max(1).leading_zeros();
+                let powers: Vec<f64> = (lo..=hi.max(lo)).map(|p| (1u64 << p) as f64).collect();
+                powers.iter().sum::<f64>() / powers.len() as f64
+            }
+        };
+        mean_size * self.runtime.mean() * self.num_jobs as f64
+    }
+}
+
+/// Elastic node range around a requested size: half to double, clamped.
+fn elastic_range(size: u32, platform: u32) -> (u32, u32) {
+    let min = (size / 2).max(1);
+    let max = (size * 2).min(platform).max(min);
+    (min, max)
+}
+
+/// Inserts evolving resource requests on some phases: the job asks for more
+/// nodes on entering compute-heavy segments and releases them afterwards.
+fn sprinkle_evolving_requests(
+    app: &mut ApplicationModel,
+    rng: &mut StdRng,
+    min: u32,
+    max: u32,
+) {
+    for phase in app.phases.iter_mut().skip(1) {
+        if rng.gen_bool(0.5) {
+            phase.evolving_request = Some(rng.gen_range(min..=max));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job::validate_workload;
+
+    #[test]
+    fn generates_requested_count_sorted_by_submit() {
+        let jobs = WorkloadConfig::new(50).with_seed(3).generate();
+        assert_eq!(jobs.len(), 50);
+        for w in jobs.windows(2) {
+            assert!(w[0].submit_time <= w[1].submit_time);
+        }
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let a = WorkloadConfig::new(20).with_seed(11).generate();
+        let b = WorkloadConfig::new(20).with_seed(11).generate();
+        assert_eq!(a, b);
+        let c = WorkloadConfig::new(20).with_seed(12).generate();
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn generated_workloads_validate() {
+        for frac in [0.0, 0.5, 1.0] {
+            let jobs = WorkloadConfig::new(100)
+                .with_malleable_fraction(frac)
+                .with_seed(5)
+                .generate();
+            validate_workload(&jobs, 128).expect("generated workload must validate");
+        }
+    }
+
+    #[test]
+    fn malleable_fraction_respected() {
+        let jobs = WorkloadConfig::new(400).with_malleable_fraction(0.5).generate();
+        let malleable = jobs.iter().filter(|j| j.class == JobClass::Malleable).count();
+        assert!((150..=250).contains(&malleable), "got {malleable}");
+        assert!(jobs
+            .iter()
+            .all(|j| matches!(j.class, JobClass::Rigid | JobClass::Malleable)));
+    }
+
+    #[test]
+    fn power_of_two_sizes() {
+        let jobs = WorkloadConfig::new(200)
+            .with_sizes(SizeDistribution::PowersOfTwo { min: 2, max: 16 })
+            .generate();
+        for j in &jobs {
+            assert!(j.max_nodes.is_power_of_two() || j.class != JobClass::Rigid);
+            if j.class == JobClass::Rigid {
+                assert!((2..=16).contains(&j.min_nodes));
+            }
+        }
+    }
+
+    #[test]
+    fn evolving_jobs_carry_requests() {
+        let cfg = WorkloadConfig::new(50)
+            .with_mix(ClassMix { rigid: 0.0, moldable: 0.0, malleable: 0.0, evolving: 1.0 });
+        let jobs = cfg.generate();
+        assert!(jobs.iter().all(|j| j.class == JobClass::Evolving));
+        // At least some phases beyond the first ask for resources.
+        assert!(jobs
+            .iter()
+            .any(|j| j.app.phases.iter().skip(1).any(|p| p.evolving_request.is_some())));
+        validate_workload(&jobs, 128).unwrap();
+    }
+
+    #[test]
+    fn all_at_once_submits_at_zero() {
+        let jobs = WorkloadConfig::new(10)
+            .with_arrival(ArrivalProcess::AllAtOnce)
+            .generate();
+        assert!(jobs.iter().all(|j| j.submit_time == 0.0));
+    }
+
+    #[test]
+    fn walltime_factor_sets_limits() {
+        let mut cfg = WorkloadConfig::new(10);
+        cfg.walltime_factor = 3.0;
+        let jobs = cfg.generate();
+        assert!(jobs.iter().all(|j| j.walltime.is_some()));
+    }
+
+    #[test]
+    fn elastic_range_clamps() {
+        assert_eq!(elastic_range(1, 128), (1, 2));
+        assert_eq!(elastic_range(8, 128), (4, 16));
+        assert_eq!(elastic_range(100, 128), (50, 128));
+    }
+
+    #[test]
+    fn template_runtime_scales_with_nodes() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let t = AppTemplate::default();
+        let app = t.instantiate(&mut rng, 1000.0, 8);
+        // Per-node compute flops at 8 nodes, summed over iterations, equal
+        // 1000 s × node_flops — i.e. the job computes for 1000 s at its
+        // reference size.
+        let per_node: f64 = app
+            .phases
+            .iter()
+            .flat_map(|p| p.tasks.iter().map(move |t| (p, t)))
+            .filter_map(|(p, task)| match &task.kind {
+                crate::task::TaskKind::Compute { flops, .. } => {
+                    Some(flops.eval_nodes(8).unwrap() * p.iterations as f64)
+                }
+                _ => None,
+            })
+            .sum();
+        let expected = 1000.0 * t.node_flops;
+        assert!(
+            (per_node - expected).abs() / expected < 1e-6,
+            "per-node {per_node} vs {expected}"
+        );
+        // On 16 nodes each node has half the work: strong scaling.
+        let at16: f64 = app
+            .phases
+            .iter()
+            .flat_map(|p| p.tasks.iter().map(move |t| (p, t)))
+            .filter_map(|(p, task)| match &task.kind {
+                crate::task::TaskKind::Compute { flops, .. } => {
+                    Some(flops.eval_nodes(16).unwrap() * p.iterations as f64)
+                }
+                _ => None,
+            })
+            .sum();
+        assert!((at16 - expected / 2.0).abs() / expected < 1e-6);
+    }
+
+    #[test]
+    fn gpu_offload_adds_gpu_tasks() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let t = AppTemplate { gpu_offload: 0.8, ..AppTemplate::default() };
+        let app = t.instantiate(&mut rng, 100.0, 4);
+        let mut cpu = 0.0;
+        let mut gpu = 0.0;
+        for phase in &app.phases {
+            for task in &phase.tasks {
+                if let crate::task::TaskKind::Compute { flops, target } = &task.kind {
+                    let v = flops.eval_nodes(4).unwrap() * phase.iterations as f64;
+                    match target {
+                        crate::task::ComputeTarget::Cpu => cpu += v,
+                        crate::task::ComputeTarget::Gpu => gpu += v,
+                    }
+                }
+            }
+        }
+        assert!(gpu > 0.0);
+        assert!((gpu / (cpu + gpu) - 0.8).abs() < 1e-9, "offload share wrong");
+    }
+
+    #[test]
+    fn checkpoints_inserted_per_segment() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let t = AppTemplate {
+            iterations: Distribution::Fixed { value: 25.0 },
+            checkpoint_every: 10,
+            ..AppTemplate::default()
+        };
+        let app = t.instantiate(&mut rng, 100.0, 4);
+        let ckpts = app
+            .phases
+            .iter()
+            .filter(|p| p.name.starts_with("checkpoint"))
+            .count();
+        assert_eq!(ckpts, 3, "25 iters / every 10 → 3 segments");
+    }
+}

@@ -1,0 +1,43 @@
+#![warn(missing_docs)]
+
+//! # elastisim-workload — jobs, applications, and workload generation
+//!
+//! The workload half of the ElastiSim model:
+//!
+//! * [`JobSpec`] — a batch job in one of the four Feitelson–Rudolph classes
+//!   (rigid, moldable, malleable, evolving), with its node-count
+//!   constraints, submit time, walltime limit, and application model.
+//! * [`ApplicationModel`] — what the job *does*: a list of [`Phase`]s, each
+//!   iterating a list of [`Task`]s (compute, communication patterns, PFS or
+//!   burst-buffer I/O, delays). Task loads are [`PerfExpr`] performance
+//!   models over `num_nodes`, so work follows reconfigurations.
+//! * [`WorkloadConfig`] — seeded synthetic workload generation with the knobs
+//!   the reproduced experiments sweep (arrival rate, size distribution,
+//!   malleable share).
+//! * [`parse_swf`] — a reader/writer for the Standard Workload Format, so real
+//!   traces can be replayed as rigid workloads.
+//!
+//! ```
+//! use elastisim_workload::{AppTemplate, WorkloadConfig};
+//!
+//! let cfg = WorkloadConfig::new(100).with_malleable_fraction(0.5).with_seed(7);
+//! let jobs = cfg.generate();
+//! assert_eq!(jobs.len(), 100);
+//! ```
+
+mod app;
+mod dist;
+mod expr_serde;
+mod generator;
+mod job;
+mod swf;
+mod task;
+
+pub use app::{ApplicationModel, Phase};
+pub use dist::{Distribution, Sampler};
+pub use expr_serde::PerfExpr;
+pub use generator::{AppTemplate, ArrivalProcess, SizeDistribution, WorkloadConfig};
+pub use generator::ClassMix;
+pub use job::{validate_workload, JobClass, JobId, JobSpec, WorkloadError};
+pub use swf::{parse_swf, to_swf, SwfJob};
+pub use task::{CommPattern, ComputeTarget, IoTarget, Task, TaskKind};

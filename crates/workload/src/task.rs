@@ -1,0 +1,208 @@
+//! Tasks — the atoms of the application model.
+//!
+//! Tasks inside a phase run sequentially with barrier semantics between
+//! them (the next task starts when every rank finished the previous one),
+//! which matches the bulk-synchronous structure ElastiSim's application
+//! model targets.
+
+use serde::{Deserialize, Serialize};
+
+use crate::expr_serde::PerfExpr;
+
+/// Which engine executes a compute task.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+#[serde(rename_all = "snake_case")]
+pub enum ComputeTarget {
+    /// The node's CPU resource.
+    Cpu,
+    /// The node's GPUs (work split evenly across them).
+    Gpu,
+}
+
+/// Collective communication patterns. The pattern decides how the total
+/// byte volume maps onto NIC and backbone resources.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+#[serde(rename_all = "snake_case")]
+pub enum CommPattern {
+    /// Every rank exchanges with every other rank; total volume crosses
+    /// all NICs and stresses the backbone.
+    AllToAll,
+    /// Nearest-neighbor halo exchange; volume per node is constant.
+    Ring,
+    /// Rank 0 sends to all others (fan-out bound by root's NIC).
+    Broadcast,
+    /// All ranks send to rank 0 (fan-in bound by root's NIC).
+    Gather,
+}
+
+/// Which storage tier an I/O task uses.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+#[serde(rename_all = "snake_case")]
+pub enum IoTarget {
+    /// The shared parallel file system.
+    Pfs,
+    /// Node-local burst buffers (falls back to the PFS on nodes without
+    /// one).
+    BurstBuffer,
+}
+
+/// The work a task performs. All loads are **per node**, given as
+/// performance models over `num_nodes` — the ElastiSim convention (per-rank
+/// payloads): a strong-scaling kernel is written `W / num_nodes`, a
+/// constant-per-node halo exchange is just a constant.
+#[derive(Clone, PartialEq, Debug, Serialize, Deserialize)]
+#[serde(tag = "type", rename_all = "snake_case")]
+pub enum TaskKind {
+    /// Each allocated node executes `flops` floating-point work; the task
+    /// finishes when the slowest node does (barrier semantics).
+    Compute {
+        /// Work per node, flops.
+        flops: PerfExpr,
+        /// CPU or GPU execution.
+        #[serde(default = "default_target")]
+        target: ComputeTarget,
+    },
+    /// A collective in which each node sends `bytes`.
+    Communication {
+        /// Bytes sent per node.
+        bytes: PerfExpr,
+        /// The traffic pattern.
+        pattern: CommPattern,
+    },
+    /// Each node reads `bytes` from a storage tier.
+    Read {
+        /// Bytes read per node.
+        bytes: PerfExpr,
+        /// Storage tier.
+        target: IoTarget,
+    },
+    /// Each node writes `bytes` to a storage tier.
+    Write {
+        /// Bytes written per node.
+        bytes: PerfExpr,
+        /// Storage tier.
+        target: IoTarget,
+    },
+    /// Idle for a fixed duration (ramp-up, license waits, ...).
+    Delay {
+        /// Seconds to idle.
+        seconds: PerfExpr,
+    },
+}
+
+fn default_target() -> ComputeTarget {
+    ComputeTarget::Cpu
+}
+
+/// A named task.
+#[derive(Clone, PartialEq, Debug, Serialize, Deserialize)]
+pub struct Task {
+    /// Label used in traces.
+    pub name: String,
+    /// What the task does.
+    #[serde(flatten)]
+    pub kind: TaskKind,
+}
+
+impl Task {
+    /// A CPU compute task.
+    pub fn compute(name: impl Into<String>, flops: PerfExpr) -> Task {
+        Task {
+            name: name.into(),
+            kind: TaskKind::Compute { flops, target: ComputeTarget::Cpu },
+        }
+    }
+
+    /// A GPU compute task.
+    pub fn gpu_compute(name: impl Into<String>, flops: PerfExpr) -> Task {
+        Task {
+            name: name.into(),
+            kind: TaskKind::Compute { flops, target: ComputeTarget::Gpu },
+        }
+    }
+
+    /// A communication task.
+    pub fn comm(name: impl Into<String>, bytes: PerfExpr, pattern: CommPattern) -> Task {
+        Task {
+            name: name.into(),
+            kind: TaskKind::Communication { bytes, pattern },
+        }
+    }
+
+    /// A read task.
+    pub fn read(name: impl Into<String>, bytes: PerfExpr, target: IoTarget) -> Task {
+        Task {
+            name: name.into(),
+            kind: TaskKind::Read { bytes, target },
+        }
+    }
+
+    /// A write task.
+    pub fn write(name: impl Into<String>, bytes: PerfExpr, target: IoTarget) -> Task {
+        Task {
+            name: name.into(),
+            kind: TaskKind::Write { bytes, target },
+        }
+    }
+
+    /// A delay task.
+    pub fn delay(name: impl Into<String>, seconds: PerfExpr) -> Task {
+        Task {
+            name: name.into(),
+            kind: TaskKind::Delay { seconds },
+        }
+    }
+
+    /// The performance-model expressions this task evaluates (for
+    /// validation).
+    pub fn exprs(&self) -> Vec<&PerfExpr> {
+        match &self.kind {
+            TaskKind::Compute { flops, .. } => vec![flops],
+            TaskKind::Communication { bytes, .. } => vec![bytes],
+            TaskKind::Read { bytes, .. } | TaskKind::Write { bytes, .. } => vec![bytes],
+            TaskKind::Delay { seconds } => vec![seconds],
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_build_expected_kinds() {
+        let t = Task::compute("k", PerfExpr::constant(1e9));
+        assert!(matches!(t.kind, TaskKind::Compute { target: ComputeTarget::Cpu, .. }));
+        let t = Task::gpu_compute("k", PerfExpr::constant(1e9));
+        assert!(matches!(t.kind, TaskKind::Compute { target: ComputeTarget::Gpu, .. }));
+        let t = Task::comm("c", PerfExpr::constant(1e6), CommPattern::AllToAll);
+        assert!(matches!(t.kind, TaskKind::Communication { .. }));
+    }
+
+    #[test]
+    fn serde_tagged_roundtrip() {
+        let tasks = vec![
+            Task::compute("a", PerfExpr::parse("1e12 / num_nodes").unwrap()),
+            Task::comm("b", PerfExpr::constant(1e9), CommPattern::Ring),
+            Task::read("c", PerfExpr::constant(1e10), IoTarget::Pfs),
+            Task::write("d", PerfExpr::constant(1e10), IoTarget::BurstBuffer),
+            Task::delay("e", PerfExpr::constant(5.0)),
+        ];
+        let json = serde_json::to_string(&tasks).unwrap();
+        let back: Vec<Task> = serde_json::from_str(&json).unwrap();
+        assert_eq!(tasks, back);
+    }
+
+    #[test]
+    fn compute_target_defaults_to_cpu() {
+        let json = r#"{"name":"k","type":"compute","flops":"1e9"}"#;
+        let t: Task = serde_json::from_str(json).unwrap();
+        assert!(matches!(t.kind, TaskKind::Compute { target: ComputeTarget::Cpu, .. }));
+    }
+
+    #[test]
+    fn exprs_exposes_all_models() {
+        let t = Task::write("w", PerfExpr::constant(1.0), IoTarget::Pfs);
+        assert_eq!(t.exprs().len(), 1);
+    }
+}

@@ -1,0 +1,55 @@
+//! I/O modeling: checkpoint-heavy jobs contending on the shared PFS versus
+//! the same jobs using node-local burst buffers.
+//!
+//! Run with: `cargo run --release --example io_burst_buffers`
+
+use elastisim::{SimConfig, Simulation};
+use elastisim_platform::{NodeSpec, PlatformSpec};
+use elastisim_sched::FcfsScheduler;
+use elastisim_workload::{
+    ApplicationModel, ArrivalProcess, IoTarget, JobSpec, PerfExpr, Phase, Task,
+};
+
+/// `count` identical checkpointing jobs of `nodes` nodes each.
+fn workload(count: u64, nodes: u32, target: IoTarget) -> Vec<JobSpec> {
+    (0..count)
+        .map(|id| {
+            let app = ApplicationModel::new(vec![Phase::repeated(
+                "compute+ckpt",
+                5,
+                vec![
+                    Task::compute("kernel", PerfExpr::constant(20.0 * 2e12)),
+                    Task::write("checkpoint", PerfExpr::constant(25e9), target),
+                ],
+            )]);
+            JobSpec::rigid(id, 0.0, nodes, app)
+        })
+        .collect()
+}
+
+fn run(count: u64, target: IoTarget) -> f64 {
+    let platform = PlatformSpec::homogeneous("io-demo", 32, NodeSpec::default());
+    Simulation::new(
+        &platform,
+        workload(count, 4, target),
+        Box::new(FcfsScheduler::new()),
+        SimConfig::default(),
+    )
+    .expect("valid workload")
+    .run()
+    .summary()
+    .makespan
+}
+
+fn main() {
+    let _ = ArrivalProcess::AllAtOnce; // (workload here is hand-built)
+    println!("{:>18} {:>14} {:>14} {:>10}", "concurrent jobs", "PFS makespan", "BB makespan", "PFS/BB");
+    for count in [1, 2, 4, 8] {
+        let pfs = run(count, IoTarget::Pfs);
+        let bb = run(count, IoTarget::BurstBuffer);
+        println!("{count:>18} {pfs:>13.1}s {bb:>13.1}s {:>10.2}", pfs / bb);
+    }
+    println!("\nExpected shape: PFS makespan grows with job count (shared 50 GB/s");
+    println!("write pool saturates); burst-buffer makespan stays flat because the");
+    println!("bandwidth scales with the allocation.");
+}

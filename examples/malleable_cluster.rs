@@ -1,0 +1,56 @@
+//! The headline ElastiSim scenario: the same workload with an increasing
+//! share of malleable jobs, scheduled elastically. With a fragmenting size
+//! mix (non-power-of-two requests), makespan, waits, slowdown and
+//! utilization all improve monotonically with the malleable share.
+//!
+//! Run with: `cargo run --release --example malleable_cluster`
+
+use elastisim::{ReconfigCost, SimConfig, Simulation};
+use elastisim_platform::{NodeSpec, PlatformSpec};
+use elastisim_sched::ElasticScheduler;
+use elastisim_workload::{SizeDistribution, WorkloadConfig};
+
+fn main() {
+    let nodes = 64;
+    let platform = PlatformSpec::homogeneous("malleable-demo", nodes, NodeSpec::default());
+
+    println!(
+        "{:>10} {:>12} {:>12} {:>12} {:>10} {:>8}",
+        "malleable", "makespan", "mean wait", "mean tat", "slowdown", "util"
+    );
+    println!(
+        "{:->10} {:->12} {:->12} {:->12} {:->10} {:->8}",
+        "", "", "", "", "", ""
+    );
+
+    for pct in [0, 25, 50, 75, 100] {
+        let jobs = WorkloadConfig::new(150)
+            .with_platform_nodes(nodes as u32)
+            .with_malleable_fraction(pct as f64 / 100.0)
+            // Non-power-of-two requests fragment a rigid schedule; this is
+            // where malleability pays.
+            .with_sizes(SizeDistribution::Uniform { min: 3, max: 44 })
+            .with_seed(7)
+            .generate();
+        let report = Simulation::new(
+            &platform,
+            jobs,
+            Box::new(ElasticScheduler::new()),
+            SimConfig::default().with_reconfig_cost(ReconfigCost::Fixed(5.0)),
+        )
+        .expect("valid workload")
+        .run();
+        let s = report.summary();
+        println!(
+            "{:>9}% {:>11.0}s {:>11.0}s {:>11.0}s {:>10.2} {:>7.1}%",
+            pct,
+            s.makespan,
+            s.mean_wait,
+            s.mean_turnaround,
+            s.mean_bounded_slowdown,
+            s.utilization * 100.0
+        );
+    }
+    println!("\nExpected shape: every metric improves as the malleable share grows;");
+    println!("mean bounded slowdown roughly halves from 0% to 100% malleable.");
+}

@@ -1,0 +1,47 @@
+//! Quickstart: simulate a small cluster running a mixed workload under the
+//! elastic scheduler and print the headline metrics.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use elastisim::{SimConfig, Simulation};
+use elastisim_platform::{NodeSpec, PlatformSpec};
+use elastisim_sched::ElasticScheduler;
+use elastisim_workload::WorkloadConfig;
+
+fn main() {
+    // A 32-node cluster of default nodes (2 Tflop/s, 100 Gbit NIC, burst
+    // buffer), non-blocking network, default PFS.
+    let platform = PlatformSpec::homogeneous("quickstart", 32, NodeSpec::default());
+
+    // 100 jobs, half of them malleable, Poisson arrivals.
+    let jobs = WorkloadConfig::new(100)
+        .with_platform_nodes(32)
+        .with_malleable_fraction(0.5)
+        .with_seed(2022)
+        .generate();
+
+    let sim = Simulation::new(
+        &platform,
+        jobs,
+        Box::new(ElasticScheduler::new()),
+        SimConfig::default(),
+    )
+    .expect("workload fits the platform");
+
+    let report = sim.run();
+    let s = report.summary();
+
+    println!("platform        : {} nodes", report.total_nodes);
+    println!("jobs completed  : {}", s.completed);
+    println!("jobs killed     : {}", s.killed);
+    println!("makespan        : {:.0} s", s.makespan);
+    println!("mean wait       : {:.0} s", s.mean_wait);
+    println!("mean turnaround : {:.0} s", s.mean_turnaround);
+    println!("mean bnd slowdown: {:.2}", s.mean_bounded_slowdown);
+    println!("utilization     : {:.1} %", s.utilization * 100.0);
+    println!("des events      : {}", report.events);
+    println!("sched invocations: {}", report.scheduler_invocations);
+    for w in &report.warnings {
+        println!("warning: {w}");
+    }
+}

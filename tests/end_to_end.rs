@@ -1,0 +1,182 @@
+//! Cross-crate integration tests: the full pipeline from JSON platform
+//! descriptions and generated/parsed workloads through simulation to
+//! reports, exercising all public crates together.
+
+use elastisim::{Outcome, ReconfigCost, SimConfig, Simulation};
+use elastisim_platform::{NodeSpec, PlatformSpec};
+use elastisim_sched::{EasyBackfilling, ElasticScheduler, FcfsScheduler, Scheduler};
+use elastisim_workload::{
+    parse_swf, ArrivalProcess, ClassMix, JobClass, SizeDistribution, WorkloadConfig,
+};
+
+fn contended_workload(malleable: f64, seed: u64) -> Vec<elastisim_workload::JobSpec> {
+    WorkloadConfig::new(60)
+        .with_platform_nodes(32)
+        .with_malleable_fraction(malleable)
+        .with_sizes(SizeDistribution::Uniform { min: 2, max: 22 })
+        .with_arrival(ArrivalProcess::Poisson { mean_interarrival: 300.0 })
+        .with_seed(seed)
+        .generate()
+}
+
+fn run(jobs: Vec<elastisim_workload::JobSpec>, sched: Box<dyn Scheduler>) -> elastisim::Report {
+    let platform = PlatformSpec::homogeneous("e2e", 32, NodeSpec::default());
+    Simulation::new(
+        &platform,
+        jobs,
+        sched,
+        SimConfig::default().with_reconfig_cost(ReconfigCost::Fixed(5.0)),
+    )
+    .unwrap()
+    .run()
+}
+
+#[test]
+fn platform_roundtrips_through_json_and_simulates() {
+    let spec = PlatformSpec::homogeneous("json-rt", 8, NodeSpec::default().with_gpus(1));
+    let spec = PlatformSpec::from_json(&spec.to_json()).unwrap();
+    let report = run_on_spec(&spec);
+    assert!(report.summary().completed > 0);
+}
+
+fn run_on_spec(spec: &PlatformSpec) -> elastisim::Report {
+    let jobs = WorkloadConfig::new(10)
+        .with_platform_nodes(spec.num_nodes() as u32)
+        .with_seed(1)
+        .generate();
+    Simulation::new(spec, jobs, Box::new(FcfsScheduler::new()), SimConfig::default())
+        .unwrap()
+        .run()
+}
+
+#[test]
+fn all_schedulers_complete_every_job_class() {
+    let mix = ClassMix { rigid: 0.4, moldable: 0.2, malleable: 0.2, evolving: 0.2 };
+    for make in [
+        || Box::new(FcfsScheduler::new()) as Box<dyn Scheduler>,
+        || Box::new(EasyBackfilling::new()) as Box<dyn Scheduler>,
+        || Box::new(ElasticScheduler::new()) as Box<dyn Scheduler>,
+    ] {
+        let jobs = WorkloadConfig::new(40)
+            .with_platform_nodes(32)
+            .with_mix(mix)
+            .with_seed(13)
+            .generate();
+        let classes: Vec<JobClass> = jobs.iter().map(|j| j.class).collect();
+        assert!(classes.contains(&JobClass::Evolving), "mix should include evolving");
+        let report = run(jobs, make());
+        let s = report.summary();
+        assert_eq!(
+            s.completed,
+            40,
+            "all jobs complete (incl. evolving jobs under non-elastic schedulers)"
+        );
+    }
+}
+
+#[test]
+fn elastic_beats_rigid_baseline_on_contended_workload() {
+    // The headline claim, as a regression test: the same workload fully
+    // malleable under the elastic scheduler beats the all-rigid version on
+    // makespan, slowdown, and utilization.
+    let mut wins = 0;
+    for seed in [7, 42, 99] {
+        let rigid = run(contended_workload(0.0, seed), Box::new(EasyBackfilling::new()));
+        let elastic = run(contended_workload(1.0, seed), Box::new(ElasticScheduler::new()));
+        let (r, e) = (rigid.summary(), elastic.summary());
+        assert!(e.utilization > r.utilization - 0.02, "seed {seed}: util regressed");
+        if e.makespan < r.makespan && e.mean_bounded_slowdown < r.mean_bounded_slowdown {
+            wins += 1;
+        }
+    }
+    assert!(wins >= 2, "elastic should win on most seeds, won {wins}/3");
+}
+
+#[test]
+fn swf_trace_replays_as_rigid_workload() {
+    let swf = "\
+; tiny trace
+1 0 0 600 8 -1 -1 8 1200 -1 1 1 1 -1 1 -1 -1 -1
+2 60 0 300 16 -1 -1 16 600 -1 1 1 1 -1 1 -1 -1 -1
+3 120 0 1200 4 -1 -1 4 2400 -1 1 1 1 -1 1 -1 -1 -1
+";
+    let node_flops = NodeSpec::default().flops;
+    let jobs: Vec<_> = parse_swf(swf)
+        .unwrap()
+        .iter()
+        .map(|j| j.to_job_spec(node_flops, 1))
+        .collect();
+    let platform = PlatformSpec::homogeneous("swf", 32, NodeSpec::default());
+    let report =
+        Simulation::new(&platform, jobs, Box::new(EasyBackfilling::new()), SimConfig::default())
+            .unwrap()
+            .run();
+    assert_eq!(report.summary().completed, 3);
+    // Runtimes reproduce the trace (no contention at these sizes).
+    let j1 = report.job(elastisim_workload::JobId(1)).unwrap();
+    assert!((j1.runtime().unwrap() - 600.0).abs() < 1.0, "runtime {:?}", j1.runtime());
+}
+
+#[test]
+fn walltime_kills_appear_in_report() {
+    let swf = "1 0 0 600 4 -1 -1 4 300 -1 1 1 1 -1 1 -1 -1 -1\n";
+    let jobs: Vec<_> = parse_swf(swf)
+        .unwrap()
+        .iter()
+        .map(|j| j.to_job_spec(NodeSpec::default().flops, 1))
+        .collect();
+    let platform = PlatformSpec::homogeneous("swf", 8, NodeSpec::default());
+    let report =
+        Simulation::new(&platform, jobs, Box::new(FcfsScheduler::new()), SimConfig::default())
+            .unwrap()
+            .run();
+    let j = &report.jobs[0];
+    assert_eq!(j.outcome, Outcome::WalltimeExceeded);
+    assert!((j.runtime().unwrap() - 300.0).abs() < 1.0);
+}
+
+#[test]
+fn report_csv_exports_are_well_formed() {
+    let report = run(contended_workload(0.5, 3), Box::new(ElasticScheduler::new()));
+    let jobs = elastisim::jobs_csv(&report);
+    assert_eq!(jobs.lines().count(), 61, "header + 60 jobs");
+    let util = elastisim::utilization_csv(&report);
+    assert!(util.lines().count() > 10);
+    let gantt = elastisim::gantt_csv(&report);
+    assert!(gantt.lines().count() > 60, "at least one interval per job");
+    // Every line has the same number of commas as its header.
+    for csv in [&jobs, &util, &gantt] {
+        let cols = csv.lines().next().unwrap().matches(',').count();
+        for line in csv.lines().skip(1) {
+            assert_eq!(line.matches(',').count(), cols, "ragged row: {line}");
+        }
+    }
+}
+
+#[test]
+fn workload_json_roundtrip_preserves_simulation() {
+    let jobs = contended_workload(0.5, 21);
+    let json = serde_json::to_string(&jobs).unwrap();
+    let jobs2: Vec<elastisim_workload::JobSpec> = serde_json::from_str(&json).unwrap();
+    assert_eq!(jobs, jobs2);
+    let a = run(jobs, Box::new(ElasticScheduler::new()));
+    let b = run(jobs2, Box::new(ElasticScheduler::new()));
+    assert_eq!(elastisim::jobs_csv(&a), elastisim::jobs_csv(&b));
+}
+
+#[test]
+fn moldable_only_workload_sizes_within_range() {
+    let jobs = WorkloadConfig::new(30)
+        .with_platform_nodes(32)
+        .with_mix(ClassMix { rigid: 0.0, moldable: 1.0, malleable: 0.0, evolving: 0.0 })
+        .with_seed(17)
+        .generate();
+    let bounds: std::collections::HashMap<_, _> =
+        jobs.iter().map(|j| (j.id, (j.min_nodes, j.max_nodes))).collect();
+    let report = run(jobs, Box::new(ElasticScheduler::new()));
+    for j in &report.jobs {
+        let (min, max) = bounds[&j.id];
+        assert!(j.max_nodes_held >= min && j.max_nodes_held <= max);
+        assert_eq!(j.reconfigs, 0, "moldable jobs never resize after start");
+    }
+}

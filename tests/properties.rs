@@ -1,0 +1,123 @@
+//! Cross-crate property tests: for arbitrary generated workloads the
+//! simulator must uphold its global invariants regardless of scheduler or
+//! configuration.
+
+use elastisim::{ReconfigCost, SimConfig, Simulation};
+use elastisim_platform::{NodeSpec, PlatformSpec};
+use elastisim_sched::{EasyBackfilling, ElasticScheduler, FcfsScheduler, Scheduler};
+use elastisim_workload::{ArrivalProcess, ClassMix, SizeDistribution, WorkloadConfig};
+use proptest::prelude::*;
+
+fn scheduler(which: u8) -> Box<dyn Scheduler> {
+    match which % 3 {
+        0 => Box::new(FcfsScheduler::new()),
+        1 => Box::new(EasyBackfilling::new()),
+        _ => Box::new(ElasticScheduler::new()),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Whatever the workload mix, scheduler, and reconfig cost: every job
+    /// completes, node allocations never overlap, per-job accounting
+    /// matches the cluster-level utilization integral, and causality holds
+    /// (submit ≤ start ≤ end).
+    #[test]
+    fn simulation_invariants(
+        seed in 0u64..1000,
+        which_sched in 0u8..3,
+        rigid_w in 0.0f64..1.0,
+        malleable_w in 0.0f64..1.0,
+        evolving_w in 0.0f64..1.0,
+        reconfig_fixed in 0.0f64..20.0,
+        interval in 20.0f64..200.0,
+    ) {
+        let nodes = 16u32;
+        let mix = ClassMix {
+            rigid: rigid_w + 0.05,
+            moldable: 0.1,
+            malleable: malleable_w,
+            evolving: evolving_w,
+        };
+        let jobs = WorkloadConfig::new(20)
+            .with_platform_nodes(nodes)
+            .with_mix(mix)
+            .with_sizes(SizeDistribution::Uniform { min: 1, max: 12 })
+            .with_arrival(ArrivalProcess::Poisson { mean_interarrival: 150.0 })
+            .with_seed(seed)
+            .generate();
+        let platform = PlatformSpec::homogeneous("prop", nodes as usize, NodeSpec::default());
+        let report = Simulation::new(
+            &platform,
+            jobs,
+            scheduler(which_sched),
+            SimConfig::default()
+                .with_interval(interval)
+                .with_reconfig_cost(ReconfigCost::Fixed(reconfig_fixed)),
+        )
+        .unwrap()
+        .run();
+
+        // Every job completed (workloads are always feasible here).
+        let s = report.summary();
+        prop_assert_eq!(s.completed + s.killed, 20);
+
+        // Causality.
+        for j in &report.jobs {
+            if let (Some(start), Some(end)) = (j.start, j.end) {
+                prop_assert!(j.submit <= start + 1e-9);
+                prop_assert!(start <= end + 1e-9);
+            }
+        }
+
+        // Node exclusivity: per node, gantt intervals don't overlap.
+        let mut per_node: std::collections::HashMap<_, Vec<(f64, f64)>> =
+            std::collections::HashMap::new();
+        for g in &report.gantt {
+            per_node.entry(g.node).or_default().push((g.from, g.to));
+        }
+        for iv in per_node.values_mut() {
+            iv.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+            for w in iv.windows(2) {
+                prop_assert!(w[0].1 <= w[1].0 + 1e-9, "node allocated twice");
+            }
+        }
+
+        // Accounting: Σ per-job node-seconds == utilization integral ==
+        // Σ gantt interval lengths.
+        let from_jobs: f64 = report.jobs.iter().map(|j| j.node_seconds).sum();
+        let from_series = report.utilization.node_seconds(s.makespan);
+        prop_assert!((from_jobs - from_series).abs() <= 1e-6 * from_jobs.max(1.0));
+        let from_gantt: f64 = report.gantt.iter().map(|g| g.to - g.from).sum();
+        prop_assert!((from_jobs - from_gantt).abs() <= 1e-6 * from_jobs.max(1.0));
+
+        // Utilization bounded.
+        prop_assert!(s.utilization <= 1.0 + 1e-9);
+    }
+
+    /// Simulations are reproducible: identical inputs give identical
+    /// reports, byte for byte.
+    #[test]
+    fn determinism(seed in 0u64..500, which_sched in 0u8..3) {
+        let go = || {
+            let jobs = WorkloadConfig::new(15)
+                .with_platform_nodes(8)
+                .with_malleable_fraction(0.5)
+                .with_seed(seed)
+                .generate();
+            let platform = PlatformSpec::homogeneous("det", 8, NodeSpec::default());
+            let report = Simulation::new(
+                &platform, jobs, scheduler(which_sched), SimConfig::default(),
+            )
+            .unwrap()
+            .run();
+            (
+                elastisim::jobs_csv(&report),
+                elastisim::utilization_csv(&report),
+                report.events,
+            )
+        };
+        prop_assert_eq!(go(), go());
+    }
+}
