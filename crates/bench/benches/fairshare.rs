@@ -22,7 +22,13 @@ fn instance(res: usize, acts: usize) -> InstanceData {
         })
         .collect();
     let bounds: Vec<f64> = (0..acts)
-        .map(|i| if i % 3 == 0 { 5.0 + i as f64 } else { f64::INFINITY })
+        .map(|i| {
+            if i % 3 == 0 {
+                5.0 + i as f64
+            } else {
+                f64::INFINITY
+            }
+        })
         .collect();
     (caps, usages, bounds)
 }
@@ -57,8 +63,7 @@ fn bench_sparse(c: &mut Criterion) {
         let (caps, usages, bounds) = {
             let caps: Vec<f64> = vec![100.0; res];
             // 32 activities all packed into the first 16 resources.
-            let usages: Vec<Vec<(usize, f64)>> =
-                (0..32).map(|i| vec![(i % 16, 1.0)]).collect();
+            let usages: Vec<Vec<(usize, f64)>> = (0..32).map(|i| vec![(i % 16, 1.0)]).collect();
             let bounds = vec![f64::INFINITY; 32];
             (caps, usages, bounds)
         };

@@ -12,7 +12,10 @@ struct SortedVec<E> {
 
 impl<E> SortedVec<E> {
     fn new() -> Self {
-        SortedVec { entries: Vec::new(), seq: 0 }
+        SortedVec {
+            entries: Vec::new(),
+            seq: 0,
+        }
     }
 
     fn push(&mut self, t: Time, e: E) {

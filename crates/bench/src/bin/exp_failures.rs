@@ -11,7 +11,10 @@ use elastisim_bench::{reference_platform, reference_workload, run_on, SEEDS};
 use elastisim_sched::ElasticScheduler;
 
 fn main() {
-    println!("R-F9: workload resilience vs node MTBF ({} seeds)", SEEDS.len());
+    println!(
+        "R-F9: workload resilience vs node MTBF ({} seeds)",
+        SEEDS.len()
+    );
     println!(
         "{:>12} {:>10} {:>10} {:>14} {:>16}",
         "node MTBF", "completed", "failed", "lost node-s", "makespan[s]"

@@ -8,9 +8,7 @@
 use elastisim::{SimConfig, Simulation};
 use elastisim_platform::{NodeSpec, PlatformSpec};
 use elastisim_sched::FcfsScheduler;
-use elastisim_workload::{
-    ApplicationModel, IoTarget, JobSpec, PerfExpr, Phase, Task,
-};
+use elastisim_workload::{ApplicationModel, IoTarget, JobSpec, PerfExpr, Phase, Task};
 
 const VOLUME: f64 = 100e9; // bytes written per node
 
@@ -41,7 +39,10 @@ fn makespan(count: u64, target: IoTarget) -> f64 {
 }
 
 fn main() {
-    println!("R-F4: PFS contention vs burst buffers ({} GB per writer)", VOLUME / 1e9);
+    println!(
+        "R-F4: PFS contention vs burst buffers ({} GB per writer)",
+        VOLUME / 1e9
+    );
     println!(
         "{:>8} {:>12} {:>14} {:>12} {:>14}",
         "writers", "PFS[s]", "PFS eff[GB/s]", "BB[s]", "BB eff[GB/s]"

@@ -29,14 +29,22 @@ fn main() {
         None => println!("{:<28} none", "burst buffer"),
     }
     println!("{:<28} {:.0} GB/s", "backbone", p.network.backbone_bw / 1e9);
-    println!("{:<28} {:.1} µs", "network latency", p.network.latency * 1e6);
+    println!(
+        "{:<28} {:.1} µs",
+        "network latency",
+        p.network.latency * 1e6
+    );
     println!(
         "{:<28} {:.0}/{:.0} GB/s r/w",
         "PFS bandwidth",
         p.pfs.read_bw / 1e9,
         p.pfs.write_bw / 1e9
     );
-    println!("{:<28} {:.2} Pflop/s", "aggregate compute", p.total_flops() / 1e15);
+    println!(
+        "{:<28} {:.2} Pflop/s",
+        "aggregate compute",
+        p.total_flops() / 1e15
+    );
     println!("\nplatform JSON (feed back via PlatformSpec::from_json):\n");
     println!("{}", &p.to_json()[..600.min(p.to_json().len())]);
     println!("... (truncated)");

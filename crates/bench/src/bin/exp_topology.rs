@@ -11,9 +11,7 @@
 use elastisim::{SimConfig, Simulation};
 use elastisim_platform::{NodeSpec, PlatformSpec};
 use elastisim_sched::{Decision, Invocation, NodeSet, Scheduler, SystemView};
-use elastisim_workload::{
-    ApplicationModel, CommPattern, JobSpec, PerfExpr, Phase, Task,
-};
+use elastisim_workload::{ApplicationModel, CommPattern, JobSpec, PerfExpr, Phase, Task};
 
 const NIC: f64 = 12.5e9;
 const LEAF: u32 = 8;
@@ -37,7 +35,9 @@ impl Scheduler for SelectingFcfs {
         let mut free = NodeSet::new(&view.free_nodes);
         let mut out = Vec::new();
         for job in view.queue() {
-            let Some(size) = job.start_size(free.available()) else { break };
+            let Some(size) = job.start_size(free.available()) else {
+                break;
+            };
             let nodes = if self.packed {
                 free.take_packed(size, self.leaf_size)
             } else {
@@ -55,7 +55,11 @@ impl Scheduler for SelectingFcfs {
 }
 
 /// Takes `n` nodes spreading across as many leaves as possible.
-fn scatter(free: &mut NodeSet, n: usize, leaf_size: u32) -> Option<Vec<elastisim_platform::NodeId>> {
+fn scatter(
+    free: &mut NodeSet,
+    n: usize,
+    leaf_size: u32,
+) -> Option<Vec<elastisim_platform::NodeId>> {
     if free.available() < n {
         return None;
     }
@@ -112,7 +116,10 @@ fn run(tree: bool, packed: bool) -> f64 {
     Simulation::new(
         &spec,
         workload(8, LEAF),
-        Box::new(SelectingFcfs { packed, leaf_size: LEAF }),
+        Box::new(SelectingFcfs {
+            packed,
+            leaf_size: LEAF,
+        }),
         SimConfig::default(),
     )
     .expect("valid workload")

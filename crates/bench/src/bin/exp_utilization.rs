@@ -19,10 +19,7 @@ fn main() {
         Box::new(ElasticScheduler::new()),
     );
 
-    let horizon = rigid
-        .summary()
-        .makespan
-        .max(malleable.summary().makespan);
+    let horizon = rigid.summary().makespan.max(malleable.summary().makespan);
     let dt = 600.0;
     let r = rigid.utilization.resample(dt, horizon);
     let m = malleable.utilization.resample(dt, horizon);

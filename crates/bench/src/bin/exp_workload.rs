@@ -49,7 +49,12 @@ fn main() {
         "offered load (approx)",
         cfg.expected_load() / (span * REF_NODES as f64)
     );
-    for class in [JobClass::Rigid, JobClass::Moldable, JobClass::Malleable, JobClass::Evolving] {
+    for class in [
+        JobClass::Rigid,
+        JobClass::Moldable,
+        JobClass::Malleable,
+        JobClass::Evolving,
+    ] {
         let n = jobs.iter().filter(|j| j.class == class).count();
         println!("{:<28} {}", format!("{class} jobs"), n);
     }

@@ -34,7 +34,9 @@ impl Args {
             .next()
             .ok_or_else(|| UsageError("missing command".into()))?;
         if command.starts_with('-') {
-            return Err(UsageError(format!("expected command, got option `{command}`")));
+            return Err(UsageError(format!(
+                "expected command, got option `{command}`"
+            )));
         }
         let mut options = HashMap::new();
         while let Some(arg) = it.next() {
@@ -125,7 +127,10 @@ mod tests {
         assert_eq!(a.int("jobs", 0).unwrap(), 100);
         assert_eq!(a.num("malleable", 0.0).unwrap(), 0.5);
         assert_eq!(a.num("seed", 7.0).unwrap(), 7.0);
-        assert!(Args::parse(["g", "--n", "abc"]).unwrap().int("n", 0).is_err());
+        assert!(Args::parse(["g", "--n", "abc"])
+            .unwrap()
+            .int("n", 0)
+            .is_err());
     }
 
     #[test]

@@ -77,7 +77,9 @@ pub fn parse_reconfig_cost(s: &str) -> Result<ReconfigCost, UsageError> {
         let bytes: f64 = v
             .parse()
             .map_err(|_| UsageError(format!("bad data volume `{v}`")))?;
-        return Ok(ReconfigCost::DataVolume { bytes_per_node: bytes });
+        return Ok(ReconfigCost::DataVolume {
+            bytes_per_node: bytes,
+        });
     }
     Err(UsageError(format!(
         "bad --reconfig-cost `{s}` (expected free, fixed:SECONDS, data:BYTES)"
@@ -134,7 +136,9 @@ pub fn cmd_generate(args: &Args) -> Result<Vec<JobSpec>, CliError> {
         .with_platform_nodes(nodes as u32)
         .with_malleable_fraction(malleable)
         .with_sizes(SizeDistribution::Uniform { min, max })
-        .with_arrival(ArrivalProcess::Poisson { mean_interarrival: interarrival })
+        .with_arrival(ArrivalProcess::Poisson {
+            mean_interarrival: interarrival,
+        })
         .with_seed(args.int("seed", 1)?);
     let workload = cfg.generate();
     if let Some(path) = args.get("out") {
@@ -158,7 +162,14 @@ pub fn load_jobs(path: &str, node_flops: f64) -> Result<Vec<JobSpec>, CliError> 
 
 /// `elastisim run`: simulates and optionally writes result files.
 pub fn cmd_run(args: &Args) -> Result<(Report, String), CliError> {
-    args.expect_only(&["platform", "jobs", "scheduler", "interval", "reconfig-cost", "out"])?;
+    args.expect_only(&[
+        "platform",
+        "jobs",
+        "scheduler",
+        "interval",
+        "reconfig-cost",
+        "out",
+    ])?;
     let platform_path = args.require("platform")?;
     let platform_json =
         fs::read_to_string(platform_path).map_err(|e| CliError::Io(platform_path.into(), e))?;
@@ -212,10 +223,19 @@ pub fn render_summary(report: &Report, scheduler: &str) -> String {
     out.push_str(&format!("makespan         : {:.1} s\n", s.makespan));
     out.push_str(&format!("mean wait        : {:.1} s\n", s.mean_wait));
     out.push_str(&format!("mean turnaround  : {:.1} s\n", s.mean_turnaround));
-    out.push_str(&format!("mean bnd slowdown: {:.2}\n", s.mean_bounded_slowdown));
-    out.push_str(&format!("utilization      : {:.1} %\n", s.utilization * 100.0));
+    out.push_str(&format!(
+        "mean bnd slowdown: {:.2}\n",
+        s.mean_bounded_slowdown
+    ));
+    out.push_str(&format!(
+        "utilization      : {:.1} %\n",
+        s.utilization * 100.0
+    ));
     out.push_str(&format!("des events       : {}\n", report.events));
-    out.push_str(&format!("sched invocations: {}\n", report.scheduler_invocations));
+    out.push_str(&format!(
+        "sched invocations: {}\n",
+        report.scheduler_invocations
+    ));
     for w in &report.warnings {
         out.push_str(&format!("warning: {w}\n"));
     }
@@ -254,10 +274,15 @@ mod tests {
     #[test]
     fn reconfig_cost_parsing() {
         assert_eq!(parse_reconfig_cost("free").unwrap(), ReconfigCost::Free);
-        assert_eq!(parse_reconfig_cost("fixed:5").unwrap(), ReconfigCost::Fixed(5.0));
+        assert_eq!(
+            parse_reconfig_cost("fixed:5").unwrap(),
+            ReconfigCost::Fixed(5.0)
+        );
         assert_eq!(
             parse_reconfig_cost("data:1e9").unwrap(),
-            ReconfigCost::DataVolume { bytes_per_node: 1e9 }
+            ReconfigCost::DataVolume {
+                bytes_per_node: 1e9
+            }
         );
         assert!(parse_reconfig_cost("fixed:x").is_err());
         assert!(parse_reconfig_cost("gratis").is_err());
@@ -270,23 +295,36 @@ mod tests {
         let j = dir.join("jobs.json");
         let out = dir.join("results");
 
-        let args = Args::parse([
-            "platform", "--nodes", "8", "--out", p.to_str().unwrap(),
-        ])
-        .unwrap();
+        let args = Args::parse(["platform", "--nodes", "8", "--out", p.to_str().unwrap()]).unwrap();
         cmd_platform(&args).unwrap();
 
         let args = Args::parse([
-            "generate", "--nodes", "8", "--jobs", "12", "--malleable", "0.5",
-            "--seed", "3", "--out", j.to_str().unwrap(),
+            "generate",
+            "--nodes",
+            "8",
+            "--jobs",
+            "12",
+            "--malleable",
+            "0.5",
+            "--seed",
+            "3",
+            "--out",
+            j.to_str().unwrap(),
         ])
         .unwrap();
         let jobs = cmd_generate(&args).unwrap();
         assert_eq!(jobs.len(), 12);
 
         let args = Args::parse([
-            "run", "--platform", p.to_str().unwrap(), "--jobs", j.to_str().unwrap(),
-            "--scheduler", "elastic", "--out", out.to_str().unwrap(),
+            "run",
+            "--platform",
+            p.to_str().unwrap(),
+            "--jobs",
+            j.to_str().unwrap(),
+            "--scheduler",
+            "elastic",
+            "--out",
+            out.to_str().unwrap(),
         ])
         .unwrap();
         let (report, summary) = cmd_run(&args).unwrap();
@@ -309,8 +347,13 @@ mod tests {
         .unwrap();
         fs::write(&t, "1 0 0 60 2 -1 -1 2 120 -1 1 1 1 -1 1 -1 -1 -1\n").unwrap();
         let args = Args::parse([
-            "run", "--platform", p.to_str().unwrap(), "--jobs", t.to_str().unwrap(),
-            "--scheduler", "fcfs",
+            "run",
+            "--platform",
+            p.to_str().unwrap(),
+            "--jobs",
+            t.to_str().unwrap(),
+            "--scheduler",
+            "fcfs",
         ])
         .unwrap();
         let (report, _) = cmd_run(&args).unwrap();
@@ -320,7 +363,9 @@ mod tests {
 
     #[test]
     fn dispatch_covers_commands() {
-        assert!(dispatch(&Args::parse(["help"]).unwrap()).unwrap().contains("USAGE"));
+        assert!(dispatch(&Args::parse(["help"]).unwrap())
+            .unwrap()
+            .contains("USAGE"));
         let scheds = dispatch(&Args::parse(["schedulers"]).unwrap()).unwrap();
         assert!(scheds.contains("elastic"));
         assert!(dispatch(&Args::parse(["frobnicate"]).unwrap()).is_err());
@@ -337,8 +382,13 @@ mod tests {
         let j = dir.join("jobs.json");
         fs::write(&j, "[]").unwrap();
         let args = Args::parse([
-            "run", "--platform", p.to_str().unwrap(), "--jobs", j.to_str().unwrap(),
-            "--scheduler", "quantum",
+            "run",
+            "--platform",
+            p.to_str().unwrap(),
+            "--jobs",
+            j.to_str().unwrap(),
+            "--scheduler",
+            "quantum",
         ])
         .unwrap();
         assert!(matches!(cmd_run(&args), Err(CliError::Usage(_))));
@@ -347,11 +397,21 @@ mod tests {
 
     #[test]
     fn generate_validates_ranges() {
-        assert!(cmd_generate(&Args::parse(["generate", "--nodes", "0", "--jobs", "5"]).unwrap())
-            .is_err());
+        assert!(
+            cmd_generate(&Args::parse(["generate", "--nodes", "0", "--jobs", "5"]).unwrap())
+                .is_err()
+        );
         assert!(cmd_generate(
-            &Args::parse(["generate", "--nodes", "4", "--jobs", "5", "--malleable", "2"])
-                .unwrap()
+            &Args::parse([
+                "generate",
+                "--nodes",
+                "4",
+                "--jobs",
+                "5",
+                "--malleable",
+                "2"
+            ])
+            .unwrap()
         )
         .is_err());
     }

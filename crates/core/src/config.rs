@@ -35,7 +35,11 @@ impl FailureModel {
     /// A failure model with the given per-node MTBF and one-hour repairs.
     pub fn with_mtbf(node_mtbf: f64) -> Self {
         assert!(node_mtbf > 0.0);
-        FailureModel { node_mtbf, repair_time: 3600.0, seed: 0x5EED }
+        FailureModel {
+            node_mtbf,
+            repair_time: 3600.0,
+            seed: 0x5EED,
+        }
     }
 }
 

@@ -10,9 +10,7 @@ use std::collections::{BTreeMap, BTreeSet, HashMap};
 
 use elastisim_des::{ActivitySpec, Simulator, Time};
 use elastisim_platform::{NodeId, Platform, PlatformSpec};
-use elastisim_sched::{
-    Decision, Invocation, JobRunInfo, JobState, JobView, Scheduler, SystemView,
-};
+use elastisim_sched::{Decision, Invocation, JobRunInfo, JobState, JobView, Scheduler, SystemView};
 use elastisim_workload::{validate_workload, JobClass, JobId, JobSpec, WorkloadError};
 
 use crate::config::{ReconfigCost, SimConfig};
@@ -178,8 +176,10 @@ impl Simulation {
         }
         let stalled = self.sim.stalled_activities();
         if !stalled.is_empty() {
-            self.warnings
-                .push(format!("{} activities stalled at end of simulation", stalled.len()));
+            self.warnings.push(format!(
+                "{} activities stalled at end of simulation",
+                stalled.len()
+            ));
         }
         self.build_report()
     }
@@ -194,9 +194,10 @@ impl Simulation {
 
     /// All `afterok` dependencies of a job completed successfully.
     fn deps_satisfied(&self, rt: &JobRuntime) -> bool {
-        rt.spec.dependencies.iter().all(|dep| {
-            matches!(self.outcomes.get(dep), Some((Outcome::Completed, _)))
-        })
+        rt.spec
+            .dependencies
+            .iter()
+            .all(|dep| matches!(self.outcomes.get(dep), Some((Outcome::Completed, _))))
     }
 
     /// Cancels every pending job that (transitively) depends on a job that
@@ -380,20 +381,25 @@ impl Simulation {
     /// Schedules the next cluster failure (exponential inter-arrival with
     /// rate nodes/MTBF) while work remains.
     fn schedule_next_failure(&mut self, now: f64) {
-        let Some(model) = self.cfg.failures else { return };
+        let Some(model) = self.cfg.failures else {
+            return;
+        };
         if !self.jobs.values().any(|j| j.state != RunState::Done) {
             return; // don't keep an idle simulation alive
         }
         let rate = self.platform.num_nodes() as f64 / model.node_mtbf;
         let u = self.next_uniform().max(f64::MIN_POSITIVE);
         let dt = -u.ln() / rate;
-        self.sim.schedule_at(Time::from_secs(now + dt), Ev::NodeFail);
+        self.sim
+            .schedule_at(Time::from_secs(now + dt), Ev::NodeFail);
     }
 
     /// One node fails: whatever ran on it dies, the node goes down for the
     /// repair time.
     fn handle_node_failure(&mut self, now: f64) {
-        let Some(model) = self.cfg.failures else { return };
+        let Some(model) = self.cfg.failures else {
+            return;
+        };
         // Pick a victim uniformly among up nodes.
         let up: Vec<NodeId> = self
             .platform
@@ -403,8 +409,10 @@ impl Simulation {
         if !up.is_empty() {
             let victim = up[(self.next_uniform() * up.len() as f64) as usize % up.len()];
             self.down.insert(victim);
-            self.sim
-                .schedule_at(Time::from_secs(now + model.repair_time), Ev::NodeRepair(victim));
+            self.sim.schedule_at(
+                Time::from_secs(now + model.repair_time),
+                Ev::NodeRepair(victim),
+            );
 
             if self.free.remove(&victim) {
                 // Idle node: just out of the pool until repaired.
@@ -425,8 +433,7 @@ impl Simulation {
                     let nodes = rt.pending_reconfig.take().expect("checked");
                     let alloc: BTreeSet<NodeId> = rt.alloc.iter().copied().collect();
                     for node in nodes {
-                        if !alloc.contains(&node) && self.reserved.remove(&node) && node != victim
-                        {
+                        if !alloc.contains(&node) && self.reserved.remove(&node) && node != victim {
                             self.free.insert(node);
                         }
                     }
@@ -445,7 +452,8 @@ impl Simulation {
                     })
                     .map(|rt| rt.spec.id);
                 if let Some(id) = owner {
-                    self.warnings.push(format!("{id}: killed by failure of {victim}"));
+                    self.warnings
+                        .push(format!("{id}: killed by failure of {victim}"));
                     self.terminate(id, now, Outcome::NodeFailure);
                     // terminate() freed the whole allocation including the
                     // victim; pull it back out of the pool.
@@ -495,8 +503,7 @@ impl Simulation {
             debug_assert!(was_reserved, "expansion node {node} was not reserved");
             self.open_gantt(id, node, now);
         }
-        self.allocated_total =
-            self.allocated_total + added.len() as u32 - removed.len() as u32;
+        self.allocated_total = self.allocated_total + added.len() as u32 - removed.len() as u32;
         self.util.record(now, self.allocated_total);
         if !removed.is_empty() && self.cfg.invoke_on_release {
             // Hand the released nodes out immediately; otherwise the queue
@@ -580,7 +587,12 @@ impl Simulation {
 
     fn close_gantt(&mut self, id: JobId, node: NodeId, now: f64) {
         if let Some(from) = self.gantt_open.remove(&(id, node)) {
-            self.gantt.push(GanttEntry { job: id, node, from, to: now });
+            self.gantt.push(GanttEntry {
+                job: id,
+                node,
+                from,
+                to: now,
+            });
         }
     }
 
@@ -592,8 +604,10 @@ impl Simulation {
         let work_remains = self.jobs.values().any(|j| j.state != RunState::Done);
         if !self.tick_pending && work_remains {
             self.tick_pending = true;
-            self.sim
-                .schedule_at(Time::from_secs(now + self.cfg.scheduling_interval), Ev::Tick);
+            self.sim.schedule_at(
+                Time::from_secs(now + self.cfg.scheduling_interval),
+                Ev::Tick,
+            );
         }
     }
 
@@ -604,15 +618,13 @@ impl Simulation {
                 RunState::Pending if rt.spec.submit_time <= now && self.deps_satisfied(rt) => {
                     JobState::Pending
                 }
-                RunState::Running | RunState::Reconfiguring => {
-                    JobState::Running(JobRunInfo {
-                        nodes: rt.alloc.clone(),
-                        start_time: rt.start_time.unwrap_or(now),
-                        reconfig_pending: rt.pending_reconfig.is_some()
-                            || rt.state == RunState::Reconfiguring,
-                        progress: rt.progress(),
-                    })
-                }
+                RunState::Running | RunState::Reconfiguring => JobState::Running(JobRunInfo {
+                    nodes: rt.alloc.clone(),
+                    start_time: rt.start_time.unwrap_or(now),
+                    reconfig_pending: rt.pending_reconfig.is_some()
+                        || rt.state == RunState::Reconfiguring,
+                    progress: rt.progress(),
+                }),
                 _ => continue,
             };
             jobs.push(JobView {
@@ -765,7 +777,10 @@ impl Simulation {
             return Err(format!("reconfigure: {id} is not running"));
         }
         if !rt.spec.class.is_elastic() {
-            return Err(format!("reconfigure: {id} is {} (not elastic)", rt.spec.class));
+            return Err(format!(
+                "reconfigure: {id} is {} (not elastic)",
+                rt.spec.class
+            ));
         }
         if rt.pending_reconfig.is_some() {
             return Err(format!("reconfigure: {id} already has one pending"));
@@ -821,12 +836,14 @@ impl Simulation {
         }
         // Close any gantt intervals left open by an aborted run.
         let open: Vec<((JobId, NodeId), f64)> = self.gantt_open.drain().collect();
-        let horizon = records
-            .iter()
-            .filter_map(|r| r.end)
-            .fold(0.0f64, f64::max);
+        let horizon = records.iter().filter_map(|r| r.end).fold(0.0f64, f64::max);
         for ((job, node), from) in open {
-            self.gantt.push(GanttEntry { job, node, from, to: horizon.max(from) });
+            self.gantt.push(GanttEntry {
+                job,
+                node,
+                from,
+                to: horizon.max(from),
+            });
         }
         self.gantt.sort_by(|a, b| {
             a.from

@@ -58,9 +58,9 @@ pub(crate) fn task_activities(
     debug_assert!(!alloc.is_empty(), "task on empty allocation");
     let n = alloc.len();
     let eval = |expr: &elastisim_workload::PerfExpr| -> Result<f64, ExecError> {
-        expr.eval(ctx)
-            .map(|v| v.max(0.0))
-            .map_err(|e| ExecError { message: format!("{e} (n={n})") })
+        expr.eval(ctx).map(|v| v.max(0.0)).map_err(|e| ExecError {
+            message: format!("{e} (n={n})"),
+        })
     };
 
     let mut out = Vec::with_capacity(n);
@@ -120,8 +120,7 @@ pub(crate) fn task_activities(
                                     .count();
                                 let w_out = outside as f64 / (n - 1) as f64;
                                 if w_out > 0.0 {
-                                    let handles =
-                                        platform.leaf(leaf).expect("node's leaf exists");
+                                    let handles = platform.leaf(leaf).expect("node's leaf exists");
                                     spec = spec
                                         .with_usage(handles.up, w_out)
                                         .with_usage(handles.down, w_out)
@@ -347,8 +346,7 @@ mod tests {
 
     #[test]
     fn bb_io_falls_back_to_pfs() {
-        let spec =
-            PlatformSpec::homogeneous("t", 1, NodeSpec::default().without_burst_buffer());
+        let spec = PlatformSpec::homogeneous("t", 1, NodeSpec::default().without_burst_buffer());
         let mut sim: Simulator<u32> = Simulator::new();
         let p = Platform::instantiate(&spec, &mut sim);
         let task = TaskKind::Read {
@@ -362,7 +360,9 @@ mod tests {
     #[test]
     fn delay_is_single_bounded_activity() {
         let (p, _sim) = platform(4);
-        let task = TaskKind::Delay { seconds: PerfExpr::constant(7.0) };
+        let task = TaskKind::Delay {
+            seconds: PerfExpr::constant(7.0),
+        };
         let acts = task_activities(&p, &alloc(4), &task, &task_context(4, 0, 0)).unwrap();
         assert_eq!(acts.len(), 1);
         assert_eq!(acts[0].work, 7.0);
@@ -396,7 +396,9 @@ mod tests {
             bytes: PerfExpr::constant(1.0),
             pattern: CommPattern::Ring
         }));
-        assert!(!has_latency(&TaskKind::Delay { seconds: PerfExpr::constant(1.0) }));
+        assert!(!has_latency(&TaskKind::Delay {
+            seconds: PerfExpr::constant(1.0)
+        }));
         assert!(!has_latency(&TaskKind::Compute {
             flops: PerfExpr::constant(1.0),
             target: ComputeTarget::Cpu

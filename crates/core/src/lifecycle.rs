@@ -193,9 +193,15 @@ mod tests {
         assert_eq!(
             trace,
             vec![
-                Task, Task, SchedulingPoint, // p0 iter 0
-                Task, Task, SchedulingPoint, // p0 iter 1
-                PhaseEntry, Task, SchedulingPoint, // p1
+                Task,
+                Task,
+                SchedulingPoint, // p0 iter 0
+                Task,
+                Task,
+                SchedulingPoint, // p0 iter 1
+                PhaseEntry,
+                Task,
+                SchedulingPoint, // p1
                 Done
             ]
         );
@@ -216,7 +222,9 @@ mod tests {
 
     #[test]
     fn cursor_without_scheduling_points_flows_through() {
-        let a = app(vec![Phase::repeated("p", 3, vec![compute()]).without_scheduling_point()]);
+        let a = app(vec![
+            Phase::repeated("p", 3, vec![compute()]).without_scheduling_point()
+        ]);
         let mut c = Cursor::default();
         let mut tasks = 0;
         loop {
@@ -252,7 +260,12 @@ mod tests {
 
     #[test]
     fn progress_fraction() {
-        let spec = JobSpec::rigid(1, 0.0, 2, app(vec![Phase::repeated("p", 4, vec![compute()])]));
+        let spec = JobSpec::rigid(
+            1,
+            0.0,
+            2,
+            app(vec![Phase::repeated("p", 4, vec![compute()])]),
+        );
         let mut rt = JobRuntime::new(spec);
         assert_eq!(rt.progress(), 0.0);
         rt.units_done = 2;

@@ -190,12 +190,8 @@ pub struct Report {
 impl Report {
     /// Computes aggregate metrics.
     pub fn summary(&self) -> Summary {
-        let finished: Vec<&JobRecord> =
-            self.jobs.iter().filter(|j| j.end.is_some()).collect();
-        let makespan = finished
-            .iter()
-            .filter_map(|j| j.end)
-            .fold(0.0f64, f64::max);
+        let finished: Vec<&JobRecord> = self.jobs.iter().filter(|j| j.end.is_some()).collect();
+        let makespan = finished.iter().filter_map(|j| j.end).fold(0.0f64, f64::max);
         let waits: Vec<f64> = self.jobs.iter().filter_map(JobRecord::wait).collect();
         let tats: Vec<f64> = finished.iter().filter_map(|j| j.turnaround()).collect();
         let slows: Vec<f64> = finished
@@ -235,7 +231,12 @@ impl Report {
     /// rigid vs malleable jobs fared inside a mixed workload).
     pub fn summary_for_class(&self, class: JobClass) -> Summary {
         let filtered = Report {
-            jobs: self.jobs.iter().filter(|j| j.class == class).cloned().collect(),
+            jobs: self
+                .jobs
+                .iter()
+                .filter(|j| j.class == class)
+                .cloned()
+                .collect(),
             utilization: UtilizationSeries::default(),
             gantt: Vec::new(),
             events: 0,

@@ -43,7 +43,10 @@ pub fn utilization_csv(report: &Report) -> String {
 pub fn gantt_csv(report: &Report) -> String {
     let mut out = String::from("job,node,from,to\n");
     for g in &report.gantt {
-        out.push_str(&format!("{},{},{:.3},{:.3}\n", g.job.0, g.node.0, g.from, g.to));
+        out.push_str(&format!(
+            "{},{},{:.3},{:.3}\n",
+            g.job.0, g.node.0, g.from, g.to
+        ));
     }
     out
 }
@@ -73,7 +76,12 @@ mod tests {
                 evolving_latencies: vec![],
             }],
             utilization: util,
-            gantt: vec![GanttEntry { job: JobId(1), node: NodeId(0), from: 1.0, to: 11.0 }],
+            gantt: vec![GanttEntry {
+                job: JobId(1),
+                node: NodeId(0),
+                from: 1.0,
+                to: 11.0,
+            }],
             events: 10,
             recomputes: 5,
             scheduler_invocations: 3,

@@ -20,9 +20,14 @@ fn app(secs: f64) -> ApplicationModel {
 }
 
 fn run(jobs: Vec<JobSpec>) -> elastisim::Report {
-    Simulation::new(&platform(8), jobs, Box::new(EasyBackfilling::new()), SimConfig::default())
-        .unwrap()
-        .run()
+    Simulation::new(
+        &platform(8),
+        jobs,
+        Box::new(EasyBackfilling::new()),
+        SimConfig::default(),
+    )
+    .unwrap()
+    .run()
 }
 
 #[test]
@@ -66,7 +71,10 @@ fn independent_siblings_run_concurrently() {
     let report = run(jobs);
     let s1 = report.job(JobId(1)).unwrap().start.unwrap();
     let s2 = report.job(JobId(2)).unwrap().start.unwrap();
-    assert!((s1 - s2).abs() < 1e-9, "siblings start together after the parent");
+    assert!(
+        (s1 - s2).abs() < 1e-9,
+        "siblings start together after the parent"
+    );
 }
 
 #[test]
@@ -78,7 +86,10 @@ fn failed_dependency_cancels_dependents_transitively() {
         JobSpec::rigid(3, 0.0, 1, app(5.0)), // unrelated, must finish
     ];
     let report = run(jobs);
-    assert_eq!(report.job(JobId(0)).unwrap().outcome, Outcome::WalltimeExceeded);
+    assert_eq!(
+        report.job(JobId(0)).unwrap().outcome,
+        Outcome::WalltimeExceeded
+    );
     for id in [1u64, 2] {
         let j = report.job(JobId(id)).unwrap();
         assert_eq!(j.outcome, Outcome::Killed, "job {id} must be cancelled");

@@ -4,9 +4,7 @@
 use elastisim::{FailureModel, Outcome, ReconfigCost, SimConfig, Simulation};
 use elastisim_platform::{NodeSpec, PlatformSpec};
 use elastisim_sched::{EasyBackfilling, ElasticScheduler};
-use elastisim_workload::{
-    ApplicationModel, JobSpec, PerfExpr, Phase, Task, WorkloadConfig,
-};
+use elastisim_workload::{ApplicationModel, JobSpec, PerfExpr, Phase, Task, WorkloadConfig};
 
 fn platform(nodes: usize) -> PlatformSpec {
     PlatformSpec::homogeneous("fail", nodes, NodeSpec::default())
@@ -35,7 +33,10 @@ fn aggressive_failures_kill_long_jobs() {
     let j = &report.jobs[0];
     assert_eq!(j.outcome, Outcome::NodeFailure);
     assert!(j.end.unwrap() < 10_000.0);
-    assert!(report.warnings.iter().any(|w| w.contains("killed by failure")));
+    assert!(report
+        .warnings
+        .iter()
+        .any(|w| w.contains("killed by failure")));
 }
 
 #[test]
@@ -66,7 +67,11 @@ fn failures_are_deterministic_under_seed() {
             Box::new(ElasticScheduler::new()),
             SimConfig::default()
                 .with_reconfig_cost(ReconfigCost::Free)
-                .with_failures(FailureModel { node_mtbf: 20_000.0, repair_time: 600.0, seed: 9 }),
+                .with_failures(FailureModel {
+                    node_mtbf: 20_000.0,
+                    repair_time: 600.0,
+                    seed: 9,
+                }),
         )
         .unwrap()
         .run();
@@ -88,7 +93,11 @@ fn accounting_survives_failures() {
         Box::new(ElasticScheduler::new()),
         SimConfig::default()
             .with_reconfig_cost(ReconfigCost::Free)
-            .with_failures(FailureModel { node_mtbf: 30_000.0, repair_time: 1800.0, seed: 4 }),
+            .with_failures(FailureModel {
+                node_mtbf: 30_000.0,
+                repair_time: 1800.0,
+                seed: 4,
+            }),
     )
     .unwrap()
     .run();
@@ -134,6 +143,10 @@ fn repaired_nodes_return_to_service() {
     .unwrap()
     .run();
     let s = report.summary();
-    assert!(s.completed >= 15, "most short jobs survive: {}", s.completed);
+    assert!(
+        s.completed >= 15,
+        "most short jobs survive: {}",
+        s.completed
+    );
     assert_eq!(s.completed + s.killed, 20);
 }

@@ -8,9 +8,7 @@ use elastisim_sched::{
     by_name, ConservativeBackfilling, Decision, FirstFit, Invocation, Scheduler, SystemView,
     SCHEDULER_NAMES,
 };
-use elastisim_workload::{
-    ApplicationModel, JobId, JobSpec, PerfExpr, Phase, Task, WorkloadConfig,
-};
+use elastisim_workload::{ApplicationModel, JobId, JobSpec, PerfExpr, Phase, Task, WorkloadConfig};
 
 const FLOPS: f64 = 2.0e12;
 
@@ -57,10 +55,18 @@ fn first_fit_lets_small_jobs_jump_the_queue() {
         JobSpec::rigid(1, 1.0, 4, fixed_app(50.0)), // blocked behind j0
         JobSpec::rigid(2, 2.0, 1, fixed_app(5.0)),  // fits alongside j0 under first-fit
     ];
-    let ff = Simulation::new(&platform(5), jobs.clone(), Box::new(FirstFit::new()), SimConfig::default())
-        .unwrap()
-        .run();
-    assert!(ff.job(JobId(2)).unwrap().start.unwrap() < 50.0, "first-fit packs");
+    let ff = Simulation::new(
+        &platform(5),
+        jobs.clone(),
+        Box::new(FirstFit::new()),
+        SimConfig::default(),
+    )
+    .unwrap()
+    .run();
+    assert!(
+        ff.job(JobId(2)).unwrap().start.unwrap() < 50.0,
+        "first-fit packs"
+    );
 
     // FCFS keeps strict order: j2 waits for j1.
     let fcfs = Simulation::new(
@@ -71,7 +77,10 @@ fn first_fit_lets_small_jobs_jump_the_queue() {
     )
     .unwrap()
     .run();
-    assert!(fcfs.job(JobId(2)).unwrap().start.unwrap() >= 50.0, "fcfs blocks");
+    assert!(
+        fcfs.job(JobId(2)).unwrap().start.unwrap() >= 50.0,
+        "fcfs blocks"
+    );
 }
 
 #[test]
@@ -104,8 +113,7 @@ fn conservative_backfill_does_not_delay_any_reservation() {
 
 #[test]
 fn gpu_workload_runs_end_to_end() {
-    let gpu_platform =
-        PlatformSpec::homogeneous("gpu", 8, NodeSpec::default().with_gpus(4));
+    let gpu_platform = PlatformSpec::homogeneous("gpu", 8, NodeSpec::default().with_gpus(4));
     let mut cfg = WorkloadConfig::new(12).with_platform_nodes(8).with_seed(5);
     cfg.app.gpu_offload = 0.7;
     let jobs = cfg.generate();
@@ -151,14 +159,14 @@ impl Scheduler for Assassin {
         let mut free = elastisim_sched::NodeSet::new(&view.free_nodes);
         for job in view.queue() {
             if let Some(size) = job.start_size(free.available()) {
-                out.push(Decision::Start { job: job.id, nodes: free.take(size).unwrap() });
+                out.push(Decision::Start {
+                    job: job.id,
+                    nodes: free.take(size).unwrap(),
+                });
             }
         }
         // Kill job 1 if it is running.
-        if view
-            .job(JobId(1))
-            .is_some_and(|j| j.run_info().is_some())
-        {
+        if view.job(JobId(1)).is_some_and(|j| j.run_info().is_some()) {
             out.push(Decision::Kill { job: JobId(1) });
         }
         out
@@ -193,12 +201,19 @@ fn evolving_jobs_survive_static_schedulers() {
             .with_evolving_request(4),
     ]);
     let jobs = vec![JobSpec::evolving(0, 0.0, 1, 1, 4, app)];
-    let report =
-        Simulation::new(&platform(4), jobs, by_name("fcfs").unwrap(), SimConfig::default())
-            .unwrap()
-            .run();
+    let report = Simulation::new(
+        &platform(4),
+        jobs,
+        by_name("fcfs").unwrap(),
+        SimConfig::default(),
+    )
+    .unwrap()
+    .run();
     let j = report.job(JobId(0)).unwrap();
     assert_eq!(j.outcome, Outcome::Completed);
-    assert_eq!(j.max_nodes_held, 1, "request never granted, job stayed small");
+    assert_eq!(
+        j.max_nodes_held, 1,
+        "request never granted, job stayed small"
+    );
     assert!(j.evolving_latencies.is_empty());
 }

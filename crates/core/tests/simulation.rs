@@ -4,12 +4,9 @@
 use elastisim::{jobs_csv, Outcome, ReconfigCost, SimConfig, Simulation};
 use elastisim_platform::{NodeId, NodeSpec, PlatformSpec};
 use elastisim_sched::{
-    Decision, EasyBackfilling, ElasticScheduler, FcfsScheduler, Invocation, Scheduler,
-    SystemView,
+    Decision, EasyBackfilling, ElasticScheduler, FcfsScheduler, Invocation, Scheduler, SystemView,
 };
-use elastisim_workload::{
-    ApplicationModel, JobId, JobSpec, PerfExpr, Phase, Task, WorkloadConfig,
-};
+use elastisim_workload::{ApplicationModel, JobId, JobSpec, PerfExpr, Phase, Task, WorkloadConfig};
 
 const NODE_FLOPS: f64 = 2.0e12;
 
@@ -33,8 +30,7 @@ fn scaling_app(iters: u32, secs_at_one_node: f64) -> ApplicationModel {
         iters,
         vec![Task::compute(
             "c",
-            PerfExpr::parse(&format!("{:e} / num_nodes", secs_at_one_node * NODE_FLOPS))
-                .unwrap(),
+            PerfExpr::parse(&format!("{:e} / num_nodes", secs_at_one_node * NODE_FLOPS)).unwrap(),
         )],
     )])
 }
@@ -85,13 +81,22 @@ fn easy_backfills_where_fcfs_waits() {
             JobSpec::rigid(2, 2.0, 1, fixed_time_app(10.0)).with_walltime(20.0),
         ]
     };
-    let fcfs = Simulation::new(&platform(4), mk_jobs(), Box::new(FcfsScheduler::new()), cfg())
-        .unwrap()
-        .run();
-    let easy =
-        Simulation::new(&platform(4), mk_jobs(), Box::new(EasyBackfilling::new()), cfg())
-            .unwrap()
-            .run();
+    let fcfs = Simulation::new(
+        &platform(4),
+        mk_jobs(),
+        Box::new(FcfsScheduler::new()),
+        cfg(),
+    )
+    .unwrap()
+    .run();
+    let easy = Simulation::new(
+        &platform(4),
+        mk_jobs(),
+        Box::new(EasyBackfilling::new()),
+        cfg(),
+    )
+    .unwrap()
+    .run();
     // Under FCFS, j2 waits for j0 and j1.
     assert!(fcfs.job(JobId(2)).unwrap().start.unwrap() >= 100.0);
     // Under EASY, j2 cannot start at t=2 (no free nodes) — but nothing
@@ -105,23 +110,33 @@ fn easy_backfills_where_fcfs_waits() {
             JobSpec::rigid(2, 2.0, 1, fixed_time_app(10.0)).with_walltime(20.0),
         ]
     };
-    let fcfs2 =
-        Simulation::new(&platform(4), mk_jobs2(), Box::new(FcfsScheduler::new()), cfg())
-            .unwrap()
-            .run();
-    let easy2 =
-        Simulation::new(&platform(4), mk_jobs2(), Box::new(EasyBackfilling::new()), cfg())
-            .unwrap()
-            .run();
+    let fcfs2 = Simulation::new(
+        &platform(4),
+        mk_jobs2(),
+        Box::new(FcfsScheduler::new()),
+        cfg(),
+    )
+    .unwrap()
+    .run();
+    let easy2 = Simulation::new(
+        &platform(4),
+        mk_jobs2(),
+        Box::new(EasyBackfilling::new()),
+        cfg(),
+    )
+    .unwrap()
+    .run();
     let fcfs_start = fcfs2.job(JobId(2)).unwrap().start.unwrap();
     let easy_start = easy2.job(JobId(2)).unwrap().start.unwrap();
     assert!(fcfs_start >= 100.0, "FCFS start {fcfs_start}");
-    assert!(easy_start < 10.0, "EASY should backfill early, got {easy_start}");
+    assert!(
+        easy_start < 10.0,
+        "EASY should backfill early, got {easy_start}"
+    );
     // And the head job is not delayed by the backfill.
     assert!(
-        (easy2.job(JobId(1)).unwrap().start.unwrap()
-            - fcfs2.job(JobId(1)).unwrap().start.unwrap())
-        .abs()
+        (easy2.job(JobId(1)).unwrap().start.unwrap() - fcfs2.job(JobId(1)).unwrap().start.unwrap())
+            .abs()
             < 1e-6
     );
 }
@@ -134,13 +149,16 @@ fn malleable_job_expands_into_freed_nodes() {
         JobSpec::rigid(0, 0.0, 3, fixed_time_app(5.0)),
         JobSpec::malleable(1, 0.0, 1, 4, scaling_app(10, 4.0)),
     ];
-    let report =
-        Simulation::new(&platform(4), jobs, Box::new(ElasticScheduler::new()), cfg())
-            .unwrap()
-            .run();
+    let report = Simulation::new(&platform(4), jobs, Box::new(ElasticScheduler::new()), cfg())
+        .unwrap()
+        .run();
     let j1 = report.job(JobId(1)).unwrap();
     assert_eq!(j1.outcome, Outcome::Completed);
-    assert!(j1.reconfigs >= 1, "expected expansion, got {}", j1.reconfigs);
+    assert!(
+        j1.reconfigs >= 1,
+        "expected expansion, got {}",
+        j1.reconfigs
+    );
     assert_eq!(j1.max_nodes_held, 4);
     // 10 iterations at 4 s on one node would be 40 s; expansion must beat
     // that clearly.
@@ -156,10 +174,9 @@ fn malleable_job_shrinks_for_queued_rigid() {
         JobSpec::malleable(0, 0.0, 2, 8, scaling_app(50, 64.0)),
         JobSpec::rigid(1, 10.0, 4, fixed_time_app(10.0)),
     ];
-    let report =
-        Simulation::new(&platform(8), jobs, Box::new(ElasticScheduler::new()), cfg())
-            .unwrap()
-            .run();
+    let report = Simulation::new(&platform(8), jobs, Box::new(ElasticScheduler::new()), cfg())
+        .unwrap()
+        .run();
     let j0 = report.job(JobId(0)).unwrap();
     let j1 = report.job(JobId(1)).unwrap();
     assert!(j0.reconfigs >= 1, "expected shrink");
@@ -183,10 +200,9 @@ fn evolving_request_granted_with_latency_recorded() {
         .with_evolving_request(3),
     ]);
     let jobs = vec![JobSpec::evolving(0, 0.0, 1, 1, 4, app)];
-    let report =
-        Simulation::new(&platform(4), jobs, Box::new(ElasticScheduler::new()), cfg())
-            .unwrap()
-            .run();
+    let report = Simulation::new(&platform(4), jobs, Box::new(ElasticScheduler::new()), cfg())
+        .unwrap()
+        .run();
     let j = report.job(JobId(0)).unwrap();
     assert_eq!(j.outcome, Outcome::Completed);
     assert_eq!(j.max_nodes_held, 3);
@@ -215,10 +231,9 @@ fn evolving_request_waits_until_nodes_free() {
         JobSpec::evolving(0, 0.0, 1, 1, 4, app),
         JobSpec::rigid(1, 0.0, 3, fixed_time_app(20.0)),
     ];
-    let report =
-        Simulation::new(&platform(4), jobs, Box::new(ElasticScheduler::new()), cfg())
-            .unwrap()
-            .run();
+    let report = Simulation::new(&platform(4), jobs, Box::new(ElasticScheduler::new()), cfg())
+        .unwrap()
+        .run();
     let j = report.job(JobId(0)).unwrap();
     assert_eq!(j.max_nodes_held, 4);
     assert_eq!(j.evolving_latencies.len(), 1);
@@ -278,8 +293,9 @@ fn data_volume_reconfig_cost_scales_with_bytes() {
             &platform(4),
             j,
             Box::new(ElasticScheduler::new()),
-            SimConfig::default()
-                .with_reconfig_cost(ReconfigCost::DataVolume { bytes_per_node: bytes }),
+            SimConfig::default().with_reconfig_cost(ReconfigCost::DataVolume {
+                bytes_per_node: bytes,
+            }),
         )
         .unwrap()
         .run()
@@ -290,7 +306,10 @@ fn data_volume_reconfig_cost_scales_with_bytes() {
     };
     let small = run(1e6);
     let big = run(1e12);
-    assert!(big > small + 10.0, "1 TB redistribution must hurt: {small} vs {big}");
+    assert!(
+        big > small + 10.0,
+        "1 TB redistribution must hurt: {small} vs {big}"
+    );
 }
 
 #[test]
@@ -300,10 +319,14 @@ fn accounting_is_consistent() {
         .with_malleable_fraction(0.5)
         .with_seed(42)
         .generate();
-    let report =
-        Simulation::new(&platform(16), jobs, Box::new(ElasticScheduler::new()), cfg())
-            .unwrap()
-            .run();
+    let report = Simulation::new(
+        &platform(16),
+        jobs,
+        Box::new(ElasticScheduler::new()),
+        cfg(),
+    )
+    .unwrap()
+    .run();
     let s = report.summary();
     assert_eq!(s.completed, 30);
     assert_eq!(s.killed, 0);
@@ -316,7 +339,11 @@ fn accounting_is_consistent() {
     );
     // Utilization is a sane fraction.
     assert!(s.utilization > 0.1 && s.utilization <= 1.0 + 1e-9);
-    assert!(report.warnings.is_empty(), "warnings: {:?}", report.warnings);
+    assert!(
+        report.warnings.is_empty(),
+        "warnings: {:?}",
+        report.warnings
+    );
 }
 
 #[test]
@@ -326,10 +353,9 @@ fn gantt_intervals_per_node_do_not_overlap() {
         .with_malleable_fraction(0.5)
         .with_seed(7)
         .generate();
-    let report =
-        Simulation::new(&platform(8), jobs, Box::new(ElasticScheduler::new()), cfg())
-            .unwrap()
-            .run();
+    let report = Simulation::new(&platform(8), jobs, Box::new(ElasticScheduler::new()), cfg())
+        .unwrap()
+        .run();
     let mut per_node: std::collections::HashMap<NodeId, Vec<(f64, f64)>> =
         std::collections::HashMap::new();
     for g in &report.gantt {
@@ -356,10 +382,9 @@ fn deterministic_end_to_end() {
             .with_malleable_fraction(0.4)
             .with_seed(99)
             .generate();
-        let report =
-            Simulation::new(&platform(8), jobs, Box::new(ElasticScheduler::new()), cfg())
-                .unwrap()
-                .run();
+        let report = Simulation::new(&platform(8), jobs, Box::new(ElasticScheduler::new()), cfg())
+            .unwrap()
+            .run();
         jobs_csv(&report)
     };
     assert_eq!(run(), run());
@@ -376,7 +401,10 @@ impl Scheduler for HostileScheduler {
 
     fn schedule(&mut self, view: &SystemView, _why: Invocation) -> Vec<Decision> {
         let mut out = vec![
-            Decision::Start { job: JobId(999), nodes: vec![NodeId(0)] },
+            Decision::Start {
+                job: JobId(999),
+                nodes: vec![NodeId(0)],
+            },
             Decision::Kill { job: JobId(998) },
         ];
         if let Some(job) = view.queue().first() {
@@ -388,7 +416,10 @@ impl Scheduler for HostileScheduler {
             // Non-existent… wait, NodeId beyond platform would panic in the
             // engine's free-set lookup path only if allocated; it is simply
             // not free → rejected.
-            out.push(Decision::Start { job: job.id, nodes: vec![NodeId(4000)] });
+            out.push(Decision::Start {
+                job: job.id,
+                nodes: vec![NodeId(4000)],
+            });
             // Finally a valid start so the run terminates.
             out.push(Decision::Start {
                 job: job.id,
@@ -400,7 +431,10 @@ impl Scheduler for HostileScheduler {
                 nodes: view.free_nodes[..job.min_nodes as usize].to_vec(),
             });
             // Reconfigure a rigid job.
-            out.push(Decision::Reconfigure { job: job.id, nodes: vec![NodeId(1)] });
+            out.push(Decision::Reconfigure {
+                job: job.id,
+                nodes: vec![NodeId(1)],
+            });
         }
         out
     }
@@ -413,7 +447,11 @@ fn hostile_scheduler_is_contained() {
         .unwrap()
         .run();
     let j = report.job(JobId(0)).unwrap();
-    assert_eq!(j.outcome, Outcome::Completed, "valid decision still applied");
+    assert_eq!(
+        j.outcome,
+        Outcome::Completed,
+        "valid decision still applied"
+    );
     assert!(
         report.warnings.len() >= 4,
         "invalid decisions must be reported: {:?}",
@@ -456,7 +494,11 @@ fn scheduling_interval_affects_start_times() {
         .unwrap()
         .run();
     let j = report.job(JobId(0)).unwrap();
-    assert!((j.start.unwrap() - 30.0).abs() < 1e-6, "start {:?}", j.start);
+    assert!(
+        (j.start.unwrap() - 30.0).abs() < 1e-6,
+        "start {:?}",
+        j.start
+    );
 }
 
 #[test]
@@ -472,8 +514,9 @@ fn pfs_contention_vs_burst_buffer() {
         )])
     };
     let run = |count: u64, target| {
-        let jobs: Vec<JobSpec> =
-            (0..count).map(|id| JobSpec::rigid(id, 0.0, 1, app(target))).collect();
+        let jobs: Vec<JobSpec> = (0..count)
+            .map(|id| JobSpec::rigid(id, 0.0, 1, app(target)))
+            .collect();
         Simulation::new(&platform(8), jobs, Box::new(FcfsScheduler::new()), cfg())
             .unwrap()
             .run()
@@ -490,5 +533,8 @@ fn pfs_contention_vs_burst_buffer() {
     assert!((pfs8 - 8.0).abs() < 0.1, "pfs8 {pfs8}");
     // Burst buffers: 50/3 ≈ 16.7 s regardless of concurrency.
     assert!((bb1 - 50.0 / 3.0).abs() < 0.1, "bb1 {bb1}");
-    assert!((bb8 - bb1).abs() < 0.1, "bb contention-free: {bb1} vs {bb8}");
+    assert!(
+        (bb8 - bb1).abs() < 0.1,
+        "bb contention-free: {bb1} vs {bb8}"
+    );
 }

@@ -46,7 +46,11 @@ fn assert_close(actual: f64, expected: f64, what: &str) {
 #[test]
 fn cpu_compute_time_is_flops_over_speed() {
     let p = platform(4, 0);
-    let t = runtime_of(&p, 4, vec![Task::compute("c", PerfExpr::constant(3.0 * FLOPS))]);
+    let t = runtime_of(
+        &p,
+        4,
+        vec![Task::compute("c", PerfExpr::constant(3.0 * FLOPS))],
+    );
     assert_close(t, 3.0, "cpu compute");
 }
 
@@ -70,7 +74,11 @@ fn ring_comm_time_is_latency_plus_bytes_over_nic() {
     let t = runtime_of(
         &p,
         4,
-        vec![Task::comm("halo", PerfExpr::constant(NIC), CommPattern::Ring)],
+        vec![Task::comm(
+            "halo",
+            PerfExpr::constant(NIC),
+            CommPattern::Ring,
+        )],
     );
     assert_close(t, 1.0 + LAT, "ring comm");
 }
@@ -85,7 +93,11 @@ fn all_to_all_respects_backbone_limit() {
     let t = runtime_of(
         &spec,
         4,
-        vec![Task::comm("a2a", PerfExpr::constant(NIC), CommPattern::AllToAll)],
+        vec![Task::comm(
+            "a2a",
+            PerfExpr::constant(NIC),
+            CommPattern::AllToAll,
+        )],
     );
     assert_close(t, 2.0 + LAT, "all-to-all under oversubscription");
 }
@@ -98,7 +110,11 @@ fn broadcast_is_bound_by_root_nic() {
     let t = runtime_of(
         &p,
         5,
-        vec![Task::comm("bcast", PerfExpr::constant(NIC), CommPattern::Broadcast)],
+        vec![Task::comm(
+            "bcast",
+            PerfExpr::constant(NIC),
+            CommPattern::Broadcast,
+        )],
     );
     assert_close(t, 4.0 + LAT, "broadcast fan-out");
 }
@@ -109,7 +125,11 @@ fn gather_is_bound_by_root_ingress() {
     let t = runtime_of(
         &p,
         5,
-        vec![Task::comm("gather", PerfExpr::constant(NIC), CommPattern::Gather)],
+        vec![Task::comm(
+            "gather",
+            PerfExpr::constant(NIC),
+            CommPattern::Gather,
+        )],
     );
     assert_close(t, 4.0 + LAT, "gather fan-in");
 }
@@ -121,7 +141,11 @@ fn pfs_read_hits_min_of_nic_and_pool() {
     let t = runtime_of(
         &p,
         1,
-        vec![Task::read("in", PerfExpr::constant(2.0 * NIC), IoTarget::Pfs)],
+        vec![Task::read(
+            "in",
+            PerfExpr::constant(2.0 * NIC),
+            IoTarget::Pfs,
+        )],
     );
     assert_close(t, 2.0 + LAT, "pfs read");
 }
@@ -133,7 +157,11 @@ fn burst_buffer_write_uses_local_bandwidth_no_latency() {
     let t = runtime_of(
         &p,
         2,
-        vec![Task::write("ckpt", PerfExpr::constant(3.0 * bb_write), IoTarget::BurstBuffer)],
+        vec![Task::write(
+            "ckpt",
+            PerfExpr::constant(3.0 * bb_write),
+            IoTarget::BurstBuffer,
+        )],
     );
     // Burst buffers are node-local: no network latency prologue applies…
     // except the engine treats all Write tasks as network-latency tasks.
@@ -172,10 +200,19 @@ fn iterations_multiply() {
         vec![Task::compute("c", PerfExpr::constant(FLOPS))],
     )]);
     let jobs = vec![JobSpec::rigid(0, 0.0, 1, app)];
-    let report = Simulation::new(&p, jobs, Box::new(FcfsScheduler::new()), SimConfig::default())
-        .unwrap()
-        .run();
-    assert_close(report.job(JobId(0)).unwrap().runtime().unwrap(), 7.0, "iterations");
+    let report = Simulation::new(
+        &p,
+        jobs,
+        Box::new(FcfsScheduler::new()),
+        SimConfig::default(),
+    )
+    .unwrap()
+    .run();
+    assert_close(
+        report.job(JobId(0)).unwrap().runtime().unwrap(),
+        7.0,
+        "iterations",
+    );
 }
 
 #[test]
@@ -200,7 +237,11 @@ fn two_jobs_share_backbone_fairly() {
             2,
             ApplicationModel::new(vec![Phase::once(
                 "a2a",
-                vec![Task::comm("x", PerfExpr::constant(NIC / 4.0), CommPattern::AllToAll)],
+                vec![Task::comm(
+                    "x",
+                    PerfExpr::constant(NIC / 4.0),
+                    CommPattern::AllToAll,
+                )],
             )]),
         )
         .with_walltime(100.0 + first as f64 * 0.0)
@@ -241,7 +282,11 @@ fn intra_leaf_ring_avoids_uplinks() {
     let t = runtime_of(
         &tree_platform(),
         4,
-        vec![Task::comm("halo", PerfExpr::constant(NIC), CommPattern::Ring)],
+        vec![Task::comm(
+            "halo",
+            PerfExpr::constant(NIC),
+            CommPattern::Ring,
+        )],
     );
     assert_close(t, 1.0 + LAT, "intra-leaf ring");
 }
@@ -254,7 +299,11 @@ fn cross_leaf_all_to_all_is_uplink_limited() {
     let t = runtime_of(
         &tree_platform(),
         8,
-        vec![Task::comm("a2a", PerfExpr::constant(NIC), CommPattern::AllToAll)],
+        vec![Task::comm(
+            "a2a",
+            PerfExpr::constant(NIC),
+            CommPattern::AllToAll,
+        )],
     );
     assert_close(t, 16.0 / 7.0 + LAT, "cross-leaf all-to-all");
 }
@@ -264,7 +313,11 @@ fn leaf_local_all_to_all_runs_at_nic_speed() {
     let t = runtime_of(
         &tree_platform(),
         4,
-        vec![Task::comm("a2a", PerfExpr::constant(NIC), CommPattern::AllToAll)],
+        vec![Task::comm(
+            "a2a",
+            PerfExpr::constant(NIC),
+            CommPattern::AllToAll,
+        )],
     );
     assert_close(t, 1.0 + LAT, "leaf-local all-to-all");
 }
@@ -277,7 +330,11 @@ fn pfs_write_crosses_leaf_uplink() {
     let t = runtime_of(
         &tree_platform(),
         4,
-        vec![Task::write("ckpt", PerfExpr::constant(NIC), elastisim_workload::IoTarget::Pfs)],
+        vec![Task::write(
+            "ckpt",
+            PerfExpr::constant(NIC),
+            elastisim_workload::IoTarget::Pfs,
+        )],
     );
     assert_close(t, 4.0 + LAT, "pfs write through uplink");
 }

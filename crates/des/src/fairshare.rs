@@ -78,11 +78,7 @@ pub fn solve(capacities: &[f64], demands: &[Demand<'_>]) -> Vec<f64> {
 }
 
 /// Solves the sharing problem using (and preserving) the given workspace.
-pub fn solve_with(
-    ws: &mut Workspace,
-    capacities: &[f64],
-    demands: &[Demand<'_>],
-) -> Vec<f64> {
+pub fn solve_with(ws: &mut Workspace, capacities: &[f64], demands: &[Demand<'_>]) -> Vec<f64> {
     let mut rates = vec![0.0; demands.len()];
     let mut fixed = vec![false; demands.len()];
     ws.ensure(capacities.len());
@@ -116,7 +112,8 @@ pub fn solve_with(
 
     // Activities ordered by bound, so the tightest unfixed bound is found
     // by advancing a cursor instead of scanning all activities per round.
-    ws.by_bound.extend((0..demands.len()).filter(|&i| !fixed[i]));
+    ws.by_bound
+        .extend((0..demands.len()).filter(|&i| !fixed[i]));
     ws.by_bound
         .sort_by(|&a, &b| demands[a].bound.partial_cmp(&demands[b].bound).unwrap());
     let mut bound_cursor = 0;
@@ -215,6 +212,52 @@ pub fn solve_with(
     rates
 }
 
+fn close(a: f64, b: f64) -> bool {
+    (a - b).abs() < 1e-9 * (1.0 + a.abs().max(b.abs()))
+}
+
+/// Max-min fairness invariant checker (panics on violation).
+///
+/// Asserts that `rates` is a feasible, bound-respecting, non-wasteful
+/// allocation for the given problem: no resource is over capacity, no rate
+/// exceeds its activity's bound, and every activity not at its bound is
+/// blocked by a saturated resource. Used as the correctness oracle by the
+/// solver's own tests and by the differential property tests that replay
+/// randomized traces through the incremental flow engine.
+pub fn check_feasible_and_fair(caps: &[f64], demands: &[Demand<'_>], rates: &[f64]) {
+    // Feasibility: no resource over capacity (within tolerance).
+    let mut used = vec![0.0; caps.len()];
+    for (d, &r) in demands.iter().zip(rates) {
+        assert!(r >= 0.0);
+        assert!(
+            r <= d.bound * (1.0 + 1e-9) || close(r, d.bound),
+            "rate {r} exceeds bound {}",
+            d.bound
+        );
+        for &(j, w) in d.usages {
+            used[j] += r * w;
+        }
+    }
+    for (j, (&u, &c)) in used.iter().zip(caps).enumerate() {
+        assert!(
+            u <= c * (1.0 + 1e-6) + 1e-9,
+            "resource {j} over capacity: {u} > {c}"
+        );
+    }
+    // Non-wastefulness: every activity is blocked by a saturated resource
+    // or its own bound.
+    for (i, (d, &r)) in demands.iter().zip(rates).enumerate() {
+        if close(r, d.bound) {
+            continue;
+        }
+        let blocked = d.usages.iter().any(|&(j, _)| close(used[j], caps[j]));
+        assert!(
+            blocked || d.usages.is_empty(),
+            "activity {i} at rate {r} is not blocked by bound or saturation"
+        );
+    }
+}
+
 #[allow(clippy::too_many_arguments)]
 fn fix_activity(
     i: usize,
@@ -239,17 +282,17 @@ fn fix_activity(
 mod tests {
     use super::*;
 
-    const EPS: f64 = 1e-9;
-
-    fn close(a: f64, b: f64) -> bool {
-        (a - b).abs() < EPS * (1.0 + a.abs().max(b.abs()))
-    }
-
     #[test]
     fn single_activity_gets_full_capacity() {
         let caps = [100.0];
         let u = [(0usize, 1.0)];
-        let rates = solve(&caps, &[Demand { usages: &u, bound: f64::INFINITY }]);
+        let rates = solve(
+            &caps,
+            &[Demand {
+                usages: &u,
+                bound: f64::INFINITY,
+            }],
+        );
         assert!(close(rates[0], 100.0));
     }
 
@@ -257,7 +300,10 @@ mod tests {
     fn equal_split_between_two() {
         let caps = [100.0];
         let u = [(0usize, 1.0)];
-        let d = Demand { usages: &u, bound: f64::INFINITY };
+        let d = Demand {
+            usages: &u,
+            bound: f64::INFINITY,
+        };
         let rates = solve(&caps, &[d.clone(), d]);
         assert!(close(rates[0], 50.0));
         assert!(close(rates[1], 50.0));
@@ -267,8 +313,14 @@ mod tests {
     fn bound_caps_rate_and_releases_capacity() {
         let caps = [100.0];
         let u = [(0usize, 1.0)];
-        let bounded = Demand { usages: &u, bound: 10.0 };
-        let free = Demand { usages: &u, bound: f64::INFINITY };
+        let bounded = Demand {
+            usages: &u,
+            bound: 10.0,
+        };
+        let free = Demand {
+            usages: &u,
+            bound: f64::INFINITY,
+        };
         let rates = solve(&caps, &[bounded, free]);
         assert!(close(rates[0], 10.0));
         assert!(close(rates[1], 90.0), "freed capacity goes to the other");
@@ -285,8 +337,14 @@ mod tests {
         let rates = solve(
             &caps,
             &[
-                Demand { usages: &u2, bound: f64::INFINITY },
-                Demand { usages: &u1, bound: f64::INFINITY },
+                Demand {
+                    usages: &u2,
+                    bound: f64::INFINITY,
+                },
+                Demand {
+                    usages: &u1,
+                    bound: f64::INFINITY,
+                },
             ],
         );
         assert!(close(rates[0], 100.0 / 3.0));
@@ -303,8 +361,14 @@ mod tests {
         let rates = solve(
             &caps,
             &[
-                Demand { usages: &ua, bound: f64::INFINITY },
-                Demand { usages: &ub, bound: f64::INFINITY },
+                Demand {
+                    usages: &ua,
+                    bound: f64::INFINITY,
+                },
+                Demand {
+                    usages: &ub,
+                    bound: f64::INFINITY,
+                },
             ],
         );
         assert!(close(rates[0], 10.0));
@@ -323,9 +387,18 @@ mod tests {
         let rates = solve(
             &caps,
             &[
-                Demand { usages: &ua, bound: inf },
-                Demand { usages: &ub, bound: inf },
-                Demand { usages: &uc, bound: inf },
+                Demand {
+                    usages: &ua,
+                    bound: inf,
+                },
+                Demand {
+                    usages: &ub,
+                    bound: inf,
+                },
+                Demand {
+                    usages: &uc,
+                    bound: inf,
+                },
             ],
         );
         assert!(close(rates[0], 0.5));
@@ -337,19 +410,37 @@ mod tests {
     fn zero_capacity_resource_stalls_users() {
         let caps = [0.0];
         let u = [(0usize, 1.0)];
-        let rates = solve(&caps, &[Demand { usages: &u, bound: f64::INFINITY }]);
+        let rates = solve(
+            &caps,
+            &[Demand {
+                usages: &u,
+                bound: f64::INFINITY,
+            }],
+        );
         assert_eq!(rates[0], 0.0);
     }
 
     #[test]
     fn no_usages_runs_at_bound() {
-        let rates = solve(&[], &[Demand { usages: &[], bound: 7.0 }]);
+        let rates = solve(
+            &[],
+            &[Demand {
+                usages: &[],
+                bound: 7.0,
+            }],
+        );
         assert!(close(rates[0], 7.0));
     }
 
     #[test]
     fn unbounded_unconstrained_is_infinite() {
-        let rates = solve(&[], &[Demand { usages: &[], bound: f64::INFINITY }]);
+        let rates = solve(
+            &[],
+            &[Demand {
+                usages: &[],
+                bound: f64::INFINITY,
+            }],
+        );
         assert!(rates[0].is_infinite());
     }
 
@@ -364,7 +455,10 @@ mod tests {
         let caps = [1000.0];
         let u = [(0usize, 1.0)];
         let demands: Vec<Demand> = (0..100)
-            .map(|_| Demand { usages: &u, bound: f64::INFINITY })
+            .map(|_| Demand {
+                usages: &u,
+                bound: f64::INFINITY,
+            })
             .collect();
         let rates = solve(&caps, &demands);
         for r in rates {
@@ -381,44 +475,18 @@ mod tests {
         let rates = solve(
             &caps,
             &[
-                Demand { usages: &u, bound: 50.0 },
-                Demand { usages: &u, bound: f64::INFINITY },
+                Demand {
+                    usages: &u,
+                    bound: 50.0,
+                },
+                Demand {
+                    usages: &u,
+                    bound: f64::INFINITY,
+                },
             ],
         );
         assert!(close(rates[0], 50.0));
         assert!(close(rates[1], 50.0));
-    }
-
-    /// Max-min fairness invariant checker used by property tests as well.
-    pub(crate) fn check_feasible_and_fair(caps: &[f64], demands: &[Demand<'_>], rates: &[f64]) {
-        // Feasibility: no resource over capacity (within tolerance).
-        let mut used = vec![0.0; caps.len()];
-        for (d, &r) in demands.iter().zip(rates) {
-            assert!(r >= 0.0);
-            assert!(
-                r <= d.bound * (1.0 + 1e-9) || close(r, d.bound),
-                "rate {r} exceeds bound {}",
-                d.bound
-            );
-            for &(j, w) in d.usages {
-                used[j] += r * w;
-            }
-        }
-        for (j, (&u, &c)) in used.iter().zip(caps).enumerate() {
-            assert!(u <= c * (1.0 + 1e-6) + 1e-9, "resource {j} over capacity: {u} > {c}");
-        }
-        // Non-wastefulness: every activity is blocked by a saturated
-        // resource or its own bound.
-        for (i, (d, &r)) in demands.iter().zip(rates).enumerate() {
-            if close(r, d.bound) {
-                continue;
-            }
-            let blocked = d.usages.iter().any(|&(j, _)| close(used[j], caps[j]));
-            assert!(
-                blocked || d.usages.is_empty(),
-                "activity {i} at rate {r} is not blocked by bound or saturation"
-            );
-        }
     }
 
     #[test]
@@ -427,7 +495,9 @@ mod tests {
         // this crate): linear congruential generator.
         let mut state: u64 = 0x9E3779B97F4A7C15;
         let mut next = move || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             ((state >> 33) as f64) / (u32::MAX as f64 * 2.0)
         };
         for _ in 0..50 {
@@ -446,7 +516,11 @@ mod tests {
                 .iter()
                 .map(|u| Demand {
                     usages: u,
-                    bound: if next() < 0.3 { 1.0 + next() * 20.0 } else { f64::INFINITY },
+                    bound: if next() < 0.3 {
+                        1.0 + next() * 20.0
+                    } else {
+                        f64::INFINITY
+                    },
                 })
                 .collect();
             let rates = solve(&caps, &demands);

@@ -9,8 +9,36 @@
 //! owns the clock and calls [`FlowNetwork::advance_to`] /
 //! [`FlowNetwork::recompute`] at the right moments. This keeps the sharing
 //! model independently testable.
+//!
+//! ## Incremental engine
+//!
+//! Per-event cost is kept at O(affected activities + log n) instead of
+//! O(total activities) by three mechanisms:
+//!
+//! * **Lazy integration** — each activity records the instant (`touched`)
+//!   its `remaining` field refers to. Because rates only change at
+//!   recompute points, remaining work between two touches is an exact
+//!   linear function of time; [`FlowNetwork::advance_to`] is therefore a
+//!   pure clock bump, and integration happens per-activity when (and only
+//!   when) its rate actually changes.
+//! * **Completion heap** — predicted completion instants live in a
+//!   lazily-invalidated min-heap keyed `(time, id, generation)`. Every rate
+//!   change bumps the activity's generation and pushes a fresh entry;
+//!   entries whose generation no longer matches are skipped (and dropped)
+//!   on pop. [`FlowNetwork::next_completion`] and
+//!   [`FlowNetwork::harvest_completed`] are O(log n) per popped entry
+//!   instead of O(n) scans.
+//! * **Partial re-solve** — the network tracks the resource↔activity
+//!   bipartite graph (per-resource user lists) and the set of resources
+//!   dirtied since the last solve. [`FlowNetwork::recompute`] walks the
+//!   connected component(s) reachable from the dirty resources and re-runs
+//!   progressive filling over just those activities; rates elsewhere stay
+//!   frozen. The closure property of connected components makes the
+//!   restricted solve exact: no activity outside the component uses any
+//!   resource inside it. When the dirty set spans most of the platform the
+//!   engine falls back to a plain full solve.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BinaryHeap};
 
 use crate::fairshare::{self, Demand};
 use crate::time::Time;
@@ -29,11 +57,16 @@ pub struct ActivityId(pub(crate) u64);
 const REL_TOL: f64 = 1e-12;
 const ABS_TOL: f64 = 1e-9;
 
+/// Compact the completion heap / event heap only past this size, so small
+/// simulations never pay the rebuild.
+const COMPACT_MIN: usize = 64;
+
 struct Resource {
     capacity: f64,
 }
 
 struct Activity {
+    /// Remaining work *as of `touched`* — not necessarily "now".
     remaining: f64,
     total: f64,
     bound: f64,
@@ -41,11 +74,55 @@ struct Activity {
     /// can be handed to the fair-share solver without conversion.
     usages: Vec<(usize, f64)>,
     rate: f64,
+    /// The instant `remaining` was last made current. Progress since then
+    /// is the exact linear extrapolation `remaining - rate * dt`.
+    touched: Time,
+    /// Bumped on every rate change; completion-heap entries carrying an
+    /// older generation are stale and skipped.
+    generation: u64,
+    /// Visit mark for the component walk in `recompute` (epoch-stamped so
+    /// no per-recompute clearing is needed).
+    epoch: u64,
 }
 
 impl Activity {
     fn done(&self) -> bool {
         self.remaining <= self.total * REL_TOL + ABS_TOL
+    }
+}
+
+/// A predicted completion instant; heap entries are lazily invalidated by
+/// comparing `generation` against the activity's current generation.
+#[derive(Clone, Copy)]
+struct Predicted {
+    time: Time,
+    id: u64,
+    generation: u64,
+}
+
+impl PartialEq for Predicted {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.id == other.id && self.generation == other.generation
+    }
+}
+impl Eq for Predicted {}
+
+impl PartialOrd for Predicted {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Predicted {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Reverse lexicographic (time, id, generation): BinaryHeap is a
+        // max-heap, we want the earliest prediction first, ties broken by
+        // activity id for determinism.
+        other
+            .time
+            .cmp(&self.time)
+            .then_with(|| other.id.cmp(&self.id))
+            .then_with(|| other.generation.cmp(&self.generation))
     }
 }
 
@@ -106,7 +183,23 @@ pub struct FlowNetwork {
     rates_stale: bool,
     recomputes: u64,
     scratch: fairshare::Workspace,
+    /// Capacities mirrored densely, kept in sync by `add_resource` /
+    /// `set_capacity` so `recompute` never rebuilds the vector.
     caps_cache: Vec<f64>,
+    /// Per-resource live user ids (each live activity appears once per
+    /// *distinct* resource it uses).
+    res_users: Vec<Vec<u64>>,
+    /// Resources whose user set or capacity changed since the last solve.
+    dirty: Vec<usize>,
+    dirty_flag: Vec<bool>,
+    /// Lazily-invalidated min-heap of predicted completions.
+    completions: BinaryHeap<Predicted>,
+    /// Epoch stamps for the component walk (parallel to `resources`).
+    res_epoch: Vec<u64>,
+    visit_epoch: u64,
+    // Scratch reused across recomputes.
+    bfs_stack: Vec<usize>,
+    comp_ids: Vec<u64>,
 }
 
 impl Default for FlowNetwork {
@@ -127,6 +220,14 @@ impl FlowNetwork {
             recomputes: 0,
             scratch: fairshare::Workspace::new(),
             caps_cache: Vec::new(),
+            res_users: Vec::new(),
+            dirty: Vec::new(),
+            dirty_flag: Vec::new(),
+            completions: BinaryHeap::new(),
+            res_epoch: Vec::new(),
+            visit_epoch: 0,
+            bfs_stack: Vec::new(),
+            comp_ids: Vec::new(),
         }
     }
 
@@ -136,6 +237,10 @@ impl FlowNetwork {
         assert!(capacity >= 0.0 && !capacity.is_nan(), "invalid capacity");
         let id = ResourceId(self.resources.len() as u32);
         self.resources.push(Resource { capacity });
+        self.caps_cache.push(capacity);
+        self.res_users.push(Vec::new());
+        self.dirty_flag.push(false);
+        self.res_epoch.push(0);
         id
     }
 
@@ -149,8 +254,10 @@ impl FlowNetwork {
     /// time first; rates become stale.
     pub fn set_capacity(&mut self, id: ResourceId, capacity: f64) {
         assert!(capacity >= 0.0 && !capacity.is_nan(), "invalid capacity");
-        self.resources[id.0 as usize].capacity = capacity;
-        self.rates_stale = true;
+        let idx = id.0 as usize;
+        self.resources[idx].capacity = capacity;
+        self.caps_cache[idx] = capacity;
+        self.mark_dirty(idx);
     }
 
     /// Number of resources.
@@ -169,6 +276,40 @@ impl FlowNetwork {
         self.recomputes
     }
 
+    fn mark_dirty(&mut self, res: usize) {
+        if !self.dirty_flag[res] {
+            self.dirty_flag[res] = true;
+            self.dirty.push(res);
+        }
+        self.rates_stale = true;
+    }
+
+    /// Remaining work of `a` extrapolated from its last touch to `now`.
+    fn remaining_at(a: &Activity, now: Time) -> f64 {
+        let dt = now - a.touched;
+        if dt > 0.0 && a.rate > 0.0 {
+            (a.remaining - a.rate * dt).max(0.0)
+        } else {
+            a.remaining
+        }
+    }
+
+    /// Predicted completion instant given the activity's current rate and
+    /// touch point (which must equal `now` when this is called).
+    fn prediction(a: &Activity, now: Time) -> Option<Time> {
+        if a.done() {
+            Some(now)
+        } else if a.rate > 0.0 {
+            if a.rate.is_finite() {
+                Some(now + a.remaining / a.rate)
+            } else {
+                Some(now)
+            }
+        } else {
+            None
+        }
+    }
+
     /// Starts an activity. Rates become stale; zero-work activities are
     /// legal and complete at the next harvest.
     pub fn start(&mut self, spec: ActivitySpec) -> ActivityId {
@@ -180,48 +321,97 @@ impl FlowNetwork {
         }
         let id = self.next_activity;
         self.next_activity += 1;
-        self.activities.insert(
-            id,
-            Activity {
-                remaining: spec.work,
-                total: spec.work,
-                bound: spec.bound,
-                usages: spec.usages.iter().map(|&(r, w)| (r.0 as usize, w)).collect(),
-                rate: 0.0,
-            },
-        );
-        self.rates_stale = true;
+        let mut act = Activity {
+            remaining: spec.work,
+            total: spec.work,
+            bound: spec.bound,
+            usages: spec
+                .usages
+                .iter()
+                .map(|&(r, w)| (r.0 as usize, w))
+                .collect(),
+            rate: 0.0,
+            touched: self.last_update,
+            generation: 0,
+            epoch: 0,
+        };
+        if act.usages.is_empty() {
+            // Unconstrained by any resource: the solver would assign the
+            // bound; do it directly and skip the re-solve entirely.
+            act.rate = act.bound;
+            if let Some(t) = Self::prediction(&act, self.last_update) {
+                self.completions.push(Predicted {
+                    time: t,
+                    id,
+                    generation: 0,
+                });
+            }
+        } else {
+            for (k, &(r, _)) in act.usages.iter().enumerate() {
+                if act.usages[..k].iter().any(|&(r2, _)| r2 == r) {
+                    continue; // duplicate usage of the same resource
+                }
+                self.res_users[r].push(id);
+                self.mark_dirty(r);
+            }
+            if act.done() {
+                // Completes regardless of whatever rate the solver assigns.
+                self.completions.push(Predicted {
+                    time: self.last_update,
+                    id,
+                    generation: 0,
+                });
+            }
+        }
+        self.activities.insert(id, act);
         ActivityId(id)
+    }
+
+    /// Unlinks a removed activity from the per-resource user lists and
+    /// dirties the resources it used.
+    fn detach_usages(&mut self, id: u64, usages: &[(usize, f64)]) {
+        for (k, &(r, _)) in usages.iter().enumerate() {
+            if usages[..k].iter().any(|&(r2, _)| r2 == r) {
+                continue;
+            }
+            let list = &mut self.res_users[r];
+            if let Some(pos) = list.iter().position(|&x| x == id) {
+                list.swap_remove(pos);
+            }
+            self.mark_dirty(r);
+        }
     }
 
     /// Cancels an activity, returning its remaining work, or `None` if the
     /// id is unknown (already completed or cancelled).
     pub fn cancel(&mut self, id: ActivityId) -> Option<f64> {
         let act = self.activities.remove(&id.0)?;
-        self.rates_stale = true;
-        Some(act.remaining)
+        self.detach_usages(id.0, &act.usages);
+        Some(Self::remaining_at(&act, self.last_update))
     }
 
     /// Progress of an ongoing activity.
     pub fn progress(&self, id: ActivityId) -> Option<Progress> {
         self.activities.get(&id.0).map(|a| Progress {
-            remaining: a.remaining,
+            remaining: Self::remaining_at(a, self.last_update),
             total: a.total,
             rate: a.rate,
         })
     }
 
-    /// Integrates all activities up to `now`. Panics if time runs backward.
+    /// Moves the clock to `now`. Panics if time runs backward.
+    ///
+    /// This is O(1): work integration is lazy. Each activity's remaining
+    /// work is the exact linear extrapolation from its last touch point, so
+    /// nothing needs updating until a rate actually changes.
     pub fn advance_to(&mut self, now: Time) {
         let dt = now - self.last_update;
-        assert!(dt >= -1e-9, "time ran backward: {} -> {}", self.last_update, now);
-        if dt > 0.0 {
-            for act in self.activities.values_mut() {
-                if act.rate > 0.0 {
-                    act.remaining = (act.remaining - act.rate * dt).max(0.0);
-                }
-            }
-        }
+        assert!(
+            dt >= -1e-9,
+            "time ran backward: {} -> {}",
+            self.last_update,
+            now
+        );
         self.last_update = self.last_update.max(now);
     }
 
@@ -234,86 +424,204 @@ impl FlowNetwork {
         1e-9 + self.last_update.as_secs() * 1e-12
     }
 
-    fn effectively_done(&self, a: &Activity) -> bool {
-        a.done() || (a.rate > 0.0 && a.remaining <= a.rate * self.time_eps())
-    }
-
     /// Removes and returns all finished activities, in id order.
+    ///
+    /// Pops completion-heap entries predicted at or before "now" (plus the
+    /// live-lock epsilon); stale entries encountered on the way are
+    /// discarded. Predictions are exact while an activity's rate is
+    /// unchanged, so no full scan is ever needed.
     pub fn harvest_completed(&mut self) -> Vec<ActivityId> {
-        let done: Vec<u64> = self
-            .activities
-            .iter()
-            .filter(|(_, a)| self.effectively_done(a))
-            .map(|(&id, _)| id)
-            .collect();
-        if !done.is_empty() {
-            for id in &done {
-                self.activities.remove(id);
+        let horizon = self.last_update + self.time_eps();
+        let mut done: Vec<u64> = Vec::new();
+        while let Some(&top) = self.completions.peek() {
+            let live = self
+                .activities
+                .get(&top.id)
+                .is_some_and(|a| a.generation == top.generation);
+            if !live {
+                self.completions.pop();
+                continue;
             }
-            self.rates_stale = true;
+            if top.time > horizon {
+                break;
+            }
+            self.completions.pop();
+            done.push(top.id);
         }
-        done.into_iter().map(ActivityId).collect()
+        done.sort_unstable();
+        done.dedup();
+        let mut out = Vec::with_capacity(done.len());
+        for id in done {
+            if let Some(act) = self.activities.remove(&id) {
+                self.detach_usages(id, &act.usages);
+                out.push(ActivityId(id));
+            }
+        }
+        out
     }
 
     /// Re-solves the sharing fixed point if anything changed since the last
     /// solve. Returns whether a recompute happened.
+    ///
+    /// Only the connected component(s) of the resource↔activity graph
+    /// reachable from resources dirtied since the last solve are re-solved;
+    /// rates outside stay frozen. Activities whose rate comes back
+    /// unchanged are neither re-integrated nor re-inserted into the
+    /// completion heap.
     pub fn recompute(&mut self) -> bool {
         if !self.rates_stale {
             return false;
         }
         self.rates_stale = false;
         self.recomputes += 1;
-        if self.activities.is_empty() {
-            return true;
-        }
-        self.caps_cache.clear();
-        self.caps_cache.extend(self.resources.iter().map(|r| r.capacity));
-        // Demand borrows usages; collect ids first to avoid aliasing.
-        let ids: Vec<u64> = self.activities.keys().copied().collect();
-        let demands: Vec<Demand<'_>> = ids
-            .iter()
-            .map(|id| {
-                let a = &self.activities[id];
-                Demand {
-                    usages: &a.usages,
-                    bound: a.bound,
+
+        let mut comp = std::mem::take(&mut self.comp_ids);
+        comp.clear();
+        if self.dirty.len() * 2 >= self.resources.len() {
+            // The dirty set spans most of the platform: the component walk
+            // would visit nearly everything, so fall back to a full solve.
+            for &r in &self.dirty {
+                self.dirty_flag[r] = false;
+            }
+            self.dirty.clear();
+            comp.extend(self.activities.keys().copied());
+        } else {
+            self.visit_epoch += 1;
+            let epoch = self.visit_epoch;
+            let mut stack = std::mem::take(&mut self.bfs_stack);
+            stack.clear();
+            for &r in &self.dirty {
+                self.dirty_flag[r] = false;
+                if self.res_epoch[r] != epoch {
+                    self.res_epoch[r] = epoch;
+                    stack.push(r);
                 }
-            })
-            .collect();
-        let rates = fairshare::solve_with(&mut self.scratch, &self.caps_cache, &demands);
-        drop(demands);
-        for (id, rate) in ids.into_iter().zip(rates) {
-            self.activities.get_mut(&id).unwrap().rate = rate;
+            }
+            self.dirty.clear();
+            let mut giant = false;
+            while let Some(r) = stack.pop() {
+                let users = std::mem::take(&mut self.res_users[r]);
+                for &id in &users {
+                    let a = self
+                        .activities
+                        .get_mut(&id)
+                        .expect("user lists only reference live activities");
+                    if a.epoch == epoch {
+                        continue;
+                    }
+                    a.epoch = epoch;
+                    comp.push(id);
+                    for &(r2, _) in &a.usages {
+                        if self.res_epoch[r2] != epoch {
+                            self.res_epoch[r2] = epoch;
+                            stack.push(r2);
+                        }
+                    }
+                }
+                self.res_users[r] = users;
+                if comp.len() * 2 > self.activities.len() {
+                    // Giant component: the walk would visit most activities
+                    // anyway, so stop paying its bookkeeping and take the
+                    // full-solve path (whose id list is free and pre-sorted
+                    // from the BTreeMap).
+                    giant = true;
+                    break;
+                }
+            }
+            stack.clear();
+            self.bfs_stack = stack;
+            if giant {
+                comp.clear();
+                comp.extend(self.activities.keys().copied());
+            } else {
+                comp.sort_unstable();
+            }
         }
+
+        if !comp.is_empty() {
+            // Solve the affected set against the full capacity vector. The
+            // component closure guarantees no activity outside `comp` uses
+            // any resource a member uses, so the restricted solve is exact.
+            let demands: Vec<Demand<'_>> = comp
+                .iter()
+                .map(|id| {
+                    let a = &self.activities[id];
+                    Demand {
+                        usages: &a.usages,
+                        bound: a.bound,
+                    }
+                })
+                .collect();
+            let rates = fairshare::solve_with(&mut self.scratch, &self.caps_cache, &demands);
+            drop(demands);
+            let now = self.last_update;
+            for (&id, rate) in comp.iter().zip(rates) {
+                let a = self.activities.get_mut(&id).unwrap();
+                #[allow(clippy::float_cmp)] // deterministic solver: bit-equal means unchanged
+                if a.rate == rate {
+                    continue;
+                }
+                let dt = now - a.touched;
+                if dt > 0.0 && a.rate > 0.0 {
+                    a.remaining = (a.remaining - a.rate * dt).max(0.0);
+                }
+                a.touched = now;
+                a.rate = rate;
+                a.generation += 1;
+                let generation = a.generation;
+                if let Some(t) = Self::prediction(a, now) {
+                    self.completions.push(Predicted {
+                        time: t,
+                        id,
+                        generation,
+                    });
+                }
+            }
+        }
+        comp.clear();
+        self.comp_ids = comp;
+        self.maybe_compact_completions();
         true
     }
 
-    /// Predicts the earliest completion instant strictly using current
-    /// rates. Returns `None` if no activity can finish (no activities, or
-    /// all stalled at rate 0). Finished-but-unharvested activities complete
-    /// "now".
-    pub fn next_completion(&self) -> Option<Time> {
-        debug_assert!(!self.rates_stale, "next_completion with stale rates");
-        let mut best: Option<Time> = None;
-        for act in self.activities.values() {
-            let t = if self.effectively_done(act) {
-                self.last_update
-            } else if act.rate > 0.0 {
-                let horizon = if act.rate.is_finite() {
-                    act.remaining / act.rate
-                } else {
-                    0.0
-                };
-                self.last_update + horizon
-            } else {
-                continue;
-            };
-            best = Some(match best {
-                Some(b) => b.min(t),
-                None => t,
-            });
+    /// Rebuilds the completion heap without stale entries once they
+    /// outnumber the live activities, bounding heap growth under churn.
+    fn maybe_compact_completions(&mut self) {
+        if self.completions.len() >= COMPACT_MIN
+            && self.completions.len() > 2 * self.activities.len()
+        {
+            let entries = std::mem::take(&mut self.completions).into_vec();
+            let rebuilt: BinaryHeap<Predicted> = entries
+                .into_iter()
+                .filter(|e| {
+                    self.activities
+                        .get(&e.id)
+                        .is_some_and(|a| a.generation == e.generation)
+                })
+                .collect();
+            self.completions = rebuilt;
         }
-        best
+    }
+
+    /// Predicts the earliest completion instant using current rates.
+    /// Returns `None` if no activity can finish (no activities, or all
+    /// stalled at rate 0). Finished-but-unharvested activities complete
+    /// "now". Takes `&mut self` to prune stale heap entries in passing.
+    pub fn next_completion(&mut self) -> Option<Time> {
+        debug_assert!(!self.rates_stale, "next_completion with stale rates");
+        while let Some(&top) = self.completions.peek() {
+            let live = self
+                .activities
+                .get(&top.id)
+                .is_some_and(|a| a.generation == top.generation);
+            if live {
+                // An entry can sit in the past when the clock moved beyond
+                // the prediction before a harvest: it completes "now".
+                return Some(top.time.max(self.last_update));
+            }
+            self.completions.pop();
+        }
+        None
     }
 
     /// Ids of activities currently stalled at rate zero (used for deadlock
@@ -332,16 +640,29 @@ impl FlowNetwork {
     }
 
     /// Sum of `rate × weight` over live activities for one resource — the
-    /// instantaneous load, used by utilization accounting.
+    /// instantaneous load, used by utilization accounting. O(users of the
+    /// resource) via the membership lists.
     pub fn resource_load(&self, id: ResourceId) -> f64 {
         debug_assert!(!self.rates_stale, "resource_load with stale rates");
         let idx = id.0 as usize;
-        self.activities
-            .values()
-            .flat_map(|a| a.usages.iter().map(move |&(r, w)| (r, w * a.rate)))
-            .filter(|&(r, _)| r == idx)
-            .map(|(_, l)| l)
+        self.res_users[idx]
+            .iter()
+            .map(|uid| {
+                let a = &self.activities[uid];
+                a.usages
+                    .iter()
+                    .filter(|&&(r, _)| r == idx)
+                    .map(|&(_, w)| w * a.rate)
+                    .sum::<f64>()
+            })
             .sum()
+    }
+
+    /// Number of physical completion-heap entries, including stale ones
+    /// (bounded-growth tests).
+    #[cfg(test)]
+    pub(crate) fn prediction_backlog(&self) -> usize {
+        self.completions.len()
     }
 }
 
@@ -460,7 +781,10 @@ mod tests {
         net.start(ActivitySpec::new(100.0, [cpu]).with_bound(2.0));
         net.recompute();
         let load = net.resource_load(cpu);
-        assert!((load - 10.0).abs() < 1e-9, "2 (bounded) + 8 (rest) = 10, got {load}");
+        assert!(
+            (load - 10.0).abs() < 1e-9,
+            "2 (bounded) + 8 (rest) = 10, got {load}"
+        );
     }
 
     #[test]
@@ -479,5 +803,148 @@ mod tests {
         let b = net.start(ActivitySpec::new(0.0, [cpu]));
         net.recompute();
         assert_eq!(net.harvest_completed(), vec![a, b]);
+    }
+
+    // -----------------------------------------------------------------
+    // Incremental-engine specifics
+    // -----------------------------------------------------------------
+
+    #[test]
+    fn lazy_integration_matches_eager_many_small_steps() {
+        // Advancing in many tiny steps must agree with one big jump: the
+        // lazy extrapolation is a single multiply, the eager path was a
+        // chain of subtractions — both within float tolerance.
+        let mut a = FlowNetwork::new();
+        let ra = a.add_resource(7.0);
+        let ia = a.start(ActivitySpec::new(100.0, [ra]));
+        a.recompute();
+        for k in 1..=1000 {
+            a.advance_to(t(k as f64 * 0.01));
+        }
+        let mut b = FlowNetwork::new();
+        let rb = b.add_resource(7.0);
+        let ib = b.start(ActivitySpec::new(100.0, [rb]));
+        b.recompute();
+        b.advance_to(t(10.0));
+        let pa = a.progress(ia).unwrap().remaining;
+        let pb = b.progress(ib).unwrap().remaining;
+        assert!((pa - pb).abs() < 1e-9, "{pa} vs {pb}");
+        assert!((pa - 30.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn disjoint_component_start_preserves_other_rates_and_predictions() {
+        let mut net = FlowNetwork::new();
+        let r0 = net.add_resource(10.0);
+        let r1 = net.add_resource(10.0);
+        let r2 = net.add_resource(10.0);
+        let r3 = net.add_resource(10.0);
+        // Spare resources so the dirty set stays well under the full-solve
+        // fallback threshold and the component walk is actually exercised.
+        for _ in 0..8 {
+            net.add_resource(1.0);
+        }
+        let a = net.start(ActivitySpec::new(100.0, [r0]));
+        let _b = net.start(ActivitySpec::new(40.0, [r1]));
+        net.recompute();
+        assert_eq!(net.next_completion(), Some(t(4.0)));
+        net.advance_to(t(1.0));
+        // Churn in a different component must not disturb a's trajectory.
+        let c = net.start(ActivitySpec::new(30.0, [r2]).with_usage(r3, 1.0));
+        net.recompute();
+        let pa = net.progress(a).unwrap();
+        assert!((pa.rate - 10.0).abs() < 1e-12);
+        assert!((pa.remaining - 90.0).abs() < 1e-9);
+        let pc = net.progress(c).unwrap();
+        assert!((pc.rate - 10.0).abs() < 1e-12);
+        // Earliest completion is still b at t=4 (c finishes at 1+3=4 too;
+        // tie broken deterministically, both harvested together).
+        net.advance_to(t(4.0));
+        let done = net.harvest_completed();
+        assert_eq!(done.len(), 2);
+    }
+
+    #[test]
+    fn cross_component_merge_resolves_jointly() {
+        // Two activities on separate resources, then a third bridging both:
+        // the bridge links the components, and the re-solve must cover all
+        // three.
+        let mut net = FlowNetwork::new();
+        let r0 = net.add_resource(10.0);
+        let r1 = net.add_resource(10.0);
+        let a = net.start(ActivitySpec::new(100.0, [r0]));
+        let b = net.start(ActivitySpec::new(100.0, [r1]));
+        net.recompute();
+        assert!((net.progress(a).unwrap().rate - 10.0).abs() < 1e-12);
+        let c = net.start(ActivitySpec::new(100.0, [r0]).with_usage(r1, 1.0));
+        net.recompute();
+        // Max-min over the joint system: a=5, b=5, c=5.
+        for id in [a, b, c] {
+            assert!((net.progress(id).unwrap().rate - 5.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn completion_heap_stays_bounded_under_churn() {
+        let mut net = FlowNetwork::new();
+        let cpu = net.add_resource(10.0);
+        let mut live = Vec::new();
+        for i in 0..2000 {
+            let id = net.start(ActivitySpec::new(1e6, [cpu]));
+            live.push(id);
+            if live.len() > 4 {
+                let victim = live.remove(i % 4);
+                net.cancel(victim);
+            }
+            net.recompute();
+        }
+        assert!(
+            net.prediction_backlog() <= 2 * net.activity_count() + COMPACT_MIN,
+            "completion heap grew unboundedly: {} entries for {} activities",
+            net.prediction_backlog(),
+            net.activity_count()
+        );
+    }
+
+    #[test]
+    fn repeated_capacity_changes_keep_predictions_exact() {
+        let mut net = FlowNetwork::new();
+        let cpu = net.add_resource(10.0);
+        let _a = net.start(ActivitySpec::new(100.0, [cpu]));
+        net.recompute();
+        net.advance_to(t(2.0)); // 80 left
+        net.set_capacity(cpu, 20.0);
+        net.recompute();
+        assert_eq!(net.next_completion(), Some(t(6.0))); // 80/20 = 4 more
+        net.advance_to(t(3.0)); // 60 left
+        net.set_capacity(cpu, 6.0);
+        net.recompute();
+        assert_eq!(net.next_completion(), Some(t(13.0))); // 60/6 = 10 more
+        net.advance_to(t(13.0));
+        assert_eq!(net.harvest_completed().len(), 1);
+    }
+
+    #[test]
+    fn unchanged_rate_keeps_old_prediction_valid() {
+        // Starting and cancelling an activity in a *different* component
+        // leaves the first component's heap entries valid (generation
+        // untouched) and predictions correct.
+        let mut net = FlowNetwork::new();
+        let r0 = net.add_resource(10.0);
+        let r1 = net.add_resource(10.0);
+        for _ in 0..8 {
+            net.add_resource(1.0); // keep the dirty set below the fallback
+        }
+        let a = net.start(ActivitySpec::new(100.0, [r0]));
+        net.recompute();
+        for _ in 0..10 {
+            let tmp = net.start(ActivitySpec::new(1e9, [r1]));
+            net.recompute();
+            net.cancel(tmp);
+            net.recompute();
+        }
+        assert_eq!(net.next_completion(), Some(t(10.0)));
+        net.advance_to(t(10.0));
+        assert_eq!(net.harvest_completed(), vec![a]);
     }
 }

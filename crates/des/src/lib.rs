@@ -13,7 +13,10 @@
 //! * [`time`] — the [`Time`] newtype (seconds, totally ordered).
 //! * [`queue`] — deterministic future-event list with lazy cancellation.
 //! * [`fairshare`] — the progressive-filling max-min solver (pure function).
-//! * [`flow`] — resources + activities + work integration.
+//! * [`flow`] — resources + activities + work integration. Incremental:
+//!   lazy per-activity integration, a lazily-invalidated completion heap,
+//!   and partial fair-share re-solves scoped to the connected component of
+//!   the resources an event touched.
 //! * [`sim`] — [`Simulator`], the inverted-control driver: every timer and
 //!   activity carries a user payload which `step()` hands back in
 //!   deterministic order.

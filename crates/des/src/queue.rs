@@ -88,7 +88,34 @@ impl<E> EventQueue<E> {
     /// still pending (i.e. not yet popped and not already cancelled).
     /// Cancelling an already-fired or unknown id is a harmless no-op.
     pub fn cancel(&mut self, id: EntryId) -> bool {
-        self.pending.remove(&id.0)
+        let removed = self.pending.remove(&id.0);
+        if removed {
+            self.maybe_compact();
+        }
+        removed
+    }
+
+    /// Rebuilds the heap without cancelled entries once they outnumber the
+    /// live ones. Without this, a cancel-heavy workload (e.g. a flow timer
+    /// re-targeted on every recompute) grows the heap without bound even
+    /// though `len()` stays small. The rebuild is O(n) and amortizes to
+    /// O(1) per cancel.
+    fn maybe_compact(&mut self) {
+        const COMPACT_MIN: usize = 64;
+        if self.heap.len() >= COMPACT_MIN && self.heap.len() > 2 * self.pending.len() {
+            let entries = std::mem::take(&mut self.heap).into_vec();
+            let pending = &self.pending;
+            self.heap = entries
+                .into_iter()
+                .filter(|e| pending.contains(&e.seq))
+                .collect();
+        }
+    }
+
+    /// Number of physical heap slots, including lazily cancelled entries —
+    /// strictly an observability hook for bounded-growth tests.
+    pub fn physical_len(&self) -> usize {
+        self.heap.len()
     }
 
     /// The time of the next live entry, if any.
@@ -181,6 +208,51 @@ mod tests {
         assert_eq!(q.peek_time(), Some(t(4.0)));
         q.cancel(id);
         assert_eq!(q.peek_time(), Some(t(9.0)));
+    }
+
+    #[test]
+    fn cancel_heavy_workload_keeps_heap_bounded() {
+        // A timer that is re-targeted on every event: push + cancel in a
+        // tight loop. The physical heap must stay bounded by the live count
+        // (plus the compaction threshold), not grow with the total number
+        // of pushes.
+        let mut q = EventQueue::new();
+        let mut live = Vec::new();
+        for i in 0..10_000 {
+            let id = q.push(t(i as f64), i);
+            live.push(id);
+            if live.len() > 8 {
+                let victim = live.remove(i % 8);
+                assert!(q.cancel(victim));
+            }
+            assert!(
+                q.physical_len() <= 2 * q.len().max(32) + 1,
+                "heap grew unboundedly: {} physical for {} live after {} pushes",
+                q.physical_len(),
+                q.len(),
+                i + 1
+            );
+        }
+        assert_eq!(q.len(), live.len());
+    }
+
+    #[test]
+    fn compaction_preserves_pop_order() {
+        let mut q = EventQueue::new();
+        let mut keep = Vec::new();
+        for i in 0..500 {
+            let id = q.push(t((997 * i % 500) as f64), i);
+            if i % 5 == 0 {
+                keep.push((997 * i % 500, i));
+            } else {
+                q.cancel(id);
+            }
+        }
+        keep.sort_unstable();
+        for (time, payload) in keep {
+            assert_eq!(q.pop(), Some((t(time as f64), payload)));
+        }
+        assert_eq!(q.pop(), None);
     }
 
     #[test]

@@ -49,7 +49,10 @@ pub struct Simulator<E> {
     flow: FlowNetwork,
     payloads: HashMap<ActivityId, E>,
     ready: VecDeque<E>,
-    flow_timer: Option<EntryId>,
+    /// Pending flow wake-up and the instant it is scheduled for; the time
+    /// lets `refresh_flow` skip the cancel + re-push when a recompute left
+    /// the predicted completion unchanged.
+    flow_timer: Option<(EntryId, Time)>,
     events_delivered: u64,
 }
 
@@ -94,7 +97,11 @@ impl<E> Simulator<E> {
 
     /// Schedules `payload` at absolute time `t` (must not be in the past).
     pub fn schedule_at(&mut self, t: Time, payload: E) -> TimerId {
-        assert!(t >= self.now, "cannot schedule in the past: {t} < {}", self.now);
+        assert!(
+            t >= self.now,
+            "cannot schedule in the past: {t} < {}",
+            self.now
+        );
         TimerId(self.queue.push(t, Internal::User(payload)))
     }
 
@@ -228,17 +235,24 @@ impl<E> Simulator<E> {
     }
 
     /// Re-solves sharing and (re)schedules the flow wake-up at the next
-    /// predicted completion.
+    /// predicted completion. When the prediction is unchanged the pending
+    /// timer is left alone, sparing the event queue a cancel + push per
+    /// recompute.
     fn refresh_flow(&mut self) {
         self.flow.recompute();
-        if let Some(timer) = self.flow_timer.take() {
+        // Completion can be fractionally in the past due to float
+        // round-off; clamp to now.
+        let predicted = self.flow.next_completion().map(|t| t.max(self.now));
+        if let (Some((_, current)), Some(t)) = (self.flow_timer, predicted) {
+            if current == t {
+                return;
+            }
+        }
+        if let Some((timer, _)) = self.flow_timer.take() {
             self.queue.cancel(timer);
         }
-        if let Some(t) = self.flow.next_completion() {
-            // Completion can be fractionally in the past due to float
-            // round-off; clamp to now.
-            let t = t.max(self.now);
-            self.flow_timer = Some(self.queue.push(t, Internal::FlowWake));
+        if let Some(t) = predicted {
+            self.flow_timer = Some((self.queue.push(t, Internal::FlowWake), t));
         }
     }
 }

@@ -2,8 +2,10 @@
 //! workspace-reuse correctness, queue/model equivalence, and flow-level
 //! work conservation.
 
-use elastisim_des::fairshare::{solve, solve_with, Demand, Workspace};
-use elastisim_des::{ActivitySpec, EventQueue, Simulator, Time};
+use elastisim_des::fairshare::{check_feasible_and_fair, solve, solve_with, Demand, Workspace};
+use elastisim_des::{
+    ActivityId, ActivitySpec, EventQueue, FlowNetwork, ResourceId, Simulator, Time,
+};
 use proptest::prelude::*;
 
 // ---------------------------------------------------------------------
@@ -46,7 +48,10 @@ fn check(inst: &Instance, rates: &[f64]) -> Result<(), TestCaseError> {
     let mut used = vec![0.0; inst.caps.len()];
     for ((u, &b), &r) in inst.usages.iter().zip(&inst.bounds).zip(rates) {
         prop_assert!(r >= 0.0);
-        prop_assert!(r <= b * (1.0 + 1e-9) || close(r, b), "rate {r} over bound {b}");
+        prop_assert!(
+            r <= b * (1.0 + 1e-9) || close(r, b),
+            "rate {r} over bound {b}"
+        );
         for &(j, w) in u {
             used[j] += r * w;
         }
@@ -176,6 +181,338 @@ proptest! {
         popped.sort_unstable();
         kept.sort_unstable();
         prop_assert_eq!(popped, kept);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Differential oracle: incremental flow engine vs full-solve reference
+// ---------------------------------------------------------------------
+//
+// The incremental engine (lazy integration, completion heap, partial
+// re-solve) must be observationally equivalent to the straightforward
+// engine it replaced: integrate every activity on every event, full
+// progressive-filling solve on every change, O(n) completion scans. The
+// reference below *is* that engine, retained verbatim; randomized traces
+// of starts, cancels, and capacity changes are replayed through both and
+// rates, remaining work, predicted completions, and completion order are
+// compared after every operation.
+
+/// Completion tolerances mirrored from the flow engine.
+const REL_TOL: f64 = 1e-12;
+const ABS_TOL: f64 = 1e-9;
+
+struct RefActivity {
+    id: u64,
+    remaining: f64,
+    total: f64,
+    bound: f64,
+    usages: Vec<(usize, f64)>,
+    rate: f64,
+}
+
+impl RefActivity {
+    fn done(&self) -> bool {
+        self.remaining <= self.total * REL_TOL + ABS_TOL
+    }
+}
+
+/// The pre-incremental flow engine: eager integration + full solves.
+struct RefEngine {
+    caps: Vec<f64>,
+    /// Sorted by id (ids are handed out in increasing order and never
+    /// reinserted), matching the incremental engine's BTreeMap order.
+    acts: Vec<RefActivity>,
+    now: f64,
+    next_id: u64,
+}
+
+impl RefEngine {
+    fn new(caps: Vec<f64>) -> Self {
+        RefEngine {
+            caps,
+            acts: Vec::new(),
+            now: 0.0,
+            next_id: 0,
+        }
+    }
+
+    fn start(&mut self, work: f64, usages: Vec<(usize, f64)>, bound: f64) -> u64 {
+        let id = self.next_id;
+        self.next_id += 1;
+        self.acts.push(RefActivity {
+            id,
+            remaining: work,
+            total: work,
+            bound,
+            usages,
+            rate: 0.0,
+        });
+        id
+    }
+
+    fn cancel(&mut self, id: u64) -> Option<f64> {
+        let pos = self.acts.iter().position(|a| a.id == id)?;
+        Some(self.acts.remove(pos).remaining)
+    }
+
+    fn advance_to(&mut self, t: f64) {
+        let dt = t - self.now;
+        if dt > 0.0 {
+            for a in &mut self.acts {
+                if a.rate > 0.0 {
+                    a.remaining = (a.remaining - a.rate * dt).max(0.0);
+                }
+            }
+        }
+        self.now = self.now.max(t);
+    }
+
+    /// Full progressive-filling solve over every live activity, with the
+    /// max-min invariant checked on every solution.
+    fn solve_all(&mut self) {
+        let demands: Vec<Demand<'_>> = self
+            .acts
+            .iter()
+            .map(|a| Demand {
+                usages: &a.usages,
+                bound: a.bound,
+            })
+            .collect();
+        let rates = solve(&self.caps, &demands);
+        check_feasible_and_fair(&self.caps, &demands, &rates);
+        drop(demands);
+        for (a, r) in self.acts.iter_mut().zip(rates) {
+            a.rate = r;
+        }
+    }
+
+    fn time_eps(&self) -> f64 {
+        1e-9 + self.now * 1e-12
+    }
+
+    fn effectively_done(&self, a: &RefActivity) -> bool {
+        a.done() || (a.rate > 0.0 && a.remaining <= a.rate * self.time_eps())
+    }
+
+    /// O(n) completion scan, exactly as the pre-incremental engine did it.
+    fn next_completion(&self) -> Option<f64> {
+        let mut best: Option<f64> = None;
+        for a in &self.acts {
+            let t = if self.effectively_done(a) {
+                self.now
+            } else if a.rate > 0.0 {
+                let horizon = if a.rate.is_finite() {
+                    a.remaining / a.rate
+                } else {
+                    0.0
+                };
+                self.now + horizon
+            } else {
+                continue;
+            };
+            best = Some(match best {
+                Some(b) => b.min(t),
+                None => t,
+            });
+        }
+        best
+    }
+
+    fn harvest(&mut self) -> Vec<u64> {
+        let done: Vec<u64> = self
+            .acts
+            .iter()
+            .filter(|a| self.effectively_done(a))
+            .map(|a| a.id)
+            .collect();
+        self.acts.retain(|a| !done.contains(&a.id));
+        done
+    }
+}
+
+#[derive(Debug, Clone)]
+enum Op {
+    Start {
+        work: f64,
+        res: Vec<(usize, f64)>,
+        bound: f64,
+    },
+    Cancel(usize),
+    SetCap {
+        res: usize,
+        cap: f64,
+    },
+    Run,
+}
+
+fn arb_op(nres: usize) -> impl Strategy<Value = Op> {
+    let start = (
+        prop_oneof![1 => Just(0.0f64), 6 => 1.0f64..2e3],
+        proptest::collection::vec((0..nres, 0.5f64..2.0), 1..3),
+        prop_oneof![2 => Just(f64::INFINITY), 1 => 0.5f64..40.0],
+    )
+        .prop_map(|(work, res, bound)| Op::Start { work, res, bound });
+    let cancel = (0usize..64).prop_map(Op::Cancel);
+    let setcap = (0..nres, prop_oneof![1 => Just(0.0f64), 5 => 0.5f64..100.0])
+        .prop_map(|(res, cap)| Op::SetCap { res, cap });
+    prop_oneof![4 => start, 1 => cancel, 1 => setcap, 3 => Just(Op::Run)]
+}
+
+fn arb_trace() -> impl Strategy<Value = (Vec<f64>, Vec<Op>)> {
+    (2usize..6).prop_flat_map(|nres| {
+        (
+            proptest::collection::vec(0.5f64..100.0, nres..=nres),
+            proptest::collection::vec(arb_op(nres), 1..40),
+        )
+    })
+}
+
+/// Absolute-plus-relative closeness; the absolute term must dominate the
+/// engine's live-lock epsilon (1e-9 + t·1e-12) at the times traces reach.
+fn close_t(a: f64, b: f64) -> bool {
+    (a - b).abs() <= 1e-6 + 1e-9 * a.abs().max(b.abs())
+}
+
+fn replay(caps: &[f64], ops: &[Op]) -> Result<(), TestCaseError> {
+    let mut net = FlowNetwork::new();
+    let rids: Vec<ResourceId> = caps.iter().map(|&c| net.add_resource(c)).collect();
+    let mut reference = RefEngine::new(caps.to_vec());
+    // Both engines hand out ids 0, 1, 2, … in start order; the pair list
+    // maps between the two handle spaces.
+    let mut live: Vec<(ActivityId, u64)> = Vec::new();
+
+    for op in ops {
+        match op {
+            Op::Start { work, res, bound } => {
+                let usages: Vec<(usize, f64)> = res.clone();
+                let spec = ActivitySpec {
+                    work: *work,
+                    usages: res.iter().map(|&(r, w)| (rids[r], w)).collect(),
+                    bound: *bound,
+                };
+                let a = net.start(spec);
+                let rid = reference.start(*work, usages, *bound);
+                live.push((a, rid));
+            }
+            Op::Cancel(k) => {
+                if live.is_empty() {
+                    continue;
+                }
+                let (a, rid) = live.remove(k % live.len());
+                let rem_inc = net.cancel(a).expect("live in incremental engine");
+                let rem_ref = reference.cancel(rid).expect("live in reference engine");
+                prop_assert!(
+                    close_t(rem_inc, rem_ref),
+                    "cancel remaining diverged: {rem_inc} vs {rem_ref}"
+                );
+            }
+            Op::SetCap { res, cap } => {
+                net.set_capacity(rids[*res], *cap);
+                reference.caps[*res] = *cap;
+            }
+            Op::Run => {
+                net.recompute();
+                reference.solve_all();
+                if let Some(t) = net.next_completion() {
+                    net.advance_to(t);
+                    reference.advance_to(t.as_secs());
+                    let harvested = net.harvest_completed();
+                    let mut inc_ids: Vec<u64> = harvested
+                        .iter()
+                        .map(|aid| {
+                            let pos = live
+                                .iter()
+                                .position(|(a, _)| a == aid)
+                                .expect("harvested id was live");
+                            live.remove(pos).1
+                        })
+                        .collect();
+                    inc_ids.sort_unstable();
+                    let mut ref_ids = reference.harvest();
+                    ref_ids.sort_unstable();
+                    prop_assert_eq!(
+                        inc_ids,
+                        ref_ids,
+                        "completion sets diverged at t={}",
+                        t.as_secs()
+                    );
+                }
+            }
+        }
+
+        // After every operation: both engines re-solve and must agree on
+        // every live activity's rate and remaining work, and on the next
+        // predicted completion.
+        net.recompute();
+        reference.solve_all();
+        for &(a, rid) in &live {
+            let p = net.progress(a).expect("live in incremental engine");
+            let r = reference
+                .acts
+                .iter()
+                .find(|x| x.id == rid)
+                .expect("live in reference engine");
+            prop_assert!(
+                close_t(p.rate, r.rate) || (p.rate.is_infinite() && r.rate.is_infinite()),
+                "rate diverged for id {rid}: {} vs {}",
+                p.rate,
+                r.rate
+            );
+            prop_assert!(
+                close_t(p.remaining, r.remaining),
+                "remaining diverged for id {rid}: {} vs {}",
+                p.remaining,
+                r.remaining
+            );
+        }
+        // The incremental engine's own rates must satisfy the max-min
+        // invariant, independent of the reference agreeing.
+        let demands: Vec<Demand<'_>> = reference
+            .acts
+            .iter()
+            .map(|a| Demand {
+                usages: &a.usages,
+                bound: a.bound,
+            })
+            .collect();
+        let inc_rates: Vec<f64> = reference
+            .acts
+            .iter()
+            .map(|a| {
+                let (aid, _) = live.iter().find(|(_, rid)| *rid == a.id).unwrap();
+                net.progress(*aid).unwrap().rate
+            })
+            .collect();
+        check_feasible_and_fair(&reference.caps, &demands, &inc_rates);
+        match (net.next_completion(), reference.next_completion()) {
+            (None, None) => {}
+            (Some(ti), Some(tr)) => {
+                prop_assert!(
+                    close_t(ti.as_secs(), tr),
+                    "next completion diverged: {} vs {tr}",
+                    ti.as_secs()
+                );
+            }
+            (i, r) => {
+                return Err(TestCaseError::fail(format!(
+                    "completion prediction presence diverged: {i:?} vs {r:?}"
+                )));
+            }
+        }
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(1000))]
+
+    /// 1000 randomized start/cancel/capacity-change traces replayed through
+    /// the incremental engine and the retained full-solve reference: rates,
+    /// remaining work, completion predictions, and completion order must
+    /// all agree.
+    #[test]
+    fn incremental_engine_matches_full_solve_reference((caps, ops) in arb_trace()) {
+        replay(&caps, &ops)?;
     }
 }
 

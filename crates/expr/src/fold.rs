@@ -31,9 +31,7 @@ impl Expr {
                 Box::new(l.fold_constants()),
                 Box::new(r.fold_constants()),
             ),
-            Expr::Call(f, args) => {
-                Expr::Call(*f, args.iter().map(Expr::fold_constants).collect())
-            }
+            Expr::Call(f, args) => Expr::Call(*f, args.iter().map(Expr::fold_constants).collect()),
         }
     }
 }
@@ -50,7 +48,9 @@ mod tests {
 
     #[test]
     fn variables_block_folding_locally_only() {
-        let e = Expr::parse("(1 + 2) * n + (4 / 2)").unwrap().fold_constants();
+        let e = Expr::parse("(1 + 2) * n + (4 / 2)")
+            .unwrap()
+            .fold_constants();
         // Folds the two constant subtrees but keeps the variable.
         assert_eq!(e.to_string(), "((3 * n) + 2)");
     }

@@ -36,39 +36,66 @@ pub(crate) fn lex(src: &str) -> Result<Vec<Spanned>, ParseError> {
                 i += 1;
             }
             b'+' => {
-                out.push(Spanned { token: Token::Plus, offset: i });
+                out.push(Spanned {
+                    token: Token::Plus,
+                    offset: i,
+                });
                 i += 1;
             }
             b'-' => {
-                out.push(Spanned { token: Token::Minus, offset: i });
+                out.push(Spanned {
+                    token: Token::Minus,
+                    offset: i,
+                });
                 i += 1;
             }
             b'*' => {
-                out.push(Spanned { token: Token::Star, offset: i });
+                out.push(Spanned {
+                    token: Token::Star,
+                    offset: i,
+                });
                 i += 1;
             }
             b'/' => {
-                out.push(Spanned { token: Token::Slash, offset: i });
+                out.push(Spanned {
+                    token: Token::Slash,
+                    offset: i,
+                });
                 i += 1;
             }
             b'%' => {
-                out.push(Spanned { token: Token::Percent, offset: i });
+                out.push(Spanned {
+                    token: Token::Percent,
+                    offset: i,
+                });
                 i += 1;
             }
             b'^' => {
-                out.push(Spanned { token: Token::Caret, offset: i });
+                out.push(Spanned {
+                    token: Token::Caret,
+                    offset: i,
+                });
                 i += 1;
             }
             b'(' => {
-                out.push(Spanned { token: Token::LParen, offset: i });
+                out.push(Spanned {
+                    token: Token::LParen,
+                    offset: i,
+                });
                 i += 1;
             }
             b')' => {
-                out.push(Spanned { token: Token::RParen, offset: i });
+                out.push(Spanned {
+                    token: Token::RParen,
+                    offset: i,
+                });
                 i += 1;
             }
             b',' => {
-                out.push(Spanned { token: Token::Comma, offset: i });
+                out.push(Spanned {
+                    token: Token::Comma,
+                    offset: i,
+                });
                 i += 1;
             }
             b'0'..=b'9' | b'.' => {
@@ -78,13 +105,14 @@ pub(crate) fn lex(src: &str) -> Result<Vec<Spanned>, ParseError> {
                 let value: f64 = text
                     .parse()
                     .map_err(|_| ParseError::new(start, format!("invalid number `{text}`")))?;
-                out.push(Spanned { token: Token::Num(value), offset: start });
+                out.push(Spanned {
+                    token: Token::Num(value),
+                    offset: start,
+                });
             }
             b'a'..=b'z' | b'A'..=b'Z' | b'_' => {
                 let start = i;
-                while i < bytes.len()
-                    && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_')
-                {
+                while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_') {
                     i += 1;
                 }
                 out.push(Spanned {

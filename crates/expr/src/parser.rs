@@ -48,7 +48,10 @@ impl Parser {
         match self.next() {
             Some(t) if t.token == *want => Ok(()),
             Some(t) => Err(ParseError::new(t.offset, format!("expected {what}"))),
-            None => Err(ParseError::new(self.end, format!("expected {what}, found end"))),
+            None => Err(ParseError::new(
+                self.end,
+                format!("expected {what}, found end"),
+            )),
         }
     }
 

@@ -32,14 +32,10 @@ fn arb_expr() -> impl Strategy<Value = Expr> {
                 Box::new(l),
                 Box::new(r)
             )),
-            (inner.clone(), inner.clone()).prop_map(|(l, r)| Expr::Call(
-                elastisim_expr::Func::Min,
-                vec![l, r]
-            )),
-            (inner.clone(), inner.clone()).prop_map(|(l, r)| Expr::Call(
-                elastisim_expr::Func::Max,
-                vec![l, r]
-            )),
+            (inner.clone(), inner.clone())
+                .prop_map(|(l, r)| Expr::Call(elastisim_expr::Func::Min, vec![l, r])),
+            (inner.clone(), inner.clone())
+                .prop_map(|(l, r)| Expr::Call(elastisim_expr::Func::Max, vec![l, r])),
             inner
                 .clone()
                 .prop_map(|e| Expr::Unary(elastisim_expr::UnOp::Neg, Box::new(e))),

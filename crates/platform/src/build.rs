@@ -60,7 +60,10 @@ impl Platform {
                 nic_up: sim.add_resource(n.nic_bw),
                 nic_down: sim.add_resource(n.nic_bw),
                 bb_read: n.burst_buffer.as_ref().map(|b| sim.add_resource(b.read_bw)),
-                bb_write: n.burst_buffer.as_ref().map(|b| sim.add_resource(b.write_bw)),
+                bb_write: n
+                    .burst_buffer
+                    .as_ref()
+                    .map(|b| sim.add_resource(b.write_bw)),
             })
             .collect();
         let leaves = match spec.network.tree {
@@ -156,10 +159,7 @@ impl Platform {
 
 #[cfg(test)]
 /// Test helper: an activity of `work` bytes over the given weighted path.
-fn build_activity(
-    work: f64,
-    usages: Vec<(ResourceId, f64)>,
-) -> elastisim_des::ActivitySpec {
+fn build_activity(work: f64, usages: Vec<(ResourceId, f64)>) -> elastisim_des::ActivitySpec {
     let mut spec = elastisim_des::ActivitySpec::new(work, []);
     for (r, w) in usages {
         spec = spec.with_usage(r, w);
@@ -252,7 +252,10 @@ mod tests {
         let mut sim: Simulator<u32> = Simulator::new();
         let p = Platform::instantiate(&spec, &mut sim);
         // Two cross-leaf flows share the one uplink: each at uplink/2.
-        for (i, pair) in [(NodeId(0), NodeId(4)), (NodeId(1), NodeId(5))].iter().enumerate() {
+        for (i, pair) in [(NodeId(0), NodeId(4)), (NodeId(1), NodeId(5))]
+            .iter()
+            .enumerate()
+        {
             let spec_a = build_activity(nic, p.path_usages(pair.0, pair.1));
             sim.start_activity(spec_a, i as u32);
         }

@@ -33,8 +33,8 @@ mod spec;
 mod storage;
 
 pub use build::{LeafHandles, NodeHandles, Platform};
-pub use network::TreeSpec;
 pub use network::NetworkSpec;
+pub use network::TreeSpec;
 pub use node::{BurstBufferSpec, GpuSpec, NodeSpec};
 pub use spec::{NodeId, PlatformError, PlatformSpec};
 pub use storage::PfsSpec;

@@ -34,9 +34,9 @@ pub struct BurstBufferSpec {
 impl Default for BurstBufferSpec {
     fn default() -> Self {
         BurstBufferSpec {
-            capacity: 1.6e12,  // 1.6 TB NVMe
-            read_bw: 6.0e9,    // 6 GB/s
-            write_bw: 3.0e9,   // 3 GB/s
+            capacity: 1.6e12, // 1.6 TB NVMe
+            read_bw: 6.0e9,   // 6 GB/s
+            write_bw: 3.0e9,  // 3 GB/s
         }
     }
 }

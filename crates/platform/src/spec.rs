@@ -7,9 +7,7 @@ use crate::node::NodeSpec;
 use crate::storage::PfsSpec;
 
 /// Index of a node within its platform. Node ids are dense `0..num_nodes`.
-#[derive(
-    Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug, Serialize, Deserialize,
-)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug, Serialize, Deserialize)]
 pub struct NodeId(pub u32);
 
 impl NodeId {
@@ -124,10 +122,14 @@ impl PlatformSpec {
             }
         }
         if !(self.network.backbone_bw > 0.0) {
-            return Err(PlatformError::Invalid("backbone_bw must be positive".into()));
+            return Err(PlatformError::Invalid(
+                "backbone_bw must be positive".into(),
+            ));
         }
         if self.network.latency < 0.0 {
-            return Err(PlatformError::Invalid("latency must be non-negative".into()));
+            return Err(PlatformError::Invalid(
+                "latency must be non-negative".into(),
+            ));
         }
         if let Some(tree) = self.network.tree {
             if tree.leaf_size == 0 {
@@ -140,7 +142,9 @@ impl PlatformSpec {
             }
         }
         if !(self.pfs.read_bw > 0.0 && self.pfs.write_bw > 0.0) {
-            return Err(PlatformError::Invalid("PFS bandwidths must be positive".into()));
+            return Err(PlatformError::Invalid(
+                "PFS bandwidths must be positive".into(),
+            ));
         }
         Ok(())
     }

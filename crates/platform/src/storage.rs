@@ -26,7 +26,10 @@ impl Default for PfsSpec {
 impl PfsSpec {
     /// Symmetric PFS with the same bandwidth both ways.
     pub fn symmetric(bw: f64) -> Self {
-        PfsSpec { read_bw: bw, write_bw: bw }
+        PfsSpec {
+            read_bw: bw,
+            write_bw: bw,
+        }
     }
 }
 

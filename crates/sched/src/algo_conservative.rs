@@ -113,11 +113,17 @@ impl Scheduler for ConservativeBackfilling {
             .collect();
         events.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
 
-        let mut profile = vec![ProfileStep { time: view.now, free: view.free_nodes.len() }];
+        let mut profile = vec![ProfileStep {
+            time: view.now,
+            free: view.free_nodes.len(),
+        }];
         for (end, nodes) in events {
             let last_free = profile.last().unwrap().free;
             if end > profile.last().unwrap().time {
-                profile.push(ProfileStep { time: end, free: last_free + nodes });
+                profile.push(ProfileStep {
+                    time: end,
+                    free: last_free + nodes,
+                });
             } else {
                 profile.last_mut().unwrap().free += nodes;
             }
@@ -195,7 +201,10 @@ mod tests {
             now: 0.0,
             total_nodes: 8,
             free_nodes: (0..8).map(NodeId).collect(),
-            jobs: vec![pending(1, 0.0, 4, Some(100.0)), pending(2, 1.0, 4, Some(100.0))],
+            jobs: vec![
+                pending(1, 0.0, 4, Some(100.0)),
+                pending(2, 1.0, 4, Some(100.0)),
+            ],
         };
         let d = ConservativeBackfilling::new().schedule(&v, Invocation::Periodic);
         assert_eq!(started(&d), vec![1, 2]);

@@ -111,10 +111,7 @@ impl Scheduler for EasyBackfilling {
                 Some(size) => {
                     let nodes = free.take(size).expect("checked");
                     allocs.push(RunningAlloc {
-                        end_estimate: job
-                            .walltime
-                            .map(|w| view.now + w)
-                            .unwrap_or(f64::INFINITY),
+                        end_estimate: job.walltime.map(|w| view.now + w).unwrap_or(f64::INFINITY),
                         nodes: size,
                     });
                     out.push(Decision::Start { job: job.id, nodes });

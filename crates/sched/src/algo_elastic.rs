@@ -70,7 +70,10 @@ impl ElasticScheduler {
 
     /// Creates the scheduler with explicit knobs and start-sizing policy.
     pub fn with_sizing(cfg: ElasticConfig, sizing: SizingPolicy) -> Self {
-        ElasticScheduler { cfg, base: EasyBackfilling::with_sizing(sizing) }
+        ElasticScheduler {
+            cfg,
+            base: EasyBackfilling::with_sizing(sizing),
+        }
     }
 }
 
@@ -89,7 +92,9 @@ impl Scheduler for ElasticScheduler {
             if info.reconfig_pending {
                 continue;
             }
-            let Some(want) = job.evolving_request else { continue };
+            let Some(want) = job.evolving_request else {
+                continue;
+            };
             let want = want as usize;
             let have = info.nodes.len();
             if want < have {
@@ -149,44 +154,41 @@ impl Scheduler for ElasticScheduler {
             .into_iter()
             .filter(|j| !started.contains(&j.id))
             .collect();
-        if self.cfg.shrink_to_start
-            && !queue.is_empty() {
-                // Free enough for the whole queue's minimum demand (not
-                // just the head): draining a burst with one bulk shrink
-                // beats one shrink-per-start cycles.
-                let needed: usize = queue.iter().map(|j| j.min_start_size()).sum();
-                let needed = needed.min(view.total_nodes);
-                let mut will_free = free.available();
-                if will_free < needed {
-                    // Shrink malleable jobs, largest allocation first.
-                    let mut candidates: Vec<_> = view
-                        .running()
-                        .filter(|j| j.class == JobClass::Malleable)
-                        .filter_map(|j| j.run_info().map(|i| (j, i)))
-                        .filter(|(j, i)| {
-                            !i.reconfig_pending
-                                && i.nodes.len() > j.min_nodes as usize
-                                && j.evolving_request.is_none()
-                        })
-                        .collect();
-                    candidates.sort_by_key(|(j, i)| {
-                        (std::cmp::Reverse(i.nodes.len()), j.id)
-                    });
-                    for (job, info) in candidates {
-                        if will_free >= needed {
-                            break;
-                        }
-                        let releasable = info.nodes.len() - job.min_nodes as usize;
-                        let take = releasable.min(needed - will_free);
-                        let keep = info.nodes.len() - take;
-                        out.push(Decision::Reconfigure {
-                            job: job.id,
-                            nodes: info.nodes[..keep].to_vec(),
-                        });
-                        will_free += take;
+        if self.cfg.shrink_to_start && !queue.is_empty() {
+            // Free enough for the whole queue's minimum demand (not
+            // just the head): draining a burst with one bulk shrink
+            // beats one shrink-per-start cycles.
+            let needed: usize = queue.iter().map(|j| j.min_start_size()).sum();
+            let needed = needed.min(view.total_nodes);
+            let mut will_free = free.available();
+            if will_free < needed {
+                // Shrink malleable jobs, largest allocation first.
+                let mut candidates: Vec<_> = view
+                    .running()
+                    .filter(|j| j.class == JobClass::Malleable)
+                    .filter_map(|j| j.run_info().map(|i| (j, i)))
+                    .filter(|(j, i)| {
+                        !i.reconfig_pending
+                            && i.nodes.len() > j.min_nodes as usize
+                            && j.evolving_request.is_none()
+                    })
+                    .collect();
+                candidates.sort_by_key(|(j, i)| (std::cmp::Reverse(i.nodes.len()), j.id));
+                for (job, info) in candidates {
+                    if will_free >= needed {
+                        break;
                     }
+                    let releasable = info.nodes.len() - job.min_nodes as usize;
+                    let take = releasable.min(needed - will_free);
+                    let keep = info.nodes.len() - take;
+                    out.push(Decision::Reconfigure {
+                        job: job.id,
+                        nodes: info.nodes[..keep].to_vec(),
+                    });
+                    will_free += take;
                 }
             }
+        }
 
         // --- 4. Expand-to-fill ------------------------------------------
         // Only when nobody is waiting: an expansion would otherwise steal
@@ -200,7 +202,9 @@ impl Scheduler for ElasticScheduler {
                     !i.reconfig_pending
                         && i.nodes.len() < j.max_nodes as usize
                         && j.evolving_request.is_none()
-                        && !out.iter().any(|d| matches!(d, Decision::Reconfigure { job, .. } if *job == j.id))
+                        && !out
+                            .iter()
+                            .any(|d| matches!(d, Decision::Reconfigure { job, .. } if *job == j.id))
                 })
                 .collect();
             // Smallest first: equalizes allocations across malleable jobs.
@@ -228,8 +232,8 @@ impl Scheduler for ElasticScheduler {
             }
             for (gi, (job, info)) in growers.iter().enumerate() {
                 let (had, now) = grants[gi];
-                let gain_ok = had == 0
-                    || (now - had) as f64 / had as f64 >= self.cfg.min_expand_gain;
+                let gain_ok =
+                    had == 0 || (now - had) as f64 / had as f64 >= self.cfg.min_expand_gain;
                 if now > had && gain_ok {
                     let extra = free.take(now - had).expect("budget accounted");
                     let mut nodes = info.nodes.clone();
@@ -325,7 +329,10 @@ mod tests {
         let v = view(
             8,
             &[4, 5, 6, 7],
-            vec![running_malleable(1, &[0, 1], 1, 8), running_malleable(2, &[2, 3], 1, 4)],
+            vec![
+                running_malleable(1, &[0, 1], 1, 8),
+                running_malleable(2, &[2, 3], 1, 4),
+            ],
         );
         let d = ElasticScheduler::new().schedule(&v, Invocation::Periodic);
         let r = reconfigs(&d);
@@ -338,7 +345,11 @@ mod tests {
 
     #[test]
     fn expansion_respects_max_nodes() {
-        let v = view(8, &[4, 5, 6, 7], vec![running_malleable(1, &[0, 1, 2, 3], 1, 5)]);
+        let v = view(
+            8,
+            &[4, 5, 6, 7],
+            vec![running_malleable(1, &[0, 1, 2, 3], 1, 5)],
+        );
         let d = ElasticScheduler::new().schedule(&v, Invocation::Periodic);
         assert_eq!(reconfigs(&d), vec![(1, 5)]);
     }
@@ -384,7 +395,11 @@ mod tests {
 
     #[test]
     fn evolving_grow_granted_when_free() {
-        let v = view(8, &[4, 5, 6, 7], vec![running_evolving(1, &[0, 1], 1, 8, 5)]);
+        let v = view(
+            8,
+            &[4, 5, 6, 7],
+            vec![running_evolving(1, &[0, 1], 1, 8, 5)],
+        );
         let d = ElasticScheduler::new().schedule(&v, Invocation::Periodic);
         assert_eq!(reconfigs(&d), vec![(1, 5)]);
     }
@@ -422,7 +437,10 @@ mod tests {
         let v = view(
             8,
             &[6, 7],
-            vec![running_malleable(1, &[0, 1, 2, 3, 4, 5], 2, 8), pending_rigid(2, 1.0, 4)],
+            vec![
+                running_malleable(1, &[0, 1, 2, 3, 4, 5], 2, 8),
+                pending_rigid(2, 1.0, 4),
+            ],
         );
         let d = ElasticScheduler::with_config(cfg).schedule(&v, Invocation::Periodic);
         assert!(reconfigs(&d).is_empty());

@@ -83,7 +83,10 @@ mod tests {
     #[test]
     fn starts_in_queue_order_until_full() {
         let mut s = FcfsScheduler::new();
-        let v = view(4, vec![pending(1, 0.0, 2), pending(2, 1.0, 2), pending(3, 2.0, 2)]);
+        let v = view(
+            4,
+            vec![pending(1, 0.0, 2), pending(2, 1.0, 2), pending(3, 2.0, 2)],
+        );
         let d = s.schedule(&v, Invocation::Periodic);
         assert_eq!(d.len(), 2);
         assert!(matches!(&d[0], Decision::Start { job: JobId(1), nodes } if nodes.len() == 2));

@@ -91,9 +91,7 @@ impl JobView {
     pub fn start_size(&self, free: usize) -> Option<usize> {
         match self.fixed_start {
             Some(s) => (free >= s as usize).then_some(s as usize),
-            None => {
-                (free >= self.min_nodes as usize).then(|| (self.max_nodes as usize).min(free))
-            }
+            None => (free >= self.min_nodes as usize).then(|| (self.max_nodes as usize).min(free)),
         }
     }
 
@@ -220,7 +218,12 @@ mod tests {
             now: 0.0,
             total_nodes: 4,
             free_nodes: vec![],
-            jobs: vec![job(3, 5.0, true), job(1, 5.0, true), job(2, 1.0, true), job(4, 0.0, false)],
+            jobs: vec![
+                job(3, 5.0, true),
+                job(1, 5.0, true),
+                job(2, 1.0, true),
+                job(4, 0.0, false),
+            ],
         };
         let q: Vec<u64> = view.queue().iter().map(|j| j.id.0).collect();
         assert_eq!(q, vec![2, 1, 3]);

@@ -24,7 +24,9 @@ pub struct NodeSet {
 impl NodeSet {
     /// Starts from the view's free list (ascending order).
     pub fn new(free: &[NodeId]) -> Self {
-        NodeSet { free: free.to_vec() }
+        NodeSet {
+            free: free.to_vec(),
+        }
     }
 
     /// Nodes still available.

@@ -9,8 +9,7 @@ use crate::algo_firstfit::FirstFit;
 use crate::api::Scheduler;
 
 /// Names accepted by [`by_name`], in presentation order.
-pub const SCHEDULER_NAMES: [&str; 5] =
-    ["fcfs", "easy", "conservative", "first-fit", "elastic"];
+pub const SCHEDULER_NAMES: [&str; 5] = ["fcfs", "easy", "conservative", "first-fit", "elastic"];
 
 /// Constructs a scheduler from its name. Returns `None` for unknown names;
 /// see [`SCHEDULER_NAMES`].
@@ -18,9 +17,7 @@ pub fn by_name(name: &str) -> Option<Box<dyn Scheduler>> {
     Some(match name {
         "fcfs" => Box::new(FcfsScheduler::new()),
         "easy" | "easy-backfilling" => Box::new(EasyBackfilling::new()),
-        "conservative" | "conservative-backfilling" => {
-            Box::new(ConservativeBackfilling::new())
-        }
+        "conservative" | "conservative-backfilling" => Box::new(ConservativeBackfilling::new()),
         "first-fit" | "firstfit" => Box::new(FirstFit::new()),
         "elastic" => Box::new(ElasticScheduler::new()),
         _ => return None,

@@ -5,8 +5,7 @@
 
 use elastisim_platform::NodeId;
 use elastisim_sched::{
-    by_name, Decision, Invocation, JobRunInfo, JobState, JobView, SystemView,
-    SCHEDULER_NAMES,
+    by_name, Decision, Invocation, JobRunInfo, JobState, JobView, SystemView, SCHEDULER_NAMES,
 };
 use elastisim_workload::{JobClass, JobId};
 use proptest::prelude::*;
@@ -99,7 +98,12 @@ fn arb_view() -> impl Strategy<Value = SystemView> {
             .filter(|n| !used.contains(n))
             .map(NodeId)
             .collect();
-        SystemView { now: 2e4, total_nodes: total, free_nodes, jobs }
+        SystemView {
+            now: 2e4,
+            total_nodes: total,
+            free_nodes,
+            jobs,
+        }
     })
 }
 
@@ -139,8 +143,8 @@ fn check_decisions(view: &SystemView, decisions: &[Decision]) -> Result<(), Test
                 let current: std::collections::HashSet<NodeId> =
                     jv.run_info().unwrap().nodes.iter().copied().collect();
                 for node in nodes {
-                    let ok = current.contains(node)
-                        || (free.contains(node) && handed_out.insert(*node));
+                    let ok =
+                        current.contains(node) || (free.contains(node) && handed_out.insert(*node));
                     prop_assert!(ok, "{job} reconfigured onto unavailable {node}");
                 }
             }

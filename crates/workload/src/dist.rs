@@ -61,9 +61,7 @@ impl Distribution {
                 let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
                 -mean * u.ln()
             }
-            Distribution::LogNormal { mu, sigma } => {
-                (mu + sigma * standard_normal(rng)).exp()
-            }
+            Distribution::LogNormal { mu, sigma } => (mu + sigma * standard_normal(rng)).exp(),
             Distribution::Weibull { k, lambda } => {
                 let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
                 lambda * (-u.ln()).powf(1.0 / k)
@@ -177,16 +175,30 @@ mod tests {
 
     #[test]
     fn lognormal_mean_converges() {
-        let d = Distribution::LogNormal { mu: 1.0, sigma: 0.5 };
+        let d = Distribution::LogNormal {
+            mu: 1.0,
+            sigma: 0.5,
+        };
         let m = empirical_mean(d, 200_000);
-        assert!((m - d.mean()).abs() / d.mean() < 0.02, "mean {m} vs {}", d.mean());
+        assert!(
+            (m - d.mean()).abs() / d.mean() < 0.02,
+            "mean {m} vs {}",
+            d.mean()
+        );
     }
 
     #[test]
     fn weibull_mean_converges() {
-        let d = Distribution::Weibull { k: 1.5, lambda: 2.0 };
+        let d = Distribution::Weibull {
+            k: 1.5,
+            lambda: 2.0,
+        };
         let m = empirical_mean(d, 200_000);
-        assert!((m - d.mean()).abs() / d.mean() < 0.02, "mean {m} vs {}", d.mean());
+        assert!(
+            (m - d.mean()).abs() / d.mean() < 0.02,
+            "mean {m} vs {}",
+            d.mean()
+        );
     }
 
     #[test]
@@ -202,8 +214,14 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(7);
         for d in [
             Distribution::Exponential { mean: 1.0 },
-            Distribution::LogNormal { mu: 0.0, sigma: 1.0 },
-            Distribution::Weibull { k: 0.7, lambda: 1.0 },
+            Distribution::LogNormal {
+                mu: 0.0,
+                sigma: 1.0,
+            },
+            Distribution::Weibull {
+                k: 0.7,
+                lambda: 1.0,
+            },
         ] {
             for _ in 0..1000 {
                 assert!(d.sample(&mut rng) > 0.0);
@@ -227,7 +245,10 @@ mod tests {
 
     #[test]
     fn serde_roundtrip() {
-        let d = Distribution::Weibull { k: 0.8, lambda: 3.0 };
+        let d = Distribution::Weibull {
+            k: 0.8,
+            lambda: 3.0,
+        };
         let json = serde_json::to_string(&d).unwrap();
         let back: Distribution = serde_json::from_str(&json).unwrap();
         assert_eq!(d, back);

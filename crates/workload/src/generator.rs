@@ -245,10 +245,20 @@ impl WorkloadConfig {
             seed: 1,
             // Mean size ~9.6 nodes (powers of two 1..32), mean runtime
             // ~1100 s ⇒ at 85 % of 128 nodes, one job every ~97 s.
-            arrival: ArrivalProcess::Poisson { mean_interarrival: 97.0 },
+            arrival: ArrivalProcess::Poisson {
+                mean_interarrival: 97.0,
+            },
             size: SizeDistribution::PowersOfTwo { min: 1, max: 32 },
-            runtime: Distribution::LogNormal { mu: 6.8, sigma: 0.6 },
-            mix: ClassMix { rigid: 1.0, moldable: 0.0, malleable: 0.0, evolving: 0.0 },
+            runtime: Distribution::LogNormal {
+                mu: 6.8,
+                sigma: 0.6,
+            },
+            mix: ClassMix {
+                rigid: 1.0,
+                moldable: 0.0,
+                malleable: 0.0,
+                evolving: 0.0,
+            },
             app: AppTemplate::default(),
             platform_nodes: 128,
             walltime_factor: 0.0,
@@ -264,7 +274,12 @@ impl WorkloadConfig {
     /// Replaces the class mix with `f` malleable / `1-f` rigid.
     pub fn with_malleable_fraction(mut self, f: f64) -> Self {
         assert!((0.0..=1.0).contains(&f));
-        self.mix = ClassMix { rigid: 1.0 - f, moldable: 0.0, malleable: f, evolving: 0.0 };
+        self.mix = ClassMix {
+            rigid: 1.0 - f,
+            moldable: 0.0,
+            malleable: f,
+            evolving: 0.0,
+        };
         self
     }
 
@@ -299,16 +314,14 @@ impl WorkloadConfig {
         let mut jobs = Vec::with_capacity(self.num_jobs);
         for id in 0..self.num_jobs as u64 {
             t += match self.arrival {
-                ArrivalProcess::Poisson { mean_interarrival } => {
-                    Distribution::Exponential { mean: mean_interarrival }.sample(&mut rng)
+                ArrivalProcess::Poisson { mean_interarrival } => Distribution::Exponential {
+                    mean: mean_interarrival,
                 }
+                .sample(&mut rng),
                 ArrivalProcess::Periodic { interval } => interval,
                 ArrivalProcess::AllAtOnce => 0.0,
             };
-            let size = self
-                .size
-                .sample(&mut rng)
-                .clamp(1, self.platform_nodes);
+            let size = self.size.sample(&mut rng).clamp(1, self.platform_nodes);
             let runtime = self.runtime.sample(&mut rng).max(1.0);
             let class = self.mix.draw(&mut rng);
             let app = self.app.instantiate(&mut rng, runtime, size);
@@ -359,12 +372,7 @@ fn elastic_range(size: u32, platform: u32) -> (u32, u32) {
 
 /// Inserts evolving resource requests on some phases: the job asks for more
 /// nodes on entering compute-heavy segments and releases them afterwards.
-fn sprinkle_evolving_requests(
-    app: &mut ApplicationModel,
-    rng: &mut StdRng,
-    min: u32,
-    max: u32,
-) {
+fn sprinkle_evolving_requests(app: &mut ApplicationModel, rng: &mut StdRng, min: u32, max: u32) {
     for phase in app.phases.iter_mut().skip(1) {
         if rng.gen_bool(0.5) {
             phase.evolving_request = Some(rng.gen_range(min..=max));
@@ -408,8 +416,13 @@ mod tests {
 
     #[test]
     fn malleable_fraction_respected() {
-        let jobs = WorkloadConfig::new(400).with_malleable_fraction(0.5).generate();
-        let malleable = jobs.iter().filter(|j| j.class == JobClass::Malleable).count();
+        let jobs = WorkloadConfig::new(400)
+            .with_malleable_fraction(0.5)
+            .generate();
+        let malleable = jobs
+            .iter()
+            .filter(|j| j.class == JobClass::Malleable)
+            .count();
         assert!((150..=250).contains(&malleable), "got {malleable}");
         assert!(jobs
             .iter()
@@ -431,14 +444,21 @@ mod tests {
 
     #[test]
     fn evolving_jobs_carry_requests() {
-        let cfg = WorkloadConfig::new(50)
-            .with_mix(ClassMix { rigid: 0.0, moldable: 0.0, malleable: 0.0, evolving: 1.0 });
+        let cfg = WorkloadConfig::new(50).with_mix(ClassMix {
+            rigid: 0.0,
+            moldable: 0.0,
+            malleable: 0.0,
+            evolving: 1.0,
+        });
         let jobs = cfg.generate();
         assert!(jobs.iter().all(|j| j.class == JobClass::Evolving));
         // At least some phases beyond the first ask for resources.
-        assert!(jobs
+        assert!(jobs.iter().any(|j| j
+            .app
+            .phases
             .iter()
-            .any(|j| j.app.phases.iter().skip(1).any(|p| p.evolving_request.is_some())));
+            .skip(1)
+            .any(|p| p.evolving_request.is_some())));
         validate_workload(&jobs, 128).unwrap();
     }
 
@@ -507,7 +527,10 @@ mod tests {
     #[test]
     fn gpu_offload_adds_gpu_tasks() {
         let mut rng = StdRng::seed_from_u64(0);
-        let t = AppTemplate { gpu_offload: 0.8, ..AppTemplate::default() };
+        let t = AppTemplate {
+            gpu_offload: 0.8,
+            ..AppTemplate::default()
+        };
         let app = t.instantiate(&mut rng, 100.0, 4);
         let mut cpu = 0.0;
         let mut gpu = 0.0;
@@ -523,7 +546,10 @@ mod tests {
             }
         }
         assert!(gpu > 0.0);
-        assert!((gpu / (cpu + gpu) - 0.8).abs() < 1e-9, "offload share wrong");
+        assert!(
+            (gpu / (cpu + gpu) - 0.8).abs() < 1e-9,
+            "offload share wrong"
+        );
     }
 
     #[test]

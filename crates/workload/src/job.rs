@@ -5,9 +5,7 @@ use serde::{Deserialize, Serialize};
 use crate::app::ApplicationModel;
 
 /// Unique job identifier within a workload.
-#[derive(
-    Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug, Serialize, Deserialize,
-)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug, Serialize, Deserialize)]
 pub struct JobId(pub u64);
 
 impl std::fmt::Display for JobId {
@@ -217,7 +215,10 @@ impl JobSpec {
     #[allow(clippy::neg_cmp_op_on_partial_ord)] // `!(x > 0)` also rejects NaN
     pub fn validate(&self, platform_nodes: usize) -> Result<(), WorkloadError> {
         if self.min_nodes == 0 {
-            return Err(WorkloadError::Invalid(format!("{}: min_nodes is 0", self.id)));
+            return Err(WorkloadError::Invalid(format!(
+                "{}: min_nodes is 0",
+                self.id
+            )));
         }
         if self.min_nodes > self.max_nodes {
             return Err(WorkloadError::Invalid(format!(
@@ -252,7 +253,10 @@ impl JobSpec {
             }
         }
         if self.app.phases.is_empty() {
-            return Err(WorkloadError::Invalid(format!("{}: empty application", self.id)));
+            return Err(WorkloadError::Invalid(format!(
+                "{}: empty application",
+                self.id
+            )));
         }
         // Every performance model must evaluate over the whole node range.
         for phase in &self.app.phases {
@@ -283,10 +287,7 @@ impl JobSpec {
 
 /// Validates a whole workload: per-job rules, unique ids, and a sound
 /// dependency graph (existing targets, no self-loops, no cycles).
-pub fn validate_workload(
-    jobs: &[JobSpec],
-    platform_nodes: usize,
-) -> Result<(), WorkloadError> {
+pub fn validate_workload(jobs: &[JobSpec], platform_nodes: usize) -> Result<(), WorkloadError> {
     let mut seen = std::collections::HashSet::new();
     for job in jobs {
         job.validate(platform_nodes)?;
@@ -355,16 +356,28 @@ mod tests {
     fn app() -> ApplicationModel {
         ApplicationModel::new(vec![Phase::once(
             "p",
-            vec![Task::compute("c", PerfExpr::parse("1e9 / num_nodes").unwrap())],
+            vec![Task::compute(
+                "c",
+                PerfExpr::parse("1e9 / num_nodes").unwrap(),
+            )],
         )])
     }
 
     #[test]
     fn constructors_set_classes() {
         assert_eq!(JobSpec::rigid(1, 0.0, 4, app()).class, JobClass::Rigid);
-        assert_eq!(JobSpec::moldable(1, 0.0, 2, 8, app()).class, JobClass::Moldable);
-        assert_eq!(JobSpec::malleable(1, 0.0, 2, 8, app()).class, JobClass::Malleable);
-        assert_eq!(JobSpec::evolving(1, 0.0, 4, 2, 8, app()).class, JobClass::Evolving);
+        assert_eq!(
+            JobSpec::moldable(1, 0.0, 2, 8, app()).class,
+            JobClass::Moldable
+        );
+        assert_eq!(
+            JobSpec::malleable(1, 0.0, 2, 8, app()).class,
+            JobClass::Malleable
+        );
+        assert_eq!(
+            JobSpec::evolving(1, 0.0, 4, 2, 8, app()).class,
+            JobClass::Evolving
+        );
     }
 
     #[test]
@@ -402,7 +415,10 @@ mod tests {
     fn validation_catches_unevaluable_model() {
         let app = ApplicationModel::new(vec![Phase::once(
             "p",
-            vec![Task::compute("c", PerfExpr::parse("1e9 / unknown_var").unwrap())],
+            vec![Task::compute(
+                "c",
+                PerfExpr::parse("1e9 / unknown_var").unwrap(),
+            )],
         )]);
         let j = JobSpec::rigid(1, 0.0, 4, app);
         assert!(j.validate(128).is_err());
@@ -427,7 +443,10 @@ mod tests {
 
     #[test]
     fn duplicate_ids_rejected() {
-        let jobs = vec![JobSpec::rigid(1, 0.0, 4, app()), JobSpec::rigid(1, 1.0, 2, app())];
+        let jobs = vec![
+            JobSpec::rigid(1, 0.0, 4, app()),
+            JobSpec::rigid(1, 1.0, 2, app()),
+        ];
         assert!(validate_workload(&jobs, 128).is_err());
     }
 

@@ -36,8 +36,8 @@ mod task;
 pub use app::{ApplicationModel, Phase};
 pub use dist::{Distribution, Sampler};
 pub use expr_serde::PerfExpr;
-pub use generator::{AppTemplate, ArrivalProcess, SizeDistribution, WorkloadConfig};
 pub use generator::ClassMix;
+pub use generator::{AppTemplate, ArrivalProcess, SizeDistribution, WorkloadConfig};
 pub use job::{validate_workload, JobClass, JobId, JobSpec, WorkloadError};
 pub use swf::{parse_swf, to_swf, SwfJob};
 pub use task::{CommPattern, ComputeTarget, IoTarget, Task, TaskKind};

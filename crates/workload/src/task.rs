@@ -109,7 +109,10 @@ impl Task {
     pub fn compute(name: impl Into<String>, flops: PerfExpr) -> Task {
         Task {
             name: name.into(),
-            kind: TaskKind::Compute { flops, target: ComputeTarget::Cpu },
+            kind: TaskKind::Compute {
+                flops,
+                target: ComputeTarget::Cpu,
+            },
         }
     }
 
@@ -117,7 +120,10 @@ impl Task {
     pub fn gpu_compute(name: impl Into<String>, flops: PerfExpr) -> Task {
         Task {
             name: name.into(),
-            kind: TaskKind::Compute { flops, target: ComputeTarget::Gpu },
+            kind: TaskKind::Compute {
+                flops,
+                target: ComputeTarget::Gpu,
+            },
         }
     }
 
@@ -172,9 +178,21 @@ mod tests {
     #[test]
     fn constructors_build_expected_kinds() {
         let t = Task::compute("k", PerfExpr::constant(1e9));
-        assert!(matches!(t.kind, TaskKind::Compute { target: ComputeTarget::Cpu, .. }));
+        assert!(matches!(
+            t.kind,
+            TaskKind::Compute {
+                target: ComputeTarget::Cpu,
+                ..
+            }
+        ));
         let t = Task::gpu_compute("k", PerfExpr::constant(1e9));
-        assert!(matches!(t.kind, TaskKind::Compute { target: ComputeTarget::Gpu, .. }));
+        assert!(matches!(
+            t.kind,
+            TaskKind::Compute {
+                target: ComputeTarget::Gpu,
+                ..
+            }
+        ));
         let t = Task::comm("c", PerfExpr::constant(1e6), CommPattern::AllToAll);
         assert!(matches!(t.kind, TaskKind::Communication { .. }));
     }
@@ -197,7 +215,13 @@ mod tests {
     fn compute_target_defaults_to_cpu() {
         let json = r#"{"name":"k","type":"compute","flops":"1e9"}"#;
         let t: Task = serde_json::from_str(json).unwrap();
-        assert!(matches!(t.kind, TaskKind::Compute { target: ComputeTarget::Cpu, .. }));
+        assert!(matches!(
+            t.kind,
+            TaskKind::Compute {
+                target: ComputeTarget::Cpu,
+                ..
+            }
+        ));
     }
 
     #[test]

@@ -71,5 +71,8 @@ fn run(name: &str, scheduler: Box<dyn Scheduler>) {
 fn main() {
     run("fcfs", Box::new(FcfsScheduler::new()));
     run("easy-backfilling", Box::new(EasyBackfilling::new()));
-    run("smallest-job-first", Box::new(SmallestJobFirst { max_wait: 3600.0 }));
+    run(
+        "smallest-job-first",
+        Box::new(SmallestJobFirst { max_wait: 3600.0 }),
+    );
 }

@@ -9,9 +9,7 @@
 use elastisim::{gantt_csv, ReconfigCost, SimConfig, Simulation};
 use elastisim_platform::{NodeSpec, PlatformSpec};
 use elastisim_sched::ElasticScheduler;
-use elastisim_workload::{
-    ApplicationModel, CommPattern, IoTarget, JobSpec, PerfExpr, Phase, Task,
-};
+use elastisim_workload::{ApplicationModel, CommPattern, IoTarget, JobSpec, PerfExpr, Phase, Task};
 
 fn main() {
     let platform = PlatformSpec::homogeneous("evolving-demo", 16, NodeSpec::default());

@@ -43,7 +43,10 @@ fn run(count: u64, target: IoTarget) -> f64 {
 
 fn main() {
     let _ = ArrivalProcess::AllAtOnce; // (workload here is hand-built)
-    println!("{:>18} {:>14} {:>14} {:>10}", "concurrent jobs", "PFS makespan", "BB makespan", "PFS/BB");
+    println!(
+        "{:>18} {:>14} {:>14} {:>10}",
+        "concurrent jobs", "PFS makespan", "BB makespan", "PFS/BB"
+    );
     for count in [1, 2, 4, 8] {
         let pfs = run(count, IoTarget::Pfs);
         let bb = run(count, IoTarget::BurstBuffer);

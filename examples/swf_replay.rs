@@ -36,7 +36,11 @@ fn main() {
     println!(
         "replaying {} jobs ({} proc-hours) on a 32-node machine\n",
         trace.len(),
-        trace.iter().map(|j| j.runtime * j.procs as f64).sum::<f64>() / 3600.0
+        trace
+            .iter()
+            .map(|j| j.runtime * j.procs as f64)
+            .sum::<f64>()
+            / 3600.0
     );
 
     println!(
@@ -45,9 +49,14 @@ fn main() {
     );
     for name in SCHEDULER_NAMES {
         let jobs: Vec<_> = trace.iter().map(|j| j.to_job_spec(node.flops, 1)).collect();
-        let report = Simulation::new(&platform, jobs, by_name(name).unwrap(), SimConfig::default())
-            .expect("trace fits platform")
-            .run();
+        let report = Simulation::new(
+            &platform,
+            jobs,
+            by_name(name).unwrap(),
+            SimConfig::default(),
+        )
+        .expect("trace fits platform")
+        .run();
         let s = report.summary();
         println!(
             "{name:>24} {:>11.0}s {:>11.0}s {:>10.2} {:>7.1}%",

@@ -25,7 +25,14 @@ fn main() {
     )]);
 
     let member = ApplicationModel::new(vec![
-        Phase::once("load", vec![Task::read("partition", PerfExpr::constant(10e9), IoTarget::Pfs)]),
+        Phase::once(
+            "load",
+            vec![Task::read(
+                "partition",
+                PerfExpr::constant(10e9),
+                IoTarget::Pfs,
+            )],
+        ),
         Phase::repeated(
             "integrate",
             30,
@@ -34,7 +41,10 @@ fn main() {
                 Task::comm("halo", PerfExpr::constant(128e6), CommPattern::Ring),
             ],
         ),
-        Phase::once("dump", vec![Task::write("state", PerfExpr::constant(8e9), IoTarget::Pfs)]),
+        Phase::once(
+            "dump",
+            vec![Task::write("state", PerfExpr::constant(8e9), IoTarget::Pfs)],
+        ),
     ]);
 
     let analysis = ApplicationModel::new(vec![Phase::once(
@@ -50,9 +60,7 @@ fn main() {
     for m in 1..=members {
         jobs.push(JobSpec::rigid(m, 0.0, 8, member.clone()).with_dependencies([0]));
     }
-    jobs.push(
-        JobSpec::rigid(members + 1, 0.0, 2, analysis).with_dependencies(1..=members),
-    );
+    jobs.push(JobSpec::rigid(members + 1, 0.0, 2, analysis).with_dependencies(1..=members));
 
     let report = Simulation::new(
         &platform,
@@ -63,7 +71,10 @@ fn main() {
     .expect("valid workflow")
     .run();
 
-    println!("{:>10} {:>12} {:>10} {:>10}", "job", "start", "end", "nodes");
+    println!(
+        "{:>10} {:>12} {:>10} {:>10}",
+        "job", "start", "end", "nodes"
+    );
     for j in &report.jobs {
         println!(
             "{:>10} {:>11.0}s {:>9.0}s {:>10}",

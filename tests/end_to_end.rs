@@ -14,7 +14,9 @@ fn contended_workload(malleable: f64, seed: u64) -> Vec<elastisim_workload::JobS
         .with_platform_nodes(32)
         .with_malleable_fraction(malleable)
         .with_sizes(SizeDistribution::Uniform { min: 2, max: 22 })
-        .with_arrival(ArrivalProcess::Poisson { mean_interarrival: 300.0 })
+        .with_arrival(ArrivalProcess::Poisson {
+            mean_interarrival: 300.0,
+        })
         .with_seed(seed)
         .generate()
 }
@@ -44,14 +46,24 @@ fn run_on_spec(spec: &PlatformSpec) -> elastisim::Report {
         .with_platform_nodes(spec.num_nodes() as u32)
         .with_seed(1)
         .generate();
-    Simulation::new(spec, jobs, Box::new(FcfsScheduler::new()), SimConfig::default())
-        .unwrap()
-        .run()
+    Simulation::new(
+        spec,
+        jobs,
+        Box::new(FcfsScheduler::new()),
+        SimConfig::default(),
+    )
+    .unwrap()
+    .run()
 }
 
 #[test]
 fn all_schedulers_complete_every_job_class() {
-    let mix = ClassMix { rigid: 0.4, moldable: 0.2, malleable: 0.2, evolving: 0.2 };
+    let mix = ClassMix {
+        rigid: 0.4,
+        moldable: 0.2,
+        malleable: 0.2,
+        evolving: 0.2,
+    };
     for make in [
         || Box::new(FcfsScheduler::new()) as Box<dyn Scheduler>,
         || Box::new(EasyBackfilling::new()) as Box<dyn Scheduler>,
@@ -63,12 +75,14 @@ fn all_schedulers_complete_every_job_class() {
             .with_seed(13)
             .generate();
         let classes: Vec<JobClass> = jobs.iter().map(|j| j.class).collect();
-        assert!(classes.contains(&JobClass::Evolving), "mix should include evolving");
+        assert!(
+            classes.contains(&JobClass::Evolving),
+            "mix should include evolving"
+        );
         let report = run(jobs, make());
         let s = report.summary();
         assert_eq!(
-            s.completed,
-            40,
+            s.completed, 40,
             "all jobs complete (incl. evolving jobs under non-elastic schedulers)"
         );
     }
@@ -81,10 +95,19 @@ fn elastic_beats_rigid_baseline_on_contended_workload() {
     // makespan, slowdown, and utilization.
     let mut wins = 0;
     for seed in [7, 42, 99] {
-        let rigid = run(contended_workload(0.0, seed), Box::new(EasyBackfilling::new()));
-        let elastic = run(contended_workload(1.0, seed), Box::new(ElasticScheduler::new()));
+        let rigid = run(
+            contended_workload(0.0, seed),
+            Box::new(EasyBackfilling::new()),
+        );
+        let elastic = run(
+            contended_workload(1.0, seed),
+            Box::new(ElasticScheduler::new()),
+        );
         let (r, e) = (rigid.summary(), elastic.summary());
-        assert!(e.utilization > r.utilization - 0.02, "seed {seed}: util regressed");
+        assert!(
+            e.utilization > r.utilization - 0.02,
+            "seed {seed}: util regressed"
+        );
         if e.makespan < r.makespan && e.mean_bounded_slowdown < r.mean_bounded_slowdown {
             wins += 1;
         }
@@ -107,14 +130,22 @@ fn swf_trace_replays_as_rigid_workload() {
         .map(|j| j.to_job_spec(node_flops, 1))
         .collect();
     let platform = PlatformSpec::homogeneous("swf", 32, NodeSpec::default());
-    let report =
-        Simulation::new(&platform, jobs, Box::new(EasyBackfilling::new()), SimConfig::default())
-            .unwrap()
-            .run();
+    let report = Simulation::new(
+        &platform,
+        jobs,
+        Box::new(EasyBackfilling::new()),
+        SimConfig::default(),
+    )
+    .unwrap()
+    .run();
     assert_eq!(report.summary().completed, 3);
     // Runtimes reproduce the trace (no contention at these sizes).
     let j1 = report.job(elastisim_workload::JobId(1)).unwrap();
-    assert!((j1.runtime().unwrap() - 600.0).abs() < 1.0, "runtime {:?}", j1.runtime());
+    assert!(
+        (j1.runtime().unwrap() - 600.0).abs() < 1.0,
+        "runtime {:?}",
+        j1.runtime()
+    );
 }
 
 #[test]
@@ -126,10 +157,14 @@ fn walltime_kills_appear_in_report() {
         .map(|j| j.to_job_spec(NodeSpec::default().flops, 1))
         .collect();
     let platform = PlatformSpec::homogeneous("swf", 8, NodeSpec::default());
-    let report =
-        Simulation::new(&platform, jobs, Box::new(FcfsScheduler::new()), SimConfig::default())
-            .unwrap()
-            .run();
+    let report = Simulation::new(
+        &platform,
+        jobs,
+        Box::new(FcfsScheduler::new()),
+        SimConfig::default(),
+    )
+    .unwrap()
+    .run();
     let j = &report.jobs[0];
     assert_eq!(j.outcome, Outcome::WalltimeExceeded);
     assert!((j.runtime().unwrap() - 300.0).abs() < 1.0);
@@ -137,7 +172,10 @@ fn walltime_kills_appear_in_report() {
 
 #[test]
 fn report_csv_exports_are_well_formed() {
-    let report = run(contended_workload(0.5, 3), Box::new(ElasticScheduler::new()));
+    let report = run(
+        contended_workload(0.5, 3),
+        Box::new(ElasticScheduler::new()),
+    );
     let jobs = elastisim::jobs_csv(&report);
     assert_eq!(jobs.lines().count(), 61, "header + 60 jobs");
     let util = elastisim::utilization_csv(&report);
@@ -168,11 +206,18 @@ fn workload_json_roundtrip_preserves_simulation() {
 fn moldable_only_workload_sizes_within_range() {
     let jobs = WorkloadConfig::new(30)
         .with_platform_nodes(32)
-        .with_mix(ClassMix { rigid: 0.0, moldable: 1.0, malleable: 0.0, evolving: 0.0 })
+        .with_mix(ClassMix {
+            rigid: 0.0,
+            moldable: 1.0,
+            malleable: 0.0,
+            evolving: 0.0,
+        })
         .with_seed(17)
         .generate();
-    let bounds: std::collections::HashMap<_, _> =
-        jobs.iter().map(|j| (j.id, (j.min_nodes, j.max_nodes))).collect();
+    let bounds: std::collections::HashMap<_, _> = jobs
+        .iter()
+        .map(|j| (j.id, (j.min_nodes, j.max_nodes)))
+        .collect();
     let report = run(jobs, Box::new(ElasticScheduler::new()));
     for j in &report.jobs {
         let (min, max) = bounds[&j.id];

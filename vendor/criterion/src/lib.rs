@@ -1,0 +1,323 @@
+//! Offline stand-in for the `criterion` benchmark harness.
+//!
+//! The build environment has no crates.io access, so this crate vendors the
+//! subset of the criterion 0.5 API the workspace benches use: benchmark
+//! groups, [`Bencher::iter`], [`black_box`], and the
+//! [`criterion_group!`]/[`criterion_main!`] macros.
+//!
+//! Measurement model: every closure is warmed up, then run in batches until
+//! a target measurement time (~1 s per benchmark, configurable via
+//! `sample_size` only in the sense that smaller sizes shorten the run) and
+//! the mean/median/min per-iteration wall time is printed as
+//! `name ... time: [min mean median]`. No statistics beyond that — the
+//! numbers are for relative before/after comparisons on one machine, which
+//! is exactly how the workspace uses them.
+
+// Vendored stand-in: exempt from the workspace lint policy.
+#![allow(clippy::all, dead_code)]
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::hint;
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier, preventing the optimizer from deleting benched
+/// work. Re-exported name-compatible with criterion.
+pub fn black_box<T>(x: T) -> T {
+    hint::black_box(x)
+}
+
+/// Identifier of one benchmark within a group.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id with a function name and a parameter, printed `name/param`.
+    pub fn new(name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{parameter}", name.into()),
+        }
+    }
+
+    /// An id carrying only a parameter.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+/// Anything usable as a benchmark id (plain strings or [`BenchmarkId`]).
+pub trait IntoBenchmarkId {
+    /// The rendered id.
+    fn into_id(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_id(self) -> String {
+        self.id
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_id(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_id(self) -> String {
+        self
+    }
+}
+
+/// Passed to benchmark closures; runs the measured routine.
+pub struct Bencher<'a> {
+    samples: &'a mut Vec<Duration>,
+    iters_per_sample: u64,
+    sample_count: usize,
+}
+
+impl Bencher<'_> {
+    /// Measures `routine`, recording per-iteration wall time.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up and calibration: find an iteration count that takes
+        // ~10 ms per sample so Instant overhead vanishes.
+        let mut iters: u64 = 1;
+        loop {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(routine());
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= Duration::from_millis(10) || iters >= 1 << 30 {
+                break;
+            }
+            iters = if elapsed.is_zero() {
+                iters * 128
+            } else {
+                let scale = Duration::from_millis(12).as_nanos() as u64
+                    / (elapsed.as_nanos() as u64).max(1);
+                (iters * scale.clamp(2, 128)).max(iters + 1)
+            };
+        }
+        self.iters_per_sample = iters;
+        for _ in 0..self.sample_count {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(routine());
+            }
+            self.samples.push(start.elapsed() / iters as u32);
+        }
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_count: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Reduces or raises how many timed samples are collected.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_count = n.max(2);
+        self
+    }
+
+    /// Benchmarks `f` under `id`.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher<'_>),
+    {
+        let full = format!("{}/{}", self.name, id.into_id());
+        self.criterion.run_one(&full, self.sample_count, |b| f(b));
+        self
+    }
+
+    /// Benchmarks `f` under `id`, handing it `input`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher<'_>, &I),
+    {
+        let full = format!("{}/{}", self.name, id.into_id());
+        self.criterion
+            .run_one(&full, self.sample_count, |b| f(b, input));
+        self
+    }
+
+    /// Ends the group (printing already happened per-bench).
+    pub fn finish(&mut self) {}
+}
+
+/// The benchmark driver.
+pub struct Criterion {
+    default_samples: usize,
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            default_samples: 20,
+            filter: None,
+        }
+    }
+}
+
+impl Criterion {
+    /// Applies command-line arguments (`cargo bench -- <filter>`); harness
+    /// flags cargo passes (`--bench`, `--test`) are ignored.
+    pub fn configure_from_args(mut self) -> Self {
+        let mut args = std::env::args().skip(1);
+        while let Some(a) = args.next() {
+            match a.as_str() {
+                "--bench" | "--test" | "--nocapture" | "--quiet" => {}
+                "--sample-size" => {
+                    if let Some(n) = args.next().and_then(|v| v.parse().ok()) {
+                        self.default_samples = n;
+                    }
+                }
+                s if s.starts_with("--") => {
+                    // Unknown harness flag: skip (and its value if given
+                    // separately as `--flag value`).
+                }
+                s => self.filter = Some(s.to_string()),
+            }
+        }
+        self
+    }
+
+    /// Opens a benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let samples = self.default_samples;
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_count: samples,
+        }
+    }
+
+    /// Benchmarks a standalone function.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher<'_>),
+    {
+        let full = id.into_id();
+        let samples = self.default_samples;
+        self.run_one(&full, samples, |b| f(b));
+        self
+    }
+
+    fn run_one<F: FnMut(&mut Bencher<'_>)>(&mut self, name: &str, samples: usize, mut f: F) {
+        if let Some(filter) = &self.filter {
+            if !name.contains(filter.as_str()) {
+                return;
+            }
+        }
+        let mut durations = Vec::with_capacity(samples);
+        let mut bencher = Bencher {
+            samples: &mut durations,
+            iters_per_sample: 0,
+            sample_count: samples,
+        };
+        f(&mut bencher);
+        let iters = bencher.iters_per_sample;
+        if durations.is_empty() {
+            println!("{name:<50} (no samples)");
+            return;
+        }
+        durations.sort_unstable();
+        let min = durations[0];
+        let median = durations[durations.len() / 2];
+        let mean = durations.iter().sum::<Duration>() / durations.len() as u32;
+        println!(
+            "{name:<50} time: [{} {} {}] ({} samples x {} iters)",
+            fmt_duration(min),
+            fmt_duration(mean),
+            fmt_duration(median),
+            durations.len(),
+            iters,
+        );
+    }
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.3} µs", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.3} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.3} s", ns as f64 / 1e9)
+    }
+}
+
+/// Declares a benchmark group function, criterion-compatible.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`, criterion-compatible.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_ids_render() {
+        assert_eq!(BenchmarkId::new("solver", 64).into_id(), "solver/64");
+        assert_eq!(BenchmarkId::from_parameter("x").into_id(), "x");
+    }
+
+    #[test]
+    fn bencher_runs_and_records() {
+        let mut c = Criterion {
+            default_samples: 3,
+            filter: None,
+        };
+        let mut ran = 0u64;
+        {
+            let mut g = c.benchmark_group("t");
+            g.sample_size(2)
+                .bench_function("noop", |b| b.iter(|| ran += 1));
+            g.finish();
+        }
+        assert!(ran > 0);
+    }
+
+    #[test]
+    fn filter_skips_nonmatching() {
+        let mut c = Criterion {
+            default_samples: 2,
+            filter: Some("zzz".into()),
+        };
+        let mut ran = false;
+        c.bench_function("abc", |b| b.iter(|| ran = true));
+        assert!(!ran);
+    }
+}

@@ -1,0 +1,414 @@
+//! Offline stand-in for the `serde` serialization framework.
+//!
+//! The build environment has no crates.io access, so this crate vendors the
+//! slice of the serde 1.x API the workspace uses. Unlike upstream serde —
+//! which streams through a visitor — this stand-in routes everything
+//! through an owned [`Value`] tree: serializers implement
+//! [`Serializer::serialize_value`], deserializers implement
+//! [`Deserializer::take_value`], and the derive macros (re-exported from
+//! `serde_derive`) build or destructure [`Value`] maps. That is dramatically
+//! simpler and fully sufficient for the JSON specs this project reads and
+//! writes; the derives support the attribute forms the workspace uses
+//! (`rename_all = "snake_case"`, `tag = "..."`, `default`,
+//! `default = "path"`, `flatten`).
+
+// Vendored stand-in: exempt from the workspace lint policy.
+#![allow(clippy::all, dead_code)]
+#![warn(missing_docs)]
+
+use std::fmt::{self, Display};
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// The self-describing data tree all (de)serialization routes through.
+///
+/// Numbers are stored as `f64` — exact for the integers this project
+/// serializes (ids and counts well below 2^53).
+#[derive(Clone, Debug, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// A boolean.
+    Bool(bool),
+    /// Any number.
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An ordered sequence.
+    Seq(Vec<Value>),
+    /// An ordered map (insertion order preserved; keys are strings).
+    Map(Vec<(String, Value)>),
+}
+
+/// Removes and returns the first entry with key `key` from a map body.
+/// Used by derived `Deserialize` impls.
+pub fn map_take(map: &mut Vec<(String, Value)>, key: &str) -> Option<Value> {
+    let idx = map.iter().position(|(k, _)| k == key)?;
+    Some(map.remove(idx).1)
+}
+
+/// Serialization-side error handling.
+pub mod ser {
+    use std::fmt::Display;
+
+    /// Errors produced while serializing.
+    pub trait Error: Sized + Display + std::fmt::Debug {
+        /// Builds an error from any message.
+        fn custom<T: Display>(msg: T) -> Self;
+    }
+}
+
+/// Deserialization-side error handling.
+pub mod de {
+    use std::fmt::Display;
+
+    /// Errors produced while deserializing.
+    pub trait Error: Sized + Display + std::fmt::Debug {
+        /// Builds an error from any message.
+        fn custom<T: Display>(msg: T) -> Self;
+    }
+}
+
+/// A data format that can consume a [`Value`] tree.
+pub trait Serializer: Sized {
+    /// Output of a successful serialization.
+    type Ok;
+    /// Error type of the format.
+    type Error: ser::Error;
+
+    /// Consumes a complete value tree.
+    fn serialize_value(self, value: Value) -> Result<Self::Ok, Self::Error>;
+
+    /// Serializes a string (convenience used by hand-written impls).
+    fn serialize_str(self, v: &str) -> Result<Self::Ok, Self::Error> {
+        self.serialize_value(Value::Str(v.to_owned()))
+    }
+
+    /// Serializes a boolean.
+    fn serialize_bool(self, v: bool) -> Result<Self::Ok, Self::Error> {
+        self.serialize_value(Value::Bool(v))
+    }
+
+    /// Serializes a number.
+    fn serialize_f64(self, v: f64) -> Result<Self::Ok, Self::Error> {
+        self.serialize_value(Value::Num(v))
+    }
+
+    /// Serializes a unit / null.
+    fn serialize_none(self) -> Result<Self::Ok, Self::Error> {
+        self.serialize_value(Value::Null)
+    }
+}
+
+/// A data format that can produce a [`Value`] tree.
+///
+/// The `'de` lifetime exists for signature compatibility with upstream
+/// serde; this stand-in always hands out owned data.
+pub trait Deserializer<'de>: Sized {
+    /// Error type of the format.
+    type Error: de::Error;
+
+    /// Produces the complete value tree.
+    fn take_value(self) -> Result<Value, Self::Error>;
+}
+
+/// Types that can be serialized.
+pub trait Serialize {
+    /// Serializes `self` into the given format.
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error>;
+}
+
+/// Types that can be deserialized.
+pub trait Deserialize<'de>: Sized {
+    /// Deserializes a value from the given format.
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error>;
+}
+
+/// Types deserializable without borrowing from the input (all types here).
+pub trait DeserializeOwned: for<'de> Deserialize<'de> {}
+impl<T: for<'de> Deserialize<'de>> DeserializeOwned for T {}
+
+// ---------------------------------------------------------------------
+// Value conversion entry points (used by derived impls)
+// ---------------------------------------------------------------------
+
+/// Error type for in-memory [`Value`] conversion.
+#[derive(Debug, Clone)]
+pub struct ValueError(pub String);
+
+impl Display for ValueError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for ValueError {}
+
+impl ser::Error for ValueError {
+    fn custom<T: Display>(msg: T) -> Self {
+        ValueError(msg.to_string())
+    }
+}
+
+impl de::Error for ValueError {
+    fn custom<T: Display>(msg: T) -> Self {
+        ValueError(msg.to_string())
+    }
+}
+
+/// [`Serializer`] into an in-memory [`Value`].
+pub struct ValueSerializer;
+
+impl Serializer for ValueSerializer {
+    type Ok = Value;
+    type Error = ValueError;
+    fn serialize_value(self, value: Value) -> Result<Value, ValueError> {
+        Ok(value)
+    }
+}
+
+/// [`Deserializer`] from an in-memory [`Value`].
+pub struct ValueDeserializer(pub Value);
+
+impl<'de> Deserializer<'de> for ValueDeserializer {
+    type Error = ValueError;
+    fn take_value(self) -> Result<Value, ValueError> {
+        Ok(self.0)
+    }
+}
+
+/// Serializes any value to a [`Value`] tree.
+pub fn to_value<T: Serialize + ?Sized>(value: &T) -> Result<Value, ValueError> {
+    value.serialize(ValueSerializer)
+}
+
+/// Deserializes any value from a [`Value`] tree.
+pub fn from_value<T: DeserializeOwned>(value: Value) -> Result<T, ValueError> {
+    T::deserialize(ValueDeserializer(value))
+}
+
+// ---------------------------------------------------------------------
+// Serialize impls for std types
+// ---------------------------------------------------------------------
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        (**self).serialize(serializer)
+    }
+}
+
+impl Serialize for bool {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_value(Value::Bool(*self))
+    }
+}
+
+macro_rules! serialize_num {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+                serializer.serialize_value(Value::Num(*self as f64))
+            }
+        }
+    )*};
+}
+serialize_num!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+impl Serialize for str {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_value(Value::Str(self.to_owned()))
+    }
+}
+
+impl Serialize for String {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_value(Value::Str(self.clone()))
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        match self {
+            Some(v) => v.serialize(serializer),
+            None => serializer.serialize_value(Value::Null),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        let mut seq = Vec::with_capacity(self.len());
+        for item in self {
+            seq.push(to_value(item).map_err(|e| ser::Error::custom(e))?);
+        }
+        serializer.serialize_value(Value::Seq(seq))
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        self.as_slice().serialize(serializer)
+    }
+}
+
+impl Serialize for Value {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_value(self.clone())
+    }
+}
+
+// ---------------------------------------------------------------------
+// Deserialize impls for std types
+// ---------------------------------------------------------------------
+
+fn type_name(v: &Value) -> &'static str {
+    match v {
+        Value::Null => "null",
+        Value::Bool(_) => "boolean",
+        Value::Num(_) => "number",
+        Value::Str(_) => "string",
+        Value::Seq(_) => "sequence",
+        Value::Map(_) => "map",
+    }
+}
+
+impl<'de> Deserialize<'de> for bool {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        match deserializer.take_value()? {
+            Value::Bool(b) => Ok(b),
+            other => Err(de::Error::custom(format!(
+                "expected boolean, found {}",
+                type_name(&other)
+            ))),
+        }
+    }
+}
+
+macro_rules! deserialize_int {
+    ($($t:ty),*) => {$(
+        impl<'de> Deserialize<'de> for $t {
+            fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+                match deserializer.take_value()? {
+                    Value::Num(n) => {
+                        let v = n as $t;
+                        if (v as f64 - n).abs() < 1e-6 {
+                            Ok(v)
+                        } else {
+                            Err(de::Error::custom(format!(
+                                "number {n} out of range for {}",
+                                stringify!($t)
+                            )))
+                        }
+                    }
+                    other => Err(de::Error::custom(format!(
+                        "expected number, found {}",
+                        type_name(&other)
+                    ))),
+                }
+            }
+        }
+    )*};
+}
+deserialize_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl<'de> Deserialize<'de> for f64 {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        match deserializer.take_value()? {
+            Value::Num(n) => Ok(n),
+            other => Err(de::Error::custom(format!(
+                "expected number, found {}",
+                type_name(&other)
+            ))),
+        }
+    }
+}
+
+impl<'de> Deserialize<'de> for f32 {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        f64::deserialize(deserializer).map(|v| v as f32)
+    }
+}
+
+impl<'de> Deserialize<'de> for String {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        match deserializer.take_value()? {
+            Value::Str(s) => Ok(s),
+            other => Err(de::Error::custom(format!(
+                "expected string, found {}",
+                type_name(&other)
+            ))),
+        }
+    }
+}
+
+impl<'de, T: DeserializeOwned> Deserialize<'de> for Option<T> {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        match deserializer.take_value()? {
+            Value::Null => Ok(None),
+            other => from_value(other)
+                .map(Some)
+                .map_err(|e| de::Error::custom(e)),
+        }
+    }
+}
+
+impl<'de, T: DeserializeOwned> Deserialize<'de> for Vec<T> {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        match deserializer.take_value()? {
+            Value::Seq(items) => items
+                .into_iter()
+                .enumerate()
+                .map(|(i, item)| {
+                    from_value(item).map_err(|e| de::Error::custom(format!("element {i}: {e}")))
+                })
+                .collect(),
+            other => Err(de::Error::custom(format!(
+                "expected sequence, found {}",
+                type_name(&other)
+            ))),
+        }
+    }
+}
+
+impl<'de> Deserialize<'de> for Value {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        deserializer.take_value()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_roundtrip_through_value() {
+        assert_eq!(to_value(&3u32).unwrap(), Value::Num(3.0));
+        assert_eq!(from_value::<u32>(Value::Num(3.0)).unwrap(), 3);
+        assert_eq!(
+            from_value::<Vec<f64>>(Value::Seq(vec![Value::Num(1.0), Value::Num(2.5)])).unwrap(),
+            vec![1.0, 2.5]
+        );
+        assert_eq!(from_value::<Option<bool>>(Value::Null).unwrap(), None);
+        assert_eq!(
+            from_value::<Option<bool>>(Value::Bool(true)).unwrap(),
+            Some(true)
+        );
+    }
+
+    #[test]
+    fn non_integer_rejected_for_ints() {
+        assert!(from_value::<u32>(Value::Num(1.5)).is_err());
+        assert!(from_value::<u64>(Value::Str("x".into())).is_err());
+    }
+
+    #[test]
+    fn map_take_removes_first_match() {
+        let mut m = vec![
+            ("a".to_string(), Value::Num(1.0)),
+            ("b".to_string(), Value::Num(2.0)),
+        ];
+        assert_eq!(map_take(&mut m, "b"), Some(Value::Num(2.0)));
+        assert_eq!(map_take(&mut m, "b"), None);
+        assert_eq!(m.len(), 1);
+    }
+}

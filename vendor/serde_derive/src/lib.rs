@@ -1,0 +1,565 @@
+//! Offline stand-in for serde's derive macros.
+//!
+//! Built on the raw `proc_macro` API (no `syn`/`quote` — those are equally
+//! unavailable offline). The macros parse the item token stream directly
+//! and emit impls of the vendored `serde::Serialize` / `serde::Deserialize`
+//! traits, which route through `serde::Value`.
+//!
+//! Supported shapes (everything this workspace derives):
+//! - structs with named fields, including `#[serde(default)]`,
+//!   `#[serde(default = "path")]`, and `#[serde(flatten)]` field attributes;
+//!   missing `Option<T>` fields deserialize to `None`
+//! - newtype structs (`struct JobId(pub u64)`)
+//! - unit-variant enums with `#[serde(rename_all = "snake_case")]`
+//! - internally tagged enums (`#[serde(tag = "...")]`) with struct and
+//!   unit variants
+//!
+//! Anything else (generics, tuple variants, other attributes) fails the
+//! build with an explicit message rather than mis-serializing.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+// ---------------------------------------------------------------------
+// Token cursor
+// ---------------------------------------------------------------------
+
+struct Cursor {
+    toks: Vec<TokenTree>,
+    pos: usize,
+}
+
+impl Cursor {
+    fn new(ts: TokenStream) -> Self {
+        Cursor {
+            toks: ts.into_iter().collect(),
+            pos: 0,
+        }
+    }
+
+    fn peek(&self) -> Option<&TokenTree> {
+        self.toks.get(self.pos)
+    }
+
+    fn bump(&mut self) -> Option<TokenTree> {
+        let t = self.toks.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn at_punct(&self, ch: char) -> bool {
+        matches!(self.peek(), Some(TokenTree::Punct(p)) if p.as_char() == ch)
+    }
+
+    fn expect_ident(&mut self, what: &str) -> String {
+        match self.bump() {
+            Some(TokenTree::Ident(i)) => i.to_string(),
+            other => panic!("serde derive: expected {what}, found {other:?}"),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Parsed model
+// ---------------------------------------------------------------------
+
+#[derive(Default, Clone)]
+struct SerdeMeta {
+    tag: Option<String>,
+    rename_all_snake: bool,
+    /// `Some(None)` = `default`, `Some(Some(p))` = `default = "p"`.
+    default: Option<Option<String>>,
+    flatten: bool,
+}
+
+struct Field {
+    ident: String,
+    default: Option<Option<String>>,
+    flatten: bool,
+    is_option: bool,
+}
+
+struct Variant {
+    ident: String,
+    /// `None` for unit variants.
+    fields: Option<Vec<Field>>,
+}
+
+enum Body {
+    Struct(Vec<Field>),
+    Newtype,
+    Enum(Vec<Variant>),
+}
+
+struct Item {
+    name: String,
+    attrs: SerdeMeta,
+    body: Body,
+}
+
+// ---------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------
+
+fn strip_quotes(lit: &str) -> String {
+    lit.trim_matches('"').to_string()
+}
+
+fn parse_attrs(c: &mut Cursor) -> SerdeMeta {
+    let mut meta = SerdeMeta::default();
+    while c.at_punct('#') {
+        c.bump();
+        let group = match c.bump() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => g,
+            other => panic!("serde derive: malformed attribute: {other:?}"),
+        };
+        let mut inner = Cursor::new(group.stream());
+        let name = match inner.bump() {
+            Some(TokenTree::Ident(i)) => i.to_string(),
+            _ => continue,
+        };
+        if name != "serde" {
+            continue; // doc comments and other attributes
+        }
+        let args = match inner.bump() {
+            Some(TokenTree::Group(g)) => g,
+            _ => continue,
+        };
+        let mut a = Cursor::new(args.stream());
+        while let Some(tok) = a.bump() {
+            let key = match tok {
+                TokenTree::Ident(i) => i.to_string(),
+                _ => continue, // separating commas
+            };
+            let mut value = None;
+            if a.at_punct('=') {
+                a.bump();
+                match a.bump() {
+                    Some(TokenTree::Literal(l)) => value = Some(strip_quotes(&l.to_string())),
+                    other => {
+                        panic!("serde derive: expected literal after `{key} =`, found {other:?}")
+                    }
+                }
+            }
+            match key.as_str() {
+                "tag" => meta.tag = value,
+                "rename_all" => {
+                    if value.as_deref() != Some("snake_case") {
+                        panic!("serde derive: only rename_all = \"snake_case\" is supported");
+                    }
+                    meta.rename_all_snake = true;
+                }
+                "default" => meta.default = Some(value),
+                "flatten" => meta.flatten = true,
+                other => panic!("serde derive: unsupported serde attribute `{other}`"),
+            }
+        }
+    }
+    meta
+}
+
+fn skip_visibility(c: &mut Cursor) {
+    if matches!(c.peek(), Some(TokenTree::Ident(i)) if i.to_string() == "pub") {
+        c.bump();
+        if matches!(c.peek(), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+        {
+            c.bump(); // pub(crate) etc.
+        }
+    }
+}
+
+/// Consumes one type (up to a top-level comma) and reports whether its
+/// head path is `Option`.
+fn parse_type_is_option(c: &mut Cursor) -> bool {
+    let mut depth = 0i32;
+    let mut toks = Vec::new();
+    while let Some(t) = c.peek() {
+        match t {
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => break,
+            TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+            _ => {}
+        }
+        toks.push(c.bump().unwrap());
+    }
+    let mut last_ident = None;
+    for t in &toks {
+        match t {
+            TokenTree::Ident(i) => last_ident = Some(i.to_string()),
+            TokenTree::Punct(p) if p.as_char() == ':' => {}
+            _ => break, // '<' of the generic args, or a non-path type
+        }
+    }
+    last_ident.as_deref() == Some("Option")
+}
+
+fn parse_fields(stream: TokenStream) -> Vec<Field> {
+    let mut c = Cursor::new(stream);
+    let mut fields = Vec::new();
+    while c.peek().is_some() {
+        let attrs = parse_attrs(&mut c);
+        skip_visibility(&mut c);
+        let ident = c.expect_ident("field name");
+        assert!(
+            c.at_punct(':'),
+            "serde derive: expected `:` after field `{ident}`"
+        );
+        c.bump();
+        let is_option = parse_type_is_option(&mut c);
+        if c.at_punct(',') {
+            c.bump();
+        }
+        fields.push(Field {
+            ident,
+            default: attrs.default,
+            flatten: attrs.flatten,
+            is_option,
+        });
+    }
+    fields
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let mut c = Cursor::new(stream);
+    let mut variants = Vec::new();
+    while c.peek().is_some() {
+        let _attrs = parse_attrs(&mut c);
+        let ident = c.expect_ident("variant name");
+        let fields = match c.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let g = g.stream();
+                c.bump();
+                Some(parse_fields(g))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                panic!("serde derive: tuple variant `{ident}` is unsupported")
+            }
+            _ => None,
+        };
+        if c.at_punct(',') {
+            c.bump();
+        }
+        variants.push(Variant { ident, fields });
+    }
+    variants
+}
+
+fn parse_item(ts: TokenStream) -> Item {
+    let mut c = Cursor::new(ts);
+    let attrs = parse_attrs(&mut c);
+    skip_visibility(&mut c);
+    let kw = c.expect_ident("`struct` or `enum`");
+    let name = c.expect_ident("type name");
+    if c.at_punct('<') {
+        panic!("serde derive: generic type `{name}` is unsupported");
+    }
+    let body = match (kw.as_str(), c.bump()) {
+        ("struct", Some(TokenTree::Group(g))) if g.delimiter() == Delimiter::Brace => {
+            Body::Struct(parse_fields(g.stream()))
+        }
+        ("struct", Some(TokenTree::Group(g))) if g.delimiter() == Delimiter::Parenthesis => {
+            let n = Cursor::new(g.stream());
+            let commas = n
+                .toks
+                .iter()
+                .filter(|t| matches!(t, TokenTree::Punct(p) if p.as_char() == ','))
+                .count();
+            if commas > 1 {
+                panic!("serde derive: multi-field tuple struct `{name}` is unsupported");
+            }
+            Body::Newtype
+        }
+        ("enum", Some(TokenTree::Group(g))) if g.delimiter() == Delimiter::Brace => {
+            Body::Enum(parse_variants(g.stream()))
+        }
+        (kw, other) => panic!("serde derive: cannot handle {kw} body {other:?}"),
+    };
+    Item { name, attrs, body }
+}
+
+fn snake(name: &str) -> String {
+    let mut out = String::new();
+    for (i, ch) in name.chars().enumerate() {
+        if ch.is_ascii_uppercase() {
+            if i > 0 {
+                out.push('_');
+            }
+            out.push(ch.to_ascii_lowercase());
+        } else {
+            out.push(ch);
+        }
+    }
+    out
+}
+
+fn variant_key(item: &Item, variant: &str) -> String {
+    if item.attrs.rename_all_snake {
+        snake(variant)
+    } else {
+        variant.to_string()
+    }
+}
+
+// ---------------------------------------------------------------------
+// Serialize codegen
+// ---------------------------------------------------------------------
+
+/// One field pushed into `__serde_map`; `expr` evaluates to something
+/// serializable (`&self.f` or a match binding).
+fn ser_field(expr: &str, field: &Field) -> String {
+    let id = &field.ident;
+    if field.flatten {
+        format!(
+            "match ::serde::to_value({expr}) {{\n\
+                 ::std::result::Result::Ok(::serde::Value::Map(__serde_m)) => __serde_map.extend(__serde_m),\n\
+                 ::std::result::Result::Ok(_) => return ::std::result::Result::Err(<S::Error as ::serde::ser::Error>::custom(\"flattened field `{id}` did not serialize to a map\")),\n\
+                 ::std::result::Result::Err(__serde_e) => return ::std::result::Result::Err(<S::Error as ::serde::ser::Error>::custom(__serde_e)),\n\
+             }}\n"
+        )
+    } else {
+        format!(
+            "match ::serde::to_value({expr}) {{\n\
+                 ::std::result::Result::Ok(__serde_v) => __serde_map.push((\"{id}\".to_string(), __serde_v)),\n\
+                 ::std::result::Result::Err(__serde_e) => return ::std::result::Result::Err(<S::Error as ::serde::ser::Error>::custom(__serde_e)),\n\
+             }}\n"
+        )
+    }
+}
+
+fn gen_serialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.body {
+        Body::Newtype => "::serde::Serialize::serialize(&self.0, serializer)".to_string(),
+        Body::Struct(fields) => {
+            let mut s = String::from(
+                "let mut __serde_map: ::std::vec::Vec<(::std::string::String, ::serde::Value)> = ::std::vec::Vec::new();\n",
+            );
+            for f in fields {
+                s += &ser_field(&format!("&self.{}", f.ident), f);
+            }
+            s += "serializer.serialize_value(::serde::Value::Map(__serde_map))";
+            s
+        }
+        Body::Enum(variants) => {
+            let mut arms = String::new();
+            if let Some(tag) = &item.attrs.tag {
+                for v in variants {
+                    let key = variant_key(item, &v.ident);
+                    let vi = &v.ident;
+                    match &v.fields {
+                        None => {
+                            arms += &format!(
+                                "{name}::{vi} => serializer.serialize_value(::serde::Value::Map(vec![(\"{tag}\".to_string(), ::serde::Value::Str(\"{key}\".to_string()))])),\n"
+                            );
+                        }
+                        Some(fields) => {
+                            let pat: Vec<&str> = fields.iter().map(|f| f.ident.as_str()).collect();
+                            let mut arm = format!(
+                                "{name}::{vi} {{ {} }} => {{\n\
+                                     let mut __serde_map: ::std::vec::Vec<(::std::string::String, ::serde::Value)> = vec![(\"{tag}\".to_string(), ::serde::Value::Str(\"{key}\".to_string()))];\n",
+                                pat.join(", ")
+                            );
+                            for f in fields {
+                                arm += &ser_field(&f.ident, f);
+                            }
+                            arm +=
+                                "serializer.serialize_value(::serde::Value::Map(__serde_map))\n}\n";
+                            arms += &arm;
+                        }
+                    }
+                }
+            } else {
+                for v in variants {
+                    let key = variant_key(item, &v.ident);
+                    let vi = &v.ident;
+                    if v.fields.is_some() {
+                        panic!(
+                            "serde derive: enum `{name}` has data-carrying variant `{vi}` but no #[serde(tag)]"
+                        );
+                    }
+                    arms += &format!("{name}::{vi} => serializer.serialize_str(\"{key}\"),\n");
+                }
+            }
+            format!("match self {{\n{arms}}}")
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         #[allow(clippy::all)]\n\
+         impl ::serde::Serialize for {name} {{\n\
+             fn serialize<S: ::serde::Serializer>(&self, serializer: S) -> ::std::result::Result<S::Ok, S::Error> {{\n\
+                 {body}\n\
+             }}\n\
+         }}"
+    )
+}
+
+// ---------------------------------------------------------------------
+// Deserialize codegen
+// ---------------------------------------------------------------------
+
+/// Emits `let __serde_f{i} = ...;` bindings extracting `fields` from a
+/// `__serde_map` in scope, plus the struct-literal field list.
+fn field_takes(name: &str, fields: &[Field]) -> (String, String) {
+    let mut lets = String::new();
+    let mut literal = String::new();
+    // Named fields first; the flatten field (at most one) absorbs whatever
+    // keys remain, matching serde's internally-tagged + flatten semantics.
+    let flatten_count = fields.iter().filter(|f| f.flatten).count();
+    assert!(
+        flatten_count <= 1,
+        "serde derive: `{name}` has {flatten_count} flattened fields; at most one is supported"
+    );
+    for (i, f) in fields.iter().enumerate() {
+        if f.flatten {
+            continue;
+        }
+        let id = &f.ident;
+        let missing = match (&f.default, f.is_option) {
+            (Some(None), _) => "::std::default::Default::default()".to_string(),
+            (Some(Some(path)), _) => format!("{path}()"),
+            (None, true) => "::std::option::Option::None".to_string(),
+            (None, false) => format!(
+                "return ::std::result::Result::Err(<D::Error as ::serde::de::Error>::custom(\"missing field `{id}` in `{name}`\"))"
+            ),
+        };
+        lets += &format!(
+            "let __serde_f{i} = match ::serde::map_take(&mut __serde_map, \"{id}\") {{\n\
+                 ::std::option::Option::Some(__serde_v) => match ::serde::from_value(__serde_v) {{\n\
+                     ::std::result::Result::Ok(__serde_x) => __serde_x,\n\
+                     ::std::result::Result::Err(__serde_e) => return ::std::result::Result::Err(<D::Error as ::serde::de::Error>::custom(::std::format!(\"field `{id}` of `{name}`: {{}}\", __serde_e))),\n\
+                 }},\n\
+                 ::std::option::Option::None => {missing},\n\
+             }};\n"
+        );
+    }
+    for (i, f) in fields.iter().enumerate() {
+        if !f.flatten {
+            continue;
+        }
+        let id = &f.ident;
+        lets += &format!(
+            "let __serde_f{i} = match ::serde::from_value(::serde::Value::Map(::std::mem::take(&mut __serde_map))) {{\n\
+                 ::std::result::Result::Ok(__serde_x) => __serde_x,\n\
+                 ::std::result::Result::Err(__serde_e) => return ::std::result::Result::Err(<D::Error as ::serde::de::Error>::custom(::std::format!(\"flattened field `{id}` of `{name}`: {{}}\", __serde_e))),\n\
+             }};\n"
+        );
+    }
+    for (i, f) in fields.iter().enumerate() {
+        literal += &format!("{}: __serde_f{i}, ", f.ident);
+    }
+    (lets, literal)
+}
+
+fn expect_map(name: &str) -> String {
+    format!(
+        "let mut __serde_map = match __serde_value {{\n\
+             ::serde::Value::Map(__serde_m) => __serde_m,\n\
+             __serde_other => return ::std::result::Result::Err(<D::Error as ::serde::de::Error>::custom(\"expected object for `{name}`\")),\n\
+         }};\n"
+    )
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.body {
+        Body::Newtype => format!(
+            "::std::result::Result::Ok({name}(::serde::Deserialize::deserialize(deserializer)?))"
+        ),
+        Body::Struct(fields) => {
+            let (lets, literal) = field_takes(name, fields);
+            format!(
+                "let __serde_value = ::serde::Deserializer::take_value(deserializer)?;\n\
+                 {}\
+                 {lets}\
+                 ::std::result::Result::Ok({name} {{ {literal} }})",
+                expect_map(name)
+            )
+        }
+        Body::Enum(variants) => {
+            if let Some(tag) = &item.attrs.tag {
+                let mut arms = String::new();
+                for v in variants {
+                    let key = variant_key(item, &v.ident);
+                    let vi = &v.ident;
+                    match &v.fields {
+                        None => {
+                            arms +=
+                                &format!("\"{key}\" => ::std::result::Result::Ok({name}::{vi}),\n");
+                        }
+                        Some(fields) => {
+                            let (lets, literal) = field_takes(name, fields);
+                            arms += &format!(
+                                "\"{key}\" => {{\n{lets}::std::result::Result::Ok({name}::{vi} {{ {literal} }})\n}},\n"
+                            );
+                        }
+                    }
+                }
+                format!(
+                    "let __serde_value = ::serde::Deserializer::take_value(deserializer)?;\n\
+                     {}\
+                     let __serde_tag = match ::serde::map_take(&mut __serde_map, \"{tag}\") {{\n\
+                         ::std::option::Option::Some(::serde::Value::Str(__serde_s)) => __serde_s,\n\
+                         ::std::option::Option::Some(_) => return ::std::result::Result::Err(<D::Error as ::serde::de::Error>::custom(\"tag `{tag}` of `{name}` must be a string\")),\n\
+                         ::std::option::Option::None => return ::std::result::Result::Err(<D::Error as ::serde::de::Error>::custom(\"missing tag `{tag}` for `{name}`\")),\n\
+                     }};\n\
+                     match __serde_tag.as_str() {{\n\
+                         {arms}\
+                         __serde_other => ::std::result::Result::Err(<D::Error as ::serde::de::Error>::custom(::std::format!(\"unknown variant `{{}}` for `{name}`\", __serde_other))),\n\
+                     }}",
+                    expect_map(name)
+                )
+            } else {
+                let mut arms = String::new();
+                for v in variants {
+                    let key = variant_key(item, &v.ident);
+                    arms += &format!(
+                        "\"{key}\" => ::std::result::Result::Ok({name}::{}),\n",
+                        v.ident
+                    );
+                }
+                format!(
+                    "match ::serde::Deserializer::take_value(deserializer)? {{\n\
+                         ::serde::Value::Str(__serde_s) => match __serde_s.as_str() {{\n\
+                             {arms}\
+                             __serde_other => ::std::result::Result::Err(<D::Error as ::serde::de::Error>::custom(::std::format!(\"unknown variant `{{}}` for `{name}`\", __serde_other))),\n\
+                         }},\n\
+                         _ => ::std::result::Result::Err(<D::Error as ::serde::de::Error>::custom(\"expected string for enum `{name}`\")),\n\
+                     }}"
+                )
+            }
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         #[allow(clippy::all)]\n\
+         impl<'de> ::serde::Deserialize<'de> for {name} {{\n\
+             fn deserialize<D: ::serde::Deserializer<'de>>(deserializer: D) -> ::std::result::Result<Self, D::Error> {{\n\
+                 {body}\n\
+             }}\n\
+         }}"
+    )
+}
+
+// ---------------------------------------------------------------------
+// Entry points
+// ---------------------------------------------------------------------
+
+/// Derives the vendored `serde::Serialize`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item)
+        .parse()
+        .expect("serde derive: generated Serialize impl failed to parse")
+}
+
+/// Derives the vendored `serde::Deserialize`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item)
+        .parse()
+        .expect("serde derive: generated Deserialize impl failed to parse")
+}

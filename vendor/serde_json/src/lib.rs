@@ -1,0 +1,468 @@
+//! Offline stand-in for `serde_json`, layered on the vendored `serde`
+//! [`Value`](serde::Value) model.
+//!
+//! Provides [`to_string`], [`to_string_pretty`], [`from_str`], and
+//! [`Error`]. Floats print via Rust's shortest-round-trip `Display`, so
+//! serialize → deserialize reproduces every finite `f64` bit-for-bit
+//! (the property the workspace's `float_roundtrip` feature selection
+//! asks for). Non-finite floats serialize as `null`, matching upstream.
+
+// Vendored stand-in: exempt from the workspace lint policy.
+#![allow(clippy::all, dead_code)]
+#![warn(missing_docs)]
+
+use std::fmt::{self, Display, Write as _};
+
+use serde::{DeserializeOwned, Serialize, Value};
+
+/// JSON (de)serialization error: a message plus, for parse errors, the
+/// 1-based line/column where the input went wrong.
+#[derive(Debug, Clone)]
+pub struct Error {
+    msg: String,
+    line: usize,
+    column: usize,
+}
+
+impl Error {
+    fn msg(msg: impl Into<String>) -> Self {
+        Error {
+            msg: msg.into(),
+            line: 0,
+            column: 0,
+        }
+    }
+}
+
+impl Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.line > 0 {
+            write!(
+                f,
+                "{} at line {} column {}",
+                self.msg, self.line, self.column
+            )
+        } else {
+            f.write_str(&self.msg)
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl serde::ser::Error for Error {
+    fn custom<T: Display>(msg: T) -> Self {
+        Error::msg(msg.to_string())
+    }
+}
+
+impl serde::de::Error for Error {
+    fn custom<T: Display>(msg: T) -> Self {
+        Error::msg(msg.to_string())
+    }
+}
+
+/// Result alias matching upstream.
+pub type Result<T> = std::result::Result<T, Error>;
+
+// ---------------------------------------------------------------------
+// Serialization
+// ---------------------------------------------------------------------
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            '\u{08}' => out.push_str("\\b"),
+            '\u{0C}' => out.push_str("\\f"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn write_number(out: &mut String, n: f64) {
+    if !n.is_finite() {
+        out.push_str("null");
+    } else if n == n.trunc() && n.abs() < 9.0e15 {
+        let _ = write!(out, "{}", n as i64);
+    } else {
+        let _ = write!(out, "{n}");
+    }
+}
+
+fn write_value(out: &mut String, v: &Value, indent: Option<usize>) {
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::Num(n) => write_number(out, *n),
+        Value::Str(s) => write_escaped(out, s),
+        Value::Seq(items) => {
+            if items.is_empty() {
+                out.push_str("[]");
+                return;
+            }
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                newline_indent(out, indent.map(|d| d + 1));
+                write_value(out, item, indent.map(|d| d + 1));
+            }
+            newline_indent(out, indent);
+            out.push(']');
+        }
+        Value::Map(entries) => {
+            if entries.is_empty() {
+                out.push_str("{}");
+                return;
+            }
+            out.push('{');
+            for (i, (k, item)) in entries.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                newline_indent(out, indent.map(|d| d + 1));
+                write_escaped(out, k);
+                out.push(':');
+                if indent.is_some() {
+                    out.push(' ');
+                }
+                write_value(out, item, indent.map(|d| d + 1));
+            }
+            newline_indent(out, indent);
+            out.push('}');
+        }
+    }
+}
+
+fn newline_indent(out: &mut String, indent: Option<usize>) {
+    if let Some(depth) = indent {
+        out.push('\n');
+        for _ in 0..depth {
+            out.push_str("  ");
+        }
+    }
+}
+
+/// Serializes to compact JSON.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String> {
+    let v = serde::to_value(value).map_err(|e| Error::msg(e.to_string()))?;
+    let mut out = String::new();
+    write_value(&mut out, &v, None);
+    Ok(out)
+}
+
+/// Serializes to human-readable JSON (two-space indent).
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String> {
+    let v = serde::to_value(value).map_err(|e| Error::msg(e.to_string()))?;
+    let mut out = String::new();
+    write_value(&mut out, &v, Some(0));
+    Ok(out)
+}
+
+// ---------------------------------------------------------------------
+// Deserialization
+// ---------------------------------------------------------------------
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn error(&self, msg: impl Into<String>) -> Error {
+        let consumed = &self.bytes[..self.pos.min(self.bytes.len())];
+        let line = consumed.iter().filter(|&&b| b == b'\n').count() + 1;
+        let column = consumed.iter().rev().take_while(|&&b| b != b'\n').count() + 1;
+        Error {
+            msg: msg.into(),
+            line,
+            column,
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.bytes.get(self.pos), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn eat(&mut self, b: u8) -> std::result::Result<(), Error> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.error(format!("expected `{}`", b as char)))
+        }
+    }
+
+    fn eat_keyword(&mut self, kw: &str) -> std::result::Result<(), Error> {
+        if self.bytes[self.pos..].starts_with(kw.as_bytes()) {
+            self.pos += kw.len();
+            Ok(())
+        } else {
+            Err(self.error(format!("expected `{kw}`")))
+        }
+    }
+
+    fn parse_value(&mut self) -> std::result::Result<Value, Error> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'n') => self.eat_keyword("null").map(|()| Value::Null),
+            Some(b't') => self.eat_keyword("true").map(|()| Value::Bool(true)),
+            Some(b'f') => self.eat_keyword("false").map(|()| Value::Bool(false)),
+            Some(b'"') => self.parse_string().map(Value::Str),
+            Some(b'[') => self.parse_array(),
+            Some(b'{') => self.parse_object(),
+            Some(b'-' | b'0'..=b'9') => self.parse_number(),
+            Some(c) => Err(self.error(format!("unexpected character `{}`", c as char))),
+            None => Err(self.error("unexpected end of input")),
+        }
+    }
+
+    fn parse_string(&mut self) -> std::result::Result<String, Error> {
+        self.eat(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(self.error("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    let esc = self.peek().ok_or_else(|| self.error("bad escape"))?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'b' => out.push('\u{08}'),
+                        b'f' => out.push('\u{0C}'),
+                        b'u' => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos..self.pos + 4)
+                                .ok_or_else(|| self.error("bad \\u escape"))?;
+                            let code = std::str::from_utf8(hex)
+                                .ok()
+                                .and_then(|h| u32::from_str_radix(h, 16).ok())
+                                .ok_or_else(|| self.error("bad \\u escape"))?;
+                            self.pos += 4;
+                            // Surrogate pairs: JSON encodes astral chars as
+                            // two \u escapes.
+                            let ch = if (0xD800..0xDC00).contains(&code) {
+                                self.eat_keyword("\\u")?;
+                                let hex2 = self
+                                    .bytes
+                                    .get(self.pos..self.pos + 4)
+                                    .ok_or_else(|| self.error("bad surrogate pair"))?;
+                                let low = std::str::from_utf8(hex2)
+                                    .ok()
+                                    .and_then(|h| u32::from_str_radix(h, 16).ok())
+                                    .ok_or_else(|| self.error("bad surrogate pair"))?;
+                                self.pos += 4;
+                                0x10000 + ((code - 0xD800) << 10) + (low - 0xDC00)
+                            } else {
+                                code
+                            };
+                            out.push(
+                                char::from_u32(ch)
+                                    .ok_or_else(|| self.error("invalid unicode escape"))?,
+                            );
+                        }
+                        c => {
+                            return Err(self.error(format!("bad escape `\\{}`", c as char)));
+                        }
+                    }
+                }
+                Some(_) => {
+                    // Advance one UTF-8 char, not one byte.
+                    let rest = &self.bytes[self.pos..];
+                    let s = std::str::from_utf8(rest)
+                        .map_err(|_| self.error("invalid UTF-8 in string"))?;
+                    let c = s.chars().next().unwrap();
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn parse_number(&mut self) -> std::result::Result<Value, Error> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(
+            self.peek(),
+            Some(b'0'..=b'9' | b'.' | b'e' | b'E' | b'+' | b'-')
+        ) {
+            self.pos += 1;
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap();
+        text.parse::<f64>()
+            .map(Value::Num)
+            .map_err(|_| self.error(format!("invalid number `{text}`")))
+    }
+
+    fn parse_array(&mut self) -> std::result::Result<Value, Error> {
+        self.eat(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Seq(items));
+        }
+        loop {
+            items.push(self.parse_value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Seq(items));
+                }
+                _ => return Err(self.error("expected `,` or `]` in array")),
+            }
+        }
+    }
+
+    fn parse_object(&mut self) -> std::result::Result<Value, Error> {
+        self.eat(b'{')?;
+        let mut entries = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Map(entries));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.parse_string()?;
+            self.skip_ws();
+            self.eat(b':')?;
+            let value = self.parse_value()?;
+            entries.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Map(entries));
+                }
+                _ => return Err(self.error("expected `,` or `}` in object")),
+            }
+        }
+    }
+}
+
+/// Parses JSON text into a [`Value`] tree.
+pub fn parse_value(s: &str) -> Result<Value> {
+    let mut p = Parser {
+        bytes: s.as_bytes(),
+        pos: 0,
+    };
+    let v = p.parse_value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(p.error("trailing characters after JSON value"));
+    }
+    Ok(v)
+}
+
+struct JsonDeserializer(Value);
+
+impl<'de> serde::Deserializer<'de> for JsonDeserializer {
+    type Error = Error;
+    fn take_value(self) -> Result<Value> {
+        Ok(self.0)
+    }
+}
+
+/// Deserializes a value from JSON text.
+pub fn from_str<T: DeserializeOwned>(s: &str) -> Result<T> {
+    let v = parse_value(s)?;
+    T::deserialize(JsonDeserializer(v))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars_roundtrip() {
+        assert_eq!(to_string(&true).unwrap(), "true");
+        assert_eq!(to_string(&42u32).unwrap(), "42");
+        assert_eq!(to_string(&-1.5f64).unwrap(), "-1.5");
+        assert_eq!(to_string(&"a\"b\n").unwrap(), r#""a\"b\n""#);
+        assert_eq!(from_str::<f64>("-1.5").unwrap(), -1.5);
+        assert_eq!(from_str::<String>(r#""a\"b\n""#).unwrap(), "a\"b\n");
+    }
+
+    #[test]
+    fn float_bits_roundtrip() {
+        for &v in &[
+            0.1,
+            1.0 / 3.0,
+            2e-6,
+            12.5e9,
+            f64::MIN_POSITIVE,
+            6.02214076e23,
+        ] {
+            let s = to_string(&v).unwrap();
+            let back: f64 = from_str(&s).unwrap();
+            assert_eq!(v.to_bits(), back.to_bits(), "{v} -> {s} -> {back}");
+        }
+    }
+
+    #[test]
+    fn containers_roundtrip() {
+        let v: Vec<Option<u32>> = vec![Some(1), None, Some(3)];
+        let s = to_string(&v).unwrap();
+        assert_eq!(s, "[1,null,3]");
+        assert_eq!(from_str::<Vec<Option<u32>>>(&s).unwrap(), v);
+    }
+
+    #[test]
+    fn pretty_indents_two_spaces() {
+        let v = Value::Map(vec![
+            ("a".into(), Value::Num(1.0)),
+            ("b".into(), Value::Seq(vec![Value::Bool(true)])),
+        ]);
+        let mut out = String::new();
+        super::write_value(&mut out, &v, Some(0));
+        assert_eq!(out, "{\n  \"a\": 1,\n  \"b\": [\n    true\n  ]\n}");
+    }
+
+    #[test]
+    fn parse_errors_have_position() {
+        let err = from_str::<bool>("[1, 2").unwrap_err();
+        let text = err.to_string();
+        assert!(text.contains("line 1"), "{text}");
+        assert!(from_str::<bool>("truex").is_err());
+        assert!(from_str::<Vec<f64>>("[1,]").is_err());
+    }
+
+    #[test]
+    fn unicode_escapes_parse() {
+        assert_eq!(from_str::<String>(r#""é😀""#).unwrap(), "é😀");
+    }
+}
