@@ -5,9 +5,11 @@ use std::fs;
 use std::path::Path;
 
 use elastisim::{
-    gantt_csv, jobs_csv, utilization_csv, ReconfigCost, Report, SimConfig, Simulation,
+    gantt_csv, jobs_csv, utilization_csv, EventTraceWriter, ReconfigCost, Report, SimConfig,
+    Simulation,
 };
 use elastisim_platform::{NodeSpec, PlatformSpec};
+use elastisim_sched::ExternalProcess;
 use elastisim_workload::{parse_swf, ArrivalProcess, JobSpec, SizeDistribution, WorkloadConfig};
 
 use crate::args::{Args, UsageError};
@@ -51,14 +53,21 @@ USAGE:
                       [--min-size N] [--max-size N] [--interarrival S]
                       --out jobs.json
   elastisim run       --platform platform.json --jobs jobs.json|trace.swf
-                      [--scheduler NAME] [--interval S]
+                      [--scheduler NAME | --scheduler-cmd \"CMD ARGS...\"]
+                      [--scheduler-timeout S] [--interval S]
                       [--reconfig-cost free|fixed:S|data:BYTES]
-                      [--out DIR]
+                      [--trace-events FILE] [--out DIR]
   elastisim schedulers
   elastisim help
 
 `run` prints the summary and, with --out, writes jobs.csv,
 utilization.csv, gantt.csv and summary.txt into DIR.
+
+--scheduler-cmd runs the scheduling algorithm as an external process
+speaking the JSON-lines wire protocol on stdin/stdout (see DESIGN.md);
+an unresponsive scheduler is killed after --scheduler-timeout (default
+10 s) and the run fails with a structured error. --trace-events streams
+every simulation event to FILE as JSON lines.
 ";
 
 /// Parses a `--reconfig-cost` value: `free`, `fixed:SECONDS`, or
@@ -166,8 +175,11 @@ pub fn cmd_run(args: &Args) -> Result<(Report, String), CliError> {
         "platform",
         "jobs",
         "scheduler",
+        "scheduler-cmd",
+        "scheduler-timeout",
         "interval",
         "reconfig-cost",
+        "trace-events",
         "out",
     ])?;
     let platform_path = args.require("platform")?;
@@ -179,23 +191,49 @@ pub fn cmd_run(args: &Args) -> Result<(Report, String), CliError> {
     let jobs_path = args.require("jobs")?;
     let jobs = load_jobs(jobs_path, platform.nodes[0].flops)?;
 
-    let sched_name = args.get_or("scheduler", "elastic");
-    let scheduler = elastisim_sched::by_name(sched_name).ok_or_else(|| {
-        CliError::Usage(UsageError(format!(
-            "unknown scheduler `{sched_name}` (known: {})",
-            elastisim_sched::SCHEDULER_NAMES.join(", ")
-        )))
-    })?;
-
     let mut cfg = SimConfig::default().with_interval(args.num("interval", 60.0)?);
     if let Some(rc) = args.get("reconfig-cost") {
         cfg = cfg.with_reconfig_cost(parse_reconfig_cost(rc)?);
     }
 
-    let report = Simulation::new(&platform, jobs, scheduler, cfg)
-        .map_err(|e| CliError::Data(e.to_string()))?
-        .run();
-    let summary = render_summary(&report, sched_name);
+    let (mut sim, sched_label) = if let Some(cmd) = args.get("scheduler-cmd") {
+        if args.get("scheduler").is_some() {
+            return Err(UsageError(
+                "--scheduler and --scheduler-cmd are mutually exclusive".into(),
+            )
+            .into());
+        }
+        let timeout = args.num("scheduler-timeout", 10.0)?;
+        if !timeout.is_finite() || timeout <= 0.0 {
+            return Err(UsageError("--scheduler-timeout must be > 0".into()).into());
+        }
+        let transport =
+            ExternalProcess::spawn_command_line(cmd, std::time::Duration::from_secs_f64(timeout))
+                .map_err(|e| CliError::Data(format!("spawning external scheduler: {e}")))?;
+        let sim = Simulation::with_transport(&platform, jobs, Box::new(transport), cfg)
+            .map_err(|e| CliError::Data(e.to_string()))?;
+        (sim, format!("external:{cmd}"))
+    } else {
+        let sched_name = args.get_or("scheduler", "elastic");
+        let scheduler = elastisim_sched::by_name(sched_name).ok_or_else(|| {
+            CliError::Usage(UsageError(format!(
+                "unknown scheduler `{sched_name}` (known: {})",
+                elastisim_sched::SCHEDULER_NAMES.join(", ")
+            )))
+        })?;
+        let sim = Simulation::new(&platform, jobs, scheduler, cfg)
+            .map_err(|e| CliError::Data(e.to_string()))?;
+        (sim, sched_name.to_string())
+    };
+
+    if let Some(path) = args.get("trace-events") {
+        let writer =
+            EventTraceWriter::create(Path::new(path)).map_err(|e| CliError::Io(path.into(), e))?;
+        sim.add_observer(Box::new(writer));
+    }
+
+    let report = sim.try_run().map_err(|e| CliError::Data(e.to_string()))?;
+    let summary = render_summary(&report, &sched_label);
 
     if let Some(dir) = args.get("out") {
         let dir = Path::new(dir);
@@ -392,6 +430,91 @@ mod tests {
         ])
         .unwrap();
         assert!(matches!(cmd_run(&args), Err(CliError::Usage(_))));
+        fs::remove_dir_all(dir).unwrap();
+    }
+
+    #[test]
+    fn run_writes_event_trace() {
+        let dir = tmpdir();
+        let p = dir.join("platform.json");
+        let j = dir.join("jobs.json");
+        let trace = dir.join("events.jsonl");
+        cmd_platform(
+            &Args::parse(["platform", "--nodes", "8", "--out", p.to_str().unwrap()]).unwrap(),
+        )
+        .unwrap();
+        cmd_generate(
+            &Args::parse([
+                "generate",
+                "--nodes",
+                "8",
+                "--jobs",
+                "4",
+                "--out",
+                j.to_str().unwrap(),
+            ])
+            .unwrap(),
+        )
+        .unwrap();
+        let args = Args::parse([
+            "run",
+            "--platform",
+            p.to_str().unwrap(),
+            "--jobs",
+            j.to_str().unwrap(),
+            "--scheduler",
+            "fcfs",
+            "--trace-events",
+            trace.to_str().unwrap(),
+        ])
+        .unwrap();
+        cmd_run(&args).unwrap();
+        let text = fs::read_to_string(&trace).unwrap();
+        assert!(text.contains(r#""event":"job_submitted""#), "{text}");
+        assert!(text.contains(r#""event":"job_started""#), "{text}");
+        assert!(text.contains(r#""event":"job_completed""#), "{text}");
+        fs::remove_dir_all(dir).unwrap();
+    }
+
+    #[test]
+    fn scheduler_cmd_conflicts_and_spawn_failures_are_reported() {
+        let dir = tmpdir();
+        let p = dir.join("platform.json");
+        let j = dir.join("jobs.json");
+        cmd_platform(
+            &Args::parse(["platform", "--nodes", "4", "--out", p.to_str().unwrap()]).unwrap(),
+        )
+        .unwrap();
+        fs::write(&j, "[]").unwrap();
+        let both = Args::parse([
+            "run",
+            "--platform",
+            p.to_str().unwrap(),
+            "--jobs",
+            j.to_str().unwrap(),
+            "--scheduler",
+            "fcfs",
+            "--scheduler-cmd",
+            "whatever",
+        ])
+        .unwrap();
+        assert!(matches!(cmd_run(&both), Err(CliError::Usage(_))));
+        let missing = Args::parse([
+            "run",
+            "--platform",
+            p.to_str().unwrap(),
+            "--jobs",
+            j.to_str().unwrap(),
+            "--scheduler-cmd",
+            "/nonexistent/sched-binary",
+        ])
+        .unwrap();
+        match cmd_run(&missing) {
+            Err(CliError::Data(msg)) => {
+                assert!(msg.contains("spawning external scheduler"), "{msg}")
+            }
+            other => panic!("expected Data error, got {other:?}"),
+        }
         fs::remove_dir_all(dir).unwrap();
     }
 

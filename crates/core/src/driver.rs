@@ -1,0 +1,159 @@
+//! The scheduler driver: the engine's handle on the scheduling algorithm.
+//!
+//! [`SchedulerDriver`] owns the [`SchedulerTransport`] (in-process trait
+//! object or external process), counts invocations, and wraps transport
+//! failures into the structured [`SimError`] that ends a run. Decision
+//! *validation* lives in the `decisions` module — it must be interleaved
+//! with application against live engine state — and every rejection is
+//! reported through the observer bus as a
+//! [`crate::observe::SimEvent::DecisionRejected`] event.
+
+use elastisim_sched::{
+    Decision, InProcessTransport, Invocation, Scheduler, SchedulerTransport, SystemView,
+    TransportError,
+};
+
+/// A fatal error that ends a simulation run early.
+#[derive(Debug)]
+pub enum SimError {
+    /// The scheduler transport failed: the external process was
+    /// unresponsive (killed after the timeout), crashed, spoke an
+    /// incompatible protocol version, or an I/O error occurred.
+    Scheduler {
+        /// Simulated time of the failing invocation.
+        time: f64,
+        /// The scheduler's name (for external ones, the command line).
+        scheduler: String,
+        /// The underlying transport failure.
+        source: TransportError,
+    },
+}
+
+impl std::fmt::Display for SimError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SimError::Scheduler {
+                time,
+                scheduler,
+                source,
+            } => write!(f, "scheduler `{scheduler}` failed at t={time}: {source}"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SimError::Scheduler { source, .. } => Some(source),
+        }
+    }
+}
+
+/// Owns the transport to the scheduling algorithm and mediates every
+/// invocation the engine makes.
+pub struct SchedulerDriver {
+    transport: Box<dyn SchedulerTransport>,
+    name: String,
+    invocations: u64,
+}
+
+impl SchedulerDriver {
+    /// Drives any transport (e.g. [`elastisim_sched::ExternalProcess`]).
+    pub fn new(transport: Box<dyn SchedulerTransport>) -> Self {
+        let name = transport.name();
+        SchedulerDriver {
+            transport,
+            name,
+            invocations: 0,
+        }
+    }
+
+    /// Drives an in-process algorithm through the zero-copy transport.
+    pub fn in_process(algorithm: Box<dyn Scheduler>) -> Self {
+        SchedulerDriver::new(Box::new(InProcessTransport::new(algorithm)))
+    }
+
+    /// The scheduler's name, for reports and traces.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// How many times the scheduler has been invoked.
+    pub fn invocations(&self) -> u64 {
+        self.invocations
+    }
+
+    /// One invocation: sends the view, returns the decision batch, or a
+    /// structured error if the transport failed.
+    pub(crate) fn invoke(
+        &mut self,
+        now: f64,
+        view: &SystemView,
+        why: Invocation,
+    ) -> Result<Vec<Decision>, SimError> {
+        self.invocations += 1;
+        self.transport
+            .request(view, why)
+            .map_err(|source| SimError::Scheduler {
+                time: now,
+                scheduler: self.name.clone(),
+                source,
+            })
+    }
+
+    /// Releases transport resources (kills external processes).
+    pub(crate) fn shutdown(&mut self) {
+        self.transport.shutdown();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use elastisim_sched::FcfsScheduler;
+
+    #[test]
+    fn in_process_driver_invokes_and_counts() {
+        let mut driver = SchedulerDriver::in_process(Box::new(FcfsScheduler::new()));
+        assert_eq!(driver.name(), "fcfs");
+        assert_eq!(driver.invocations(), 0);
+        let view = SystemView {
+            now: 0.0,
+            total_nodes: 0,
+            free_nodes: vec![],
+            jobs: vec![],
+        };
+        let decisions = driver.invoke(0.0, &view, Invocation::Periodic).unwrap();
+        assert!(decisions.is_empty());
+        assert_eq!(driver.invocations(), 1);
+        driver.shutdown();
+    }
+
+    #[test]
+    fn transport_failures_become_sim_errors() {
+        struct Failing;
+        impl SchedulerTransport for Failing {
+            fn name(&self) -> String {
+                "failing".into()
+            }
+            fn request(
+                &mut self,
+                _: &SystemView,
+                _: Invocation,
+            ) -> Result<Vec<Decision>, TransportError> {
+                Err(TransportError::Timeout { secs: 1.0 })
+            }
+        }
+        let mut driver = SchedulerDriver::new(Box::new(Failing));
+        let view = SystemView {
+            now: 0.0,
+            total_nodes: 0,
+            free_nodes: vec![],
+            jobs: vec![],
+        };
+        let err = driver.invoke(5.0, &view, Invocation::Periodic).unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("failing") && msg.contains("t=5"), "{msg}");
+        assert!(std::error::Error::source(&err).is_some());
+    }
+}

@@ -1,22 +1,29 @@
 //! The batch-system simulation engine.
 //!
 //! [`Simulation`] owns the DES kernel, the instantiated platform, the job
-//! table, and the scheduling algorithm, and drives jobs through their
+//! table, and the [`SchedulerDriver`], and drives jobs through their
 //! lifecycle: submit → start → phases/tasks (with scheduling points where
-//! reconfigurations are applied) → completion. See the crate docs for the
-//! full contract.
+//! reconfigurations are applied) → completion. Every externally meaningful
+//! state change is emitted as a [`SimEvent`] on the observer bus, from
+//! which the report statistics (utilization, Gantt, warnings) are
+//! collected. See the crate docs for the full contract.
 
 use std::collections::{BTreeMap, BTreeSet, HashMap};
 
 use elastisim_des::{ActivitySpec, Simulator, Time};
 use elastisim_platform::{NodeId, Platform, PlatformSpec};
-use elastisim_sched::{Decision, Invocation, JobRunInfo, JobState, JobView, Scheduler, SystemView};
+use elastisim_sched::{
+    Decision, Invocation, JobRunInfo, JobState, JobView, Scheduler, SchedulerTransport, SystemView,
+};
 use elastisim_workload::{validate_workload, JobClass, JobId, JobSpec, WorkloadError};
 
 use crate::config::{ReconfigCost, SimConfig};
+use crate::decisions::{deps_satisfied, DecisionCtx, KillTarget};
+use crate::driver::{SchedulerDriver, SimError};
 use crate::exec::{has_latency, task_activities, task_context};
 use crate::lifecycle::{JobRuntime, RunState, Stage, Step};
-use crate::stats::{GanttEntry, JobRecord, Outcome, Report, UtilizationSeries};
+use crate::observe::{EventBus, Observer, SimEvent};
+use crate::stats::{JobRecord, Outcome, Report, WarningKind};
 
 /// Event payloads circulating through the DES kernel.
 #[derive(Clone, Copy, Debug)]
@@ -36,12 +43,13 @@ enum Ev {
     NodeRepair(NodeId),
 }
 
-/// A complete simulation: platform + workload + scheduling algorithm.
+/// A complete simulation: platform + workload + scheduler driver.
 pub struct Simulation {
     sim: Simulator<Ev>,
     platform: Platform,
     cfg: SimConfig,
-    scheduler: Box<dyn Scheduler>,
+    driver: SchedulerDriver,
+    bus: EventBus,
     jobs: BTreeMap<JobId, JobRuntime>,
     /// Nodes not allocated and not reserved.
     free: BTreeSet<NodeId>,
@@ -51,13 +59,9 @@ pub struct Simulation {
     down: BTreeSet<NodeId>,
     /// State of the failure process's deterministic RNG (SplitMix64).
     failure_rng: u64,
-    allocated_total: u32,
-    util: UtilizationSeries,
-    gantt: Vec<GanttEntry>,
-    gantt_open: HashMap<(JobId, NodeId), f64>,
     outcomes: HashMap<JobId, (Outcome, f64)>,
-    warnings: Vec<String>,
-    sched_invocations: u64,
+    /// A driver failure that must abort the run.
+    fatal: Option<SimError>,
     tick_pending: bool,
     idle_ticks: u32,
     in_invoke: bool,
@@ -65,11 +69,44 @@ pub struct Simulation {
 }
 
 impl Simulation {
-    /// Builds a simulation. Validates the workload against the platform.
+    /// Builds a simulation around an in-process scheduling algorithm.
+    /// Validates the workload against the platform.
     pub fn new(
         platform_spec: &PlatformSpec,
         workload: Vec<JobSpec>,
         scheduler: Box<dyn Scheduler>,
+        cfg: SimConfig,
+    ) -> Result<Self, WorkloadError> {
+        Self::with_driver(
+            platform_spec,
+            workload,
+            SchedulerDriver::in_process(scheduler),
+            cfg,
+        )
+    }
+
+    /// Builds a simulation around any scheduler transport — e.g. an
+    /// [`elastisim_sched::ExternalProcess`] speaking the wire protocol.
+    /// Use [`Simulation::try_run`] with fallible transports.
+    pub fn with_transport(
+        platform_spec: &PlatformSpec,
+        workload: Vec<JobSpec>,
+        transport: Box<dyn SchedulerTransport>,
+        cfg: SimConfig,
+    ) -> Result<Self, WorkloadError> {
+        Self::with_driver(
+            platform_spec,
+            workload,
+            SchedulerDriver::new(transport),
+            cfg,
+        )
+    }
+
+    /// Builds a simulation around an already-constructed driver.
+    pub fn with_driver(
+        platform_spec: &PlatformSpec,
+        workload: Vec<JobSpec>,
+        driver: SchedulerDriver,
         cfg: SimConfig,
     ) -> Result<Self, WorkloadError> {
         validate_workload(&workload, platform_spec.num_nodes())?;
@@ -81,26 +118,21 @@ impl Simulation {
             jobs.insert(spec.id, JobRuntime::new(spec));
         }
         let free: BTreeSet<NodeId> = platform.node_ids().collect();
-        let mut util = UtilizationSeries::default();
-        util.record(0.0, 0);
         let failure_rng = cfg.failures.map(|f| f.seed).unwrap_or(0);
+        let bus = EventBus::new(cfg.record_gantt);
         Ok(Simulation {
             sim,
             platform,
             cfg,
-            scheduler,
+            driver,
+            bus,
             jobs,
             free,
             reserved: BTreeSet::new(),
             down: BTreeSet::new(),
             failure_rng,
-            allocated_total: 0,
-            util,
-            gantt: Vec::new(),
-            gantt_open: HashMap::new(),
             outcomes: HashMap::new(),
-            warnings: Vec::new(),
-            sched_invocations: 0,
+            fatal: None,
             tick_pending: false,
             idle_ticks: 0,
             in_invoke: false,
@@ -108,14 +140,38 @@ impl Simulation {
         })
     }
 
+    /// Attaches an observer that receives every [`SimEvent`] of the run,
+    /// e.g. a [`crate::EventTraceWriter`]. Call before running.
+    pub fn add_observer(&mut self, observer: Box<dyn Observer>) {
+        self.bus.add_observer(observer);
+    }
+
     /// Runs to completion and returns the report.
-    pub fn run(mut self) -> Report {
+    ///
+    /// # Panics
+    ///
+    /// Panics if the scheduler transport fails (only possible with an
+    /// external scheduler); use [`Simulation::try_run`] for those.
+    pub fn run(self) -> Report {
+        self.try_run()
+            .unwrap_or_else(|e| panic!("simulation failed: {e}"))
+    }
+
+    /// Runs to completion, or stops at the first scheduler-transport
+    /// failure with a structured error.
+    pub fn try_run(mut self) -> Result<Report, SimError> {
         self.ensure_tick(0.0);
         self.schedule_next_failure(0.0);
+        let mut last_now = 0.0;
         while let Some((t, ev)) = self.sim.step() {
+            if self.fatal.is_some() {
+                break;
+            }
             let now = t.as_secs();
+            last_now = now;
             match ev {
                 Ev::Submit(id) => {
+                    self.bus.emit(SimEvent::JobSubmitted { time: now, job: id });
                     if self.cfg.invoke_on_submit {
                         self.invoke_scheduler(now, Invocation::JobSubmitted(id));
                     }
@@ -144,13 +200,12 @@ impl Simulation {
                 Ev::NodeRepair(node) => {
                     self.down.remove(&node);
                     self.free.insert(node);
+                    self.bus.emit(SimEvent::NodeRepaired { time: now, node });
                     // Freed capacity: let the scheduler use it right away.
                     self.invoke_scheduler(now, Invocation::Periodic);
                 }
                 Ev::Tick => {
                     self.tick_pending = false;
-                    let before = self.sched_invocations; // marker, unused
-                    let _ = before;
                     let applied = self.invoke_scheduler(now, Invocation::Periodic);
                     let anything_running = self
                         .jobs
@@ -166,22 +221,33 @@ impl Simulation {
                     if self.idle_ticks < 2 {
                         self.ensure_tick(now);
                     } else if self.jobs.values().any(|j| j.state == RunState::Pending) {
-                        self.warnings.push(format!(
-                            "scheduler made no progress at t={now}; \
-                             ending with pending jobs unstarted"
-                        ));
+                        self.bus.emit(SimEvent::Warning {
+                            time: now,
+                            job: None,
+                            kind: WarningKind::NoProgress,
+                            message: format!(
+                                "scheduler made no progress at t={now}; \
+                                 ending with pending jobs unstarted"
+                            ),
+                        });
                     }
                 }
             }
         }
+        if let Some(e) = self.fatal.take() {
+            self.driver.shutdown();
+            return Err(e);
+        }
         let stalled = self.sim.stalled_activities();
         if !stalled.is_empty() {
-            self.warnings.push(format!(
-                "{} activities stalled at end of simulation",
-                stalled.len()
-            ));
+            self.bus.emit(SimEvent::Warning {
+                time: last_now,
+                job: None,
+                kind: WarningKind::StalledActivities,
+                message: format!("{} activities stalled at end of simulation", stalled.len()),
+            });
         }
-        self.build_report()
+        Ok(self.build_report())
     }
 
     // ------------------------------------------------------------------
@@ -190,14 +256,6 @@ impl Simulation {
 
     fn all_submitted(&self, now: f64) -> bool {
         self.jobs.values().all(|j| j.spec.submit_time <= now)
-    }
-
-    /// All `afterok` dependencies of a job completed successfully.
-    fn deps_satisfied(&self, rt: &JobRuntime) -> bool {
-        rt.spec
-            .dependencies
-            .iter()
-            .all(|dep| matches!(self.outcomes.get(dep), Some((Outcome::Completed, _))))
     }
 
     /// Cancels every pending job that (transitively) depends on a job that
@@ -226,8 +284,18 @@ impl Simulation {
                 rt.state = RunState::Done;
                 rt.epoch += 1;
                 self.outcomes.insert(id, (Outcome::Killed, now));
-                self.warnings
-                    .push(format!("{id}: cancelled, a dependency did not complete"));
+                self.bus.emit(SimEvent::Warning {
+                    time: now,
+                    job: Some(id),
+                    kind: WarningKind::DependencyCancelled,
+                    message: format!("{id}: cancelled, a dependency did not complete"),
+                });
+                self.bus.emit(SimEvent::JobCompleted {
+                    time: now,
+                    job: id,
+                    outcome: Outcome::Killed,
+                    released: Vec::new(),
+                });
             }
         }
     }
@@ -346,7 +414,12 @@ impl Simulation {
             Ok(specs) => specs,
             Err(e) => {
                 let msg = format!("{id}: task `{}` failed: {e}", task.name);
-                self.warnings.push(msg);
+                self.bus.emit(SimEvent::Warning {
+                    time: now,
+                    job: Some(id),
+                    kind: WarningKind::TaskFailed,
+                    message: msg,
+                });
                 self.terminate(id, now, Outcome::Killed);
                 if self.cfg.invoke_on_completion {
                     self.invoke_scheduler(now, Invocation::JobCompleted(id));
@@ -413,6 +486,10 @@ impl Simulation {
                 Time::from_secs(now + model.repair_time),
                 Ev::NodeRepair(victim),
             );
+            self.bus.emit(SimEvent::NodeFailed {
+                time: now,
+                node: victim,
+            });
 
             if self.free.remove(&victim) {
                 // Idle node: just out of the pool until repaired.
@@ -438,8 +515,12 @@ impl Simulation {
                         }
                     }
                     self.reserved.remove(&victim);
-                    self.warnings
-                        .push(format!("{id}: reconfiguration cancelled, {victim} failed"));
+                    self.bus.emit(SimEvent::Warning {
+                        time: now,
+                        job: Some(id),
+                        kind: WarningKind::ReconfigCancelled,
+                        message: format!("{id}: reconfiguration cancelled, {victim} failed"),
+                    });
                 }
             } else {
                 // Allocated: the job dies with the node.
@@ -452,8 +533,12 @@ impl Simulation {
                     })
                     .map(|rt| rt.spec.id);
                 if let Some(id) = owner {
-                    self.warnings
-                        .push(format!("{id}: killed by failure of {victim}"));
+                    self.bus.emit(SimEvent::Warning {
+                        time: now,
+                        job: Some(id),
+                        kind: WarningKind::NodeFailureKill,
+                        message: format!("{id}: killed by failure of {victim}"),
+                    });
                     self.terminate(id, now, Outcome::NodeFailure);
                     // terminate() freed the whole allocation including the
                     // victim; pull it back out of the pool.
@@ -487,6 +572,7 @@ impl Simulation {
         rt.alloc = new_nodes;
         rt.reconfigs += 1;
         rt.max_nodes_held = rt.max_nodes_held.max(rt.alloc.len() as u32);
+        let new_size = rt.alloc.len() as u32;
         if let Some((want, asked)) = rt.evolving_desired {
             if rt.alloc.len() == want as usize {
                 rt.evolving_latencies.push(now - asked);
@@ -496,16 +582,20 @@ impl Simulation {
 
         for &node in &removed {
             self.free.insert(node);
-            self.close_gantt(id, node, now);
         }
         for &node in &added {
             let was_reserved = self.reserved.remove(&node);
             debug_assert!(was_reserved, "expansion node {node} was not reserved");
-            self.open_gantt(id, node, now);
         }
-        self.allocated_total = self.allocated_total + added.len() as u32 - removed.len() as u32;
-        self.util.record(now, self.allocated_total);
-        if !removed.is_empty() && self.cfg.invoke_on_release {
+        let any_removed = !removed.is_empty();
+        self.bus.emit(SimEvent::JobReconfigured {
+            time: now,
+            job: id,
+            added,
+            removed,
+            new_size,
+        });
+        if any_removed && self.cfg.invoke_on_release {
             // Hand the released nodes out immediately; otherwise the queue
             // head waits for the next periodic tick.
             self.invoke_scheduler(now, Invocation::SchedulingPoint(id));
@@ -562,9 +652,7 @@ impl Simulation {
 
         for &node in &released {
             self.free.insert(node);
-            self.close_gantt(id, node, now);
         }
-        self.allocated_total -= released.len() as u32;
         // Reserved expansion nodes of an unapplied reconfig go back too.
         if let Some(nodes) = pending {
             for node in nodes {
@@ -573,26 +661,14 @@ impl Simulation {
                 }
             }
         }
-        self.util.record(now, self.allocated_total);
+        self.bus.emit(SimEvent::JobCompleted {
+            time: now,
+            job: id,
+            outcome,
+            released,
+        });
         if outcome != Outcome::Completed {
             self.cascade_dependency_failures(now);
-        }
-    }
-
-    fn open_gantt(&mut self, id: JobId, node: NodeId, now: f64) {
-        if self.cfg.record_gantt {
-            self.gantt_open.insert((id, node), now);
-        }
-    }
-
-    fn close_gantt(&mut self, id: JobId, node: NodeId, now: f64) {
-        if let Some(from) = self.gantt_open.remove(&(id, node)) {
-            self.gantt.push(GanttEntry {
-                job: id,
-                node,
-                from,
-                to: now,
-            });
         }
     }
 
@@ -615,7 +691,9 @@ impl Simulation {
         let mut jobs = Vec::new();
         for rt in self.jobs.values() {
             let state = match rt.state {
-                RunState::Pending if rt.spec.submit_time <= now && self.deps_satisfied(rt) => {
+                RunState::Pending
+                    if rt.spec.submit_time <= now && deps_satisfied(rt, &self.outcomes) =>
+                {
                     JobState::Pending
                 }
                 RunState::Running | RunState::Reconfiguring => JobState::Running(JobRunInfo {
@@ -647,11 +725,15 @@ impl Simulation {
         }
     }
 
-    /// Invokes the scheduling algorithm and applies its decisions. Returns
-    /// how many decisions were applied. Re-entrant invocations (triggered
-    /// by lifecycle changes during application) are deferred and run after
-    /// the current one finishes.
+    /// Invokes the scheduler through the driver and applies its decisions.
+    /// Returns how many decisions were applied. Re-entrant invocations
+    /// (triggered by lifecycle changes during application) are deferred
+    /// and run after the current one finishes. A transport failure sets
+    /// `self.fatal` and aborts the run.
     fn invoke_scheduler(&mut self, now: f64, why: Invocation) -> usize {
+        if self.fatal.is_some() {
+            return 0;
+        }
         if self.in_invoke {
             self.deferred_invokes.push(why);
             return 0;
@@ -660,13 +742,23 @@ impl Simulation {
         let mut applied = 0;
         let mut pending = vec![why];
         while let Some(why) = pending.pop() {
-            self.sched_invocations += 1;
             let view = self.build_view(now);
-            let decisions = self.scheduler.schedule(&view, why);
+            let decisions = match self.driver.invoke(now, &view, why) {
+                Ok(decisions) => decisions,
+                Err(e) => {
+                    self.fatal = Some(e);
+                    break;
+                }
+            };
             for decision in decisions {
+                let job = decision.job();
                 match self.apply_decision(decision, now) {
                     Ok(()) => applied += 1,
-                    Err(msg) => self.warnings.push(msg),
+                    Err(reason) => self.bus.emit(SimEvent::DecisionRejected {
+                        time: now,
+                        job,
+                        reason,
+                    }),
                 }
             }
             pending.append(&mut self.deferred_invokes);
@@ -675,75 +767,53 @@ impl Simulation {
         applied
     }
 
+    /// Validates one decision against live state and applies it.
     fn apply_decision(&mut self, decision: Decision, now: f64) -> Result<(), String> {
         match decision {
             Decision::Start { job, nodes } => self.apply_start(job, nodes, now),
             Decision::Reconfigure { job, nodes } => self.apply_reconfigure(job, nodes, now),
             Decision::Kill { job } => {
-                let rt = self
-                    .jobs
-                    .get(&job)
-                    .ok_or_else(|| format!("kill: unknown job {job}"))?;
-                match rt.state {
-                    RunState::Done => Err(format!("kill: {job} already done")),
-                    RunState::Pending => {
+                let target = self.decision_ctx(now).validate_kill(job)?;
+                match target {
+                    KillTarget::Pending => {
                         let rt = self.jobs.get_mut(&job).unwrap();
                         rt.state = RunState::Done;
                         rt.epoch += 1;
                         self.outcomes.insert(job, (Outcome::Killed, now));
+                        self.bus.emit(SimEvent::JobCompleted {
+                            time: now,
+                            job,
+                            outcome: Outcome::Killed,
+                            released: Vec::new(),
+                        });
                         self.cascade_dependency_failures(now);
-                        Ok(())
                     }
-                    _ => {
+                    KillTarget::Active => {
                         self.terminate(job, now, Outcome::Killed);
-                        Ok(())
                     }
                 }
+                Ok(())
             }
         }
     }
 
+    fn decision_ctx(&self, now: f64) -> DecisionCtx<'_> {
+        DecisionCtx {
+            jobs: &self.jobs,
+            free: &self.free,
+            outcomes: &self.outcomes,
+            now,
+        }
+    }
+
     fn apply_start(&mut self, id: JobId, nodes: Vec<NodeId>, now: f64) -> Result<(), String> {
-        let rt = self
-            .jobs
-            .get(&id)
-            .ok_or_else(|| format!("start: unknown job {id}"))?;
-        if rt.state != RunState::Pending {
-            return Err(format!("start: {id} is not pending"));
-        }
-        if rt.spec.submit_time > now {
-            return Err(format!("start: {id} not submitted yet"));
-        }
-        if !self.deps_satisfied(rt) {
-            return Err(format!("start: {id} has unmet dependencies"));
-        }
-        let n = nodes.len();
-        if n < rt.spec.min_nodes as usize || n > rt.spec.max_nodes as usize {
-            return Err(format!(
-                "start: {id} given {n} nodes outside [{}, {}]",
-                rt.spec.min_nodes, rt.spec.max_nodes
-            ));
-        }
-        if let Some(fixed) = rt.spec.user_fixed_start() {
-            if n != fixed as usize {
-                return Err(format!(
-                    "start: {id} requires exactly {fixed} nodes, given {n}"
-                ));
-            }
-        }
-        let unique: BTreeSet<NodeId> = nodes.iter().copied().collect();
-        if unique.len() != n {
-            return Err(format!("start: {id} given duplicate nodes"));
-        }
-        if !unique.iter().all(|node| self.free.contains(node)) {
-            return Err(format!("start: {id} given non-free nodes"));
-        }
-        let walltime = rt.spec.walltime;
+        let unique = self.decision_ctx(now).validate_start(id, &nodes)?;
+        let walltime = self.jobs[&id].spec.walltime;
 
         for node in &unique {
             self.free.remove(node);
-            self.open_gantt(id, *node, now);
         }
+        let n = nodes.len();
         let rt = self.jobs.get_mut(&id).unwrap();
         rt.state = RunState::Running;
         rt.alloc = nodes;
@@ -751,8 +821,12 @@ impl Simulation {
         rt.last_alloc_change = now;
         rt.max_nodes_held = n as u32;
         let epoch = rt.epoch;
-        self.allocated_total += n as u32;
-        self.util.record(now, self.allocated_total);
+        let alloc = rt.alloc.clone();
+        self.bus.emit(SimEvent::JobStarted {
+            time: now,
+            job: id,
+            nodes: alloc,
+        });
         if let Some(w) = walltime {
             let timer = self
                 .sim
@@ -763,44 +837,8 @@ impl Simulation {
         Ok(())
     }
 
-    fn apply_reconfigure(
-        &mut self,
-        id: JobId,
-        nodes: Vec<NodeId>,
-        _now: f64,
-    ) -> Result<(), String> {
-        let rt = self
-            .jobs
-            .get(&id)
-            .ok_or_else(|| format!("reconfigure: unknown job {id}"))?;
-        if rt.state != RunState::Running {
-            return Err(format!("reconfigure: {id} is not running"));
-        }
-        if !rt.spec.class.is_elastic() {
-            return Err(format!(
-                "reconfigure: {id} is {} (not elastic)",
-                rt.spec.class
-            ));
-        }
-        if rt.pending_reconfig.is_some() {
-            return Err(format!("reconfigure: {id} already has one pending"));
-        }
-        let n = nodes.len();
-        if n < rt.spec.min_nodes as usize || n > rt.spec.max_nodes as usize {
-            return Err(format!(
-                "reconfigure: {id} target {n} outside [{}, {}]",
-                rt.spec.min_nodes, rt.spec.max_nodes
-            ));
-        }
-        let unique: BTreeSet<NodeId> = nodes.iter().copied().collect();
-        if unique.len() != n {
-            return Err(format!("reconfigure: {id} given duplicate nodes"));
-        }
-        let old: BTreeSet<NodeId> = rt.alloc.iter().copied().collect();
-        let added: Vec<NodeId> = unique.difference(&old).copied().collect();
-        if !added.iter().all(|node| self.free.contains(node)) {
-            return Err(format!("reconfigure: {id} expansion nodes not free"));
-        }
+    fn apply_reconfigure(&mut self, id: JobId, nodes: Vec<NodeId>, now: f64) -> Result<(), String> {
+        let added = self.decision_ctx(now).validate_reconfigure(id, &nodes)?;
         // Reserve additions so no later decision hands them out.
         for node in &added {
             self.free.remove(node);
@@ -815,6 +853,7 @@ impl Simulation {
     // ------------------------------------------------------------------
 
     fn build_report(mut self) -> Report {
+        self.driver.shutdown();
         let mut records = Vec::with_capacity(self.jobs.len());
         for (id, rt) in &self.jobs {
             let (outcome, end) = match self.outcomes.get(id) {
@@ -834,32 +873,17 @@ impl Simulation {
                 evolving_latencies: rt.evolving_latencies.clone(),
             });
         }
-        // Close any gantt intervals left open by an aborted run.
-        let open: Vec<((JobId, NodeId), f64)> = self.gantt_open.drain().collect();
+        // Gantt intervals left open by an aborted run close at the horizon.
         let horizon = records.iter().filter_map(|r| r.end).fold(0.0f64, f64::max);
-        for ((job, node), from) in open {
-            self.gantt.push(GanttEntry {
-                job,
-                node,
-                from,
-                to: horizon.max(from),
-            });
-        }
-        self.gantt.sort_by(|a, b| {
-            a.from
-                .partial_cmp(&b.from)
-                .unwrap()
-                .then(a.job.cmp(&b.job))
-                .then(a.node.cmp(&b.node))
-        });
+        let (utilization, gantt, warnings) = self.bus.into_parts(horizon);
         Report {
             jobs: records,
-            utilization: self.util,
-            gantt: self.gantt,
+            utilization,
+            gantt,
             events: self.sim.events_delivered(),
             recomputes: self.sim.recompute_count(),
-            scheduler_invocations: self.sched_invocations,
-            warnings: self.warnings,
+            scheduler_invocations: self.driver.invocations(),
+            warnings,
             total_nodes: self.platform.num_nodes(),
         }
     }

@@ -14,10 +14,12 @@
 //! ```text
 //!  PlatformSpec ──► Platform ──► flow resources (CPU/GPU/NIC/PFS/BB)
 //!  Vec<JobSpec> ──► JobRuntime table        │ elastisim-des kernel
-//!  Box<dyn Scheduler> ◄── SystemView ───────┤ (max-min fair sharing)
-//!          │ decisions                      │
-//!          ▼                                ▼
-//!       Simulation::run() ──────────► Report (records, utilization, Gantt)
+//!  SchedulerDriver ◄────── SystemView ──────┤ (max-min fair sharing)
+//!   │ in-process trait │ external process   │
+//!   │ decisions        ▼ (JSON wire proto)  ▼
+//!   └─► Simulation::run() ──► SimEvent bus ──► Report (+ observers:
+//!       (try_run for fallible transports)      Gantt, util, warnings,
+//!                                              JSONL event trace)
 //! ```
 //!
 //! Jobs execute a phase-structured [`elastisim_workload::ApplicationModel`];
@@ -50,14 +52,21 @@
 //! ```
 
 mod config;
+mod decisions;
+mod driver;
 mod engine;
 mod exec;
 mod lifecycle;
+pub mod observe;
 mod stats;
 mod trace;
 
 pub use config::{FailureModel, ReconfigCost, SimConfig};
+pub use driver::{SchedulerDriver, SimError};
 pub use engine::Simulation;
 pub use exec::ExecError;
-pub use stats::{GanttEntry, JobRecord, Outcome, Report, Summary, UtilizationSeries};
+pub use observe::{EventTraceWriter, Observer, SimEvent};
+pub use stats::{
+    GanttEntry, JobRecord, Outcome, Report, Summary, UtilizationSeries, Warning, WarningKind,
+};
 pub use trace::{gantt_csv, jobs_csv, utilization_csv};

@@ -2,9 +2,11 @@
 
 use elastisim_platform::NodeId;
 use elastisim_workload::{JobClass, JobId};
+use serde::{Deserialize, Serialize};
 
 /// Why a job left the system.
-#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+#[serde(rename_all = "snake_case")]
 pub enum Outcome {
     /// Ran its whole application.
     Completed,
@@ -147,6 +149,50 @@ impl UtilizationSeries {
     }
 }
 
+/// Category of a [`Warning`].
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+#[serde(rename_all = "snake_case")]
+pub enum WarningKind {
+    /// The engine rejected a scheduler decision as invalid.
+    DecisionRejected,
+    /// The scheduler stopped making progress with pending jobs left.
+    NoProgress,
+    /// Activities were still in flight when the simulation ended.
+    StalledActivities,
+    /// A pending job was cancelled because a dependency did not complete.
+    DependencyCancelled,
+    /// A task could not be translated into platform activities.
+    TaskFailed,
+    /// A pending reconfiguration was cancelled by a node failure.
+    ReconfigCancelled,
+    /// A running job was killed by a node failure.
+    NodeFailureKill,
+}
+
+/// One structured warning from a run: when it happened, which job it
+/// concerns (if any), its category, and the human-readable message.
+///
+/// `Display` prints just the message, so text output built from warnings
+/// is unchanged from when these were plain strings.
+#[derive(Clone, PartialEq, Debug, Serialize, Deserialize)]
+pub struct Warning {
+    /// Simulated time the warning was raised.
+    pub time: f64,
+    /// The job concerned, when the warning is about one job.
+    #[serde(default)]
+    pub job: Option<JobId>,
+    /// What category of problem this is.
+    pub kind: WarningKind,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl std::fmt::Display for Warning {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
 /// Aggregate metrics over the completed jobs of a run.
 #[derive(Clone, Copy, Debug, Default)]
 pub struct Summary {
@@ -181,8 +227,8 @@ pub struct Report {
     pub recomputes: u64,
     /// Number of scheduler invocations.
     pub scheduler_invocations: u64,
-    /// Decisions the engine rejected as invalid, with reasons.
-    pub warnings: Vec<String>,
+    /// Structured warnings: rejected decisions, cancelled jobs, stalls.
+    pub warnings: Vec<Warning>,
     /// Platform size, for utilization math.
     pub total_nodes: usize,
 }

@@ -99,7 +99,7 @@ fn failed_dependency_cancels_dependents_transitively() {
     assert!(report
         .warnings
         .iter()
-        .any(|w| w.contains("dependency did not complete")));
+        .any(|w| w.message.contains("dependency did not complete")));
 }
 
 #[test]

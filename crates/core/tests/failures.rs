@@ -36,7 +36,7 @@ fn aggressive_failures_kill_long_jobs() {
     assert!(report
         .warnings
         .iter()
-        .any(|w| w.contains("killed by failure")));
+        .any(|w| w.message.contains("killed by failure")));
 }
 
 #[test]

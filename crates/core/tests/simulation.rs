@@ -480,7 +480,10 @@ fn no_progress_terminates_with_warning() {
         .run();
     let j = report.job(JobId(0)).unwrap();
     assert_eq!(j.start, None);
-    assert!(report.warnings.iter().any(|w| w.contains("no progress")));
+    assert!(report
+        .warnings
+        .iter()
+        .any(|w| w.message.contains("no progress")));
 }
 
 #[test]

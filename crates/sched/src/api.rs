@@ -117,13 +117,13 @@ pub struct SystemView {
 }
 
 impl SystemView {
-    /// Pending jobs in queue order (submit time, then id).
+    /// Pending jobs in queue order (submit time, then id). A NaN submit
+    /// time sorts last (`f64::total_cmp`) rather than panicking.
     pub fn queue(&self) -> Vec<&JobView> {
         let mut q: Vec<&JobView> = self.jobs.iter().filter(|j| j.is_pending()).collect();
         q.sort_by(|a, b| {
             a.submit_time
-                .partial_cmp(&b.submit_time)
-                .unwrap()
+                .total_cmp(&b.submit_time)
                 .then(a.id.cmp(&b.id))
         });
         q
@@ -134,9 +134,13 @@ impl SystemView {
         self.jobs.iter().filter(|j| !j.is_pending())
     }
 
-    /// Looks up a job by id.
+    /// Looks up a job by id — a binary search, since `jobs` is ascending
+    /// by id (part of the [`SystemView`] contract).
     pub fn job(&self, id: JobId) -> Option<&JobView> {
-        self.jobs.iter().find(|j| j.id == id)
+        self.jobs
+            .binary_search_by(|j| j.id.cmp(&id))
+            .ok()
+            .map(|i| &self.jobs[i])
     }
 }
 
@@ -171,6 +175,17 @@ pub enum Decision {
         /// The job to remove.
         job: JobId,
     },
+}
+
+impl Decision {
+    /// The job the decision concerns.
+    pub fn job(&self) -> JobId {
+        match self {
+            Decision::Start { job, .. }
+            | Decision::Reconfigure { job, .. }
+            | Decision::Kill { job } => *job,
+        }
+    }
 }
 
 /// A scheduling algorithm.
@@ -240,6 +255,36 @@ mod tests {
         };
         assert!(view.job(JobId(7)).is_some());
         assert!(view.job(JobId(8)).is_none());
+    }
+
+    #[test]
+    fn job_lookup_binary_searches_sorted_views() {
+        let view = SystemView {
+            now: 0.0,
+            total_nodes: 8,
+            free_nodes: vec![],
+            jobs: (0..20).map(|i| job(i * 3, 0.0, i % 2 == 0)).collect(),
+        };
+        for i in 0..20 {
+            assert_eq!(view.job(JobId(i * 3)).unwrap().id, JobId(i * 3));
+            assert!(view.job(JobId(i * 3 + 1)).is_none());
+        }
+        assert!(view.job(JobId(999)).is_none());
+    }
+
+    #[test]
+    fn queue_tolerates_nan_submit_times() {
+        let mut bad = job(5, f64::NAN, true);
+        bad.submit_time = f64::NAN;
+        let view = SystemView {
+            now: 0.0,
+            total_nodes: 4,
+            free_nodes: vec![],
+            jobs: vec![job(1, 2.0, true), bad, job(9, 1.0, true)],
+        };
+        // total_cmp sorts NaN after every finite value instead of panicking.
+        let q: Vec<u64> = view.queue().iter().map(|j| j.id.0).collect();
+        assert_eq!(q, vec![9, 1, 5]);
     }
 
     #[test]

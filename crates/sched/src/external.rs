@@ -1,0 +1,251 @@
+//! External-process scheduler transport: JSON-lines over stdin/stdout.
+//!
+//! This restores the original ElastiSim deployment model in spirit: the
+//! scheduling algorithm lives in its *own process* (any language), receives
+//! one [`crate::protocol::Request`] JSON line per invocation on stdin, and
+//! answers with one [`crate::protocol::Response`] line on stdout. The
+//! engine enforces a per-request timeout: an unresponsive scheduler is
+//! killed and the run fails with a structured [`TransportError`] instead of
+//! hanging. Stderr is inherited, so external schedulers can log freely.
+
+use std::io::{BufRead, BufReader, Write};
+use std::process::{Child, Command, Stdio};
+use std::sync::mpsc;
+use std::time::Duration;
+
+use crate::api::{Decision, Invocation, SystemView};
+use crate::protocol::Request;
+use crate::protocol::Response;
+use crate::transport::{SchedulerTransport, TransportError};
+
+/// A scheduler running as a child process, spoken to over JSON lines.
+#[derive(Debug)]
+pub struct ExternalProcess {
+    /// Command line, for reporting.
+    cmd: Vec<String>,
+    child: Child,
+    stdin: std::process::ChildStdin,
+    /// Lines read off the child's stdout by a background thread; `None`
+    /// marks EOF.
+    lines: mpsc::Receiver<std::io::Result<String>>,
+    timeout: Duration,
+    seq: u64,
+    /// Set once a fatal error occurred; further requests fail fast.
+    dead: bool,
+}
+
+impl ExternalProcess {
+    /// Default per-request timeout.
+    pub const DEFAULT_TIMEOUT: Duration = Duration::from_secs(10);
+
+    /// Spawns `cmd[0]` with arguments `cmd[1..]`, pipes attached. Fails if
+    /// the command is empty or the process cannot start.
+    pub fn spawn(cmd: &[String], timeout: Duration) -> Result<ExternalProcess, TransportError> {
+        let (program, args) = cmd.split_first().ok_or_else(|| {
+            TransportError::Io(std::io::Error::new(
+                std::io::ErrorKind::InvalidInput,
+                "empty external scheduler command",
+            ))
+        })?;
+        let mut child = Command::new(program)
+            .args(args)
+            .stdin(Stdio::piped())
+            .stdout(Stdio::piped())
+            .stderr(Stdio::inherit())
+            .spawn()?;
+        let stdin = child.stdin.take().expect("stdin was piped");
+        let stdout = child.stdout.take().expect("stdout was piped");
+        let (tx, rx) = mpsc::channel();
+        // The reader thread ends when the child closes stdout or the
+        // receiver is dropped; it holds no other resources.
+        std::thread::spawn(move || {
+            let reader = BufReader::new(stdout);
+            for line in reader.lines() {
+                let failed = line.is_err();
+                if tx.send(line).is_err() || failed {
+                    break;
+                }
+            }
+        });
+        Ok(ExternalProcess {
+            cmd: cmd.to_vec(),
+            child,
+            stdin,
+            lines: rx,
+            timeout,
+            seq: 0,
+            dead: false,
+        })
+    }
+
+    /// Parses a shell-ish command string (whitespace-split, no quoting) and
+    /// spawns it.
+    pub fn spawn_command_line(
+        line: &str,
+        timeout: Duration,
+    ) -> Result<ExternalProcess, TransportError> {
+        let cmd: Vec<String> = line.split_whitespace().map(str::to_string).collect();
+        ExternalProcess::spawn(&cmd, timeout)
+    }
+
+    /// Kills the child and describes its exit status.
+    fn kill_and_reap(&mut self) -> String {
+        self.dead = true;
+        let _ = self.child.kill();
+        match self.child.wait() {
+            Ok(status) => status.to_string(),
+            Err(e) => format!("unreapable: {e}"),
+        }
+    }
+
+    fn exchange(&mut self, req: &Request) -> Result<Response, TransportError> {
+        if self.dead {
+            return Err(TransportError::ChildExited {
+                status: "already failed".into(),
+            });
+        }
+        let mut line = req.to_json();
+        line.push('\n');
+        if let Err(e) = self
+            .stdin
+            .write_all(line.as_bytes())
+            .and_then(|()| self.stdin.flush())
+        {
+            let status = self.kill_and_reap();
+            // A broken pipe means the child died; report that, not EPIPE.
+            return Err(if e.kind() == std::io::ErrorKind::BrokenPipe {
+                TransportError::ChildExited { status }
+            } else {
+                TransportError::Io(e)
+            });
+        }
+        match self.lines.recv_timeout(self.timeout) {
+            Ok(Ok(reply)) => {
+                let resp = match Response::from_json(&reply) {
+                    Ok(resp) => resp,
+                    Err(e) => {
+                        self.kill_and_reap();
+                        return Err(e.into());
+                    }
+                };
+                if resp.seq != req.seq {
+                    self.kill_and_reap();
+                    return Err(TransportError::SeqMismatch {
+                        sent: req.seq,
+                        got: resp.seq,
+                    });
+                }
+                Ok(resp)
+            }
+            Ok(Err(e)) => {
+                self.kill_and_reap();
+                Err(TransportError::Io(e))
+            }
+            Err(mpsc::RecvTimeoutError::Timeout) => {
+                let secs = self.timeout.as_secs_f64();
+                self.kill_and_reap();
+                Err(TransportError::Timeout { secs })
+            }
+            Err(mpsc::RecvTimeoutError::Disconnected) => {
+                let status = self.kill_and_reap();
+                Err(TransportError::ChildExited { status })
+            }
+        }
+    }
+}
+
+impl SchedulerTransport for ExternalProcess {
+    fn name(&self) -> String {
+        format!("external:{}", self.cmd.join(" "))
+    }
+
+    fn request(
+        &mut self,
+        view: &SystemView,
+        why: Invocation,
+    ) -> Result<Vec<Decision>, TransportError> {
+        self.seq += 1;
+        let req = Request::new(self.seq, why, view);
+        Ok(self.exchange(&req)?.into_decisions())
+    }
+
+    fn shutdown(&mut self) {
+        if !self.dead {
+            // Closing stdin is the orderly shutdown signal; then reap.
+            self.kill_and_reap();
+        }
+    }
+}
+
+impl Drop for ExternalProcess {
+    fn drop(&mut self) {
+        if !self.dead {
+            let _ = self.child.kill();
+            let _ = self.child.wait();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_command_is_rejected() {
+        let err = ExternalProcess::spawn(&[], Duration::from_secs(1)).unwrap_err();
+        assert!(err.to_string().contains("empty external scheduler"));
+    }
+
+    #[test]
+    fn missing_binary_is_an_io_error() {
+        let err = ExternalProcess::spawn_command_line(
+            "/nonexistent/scheduler-binary --flag",
+            Duration::from_secs(1),
+        )
+        .unwrap_err();
+        assert!(matches!(err, TransportError::Io(_)));
+    }
+
+    /// `cat` echoes requests back verbatim: a request is not a valid
+    /// response envelope only when the seq differs, but seq matches — so
+    /// this exercises the malformed/shape path via the missing
+    /// `decisions` field.
+    #[test]
+    fn echo_process_yields_protocol_error() {
+        let Ok(mut t) = ExternalProcess::spawn_command_line("cat", Duration::from_secs(5)) else {
+            return; // no `cat` on this system; nothing to test
+        };
+        let view = SystemView {
+            now: 0.0,
+            total_nodes: 1,
+            free_nodes: vec![],
+            jobs: vec![],
+        };
+        let err = t.request(&view, Invocation::Periodic).unwrap_err();
+        assert!(
+            matches!(err, TransportError::Protocol(_)),
+            "unexpected: {err}"
+        );
+        // After a fatal error the transport stays dead.
+        let err = t.request(&view, Invocation::Periodic).unwrap_err();
+        assert!(matches!(err, TransportError::ChildExited { .. }));
+    }
+
+    #[test]
+    fn silent_process_times_out_and_is_killed() {
+        let Ok(mut t) = ExternalProcess::spawn_command_line("sleep 30", Duration::from_millis(200))
+        else {
+            return;
+        };
+        let view = SystemView {
+            now: 0.0,
+            total_nodes: 1,
+            free_nodes: vec![],
+            jobs: vec![],
+        };
+        let start = std::time::Instant::now();
+        let err = t.request(&view, Invocation::Periodic).unwrap_err();
+        assert!(matches!(err, TransportError::Timeout { .. }), "{err}");
+        assert!(start.elapsed() < Duration::from_secs(10), "did not kill");
+    }
+}

@@ -7,13 +7,19 @@
 //! invokes the algorithm at well-defined *invocation points* with a
 //! snapshot of system state, and the algorithm answers with a list of
 //! *decisions*. The original exposes this boundary over ZeroMQ to a Python
-//! process; this reproduction keeps the exact same vocabulary as a Rust
-//! trait (see DESIGN.md §5 for the substitution argument).
+//! process; this reproduction provides the same vocabulary both as a Rust
+//! trait and as a versioned wire protocol spoken to external scheduler
+//! processes (see DESIGN.md §5 and the protocol reference).
 //!
-//! * [`Scheduler`] — the trait an algorithm implements.
+//! * [`Scheduler`] — the trait an in-process algorithm implements.
 //! * [`SystemView`] / [`JobView`] — the read-only snapshot.
 //! * [`Decision`] — start / reconfigure / kill.
 //! * [`Invocation`] — why the scheduler was called.
+//! * [`protocol`] — the serde wire forms of the above, with a
+//!   protocol-version header ([`protocol::PROTOCOL_VERSION`]).
+//! * [`SchedulerTransport`] — how an invocation reaches an algorithm:
+//!   [`InProcessTransport`] (zero-copy) or [`ExternalProcess`]
+//!   (JSON-lines over a child process, with timeout-and-kill semantics).
 //!
 //! ## Provided algorithms
 //!
@@ -35,8 +41,11 @@ mod algo_elastic;
 mod algo_fcfs;
 mod algo_firstfit;
 mod api;
+mod external;
 mod node_selection;
+pub mod protocol;
 mod registry;
+mod transport;
 
 pub use algo_conservative::ConservativeBackfilling;
 pub use algo_easy::{EasyBackfilling, SizingPolicy};
@@ -44,5 +53,7 @@ pub use algo_elastic::{ElasticConfig, ElasticScheduler};
 pub use algo_fcfs::FcfsScheduler;
 pub use algo_firstfit::FirstFit;
 pub use api::{Decision, Invocation, JobRunInfo, JobState, JobView, Scheduler, SystemView};
+pub use external::ExternalProcess;
 pub use node_selection::{lowest_free, NodeSet};
 pub use registry::{by_name, SCHEDULER_NAMES};
+pub use transport::{InProcessTransport, SchedulerTransport, TransportError};

@@ -1,0 +1,520 @@
+//! The versioned wire protocol of the scheduler boundary.
+//!
+//! The original ElastiSim exposes system snapshots and scheduling decisions
+//! to an out-of-process (Python) scheduler over ZeroMQ. This module is that
+//! boundary's message vocabulary: serde-serializable mirror types of the
+//! in-memory [`crate::SystemView`] / [`crate::Invocation`] /
+//! [`crate::Decision`] API, wrapped in request/response envelopes that
+//! carry a protocol-version header and a sequence number.
+//!
+//! ## Framing
+//!
+//! Messages travel as JSON-lines: one JSON object per `\n`-terminated
+//! line. The engine writes one [`Request`] per invocation to the external
+//! scheduler's stdin and expects exactly one [`Response`] line (matching
+//! `seq`) on its stdout. Both sides must set `protocol` to
+//! [`PROTOCOL_VERSION`]; a mismatch is a fatal, reported error — never a
+//! silent misinterpretation.
+//!
+//! ## Schema stability
+//!
+//! The JSON shape of every message is pinned by golden fixtures under
+//! `tests/fixtures/`; breaking the shape requires bumping
+//! [`PROTOCOL_VERSION`] and regenerating the fixtures.
+
+use serde::{Deserialize, Serialize};
+
+use elastisim_platform::NodeId;
+use elastisim_workload::{JobClass, JobId};
+
+use crate::api;
+
+/// Version of the wire protocol. Bumped on any incompatible change to the
+/// message schema; both endpoints refuse to talk across a mismatch.
+pub const PROTOCOL_VERSION: u32 = 1;
+
+/// Why the scheduler is being invoked — wire form of
+/// [`crate::Invocation`], tagged with a `why` discriminator.
+#[derive(Clone, PartialEq, Debug, Serialize, Deserialize)]
+#[serde(tag = "why", rename_all = "snake_case")]
+pub enum Invocation {
+    /// The periodic scheduling interval elapsed.
+    Periodic,
+    /// A job was submitted.
+    JobSubmitted {
+        /// The submitted job.
+        job: JobId,
+    },
+    /// A job finished (completed, was killed, or failed validation).
+    JobCompleted {
+        /// The finished job.
+        job: JobId,
+    },
+    /// A running evolving job asked to change to the given node count.
+    EvolvingRequest {
+        /// The requesting job.
+        job: JobId,
+        /// The desired node count.
+        nodes: u32,
+    },
+    /// A running job passed a scheduling point.
+    SchedulingPoint {
+        /// The job at its scheduling point.
+        job: JobId,
+    },
+}
+
+impl From<api::Invocation> for Invocation {
+    fn from(inv: api::Invocation) -> Self {
+        match inv {
+            api::Invocation::Periodic => Invocation::Periodic,
+            api::Invocation::JobSubmitted(job) => Invocation::JobSubmitted { job },
+            api::Invocation::JobCompleted(job) => Invocation::JobCompleted { job },
+            api::Invocation::EvolvingRequest(job, nodes) => {
+                Invocation::EvolvingRequest { job, nodes }
+            }
+            api::Invocation::SchedulingPoint(job) => Invocation::SchedulingPoint { job },
+        }
+    }
+}
+
+impl From<Invocation> for api::Invocation {
+    fn from(inv: Invocation) -> Self {
+        match inv {
+            Invocation::Periodic => api::Invocation::Periodic,
+            Invocation::JobSubmitted { job } => api::Invocation::JobSubmitted(job),
+            Invocation::JobCompleted { job } => api::Invocation::JobCompleted(job),
+            Invocation::EvolvingRequest { job, nodes } => {
+                api::Invocation::EvolvingRequest(job, nodes)
+            }
+            Invocation::SchedulingPoint { job } => api::Invocation::SchedulingPoint(job),
+        }
+    }
+}
+
+/// Scheduling state of a job — wire form of [`crate::JobState`], tagged
+/// with a `state` discriminator and flattened into [`JobView`].
+#[derive(Clone, PartialEq, Debug, Serialize, Deserialize)]
+#[serde(tag = "state", rename_all = "snake_case")]
+pub enum JobState {
+    /// Waiting in the queue.
+    Pending,
+    /// Executing.
+    Running {
+        /// Nodes currently allocated to the job.
+        nodes: Vec<NodeId>,
+        /// When the job started.
+        start_time: f64,
+        /// Whether a reconfiguration is ordered but not yet applied.
+        reconfig_pending: bool,
+        /// Fraction of task executions already completed, in `[0, 1]`.
+        progress: f64,
+    },
+}
+
+impl From<&api::JobState> for JobState {
+    fn from(state: &api::JobState) -> Self {
+        match state {
+            api::JobState::Pending => JobState::Pending,
+            api::JobState::Running(info) => JobState::Running {
+                nodes: info.nodes.clone(),
+                start_time: info.start_time,
+                reconfig_pending: info.reconfig_pending,
+                progress: info.progress,
+            },
+        }
+    }
+}
+
+impl From<JobState> for api::JobState {
+    fn from(state: JobState) -> Self {
+        match state {
+            JobState::Pending => api::JobState::Pending,
+            JobState::Running {
+                nodes,
+                start_time,
+                reconfig_pending,
+                progress,
+            } => api::JobState::Running(api::JobRunInfo {
+                nodes,
+                start_time,
+                reconfig_pending,
+                progress,
+            }),
+        }
+    }
+}
+
+/// Snapshot of one job — wire form of [`crate::JobView`]. The state tag
+/// and any running-job fields are flattened into the job object itself.
+#[derive(Clone, PartialEq, Debug, Serialize, Deserialize)]
+pub struct JobView {
+    /// Job id.
+    pub id: JobId,
+    /// Elasticity class.
+    pub class: JobClass,
+    /// Submission time, seconds.
+    pub submit_time: f64,
+    /// Smallest allocation the job accepts.
+    pub min_nodes: u32,
+    /// Largest allocation the job can use.
+    pub max_nodes: u32,
+    /// User-supplied walltime limit, seconds.
+    #[serde(default)]
+    pub walltime: Option<f64>,
+    /// For evolving jobs: an unanswered resource request, if any.
+    #[serde(default)]
+    pub evolving_request: Option<u32>,
+    /// Start size the user fixed; `None` when the scheduler chooses.
+    #[serde(default)]
+    pub fixed_start: Option<u32>,
+    /// Current state (`"state": "pending"` or `"running"` plus run info).
+    #[serde(flatten)]
+    pub state: JobState,
+}
+
+impl From<&api::JobView> for JobView {
+    fn from(j: &api::JobView) -> Self {
+        JobView {
+            id: j.id,
+            class: j.class,
+            submit_time: j.submit_time,
+            min_nodes: j.min_nodes,
+            max_nodes: j.max_nodes,
+            walltime: j.walltime,
+            evolving_request: j.evolving_request,
+            fixed_start: j.fixed_start,
+            state: (&j.state).into(),
+        }
+    }
+}
+
+impl From<JobView> for api::JobView {
+    fn from(j: JobView) -> Self {
+        api::JobView {
+            id: j.id,
+            class: j.class,
+            state: j.state.into(),
+            submit_time: j.submit_time,
+            min_nodes: j.min_nodes,
+            max_nodes: j.max_nodes,
+            walltime: j.walltime,
+            evolving_request: j.evolving_request,
+            fixed_start: j.fixed_start,
+        }
+    }
+}
+
+/// Snapshot of the whole system — wire form of [`crate::SystemView`].
+#[derive(Clone, PartialEq, Debug, Serialize, Deserialize)]
+pub struct SystemView {
+    /// Current simulated time, seconds.
+    pub now: f64,
+    /// Total nodes in the platform.
+    pub total_nodes: usize,
+    /// Currently unallocated nodes, ascending id order.
+    pub free_nodes: Vec<NodeId>,
+    /// All pending and running jobs, ascending id order.
+    pub jobs: Vec<JobView>,
+}
+
+impl From<&api::SystemView> for SystemView {
+    fn from(v: &api::SystemView) -> Self {
+        SystemView {
+            now: v.now,
+            total_nodes: v.total_nodes,
+            free_nodes: v.free_nodes.clone(),
+            jobs: v.jobs.iter().map(Into::into).collect(),
+        }
+    }
+}
+
+impl From<SystemView> for api::SystemView {
+    fn from(v: SystemView) -> Self {
+        api::SystemView {
+            now: v.now,
+            total_nodes: v.total_nodes,
+            free_nodes: v.free_nodes,
+            jobs: v.jobs.into_iter().map(Into::into).collect(),
+        }
+    }
+}
+
+/// A scheduling decision — wire form of [`crate::Decision`], tagged with
+/// an `action` discriminator.
+#[derive(Clone, PartialEq, Debug, Serialize, Deserialize)]
+#[serde(tag = "action", rename_all = "snake_case")]
+pub enum Decision {
+    /// Start a pending job on exactly these free nodes.
+    Start {
+        /// The pending job.
+        job: JobId,
+        /// Nodes to allocate.
+        nodes: Vec<NodeId>,
+    },
+    /// Change a running malleable/evolving job's allocation.
+    Reconfigure {
+        /// The running job.
+        job: JobId,
+        /// The complete new node set.
+        nodes: Vec<NodeId>,
+    },
+    /// Remove a job.
+    Kill {
+        /// The job to remove.
+        job: JobId,
+    },
+}
+
+impl From<api::Decision> for Decision {
+    fn from(d: api::Decision) -> Self {
+        match d {
+            api::Decision::Start { job, nodes } => Decision::Start { job, nodes },
+            api::Decision::Reconfigure { job, nodes } => Decision::Reconfigure { job, nodes },
+            api::Decision::Kill { job } => Decision::Kill { job },
+        }
+    }
+}
+
+impl From<Decision> for api::Decision {
+    fn from(d: Decision) -> Self {
+        match d {
+            Decision::Start { job, nodes } => api::Decision::Start { job, nodes },
+            Decision::Reconfigure { job, nodes } => api::Decision::Reconfigure { job, nodes },
+            Decision::Kill { job } => api::Decision::Kill { job },
+        }
+    }
+}
+
+/// One engine → scheduler invocation: the version header, a sequence
+/// number, why the scheduler is being asked, and the system snapshot.
+#[derive(Clone, PartialEq, Debug, Serialize, Deserialize)]
+pub struct Request {
+    /// Must equal [`PROTOCOL_VERSION`].
+    pub protocol: u32,
+    /// Monotonic per-connection sequence number; echoed by the response.
+    pub seq: u64,
+    /// Why the scheduler is invoked.
+    pub invocation: Invocation,
+    /// The system snapshot to decide over.
+    pub view: SystemView,
+}
+
+impl Request {
+    /// Builds a current-version request from the in-memory API types.
+    pub fn new(seq: u64, why: api::Invocation, view: &api::SystemView) -> Request {
+        Request {
+            protocol: PROTOCOL_VERSION,
+            seq,
+            invocation: why.into(),
+            view: view.into(),
+        }
+    }
+
+    /// Serializes to one JSON line (no trailing newline).
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(self).expect("request serialization cannot fail")
+    }
+
+    /// Parses a request line, checking the protocol version.
+    pub fn from_json(line: &str) -> Result<Request, ProtocolError> {
+        let req: Request =
+            serde_json::from_str(line).map_err(|e| ProtocolError::Malformed(e.to_string()))?;
+        check_version(req.protocol)?;
+        Ok(req)
+    }
+}
+
+/// One scheduler → engine reply: the version header, the echoed sequence
+/// number, and the decision list (possibly empty).
+#[derive(Clone, PartialEq, Debug, Serialize, Deserialize)]
+pub struct Response {
+    /// Must equal [`PROTOCOL_VERSION`].
+    pub protocol: u32,
+    /// Echo of the request's sequence number.
+    pub seq: u64,
+    /// Decisions for the engine to validate and apply, in order.
+    pub decisions: Vec<Decision>,
+}
+
+impl Response {
+    /// Builds a current-version response from in-memory decisions.
+    pub fn new(seq: u64, decisions: Vec<api::Decision>) -> Response {
+        Response {
+            protocol: PROTOCOL_VERSION,
+            seq,
+            decisions: decisions.into_iter().map(Into::into).collect(),
+        }
+    }
+
+    /// Serializes to one JSON line (no trailing newline).
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(self).expect("response serialization cannot fail")
+    }
+
+    /// Parses a response line, checking the protocol version.
+    pub fn from_json(line: &str) -> Result<Response, ProtocolError> {
+        let resp: Response =
+            serde_json::from_str(line).map_err(|e| ProtocolError::Malformed(e.to_string()))?;
+        check_version(resp.protocol)?;
+        Ok(resp)
+    }
+
+    /// The decisions as in-memory API values.
+    pub fn into_decisions(self) -> Vec<api::Decision> {
+        self.decisions.into_iter().map(Into::into).collect()
+    }
+}
+
+fn check_version(theirs: u32) -> Result<(), ProtocolError> {
+    if theirs == PROTOCOL_VERSION {
+        Ok(())
+    } else {
+        Err(ProtocolError::VersionMismatch {
+            ours: PROTOCOL_VERSION,
+            theirs,
+        })
+    }
+}
+
+/// Errors decoding a protocol message.
+#[derive(Clone, PartialEq, Debug)]
+pub enum ProtocolError {
+    /// The message parsed but declared an incompatible protocol version.
+    VersionMismatch {
+        /// This side's version.
+        ours: u32,
+        /// The peer's version.
+        theirs: u32,
+    },
+    /// The line was not a valid message of the expected shape.
+    Malformed(String),
+}
+
+impl std::fmt::Display for ProtocolError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ProtocolError::VersionMismatch { ours, theirs } => write!(
+                f,
+                "protocol version mismatch: we speak v{ours}, peer sent v{theirs}"
+            ),
+            ProtocolError::Malformed(msg) => write!(f, "malformed protocol message: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ProtocolError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_view() -> api::SystemView {
+        api::SystemView {
+            now: 120.5,
+            total_nodes: 8,
+            free_nodes: vec![NodeId(4), NodeId(5)],
+            jobs: vec![
+                api::JobView {
+                    id: JobId(1),
+                    class: JobClass::Malleable,
+                    state: api::JobState::Running(api::JobRunInfo {
+                        nodes: vec![NodeId(0), NodeId(1)],
+                        start_time: 10.0,
+                        reconfig_pending: true,
+                        progress: 0.25,
+                    }),
+                    submit_time: 0.0,
+                    min_nodes: 1,
+                    max_nodes: 4,
+                    walltime: Some(3600.0),
+                    evolving_request: None,
+                    fixed_start: None,
+                },
+                api::JobView {
+                    id: JobId(2),
+                    class: JobClass::Evolving,
+                    state: api::JobState::Pending,
+                    submit_time: 60.0,
+                    min_nodes: 2,
+                    max_nodes: 6,
+                    walltime: None,
+                    evolving_request: Some(4),
+                    fixed_start: Some(2),
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn request_roundtrips_through_json() {
+        let view = sample_view();
+        for why in [
+            api::Invocation::Periodic,
+            api::Invocation::JobSubmitted(JobId(2)),
+            api::Invocation::JobCompleted(JobId(1)),
+            api::Invocation::EvolvingRequest(JobId(2), 4),
+            api::Invocation::SchedulingPoint(JobId(1)),
+        ] {
+            let req = Request::new(7, why, &view);
+            let back = Request::from_json(&req.to_json()).unwrap();
+            assert_eq!(req, back);
+            // And the round-trip back to API types is lossless.
+            let api_view: api::SystemView = back.view.into();
+            assert_eq!(api_view, view);
+            assert_eq!(api::Invocation::from(back.invocation), why);
+        }
+    }
+
+    #[test]
+    fn response_roundtrips_through_json() {
+        let decisions = vec![
+            api::Decision::Start {
+                job: JobId(2),
+                nodes: vec![NodeId(4), NodeId(5)],
+            },
+            api::Decision::Reconfigure {
+                job: JobId(1),
+                nodes: vec![NodeId(0)],
+            },
+            api::Decision::Kill { job: JobId(3) },
+        ];
+        let resp = Response::new(9, decisions.clone());
+        let back = Response::from_json(&resp.to_json()).unwrap();
+        assert_eq!(back.seq, 9);
+        assert_eq!(back.into_decisions(), decisions);
+    }
+
+    #[test]
+    fn version_mismatch_is_detected() {
+        let mut resp = Response::new(1, vec![]);
+        resp.protocol = PROTOCOL_VERSION + 1;
+        let err = Response::from_json(&resp.to_json()).unwrap_err();
+        assert!(matches!(
+            err,
+            ProtocolError::VersionMismatch { theirs, .. } if theirs == PROTOCOL_VERSION + 1
+        ));
+        assert!(err.to_string().contains("version mismatch"));
+    }
+
+    #[test]
+    fn malformed_lines_are_reported() {
+        assert!(matches!(
+            Response::from_json("{not json"),
+            Err(ProtocolError::Malformed(_))
+        ));
+        assert!(matches!(
+            Request::from_json(r#"{"protocol": 1}"#),
+            Err(ProtocolError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn state_tag_is_flattened_into_job_objects() {
+        let req = Request::new(0, api::Invocation::Periodic, &sample_view());
+        let json = req.to_json();
+        assert!(json.contains(r#""state":"running""#), "{json}");
+        assert!(json.contains(r#""state":"pending""#), "{json}");
+        assert!(json.contains(r#""why":"periodic""#), "{json}");
+    }
+}

@@ -1,0 +1,147 @@
+//! Scheduler transports: how an invocation reaches a scheduling algorithm.
+//!
+//! The engine talks to *some* scheduler through [`SchedulerTransport`]; the
+//! two provided implementations are [`InProcessTransport`] (zero-copy
+//! wrapper around a [`Scheduler`] trait object — the view is borrowed, no
+//! serialization happens) and [`crate::ExternalProcess`] (JSON-lines over a
+//! child process's stdin/stdout, the paper's ZeroMQ/Python split in
+//! spirit).
+
+use crate::api::{Decision, Invocation, Scheduler, SystemView};
+use crate::protocol::ProtocolError;
+
+/// A structured transport failure. In-process transports never fail;
+/// external ones surface these instead of hanging or silently dropping
+/// decisions.
+#[derive(Debug)]
+pub enum TransportError {
+    /// Spawning or talking to the external process failed at the OS level.
+    Io(std::io::Error),
+    /// The external scheduler did not answer within the configured
+    /// timeout; it has been killed.
+    Timeout {
+        /// The timeout that elapsed, seconds.
+        secs: f64,
+    },
+    /// The external scheduler exited (or closed its stdout) mid-run.
+    ChildExited {
+        /// Exit status description, if the process could be reaped.
+        status: String,
+    },
+    /// A protocol-level failure: version mismatch or malformed message.
+    Protocol(ProtocolError),
+    /// The response's sequence number did not match the request's.
+    SeqMismatch {
+        /// Sequence number we sent.
+        sent: u64,
+        /// Sequence number the peer echoed.
+        got: u64,
+    },
+}
+
+impl std::fmt::Display for TransportError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TransportError::Io(e) => write!(f, "scheduler transport I/O error: {e}"),
+            TransportError::Timeout { secs } => {
+                write!(f, "external scheduler unresponsive for {secs} s; killed")
+            }
+            TransportError::ChildExited { status } => {
+                write!(f, "external scheduler exited mid-run ({status})")
+            }
+            TransportError::Protocol(e) => write!(f, "{e}"),
+            TransportError::SeqMismatch { sent, got } => {
+                write!(f, "response out of sequence: sent seq {sent}, got {got}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TransportError {}
+
+impl From<std::io::Error> for TransportError {
+    fn from(e: std::io::Error) -> Self {
+        TransportError::Io(e)
+    }
+}
+
+impl From<ProtocolError> for TransportError {
+    fn from(e: ProtocolError) -> Self {
+        TransportError::Protocol(e)
+    }
+}
+
+/// The engine's view of a scheduler, whatever side of a process boundary
+/// it lives on.
+pub trait SchedulerTransport {
+    /// Name used in reports and traces.
+    fn name(&self) -> String;
+
+    /// Sends one invocation and returns the scheduler's decisions.
+    fn request(
+        &mut self,
+        view: &SystemView,
+        why: Invocation,
+    ) -> Result<Vec<Decision>, TransportError>;
+
+    /// Releases transport resources (kills child processes). Called once
+    /// when the simulation finishes; the default does nothing.
+    fn shutdown(&mut self) {}
+}
+
+/// Zero-copy adapter: the in-memory [`Scheduler`] trait behind the
+/// transport interface. The view is passed by reference — nothing is
+/// serialized — so the five built-in algorithms run exactly as before.
+pub struct InProcessTransport {
+    inner: Box<dyn Scheduler>,
+}
+
+impl InProcessTransport {
+    /// Wraps a scheduling algorithm.
+    pub fn new(inner: Box<dyn Scheduler>) -> Self {
+        InProcessTransport { inner }
+    }
+}
+
+impl SchedulerTransport for InProcessTransport {
+    fn name(&self) -> String {
+        self.inner.name().to_string()
+    }
+
+    fn request(
+        &mut self,
+        view: &SystemView,
+        why: Invocation,
+    ) -> Result<Vec<Decision>, TransportError> {
+        Ok(self.inner.schedule(view, why))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::FcfsScheduler;
+
+    #[test]
+    fn in_process_transport_delegates() {
+        let mut t = InProcessTransport::new(Box::new(FcfsScheduler::new()));
+        assert_eq!(t.name(), "fcfs");
+        let view = SystemView {
+            now: 0.0,
+            total_nodes: 0,
+            free_nodes: vec![],
+            jobs: vec![],
+        };
+        let decisions = t.request(&view, Invocation::Periodic).unwrap();
+        assert!(decisions.is_empty());
+        t.shutdown(); // default no-op
+    }
+
+    #[test]
+    fn transport_errors_render() {
+        let e = TransportError::Timeout { secs: 2.5 };
+        assert!(e.to_string().contains("2.5"));
+        let e = TransportError::SeqMismatch { sent: 3, got: 4 };
+        assert!(e.to_string().contains("sent seq 3"));
+    }
+}

@@ -98,6 +98,10 @@ fn arb_view() -> impl Strategy<Value = SystemView> {
             .filter(|n| !used.contains(n))
             .map(NodeId)
             .collect();
+        // The SystemView contract: jobs are in ascending id order (the
+        // engine builds views from an id-ordered map; `SystemView::job`
+        // binary-searches on it).
+        jobs.sort_by_key(|j| j.id);
         SystemView {
             now: 2e4,
             total_nodes: total,

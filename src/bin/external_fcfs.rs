@@ -1,0 +1,55 @@
+//! A reference external scheduler speaking the wire protocol.
+//!
+//! Reads one JSON [`Request`] per line on stdin, answers one [`Response`]
+//! per line on stdout, and delegates the actual policy to the in-process
+//! [`FcfsScheduler`] — so a run through this process must be byte-identical
+//! to an in-process FCFS run (asserted by `tests/external_scheduler.rs`).
+//!
+//! Failure-injection modes for testing the engine's error handling:
+//!
+//! * `--bad-version` — replies with an incompatible protocol version
+//! * `--hang`        — reads the request, then never answers
+//! * `--crash`       — reads the request, then exits with status 3
+//! * `--garbage`     — replies with a line that is not a protocol message
+
+use std::io::{self, BufRead, Write};
+
+use elastisim_sched::protocol::{Request, Response, PROTOCOL_VERSION};
+use elastisim_sched::{FcfsScheduler, Scheduler, SystemView};
+
+fn main() {
+    let mode = std::env::args().nth(1).unwrap_or_default();
+    let stdin = io::stdin();
+    let mut out = io::stdout().lock();
+    let mut scheduler = FcfsScheduler::new();
+    for line in stdin.lock().lines() {
+        let line = line.expect("reading request line");
+        if line.trim().is_empty() {
+            continue;
+        }
+        let req = Request::from_json(&line).unwrap_or_else(|e| panic!("bad request: {e}"));
+        match mode.as_str() {
+            "--hang" => loop {
+                std::thread::sleep(std::time::Duration::from_secs(3600));
+            },
+            "--crash" => std::process::exit(3),
+            "--garbage" => {
+                writeln!(out, "this is not a protocol message").expect("writing response");
+                out.flush().expect("flushing response");
+            }
+            "--bad-version" => {
+                let mut resp = Response::new(req.seq, Vec::new());
+                resp.protocol = PROTOCOL_VERSION + 1;
+                writeln!(out, "{}", resp.to_json()).expect("writing response");
+                out.flush().expect("flushing response");
+            }
+            _ => {
+                let view: SystemView = req.view.into();
+                let decisions = scheduler.schedule(&view, req.invocation.into());
+                let resp = Response::new(req.seq, decisions);
+                writeln!(out, "{}", resp.to_json()).expect("writing response");
+                out.flush().expect("flushing response");
+            }
+        }
+    }
+}

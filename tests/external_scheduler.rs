@@ -1,0 +1,108 @@
+//! External-scheduler transport integration tests.
+//!
+//! Spawns the `external_fcfs` helper binary (built from `src/bin/`) as a
+//! real child process speaking the JSON-lines wire protocol, and asserts
+//! that the resulting report is byte-identical to an in-process FCFS run.
+//! The helper's failure-injection modes exercise the structured errors:
+//! version mismatch, child crash, and an unresponsive scheduler.
+
+use std::time::Duration;
+
+use elastisim::{gantt_csv, jobs_csv, utilization_csv, Report, SimConfig, Simulation};
+use elastisim_platform::{NodeSpec, PlatformSpec};
+use elastisim_sched::{ExternalProcess, FcfsScheduler};
+use elastisim_workload::{ArrivalProcess, JobSpec, SizeDistribution, WorkloadConfig};
+
+const EXTERNAL_FCFS: &str = env!("CARGO_BIN_EXE_external_fcfs");
+
+fn workload() -> Vec<JobSpec> {
+    WorkloadConfig::new(25)
+        .with_platform_nodes(16)
+        .with_malleable_fraction(0.4)
+        .with_sizes(SizeDistribution::Uniform { min: 1, max: 12 })
+        .with_arrival(ArrivalProcess::Poisson {
+            mean_interarrival: 200.0,
+        })
+        .with_seed(11)
+        .generate()
+}
+
+fn platform() -> PlatformSpec {
+    PlatformSpec::homogeneous("ext", 16, NodeSpec::default())
+}
+
+fn run_in_process() -> Report {
+    Simulation::new(
+        &platform(),
+        workload(),
+        Box::new(FcfsScheduler::new()),
+        SimConfig::default(),
+    )
+    .unwrap()
+    .run()
+}
+
+fn run_external(mode: Option<&str>, timeout: Duration) -> Result<Report, elastisim::SimError> {
+    let mut cmd = vec![EXTERNAL_FCFS.to_string()];
+    if let Some(m) = mode {
+        cmd.push(m.to_string());
+    }
+    let transport = ExternalProcess::spawn(&cmd, timeout).expect("spawning helper binary");
+    Simulation::with_transport(
+        &platform(),
+        workload(),
+        Box::new(transport),
+        SimConfig::default(),
+    )
+    .unwrap()
+    .try_run()
+}
+
+#[test]
+fn external_fcfs_report_is_byte_identical_to_in_process() {
+    let local = run_in_process();
+    let remote = run_external(None, Duration::from_secs(30)).expect("external run");
+    assert_eq!(jobs_csv(&local), jobs_csv(&remote));
+    assert_eq!(utilization_csv(&local), utilization_csv(&remote));
+    assert_eq!(gantt_csv(&local), gantt_csv(&remote));
+    assert_eq!(local.warnings, remote.warnings);
+    assert_eq!(
+        local.scheduler_invocations, remote.scheduler_invocations,
+        "both transports must be invoked the same number of times"
+    );
+}
+
+#[test]
+fn protocol_version_mismatch_is_a_structured_error() {
+    let err = run_external(Some("--bad-version"), Duration::from_secs(30))
+        .expect_err("version mismatch must fail the run");
+    let msg = err.to_string();
+    assert!(msg.contains("version"), "unexpected error: {msg}");
+}
+
+#[test]
+fn crashed_scheduler_is_a_structured_error() {
+    let err = run_external(Some("--crash"), Duration::from_secs(30))
+        .expect_err("child exit must fail the run");
+    let msg = err.to_string();
+    assert!(msg.contains("exited"), "unexpected error: {msg}");
+}
+
+#[test]
+fn garbage_response_is_a_structured_error() {
+    let err = run_external(Some("--garbage"), Duration::from_secs(30))
+        .expect_err("malformed response must fail the run");
+    let msg = err.to_string();
+    assert!(
+        msg.contains("malformed") || msg.contains("expected"),
+        "unexpected error: {msg}"
+    );
+}
+
+#[test]
+fn unresponsive_scheduler_times_out_instead_of_hanging() {
+    let err = run_external(Some("--hang"), Duration::from_millis(300))
+        .expect_err("hang must hit the timeout");
+    let msg = err.to_string();
+    assert!(msg.contains("unresponsive"), "unexpected error: {msg}");
+}

@@ -447,7 +447,7 @@ pub mod collection {
     use super::{Strategy, TestRng};
     use std::ops::{Range, RangeInclusive};
 
-    /// Admissible size arguments for [`vec`].
+    /// Admissible size arguments for [`vec()`].
     pub struct SizeRange {
         lo: usize,
         hi: usize,
@@ -486,7 +486,7 @@ pub mod collection {
         }
     }
 
-    /// See [`vec`].
+    /// See [`vec()`].
     pub struct VecStrategy<S> {
         element: S,
         size: SizeRange,

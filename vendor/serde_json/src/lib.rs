@@ -1,5 +1,5 @@
 //! Offline stand-in for `serde_json`, layered on the vendored `serde`
-//! [`Value`](serde::Value) model.
+//! [`Value`] model.
 //!
 //! Provides [`to_string`], [`to_string_pretty`], [`from_str`], and
 //! [`Error`]. Floats print via Rust's shortest-round-trip `Display`, so
