@@ -39,6 +39,7 @@ impl Args {
             )));
         }
         let mut options = HashMap::new();
+        let mut it = it.peekable();
         while let Some(arg) = it.next() {
             let key = arg
                 .strip_prefix("--")
@@ -47,9 +48,12 @@ impl Args {
             if key.is_empty() {
                 return Err(UsageError("empty option name".into()));
             }
-            let value = it
-                .next()
-                .ok_or_else(|| UsageError(format!("option `--{key}` needs a value")))?;
+            // `--flag` at the end or followed by another option is a
+            // boolean flag; everything else takes the next token as value.
+            let value = match it.peek() {
+                Some(next) if !next.starts_with("--") => it.next().expect("peeked"),
+                _ => "true".to_string(),
+            };
             if options.insert(key.clone(), value).is_some() {
                 return Err(UsageError(format!("duplicate option `--{key}`")));
             }
@@ -90,6 +94,19 @@ impl Args {
             Some(v) => v
                 .parse()
                 .map_err(|_| UsageError(format!("option `--{key}`: `{v}` is not an integer"))),
+        }
+    }
+
+    /// A boolean flag: absent → `false`, bare `--key` → `true`, and an
+    /// explicit `true`/`false` value is honored.
+    pub fn flag(&self, key: &str) -> Result<bool, UsageError> {
+        match self.get(key) {
+            None => Ok(false),
+            Some("true") | Some("1") => Ok(true),
+            Some("false") | Some("0") => Ok(false),
+            Some(v) => Err(UsageError(format!(
+                "option `--{key}`: `{v}` is not a boolean"
+            ))),
         }
     }
 
@@ -137,9 +154,23 @@ mod tests {
     fn error_cases() {
         assert!(Args::parse(Vec::<String>::new()).is_err());
         assert!(Args::parse(["--run"]).is_err());
-        assert!(Args::parse(["run", "--x"]).is_err());
         assert!(Args::parse(["run", "x"]).is_err());
         assert!(Args::parse(["run", "--a", "1", "--a", "2"]).is_err());
+    }
+
+    #[test]
+    fn boolean_flags() {
+        let a = Args::parse(["run", "--check", "--jobs", "j.json", "--fast"]).unwrap();
+        assert!(a.flag("check").unwrap());
+        assert!(a.flag("fast").unwrap());
+        assert!(!a.flag("absent").unwrap());
+        assert_eq!(a.get("jobs"), Some("j.json"));
+        let b = Args::parse(["run", "--check", "false"]).unwrap();
+        assert!(!b.flag("check").unwrap());
+        assert!(Args::parse(["run", "--jobs", "j.json"])
+            .unwrap()
+            .flag("jobs")
+            .is_err());
     }
 
     #[test]

@@ -5,8 +5,8 @@ use std::fs;
 use std::path::Path;
 
 use elastisim::{
-    gantt_csv, jobs_csv, utilization_csv, EventTraceWriter, ReconfigCost, Report, SimConfig,
-    Simulation,
+    gantt_csv, jobs_csv, utilization_csv, EventTraceWriter, InvariantChecker, ReconfigCost, Report,
+    SimConfig, Simulation,
 };
 use elastisim_platform::{NodeSpec, PlatformSpec};
 use elastisim_sched::ExternalProcess;
@@ -52,22 +52,29 @@ USAGE:
   elastisim generate  --nodes N --jobs N [--malleable F] [--seed S]
                       [--min-size N] [--max-size N] [--interarrival S]
                       --out jobs.json
-  elastisim run       --platform platform.json --jobs jobs.json|trace.swf
+  elastisim run       --platform platform.json
+                      --jobs jobs.json|workload.json|trace.swf
                       [--scheduler NAME | --scheduler-cmd \"CMD ARGS...\"]
                       [--scheduler-timeout S] [--interval S]
                       [--reconfig-cost free|fixed:S|data:BYTES]
+                      [--seed N] [--check-invariants]
                       [--trace-events FILE] [--out DIR]
   elastisim schedulers
   elastisim help
 
 `run` prints the summary and, with --out, writes jobs.csv,
-utilization.csv, gantt.csv and summary.txt into DIR.
+utilization.csv, gantt.csv and summary.txt into DIR. --jobs accepts a
+JSON job list, a JSON workload-generator config (object — generated on
+the spot; --seed overrides its seed, which is echoed in the summary),
+or an SWF trace.
 
 --scheduler-cmd runs the scheduling algorithm as an external process
 speaking the JSON-lines wire protocol on stdin/stdout (see DESIGN.md);
 an unresponsive scheduler is killed after --scheduler-timeout (default
 10 s) and the run fails with a structured error. --trace-events streams
-every simulation event to FILE as JSON lines.
+every simulation event to FILE as JSON lines. --check-invariants
+attaches the runtime invariant checker and reports violations in the
+summary (see DESIGN.md §9).
 ";
 
 /// Parses a `--reconfig-cost` value: `free`, `fixed:SECONDS`, or
@@ -158,15 +165,40 @@ pub fn cmd_generate(args: &Args) -> Result<Vec<JobSpec>, CliError> {
     Ok(workload)
 }
 
-/// Loads a workload file: `.swf` traces or JSON job lists.
-pub fn load_jobs(path: &str, node_flops: f64) -> Result<Vec<JobSpec>, CliError> {
+/// Loads a workload file: `.swf` traces, JSON job lists, or a JSON
+/// [`WorkloadConfig`] (object, not array) which is generated on the spot.
+/// `seed` overrides the generator seed and is an error for the static
+/// formats, where it could not have any effect. Returns the jobs plus the
+/// effective generator seed, if one was used.
+pub fn load_jobs(
+    path: &str,
+    node_flops: f64,
+    seed: Option<u64>,
+) -> Result<(Vec<JobSpec>, Option<u64>), CliError> {
     let text = fs::read_to_string(path).map_err(|e| CliError::Io(path.into(), e))?;
     if path.ends_with(".swf") {
+        if seed.is_some() {
+            return Err(UsageError("--seed only applies to generated workloads".into()).into());
+        }
         let jobs = parse_swf(&text).map_err(|e| CliError::Data(format!("{path}: {e}")))?;
-        Ok(jobs.iter().map(|j| j.to_job_spec(node_flops, 1)).collect())
-    } else {
-        serde_json::from_str(&text).map_err(|e| CliError::Data(format!("{path}: {e}")))
+        return Ok((
+            jobs.iter().map(|j| j.to_job_spec(node_flops, 1)).collect(),
+            None,
+        ));
     }
+    if text.trim_start().starts_with('{') {
+        let mut cfg: WorkloadConfig =
+            serde_json::from_str(&text).map_err(|e| CliError::Data(format!("{path}: {e}")))?;
+        if let Some(seed) = seed {
+            cfg.seed = seed;
+        }
+        return Ok((cfg.generate(), Some(cfg.seed)));
+    }
+    if seed.is_some() {
+        return Err(UsageError("--seed only applies to generated workloads".into()).into());
+    }
+    let jobs = serde_json::from_str(&text).map_err(|e| CliError::Data(format!("{path}: {e}")))?;
+    Ok((jobs, None))
 }
 
 /// `elastisim run`: simulates and optionally writes result files.
@@ -180,6 +212,8 @@ pub fn cmd_run(args: &Args) -> Result<(Report, String), CliError> {
         "interval",
         "reconfig-cost",
         "trace-events",
+        "seed",
+        "check-invariants",
         "out",
     ])?;
     let platform_path = args.require("platform")?;
@@ -188,8 +222,15 @@ pub fn cmd_run(args: &Args) -> Result<(Report, String), CliError> {
     let platform = PlatformSpec::from_json(&platform_json)
         .map_err(|e| CliError::Data(format!("{platform_path}: {e}")))?;
 
+    let seed = match args.get("seed") {
+        None => None,
+        Some(_) => Some(args.int("seed", 0)?),
+    };
     let jobs_path = args.require("jobs")?;
-    let jobs = load_jobs(jobs_path, platform.nodes[0].flops)?;
+    let (jobs, effective_seed) = load_jobs(jobs_path, platform.nodes[0].flops, seed)?;
+    let checker = args
+        .flag("check-invariants")?
+        .then(|| InvariantChecker::new(&jobs, platform.num_nodes()));
 
     let mut cfg = SimConfig::default().with_interval(args.num("interval", 60.0)?);
     if let Some(rc) = args.get("reconfig-cost") {
@@ -231,9 +272,21 @@ pub fn cmd_run(args: &Args) -> Result<(Report, String), CliError> {
             EventTraceWriter::create(Path::new(path)).map_err(|e| CliError::Io(path.into(), e))?;
         sim.add_observer(Box::new(writer));
     }
+    if let Some(checker) = &checker {
+        sim.add_observer(checker.observer());
+    }
 
     let report = sim.try_run().map_err(|e| CliError::Data(e.to_string()))?;
-    let summary = render_summary(&report, &sched_label);
+    let mut summary = render_summary(&report, &sched_label, effective_seed);
+    if let Some(checker) = &checker {
+        let violations = checker.check_report(&report);
+        for v in &violations {
+            summary.push_str(&format!("invariant violation: {v}\n"));
+        }
+        if violations.is_empty() {
+            summary.push_str("invariants       : ok\n");
+        }
+    }
 
     if let Some(dir) = args.get("out") {
         let dir = Path::new(dir);
@@ -250,11 +303,15 @@ pub fn cmd_run(args: &Args) -> Result<(Report, String), CliError> {
     Ok((report, summary))
 }
 
-/// Renders the human-readable run summary.
-pub fn render_summary(report: &Report, scheduler: &str) -> String {
+/// Renders the human-readable run summary. `seed` is the effective
+/// workload-generator seed, when the workload was generated.
+pub fn render_summary(report: &Report, scheduler: &str, seed: Option<u64>) -> String {
     let s = report.summary();
     let mut out = String::new();
     out.push_str(&format!("scheduler        : {scheduler}\n"));
+    if let Some(seed) = seed {
+        out.push_str(&format!("workload seed    : {seed}\n"));
+    }
     out.push_str(&format!("nodes            : {}\n", report.total_nodes));
     out.push_str(&format!("jobs completed   : {}\n", s.completed));
     out.push_str(&format!("jobs killed      : {}\n", s.killed));
@@ -515,6 +572,68 @@ mod tests {
             }
             other => panic!("expected Data error, got {other:?}"),
         }
+        fs::remove_dir_all(dir).unwrap();
+    }
+
+    #[test]
+    fn run_generates_from_workload_config_with_seed_override() {
+        let dir = tmpdir();
+        let p = dir.join("platform.json");
+        let w = dir.join("workload.json");
+        cmd_platform(
+            &Args::parse(["platform", "--nodes", "8", "--out", p.to_str().unwrap()]).unwrap(),
+        )
+        .unwrap();
+        let cfg = WorkloadConfig::new(6).with_platform_nodes(8).with_seed(1);
+        fs::write(&w, serde_json::to_string_pretty(&cfg).unwrap()).unwrap();
+        let run = |seed: &[&str]| {
+            let mut argv = vec![
+                "run",
+                "--platform",
+                p.to_str().unwrap(),
+                "--jobs",
+                w.to_str().unwrap(),
+                "--scheduler",
+                "fcfs",
+                "--check-invariants",
+            ];
+            argv.extend_from_slice(seed);
+            cmd_run(&Args::parse(argv).unwrap()).unwrap()
+        };
+        let (report_a, summary_a) = run(&[]);
+        assert!(summary_a.contains("workload seed    : 1"), "{summary_a}");
+        assert!(summary_a.contains("invariants       : ok"), "{summary_a}");
+        let (report_b, summary_b) = run(&["--seed", "99"]);
+        assert!(summary_b.contains("workload seed    : 99"), "{summary_b}");
+        // Different seeds must actually change the generated workload.
+        assert_ne!(
+            serde_json::to_string(&report_a.jobs).unwrap(),
+            serde_json::to_string(&report_b.jobs).unwrap()
+        );
+        fs::remove_dir_all(dir).unwrap();
+    }
+
+    #[test]
+    fn seed_is_rejected_for_static_workloads() {
+        let dir = tmpdir();
+        let p = dir.join("platform.json");
+        let j = dir.join("jobs.json");
+        cmd_platform(
+            &Args::parse(["platform", "--nodes", "4", "--out", p.to_str().unwrap()]).unwrap(),
+        )
+        .unwrap();
+        fs::write(&j, "[]").unwrap();
+        let args = Args::parse([
+            "run",
+            "--platform",
+            p.to_str().unwrap(),
+            "--jobs",
+            j.to_str().unwrap(),
+            "--seed",
+            "7",
+        ])
+        .unwrap();
+        assert!(matches!(cmd_run(&args), Err(CliError::Usage(_))));
         fs::remove_dir_all(dir).unwrap();
     }
 

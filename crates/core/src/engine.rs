@@ -57,6 +57,10 @@ pub struct Simulation {
     reserved: BTreeSet<NodeId>,
     /// Nodes currently failed (out of service).
     down: BTreeSet<NodeId>,
+    /// Jobs whose `JobSubmitted` event has been emitted. Kept separate
+    /// from the DES `Submit` events so same-timestamp submissions are all
+    /// announced before any scheduler invocation can start them.
+    announced: BTreeSet<JobId>,
     /// State of the failure process's deterministic RNG (SplitMix64).
     failure_rng: u64,
     outcomes: HashMap<JobId, (Outcome, f64)>,
@@ -130,6 +134,7 @@ impl Simulation {
             free,
             reserved: BTreeSet::new(),
             down: BTreeSet::new(),
+            announced: BTreeSet::new(),
             failure_rng,
             outcomes: HashMap::new(),
             fatal: None,
@@ -171,7 +176,7 @@ impl Simulation {
             last_now = now;
             match ev {
                 Ev::Submit(id) => {
-                    self.bus.emit(SimEvent::JobSubmitted { time: now, job: id });
+                    self.announce_submissions(now);
                     if self.cfg.invoke_on_submit {
                         self.invoke_scheduler(now, Invocation::JobSubmitted(id));
                     }
@@ -258,9 +263,28 @@ impl Simulation {
         self.jobs.values().all(|j| j.spec.submit_time <= now)
     }
 
+    /// Emits `JobSubmitted` for every job whose submit time has been
+    /// reached but which has not been announced yet, in id order. The
+    /// scheduler view exposes all due jobs at once, so without this a
+    /// same-timestamp sibling could be started before its own submission
+    /// event fired, making the observed stream non-causal.
+    fn announce_submissions(&mut self, now: f64) {
+        let due: Vec<JobId> = self
+            .jobs
+            .values()
+            .filter(|rt| rt.spec.submit_time <= now && !self.announced.contains(&rt.spec.id))
+            .map(|rt| rt.spec.id)
+            .collect();
+        for id in due {
+            self.announced.insert(id);
+            self.bus.emit(SimEvent::JobSubmitted { time: now, job: id });
+        }
+    }
+
     /// Cancels every pending job that (transitively) depends on a job that
     /// ended unsuccessfully — `afterok` semantics.
     fn cascade_dependency_failures(&mut self, now: f64) {
+        self.announce_submissions(now);
         loop {
             let doomed: Vec<JobId> = self
                 .jobs
@@ -734,6 +758,7 @@ impl Simulation {
         if self.fatal.is_some() {
             return 0;
         }
+        self.announce_submissions(now);
         if self.in_invoke {
             self.deferred_invokes.push(why);
             return 0;

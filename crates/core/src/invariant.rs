@@ -1,0 +1,1048 @@
+//! Runtime invariant checking over the [`SimEvent`] stream.
+//!
+//! The [`InvariantChecker`] is an [`Observer`] that replays the engine's
+//! event stream against an independent model of what a *legal* run looks
+//! like: node allocations never exceed capacity, no node is assigned to two
+//! jobs at once, simulated time is monotone, and every job follows the
+//! Feitelson–Rudolph state machine of its elasticity class (rigid and
+//! moldable jobs never resize, reconfigurations stay within
+//! `[min_nodes, max_nodes]`). After the run, [`InvariantChecker::check_report`]
+//! cross-checks the final [`Report`] accounting — start/end times,
+//! node-second integrals, the utilization series, the Gantt trace — against
+//! what the event stream implies.
+//!
+//! Violations are structured: each carries the rule name, the simulated
+//! time, and the offending event serialized as JSON, so a conformance
+//! failure names exactly what went wrong. The checker never panics on its
+//! own; callers decide (tests `assert_clean`, the CLI's
+//! `--check-invariants` renders violations as warnings).
+//!
+//! The checker deliberately duplicates collector logic from
+//! [`crate::observe`] rather than reusing it: an independent
+//! re-implementation is what makes the cross-check meaningful.
+
+use std::cell::RefCell;
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::rc::Rc;
+
+use elastisim_platform::NodeId;
+use elastisim_workload::{JobClass, JobId, JobSpec};
+use serde::Serialize;
+
+use crate::observe::{Observer, SimEvent};
+use crate::stats::{GanttEntry, Outcome, Report};
+
+/// Tolerance for comparing accumulated f64 quantities (node-seconds).
+const EPS: f64 = 1e-6;
+
+/// One broken invariant: which rule, when, and the offending event.
+#[derive(Clone, PartialEq, Debug, Serialize)]
+pub struct InvariantViolation {
+    /// Simulated time of the offending event (or the report check).
+    pub time: f64,
+    /// Stable rule identifier, e.g. `node-double-assigned`.
+    pub rule: &'static str,
+    /// The offending event as tagged JSON (`None` for report-level checks).
+    pub event: Option<String>,
+    /// Human-readable description of what went wrong.
+    pub message: String,
+}
+
+impl std::fmt::Display for InvariantViolation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "[{}] t={:.3}: {}", self.rule, self.time, self.message)?;
+        if let Some(ev) = &self.event {
+            write!(f, " (event: {ev})")?;
+        }
+        Ok(())
+    }
+}
+
+/// Where a job is in its lifecycle, as reconstructed from events.
+#[derive(Clone, Copy, PartialEq, Debug)]
+enum JobPhase {
+    NotSubmitted,
+    Queued,
+    Running,
+    Finished,
+}
+
+/// Per-job tracking: the spec-derived contract plus reconstructed state.
+struct JobTrack {
+    class: JobClass,
+    submit_time: f64,
+    min_nodes: u32,
+    max_nodes: u32,
+    /// `Some(n)` when the class pins the start size (rigid, evolving).
+    fixed_start: Option<u32>,
+    phase: JobPhase,
+    alloc: BTreeSet<NodeId>,
+    // Reconstructed accounting, cross-checked against the final report.
+    start: Option<f64>,
+    end: Option<(f64, Outcome)>,
+    node_seconds: f64,
+    last_alloc_change: f64,
+    max_nodes_held: u32,
+    reconfigs: u32,
+}
+
+impl JobTrack {
+    fn accrue(&mut self, now: f64) {
+        self.node_seconds += self.alloc.len() as f64 * (now - self.last_alloc_change);
+        self.last_alloc_change = now;
+    }
+}
+
+struct CheckerState {
+    jobs: BTreeMap<JobId, JobTrack>,
+    total_nodes: usize,
+    owner: BTreeMap<NodeId, JobId>,
+    down: BTreeSet<NodeId>,
+    last_time: f64,
+    /// Reconstructed utilization change points (mirrors the collector).
+    util: Vec<(f64, u32)>,
+    /// Open Gantt intervals and closed entries, reconstructed.
+    gantt_open: HashMap<(JobId, NodeId), f64>,
+    gantt: Vec<GanttEntry>,
+    warnings_seen: usize,
+    violations: Vec<InvariantViolation>,
+}
+
+impl CheckerState {
+    fn violate(
+        &mut self,
+        rule: &'static str,
+        time: f64,
+        event: Option<&SimEvent>,
+        message: String,
+    ) {
+        self.violations.push(InvariantViolation {
+            time,
+            rule,
+            event: event
+                .map(|e| serde_json::to_string(e).expect("event serialization cannot fail")),
+            message,
+        });
+    }
+
+    fn record_util(&mut self, t: f64) {
+        let allocated = self.owner.len() as u32;
+        if let Some(&(_, lv)) = self.util.last() {
+            if lv == allocated {
+                return;
+            }
+        }
+        self.util.push((t, allocated));
+    }
+
+    fn valid_node(&mut self, node: NodeId, time: f64, event: &SimEvent) -> bool {
+        if (node.0 as usize) < self.total_nodes {
+            true
+        } else {
+            self.violate(
+                "unknown-node",
+                time,
+                Some(event),
+                format!("{node} is outside the {}-node platform", self.total_nodes),
+            );
+            false
+        }
+    }
+
+    fn on_event(&mut self, event: &SimEvent) {
+        let time = event.time();
+        if !time.is_finite() || time < 0.0 {
+            self.violate(
+                "time-not-finite",
+                time,
+                Some(event),
+                format!("event time {time} is not a finite non-negative number"),
+            );
+        }
+        if time < self.last_time {
+            self.violate(
+                "time-not-monotone",
+                time,
+                Some(event),
+                format!(
+                    "event time {time} precedes previous event at {}",
+                    self.last_time
+                ),
+            );
+        }
+        self.last_time = self.last_time.max(time);
+
+        match event {
+            SimEvent::JobSubmitted { time, job } => self.on_submitted(*time, *job, event),
+            SimEvent::JobStarted { time, job, nodes } => self.on_started(*time, *job, nodes, event),
+            SimEvent::JobReconfigured {
+                time,
+                job,
+                added,
+                removed,
+                new_size,
+            } => self.on_reconfigured(*time, *job, added, removed, *new_size, event),
+            SimEvent::JobCompleted {
+                time,
+                job,
+                outcome,
+                released,
+            } => self.on_completed(*time, *job, *outcome, released, event),
+            SimEvent::NodeFailed { time, node } => {
+                if self.valid_node(*node, *time, event) && !self.down.insert(*node) {
+                    self.violate(
+                        "node-double-failure",
+                        *time,
+                        Some(event),
+                        format!("{node} failed while already down"),
+                    );
+                }
+            }
+            SimEvent::NodeRepaired { time, node } => {
+                if self.valid_node(*node, *time, event) && !self.down.remove(node) {
+                    self.violate(
+                        "repair-of-healthy-node",
+                        *time,
+                        Some(event),
+                        format!("{node} repaired but was not down"),
+                    );
+                }
+            }
+            SimEvent::DecisionRejected { .. } | SimEvent::Warning { .. } => {
+                self.warnings_seen += 1;
+            }
+        }
+        if self.owner.len() > self.total_nodes {
+            self.violate(
+                "capacity-exceeded",
+                time,
+                Some(event),
+                format!(
+                    "{} nodes allocated on a {}-node platform",
+                    self.owner.len(),
+                    self.total_nodes
+                ),
+            );
+        }
+    }
+
+    fn on_submitted(&mut self, time: f64, job: JobId, event: &SimEvent) {
+        let Some((phase, expected)) = self.jobs.get(&job).map(|t| (t.phase, t.submit_time)) else {
+            self.violate(
+                "unknown-job",
+                time,
+                Some(event),
+                format!("{job} submitted but is not in the workload"),
+            );
+            return;
+        };
+        if phase != JobPhase::NotSubmitted {
+            self.violate(
+                "illegal-transition",
+                time,
+                Some(event),
+                format!("{job} submitted twice (was {phase:?})"),
+            );
+            return;
+        }
+        if time + EPS < expected {
+            self.violate(
+                "submit-before-time",
+                time,
+                Some(event),
+                format!("{job} entered the queue at {time} before its submit time {expected}"),
+            );
+        }
+        self.jobs.get_mut(&job).expect("checked above").phase = JobPhase::Queued;
+    }
+
+    fn on_started(&mut self, time: f64, job: JobId, nodes: &[NodeId], event: &SimEvent) {
+        let Some((phase, class, min, max, fixed)) = self
+            .jobs
+            .get(&job)
+            .map(|t| (t.phase, t.class, t.min_nodes, t.max_nodes, t.fixed_start))
+        else {
+            self.violate(
+                "unknown-job",
+                time,
+                Some(event),
+                format!("{job} started but is not in the workload"),
+            );
+            return;
+        };
+        if phase != JobPhase::Queued {
+            self.violate(
+                "illegal-transition",
+                time,
+                Some(event),
+                format!("{job} started while {phase:?} (must be Queued)"),
+            );
+            return;
+        }
+        let n = nodes.len() as u32;
+        if n < min || n > max {
+            self.violate(
+                "size-out-of-range",
+                time,
+                Some(event),
+                format!("{job} started on {n} nodes outside [{min}, {max}]"),
+            );
+        }
+        if let Some(f) = fixed {
+            if n != f {
+                self.violate(
+                    "fixed-size-violated",
+                    time,
+                    Some(event),
+                    format!("{class} {job} must start on exactly {f} nodes, got {n}"),
+                );
+            }
+        }
+        let mut unique = BTreeSet::new();
+        for &node in nodes {
+            if !self.valid_node(node, time, event) {
+                continue;
+            }
+            if !unique.insert(node) {
+                self.violate(
+                    "duplicate-node-in-allocation",
+                    time,
+                    Some(event),
+                    format!("{job} started with {node} listed twice"),
+                );
+                continue;
+            }
+            if let Some(holder) = self.owner.get(&node) {
+                let holder = *holder;
+                self.violate(
+                    "node-double-assigned",
+                    time,
+                    Some(event),
+                    format!("{job} started on {node}, already held by {holder}"),
+                );
+                continue;
+            }
+            if self.down.contains(&node) {
+                self.violate(
+                    "allocation-on-failed-node",
+                    time,
+                    Some(event),
+                    format!("{job} started on failed {node}"),
+                );
+            }
+            self.owner.insert(node, job);
+            self.gantt_open.insert((job, node), time);
+        }
+        let track = self.jobs.get_mut(&job).expect("checked above");
+        track.phase = JobPhase::Running;
+        track.alloc = unique;
+        track.start = Some(time);
+        track.last_alloc_change = time;
+        track.max_nodes_held = track.alloc.len() as u32;
+        self.record_util(time);
+    }
+
+    fn on_reconfigured(
+        &mut self,
+        time: f64,
+        job: JobId,
+        added: &[NodeId],
+        removed: &[NodeId],
+        new_size: u32,
+        event: &SimEvent,
+    ) {
+        let Some((phase, class, min, max)) = self
+            .jobs
+            .get(&job)
+            .map(|t| (t.phase, t.class, t.min_nodes, t.max_nodes))
+        else {
+            self.violate(
+                "unknown-job",
+                time,
+                Some(event),
+                format!("{job} reconfigured but is not in the workload"),
+            );
+            return;
+        };
+        if phase != JobPhase::Running {
+            self.violate(
+                "illegal-transition",
+                time,
+                Some(event),
+                format!("{job} reconfigured while {phase:?} (must be Running)"),
+            );
+            return;
+        }
+        if !class.is_elastic() {
+            self.violate(
+                "inelastic-reconfigured",
+                time,
+                Some(event),
+                format!("{class} {job} must never be reconfigured"),
+            );
+        }
+        if new_size < min || new_size > max {
+            self.violate(
+                "size-out-of-range",
+                time,
+                Some(event),
+                format!("{job} reconfigured to {new_size} nodes outside [{min}, {max}]"),
+            );
+        }
+        for &node in removed {
+            if !self.valid_node(node, time, event) {
+                continue;
+            }
+            if self.owner.get(&node) == Some(&job) {
+                self.owner.remove(&node);
+                if let Some(from) = self.gantt_open.remove(&(job, node)) {
+                    self.gantt.push(GanttEntry {
+                        job,
+                        node,
+                        from,
+                        to: time,
+                    });
+                }
+            } else {
+                self.violate(
+                    "release-of-unheld-node",
+                    time,
+                    Some(event),
+                    format!("{job} shrank off {node} which it does not hold"),
+                );
+            }
+        }
+        for &node in added {
+            if !self.valid_node(node, time, event) {
+                continue;
+            }
+            if let Some(holder) = self.owner.get(&node) {
+                let holder = *holder;
+                self.violate(
+                    "node-double-assigned",
+                    time,
+                    Some(event),
+                    format!("{job} grew onto {node}, already held by {holder}"),
+                );
+                continue;
+            }
+            if self.down.contains(&node) {
+                self.violate(
+                    "allocation-on-failed-node",
+                    time,
+                    Some(event),
+                    format!("{job} grew onto failed {node}"),
+                );
+            }
+            self.owner.insert(node, job);
+            self.gantt_open.insert((job, node), time);
+        }
+        let track = self.jobs.get_mut(&job).expect("checked above");
+        track.accrue(time);
+        for node in removed {
+            track.alloc.remove(node);
+        }
+        track.alloc.extend(added.iter().copied());
+        track.reconfigs += 1;
+        track.max_nodes_held = track.max_nodes_held.max(track.alloc.len() as u32);
+        if track.alloc.len() as u32 != new_size {
+            let actual = track.alloc.len();
+            self.violate(
+                "reconfigure-size-mismatch",
+                time,
+                Some(event),
+                format!("{job} claims new size {new_size} but holds {actual} nodes"),
+            );
+        }
+        self.record_util(time);
+    }
+
+    fn on_completed(
+        &mut self,
+        time: f64,
+        job: JobId,
+        outcome: Outcome,
+        released: &[NodeId],
+        event: &SimEvent,
+    ) {
+        let Some((phase, held)) = self.jobs.get(&job).map(|t| (t.phase, t.alloc.clone())) else {
+            self.violate(
+                "unknown-job",
+                time,
+                Some(event),
+                format!("{job} completed but is not in the workload"),
+            );
+            return;
+        };
+        match phase {
+            JobPhase::Running => {
+                let released_set: BTreeSet<NodeId> = released.iter().copied().collect();
+                if released_set != held {
+                    self.violate(
+                        "release-mismatch",
+                        time,
+                        Some(event),
+                        format!("{job} released {released_set:?} but holds {held:?}"),
+                    );
+                }
+            }
+            // Queued jobs can be killed; NotSubmitted ones can be
+            // cancelled by a failed dependency before they ever queue.
+            JobPhase::Queued | JobPhase::NotSubmitted => {
+                // A job killed before starting holds nothing.
+                if !released.is_empty() {
+                    self.violate(
+                        "release-mismatch",
+                        time,
+                        Some(event),
+                        format!("{job} never started but released {released:?}"),
+                    );
+                }
+                if outcome == Outcome::Completed {
+                    self.violate(
+                        "completed-without-running",
+                        time,
+                        Some(event),
+                        format!("{job} reported Completed but never started"),
+                    );
+                }
+            }
+            phase => {
+                self.violate(
+                    "illegal-transition",
+                    time,
+                    Some(event),
+                    format!("{job} completed while {phase:?}"),
+                );
+                return;
+            }
+        }
+        for &node in released {
+            if self.owner.get(&node) == Some(&job) {
+                self.owner.remove(&node);
+            }
+            if let Some(from) = self.gantt_open.remove(&(job, node)) {
+                self.gantt.push(GanttEntry {
+                    job,
+                    node,
+                    from,
+                    to: time,
+                });
+            }
+        }
+        let track = self.jobs.get_mut(&job).expect("checked above");
+        track.accrue(time);
+        track.alloc.clear();
+        track.phase = JobPhase::Finished;
+        track.end = Some((time, outcome));
+        self.record_util(time);
+    }
+
+    /// Report-level cross-checks, run after the event stream ended.
+    fn check_report(&mut self, report: &Report) {
+        let t = self.last_time;
+        if report.total_nodes != self.total_nodes {
+            self.violate(
+                "report-mismatch",
+                t,
+                None,
+                format!(
+                    "report says {} nodes, checker was built for {}",
+                    report.total_nodes, self.total_nodes
+                ),
+            );
+        }
+        if report.jobs.len() != self.jobs.len() {
+            self.violate(
+                "report-mismatch",
+                t,
+                None,
+                format!(
+                    "report has {} job records, workload has {} jobs",
+                    report.jobs.len(),
+                    self.jobs.len()
+                ),
+            );
+        }
+        let mut max_end = 0.0f64;
+        for rec in &report.jobs {
+            let Some(track) = self.jobs.get(&rec.id) else {
+                self.violations.push(InvariantViolation {
+                    time: t,
+                    rule: "report-mismatch",
+                    event: None,
+                    message: format!("report records unknown {}", rec.id),
+                });
+                continue;
+            };
+            let mut local = Vec::new();
+            if rec.start != track.start {
+                local.push(format!(
+                    "start {:?} but events say {:?}",
+                    rec.start, track.start
+                ));
+            }
+            match (rec.end, track.end) {
+                (Some(end), Some((ev_end, ev_outcome))) => {
+                    if end != ev_end {
+                        local.push(format!("end {end} but events say {ev_end}"));
+                    }
+                    if rec.outcome != ev_outcome {
+                        local.push(format!(
+                            "outcome {:?} but events say {ev_outcome:?}",
+                            rec.outcome
+                        ));
+                    }
+                    max_end = max_end.max(end);
+                    let scale = track.node_seconds.abs().max(1.0);
+                    if (rec.node_seconds - track.node_seconds).abs() > EPS * scale {
+                        local.push(format!(
+                            "node_seconds {} but events integrate to {}",
+                            rec.node_seconds, track.node_seconds
+                        ));
+                    }
+                    if rec.max_nodes_held != track.max_nodes_held {
+                        local.push(format!(
+                            "max_nodes_held {} but events say {}",
+                            rec.max_nodes_held, track.max_nodes_held
+                        ));
+                    }
+                    if rec.reconfigs != track.reconfigs {
+                        local.push(format!(
+                            "{} reconfigs but events show {}",
+                            rec.reconfigs, track.reconfigs
+                        ));
+                    }
+                }
+                (Some(end), None) => {
+                    local.push(format!("end {end} but no completion event was seen"));
+                }
+                (None, Some((ev_end, _))) => {
+                    local.push(format!("no end but a completion event at {ev_end}"));
+                }
+                (None, None) => {}
+            }
+            for msg in local {
+                self.violations.push(InvariantViolation {
+                    time: t,
+                    rule: "report-mismatch",
+                    event: None,
+                    message: format!("{}: {msg}", rec.id),
+                });
+            }
+        }
+        let makespan = report.summary().makespan;
+        if (makespan - max_end).abs() > EPS * max_end.max(1.0) {
+            self.violate(
+                "report-mismatch",
+                t,
+                None,
+                format!("makespan {makespan} but latest completion event is {max_end}"),
+            );
+        }
+        // The utilization series must match the change points the events
+        // imply (the engine's collector records an initial (0, 0) point).
+        let mut expected = vec![(0.0, 0u32)];
+        for &(pt, pv) in &self.util {
+            if expected.last().map(|&(_, lv)| lv) != Some(pv) {
+                expected.push((pt, pv));
+            }
+        }
+        if report.utilization.points != expected {
+            self.violate(
+                "report-mismatch",
+                t,
+                None,
+                format!(
+                    "utilization series {:?} but events imply {:?}",
+                    report.utilization.points, expected
+                ),
+            );
+        }
+        // Gantt spans: only checked when the report recorded them. Open
+        // intervals of an aborted run close at the report horizon.
+        if !report.gantt.is_empty() || self.jobs.values().all(|j| j.start.is_none()) {
+            let mut expected = self.gantt.clone();
+            let horizon = report
+                .jobs
+                .iter()
+                .filter_map(|r| r.end)
+                .fold(0.0f64, f64::max);
+            for (&(job, node), &from) in &self.gantt_open {
+                expected.push(GanttEntry {
+                    job,
+                    node,
+                    from,
+                    to: horizon.max(from),
+                });
+            }
+            expected.sort_by(|a, b| {
+                a.from
+                    .total_cmp(&b.from)
+                    .then(a.job.cmp(&b.job))
+                    .then(a.node.cmp(&b.node))
+            });
+            if report.gantt != expected {
+                self.violate(
+                    "report-mismatch",
+                    t,
+                    None,
+                    format!(
+                        "gantt trace has {} spans but events imply {}",
+                        report.gantt.len(),
+                        expected.len()
+                    ),
+                );
+            }
+        }
+        if report.warnings.len() != self.warnings_seen {
+            self.violate(
+                "report-mismatch",
+                t,
+                None,
+                format!(
+                    "report carries {} warnings but {} warning events were seen",
+                    report.warnings.len(),
+                    self.warnings_seen
+                ),
+            );
+        }
+    }
+}
+
+/// Checks simulation invariants as the run unfolds; see the module docs.
+///
+/// The checker is cloneable — clones share state — so one handle can be
+/// attached to a [`crate::Simulation`] via [`InvariantChecker::observer`]
+/// while the caller keeps another to read violations after the run:
+///
+/// ```
+/// use elastisim::{InvariantChecker, SimConfig, Simulation};
+/// use elastisim_platform::{NodeSpec, PlatformSpec};
+/// use elastisim_sched::FcfsScheduler;
+/// use elastisim_workload::WorkloadConfig;
+///
+/// let platform = PlatformSpec::homogeneous("p", 8, NodeSpec::default());
+/// let jobs = WorkloadConfig::new(4).with_platform_nodes(8).generate();
+/// let checker = InvariantChecker::new(&jobs, 8);
+/// let mut sim = Simulation::new(
+///     &platform, jobs, Box::new(FcfsScheduler::new()), SimConfig::default(),
+/// ).unwrap();
+/// sim.add_observer(checker.observer());
+/// let report = sim.run();
+/// checker.assert_clean(&report);
+/// ```
+#[derive(Clone)]
+pub struct InvariantChecker {
+    state: Rc<RefCell<CheckerState>>,
+}
+
+/// The [`Observer`] half of a checker handle.
+struct CheckerObserver {
+    state: Rc<RefCell<CheckerState>>,
+}
+
+impl Observer for CheckerObserver {
+    fn on_event(&mut self, event: &SimEvent) {
+        self.state.borrow_mut().on_event(event);
+    }
+}
+
+impl InvariantChecker {
+    /// A checker for a run of `jobs` on a `total_nodes`-node platform.
+    pub fn new(jobs: &[JobSpec], total_nodes: usize) -> Self {
+        let tracks = jobs
+            .iter()
+            .map(|spec| {
+                (
+                    spec.id,
+                    JobTrack {
+                        class: spec.class,
+                        submit_time: spec.submit_time,
+                        min_nodes: spec.min_nodes,
+                        max_nodes: spec.max_nodes,
+                        fixed_start: spec.user_fixed_start(),
+                        phase: JobPhase::NotSubmitted,
+                        alloc: BTreeSet::new(),
+                        start: None,
+                        end: None,
+                        node_seconds: 0.0,
+                        last_alloc_change: 0.0,
+                        max_nodes_held: 0,
+                        reconfigs: 0,
+                    },
+                )
+            })
+            .collect();
+        InvariantChecker {
+            state: Rc::new(RefCell::new(CheckerState {
+                jobs: tracks,
+                total_nodes,
+                owner: BTreeMap::new(),
+                down: BTreeSet::new(),
+                last_time: 0.0,
+                util: Vec::new(),
+                gantt_open: HashMap::new(),
+                gantt: Vec::new(),
+                warnings_seen: 0,
+                violations: Vec::new(),
+            })),
+        }
+    }
+
+    /// An [`Observer`] handle sharing this checker's state, suitable for
+    /// [`crate::Simulation::add_observer`].
+    pub fn observer(&self) -> Box<dyn Observer> {
+        Box::new(CheckerObserver {
+            state: self.state.clone(),
+        })
+    }
+
+    /// Feeds one event directly (for replaying recorded streams).
+    pub fn observe(&self, event: &SimEvent) {
+        self.state.borrow_mut().on_event(event);
+    }
+
+    /// The violations recorded so far.
+    pub fn violations(&self) -> Vec<InvariantViolation> {
+        self.state.borrow().violations.clone()
+    }
+
+    /// Cross-checks the final report against the event stream and returns
+    /// *all* violations (stream-level and report-level).
+    pub fn check_report(&self, report: &Report) -> Vec<InvariantViolation> {
+        let mut state = self.state.borrow_mut();
+        state.check_report(report);
+        state.violations.clone()
+    }
+
+    /// Panics with every violation listed unless the run was clean.
+    /// Intended for tests.
+    pub fn assert_clean(&self, report: &Report) {
+        let violations = self.check_report(report);
+        if !violations.is_empty() {
+            let lines: Vec<String> = violations.iter().map(|v| v.to_string()).collect();
+            panic!(
+                "{} invariant violation(s):\n{}",
+                violations.len(),
+                lines.join("\n")
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use elastisim_workload::{ApplicationModel, Phase};
+
+    fn rigid(id: u64, submit: f64, nodes: u32) -> JobSpec {
+        JobSpec::rigid(
+            id,
+            submit,
+            nodes,
+            ApplicationModel::new(vec![Phase::once("p", vec![])]),
+        )
+    }
+
+    fn malleable(id: u64, submit: f64, min: u32, max: u32) -> JobSpec {
+        JobSpec::malleable(
+            id,
+            submit,
+            min,
+            max,
+            ApplicationModel::new(vec![Phase::once("p", vec![])]),
+        )
+    }
+
+    fn submitted(time: f64, job: u64) -> SimEvent {
+        SimEvent::JobSubmitted {
+            time,
+            job: JobId(job),
+        }
+    }
+
+    fn started(time: f64, job: u64, nodes: &[u32]) -> SimEvent {
+        SimEvent::JobStarted {
+            time,
+            job: JobId(job),
+            nodes: nodes.iter().map(|&n| NodeId(n)).collect(),
+        }
+    }
+
+    fn completed(time: f64, job: u64, nodes: &[u32]) -> SimEvent {
+        SimEvent::JobCompleted {
+            time,
+            job: JobId(job),
+            outcome: Outcome::Completed,
+            released: nodes.iter().map(|&n| NodeId(n)).collect(),
+        }
+    }
+
+    fn rules(checker: &InvariantChecker) -> Vec<&'static str> {
+        checker.violations().iter().map(|v| v.rule).collect()
+    }
+
+    #[test]
+    fn clean_stream_has_no_violations() {
+        let checker = InvariantChecker::new(&[rigid(1, 0.0, 2)], 4);
+        checker.observe(&submitted(0.0, 1));
+        checker.observe(&started(10.0, 1, &[0, 1]));
+        checker.observe(&completed(50.0, 1, &[0, 1]));
+        assert!(
+            checker.violations().is_empty(),
+            "{:?}",
+            checker.violations()
+        );
+    }
+
+    #[test]
+    fn double_assignment_is_caught_with_the_offending_event() {
+        let checker = InvariantChecker::new(&[rigid(1, 0.0, 1), rigid(2, 0.0, 1)], 4);
+        checker.observe(&submitted(0.0, 1));
+        checker.observe(&submitted(0.0, 2));
+        checker.observe(&started(1.0, 1, &[0]));
+        checker.observe(&started(2.0, 2, &[0]));
+        let violations = checker.violations();
+        assert_eq!(violations.len(), 1, "{violations:?}");
+        assert_eq!(violations[0].rule, "node-double-assigned");
+        let event = violations[0].event.as_deref().unwrap();
+        assert!(event.contains(r#""event":"job_started""#), "{event}");
+    }
+
+    #[test]
+    fn time_must_be_monotone() {
+        let checker = InvariantChecker::new(&[rigid(1, 0.0, 1)], 4);
+        checker.observe(&submitted(5.0, 1));
+        checker.observe(&started(3.0, 1, &[0]));
+        assert_eq!(rules(&checker), vec!["time-not-monotone"]);
+    }
+
+    #[test]
+    fn rigid_job_must_start_at_its_size_and_never_resize() {
+        let checker = InvariantChecker::new(&[rigid(1, 0.0, 2)], 8);
+        checker.observe(&submitted(0.0, 1));
+        checker.observe(&started(1.0, 1, &[0, 1, 2]));
+        assert!(rules(&checker).contains(&"size-out-of-range"));
+        assert!(rules(&checker).contains(&"fixed-size-violated"));
+
+        let checker = InvariantChecker::new(&[rigid(1, 0.0, 2)], 8);
+        checker.observe(&submitted(0.0, 1));
+        checker.observe(&started(1.0, 1, &[0, 1]));
+        checker.observe(&SimEvent::JobReconfigured {
+            time: 2.0,
+            job: JobId(1),
+            added: vec![NodeId(2)],
+            removed: vec![],
+            new_size: 3,
+        });
+        assert!(rules(&checker).contains(&"inelastic-reconfigured"));
+    }
+
+    #[test]
+    fn malleable_resizes_legally_but_not_outside_range() {
+        let checker = InvariantChecker::new(&[malleable(1, 0.0, 1, 3)], 8);
+        checker.observe(&submitted(0.0, 1));
+        checker.observe(&started(1.0, 1, &[0, 1]));
+        checker.observe(&SimEvent::JobReconfigured {
+            time: 2.0,
+            job: JobId(1),
+            added: vec![NodeId(2)],
+            removed: vec![NodeId(0)],
+            new_size: 2,
+        });
+        checker.observe(&completed(9.0, 1, &[1, 2]));
+        assert!(
+            checker.violations().is_empty(),
+            "{:?}",
+            checker.violations()
+        );
+
+        let checker = InvariantChecker::new(&[malleable(1, 0.0, 1, 2)], 8);
+        checker.observe(&submitted(0.0, 1));
+        checker.observe(&started(1.0, 1, &[0, 1]));
+        checker.observe(&SimEvent::JobReconfigured {
+            time: 2.0,
+            job: JobId(1),
+            added: vec![NodeId(2)],
+            removed: vec![],
+            new_size: 3,
+        });
+        assert!(rules(&checker).contains(&"size-out-of-range"));
+    }
+
+    #[test]
+    fn state_machine_rejects_out_of_order_events() {
+        let checker = InvariantChecker::new(&[rigid(1, 0.0, 1)], 4);
+        checker.observe(&started(1.0, 1, &[0])); // never submitted
+        assert_eq!(rules(&checker), vec!["illegal-transition"]);
+
+        let checker = InvariantChecker::new(&[rigid(1, 0.0, 1)], 4);
+        checker.observe(&submitted(0.0, 1));
+        checker.observe(&started(1.0, 1, &[0]));
+        checker.observe(&completed(2.0, 1, &[0]));
+        checker.observe(&completed(3.0, 1, &[0]));
+        assert_eq!(rules(&checker), vec!["illegal-transition"]);
+    }
+
+    #[test]
+    fn release_must_match_holdings() {
+        let checker = InvariantChecker::new(&[rigid(1, 0.0, 2)], 4);
+        checker.observe(&submitted(0.0, 1));
+        checker.observe(&started(1.0, 1, &[0, 1]));
+        checker.observe(&completed(2.0, 1, &[0])); // keeps node 1
+        assert!(rules(&checker).contains(&"release-mismatch"));
+    }
+
+    #[test]
+    fn failure_and_repair_tracking() {
+        let checker = InvariantChecker::new(&[rigid(1, 0.0, 1)], 4);
+        checker.observe(&SimEvent::NodeFailed {
+            time: 1.0,
+            node: NodeId(0),
+        });
+        checker.observe(&submitted(1.0, 1));
+        checker.observe(&started(2.0, 1, &[0]));
+        assert!(rules(&checker).contains(&"allocation-on-failed-node"));
+
+        let checker = InvariantChecker::new(&[], 4);
+        checker.observe(&SimEvent::NodeRepaired {
+            time: 1.0,
+            node: NodeId(2),
+        });
+        assert_eq!(rules(&checker), vec!["repair-of-healthy-node"]);
+    }
+
+    #[test]
+    fn report_cross_check_catches_tampering() {
+        let checker = InvariantChecker::new(&[rigid(1, 0.0, 2)], 4);
+        checker.observe(&submitted(0.0, 1));
+        checker.observe(&started(10.0, 1, &[0, 1]));
+        checker.observe(&completed(50.0, 1, &[0, 1]));
+        let mut report = Report {
+            total_nodes: 4,
+            ..Report::default()
+        };
+        report.jobs.push(crate::stats::JobRecord {
+            id: JobId(1),
+            class: JobClass::Rigid,
+            submit: 0.0,
+            start: Some(10.0),
+            end: Some(50.0),
+            outcome: Outcome::Completed,
+            node_seconds: 80.0,
+            max_nodes_held: 2,
+            reconfigs: 0,
+            evolving_latencies: vec![],
+        });
+        report.utilization.points = vec![(0.0, 0), (10.0, 2), (50.0, 0)];
+        // A faithful report passes (gantt disabled ⇒ span check skipped).
+        assert!(checker.check_report(&report).is_empty());
+        // Tampering with the integral is caught.
+        report.jobs[0].node_seconds = 99.0;
+        let violations = checker.check_report(&report);
+        assert!(violations
+            .iter()
+            .any(|v| v.rule == "report-mismatch" && v.message.contains("node_seconds")));
+    }
+}

@@ -56,6 +56,7 @@ mod decisions;
 mod driver;
 mod engine;
 mod exec;
+pub mod invariant;
 mod lifecycle;
 pub mod observe;
 mod stats;
@@ -65,6 +66,7 @@ pub use config::{FailureModel, ReconfigCost, SimConfig};
 pub use driver::{SchedulerDriver, SimError};
 pub use engine::Simulation;
 pub use exec::ExecError;
+pub use invariant::{InvariantChecker, InvariantViolation};
 pub use observe::{EventTraceWriter, Observer, SimEvent};
 pub use stats::{
     GanttEntry, JobRecord, Outcome, Report, Summary, UtilizationSeries, Warning, WarningKind,

@@ -20,7 +20,7 @@ pub enum Outcome {
 }
 
 /// Per-job accounting.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct JobRecord {
     /// Job id.
     pub id: JobId,
@@ -73,7 +73,7 @@ impl JobRecord {
 }
 
 /// One allocation interval for the Gantt trace.
-#[derive(Clone, Debug, PartialEq)]
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub struct GanttEntry {
     /// The job.
     pub job: JobId,
@@ -87,7 +87,7 @@ pub struct GanttEntry {
 
 /// Change-point series of the number of allocated nodes over time; exact
 /// (not sampled), so any utilization plot can be derived.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
 pub struct UtilizationSeries {
     /// `(time, allocated nodes)` — the count holds from this instant until
     /// the next entry.
@@ -194,7 +194,7 @@ impl std::fmt::Display for Warning {
 }
 
 /// Aggregate metrics over the completed jobs of a run.
-#[derive(Clone, Copy, Debug, Default)]
+#[derive(Clone, Copy, Debug, Default, Serialize, Deserialize)]
 pub struct Summary {
     /// Number of jobs that completed normally.
     pub completed: usize,
@@ -213,7 +213,11 @@ pub struct Summary {
 }
 
 /// Full result of one simulation run.
-#[derive(Clone, Debug, Default)]
+///
+/// Serializes to JSON in full — the conformance harness pins golden
+/// snapshots of it and uses the serialized form as a determinism
+/// fingerprint (equal seeds must give byte-identical reports).
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
 pub struct Report {
     /// Per-job records, ascending id.
     pub jobs: Vec<JobRecord>,

@@ -1,0 +1,254 @@
+//! Seeded scenario generation: one `u64` seed → a full platform ×
+//! workload × configuration combination.
+//!
+//! All choices are derived through a SplitMix64 stream seeded with the
+//! scenario seed, so there is no ambient randomness anywhere: the seed
+//! printed in a failing test message replays the identical scenario. The
+//! parameter ranges are chosen to cross every interesting axis — platform
+//! size, class mix (including evolving jobs), arrival process, size
+//! distribution, walltime pressure, reconfiguration cost, failure
+//! injection, and scheduler invocation granularity — while keeping each
+//! run small enough that hundreds fit in a test suite.
+
+use elastisim::{
+    FailureModel, InvariantChecker, InvariantViolation, ReconfigCost, Report, SimConfig, Simulation,
+};
+use elastisim_platform::{NodeSpec, PlatformSpec};
+use elastisim_workload::{
+    ArrivalProcess, ClassMix, Distribution, JobSpec, SizeDistribution, WorkloadConfig,
+};
+
+/// SplitMix64: the same tiny deterministic generator the engine uses for
+/// failure injection. Good enough to derive independent-looking choices
+/// from one seed, trivially reproducible in any language.
+struct SplitMix64(u64);
+
+impl SplitMix64 {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in `0..n`.
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n
+    }
+
+    /// Uniform in `[0, 1)`.
+    fn unit(&mut self) -> f64 {
+        (self.next() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+/// One fully specified simulation scenario, reproducible from its seed.
+#[derive(Clone, Copy, Debug)]
+pub struct Scenario {
+    /// The seed everything below was derived from.
+    pub seed: u64,
+    /// Platform size, nodes.
+    pub nodes: u32,
+    /// Workload generator configuration (carries its own derived seed).
+    pub workload: WorkloadConfig,
+    /// Scheduling interval, seconds.
+    pub interval: f64,
+    /// Reconfiguration cost model.
+    pub reconfig_cost: ReconfigCost,
+    /// Node-failure injection, if any.
+    pub failures: Option<FailureModel>,
+    /// Whether the scheduler is also invoked at job scheduling points.
+    pub fine_grained: bool,
+}
+
+impl Scenario {
+    /// Derives a scenario from `seed`. Equal seeds give equal scenarios.
+    pub fn from_seed(seed: u64) -> Scenario {
+        let mut rng = SplitMix64(seed);
+        let nodes = [8u32, 16, 32][rng.below(3) as usize];
+        let num_jobs = 4 + rng.below(14) as usize;
+
+        let mix = match rng.below(5) {
+            0 => ClassMix {
+                rigid: 1.0,
+                moldable: 0.0,
+                malleable: 0.0,
+                evolving: 0.0,
+            },
+            1 => ClassMix {
+                rigid: 0.5,
+                moldable: 0.0,
+                malleable: 0.5,
+                evolving: 0.0,
+            },
+            2 => ClassMix {
+                rigid: 0.0,
+                moldable: 0.0,
+                malleable: 1.0,
+                evolving: 0.0,
+            },
+            3 => ClassMix {
+                rigid: 0.4,
+                moldable: 0.2,
+                malleable: 0.3,
+                evolving: 0.1,
+            },
+            _ => ClassMix {
+                rigid: 0.2,
+                moldable: 0.0,
+                malleable: 0.3,
+                evolving: 0.5,
+            },
+        };
+
+        let arrival = match rng.below(3) {
+            0 => ArrivalProcess::Poisson {
+                mean_interarrival: 50.0 + rng.unit() * 350.0,
+            },
+            1 => ArrivalProcess::Periodic {
+                interval: 60.0 + rng.unit() * 240.0,
+            },
+            _ => ArrivalProcess::AllAtOnce,
+        };
+
+        let size = if rng.below(2) == 0 {
+            SizeDistribution::Uniform {
+                min: 1,
+                max: (nodes * 3 / 4).max(1),
+            }
+        } else {
+            SizeDistribution::PowersOfTwo {
+                min: 1,
+                max: (nodes / 2).max(1),
+            }
+        };
+
+        let mut workload = WorkloadConfig::new(num_jobs)
+            .with_platform_nodes(nodes)
+            .with_mix(mix)
+            .with_arrival(arrival)
+            .with_sizes(size)
+            .with_seed(rng.next());
+        workload.runtime = Distribution::Uniform {
+            lo: 60.0,
+            hi: 900.0,
+        };
+        workload.walltime_factor = [0.0, 0.0, 1.2, 3.0][rng.below(4) as usize];
+
+        let interval = [30.0, 60.0, 120.0][rng.below(3) as usize];
+        let reconfig_cost = match rng.below(3) {
+            0 => ReconfigCost::Free,
+            1 => ReconfigCost::Fixed(5.0),
+            _ => ReconfigCost::DataVolume {
+                bytes_per_node: 1.0e9,
+            },
+        };
+        let failures = (rng.below(4) == 0).then(|| FailureModel {
+            node_mtbf: 2.0e5 + rng.unit() * 8.0e5,
+            repair_time: 600.0,
+            seed: rng.next(),
+        });
+        let fine_grained = rng.below(8) == 0;
+
+        Scenario {
+            seed,
+            nodes,
+            workload,
+            interval,
+            reconfig_cost,
+            failures,
+            fine_grained,
+        }
+    }
+
+    /// The scenario's platform.
+    pub fn platform(&self) -> PlatformSpec {
+        PlatformSpec::homogeneous(
+            format!("fuzz-{}", self.seed),
+            self.nodes as usize,
+            NodeSpec::default(),
+        )
+    }
+
+    /// The scenario's workload (regenerated on every call — deterministic).
+    pub fn jobs(&self) -> Vec<JobSpec> {
+        self.workload.generate()
+    }
+
+    /// The scenario's simulation configuration.
+    pub fn config(&self) -> SimConfig {
+        let mut cfg = SimConfig::default()
+            .with_interval(self.interval)
+            .with_reconfig_cost(self.reconfig_cost);
+        if let Some(failures) = self.failures {
+            cfg = cfg.with_failures(failures);
+        }
+        cfg.invoke_on_scheduling_point = self.fine_grained;
+        cfg
+    }
+}
+
+/// A checked run: the report plus every invariant violation found.
+pub struct ConformanceRun {
+    /// The final report.
+    pub report: Report,
+    /// Stream- and report-level invariant violations (empty = clean).
+    pub violations: Vec<InvariantViolation>,
+}
+
+/// Runs `scenario` under the named in-process scheduler with the invariant
+/// checker attached. Panics (naming the seed) only on setup errors; legal
+/// invariant violations are returned, not thrown.
+pub fn run_checked(scenario: &Scenario, scheduler: &str) -> ConformanceRun {
+    let platform = scenario.platform();
+    let jobs = scenario.jobs();
+    let checker = InvariantChecker::new(&jobs, platform.nodes.len());
+    let sched = elastisim_sched::by_name(scheduler)
+        .unwrap_or_else(|| panic!("unknown scheduler `{scheduler}`"));
+    let mut sim = Simulation::new(&platform, jobs, sched, scenario.config())
+        .unwrap_or_else(|e| panic!("scenario seed {}: invalid setup: {e}", scenario.seed));
+    sim.add_observer(checker.observer());
+    let report = sim.run();
+    let violations = checker.check_report(&report);
+    ConformanceRun { report, violations }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scenarios_are_deterministic_in_the_seed() {
+        for seed in [0, 1, 42, u64::MAX] {
+            let a = Scenario::from_seed(seed);
+            let b = Scenario::from_seed(seed);
+            assert_eq!(format!("{a:?}"), format!("{b:?}"));
+            assert_eq!(a.jobs(), b.jobs());
+        }
+    }
+
+    #[test]
+    fn scenarios_vary_across_seeds() {
+        let distinct: std::collections::HashSet<String> = (0..64)
+            .map(|s| format!("{:?}", Scenario::from_seed(s)))
+            .collect();
+        assert!(distinct.len() > 32, "only {} distinct", distinct.len());
+    }
+
+    #[test]
+    fn generated_workloads_validate_against_their_platform() {
+        for seed in 0..32 {
+            let sc = Scenario::from_seed(seed);
+            elastisim_workload::validate_workload(&sc.jobs(), sc.nodes as usize)
+                .unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+        }
+    }
+
+    #[test]
+    fn run_checked_is_clean_on_a_known_seed() {
+        let run = run_checked(&Scenario::from_seed(7), "fcfs");
+        assert!(run.violations.is_empty(), "{:?}", run.violations);
+        assert!(!run.report.jobs.is_empty());
+    }
+}

@@ -1,0 +1,100 @@
+//! Property tests for the SWF parser/writer, plus realistic header
+//! fixtures modeled on Parallel Workloads Archive traces.
+
+use elastisim_workload::{parse_swf, to_swf, SwfJob};
+use proptest::prelude::*;
+
+/// Deterministic per-case generator (SplitMix64), mirroring the scheme the
+/// conformance harness uses: every random choice flows from one seed.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n
+    }
+}
+
+/// An arbitrary but SWF-representable job: ids stay below 2^40 (the
+/// parser reads every field through `f64`, exact only up to 2^53), times
+/// are quarter-second multiples so `Display → parse` is lossless without
+/// relying on long decimal expansions.
+fn arbitrary_job(rng: &mut Rng) -> SwfJob {
+    SwfJob {
+        job_id: rng.below(1 << 40),
+        submit: rng.below(4_000_000) as f64 / 4.0,
+        runtime: rng.below(400_000) as f64 / 4.0,
+        procs: 1 + rng.below(4096) as u32,
+        requested_time: (rng.below(2) == 0).then(|| (1 + rng.below(400_000)) as f64 / 4.0),
+        status: if rng.below(2) == 0 { 1 } else { 0 },
+    }
+}
+
+proptest! {
+    /// Round-trip oracle: serialize → parse recovers every field the
+    /// simulator consumes, for arbitrary record batches.
+    #[test]
+    fn swf_roundtrips_through_writer_and_parser(seed in any::<u64>()) {
+        let mut rng = Rng(seed);
+        let jobs: Vec<SwfJob> = (0..1 + rng.below(40)).map(|_| arbitrary_job(&mut rng)).collect();
+        let text = to_swf(&jobs);
+        let back = parse_swf(&text).unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+        prop_assert_eq!(jobs, back, "seed {} broke the round-trip", seed);
+        // And a second lap: the writer's own output is a fixed point.
+        let again = parse_swf(&to_swf(&parse_swf(&text).unwrap())).unwrap();
+        prop_assert_eq!(parse_swf(&text).unwrap(), again);
+    }
+
+    /// A malformed line injected anywhere in an otherwise valid file is
+    /// rejected with an error naming exactly that line.
+    #[test]
+    fn malformed_line_errors_carry_the_line_number(seed in any::<u64>()) {
+        let mut rng = Rng(seed);
+        let jobs: Vec<SwfJob> = (0..1 + rng.below(20)).map(|_| arbitrary_job(&mut rng)).collect();
+        let mut lines: Vec<String> = to_swf(&jobs).lines().map(String::from).collect();
+        let garbage = ["1 2 3", "not numbers at all here x x x x x x x x", "9 9 9 bogus 9 9 9 9 9 9 9"];
+        let bad = garbage[rng.below(3) as usize];
+        let at = 1 + rng.below(lines.len() as u64) as usize; // after the header comment
+        lines.insert(at, bad.to_string());
+        let err = parse_swf(&lines.join("\n")).expect_err("garbage line must be rejected");
+        let msg = err.to_string();
+        prop_assert!(
+            msg.contains(&format!("line {}", at + 1)),
+            "seed {}: error `{}` does not name line {}",
+            seed, msg, at + 1
+        );
+    }
+}
+
+/// The fixture headers follow the PWA conventions (`; Field: value`
+/// preamble, 18-field records); the parser must skip all of it and read
+/// the jobs.
+#[test]
+fn parses_archive_style_header_fixtures() {
+    let dir = std::path::PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures");
+    let expected = [
+        ("cluster-a.swf", 4),
+        ("cluster-b.swf", 3),
+        ("cluster-c.swf", 2),
+    ];
+    for (name, jobs) in expected {
+        let text = std::fs::read_to_string(dir.join(name)).unwrap();
+        let parsed = parse_swf(&text).unwrap_or_else(|e| panic!("{name}: {e}"));
+        assert_eq!(parsed.len(), jobs, "{name}");
+        for job in &parsed {
+            assert!(
+                job.procs >= 1,
+                "{name}: job {} has no processors",
+                job.job_id
+            );
+            assert!(job.runtime >= 0.0);
+        }
+    }
+}

@@ -2,18 +2,33 @@
 //!
 //! Spawns the `external_fcfs` helper binary (built from `src/bin/`) as a
 //! real child process speaking the JSON-lines wire protocol, and asserts
-//! that the resulting report is byte-identical to an in-process FCFS run.
-//! The helper's failure-injection modes exercise the structured errors:
+//! that the resulting report is byte-identical to an in-process FCFS run —
+//! on a fixed workload and on randomized conformance scenarios. The
+//! helper's failure-injection modes exercise the structured errors:
 //! version mismatch, child crash, and an unresponsive scheduler.
 
 use std::time::Duration;
 
-use elastisim::{gantt_csv, jobs_csv, utilization_csv, Report, SimConfig, Simulation};
+use elastisim::{
+    gantt_csv, jobs_csv, utilization_csv, InvariantChecker, Report, SimConfig, Simulation,
+};
 use elastisim_platform::{NodeSpec, PlatformSpec};
 use elastisim_sched::{ExternalProcess, FcfsScheduler};
 use elastisim_workload::{ArrivalProcess, JobSpec, SizeDistribution, WorkloadConfig};
+use simtest::{fingerprint, scenario::run_checked, Scenario};
 
 const EXTERNAL_FCFS: &str = env!("CARGO_BIN_EXE_external_fcfs");
+
+/// The `--hang` test's timeout, milliseconds. Kept short locally so the
+/// suite is fast, but configurable for loaded CI machines where a slow
+/// fork/exec could masquerade as responsiveness within a tight window.
+fn hang_timeout() -> Duration {
+    let ms = std::env::var("ELASTISIM_TEST_HANG_TIMEOUT_MS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(300);
+    Duration::from_millis(ms)
+}
 
 fn workload() -> Vec<JobSpec> {
     WorkloadConfig::new(25)
@@ -101,8 +116,46 @@ fn garbage_response_is_a_structured_error() {
 
 #[test]
 fn unresponsive_scheduler_times_out_instead_of_hanging() {
-    let err = run_external(Some("--hang"), Duration::from_millis(300))
-        .expect_err("hang must hit the timeout");
+    let err = run_external(Some("--hang"), hang_timeout()).expect_err("hang must hit the timeout");
     let msg = err.to_string();
     assert!(msg.contains("unresponsive"), "unexpected error: {msg}");
+}
+
+/// Transport-equivalence oracle over randomized scenarios: for each seed,
+/// the in-process FCFS run and the external-process FCFS run must produce
+/// byte-identical reports, and the external run must be invariant-clean.
+/// Failure messages carry the seed for replay.
+#[test]
+fn external_transport_is_equivalent_on_randomized_scenarios() {
+    for seed in [2u64, 5, 8, 13] {
+        let scenario = Scenario::from_seed(seed);
+        let local = run_checked(&scenario, "fcfs");
+        assert!(
+            local.violations.is_empty(),
+            "seed {seed} in-process: {:?}",
+            local.violations
+        );
+
+        let platform = scenario.platform();
+        let jobs = scenario.jobs();
+        let checker = InvariantChecker::new(&jobs, platform.nodes.len());
+        let transport =
+            ExternalProcess::spawn(&[EXTERNAL_FCFS.to_string()], Duration::from_secs(30))
+                .expect("spawning helper binary");
+        let mut sim =
+            Simulation::with_transport(&platform, jobs, Box::new(transport), scenario.config())
+                .expect("valid scenario");
+        sim.add_observer(checker.observer());
+        let remote = sim.try_run().expect("external run");
+        let violations = checker.check_report(&remote);
+        assert!(
+            violations.is_empty(),
+            "seed {seed} external: {violations:?}"
+        );
+        assert_eq!(
+            fingerprint(&local.report),
+            fingerprint(&remote),
+            "seed {seed}: transports diverged"
+        );
+    }
 }

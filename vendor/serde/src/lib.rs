@@ -257,6 +257,16 @@ impl Serialize for Value {
     }
 }
 
+impl<A: Serialize, B: Serialize> Serialize for (A, B) {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        let seq = vec![
+            to_value(&self.0).map_err(|e| ser::Error::custom(e))?,
+            to_value(&self.1).map_err(|e| ser::Error::custom(e))?,
+        ];
+        serializer.serialize_value(Value::Seq(seq))
+    }
+}
+
 // ---------------------------------------------------------------------
 // Deserialize impls for std types
 // ---------------------------------------------------------------------
@@ -373,6 +383,25 @@ impl<'de, T: DeserializeOwned> Deserialize<'de> for Vec<T> {
 impl<'de> Deserialize<'de> for Value {
     fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
         deserializer.take_value()
+    }
+}
+
+impl<'de, A: DeserializeOwned, B: DeserializeOwned> Deserialize<'de> for (A, B) {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        match deserializer.take_value()? {
+            Value::Seq(items) if items.len() == 2 => {
+                let mut it = items.into_iter();
+                let a = from_value(it.next().expect("length checked"))
+                    .map_err(|e| de::Error::custom(format!("tuple element 0: {e}")))?;
+                let b = from_value(it.next().expect("length checked"))
+                    .map_err(|e| de::Error::custom(format!("tuple element 1: {e}")))?;
+                Ok((a, b))
+            }
+            other => Err(de::Error::custom(format!(
+                "expected 2-element sequence, found {}",
+                type_name(&other)
+            ))),
+        }
     }
 }
 
