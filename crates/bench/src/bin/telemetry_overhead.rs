@@ -1,0 +1,142 @@
+//! Telemetry overhead gate: runs the flow-churn workload with telemetry
+//! off and on, reports both, and fails (exit 1) when the enabled run is
+//! more than 5% slower.
+//!
+//! The workload is the same node-local churn stream as the `flow_churn`
+//! criterion bench — the hot path the zero-sink guarantee protects. Each
+//! arm runs several repetitions and the *minimum* wall time is compared,
+//! which discards scheduler-noise outliers that would make a percentage
+//! gate flaky in CI.
+//!
+//! Usage: `telemetry-overhead [--smoke] [--metrics-out FILE]`
+//!
+//! `--smoke` shrinks the population and event budget so CI finishes in
+//! seconds; `--metrics-out` writes the enabled arm's final metrics
+//! snapshot as JSON (uploaded as a CI artifact).
+
+use std::time::Instant;
+
+use elastisim_des::{ActivitySpec, ResourceId, Simulator};
+use elastisim_telemetry::Telemetry;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Resources per node-local cluster; activities never span clusters.
+const CLUSTER: usize = 4;
+
+/// Exponential variate with the given mean.
+fn exp_sample(rng: &mut StdRng, mean: f64) -> f64 {
+    -mean * rng.gen_range(f64::MIN_POSITIVE..1.0).ln()
+}
+
+/// One random activity spec: exponential work on one or two resources of
+/// one cluster.
+fn random_spec(rng: &mut StdRng, resources: &[ResourceId]) -> ActivitySpec {
+    let work = exp_sample(rng, 600.0);
+    let base = rng.gen_range(0..resources.len() / CLUSTER) * CLUSTER;
+    let a = resources[base + rng.gen_range(0..CLUSTER)];
+    let spec = ActivitySpec::new(work, [a]);
+    if rng.gen_bool(0.5) {
+        let b = resources[base + rng.gen_range(0..CLUSTER)];
+        if b != a {
+            return spec.with_usage(b, 1.0);
+        }
+    }
+    spec
+}
+
+/// Runs `events` churn events over a steady-state population of
+/// `n_activities`, with the given telemetry handle attached. Returns the
+/// wall time and the delivered-event count (consumed so the work cannot
+/// be optimized away).
+fn churn(n_activities: usize, events: usize, telemetry: Telemetry) -> (f64, u64) {
+    let mut rng = StdRng::seed_from_u64(0x5EED);
+    let mut sim: Simulator<()> = Simulator::new();
+    sim.set_telemetry(telemetry);
+    let n_resources = ((n_activities / 16).max(8) / CLUSTER) * CLUSTER;
+    let resources: Vec<ResourceId> = (0..n_resources).map(|_| sim.add_resource(100.0)).collect();
+    for _ in 0..n_activities {
+        let spec = random_spec(&mut rng, &resources);
+        sim.start_activity(spec, ());
+    }
+    let t0 = Instant::now();
+    let mut delivered = 0u64;
+    while (delivered as usize) < events {
+        let Some((_t, ())) = sim.step() else { break };
+        delivered += 1;
+        let spec = random_spec(&mut rng, &resources);
+        sim.start_activity(spec, ());
+    }
+    (t0.elapsed().as_secs_f64(), sim.events_delivered())
+}
+
+/// Best-of-`reps` wall time per arm, interleaved off/on/off/on so clock
+/// drift and thermal throttling hit both arms equally; checks both arms
+/// deliver the same event count (telemetry must not change behavior).
+fn measure(reps: usize, n_activities: usize, events: usize) -> ((f64, u64), (f64, u64)) {
+    let mut best = [f64::INFINITY; 2];
+    let mut delivered = [0u64; 2];
+    for _ in 0..reps {
+        for (arm, telemetry) in [(0, Telemetry::disabled()), (1, Telemetry::enabled())] {
+            let (wall, n) = churn(n_activities, events, telemetry);
+            best[arm] = best[arm].min(wall);
+            delivered[arm] = n;
+        }
+    }
+    ((best[0], delivered[0]), (best[1], delivered[1]))
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let metrics_out = args
+        .iter()
+        .position(|a| a == "--metrics-out")
+        .map(|i| args.get(i + 1).expect("--metrics-out needs a path").clone());
+    for a in &args {
+        if a.starts_with("--") && a != "--smoke" && a != "--metrics-out" {
+            eprintln!("unknown option {a}");
+            std::process::exit(2);
+        }
+    }
+
+    let (n_activities, events, reps) = if smoke {
+        (2_000, 20_000, 5)
+    } else {
+        (10_000, 200_000, 5)
+    };
+
+    println!(
+        "telemetry overhead gate ({n_activities} activities, {events} events, best of {reps})"
+    );
+    let ((off, delivered_off), (on, delivered_on)) = measure(reps, n_activities, events);
+    assert_eq!(
+        delivered_off, delivered_on,
+        "telemetry changed simulation behavior"
+    );
+    let overhead = (on - off) / off;
+    println!(
+        "  off : {off:.4} s  ({:.0} events/s)",
+        delivered_off as f64 / off
+    );
+    println!(
+        "  on  : {on:.4} s  ({:.0} events/s)",
+        delivered_on as f64 / on
+    );
+    println!("  overhead: {:+.2} %", overhead * 100.0);
+
+    if let Some(path) = metrics_out {
+        // One more enabled run to produce a representative snapshot.
+        let telemetry = Telemetry::enabled();
+        churn(n_activities, events, telemetry.clone());
+        let json = serde_json::to_string_pretty(&telemetry.snapshot()).expect("serialize metrics");
+        std::fs::write(&path, json + "\n").expect("write metrics");
+        println!("  metrics written to {path}");
+    }
+
+    if overhead > 0.05 {
+        eprintln!("FAIL: telemetry overhead {:.2} % > 5 %", overhead * 100.0);
+        std::process::exit(1);
+    }
+    println!("PASS: overhead within 5 % budget");
+}

@@ -5,11 +5,12 @@ use std::fs;
 use std::path::Path;
 
 use elastisim::{
-    gantt_csv, jobs_csv, utilization_csv, EventTraceWriter, InvariantChecker, ReconfigCost, Report,
-    SimConfig, Simulation,
+    gantt_csv, jobs_csv, utilization_csv, ChromeTraceWriter, EventTraceWriter, InvariantChecker,
+    ReconfigCost, Report, SimConfig, Simulation, TimedObserver,
 };
 use elastisim_platform::{NodeSpec, PlatformSpec};
 use elastisim_sched::ExternalProcess;
+use elastisim_telemetry::Telemetry;
 use elastisim_workload::{parse_swf, ArrivalProcess, JobSpec, SizeDistribution, WorkloadConfig};
 
 use crate::args::{Args, UsageError};
@@ -58,7 +59,9 @@ USAGE:
                       [--scheduler-timeout S] [--interval S]
                       [--reconfig-cost free|fixed:S|data:BYTES]
                       [--seed N] [--check-invariants]
-                      [--trace-events FILE] [--out DIR]
+                      [--trace-events FILE] [--chrome-trace FILE]
+                      [--metrics-out FILE] [--progress [SECS]]
+                      [--out DIR]
   elastisim schedulers
   elastisim help
 
@@ -75,6 +78,14 @@ an unresponsive scheduler is killed after --scheduler-timeout (default
 every simulation event to FILE as JSON lines. --check-invariants
 attaches the runtime invariant checker and reports violations in the
 summary (see DESIGN.md §9).
+
+--chrome-trace writes the simulated timeline as Chrome trace-event
+JSON, loadable at https://ui.perfetto.dev (per-node job slices,
+scheduler invocations, flow re-solves). --metrics-out writes internal
+counters and latency histograms to FILE as JSON; either flag also
+appends the metrics to the printed summary (see DESIGN.md §10).
+--progress prints a heartbeat to stderr roughly every SECS wall-clock
+seconds (default 5).
 ";
 
 /// Parses a `--reconfig-cost` value: `free`, `fixed:SECONDS`, or
@@ -212,6 +223,9 @@ pub fn cmd_run(args: &Args) -> Result<(Report, String), CliError> {
         "interval",
         "reconfig-cost",
         "trace-events",
+        "chrome-trace",
+        "metrics-out",
+        "progress",
         "seed",
         "check-invariants",
         "out",
@@ -236,6 +250,34 @@ pub fn cmd_run(args: &Args) -> Result<(Report, String), CliError> {
     if let Some(rc) = args.get("reconfig-cost") {
         cfg = cfg.with_reconfig_cost(parse_reconfig_cost(rc)?);
     }
+    // Bare `--progress` parses as the boolean value "true"; a number is a
+    // custom heartbeat interval.
+    match args.get("progress") {
+        None => {}
+        Some("true") => cfg = cfg.with_progress(5.0),
+        Some(v) => {
+            let secs: f64 = v.parse().map_err(|_| {
+                UsageError(format!(
+                    "option `--progress`: `{v}` is not a number of seconds"
+                ))
+            })?;
+            if !secs.is_finite() || secs <= 0.0 {
+                return Err(UsageError("--progress interval must be > 0".into()).into());
+            }
+            cfg = cfg.with_progress(secs);
+        }
+    }
+
+    // Telemetry is off (and free) unless an output asked for it; the
+    // simulated-timeline buffer is only kept when a Chrome trace will
+    // consume it.
+    let chrome_trace = args.get("chrome-trace").map(String::from);
+    let metrics_out = args.get("metrics-out").map(String::from);
+    let telemetry = if chrome_trace.is_some() || metrics_out.is_some() {
+        Telemetry::with_timeline(chrome_trace.is_some())
+    } else {
+        Telemetry::disabled()
+    };
 
     let (mut sim, sched_label) = if let Some(cmd) = args.get("scheduler-cmd") {
         if args.get("scheduler").is_some() {
@@ -267,17 +309,41 @@ pub fn cmd_run(args: &Args) -> Result<(Report, String), CliError> {
         (sim, sched_name.to_string())
     };
 
+    sim.set_telemetry(telemetry.clone());
     if let Some(path) = args.get("trace-events") {
         let writer =
             EventTraceWriter::create(Path::new(path)).map_err(|e| CliError::Io(path.into(), e))?;
         sim.add_observer(Box::new(writer));
     }
+    if let Some(path) = &chrome_trace {
+        let writer = ChromeTraceWriter::create(Path::new(path), telemetry.clone())
+            .map_err(|e| CliError::Io(path.clone(), e))?;
+        sim.add_observer(Box::new(writer));
+    }
     if let Some(checker) = &checker {
-        sim.add_observer(checker.observer());
+        if telemetry.is_enabled() {
+            sim.add_observer(Box::new(TimedObserver::new(
+                checker.observer(),
+                telemetry.clone(),
+                "invariant.observe_seconds",
+            )));
+        } else {
+            sim.add_observer(checker.observer());
+        }
     }
 
     let report = sim.try_run().map_err(|e| CliError::Data(e.to_string()))?;
     let mut summary = render_summary(&report, &sched_label, effective_seed);
+    if telemetry.is_enabled() {
+        let snapshot = telemetry.snapshot();
+        if let Some(path) = &metrics_out {
+            let json = serde_json::to_string_pretty(&snapshot)
+                .map_err(|e| CliError::Data(format!("serializing metrics: {e}")))?;
+            fs::write(path, json + "\n").map_err(|e| CliError::Io(path.clone(), e))?;
+        }
+        summary.push_str("\nmetrics\n");
+        summary.push_str(&snapshot.render_text());
+    }
     if let Some(checker) = &checker {
         let violations = checker.check_report(&report);
         for v in &violations {
@@ -317,10 +383,18 @@ pub fn render_summary(report: &Report, scheduler: &str, seed: Option<u64>) -> St
     out.push_str(&format!("jobs killed      : {}\n", s.killed));
     out.push_str(&format!("makespan         : {:.1} s\n", s.makespan));
     out.push_str(&format!("mean wait        : {:.1} s\n", s.mean_wait));
+    out.push_str(&format!(
+        "wait p50/p95/p99 : {:.1} / {:.1} / {:.1} s\n",
+        s.p50_wait, s.p95_wait, s.p99_wait
+    ));
     out.push_str(&format!("mean turnaround  : {:.1} s\n", s.mean_turnaround));
     out.push_str(&format!(
         "mean bnd slowdown: {:.2}\n",
         s.mean_bounded_slowdown
+    ));
+    out.push_str(&format!(
+        "bslow p50/p95/p99: {:.2} / {:.2} / {:.2}\n",
+        s.p50_bounded_slowdown, s.p95_bounded_slowdown, s.p99_bounded_slowdown
     ));
     out.push_str(&format!(
         "utilization      : {:.1} %\n",
@@ -530,6 +604,130 @@ mod tests {
         assert!(text.contains(r#""event":"job_submitted""#), "{text}");
         assert!(text.contains(r#""event":"job_started""#), "{text}");
         assert!(text.contains(r#""event":"job_completed""#), "{text}");
+        fs::remove_dir_all(dir).unwrap();
+    }
+
+    #[test]
+    fn run_writes_chrome_trace_and_metrics() {
+        let dir = tmpdir();
+        let p = dir.join("platform.json");
+        let j = dir.join("jobs.json");
+        let trace = dir.join("trace.json");
+        let metrics = dir.join("metrics.json");
+        cmd_platform(
+            &Args::parse(["platform", "--nodes", "8", "--out", p.to_str().unwrap()]).unwrap(),
+        )
+        .unwrap();
+        cmd_generate(
+            &Args::parse([
+                "generate",
+                "--nodes",
+                "8",
+                "--jobs",
+                "6",
+                "--malleable",
+                "0.5",
+                "--out",
+                j.to_str().unwrap(),
+            ])
+            .unwrap(),
+        )
+        .unwrap();
+        let args = Args::parse([
+            "run",
+            "--platform",
+            p.to_str().unwrap(),
+            "--jobs",
+            j.to_str().unwrap(),
+            "--scheduler",
+            "elastic",
+            "--check-invariants",
+            "--chrome-trace",
+            trace.to_str().unwrap(),
+            "--metrics-out",
+            metrics.to_str().unwrap(),
+            "--progress",
+            "60",
+        ])
+        .unwrap();
+        let (_, summary) = cmd_run(&args).unwrap();
+        assert!(summary.contains("metrics"), "{summary}");
+        assert!(summary.contains("sched.invocations"), "{summary}");
+        assert!(summary.contains("wait p50/p95/p99"), "{summary}");
+
+        // Walk the vendored `Value` tree (it has no indexing sugar).
+        fn get<'a>(v: &'a serde::Value, key: &str) -> &'a serde::Value {
+            match v {
+                serde::Value::Map(m) => &m.iter().find(|(k, _)| k == key).expect(key).1,
+                other => panic!("expected map with `{key}`, got {other:?}"),
+            }
+        }
+        fn str_of<'a>(v: &'a serde::Value, key: &str) -> &'a str {
+            match get(v, key) {
+                serde::Value::Str(s) => s,
+                other => panic!("expected string `{key}`, got {other:?}"),
+            }
+        }
+
+        let trace_text = fs::read_to_string(&trace).unwrap();
+        let doc: serde::Value = serde_json::from_str(&trace_text).unwrap();
+        let serde::Value::Seq(events) = get(&doc, "traceEvents") else {
+            panic!("traceEvents is not an array");
+        };
+        assert!(
+            events.iter().any(|e| str_of(e, "ph") == "X"),
+            "no job slices"
+        );
+        assert!(
+            events
+                .iter()
+                .any(|e| str_of(e, "ph") == "i" && str_of(e, "name").starts_with("invoke")),
+            "no scheduler instants"
+        );
+        assert!(
+            events.iter().any(|e| str_of(e, "name") == "flow.resolve"),
+            "flow timeline missing"
+        );
+
+        let metrics_text = fs::read_to_string(&metrics).unwrap();
+        let m: serde::Value = serde_json::from_str(&metrics_text).unwrap();
+        let serde::Value::Num(invocations) = get(get(&m, "counters"), "sched.invocations") else {
+            panic!("sched.invocations missing");
+        };
+        assert!(*invocations > 0.0);
+        let serde::Value::Num(observed) = get(
+            get(get(&m, "histograms"), "invariant.observe_seconds"),
+            "count",
+        ) else {
+            panic!("invariant.observe_seconds missing");
+        };
+        assert!(*observed > 0.0);
+        fs::remove_dir_all(dir).unwrap();
+    }
+
+    #[test]
+    fn progress_rejects_bad_intervals() {
+        let dir = tmpdir();
+        let p = dir.join("platform.json");
+        let j = dir.join("jobs.json");
+        cmd_platform(
+            &Args::parse(["platform", "--nodes", "4", "--out", p.to_str().unwrap()]).unwrap(),
+        )
+        .unwrap();
+        fs::write(&j, "[]").unwrap();
+        for bad in ["0", "-3", "soon"] {
+            let args = Args::parse([
+                "run",
+                "--platform",
+                p.to_str().unwrap(),
+                "--jobs",
+                j.to_str().unwrap(),
+                "--progress",
+                bad,
+            ])
+            .unwrap();
+            assert!(matches!(cmd_run(&args), Err(CliError::Usage(_))), "{bad}");
+        }
         fs::remove_dir_all(dir).unwrap();
     }
 

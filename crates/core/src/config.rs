@@ -68,6 +68,10 @@ pub struct SimConfig {
     pub record_gantt: bool,
     /// Optional node-failure injection.
     pub failures: Option<FailureModel>,
+    /// Emit a progress heartbeat to stderr every this many *wall-clock*
+    /// seconds (sim-time, %jobs done, events/sec). `None` = silent.
+    /// Output goes to stderr only and never affects simulation results.
+    pub progress: Option<f64>,
 }
 
 impl Default for SimConfig {
@@ -82,6 +86,7 @@ impl Default for SimConfig {
             reconfig_cost: ReconfigCost::Fixed(5.0),
             record_gantt: true,
             failures: None,
+            progress: None,
         }
     }
 }
@@ -109,6 +114,14 @@ impl SimConfig {
     /// Enables node-failure injection.
     pub fn with_failures(mut self, failures: FailureModel) -> Self {
         self.failures = Some(failures);
+        self
+    }
+
+    /// Enables the stderr progress heartbeat, every `seconds` of wall
+    /// clock.
+    pub fn with_progress(mut self, seconds: f64) -> Self {
+        assert!(seconds > 0.0);
+        self.progress = Some(seconds);
         self
     }
 }

@@ -12,6 +12,7 @@ use elastisim_sched::{
     Decision, InProcessTransport, Invocation, Scheduler, SchedulerTransport, SystemView,
     TransportError,
 };
+use elastisim_telemetry::Telemetry;
 
 /// A fatal error that ends a simulation run early.
 #[derive(Debug)]
@@ -27,6 +28,13 @@ pub enum SimError {
         /// The underlying transport failure.
         source: TransportError,
     },
+    /// An observer failed to finish cleanly (e.g. an event-trace or
+    /// Chrome-trace writer hit an I/O error): the simulation itself
+    /// completed, but its requested outputs are incomplete.
+    Observer {
+        /// What went wrong.
+        message: String,
+    },
 }
 
 impl std::fmt::Display for SimError {
@@ -37,6 +45,7 @@ impl std::fmt::Display for SimError {
                 scheduler,
                 source,
             } => write!(f, "scheduler `{scheduler}` failed at t={time}: {source}"),
+            SimError::Observer { message } => write!(f, "observer failed: {message}"),
         }
     }
 }
@@ -45,6 +54,7 @@ impl std::error::Error for SimError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             SimError::Scheduler { source, .. } => Some(source),
+            SimError::Observer { .. } => None,
         }
     }
 }
@@ -55,17 +65,32 @@ pub struct SchedulerDriver {
     transport: Box<dyn SchedulerTransport>,
     name: String,
     invocations: u64,
+    telemetry: Telemetry,
+    /// Per-transport-kind latency metric, resolved once at construction.
+    latency_metric: &'static str,
 }
 
 impl SchedulerDriver {
     /// Drives any transport (e.g. [`elastisim_sched::ExternalProcess`]).
     pub fn new(transport: Box<dyn SchedulerTransport>) -> Self {
         let name = transport.name();
+        let latency_metric = match transport.kind() {
+            "external" => "sched.invoke.external_seconds",
+            _ => "sched.invoke.in_process_seconds",
+        };
         SchedulerDriver {
             transport,
             name,
             invocations: 0,
+            telemetry: Telemetry::disabled(),
+            latency_metric,
         }
+    }
+
+    /// Attaches a telemetry handle; each invocation's transport round-trip
+    /// is timed into `sched.invoke.<kind>_seconds`.
+    pub fn set_telemetry(&mut self, telemetry: Telemetry) {
+        self.telemetry = telemetry;
     }
 
     /// Drives an in-process algorithm through the zero-copy transport.
@@ -92,6 +117,8 @@ impl SchedulerDriver {
         why: Invocation,
     ) -> Result<Vec<Decision>, SimError> {
         self.invocations += 1;
+        self.telemetry.counter_add("sched.invocations", 1);
+        let _span = self.telemetry.span(self.latency_metric);
         self.transport
             .request(view, why)
             .map_err(|source| SimError::Scheduler {

@@ -15,6 +15,7 @@ use elastisim_platform::{NodeId, Platform, PlatformSpec};
 use elastisim_sched::{
     Decision, Invocation, JobRunInfo, JobState, JobView, Scheduler, SchedulerTransport, SystemView,
 };
+use elastisim_telemetry::Telemetry;
 use elastisim_workload::{validate_workload, JobClass, JobId, JobSpec, WorkloadError};
 
 use crate::config::{ReconfigCost, SimConfig};
@@ -70,6 +71,9 @@ pub struct Simulation {
     idle_ticks: u32,
     in_invoke: bool,
     deferred_invokes: Vec<Invocation>,
+    /// Simulator-internals metrics (disabled by default: a no-op handle).
+    /// Never influences simulation results.
+    telemetry: Telemetry,
 }
 
 impl Simulation {
@@ -142,6 +146,7 @@ impl Simulation {
             idle_ticks: 0,
             in_invoke: false,
             deferred_invokes: Vec::new(),
+            telemetry: Telemetry::disabled(),
         })
     }
 
@@ -149,6 +154,18 @@ impl Simulation {
     /// e.g. a [`crate::EventTraceWriter`]. Call before running.
     pub fn add_observer(&mut self, observer: Box<dyn Observer>) {
         self.bus.add_observer(observer);
+    }
+
+    /// Attaches a telemetry handle, shared with the DES kernel and the
+    /// scheduler driver, so the run records simulator-internals metrics
+    /// (scheduler latency, flow re-solves, queue depth, throughput).
+    /// Telemetry never changes simulation results: a telemetry-enabled run
+    /// produces a byte-identical [`Report`] to a bare one. Call before
+    /// running.
+    pub fn set_telemetry(&mut self, telemetry: Telemetry) {
+        self.sim.set_telemetry(telemetry.clone());
+        self.driver.set_telemetry(telemetry.clone());
+        self.telemetry = telemetry;
     }
 
     /// Runs to completion and returns the report.
@@ -168,12 +185,17 @@ impl Simulation {
         self.ensure_tick(0.0);
         self.schedule_next_failure(0.0);
         let mut last_now = 0.0;
+        let run_start = std::time::Instant::now();
+        let mut heartbeat = self.cfg.progress.map(Heartbeat::new);
         while let Some((t, ev)) = self.sim.step() {
             if self.fatal.is_some() {
                 break;
             }
             let now = t.as_secs();
             last_now = now;
+            if let Some(hb) = &mut heartbeat {
+                hb.maybe_beat(now, &self.jobs, &self.outcomes, self.sim.events_delivered());
+            }
             match ev {
                 Ev::Submit(id) => {
                     self.announce_submissions(now);
@@ -252,7 +274,26 @@ impl Simulation {
                 message: format!("{} activities stalled at end of simulation", stalled.len()),
             });
         }
-        Ok(self.build_report())
+        if self.telemetry.is_enabled() {
+            let wall = run_start.elapsed().as_secs_f64();
+            let events = self.sim.events_delivered();
+            self.telemetry.gauge_set("engine.wall_seconds", wall);
+            self.telemetry.gauge_set("engine.sim_seconds", last_now);
+            self.telemetry.gauge_set(
+                "engine.events_per_sec",
+                if wall > 0.0 {
+                    events as f64 / wall
+                } else {
+                    0.0
+                },
+            );
+            self.telemetry.counter_add("des.events_delivered", events);
+            self.telemetry
+                .counter_add("des.queue.compactions", self.sim.queue_compactions());
+            self.telemetry
+                .counter_add("flow.recomputes", self.sim.recompute_count());
+        }
+        self.build_report()
     }
 
     // ------------------------------------------------------------------
@@ -764,6 +805,7 @@ impl Simulation {
             return 0;
         }
         self.in_invoke = true;
+        let _span = self.telemetry.span("engine.invoke_seconds");
         let mut applied = 0;
         let mut pending = vec![why];
         while let Some(why) = pending.pop() {
@@ -775,10 +817,12 @@ impl Simulation {
                     break;
                 }
             };
+            let returned = decisions.len();
+            let mut accepted = 0;
             for decision in decisions {
                 let job = decision.job();
                 match self.apply_decision(decision, now) {
-                    Ok(()) => applied += 1,
+                    Ok(()) => accepted += 1,
                     Err(reason) => self.bus.emit(SimEvent::DecisionRejected {
                         time: now,
                         job,
@@ -786,6 +830,15 @@ impl Simulation {
                     }),
                 }
             }
+            applied += accepted;
+            // Deterministic facts only (no wall-clock data): the event
+            // stream stays byte-identical whether telemetry is on or off.
+            self.bus.emit(SimEvent::SchedulerInvoked {
+                time: now,
+                reason: why.to_string(),
+                decisions: returned,
+                applied: accepted,
+            });
             pending.append(&mut self.deferred_invokes);
         }
         self.in_invoke = false;
@@ -877,7 +930,7 @@ impl Simulation {
     // Reporting
     // ------------------------------------------------------------------
 
-    fn build_report(mut self) -> Report {
+    fn build_report(mut self) -> Result<Report, SimError> {
         self.driver.shutdown();
         let mut records = Vec::with_capacity(self.jobs.len());
         for (id, rt) in &self.jobs {
@@ -900,8 +953,11 @@ impl Simulation {
         }
         // Gantt intervals left open by an aborted run close at the horizon.
         let horizon = records.iter().filter_map(|r| r.end).fold(0.0f64, f64::max);
-        let (utilization, gantt, warnings) = self.bus.into_parts(horizon);
-        Report {
+        let (utilization, gantt, warnings) = self
+            .bus
+            .into_parts(horizon)
+            .map_err(|message| SimError::Observer { message })?;
+        Ok(Report {
             jobs: records,
             utilization,
             gantt,
@@ -910,6 +966,67 @@ impl Simulation {
             scheduler_invocations: self.driver.invocations(),
             warnings,
             total_nodes: self.platform.num_nodes(),
+        })
+    }
+}
+
+/// Wall-clock progress heartbeat for `--progress`: prints sim-time, job
+/// completion, and event throughput to stderr. Reads the clock only every
+/// `CHECK_EVERY` events so the hot loop stays cheap, and writes nothing
+/// anywhere that could influence results.
+struct Heartbeat {
+    interval: f64,
+    started: std::time::Instant,
+    last_beat: std::time::Instant,
+    countdown: u32,
+}
+
+impl Heartbeat {
+    /// How many events to skip between clock reads.
+    const CHECK_EVERY: u32 = 4096;
+
+    fn new(interval: f64) -> Self {
+        let now = std::time::Instant::now();
+        Heartbeat {
+            interval,
+            started: now,
+            last_beat: now,
+            countdown: Self::CHECK_EVERY,
         }
+    }
+
+    fn maybe_beat(
+        &mut self,
+        sim_now: f64,
+        jobs: &BTreeMap<JobId, JobRuntime>,
+        outcomes: &HashMap<JobId, (Outcome, f64)>,
+        events: u64,
+    ) {
+        self.countdown -= 1;
+        if self.countdown > 0 {
+            return;
+        }
+        self.countdown = Self::CHECK_EVERY;
+        let now = std::time::Instant::now();
+        if now.duration_since(self.last_beat).as_secs_f64() < self.interval {
+            return;
+        }
+        self.last_beat = now;
+        let total = jobs.len();
+        let done = outcomes.len();
+        let pct = if total > 0 {
+            100.0 * done as f64 / total as f64
+        } else {
+            100.0
+        };
+        let wall = now.duration_since(self.started).as_secs_f64();
+        let rate = if wall > 0.0 {
+            events as f64 / wall
+        } else {
+            0.0
+        };
+        eprintln!(
+            "[progress] sim t={sim_now:.1}s  jobs {done}/{total} ({pct:.1}%)  {rate:.0} events/s"
+        );
     }
 }

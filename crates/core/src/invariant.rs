@@ -211,6 +211,8 @@ impl CheckerState {
             SimEvent::DecisionRejected { .. } | SimEvent::Warning { .. } => {
                 self.warnings_seen += 1;
             }
+            // Purely informational: no state to reconcile.
+            SimEvent::SchedulerInvoked { .. } => {}
         }
         if self.owner.len() > self.total_nodes {
             self.violate(

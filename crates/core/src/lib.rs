@@ -51,6 +51,7 @@
 //! assert_eq!(report.summary().completed, 10);
 //! ```
 
+pub mod chrome;
 mod config;
 mod decisions;
 mod driver;
@@ -62,12 +63,13 @@ pub mod observe;
 mod stats;
 mod trace;
 
+pub use chrome::ChromeTraceWriter;
 pub use config::{FailureModel, ReconfigCost, SimConfig};
 pub use driver::{SchedulerDriver, SimError};
 pub use engine::Simulation;
 pub use exec::ExecError;
 pub use invariant::{InvariantChecker, InvariantViolation};
-pub use observe::{EventTraceWriter, Observer, SimEvent};
+pub use observe::{EventTraceWriter, Observer, SimEvent, TimedObserver};
 pub use stats::{
     GanttEntry, JobRecord, Outcome, Report, Summary, UtilizationSeries, Warning, WarningKind,
 };

@@ -98,6 +98,20 @@ pub enum SimEvent {
         /// Human-readable description.
         message: String,
     },
+    /// The scheduler was invoked. Carries only deterministic facts (no
+    /// wall-clock latency — that lives in the telemetry registry), so the
+    /// event stream stays byte-identical across machines.
+    SchedulerInvoked {
+        /// Simulated time, seconds.
+        time: f64,
+        /// Why the scheduler ran (e.g. `periodic`, `submitted:job3`).
+        reason: String,
+        /// Number of decisions it returned.
+        decisions: usize,
+        /// Number of decisions the engine accepted (the rest were
+        /// rejected as invalid).
+        applied: usize,
+    },
 }
 
 impl SimEvent {
@@ -111,7 +125,8 @@ impl SimEvent {
             | SimEvent::NodeFailed { time, .. }
             | SimEvent::NodeRepaired { time, .. }
             | SimEvent::DecisionRejected { time, .. }
-            | SimEvent::Warning { time, .. } => *time,
+            | SimEvent::Warning { time, .. }
+            | SimEvent::SchedulerInvoked { time, .. } => *time,
         }
     }
 }
@@ -122,17 +137,26 @@ pub trait Observer {
     fn on_event(&mut self, event: &SimEvent);
 
     /// Called once when the simulation ends (`horizon` is the latest job
-    /// end time). Flush buffers here; the default does nothing.
-    fn finish(&mut self, _horizon: f64) {}
+    /// end time). Flush buffers here and report any deferred I/O failure;
+    /// the error surfaces from the run as [`crate::SimError::Observer`].
+    /// The default does nothing and succeeds.
+    fn finish(&mut self, _horizon: f64) -> Result<(), String> {
+        Ok(())
+    }
 }
 
 /// Streams every event as one JSON line — a machine-readable run log.
 ///
-/// Write errors are reported to stderr once; subsequent events are then
-/// dropped rather than aborting the simulation.
+/// Durability: the first write error is remembered and returned from
+/// [`Observer::finish`] (subsequent events are dropped rather than
+/// aborting the simulation mid-run), and the writer flushes both on
+/// `finish` and on drop, so a trace is complete even if the run aborts
+/// between the last event and `finish`.
 pub struct EventTraceWriter {
     out: Box<dyn Write>,
-    failed: bool,
+    /// First write error, kept until `finish` surfaces it.
+    failed: Option<String>,
+    finished: bool,
 }
 
 impl EventTraceWriter {
@@ -140,7 +164,8 @@ impl EventTraceWriter {
     pub fn new(out: impl Write + 'static) -> Self {
         EventTraceWriter {
             out: Box::new(out),
-            failed: false,
+            failed: None,
+            finished: false,
         }
     }
 
@@ -153,22 +178,70 @@ impl EventTraceWriter {
 
 impl Observer for EventTraceWriter {
     fn on_event(&mut self, event: &SimEvent) {
-        if self.failed {
+        if self.failed.is_some() {
             return;
         }
         let line = serde_json::to_string(event).expect("event serialization cannot fail");
         if let Err(e) = writeln!(self.out, "{line}") {
-            eprintln!("event trace write failed, trace truncated: {e}");
-            self.failed = true;
+            self.failed = Some(format!("event trace write failed, trace truncated: {e}"));
         }
     }
 
-    fn finish(&mut self, _horizon: f64) {
-        if !self.failed {
+    fn finish(&mut self, _horizon: f64) -> Result<(), String> {
+        self.finished = true;
+        if let Some(e) = self.failed.take() {
+            return Err(e);
+        }
+        self.out
+            .flush()
+            .map_err(|e| format!("event trace flush failed: {e}"))
+    }
+}
+
+impl Drop for EventTraceWriter {
+    fn drop(&mut self) {
+        // Last-resort durability for runs that abort before `finish`:
+        // flush buffered lines, reporting (not panicking) on failure.
+        if !self.finished && self.failed.is_none() {
             if let Err(e) = self.out.flush() {
-                eprintln!("event trace flush failed: {e}");
+                eprintln!("event trace flush failed on drop: {e}");
             }
         }
+    }
+}
+
+/// Wraps an observer, recording the wall-clock cost of each `on_event`
+/// into the named telemetry time histogram — used to measure the
+/// invariant checker's overhead without touching its code.
+pub struct TimedObserver {
+    inner: Box<dyn Observer>,
+    telemetry: elastisim_telemetry::Telemetry,
+    metric: &'static str,
+}
+
+impl TimedObserver {
+    /// Wraps `inner`; each `on_event` is timed into `metric`.
+    pub fn new(
+        inner: Box<dyn Observer>,
+        telemetry: elastisim_telemetry::Telemetry,
+        metric: &'static str,
+    ) -> Self {
+        TimedObserver {
+            inner,
+            telemetry,
+            metric,
+        }
+    }
+}
+
+impl Observer for TimedObserver {
+    fn on_event(&mut self, event: &SimEvent) {
+        let _span = self.telemetry.span(self.metric);
+        self.inner.on_event(event);
+    }
+
+    fn finish(&mut self, horizon: f64) -> Result<(), String> {
+        self.inner.finish(horizon)
     }
 }
 
@@ -371,19 +444,27 @@ impl EventBus {
     }
 
     /// Finishes every collector and returns the report pieces:
-    /// `(utilization, gantt, warnings)`.
+    /// `(utilization, gantt, warnings)`. Every external observer's
+    /// `finish` runs (so all of them get to flush) before the first
+    /// failure, if any, is reported.
     pub(crate) fn into_parts(
         mut self,
         horizon: f64,
-    ) -> (UtilizationSeries, Vec<GanttEntry>, Vec<Warning>) {
+    ) -> Result<(UtilizationSeries, Vec<GanttEntry>, Vec<Warning>), String> {
+        let mut first_err = None;
         for obs in &mut self.external {
-            obs.finish(horizon);
+            if let Err(e) = obs.finish(horizon) {
+                first_err.get_or_insert(e);
+            }
         }
-        (
+        if let Some(e) = first_err {
+            return Err(e);
+        }
+        Ok((
             self.util.series,
             self.gantt.finish(horizon),
             self.warnings.warnings,
-        )
+        ))
     }
 }
 
@@ -420,7 +501,7 @@ mod tests {
             new_size: 2,
         });
         bus.emit(completed(30.0, 1, &[1, 2]));
-        let (util, gantt, warnings) = bus.into_parts(30.0);
+        let (util, gantt, warnings) = bus.into_parts(30.0).unwrap();
         assert_eq!(util.points, vec![(0.0, 0), (10.0, 2), (30.0, 0)]);
         // Three intervals: node0 [10,20], node1 [10,30], node2 [20,30].
         assert_eq!(gantt.len(), 3);
@@ -434,7 +515,7 @@ mod tests {
         let mut bus = EventBus::new(false);
         bus.emit(started(0.0, 1, &[0]));
         bus.emit(completed(5.0, 1, &[0]));
-        let (_, gantt, _) = bus.into_parts(5.0);
+        let (_, gantt, _) = bus.into_parts(5.0).unwrap();
         assert!(gantt.is_empty());
     }
 
@@ -442,7 +523,7 @@ mod tests {
     fn aborted_run_closes_open_intervals_at_horizon() {
         let mut bus = EventBus::new(true);
         bus.emit(started(10.0, 1, &[0]));
-        let (_, gantt, _) = bus.into_parts(42.0);
+        let (_, gantt, _) = bus.into_parts(42.0).unwrap();
         assert_eq!(gantt.len(), 1);
         assert_eq!(gantt[0].to, 42.0);
     }
@@ -461,7 +542,7 @@ mod tests {
             kind: WarningKind::NoProgress,
             message: "scheduler made no progress".into(),
         });
-        let (_, _, warnings) = bus.into_parts(2.0);
+        let (_, _, warnings) = bus.into_parts(2.0).unwrap();
         assert_eq!(warnings.len(), 2);
         assert_eq!(warnings[0].kind, WarningKind::DecisionRejected);
         assert_eq!(warnings[0].job, Some(JobId(3)));
@@ -483,7 +564,7 @@ mod tests {
         bus.add_observer(Box::new(Counter(count.clone())));
         bus.emit(started(0.0, 1, &[0]));
         bus.emit(completed(1.0, 1, &[0]));
-        bus.into_parts(1.0);
+        bus.into_parts(1.0).unwrap();
         assert_eq!(*count.borrow(), 2);
     }
 
@@ -498,7 +579,7 @@ mod tests {
             time: 3.5,
             node: NodeId(1),
         });
-        writer.finish(3.5);
+        writer.finish(3.5).unwrap();
         drop(writer);
         let mut text = String::new();
         std::fs::File::open(&path)
@@ -527,6 +608,65 @@ mod tests {
                 node: NodeId(1)
             }
         );
+    }
+
+    /// A sink shared with the test so flushes through a `BufWriter` are
+    /// observable after the writer is gone.
+    #[derive(Clone, Default)]
+    struct SharedSink(std::rc::Rc<std::cell::RefCell<Vec<u8>>>);
+
+    impl Write for SharedSink {
+        fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+            self.0.borrow_mut().extend_from_slice(buf);
+            Ok(buf.len())
+        }
+        fn flush(&mut self) -> std::io::Result<()> {
+            Ok(())
+        }
+    }
+
+    /// A writer that fails every operation.
+    struct BrokenSink;
+
+    impl Write for BrokenSink {
+        fn write(&mut self, _: &[u8]) -> std::io::Result<usize> {
+            Err(std::io::Error::other("disk full"))
+        }
+        fn flush(&mut self) -> std::io::Result<()> {
+            Err(std::io::Error::other("disk full"))
+        }
+    }
+
+    #[test]
+    fn event_trace_write_errors_surface_from_finish() {
+        let mut writer = EventTraceWriter::new(BrokenSink);
+        writer.on_event(&started(0.0, 1, &[0]));
+        writer.on_event(&completed(1.0, 1, &[0])); // dropped, not retried
+        let err = writer.finish(1.0).unwrap_err();
+        assert!(err.contains("disk full"), "{err}");
+        assert!(err.contains("truncated"), "{err}");
+    }
+
+    #[test]
+    fn event_trace_write_errors_fail_the_run() {
+        use crate::SimError;
+        let mut bus = EventBus::new(false);
+        bus.add_observer(Box::new(EventTraceWriter::new(BrokenSink)));
+        bus.emit(started(0.0, 1, &[0]));
+        let err = bus.into_parts(1.0).unwrap_err();
+        let sim_err = SimError::Observer { message: err };
+        assert!(sim_err.to_string().contains("disk full"), "{sim_err}");
+    }
+
+    #[test]
+    fn event_trace_writer_flushes_buffered_lines_on_drop() {
+        let sink = SharedSink::default();
+        let mut writer = EventTraceWriter::new(std::io::BufWriter::new(sink.clone()));
+        writer.on_event(&started(0.0, 7, &[1]));
+        // The line is small enough to still sit in the BufWriter.
+        drop(writer);
+        let text = String::from_utf8(sink.0.borrow().clone()).unwrap();
+        assert!(text.contains(r#""event":"job_started""#), "{text}");
     }
 
     #[test]

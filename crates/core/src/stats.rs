@@ -208,6 +208,24 @@ pub struct Summary {
     pub mean_turnaround: f64,
     /// Mean bounded slowdown of finished jobs.
     pub mean_bounded_slowdown: f64,
+    /// Median queue wait (nearest-rank) of started jobs.
+    #[serde(default)]
+    pub p50_wait: f64,
+    /// 95th-percentile queue wait of started jobs.
+    #[serde(default)]
+    pub p95_wait: f64,
+    /// 99th-percentile queue wait of started jobs.
+    #[serde(default)]
+    pub p99_wait: f64,
+    /// Median bounded slowdown of finished jobs.
+    #[serde(default)]
+    pub p50_bounded_slowdown: f64,
+    /// 95th-percentile bounded slowdown of finished jobs.
+    #[serde(default)]
+    pub p95_bounded_slowdown: f64,
+    /// 99th-percentile bounded slowdown of finished jobs.
+    #[serde(default)]
+    pub p99_bounded_slowdown: f64,
     /// Node-seconds allocated across all jobs / (nodes × makespan).
     pub utilization: f64,
 }
@@ -264,6 +282,18 @@ impl Report {
             mean_wait: mean(&waits),
             mean_turnaround: mean(&tats),
             mean_bounded_slowdown: mean(&slows),
+            p50_wait: self.quantile(0.50, JobRecord::wait).unwrap_or(0.0),
+            p95_wait: self.quantile(0.95, JobRecord::wait).unwrap_or(0.0),
+            p99_wait: self.quantile(0.99, JobRecord::wait).unwrap_or(0.0),
+            p50_bounded_slowdown: self
+                .quantile(0.50, JobRecord::bounded_slowdown)
+                .unwrap_or(0.0),
+            p95_bounded_slowdown: self
+                .quantile(0.95, JobRecord::bounded_slowdown)
+                .unwrap_or(0.0),
+            p99_bounded_slowdown: self
+                .quantile(0.99, JobRecord::bounded_slowdown)
+                .unwrap_or(0.0),
             utilization: if makespan > 0.0 && self.total_nodes > 0 {
                 node_seconds / (self.total_nodes as f64 * makespan)
             } else {

@@ -200,6 +200,9 @@ pub struct FlowNetwork {
     // Scratch reused across recomputes.
     bfs_stack: Vec<usize>,
     comp_ids: Vec<u64>,
+    /// `(activities solved, was a full solve)` for the most recent
+    /// recompute — an observability hook consumed by telemetry.
+    last_solve: (usize, bool),
 }
 
 impl Default for FlowNetwork {
@@ -228,6 +231,7 @@ impl FlowNetwork {
             visit_epoch: 0,
             bfs_stack: Vec::new(),
             comp_ids: Vec::new(),
+            last_solve: (0, false),
         }
     }
 
@@ -274,6 +278,14 @@ impl FlowNetwork {
     /// metric surfaced by the simulator-performance experiments).
     pub fn recompute_count(&self) -> u64 {
         self.recomputes
+    }
+
+    /// `(activities solved, was a full solve)` for the most recent
+    /// [`recompute`](Self::recompute) that actually ran. "Full" covers both
+    /// fallbacks (dirty set spanning half the platform, giant component);
+    /// a partial solve re-ran only the dirty connected component.
+    pub fn last_solve(&self) -> (usize, bool) {
+        self.last_solve
     }
 
     fn mark_dirty(&mut self, res: usize) {
@@ -477,6 +489,7 @@ impl FlowNetwork {
 
         let mut comp = std::mem::take(&mut self.comp_ids);
         comp.clear();
+        let mut full = true;
         if self.dirty.len() * 2 >= self.resources.len() {
             // The dirty set spans most of the platform: the component walk
             // would visit nearly everything, so fall back to a full solve.
@@ -535,8 +548,10 @@ impl FlowNetwork {
                 comp.extend(self.activities.keys().copied());
             } else {
                 comp.sort_unstable();
+                full = false;
             }
         }
+        self.last_solve = (comp.len(), full);
 
         if !comp.is_empty() {
             // Solve the affected set against the full capacity vector. The

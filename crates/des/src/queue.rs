@@ -54,6 +54,7 @@ pub struct EventQueue<E> {
     next_seq: u64,
     /// Sequence numbers scheduled but not yet popped nor cancelled.
     pending: std::collections::HashSet<u64>,
+    compactions: u64,
 }
 
 impl<E> Default for EventQueue<E> {
@@ -69,6 +70,7 @@ impl<E> EventQueue<E> {
             heap: BinaryHeap::new(),
             next_seq: 0,
             pending: std::collections::HashSet::new(),
+            compactions: 0,
         }
     }
 
@@ -109,6 +111,7 @@ impl<E> EventQueue<E> {
                 .into_iter()
                 .filter(|e| pending.contains(&e.seq))
                 .collect();
+            self.compactions += 1;
         }
     }
 
@@ -116,6 +119,12 @@ impl<E> EventQueue<E> {
     /// strictly an observability hook for bounded-growth tests.
     pub fn physical_len(&self) -> usize {
         self.heap.len()
+    }
+
+    /// How many times the heap has been rebuilt to shed cancelled entries —
+    /// an observability hook (telemetry counter `des.queue.compactions`).
+    pub fn compactions(&self) -> u64 {
+        self.compactions
     }
 
     /// The time of the next live entry, if any.

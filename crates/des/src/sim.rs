@@ -25,6 +25,8 @@
 
 use std::collections::{HashMap, VecDeque};
 
+use elastisim_telemetry::Telemetry;
+
 use crate::flow::{ActivityId, ActivitySpec, FlowNetwork, Progress, ResourceId};
 use crate::queue::{EntryId, EventQueue};
 use crate::time::Time;
@@ -54,6 +56,8 @@ pub struct Simulator<E> {
     /// the predicted completion unchanged.
     flow_timer: Option<(EntryId, Time)>,
     events_delivered: u64,
+    /// Simulator-internals metrics (disabled by default: a no-op handle).
+    telemetry: Telemetry,
 }
 
 impl<E> Default for Simulator<E> {
@@ -73,7 +77,20 @@ impl<E> Simulator<E> {
             ready: VecDeque::new(),
             flow_timer: None,
             events_delivered: 0,
+            telemetry: Telemetry::disabled(),
         }
+    }
+
+    /// Attaches a telemetry handle; flow re-solves and event-queue depth
+    /// are recorded through it. The default handle is disabled (no-op).
+    pub fn set_telemetry(&mut self, telemetry: Telemetry) {
+        self.telemetry = telemetry;
+    }
+
+    /// How many times the event-queue heap compacted away cancelled
+    /// entries (telemetry counter `des.queue.compactions`).
+    pub fn queue_compactions(&self) -> u64 {
+        self.queue.compactions()
     }
 
     /// Current simulated time.
@@ -239,7 +256,31 @@ impl<E> Simulator<E> {
     /// timer is left alone, sparing the event queue a cancel + push per
     /// recompute.
     fn refresh_flow(&mut self) {
-        self.flow.recompute();
+        if self.telemetry.is_enabled() {
+            let start = std::time::Instant::now();
+            if self.flow.recompute() {
+                self.telemetry.observe_since("flow.resolve_seconds", start);
+                let (activities, full) = self.flow.last_solve();
+                self.telemetry
+                    .observe("flow.resolve_activities", activities as f64);
+                self.telemetry.counter_add(
+                    if full {
+                        "flow.resolves_full"
+                    } else {
+                        "flow.resolves_partial"
+                    },
+                    1,
+                );
+                self.telemetry
+                    .timeline_push(self.now.as_secs(), "flow.resolve", || {
+                        format!("activities={activities} full={full}")
+                    });
+            }
+            self.telemetry
+                .observe("des.queue.depth", self.queue.len() as f64);
+        } else {
+            self.flow.recompute();
+        }
         // Completion can be fractionally in the past due to float
         // round-off; clamp to now.
         let predicted = self.flow.next_completion().map(|t| t.max(self.now));

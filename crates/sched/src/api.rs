@@ -20,6 +20,18 @@ pub enum Invocation {
     SchedulingPoint(JobId),
 }
 
+impl std::fmt::Display for Invocation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Invocation::Periodic => write!(f, "periodic"),
+            Invocation::JobSubmitted(id) => write!(f, "submitted:{id}"),
+            Invocation::JobCompleted(id) => write!(f, "completed:{id}"),
+            Invocation::EvolvingRequest(id, n) => write!(f, "evolving:{id}:{n}"),
+            Invocation::SchedulingPoint(id) => write!(f, "scheduling_point:{id}"),
+        }
+    }
+}
+
 /// Runtime details of a running job.
 #[derive(Clone, PartialEq, Debug)]
 pub struct JobRunInfo {

@@ -159,6 +159,10 @@ impl SchedulerTransport for ExternalProcess {
         format!("external:{}", self.cmd.join(" "))
     }
 
+    fn kind(&self) -> &'static str {
+        "external"
+    }
+
     fn request(
         &mut self,
         view: &SystemView,

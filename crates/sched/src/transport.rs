@@ -77,6 +77,12 @@ pub trait SchedulerTransport {
     /// Name used in reports and traces.
     fn name(&self) -> String;
 
+    /// Static transport kind used to split latency metrics
+    /// (`"in_process"` vs `"external"`).
+    fn kind(&self) -> &'static str {
+        "in_process"
+    }
+
     /// Sends one invocation and returns the scheduler's decisions.
     fn request(
         &mut self,

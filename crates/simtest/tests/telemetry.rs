@@ -1,0 +1,72 @@
+//! Telemetry conformance: observability must never change results.
+//!
+//! The zero-sink guarantee the telemetry subsystem makes is behavioral,
+//! not just performance: attaching the registry, the timeline buffer, and
+//! the Chrome trace exporter must leave the simulation's report
+//! byte-identical to a bare run. These oracles check that over seeded
+//! scenarios for every in-process scheduler.
+
+use elastisim::{ChromeTraceWriter, Simulation};
+use elastisim_sched::SCHEDULER_NAMES;
+use elastisim_telemetry::Telemetry;
+use proptest::prelude::*;
+use simtest::{fingerprint, Scenario};
+
+/// Runs `scenario` bare, or with full telemetry (registry + timeline +
+/// Chrome exporter into a sink), and fingerprints the report.
+fn run_fingerprint(scenario: &Scenario, scheduler: &str, telemetry: bool) -> String {
+    let sched = elastisim_sched::by_name(scheduler)
+        .unwrap_or_else(|| panic!("unknown scheduler `{scheduler}`"));
+    let mut sim = Simulation::new(
+        &scenario.platform(),
+        scenario.jobs(),
+        sched,
+        scenario.config(),
+    )
+    .unwrap_or_else(|e| panic!("scenario seed {}: invalid setup: {e}", scenario.seed));
+    if telemetry {
+        let handle = Telemetry::with_timeline(true);
+        sim.set_telemetry(handle.clone());
+        sim.add_observer(Box::new(ChromeTraceWriter::new(std::io::sink(), handle)));
+    }
+    fingerprint(&sim.run())
+}
+
+fn cases() -> u32 {
+    std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(16)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(cases()))]
+
+    /// Telemetry on vs off: byte-identical reports, for every scheduler.
+    #[test]
+    fn telemetry_does_not_change_reports(seed in any::<u64>()) {
+        let scenario = Scenario::from_seed(seed);
+        for name in SCHEDULER_NAMES {
+            let bare = run_fingerprint(&scenario, name, false);
+            let instrumented = run_fingerprint(&scenario, name, true);
+            prop_assert!(
+                bare == instrumented,
+                "seed {seed} under `{name}`: telemetry changed the report"
+            );
+        }
+    }
+}
+
+/// The same oracle on one fixed seed, so the property is exercised even in
+/// the fastest test runs (proptest case counts can be dialed to zero).
+#[test]
+fn telemetry_is_transparent_on_a_known_seed() {
+    let scenario = Scenario::from_seed(7);
+    for name in SCHEDULER_NAMES {
+        assert_eq!(
+            run_fingerprint(&scenario, name, false),
+            run_fingerprint(&scenario, name, true),
+            "scheduler `{name}`"
+        );
+    }
+}
