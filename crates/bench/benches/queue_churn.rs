@@ -1,0 +1,96 @@
+//! Event-queue micro-bench: push/pop, lazy cancellation, and compaction
+//! in isolation, so queue-layer regressions (comparator cost, hash-set
+//! overhead, compaction cadence) are visible independently of the flow
+//! solver that usually drives the queue.
+//!
+//! Three arms per depth:
+//!
+//! * **push_pop** — interleaved push/pop at steady depth, the plain DES
+//!   access pattern; dominated by heap sift cost, i.e. the packed-key
+//!   comparator.
+//! * **lazy_cancel** — every push is followed by a cancel of a random
+//!   older entry (the flow-wake retarget pattern); dominated by the
+//!   pending-set hash and pop-skip cost.
+//! * **compaction_stress** — cancel-heavy traffic tuned to keep crossing
+//!   the rebuild threshold, so the amortized compaction cost itself is on
+//!   the profile.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use elastisim_des::{EventQueue, Time};
+
+/// Interleaved push/pop at a steady queue depth.
+fn push_pop(depth: usize, ops: usize) -> u64 {
+    let mut q = EventQueue::new();
+    for i in 0..depth {
+        q.push(Time::from_secs(i as f64), i as u64);
+    }
+    let mut acc: u64 = 0;
+    for i in 0..ops {
+        let (t, v) = q.pop().unwrap();
+        acc = acc.wrapping_add(v);
+        q.push(t + ((i * 7919) % 1000) as f64 + 1.0, i as u64);
+    }
+    acc
+}
+
+/// Push + cancel-an-older-entry churn: the timer-retarget pattern. Keeps
+/// `depth` live entries; every iteration pushes one and cancels one.
+fn lazy_cancel(depth: usize, ops: usize) -> u64 {
+    let mut q = EventQueue::new();
+    let mut live = Vec::with_capacity(depth + 1);
+    for i in 0..depth {
+        live.push(q.push(Time::from_secs(i as f64), i as u64));
+    }
+    let mut acc: u64 = 0;
+    for i in 0..ops {
+        live.push(q.push(Time::from_secs((depth + i) as f64), i as u64));
+        let victim = live.swap_remove((i * 7919) % live.len());
+        acc = acc.wrapping_add(q.cancel(victim) as u64);
+    }
+    acc.wrapping_add(q.len() as u64)
+}
+
+/// Cancel-dominated traffic: 7 of every 8 entries are cancelled before
+/// they can fire, so the heap repeatedly crosses the compaction threshold.
+fn compaction_stress(depth: usize, ops: usize) -> u64 {
+    let mut q = EventQueue::new();
+    let mut pending = Vec::new();
+    let mut acc: u64 = 0;
+    for i in 0..ops {
+        pending.push(q.push(Time::from_secs(i as f64), i as u64));
+        if pending.len() > depth {
+            // Cancel 7, pop 1.
+            for k in 0..7 {
+                let victim = pending.swap_remove((i + k * 997) % pending.len());
+                q.cancel(victim);
+            }
+            if let Some((_, v)) = q.pop() {
+                acc = acc.wrapping_add(v);
+            }
+        }
+    }
+    acc.wrapping_add(q.compactions())
+}
+
+fn bench_queue_churn(c: &mut Criterion) {
+    let mut group = c.benchmark_group("queue_churn");
+    for depth in [100usize, 1_000, 10_000] {
+        group.bench_with_input(BenchmarkId::new("push_pop", depth), &depth, |b, &depth| {
+            b.iter(|| black_box(push_pop(depth, 10_000)))
+        });
+        group.bench_with_input(
+            BenchmarkId::new("lazy_cancel", depth),
+            &depth,
+            |b, &depth| b.iter(|| black_box(lazy_cancel(depth, 10_000))),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("compaction_stress", depth),
+            &depth,
+            |b, &depth| b.iter(|| black_box(compaction_stress(depth, 10_000))),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_queue_churn);
+criterion_main!(benches);

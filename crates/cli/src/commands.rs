@@ -702,6 +702,30 @@ mod tests {
             panic!("invariant.observe_seconds missing");
         };
         assert!(*observed > 0.0);
+
+        // Event-queue health must be visible in the snapshot: compaction
+        // count plus the final live/cancelled entry split (gauges), and
+        // the per-resolve depth histogram with populated buckets.
+        let serde::Value::Num(compactions) = get(get(&m, "counters"), "des.queue.compactions")
+        else {
+            panic!("des.queue.compactions missing");
+        };
+        assert!(*compactions >= 0.0);
+        for gauge in ["des.queue.live_entries", "des.queue.cancelled_entries"] {
+            let serde::Value::Num(v) = get(get(&m, "gauges"), gauge) else {
+                panic!("{gauge} missing");
+            };
+            assert!(*v >= 0.0, "{gauge} negative");
+        }
+        let depth = get(get(&m, "histograms"), "des.queue.depth");
+        let serde::Value::Num(depth_count) = get(depth, "count") else {
+            panic!("des.queue.depth count missing");
+        };
+        assert!(*depth_count > 0.0, "queue depth never observed");
+        let serde::Value::Seq(buckets) = get(depth, "buckets") else {
+            panic!("des.queue.depth buckets missing");
+        };
+        assert!(!buckets.is_empty(), "queue depth buckets empty");
         fs::remove_dir_all(dir).unwrap();
     }
 

@@ -290,8 +290,18 @@ impl Simulation {
             self.telemetry.counter_add("des.events_delivered", events);
             self.telemetry
                 .counter_add("des.queue.compactions", self.sim.queue_compactions());
+            self.telemetry.gauge_set(
+                "des.queue.live_entries",
+                self.sim.queue_live_entries() as f64,
+            );
+            self.telemetry.gauge_set(
+                "des.queue.cancelled_entries",
+                self.sim.queue_cancelled_entries() as f64,
+            );
             self.telemetry
                 .counter_add("flow.recomputes", self.sim.recompute_count());
+            self.telemetry
+                .counter_add("flow.mode_switches", self.sim.flow_mode_switches());
         }
         self.build_report()
     }

@@ -30,6 +30,13 @@ pub struct Demand<'a> {
     pub bound: f64,
 }
 
+/// One activity's demand in the packed (CSR) representation consumed by
+/// [`solve_packed`]: `(start, len)` index a slice of a shared usage arena,
+/// `bound` caps the rate. The flow engine stores all live activities'
+/// usages in one arena, so a re-solve hands the solver plain integers
+/// instead of building a `Vec<Demand>` of borrowed slices per call.
+pub type PackedDemand = (u32, u32, f64);
+
 /// Solves the bottleneck max-min sharing problem.
 ///
 /// * `capacities[j]` — capacity of resource `j` (non-negative).
@@ -52,6 +59,9 @@ pub struct Workspace {
     users_of: Vec<Vec<usize>>,
     active: Vec<usize>,
     by_bound: Vec<usize>,
+    /// Per-activity "rate frozen" flags, reused across solves so the hot
+    /// path allocates nothing.
+    fixed: Vec<bool>,
 }
 
 impl Workspace {
@@ -78,19 +88,53 @@ pub fn solve(capacities: &[f64], demands: &[Demand<'_>]) -> Vec<f64> {
 }
 
 /// Solves the sharing problem using (and preserving) the given workspace.
+///
+/// Convenience wrapper over [`solve_packed`]: flattens the borrowed
+/// `Demand` slices into a temporary arena. The flow engine's hot path
+/// calls `solve_packed` directly with its own persistent arena and
+/// allocates nothing per solve.
 pub fn solve_with(ws: &mut Workspace, capacities: &[f64], demands: &[Demand<'_>]) -> Vec<f64> {
-    let mut rates = vec![0.0; demands.len()];
-    let mut fixed = vec![false; demands.len()];
+    let mut arena: Vec<(usize, f64)> = Vec::new();
+    let mut packed: Vec<PackedDemand> = Vec::with_capacity(demands.len());
+    for d in demands {
+        let start = arena.len() as u32;
+        arena.extend_from_slice(d.usages);
+        packed.push((start, d.usages.len() as u32, d.bound));
+    }
+    let mut rates = Vec::new();
+    solve_packed(ws, capacities, &arena, &packed, &mut rates);
+    rates
+}
+
+/// Solves the sharing problem over CSR-packed demands, writing rates into
+/// `rates` (cleared first). This is the allocation-free core: all scratch
+/// state lives in the workspace, the usage lists live in the caller's
+/// arena, and the output reuses the caller's buffer.
+///
+/// `demands[i] = (start, len, bound)` describes activity `i`'s usages as
+/// `arena[start..start+len]`.
+pub fn solve_packed(
+    ws: &mut Workspace,
+    capacities: &[f64],
+    arena: &[(usize, f64)],
+    demands: &[PackedDemand],
+    rates: &mut Vec<f64>,
+) {
+    let n = demands.len();
+    rates.clear();
+    rates.resize(n, 0.0);
     ws.ensure(capacities.len());
     ws.active.clear();
     ws.by_bound.clear();
+    ws.fixed.clear();
+    ws.fixed.resize(n, false);
 
     // Gather the active resources: per-resource load, user count, user
     // list, remaining capacity. Entries outside `active` are untouched
     // (and guaranteed zeroed by the cleanup at the end of the last call).
-    for (i, d) in demands.iter().enumerate() {
-        debug_assert!(d.bound >= 0.0, "negative bound");
-        for &(r, w) in d.usages {
+    for (i, &(start, len, bound)) in demands.iter().enumerate() {
+        debug_assert!(bound >= 0.0, "negative bound");
+        for &(r, w) in &arena[start as usize..(start + len) as usize] {
             debug_assert!(w > 0.0, "non-positive weight");
             if ws.users[r] == 0 && ws.users_of[r].is_empty() {
                 ws.active.push(r);
@@ -102,23 +146,25 @@ pub fn solve_with(ws: &mut Workspace, capacities: &[f64], demands: &[Demand<'_>]
             ws.users[r] += 1;
             ws.users_of[r].push(i);
         }
-        if d.usages.is_empty() {
+        if len == 0 {
             // Unconstrained by any resource: runs at its bound.
-            rates[i] = d.bound;
-            fixed[i] = true;
+            rates[i] = bound;
+            ws.fixed[i] = true;
         }
     }
     ws.active.sort_unstable();
 
     // Activities ordered by bound, so the tightest unfixed bound is found
     // by advancing a cursor instead of scanning all activities per round.
+    {
+        let fixed = &ws.fixed;
+        ws.by_bound.extend((0..n).filter(|&i| !fixed[i]));
+    }
     ws.by_bound
-        .extend((0..demands.len()).filter(|&i| !fixed[i]));
-    ws.by_bound
-        .sort_by(|&a, &b| demands[a].bound.partial_cmp(&demands[b].bound).unwrap());
+        .sort_by(|&a, &b| demands[a].2.partial_cmp(&demands[b].2).unwrap());
     let mut bound_cursor = 0;
 
-    let mut remaining = fixed.iter().filter(|f| !**f).count();
+    let mut remaining = ws.fixed.iter().filter(|f| !**f).count();
     while remaining > 0 {
         // Tightest resource constraint: min over unsaturated, used resources
         // of rem_cap / load.
@@ -140,12 +186,12 @@ pub fn solve_with(ws: &mut Workspace, capacities: &[f64], demands: &[Demand<'_>]
         }
 
         // Tightest activity bound among unfixed activities.
-        while bound_cursor < ws.by_bound.len() && fixed[ws.by_bound[bound_cursor]] {
+        while bound_cursor < ws.by_bound.len() && ws.fixed[ws.by_bound[bound_cursor]] {
             bound_cursor += 1;
         }
         let (best_act, best_bound) = if bound_cursor < ws.by_bound.len() {
             let i = ws.by_bound[bound_cursor];
-            (i, demands[i].bound)
+            (i, demands[i].2)
         } else {
             (usize::MAX, f64::INFINITY)
         };
@@ -156,9 +202,10 @@ pub fn solve_with(ws: &mut Workspace, capacities: &[f64], demands: &[Demand<'_>]
             fix_activity(
                 best_act,
                 best_bound,
+                arena,
                 demands,
-                &mut rates,
-                &mut fixed,
+                rates,
+                &mut ws.fixed,
                 &mut ws.rem_cap,
                 &mut ws.load,
                 &mut ws.users,
@@ -172,15 +219,16 @@ pub fn solve_with(ws: &mut Workspace, capacities: &[f64], demands: &[Demand<'_>]
             // Take the user list out to avoid aliasing; restored below.
             let user_list = std::mem::take(&mut ws.users_of[best_res]);
             for &i in &user_list {
-                if fixed[i] {
+                if ws.fixed[i] {
                     continue;
                 }
                 fix_activity(
                     i,
                     rate,
+                    arena,
                     demands,
-                    &mut rates,
-                    &mut fixed,
+                    rates,
+                    &mut ws.fixed,
                     &mut ws.rem_cap,
                     &mut ws.load,
                     &mut ws.users,
@@ -191,7 +239,7 @@ pub fn solve_with(ws: &mut Workspace, capacities: &[f64], demands: &[Demand<'_>]
         } else {
             // No resource constraint and no finite bound: the remaining
             // activities are genuinely unbounded.
-            for (i, f) in fixed.iter_mut().enumerate() {
+            for (i, f) in ws.fixed.iter_mut().enumerate() {
                 if !*f {
                     rates[i] = f64::INFINITY;
                     *f = true;
@@ -208,8 +256,6 @@ pub fn solve_with(ws: &mut Workspace, capacities: &[f64], demands: &[Demand<'_>]
         ws.saturated[j] = false;
         ws.users_of[j].clear();
     }
-
-    rates
 }
 
 fn close(a: f64, b: f64) -> bool {
@@ -262,7 +308,8 @@ pub fn check_feasible_and_fair(caps: &[f64], demands: &[Demand<'_>], rates: &[f6
 fn fix_activity(
     i: usize,
     rate: f64,
-    demands: &[Demand<'_>],
+    arena: &[(usize, f64)],
+    demands: &[PackedDemand],
     rates: &mut [f64],
     fixed: &mut [bool],
     rem_cap: &mut [f64],
@@ -271,7 +318,8 @@ fn fix_activity(
 ) {
     rates[i] = rate;
     fixed[i] = true;
-    for &(r, w) in demands[i].usages {
+    let (start, len, _) = demands[i];
+    for &(r, w) in &arena[start as usize..(start + len) as usize] {
         rem_cap[r] = (rem_cap[r] - rate * w).max(0.0);
         load[r] -= w;
         users[r] -= 1;
@@ -487,6 +535,48 @@ mod tests {
         );
         assert!(close(rates[0], 50.0));
         assert!(close(rates[1], 50.0));
+    }
+
+    #[test]
+    fn packed_solve_matches_wrapper_across_reuse() {
+        // The CSR entry point with reused workspace + output buffer must be
+        // bit-identical to the one-shot wrapper, call after call.
+        let mut ws = Workspace::new();
+        let mut rates = Vec::new();
+        type Problem = (Vec<f64>, Vec<Vec<(usize, f64)>>, Vec<f64>);
+        let problems: Vec<Problem> = vec![
+            (
+                vec![100.0],
+                vec![vec![(0, 1.0)], vec![(0, 2.0)]],
+                vec![f64::INFINITY, 10.0],
+            ),
+            (
+                vec![10.0, 50.0],
+                vec![vec![(0, 1.0), (1, 1.0)], vec![(1, 1.0)], vec![]],
+                vec![f64::INFINITY, f64::INFINITY, 3.0],
+            ),
+            (vec![1.0, 1.0], vec![vec![(0, 1.0), (1, 1.0)]], vec![0.25]),
+        ];
+        for (caps, usages, bounds) in &problems {
+            let mut arena = Vec::new();
+            let mut packed = Vec::new();
+            for u in usages {
+                packed.push((arena.len() as u32, u.len() as u32, 0.0));
+                arena.extend_from_slice(u);
+            }
+            for (p, &b) in packed.iter_mut().zip(bounds) {
+                p.2 = b;
+            }
+            solve_packed(&mut ws, caps, &arena, &packed, &mut rates);
+            let demands: Vec<Demand> = usages
+                .iter()
+                .zip(bounds)
+                .map(|(u, &bound)| Demand { usages: u, bound })
+                .collect();
+            let expect = solve(caps, &demands);
+            assert_eq!(rates, expect);
+            check_feasible_and_fair(caps, &demands, &rates);
+        }
     }
 
     #[test]

@@ -24,8 +24,8 @@
 //! * **Completion heap** — predicted completion instants live in a
 //!   lazily-invalidated min-heap keyed `(time, id, generation)`. Every rate
 //!   change bumps the activity's generation and pushes a fresh entry;
-//!   entries whose generation no longer matches are skipped (and dropped)
-//!   on pop. [`FlowNetwork::next_completion`] and
+//!   entries whose id or generation no longer matches their slot are
+//!   skipped (and dropped) on pop. [`FlowNetwork::next_completion`] and
 //!   [`FlowNetwork::harvest_completed`] are O(log n) per popped entry
 //!   instead of O(n) scans.
 //! * **Partial re-solve** — the network tracks the resource↔activity
@@ -37,10 +37,43 @@
 //!   restricted solve exact: no activity outside the component uses any
 //!   resource inside it. When the dirty set spans most of the platform the
 //!   engine falls back to a plain full solve.
+//!
+//! ## Data layout (dense-id SoA)
+//!
+//! Activity state lives in slot-indexed parallel arrays (`remaining`,
+//! `total`, `bound`, `rate`, `touched`, `generation`, …) rather than a map
+//! of per-activity structs: a re-solve streams over contiguous `f64`
+//! columns instead of chasing `BTreeMap` nodes. Slots are recycled through
+//! a free list; the external [`ActivityId`] stays a monotonically
+//! increasing `u64` (slot reuse is invisible — every slot stores its
+//! current id, so stale references from recycled slots are detected by an
+//! id mismatch). Usage lists live in one shared CSR-style arena
+//! (`(resource, weight)` pairs, per-activity `(start, len)` ranges) that
+//! compacts itself when churn leaves more dead than live entries.
+//! Deterministic id order is preserved by `live_by_id`, an append-only
+//! (ids are monotonic) lazily-pruned list of `(id, slot)` pairs that full
+//! solves and harvests iterate.
+//!
+//! ## Adaptive solve-path selection
+//!
+//! Component bookkeeping is pure overhead when one connected component
+//! spans most of the platform — exactly the regime below the measured
+//! crossover in `BENCH_flow.json` (a few hundred live activities on a
+//! small platform). The engine therefore runs one of two modes per
+//! re-solve: *incremental* (dirty-component walk, partial solve) or
+//! *sweep* (full solve over all live activities, no walk, no dirty
+//! bookkeeping beyond clearing the flags). The mode is chosen by a
+//! deterministic hysteresis policy ([`SolvePolicy::Adaptive`]) driven only
+//! by simulation-visible facts (live-activity count and how recent
+//! incremental solves degenerated into full fallbacks), so identical runs
+//! make identical choices. Both paths produce bit-identical rates — a
+//! partial solve of every component equals the full solve — so mode
+//! switching never changes simulation output, only wall time.
 
-use std::collections::{BTreeMap, BinaryHeap};
+use std::collections::{BinaryHeap, HashMap};
 
-use crate::fairshare::{self, Demand};
+use crate::fairshare::{self, PackedDemand};
+use crate::hash::U64FastBuild;
 use crate::time::Time;
 
 /// Handle to a resource (a core pool, a link, an I/O server).
@@ -57,46 +90,130 @@ pub struct ActivityId(pub(crate) u64);
 const REL_TOL: f64 = 1e-12;
 const ABS_TOL: f64 = 1e-9;
 
-/// Compact the completion heap / event heap only past this size, so small
-/// simulations never pay the rebuild.
+/// Compact heaps / lazy lists only past this size, so small simulations
+/// never pay the rebuild.
 const COMPACT_MIN: usize = 64;
 
-struct Resource {
-    capacity: f64,
+/// Sentinel id marking a vacant slot.
+const FREE: u64 = u64::MAX;
+
+/// How a re-solve was carried out — an observability hook consumed by
+/// telemetry and the adaptive policy.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum SolveKind {
+    /// Incremental mode solved just the dirty connected component(s).
+    Partial,
+    /// Incremental mode fell back to a full solve (dirty set spanning half
+    /// the platform, or a giant component aborting the walk).
+    Full,
+    /// The adaptive/sweep path solved all live activities without paying
+    /// for the component walk.
+    Sweep,
 }
 
-struct Activity {
-    /// Remaining work *as of `touched`* — not necessarily "now".
-    remaining: f64,
-    total: f64,
-    bound: f64,
-    /// `(resource index, weight)` — indices, not `ResourceId`, so the slice
-    /// can be handed to the fair-share solver without conversion.
-    usages: Vec<(usize, f64)>,
-    rate: f64,
-    /// The instant `remaining` was last made current. Progress since then
-    /// is the exact linear extrapolation `remaining - rate * dt`.
-    touched: Time,
-    /// Bumped on every rate change; completion-heap entries carrying an
-    /// older generation are stale and skipped.
-    generation: u64,
-    /// Visit mark for the component walk in `recompute` (epoch-stamped so
-    /// no per-recompute clearing is needed).
-    epoch: u64,
+impl SolveKind {
+    /// Whether the solve covered every live activity.
+    pub fn is_full(self) -> bool {
+        !matches!(self, SolveKind::Partial)
+    }
 }
 
-impl Activity {
-    fn done(&self) -> bool {
-        self.remaining <= self.total * REL_TOL + ABS_TOL
+/// Strategy for choosing the re-solve path.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SolvePolicy {
+    /// Hysteresis-based mode selection (the default). Starts incremental;
+    /// switches to the sweep path after `window` consecutive re-solves of
+    /// evidence that incremental bookkeeping is not paying for itself —
+    /// the dirty component covered at least half the live activities, or
+    /// the walk degenerated into a full-solve fallback outright — and back
+    /// once the live count has stayed above `sweep_exit` for `window`
+    /// re-solves (a growing population is the signal that components may
+    /// again be small relative to it). `sweep_enter` classifies sweep
+    /// entries: below it the population is small and the entry is cheap to
+    /// reverse; at or above it the entry came from giant-component thrash
+    /// and is held with exponential backoff so the walk is not retried
+    /// immediately. The evidence window keeps the mode from flapping per
+    /// event.
+    Adaptive {
+        /// Below this live-activity count, sweep is favoured.
+        sweep_enter: usize,
+        /// Above this live-activity count, incremental is favoured.
+        sweep_exit: usize,
+        /// Consecutive evidence re-solves required to switch.
+        window: u32,
+    },
+    /// Always use the incremental dirty-component path (the pre-adaptive
+    /// engine; kept for benchmarking and differential testing).
+    Incremental,
+    /// Always full-solve every live activity (the classic fair-share sweep
+    /// without the seed engine's O(n) integration/scan costs).
+    Sweep,
+}
+
+impl Default for SolvePolicy {
+    /// Tuned against `BENCH_flow.json`: the sweep path wins below a few
+    /// hundred live activities; the 48-resolve window means a mode switch
+    /// needs sustained evidence (and short runs never switch at all).
+    fn default() -> Self {
+        SolvePolicy::Adaptive {
+            sweep_enter: 192,
+            sweep_exit: 256,
+            window: 48,
+        }
+    }
+}
+
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum Mode {
+    Incremental,
+    Sweep,
+}
+
+/// Hysteresis state for [`SolvePolicy::Adaptive`]. All counters advance
+/// only on re-solves, from simulation-visible facts, so two identical runs
+/// switch modes at identical points.
+struct Adaptive {
+    mode: Mode,
+    /// Consecutive re-solves of evidence favouring the *other* mode.
+    streak: u32,
+    /// Sweep mode: re-solves left before exit evidence may accumulate
+    /// (backoff after giant-component thrashing).
+    hold: u32,
+    /// Next `hold` for a giant-component-triggered sweep entry; doubles on
+    /// each such entry (capped) and resets once incremental mode proves
+    /// stable.
+    backoff: u32,
+    /// Re-solves since the last mode switch.
+    resolves_in_mode: u32,
+    /// Total mode switches (telemetry counter `flow.mode_switches`).
+    switches: u64,
+}
+
+const BACKOFF_CAP: u32 = 8192;
+
+impl Adaptive {
+    fn new(window: u32) -> Self {
+        Adaptive {
+            mode: Mode::Incremental,
+            streak: 0,
+            hold: 0,
+            backoff: window,
+            resolves_in_mode: 0,
+            switches: 0,
+        }
     }
 }
 
 /// A predicted completion instant; heap entries are lazily invalidated by
-/// comparing `generation` against the activity's current generation.
+/// comparing `(id, generation)` against the slot's current occupant.
 #[derive(Clone, Copy)]
 struct Predicted {
     time: Time,
     id: u64,
+    /// Slot the activity occupied when the prediction was made — an O(1)
+    /// liveness probe (valid iff the slot still holds `id` at the same
+    /// `generation`). Not part of the ordering.
+    slot: u32,
     generation: u64,
 }
 
@@ -173,36 +290,82 @@ pub struct Progress {
 }
 
 /// The flow network: resources, activities, and the sharing fixed point.
+///
+/// Activity state is stored in slot-indexed structure-of-arrays form; see
+/// the module docs for the layout and the adaptive solve-path policy.
 pub struct FlowNetwork {
-    resources: Vec<Resource>,
-    // BTreeMap so iteration (and therefore completion tie-breaking and rate
-    // assignment) is deterministic in activity-id order.
-    activities: BTreeMap<u64, Activity>,
+    // ---- resources ----
+    /// Capacities, densely indexed by resource.
+    caps: Vec<f64>,
+    /// Per-resource live user slots (each live activity appears once per
+    /// *distinct* resource it uses).
+    res_users: Vec<Vec<u32>>,
+    /// Resources whose user set or capacity changed since the last solve.
+    dirty: Vec<usize>,
+    dirty_flag: Vec<bool>,
+    /// Epoch stamps for the component walk (parallel to `caps`).
+    res_epoch: Vec<u64>,
+
+    // ---- activities (slot-indexed SoA) ----
+    /// External id per slot; `FREE` marks a vacant slot.
+    ids: Vec<u64>,
+    /// Remaining work *as of `touched[slot]`* — not necessarily "now".
+    remaining: Vec<f64>,
+    total: Vec<f64>,
+    bound: Vec<f64>,
+    rate: Vec<f64>,
+    /// The instant `remaining` was last made current. Progress since then
+    /// is the exact linear extrapolation `remaining - rate * dt`.
+    touched: Vec<Time>,
+    /// Bumped on every rate change; completion-heap entries carrying an
+    /// older generation are stale and skipped.
+    generation: Vec<u64>,
+    /// Visit mark for the component walk in `recompute` (epoch-stamped so
+    /// no per-recompute clearing is needed).
+    act_epoch: Vec<u64>,
+    /// `(start, len)` into `arena` for the activity's usages.
+    usage_range: Vec<(u32, u32)>,
+    /// Vacated slots awaiting reuse.
+    free_slots: Vec<u32>,
+    /// id → slot, for the by-handle public API (hot paths carry slots).
+    slot_of: HashMap<u64, u32, U64FastBuild>,
+    live: usize,
+
+    // ---- usage arena (CSR) ----
+    /// All live activities' `(resource index, weight)` usages, contiguous
+    /// per activity. Append-only between compactions.
+    arena: Vec<(usize, f64)>,
+    /// Entries belonging to live activities; `arena.len() - arena_live` is
+    /// the dead space that triggers compaction.
+    arena_live: usize,
+
+    /// `(id, slot)` in id order (ids are monotonic, so appends keep it
+    /// sorted). Entries whose slot no longer holds their id are stale and
+    /// filtered on iteration; pruned when stale entries outnumber live.
+    live_by_id: Vec<(u64, u32)>,
+    live_stale: usize,
+
     next_activity: u64,
     last_update: Time,
     rates_stale: bool,
     recomputes: u64,
     scratch: fairshare::Workspace,
-    /// Capacities mirrored densely, kept in sync by `add_resource` /
-    /// `set_capacity` so `recompute` never rebuilds the vector.
-    caps_cache: Vec<f64>,
-    /// Per-resource live user ids (each live activity appears once per
-    /// *distinct* resource it uses).
-    res_users: Vec<Vec<u64>>,
-    /// Resources whose user set or capacity changed since the last solve.
-    dirty: Vec<usize>,
-    dirty_flag: Vec<bool>,
     /// Lazily-invalidated min-heap of predicted completions.
     completions: BinaryHeap<Predicted>,
-    /// Epoch stamps for the component walk (parallel to `resources`).
-    res_epoch: Vec<u64>,
     visit_epoch: u64,
-    // Scratch reused across recomputes.
+    // Scratch reused across recomputes (no steady-state allocation).
     bfs_stack: Vec<usize>,
-    comp_ids: Vec<u64>,
-    /// `(activities solved, was a full solve)` for the most recent
-    /// recompute — an observability hook consumed by telemetry.
-    last_solve: (usize, bool),
+    comp: Vec<u32>,
+    packed: Vec<PackedDemand>,
+    rates_buf: Vec<f64>,
+    harvest_buf: Vec<(u64, u32)>,
+    /// `(activities solved, how)` for the most recent recompute — an
+    /// observability hook consumed by telemetry.
+    last_solve: (usize, SolveKind),
+
+    // ---- adaptive policy ----
+    policy: SolvePolicy,
+    adaptive: Adaptive,
 }
 
 impl Default for FlowNetwork {
@@ -212,36 +375,106 @@ impl Default for FlowNetwork {
 }
 
 impl FlowNetwork {
-    /// Creates an empty network at time zero.
+    /// Creates an empty network at time zero with the default adaptive
+    /// solve policy.
     pub fn new() -> Self {
+        let policy = SolvePolicy::default();
+        let window = match policy {
+            SolvePolicy::Adaptive { window, .. } => window,
+            _ => 1,
+        };
         FlowNetwork {
-            resources: Vec::new(),
-            activities: BTreeMap::new(),
+            caps: Vec::new(),
+            res_users: Vec::new(),
+            dirty: Vec::new(),
+            dirty_flag: Vec::new(),
+            res_epoch: Vec::new(),
+            ids: Vec::new(),
+            remaining: Vec::new(),
+            total: Vec::new(),
+            bound: Vec::new(),
+            rate: Vec::new(),
+            touched: Vec::new(),
+            generation: Vec::new(),
+            act_epoch: Vec::new(),
+            usage_range: Vec::new(),
+            free_slots: Vec::new(),
+            slot_of: HashMap::default(),
+            live: 0,
+            arena: Vec::new(),
+            arena_live: 0,
+            live_by_id: Vec::new(),
+            live_stale: 0,
             next_activity: 0,
             last_update: Time::ZERO,
             rates_stale: false,
             recomputes: 0,
             scratch: fairshare::Workspace::new(),
-            caps_cache: Vec::new(),
-            res_users: Vec::new(),
-            dirty: Vec::new(),
-            dirty_flag: Vec::new(),
             completions: BinaryHeap::new(),
-            res_epoch: Vec::new(),
             visit_epoch: 0,
             bfs_stack: Vec::new(),
-            comp_ids: Vec::new(),
-            last_solve: (0, false),
+            comp: Vec::new(),
+            packed: Vec::new(),
+            rates_buf: Vec::new(),
+            harvest_buf: Vec::new(),
+            last_solve: (0, SolveKind::Full),
+            policy,
+            adaptive: Adaptive::new(window),
         }
+    }
+
+    /// Replaces the solve-path policy. Adaptive hysteresis state is reset;
+    /// rates and predictions are unaffected (both paths produce identical
+    /// rates — only wall time differs).
+    pub fn set_solve_policy(&mut self, policy: SolvePolicy) {
+        if let SolvePolicy::Adaptive {
+            sweep_enter,
+            sweep_exit,
+            window,
+        } = policy
+        {
+            assert!(
+                sweep_enter <= sweep_exit,
+                "sweep_enter must not exceed sweep_exit"
+            );
+            assert!(window >= 1, "window must be at least 1");
+            self.adaptive = Adaptive::new(window);
+        } else {
+            self.adaptive = Adaptive::new(1);
+            self.adaptive.mode = match policy {
+                SolvePolicy::Sweep => Mode::Sweep,
+                _ => Mode::Incremental,
+            };
+        }
+        self.policy = policy;
+    }
+
+    /// The active solve-path policy.
+    pub fn solve_policy(&self) -> SolvePolicy {
+        self.policy
+    }
+
+    /// Whether the *next* re-solve would take the sweep path (adaptive
+    /// observability; surfaced as the `flow.adaptive_mode` gauge).
+    pub fn sweep_mode(&self) -> bool {
+        match self.policy {
+            SolvePolicy::Sweep => true,
+            SolvePolicy::Incremental => false,
+            SolvePolicy::Adaptive { .. } => self.adaptive.mode == Mode::Sweep,
+        }
+    }
+
+    /// How many times the adaptive policy has switched modes.
+    pub fn mode_switches(&self) -> u64 {
+        self.adaptive.switches
     }
 
     /// Adds a resource with the given capacity. Capacities are in
     /// work-units per second (flop/s, byte/s, ...).
     pub fn add_resource(&mut self, capacity: f64) -> ResourceId {
         assert!(capacity >= 0.0 && !capacity.is_nan(), "invalid capacity");
-        let id = ResourceId(self.resources.len() as u32);
-        self.resources.push(Resource { capacity });
-        self.caps_cache.push(capacity);
+        let id = ResourceId(self.caps.len() as u32);
+        self.caps.push(capacity);
         self.res_users.push(Vec::new());
         self.dirty_flag.push(false);
         self.res_epoch.push(0);
@@ -250,7 +483,7 @@ impl FlowNetwork {
 
     /// Current capacity of a resource.
     pub fn capacity(&self, id: ResourceId) -> f64 {
-        self.resources[id.0 as usize].capacity
+        self.caps[id.0 as usize]
     }
 
     /// Changes a resource's capacity (e.g. node failure or frequency
@@ -259,19 +492,18 @@ impl FlowNetwork {
     pub fn set_capacity(&mut self, id: ResourceId, capacity: f64) {
         assert!(capacity >= 0.0 && !capacity.is_nan(), "invalid capacity");
         let idx = id.0 as usize;
-        self.resources[idx].capacity = capacity;
-        self.caps_cache[idx] = capacity;
+        self.caps[idx] = capacity;
         self.mark_dirty(idx);
     }
 
     /// Number of resources.
     pub fn resource_count(&self) -> usize {
-        self.resources.len()
+        self.caps.len()
     }
 
     /// Number of live activities.
     pub fn activity_count(&self) -> usize {
-        self.activities.len()
+        self.live
     }
 
     /// How many times the sharing fixed point has been recomputed (a cost
@@ -280,11 +512,11 @@ impl FlowNetwork {
         self.recomputes
     }
 
-    /// `(activities solved, was a full solve)` for the most recent
-    /// [`recompute`](Self::recompute) that actually ran. "Full" covers both
-    /// fallbacks (dirty set spanning half the platform, giant component);
-    /// a partial solve re-ran only the dirty connected component.
-    pub fn last_solve(&self) -> (usize, bool) {
+    /// `(activities solved, how)` for the most recent
+    /// [`recompute`](Self::recompute) that actually ran: a partial solve
+    /// covered only the dirty connected component; full and sweep solves
+    /// covered every live activity (see [`SolveKind`]).
+    pub fn last_solve(&self) -> (usize, SolveKind) {
         self.last_solve
     }
 
@@ -296,24 +528,28 @@ impl FlowNetwork {
         self.rates_stale = true;
     }
 
-    /// Remaining work of `a` extrapolated from its last touch to `now`.
-    fn remaining_at(a: &Activity, now: Time) -> f64 {
-        let dt = now - a.touched;
-        if dt > 0.0 && a.rate > 0.0 {
-            (a.remaining - a.rate * dt).max(0.0)
+    /// Remaining work of slot `si` extrapolated from its last touch to `now`.
+    fn remaining_at(&self, si: usize, now: Time) -> f64 {
+        let dt = now - self.touched[si];
+        if dt > 0.0 && self.rate[si] > 0.0 {
+            (self.remaining[si] - self.rate[si] * dt).max(0.0)
         } else {
-            a.remaining
+            self.remaining[si]
         }
     }
 
-    /// Predicted completion instant given the activity's current rate and
+    fn done(&self, si: usize) -> bool {
+        self.remaining[si] <= self.total[si] * REL_TOL + ABS_TOL
+    }
+
+    /// Predicted completion instant given the slot's current rate and
     /// touch point (which must equal `now` when this is called).
-    fn prediction(a: &Activity, now: Time) -> Option<Time> {
-        if a.done() {
+    fn prediction(&self, si: usize, now: Time) -> Option<Time> {
+        if self.done(si) {
             Some(now)
-        } else if a.rate > 0.0 {
-            if a.rate.is_finite() {
-                Some(now + a.remaining / a.rate)
+        } else if self.rate[si] > 0.0 {
+            if self.rate[si].is_finite() {
+                Some(now + self.remaining[si] / self.rate[si])
             } else {
                 Some(now)
             }
@@ -328,86 +564,168 @@ impl FlowNetwork {
         assert!(spec.work >= 0.0 && !spec.work.is_nan(), "invalid work");
         assert!(spec.bound >= 0.0, "negative bound");
         for &(r, w) in &spec.usages {
-            assert!((r.0 as usize) < self.resources.len(), "unknown resource");
+            assert!((r.0 as usize) < self.caps.len(), "unknown resource");
             assert!(w > 0.0, "usage weight must be positive");
         }
         let id = self.next_activity;
         self.next_activity += 1;
-        let mut act = Activity {
-            remaining: spec.work,
-            total: spec.work,
-            bound: spec.bound,
-            usages: spec
-                .usages
-                .iter()
-                .map(|&(r, w)| (r.0 as usize, w))
-                .collect(),
-            rate: 0.0,
-            touched: self.last_update,
-            generation: 0,
-            epoch: 0,
+
+        // Usages go into the shared arena, contiguous per activity.
+        let start = self.arena.len();
+        debug_assert!(
+            start + spec.usages.len() <= u32::MAX as usize,
+            "arena overflow"
+        );
+        self.arena
+            .extend(spec.usages.iter().map(|&(r, w)| (r.0 as usize, w)));
+        let len = spec.usages.len() as u32;
+        self.arena_live += len as usize;
+
+        // Claim a slot (recycled or fresh) and fill the columns.
+        let slot = match self.free_slots.pop() {
+            Some(s) => {
+                let si = s as usize;
+                self.ids[si] = id;
+                self.remaining[si] = spec.work;
+                self.total[si] = spec.work;
+                self.bound[si] = spec.bound;
+                self.rate[si] = 0.0;
+                self.touched[si] = self.last_update;
+                self.generation[si] = 0;
+                self.usage_range[si] = (start as u32, len);
+                s
+            }
+            None => {
+                let s = self.ids.len() as u32;
+                self.ids.push(id);
+                self.remaining.push(spec.work);
+                self.total.push(spec.work);
+                self.bound.push(spec.bound);
+                self.rate.push(0.0);
+                self.touched.push(self.last_update);
+                self.generation.push(0);
+                self.act_epoch.push(0);
+                self.usage_range.push((start as u32, len));
+                s
+            }
         };
-        if act.usages.is_empty() {
+        let si = slot as usize;
+        self.slot_of.insert(id, slot);
+        self.live_by_id.push((id, slot));
+        self.live += 1;
+
+        if len == 0 {
             // Unconstrained by any resource: the solver would assign the
             // bound; do it directly and skip the re-solve entirely.
-            act.rate = act.bound;
-            if let Some(t) = Self::prediction(&act, self.last_update) {
+            self.rate[si] = spec.bound;
+            if let Some(t) = self.prediction(si, self.last_update) {
                 self.completions.push(Predicted {
                     time: t,
                     id,
+                    slot,
                     generation: 0,
                 });
             }
         } else {
-            for (k, &(r, _)) in act.usages.iter().enumerate() {
-                if act.usages[..k].iter().any(|&(r2, _)| r2 == r) {
+            for k in 0..len as usize {
+                let (r, _) = self.arena[start + k];
+                if self.arena[start..start + k].iter().any(|&(r2, _)| r2 == r) {
                     continue; // duplicate usage of the same resource
                 }
-                self.res_users[r].push(id);
+                self.res_users[r].push(slot);
                 self.mark_dirty(r);
             }
-            if act.done() {
+            if self.done(si) {
                 // Completes regardless of whatever rate the solver assigns.
                 self.completions.push(Predicted {
                     time: self.last_update,
                     id,
+                    slot,
                     generation: 0,
                 });
             }
         }
-        self.activities.insert(id, act);
         ActivityId(id)
     }
 
-    /// Unlinks a removed activity from the per-resource user lists and
-    /// dirties the resources it used.
-    fn detach_usages(&mut self, id: u64, usages: &[(usize, f64)]) {
-        for (k, &(r, _)) in usages.iter().enumerate() {
-            if usages[..k].iter().any(|&(r2, _)| r2 == r) {
+    /// Unlinks a removed activity from the per-resource user lists, frees
+    /// its slot and arena range, and dirties the resources it used. The
+    /// caller has already removed the `slot_of` entry.
+    fn release_slot(&mut self, slot: u32) {
+        let si = slot as usize;
+        let (start, len) = self.usage_range[si];
+        let (start, len) = (start as usize, len as usize);
+        for k in 0..len {
+            let (r, _) = self.arena[start + k];
+            if self.arena[start..start + k].iter().any(|&(r2, _)| r2 == r) {
                 continue;
             }
-            let list = &mut self.res_users[r];
-            if let Some(pos) = list.iter().position(|&x| x == id) {
-                list.swap_remove(pos);
+            if let Some(pos) = self.res_users[r].iter().position(|&x| x == slot) {
+                self.res_users[r].swap_remove(pos);
             }
             self.mark_dirty(r);
         }
+        self.ids[si] = FREE;
+        self.free_slots.push(slot);
+        self.live -= 1;
+        self.live_stale += 1;
+        self.arena_live -= len;
+        self.maybe_compact_live();
+        self.maybe_compact_arena();
+    }
+
+    /// Prunes stale `(id, slot)` pairs once they outnumber the live ones;
+    /// `retain` preserves id order.
+    fn maybe_compact_live(&mut self) {
+        if self.live_by_id.len() >= COMPACT_MIN && self.live_stale * 2 > self.live_by_id.len() {
+            let ids = &self.ids;
+            self.live_by_id
+                .retain(|&(id, slot)| ids[slot as usize] == id);
+            self.live_stale = 0;
+        }
+    }
+
+    /// Rewrites the usage arena without dead ranges once dead entries
+    /// outnumber live ones; per-slot ranges are updated in place. Amortized
+    /// O(1) per removal.
+    fn maybe_compact_arena(&mut self) {
+        let dead = self.arena.len() - self.arena_live;
+        if self.arena.len() < COMPACT_MIN || dead <= self.arena_live {
+            return;
+        }
+        let mut fresh: Vec<(usize, f64)> = Vec::with_capacity(self.arena_live);
+        for &(id, slot) in &self.live_by_id {
+            let si = slot as usize;
+            if self.ids[si] != id {
+                continue;
+            }
+            let (start, len) = self.usage_range[si];
+            let new_start = fresh.len() as u32;
+            fresh.extend_from_slice(&self.arena[start as usize..(start + len) as usize]);
+            self.usage_range[si] = (new_start, len);
+        }
+        debug_assert_eq!(fresh.len(), self.arena_live);
+        self.arena = fresh;
     }
 
     /// Cancels an activity, returning its remaining work, or `None` if the
     /// id is unknown (already completed or cancelled).
     pub fn cancel(&mut self, id: ActivityId) -> Option<f64> {
-        let act = self.activities.remove(&id.0)?;
-        self.detach_usages(id.0, &act.usages);
-        Some(Self::remaining_at(&act, self.last_update))
+        let slot = self.slot_of.remove(&id.0)?;
+        let rem = self.remaining_at(slot as usize, self.last_update);
+        self.release_slot(slot);
+        Some(rem)
     }
 
     /// Progress of an ongoing activity.
     pub fn progress(&self, id: ActivityId) -> Option<Progress> {
-        self.activities.get(&id.0).map(|a| Progress {
-            remaining: Self::remaining_at(a, self.last_update),
-            total: a.total,
-            rate: a.rate,
+        self.slot_of.get(&id.0).map(|&slot| {
+            let si = slot as usize;
+            Progress {
+                remaining: self.remaining_at(si, self.last_update),
+                total: self.total[si],
+                rate: self.rate[si],
+            }
         })
     }
 
@@ -444,13 +762,12 @@ impl FlowNetwork {
     /// unchanged, so no full scan is ever needed.
     pub fn harvest_completed(&mut self) -> Vec<ActivityId> {
         let horizon = self.last_update + self.time_eps();
-        let mut done: Vec<u64> = Vec::new();
+        let mut done = std::mem::take(&mut self.harvest_buf);
+        done.clear();
         while let Some(&top) = self.completions.peek() {
-            let live = self
-                .activities
-                .get(&top.id)
-                .is_some_and(|a| a.generation == top.generation);
-            if !live {
+            let si = top.slot as usize;
+            let alive = self.ids[si] == top.id && self.generation[si] == top.generation;
+            if !alive {
                 self.completions.pop();
                 continue;
             }
@@ -458,26 +775,119 @@ impl FlowNetwork {
                 break;
             }
             self.completions.pop();
-            done.push(top.id);
+            done.push((top.id, top.slot));
         }
         done.sort_unstable();
         done.dedup();
         let mut out = Vec::with_capacity(done.len());
-        for id in done {
-            if let Some(act) = self.activities.remove(&id) {
-                self.detach_usages(id, &act.usages);
-                out.push(ActivityId(id));
+        for &(id, slot) in &done {
+            if self.ids[slot as usize] != id {
+                continue;
+            }
+            self.slot_of.remove(&id);
+            self.release_slot(slot);
+            out.push(ActivityId(id));
+        }
+        done.clear();
+        self.harvest_buf = done;
+        out
+    }
+
+    /// Pushes every live slot onto `out` in ascending activity-id order
+    /// (the deterministic full-solve iteration).
+    fn collect_live_sorted(&self, out: &mut Vec<u32>) {
+        out.extend(
+            self.live_by_id
+                .iter()
+                .filter(|&&(id, slot)| self.ids[slot as usize] == id)
+                .map(|&(_, slot)| slot),
+        );
+    }
+
+    /// Which path the next re-solve takes under the current policy/mode.
+    fn current_mode(&self) -> Mode {
+        match self.policy {
+            SolvePolicy::Incremental => Mode::Incremental,
+            SolvePolicy::Sweep => Mode::Sweep,
+            SolvePolicy::Adaptive { .. } => self.adaptive.mode,
+        }
+    }
+
+    /// Advances the hysteresis state after a re-solve. `live` is the live
+    /// count at solve time, `solved` how many activities the solve
+    /// covered, `kind` which path it took.
+    fn update_adaptive(&mut self, live: usize, solved: usize, kind: SolveKind) {
+        let SolvePolicy::Adaptive {
+            sweep_enter,
+            sweep_exit,
+            window,
+        } = self.policy
+        else {
+            return;
+        };
+        let a = &mut self.adaptive;
+        a.resolves_in_mode = a.resolves_in_mode.saturating_add(1);
+        match a.mode {
+            Mode::Incremental => {
+                // Incremental mode has proven stable: forget the backoff.
+                if a.resolves_in_mode == 4 * window {
+                    a.backoff = window;
+                }
+                // Evidence the walk is not paying for itself: the dirty
+                // component covered at least half the live set (sweep
+                // would solve ≤ 2x the activities with zero bookkeeping),
+                // or the walk already fell back to a full solve. A solve
+                // that touched nothing is neutral — it cost nothing and
+                // says nothing about component structure.
+                if kind == SolveKind::Full || (solved > 0 && solved * 2 >= live) {
+                    a.streak += 1;
+                } else if solved > 0 {
+                    a.streak = 0;
+                }
+                if a.streak >= window {
+                    a.mode = Mode::Sweep;
+                    a.switches += 1;
+                    a.streak = 0;
+                    a.resolves_in_mode = 0;
+                    // Giant-component thrash at scale gets an exponentially
+                    // growing hold so we do not pay the walk again soon;
+                    // small-population entries may exit as soon as the
+                    // population grows.
+                    if live >= sweep_enter {
+                        a.hold = a.backoff;
+                        a.backoff = (a.backoff * 2).min(BACKOFF_CAP);
+                    } else {
+                        a.hold = 0;
+                    }
+                }
+            }
+            Mode::Sweep => {
+                if a.hold > 0 {
+                    a.hold -= 1;
+                    a.streak = 0;
+                } else if live > sweep_exit {
+                    a.streak += 1;
+                } else {
+                    a.streak = 0;
+                }
+                if a.streak >= window {
+                    a.mode = Mode::Incremental;
+                    a.switches += 1;
+                    a.streak = 0;
+                    a.resolves_in_mode = 0;
+                }
             }
         }
-        out
     }
 
     /// Re-solves the sharing fixed point if anything changed since the last
     /// solve. Returns whether a recompute happened.
     ///
-    /// Only the connected component(s) of the resource↔activity graph
-    /// reachable from resources dirtied since the last solve are re-solved;
-    /// rates outside stay frozen. Activities whose rate comes back
+    /// In incremental mode, only the connected component(s) of the
+    /// resource↔activity graph reachable from resources dirtied since the
+    /// last solve are re-solved; rates outside stay frozen. In sweep mode
+    /// (or on the fallbacks) every live activity is re-solved — bit-
+    /// identical rates either way. Activities whose rate comes back
     /// unchanged are neither re-integrated nor re-inserted into the
     /// completion heap.
     pub fn recompute(&mut self) -> bool {
@@ -487,18 +897,30 @@ impl FlowNetwork {
         self.rates_stale = false;
         self.recomputes += 1;
 
-        let mut comp = std::mem::take(&mut self.comp_ids);
+        let live = self.live;
+        let mut comp = std::mem::take(&mut self.comp);
         comp.clear();
-        let mut full = true;
-        if self.dirty.len() * 2 >= self.resources.len() {
+        let kind;
+        if self.current_mode() == Mode::Sweep {
+            // Sweep path: no component walk, no per-resource bookkeeping
+            // beyond clearing the dirty flags.
+            for &r in &self.dirty {
+                self.dirty_flag[r] = false;
+            }
+            self.dirty.clear();
+            self.collect_live_sorted(&mut comp);
+            kind = SolveKind::Sweep;
+        } else if self.dirty.len() * 2 >= self.caps.len() {
             // The dirty set spans most of the platform: the component walk
             // would visit nearly everything, so fall back to a full solve.
             for &r in &self.dirty {
                 self.dirty_flag[r] = false;
             }
             self.dirty.clear();
-            comp.extend(self.activities.keys().copied());
+            self.collect_live_sorted(&mut comp);
+            kind = SolveKind::Full;
         } else {
+            let mut giant = false;
             self.visit_epoch += 1;
             let epoch = self.visit_epoch;
             let mut stack = std::mem::take(&mut self.bfs_stack);
@@ -511,32 +933,28 @@ impl FlowNetwork {
                 }
             }
             self.dirty.clear();
-            let mut giant = false;
             while let Some(r) = stack.pop() {
-                let users = std::mem::take(&mut self.res_users[r]);
-                for &id in &users {
-                    let a = self
-                        .activities
-                        .get_mut(&id)
-                        .expect("user lists only reference live activities");
-                    if a.epoch == epoch {
+                for i in 0..self.res_users[r].len() {
+                    let slot = self.res_users[r][i];
+                    let si = slot as usize;
+                    if self.act_epoch[si] == epoch {
                         continue;
                     }
-                    a.epoch = epoch;
-                    comp.push(id);
-                    for &(r2, _) in &a.usages {
+                    self.act_epoch[si] = epoch;
+                    comp.push(slot);
+                    let (start, len) = self.usage_range[si];
+                    for &(r2, _) in &self.arena[start as usize..(start + len) as usize] {
                         if self.res_epoch[r2] != epoch {
                             self.res_epoch[r2] = epoch;
                             stack.push(r2);
                         }
                     }
                 }
-                self.res_users[r] = users;
-                if comp.len() * 2 > self.activities.len() {
+                if comp.len() * 2 > live {
                     // Giant component: the walk would visit most activities
                     // anyway, so stop paying its bookkeeping and take the
-                    // full-solve path (whose id list is free and pre-sorted
-                    // from the BTreeMap).
+                    // full-solve path (whose slot list is free and
+                    // pre-sorted from `live_by_id`).
                     giant = true;
                     break;
                 }
@@ -545,56 +963,61 @@ impl FlowNetwork {
             self.bfs_stack = stack;
             if giant {
                 comp.clear();
-                comp.extend(self.activities.keys().copied());
+                self.collect_live_sorted(&mut comp);
+                kind = SolveKind::Full;
             } else {
-                comp.sort_unstable();
-                full = false;
+                let ids = &self.ids;
+                comp.sort_unstable_by_key(|&s| ids[s as usize]);
+                kind = SolveKind::Partial;
             }
         }
-        self.last_solve = (comp.len(), full);
+        self.last_solve = (comp.len(), kind);
 
         if !comp.is_empty() {
             // Solve the affected set against the full capacity vector. The
             // component closure guarantees no activity outside `comp` uses
             // any resource a member uses, so the restricted solve is exact.
-            let demands: Vec<Demand<'_>> = comp
-                .iter()
-                .map(|id| {
-                    let a = &self.activities[id];
-                    Demand {
-                        usages: &a.usages,
-                        bound: a.bound,
-                    }
-                })
-                .collect();
-            let rates = fairshare::solve_with(&mut self.scratch, &self.caps_cache, &demands);
-            drop(demands);
+            self.packed.clear();
+            for &s in &comp {
+                let si = s as usize;
+                let (start, len) = self.usage_range[si];
+                self.packed.push((start, len, self.bound[si]));
+            }
+            fairshare::solve_packed(
+                &mut self.scratch,
+                &self.caps,
+                &self.arena,
+                &self.packed,
+                &mut self.rates_buf,
+            );
             let now = self.last_update;
-            for (&id, rate) in comp.iter().zip(rates) {
-                let a = self.activities.get_mut(&id).unwrap();
+            for (k, &s) in comp.iter().enumerate() {
+                let si = s as usize;
+                let rate = self.rates_buf[k];
                 #[allow(clippy::float_cmp)] // deterministic solver: bit-equal means unchanged
-                if a.rate == rate {
+                if self.rate[si] == rate {
                     continue;
                 }
-                let dt = now - a.touched;
-                if dt > 0.0 && a.rate > 0.0 {
-                    a.remaining = (a.remaining - a.rate * dt).max(0.0);
+                let dt = now - self.touched[si];
+                if dt > 0.0 && self.rate[si] > 0.0 {
+                    self.remaining[si] = (self.remaining[si] - self.rate[si] * dt).max(0.0);
                 }
-                a.touched = now;
-                a.rate = rate;
-                a.generation += 1;
-                let generation = a.generation;
-                if let Some(t) = Self::prediction(a, now) {
+                self.touched[si] = now;
+                self.rate[si] = rate;
+                self.generation[si] += 1;
+                if let Some(t) = self.prediction(si, now) {
                     self.completions.push(Predicted {
                         time: t,
-                        id,
-                        generation,
+                        id: self.ids[si],
+                        slot: s,
+                        generation: self.generation[si],
                     });
                 }
             }
         }
         comp.clear();
-        self.comp_ids = comp;
+        self.comp = comp;
+        self.update_adaptive(live, self.last_solve.0, kind);
         self.maybe_compact_completions();
         true
     }
@@ -602,16 +1025,13 @@ impl FlowNetwork {
     /// Rebuilds the completion heap without stale entries once they
     /// outnumber the live activities, bounding heap growth under churn.
     fn maybe_compact_completions(&mut self) {
-        if self.completions.len() >= COMPACT_MIN
-            && self.completions.len() > 2 * self.activities.len()
-        {
+        if self.completions.len() >= COMPACT_MIN && self.completions.len() > 2 * self.live {
             let entries = std::mem::take(&mut self.completions).into_vec();
             let rebuilt: BinaryHeap<Predicted> = entries
                 .into_iter()
                 .filter(|e| {
-                    self.activities
-                        .get(&e.id)
-                        .is_some_and(|a| a.generation == e.generation)
+                    let si = e.slot as usize;
+                    self.ids[si] == e.id && self.generation[si] == e.generation
                 })
                 .collect();
             self.completions = rebuilt;
@@ -625,11 +1045,9 @@ impl FlowNetwork {
     pub fn next_completion(&mut self) -> Option<Time> {
         debug_assert!(!self.rates_stale, "next_completion with stale rates");
         while let Some(&top) = self.completions.peek() {
-            let live = self
-                .activities
-                .get(&top.id)
-                .is_some_and(|a| a.generation == top.generation);
-            if live {
+            let si = top.slot as usize;
+            let alive = self.ids[si] == top.id && self.generation[si] == top.generation;
+            if alive {
                 // An entry can sit in the past when the clock moved beyond
                 // the prediction before a harvest: it completes "now".
                 return Some(top.time.max(self.last_update));
@@ -640,12 +1058,15 @@ impl FlowNetwork {
     }
 
     /// Ids of activities currently stalled at rate zero (used for deadlock
-    /// diagnostics).
+    /// diagnostics), in id order.
     pub fn stalled(&self) -> Vec<ActivityId> {
-        self.activities
+        self.live_by_id
             .iter()
-            .filter(|(_, a)| a.rate == 0.0 && !a.done())
-            .map(|(&id, _)| ActivityId(id))
+            .filter(|&&(id, slot)| {
+                let si = slot as usize;
+                self.ids[si] == id && self.rate[si] == 0.0 && !self.done(si)
+            })
+            .map(|&(id, _)| ActivityId(id))
             .collect()
     }
 
@@ -662,12 +1083,13 @@ impl FlowNetwork {
         let idx = id.0 as usize;
         self.res_users[idx]
             .iter()
-            .map(|uid| {
-                let a = &self.activities[uid];
-                a.usages
+            .map(|&slot| {
+                let si = slot as usize;
+                let (start, len) = self.usage_range[si];
+                self.arena[start as usize..(start + len) as usize]
                     .iter()
                     .filter(|&&(r, _)| r == idx)
-                    .map(|&(_, w)| w * a.rate)
+                    .map(|&(_, w)| w * self.rate[si])
                     .sum::<f64>()
             })
             .sum()
@@ -678,6 +1100,20 @@ impl FlowNetwork {
     #[cfg(test)]
     pub(crate) fn prediction_backlog(&self) -> usize {
         self.completions.len()
+    }
+
+    /// Physical usage-arena length including dead entries (bounded-growth
+    /// tests for the CSR compaction).
+    #[cfg(test)]
+    pub(crate) fn arena_backlog(&self) -> usize {
+        self.arena.len()
+    }
+
+    /// Physical `live_by_id` length including stale pairs (bounded-growth
+    /// tests for the lazy pruning).
+    #[cfg(test)]
+    pub(crate) fn live_list_backlog(&self) -> usize {
+        self.live_by_id.len()
     }
 }
 
@@ -961,5 +1397,180 @@ mod tests {
         assert_eq!(net.next_completion(), Some(t(10.0)));
         net.advance_to(t(10.0));
         assert_eq!(net.harvest_completed(), vec![a]);
+    }
+
+    // -----------------------------------------------------------------
+    // Dense-id SoA layout specifics
+    // -----------------------------------------------------------------
+
+    #[test]
+    fn slot_reuse_is_invisible_to_handles() {
+        // Cancel and restart in a tight loop: slots recycle, ids stay
+        // unique, and stale handles (including heap entries from the old
+        // occupant) never resolve against the new occupant.
+        let mut net = FlowNetwork::new();
+        let cpu = net.add_resource(10.0);
+        let first = net.start(ActivitySpec::new(100.0, [cpu]));
+        net.recompute();
+        net.cancel(first).unwrap();
+        let second = net.start(ActivitySpec::new(50.0, [cpu]));
+        net.recompute();
+        // The recycled slot must answer for the new id only.
+        assert!(net.progress(first).is_none());
+        let p = net.progress(second).unwrap();
+        assert_eq!(p.total, 50.0);
+        assert!((p.rate - 10.0).abs() < 1e-12);
+        // The old occupant's heap entry (t=10) is stale; the real
+        // completion is the new activity's t=5.
+        assert_eq!(net.next_completion(), Some(t(5.0)));
+        net.advance_to(t(5.0));
+        assert_eq!(net.harvest_completed(), vec![second]);
+    }
+
+    #[test]
+    fn arena_and_live_list_stay_bounded_under_churn() {
+        let mut net = FlowNetwork::new();
+        let r: Vec<ResourceId> = (0..8).map(|_| net.add_resource(10.0)).collect();
+        let mut live = Vec::new();
+        for i in 0..5000 {
+            let spec = ActivitySpec::new(1e6, [r[i % 8]]).with_usage(r[(i + 3) % 8], 1.5);
+            live.push(net.start(spec));
+            if live.len() > 16 {
+                let victim = live.remove(i % 16);
+                net.cancel(victim);
+            }
+            net.recompute();
+        }
+        let live_usages = 2 * net.activity_count();
+        assert!(
+            net.arena_backlog() <= 2 * live_usages + COMPACT_MIN,
+            "arena grew unboundedly: {} entries for {} live usages",
+            net.arena_backlog(),
+            live_usages
+        );
+        assert!(
+            net.live_list_backlog() <= 2 * net.activity_count() + COMPACT_MIN,
+            "live list grew unboundedly: {} entries for {} live",
+            net.live_list_backlog(),
+            net.activity_count()
+        );
+    }
+
+    // -----------------------------------------------------------------
+    // Adaptive solve-path policy
+    // -----------------------------------------------------------------
+
+    /// Tiny thresholds so unit tests can cross them with a handful of
+    /// activities.
+    fn tight_adaptive() -> SolvePolicy {
+        SolvePolicy::Adaptive {
+            sweep_enter: 4,
+            sweep_exit: 6,
+            window: 3,
+        }
+    }
+
+    #[test]
+    fn adaptive_switches_to_sweep_and_back() {
+        let mut net = FlowNetwork::new();
+        net.set_solve_policy(tight_adaptive());
+        let r: Vec<ResourceId> = (0..32).map(|_| net.add_resource(10.0)).collect();
+        assert!(!net.sweep_mode(), "starts incremental");
+        // Sustained giant-component evidence (a 1-activity component
+        // always aborts the walk) → sweep.
+        let a = net.start(ActivitySpec::new(1e9, [r[0]]));
+        for k in 0..4 {
+            net.set_capacity(r[0], 10.0 + k as f64);
+            net.recompute();
+        }
+        assert!(net.sweep_mode(), "small population should enter sweep");
+        assert_eq!(net.mode_switches(), 1);
+        let (n, kind) = {
+            net.set_capacity(r[0], 30.0);
+            net.recompute();
+            net.last_solve()
+        };
+        assert_eq!(kind, SolveKind::Sweep);
+        assert_eq!(n, 1);
+        // Grow the population past sweep_exit for a sustained stretch →
+        // back to incremental.
+        let mut more = Vec::new();
+        for i in 0..10 {
+            more.push(net.start(ActivitySpec::new(1e9, [r[8 + i]])));
+            net.recompute();
+        }
+        assert!(!net.sweep_mode(), "large population should exit sweep");
+        assert_eq!(net.mode_switches(), 2);
+        let _ = a;
+    }
+
+    #[test]
+    fn sweep_and_incremental_policies_agree_bitwise() {
+        // The same operation sequence under Sweep, Incremental, and
+        // Adaptive policies must produce bit-identical rates and identical
+        // completion order — mode selection is pure wall-time.
+        let run = |policy: SolvePolicy| -> Vec<(u64, f64)> {
+            let mut net = FlowNetwork::new();
+            net.set_solve_policy(policy);
+            let r: Vec<ResourceId> = (0..12).map(|i| net.add_resource(5.0 + i as f64)).collect();
+            let mut handles = Vec::new();
+            let mut log = Vec::new();
+            for i in 0..40usize {
+                let spec = ActivitySpec::new(50.0 + 13.0 * i as f64, [r[i % 12]])
+                    .with_usage(r[(i * 5 + 1) % 12], 1.0 + (i % 3) as f64);
+                handles.push(net.start(spec));
+                net.recompute();
+                if i % 7 == 3 {
+                    net.set_capacity(r[i % 12], 2.0 + i as f64);
+                    net.recompute();
+                }
+                if i % 5 == 4 {
+                    if let Some(t) = net.next_completion() {
+                        net.advance_to(t);
+                        for done in net.harvest_completed() {
+                            log.push((done.0, net.last_update().as_secs()));
+                        }
+                        net.recompute();
+                    }
+                }
+                for h in &handles {
+                    if let Some(p) = net.progress(*h) {
+                        log.push((h.0, p.rate));
+                    }
+                }
+            }
+            log
+        };
+        let sweep = run(SolvePolicy::Sweep);
+        let incremental = run(SolvePolicy::Incremental);
+        let adaptive = run(tight_adaptive());
+        assert_eq!(sweep, incremental);
+        assert_eq!(sweep, adaptive);
+    }
+
+    #[test]
+    fn default_policy_needs_sustained_evidence() {
+        // Short runs must never switch modes (the Chrome-trace golden and
+        // other short fixtures depend on the incremental-mode annotations).
+        let mut net = FlowNetwork::new();
+        let cpu = net.add_resource(10.0);
+        // 20 start/cancel pairs = 40 re-solves, under the 48-window.
+        for _ in 0..20 {
+            let a = net.start(ActivitySpec::new(1.0, [cpu]));
+            net.recompute();
+            net.cancel(a);
+            net.recompute();
+        }
+        assert_eq!(net.mode_switches(), 0, "40 resolves must not switch yet");
+        assert!(!net.sweep_mode());
+        // Sustained evidence past the window does switch.
+        for _ in 0..10 {
+            let a = net.start(ActivitySpec::new(1.0, [cpu]));
+            net.recompute();
+            net.cancel(a);
+            net.recompute();
+        }
+        assert_eq!(net.mode_switches(), 1);
+        assert!(net.sweep_mode());
     }
 }

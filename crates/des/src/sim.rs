@@ -27,7 +27,9 @@ use std::collections::{HashMap, VecDeque};
 
 use elastisim_telemetry::Telemetry;
 
-use crate::flow::{ActivityId, ActivitySpec, FlowNetwork, Progress, ResourceId};
+use crate::flow::{
+    ActivityId, ActivitySpec, FlowNetwork, Progress, ResourceId, SolveKind, SolvePolicy,
+};
 use crate::queue::{EntryId, EventQueue};
 use crate::time::Time;
 
@@ -91,6 +93,31 @@ impl<E> Simulator<E> {
     /// entries (telemetry counter `des.queue.compactions`).
     pub fn queue_compactions(&self) -> u64 {
         self.queue.compactions()
+    }
+
+    /// Live (scheduled, not yet fired or cancelled) event-queue entries
+    /// (telemetry gauge `des.queue.live_entries`).
+    pub fn queue_live_entries(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Cancelled entries still occupying heap slots awaiting a pop-skip or
+    /// compaction (telemetry gauge `des.queue.cancelled_entries`).
+    pub fn queue_cancelled_entries(&self) -> usize {
+        self.queue.cancelled_len()
+    }
+
+    /// Replaces the flow solve-path policy (see [`SolvePolicy`]); the
+    /// default is adaptive. Rates and event order are unaffected — policy
+    /// only selects which equivalent solve path runs.
+    pub fn set_solve_policy(&mut self, policy: SolvePolicy) {
+        self.flow.set_solve_policy(policy);
+    }
+
+    /// How many times the adaptive policy switched solve modes (telemetry
+    /// counter `flow.mode_switches`).
+    pub fn flow_mode_switches(&self) -> u64 {
+        self.flow.mode_switches()
     }
 
     /// Current simulated time.
@@ -260,17 +287,22 @@ impl<E> Simulator<E> {
             let start = std::time::Instant::now();
             if self.flow.recompute() {
                 self.telemetry.observe_since("flow.resolve_seconds", start);
-                let (activities, full) = self.flow.last_solve();
+                let (activities, kind) = self.flow.last_solve();
                 self.telemetry
                     .observe("flow.resolve_activities", activities as f64);
                 self.telemetry.counter_add(
-                    if full {
-                        "flow.resolves_full"
-                    } else {
-                        "flow.resolves_partial"
+                    match kind {
+                        SolveKind::Full => "flow.resolves_full",
+                        SolveKind::Partial => "flow.resolves_partial",
+                        SolveKind::Sweep => "flow.resolves_adaptive",
                     },
                     1,
                 );
+                self.telemetry
+                    .gauge_set("flow.adaptive_mode", self.flow.sweep_mode() as u8 as f64);
+                // The detail string is pinned by the Chrome-trace golden:
+                // keep "full=" (did the solve cover all live activities).
+                let full = kind.is_full();
                 self.telemetry
                     .timeline_push(self.now.as_secs(), "flow.resolve", || {
                         format!("activities={activities} full={full}")

@@ -4,7 +4,7 @@
 
 use elastisim_des::fairshare::{check_feasible_and_fair, solve, solve_with, Demand, Workspace};
 use elastisim_des::{
-    ActivityId, ActivitySpec, EventQueue, FlowNetwork, ResourceId, Simulator, Time,
+    ActivityId, ActivitySpec, EventQueue, FlowNetwork, ResourceId, Simulator, SolvePolicy, Time,
 };
 use proptest::prelude::*;
 
@@ -373,8 +373,9 @@ fn close_t(a: f64, b: f64) -> bool {
     (a - b).abs() <= 1e-6 + 1e-9 * a.abs().max(b.abs())
 }
 
-fn replay(caps: &[f64], ops: &[Op]) -> Result<(), TestCaseError> {
+fn replay(caps: &[f64], ops: &[Op], policy: SolvePolicy) -> Result<(), TestCaseError> {
     let mut net = FlowNetwork::new();
+    net.set_solve_policy(policy);
     let rids: Vec<ResourceId> = caps.iter().map(|&c| net.add_resource(c)).collect();
     let mut reference = RefEngine::new(caps.to_vec());
     // Both engines hand out ids 0, 1, 2, … in start order; the pair list
@@ -503,6 +504,52 @@ fn replay(caps: &[f64], ops: &[Op]) -> Result<(), TestCaseError> {
     Ok(())
 }
 
+/// Storm traces: alternating add bursts, remove bursts, and capacity
+/// churn. With the tight adaptive thresholds below, the live count
+/// repeatedly crosses the hysteresis band, forcing sweep↔incremental mode
+/// switches mid-trace — the regime where stale dirty-set or frozen-rate
+/// bugs at the mode boundary would show up as a divergence from the
+/// reference engine.
+fn arb_storm_trace() -> impl Strategy<Value = (Vec<f64>, Vec<Op>)> {
+    (2usize..6).prop_flat_map(|nres| {
+        let burst = prop_oneof![
+            // Add storm: a run of starts, then a solve point.
+            proptest::collection::vec(
+                (
+                    prop_oneof![1 => Just(0.0f64), 6 => 1.0f64..2e3],
+                    proptest::collection::vec((0..nres, 0.5f64..2.0), 1..3),
+                    prop_oneof![2 => Just(f64::INFINITY), 1 => 0.5f64..40.0],
+                )
+                    .prop_map(|(work, res, bound)| Op::Start { work, res, bound }),
+                4..12,
+            ),
+            // Remove storm: a run of cancels.
+            proptest::collection::vec((0usize..64).prop_map(Op::Cancel), 4..12),
+            // Capacity churn: hammer set_capacity, including zeroing.
+            proptest::collection::vec(
+                (0..nres, prop_oneof![1 => Just(0.0f64), 4 => 0.5f64..100.0])
+                    .prop_map(|(res, cap)| Op::SetCap { res, cap }),
+                3..8,
+            ),
+            Just(vec![Op::Run]),
+        ];
+        (
+            proptest::collection::vec(0.5f64..100.0, nres..=nres),
+            proptest::collection::vec(burst, 2..8)
+                .prop_map(|bursts| bursts.into_iter().flatten().collect()),
+        )
+    })
+}
+
+/// Thresholds small enough that storm traces cross them repeatedly.
+fn tight_adaptive() -> SolvePolicy {
+    SolvePolicy::Adaptive {
+        sweep_enter: 3,
+        sweep_exit: 5,
+        window: 2,
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(1000))]
 
@@ -512,8 +559,108 @@ proptest! {
     /// all agree.
     #[test]
     fn incremental_engine_matches_full_solve_reference((caps, ops) in arb_trace()) {
-        replay(&caps, &ops)?;
+        replay(&caps, &ops, SolvePolicy::Incremental)?;
     }
+
+    /// The same oracle under the default adaptive policy: identical
+    /// observable behaviour regardless of which solve path runs.
+    #[test]
+    fn adaptive_engine_matches_full_solve_reference((caps, ops) in arb_trace()) {
+        replay(&caps, &ops, SolvePolicy::default())?;
+    }
+
+    /// Add/remove storms and capacity churn under hair-trigger adaptive
+    /// thresholds, so traces switch modes mid-flight — every rate,
+    /// remaining-work value, and completion still matches the reference.
+    #[test]
+    fn storms_force_mode_switches_and_still_match((caps, ops) in arb_storm_trace()) {
+        replay(&caps, &ops, tight_adaptive())?;
+    }
+
+    /// Pure sweep policy against the same oracle (the degenerate mode the
+    /// adaptive path falls back to must itself be correct).
+    #[test]
+    fn sweep_engine_matches_full_solve_reference((caps, ops) in arb_trace()) {
+        replay(&caps, &ops, SolvePolicy::Sweep)?;
+    }
+}
+
+/// A deterministic storm that verifiably crosses the hysteresis band in
+/// both directions: the adaptive engine must actually switch modes (not
+/// just tolerate the possibility) and still agree with the reference —
+/// `replay` checks agreement after every single operation.
+#[test]
+fn deterministic_storm_switches_modes_both_ways() {
+    let caps = vec![10.0, 20.0, 30.0];
+    let mut ops = Vec::new();
+    // Phase 1: small population + churn → enter sweep.
+    ops.push(Op::Start {
+        work: 1e7,
+        res: vec![(0, 1.0)],
+        bound: f64::INFINITY,
+    });
+    for i in 0..6 {
+        ops.push(Op::SetCap {
+            res: i % 3,
+            cap: 5.0 + i as f64,
+        });
+    }
+    // Phase 2: add storm well past sweep_exit → back to incremental.
+    for i in 0..12 {
+        ops.push(Op::Start {
+            work: 1e7,
+            res: vec![(i % 3, 1.0)],
+            bound: f64::INFINITY,
+        });
+    }
+    for i in 0..6 {
+        ops.push(Op::SetCap {
+            res: i % 3,
+            cap: 7.0 + i as f64,
+        });
+    }
+    // Phase 3: remove storm back below sweep_enter → sweep again.
+    for _ in 0..12 {
+        ops.push(Op::Cancel(0));
+    }
+    for i in 0..6 {
+        ops.push(Op::SetCap {
+            res: i % 3,
+            cap: 9.0 + i as f64,
+        });
+    }
+    replay(&caps, &ops, tight_adaptive()).expect("storm diverged from reference");
+
+    // Re-run outside the oracle to count the switches themselves.
+    let mut net = FlowNetwork::new();
+    net.set_solve_policy(tight_adaptive());
+    let rids: Vec<ResourceId> = caps.iter().map(|&c| net.add_resource(c)).collect();
+    let mut live = Vec::new();
+    for op in &ops {
+        match op {
+            Op::Start { work, res, bound } => {
+                live.push(net.start(ActivitySpec {
+                    work: *work,
+                    usages: res.iter().map(|&(r, w)| (rids[r], w)).collect(),
+                    bound: *bound,
+                }));
+            }
+            Op::Cancel(k) => {
+                if !live.is_empty() {
+                    let a = live.remove(k % live.len());
+                    net.cancel(a);
+                }
+            }
+            Op::SetCap { res, cap } => net.set_capacity(rids[*res], *cap),
+            Op::Run => {}
+        }
+        net.recompute();
+    }
+    assert!(
+        net.mode_switches() >= 2,
+        "storm should switch modes both ways, saw {}",
+        net.mode_switches()
+    );
 }
 
 // ---------------------------------------------------------------------
