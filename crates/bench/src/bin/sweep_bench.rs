@@ -1,0 +1,221 @@
+//! Campaign throughput gate: measures sweep scenarios/sec over the
+//! conformance seed corpus at 1 vs N workers, writes
+//! `BENCH_sweep.json`-shaped output, and (with `--check`) fails when the
+//! parallel speedup regresses against the committed numbers.
+//!
+//! Wall times are machine-dependent, so the `--check` gate compares
+//! *speedup ratios* (N-worker throughput ÷ 1-worker throughput,
+//! best-of-samples) against the same ratios derived from the committed
+//! JSON. Alongside the throughput numbers, every measured run verifies
+//! the campaign correctness contract: merged report fingerprints at N
+//! workers must be byte-identical to the sequential ones.
+//!
+//! Usage: `sweep_bench [--smoke] [--json-out FILE] [--check COMMITTED]`
+
+use std::time::Instant;
+
+use elastisim_campaign::{Executor, RunSpec};
+use serde::Value;
+
+/// Conformance seed corpus: `seeds` seeds under each scheduler.
+fn corpus(seeds: u64, schedulers: &[&str]) -> Vec<RunSpec> {
+    let mut specs = Vec::new();
+    for seed in 0..seeds {
+        for scheduler in schedulers {
+            specs.push(RunSpec::from_seed(specs.len() as u64, seed, scheduler));
+        }
+    }
+    specs
+}
+
+/// One timed campaign; returns (wall seconds, merged report fingerprints).
+fn run_once(workers: usize, seeds: u64, schedulers: &[&str]) -> (f64, Vec<String>) {
+    let specs = corpus(seeds, schedulers);
+    let executor = Executor::new(workers);
+    let t0 = Instant::now();
+    let records = executor.run(specs);
+    let wall = t0.elapsed().as_secs_f64();
+    let fingerprints = records
+        .iter()
+        .map(|r| {
+            r.report_fingerprint()
+                .unwrap_or_else(|| panic!("corpus run failed: {}", r.label))
+                .to_owned()
+        })
+        .collect();
+    (wall, fingerprints)
+}
+
+fn get<'a>(v: &'a Value, key: &str) -> Option<&'a Value> {
+    match v {
+        Value::Map(m) => m.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+        _ => None,
+    }
+}
+
+fn num(v: &Value) -> f64 {
+    match v {
+        Value::Num(n) => *n,
+        other => panic!("expected number, got {other:?}"),
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let arg_value = |name: &str| {
+        args.iter().position(|a| a == name).map(|i| {
+            args.get(i + 1)
+                .unwrap_or_else(|| panic!("{name} needs a value"))
+                .clone()
+        })
+    };
+    let json_out = arg_value("--json-out");
+    let check = arg_value("--check");
+    for (i, a) in args.iter().enumerate() {
+        if a.starts_with("--")
+            && a != "--smoke"
+            && a != "--json-out"
+            && a != "--check"
+            && !(i > 0 && (args[i - 1] == "--json-out" || args[i - 1] == "--check"))
+        {
+            eprintln!("unknown option {a}");
+            std::process::exit(2);
+        }
+    }
+
+    let schedulers = ["fcfs", "elastic"];
+    let (seeds, worker_counts, samples): (u64, &[usize], usize) = if smoke {
+        (24, &[1, 4], 2)
+    } else {
+        (100, &[1, 2, 4, 8], 3)
+    };
+    let runs = seeds as usize * schedulers.len();
+
+    println!(
+        "campaign throughput gate ({seeds} seeds x {} schedulers = {runs} runs, best of {samples})",
+        schedulers.len()
+    );
+
+    // Sequential reference: both the throughput baseline and the golden
+    // fingerprints every parallel arm must reproduce byte-identically.
+    let mut best_wall = vec![f64::INFINITY; worker_counts.len()];
+    let mut reference: Option<Vec<String>> = None;
+    for _ in 0..samples {
+        for (i, &workers) in worker_counts.iter().enumerate() {
+            let (wall, fingerprints) = run_once(workers, seeds, &schedulers);
+            match &reference {
+                None => reference = Some(fingerprints),
+                Some(expected) => assert_eq!(
+                    expected, &fingerprints,
+                    "fingerprint divergence at {workers} workers"
+                ),
+            }
+            if wall < best_wall[i] {
+                best_wall[i] = wall;
+            }
+        }
+    }
+
+    let throughput: Vec<f64> = best_wall.iter().map(|w| runs as f64 / w).collect();
+    let round2 = |x: f64| (x * 100.0).round() / 100.0;
+    let mut throughput_map = Vec::new();
+    let mut speedup_map = Vec::new();
+    for (i, &workers) in worker_counts.iter().enumerate() {
+        let speedup = throughput[i] / throughput[0];
+        println!(
+            "  workers {workers:>2}   {:>8.1} scenarios/sec ({:>5.2}x)",
+            throughput[i], speedup
+        );
+        throughput_map.push((
+            format!("workers/{workers}"),
+            Value::Num(round2(throughput[i])),
+        ));
+        speedup_map.push((format!("workers/{workers}"), Value::Num(round2(speedup))));
+    }
+
+    let doc = Value::Map(vec![
+        (
+            "benchmark".into(),
+            Value::Str("crates/bench/src/bin/sweep_bench.rs".into()),
+        ),
+        (
+            "unit".into(),
+            Value::Str(format!(
+                "scenarios/sec over the conformance seed corpus \
+                 ({seeds} seeds x {} schedulers, best of {samples} samples)",
+                schedulers.len()
+            )),
+        ),
+        (
+            "machine_note".into(),
+            Value::Str(
+                "single container, release profile; absolute throughput is machine-local — \
+                 regression gating compares parallel speedup ratios only"
+                    .into(),
+            ),
+        ),
+        (
+            "correctness_note".into(),
+            Value::Str(
+                "every measured campaign asserts merged report fingerprints identical to the \
+                 sequential reference, so the numbers only exist if worker-count independence held"
+                    .into(),
+            ),
+        ),
+        ("scenarios_per_sec".into(), Value::Map(throughput_map)),
+        (
+            "speedup_vs_one_worker".into(),
+            Value::Map(speedup_map.clone()),
+        ),
+    ]);
+
+    let json = serde_json::to_string_pretty(&doc).expect("serialize bench json");
+    if let Some(path) = &json_out {
+        std::fs::write(path, json.clone() + "\n").expect("write bench json");
+        println!("  json written to {path}");
+    }
+
+    let mut failures = Vec::new();
+    // Absolute floor: adding workers must never make the sweep slower
+    // than sequential beyond noise.
+    for (key, v) in &speedup_map {
+        if num(v) < 0.9 {
+            failures.push(format!(
+                "parallel sweep slower than sequential at {key}: {}x",
+                num(v)
+            ));
+        }
+    }
+    if let Some(committed_path) = &check {
+        let text = std::fs::read_to_string(committed_path)
+            .unwrap_or_else(|e| panic!("read {committed_path}: {e}"));
+        let committed: Value = serde_json::from_str(&text).expect("parse committed bench json");
+        if let Some(committed_speedups) = get(&committed, "speedup_vs_one_worker") {
+            for (key, v) in &speedup_map {
+                let Some(c) = get(committed_speedups, key) else {
+                    continue; // worker count not in the committed file
+                };
+                let committed_speedup = num(c);
+                let measured_speedup = num(v);
+                // Generous tolerance: parallel speedup is the noisiest
+                // ratio we gate (core count, load, and SMT all move it),
+                // so only a halving is treated as a real regression.
+                if measured_speedup < committed_speedup * 0.5 {
+                    failures.push(format!(
+                        "speedup at {key}: {measured_speedup:.2}x is >50% below \
+                         committed {committed_speedup:.2}x"
+                    ));
+                }
+            }
+        }
+    }
+
+    if !failures.is_empty() {
+        for f in &failures {
+            eprintln!("FAIL: {f}");
+        }
+        std::process::exit(1);
+    }
+    println!("PASS: worker-count independence held and no speedup regressed");
+}

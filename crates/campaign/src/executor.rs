@@ -1,0 +1,381 @@
+//! The campaign executor: a work-queue over a small owned thread pool.
+//!
+//! N worker threads pull [`RunSpec`]s off a shared queue, execute each as
+//! a fully owned `Send` unit of work (cache lookup → build → run), and
+//! stream results back to the submitting thread, which merges them
+//! **id-ordered** — the merged output is byte-identical no matter how
+//! completion order interleaves, which is what lets `elastisim sweep`
+//! promise the same records at any worker count.
+//!
+//! A panicking scenario is caught on the worker (`catch_unwind`), turned
+//! into a structured [`RunError::Panicked`], and the worker moves on to
+//! the next queue item — one poisoned run never takes the pool down.
+
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{mpsc, Arc, Mutex};
+use std::time::Instant;
+
+use elastisim::{report_fingerprint, Report};
+
+use crate::cache::ResultCache;
+use crate::spec::RunSpec;
+
+/// Why a run failed.
+#[derive(Clone, Debug, PartialEq)]
+pub enum RunError {
+    /// The spec could not be turned into a simulation (unknown scheduler,
+    /// workload that fails validation against the platform).
+    Setup(String),
+    /// The run started but the engine reported a fatal error.
+    Sim(String),
+    /// The run panicked; the payload message is preserved.
+    Panicked(String),
+}
+
+impl std::fmt::Display for RunError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RunError::Setup(m) => write!(f, "setup failed: {m}"),
+            RunError::Sim(m) => write!(f, "simulation failed: {m}"),
+            RunError::Panicked(m) => write!(f, "run panicked: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for RunError {}
+
+/// How one run ended.
+#[derive(Clone, Debug)]
+pub enum RunOutcome {
+    /// The run completed (possibly served from cache).
+    Completed {
+        /// The full report.
+        report: Report,
+        /// Canonical report fingerprint ([`elastisim::report_fingerprint`]).
+        report_fingerprint: String,
+    },
+    /// The run failed with a structured error.
+    Failed(RunError),
+}
+
+/// The merged-campaign record of one run.
+#[derive(Clone, Debug)]
+pub struct RunRecord {
+    /// The spec's id; records are merged ascending by it.
+    pub id: u64,
+    /// The spec's label.
+    pub label: String,
+    /// Scheduler identity (the fingerprint-visible label).
+    pub scheduler: String,
+    /// The scenario fingerprint (cache key).
+    pub scenario_fingerprint: String,
+    /// Whether the result came from the cache without re-executing.
+    pub cached: bool,
+    /// Wall-clock seconds this record took on its worker (lookup or run).
+    /// Nondeterministic; excluded from all fingerprints.
+    pub wall_seconds: f64,
+    /// How the run ended.
+    pub outcome: RunOutcome,
+}
+
+impl RunRecord {
+    /// The report, if the run completed.
+    pub fn report(&self) -> Option<&Report> {
+        match &self.outcome {
+            RunOutcome::Completed { report, .. } => Some(report),
+            RunOutcome::Failed(_) => None,
+        }
+    }
+
+    /// The report fingerprint, if the run completed.
+    pub fn report_fingerprint(&self) -> Option<&str> {
+        match &self.outcome {
+            RunOutcome::Completed {
+                report_fingerprint, ..
+            } => Some(report_fingerprint),
+            RunOutcome::Failed(_) => None,
+        }
+    }
+
+    /// The error, if the run failed.
+    pub fn error(&self) -> Option<&RunError> {
+        match &self.outcome {
+            RunOutcome::Failed(e) => Some(e),
+            RunOutcome::Completed { .. } => None,
+        }
+    }
+}
+
+/// Progress callbacks from [`Executor::run_with`], delivered on the
+/// submitting thread in completion order (the merged result stays
+/// id-ordered regardless).
+#[derive(Debug)]
+pub enum CampaignEvent<'a> {
+    /// A worker picked the run off the queue.
+    RunStarted {
+        /// The spec's id.
+        id: u64,
+        /// The spec's label.
+        label: &'a str,
+    },
+    /// A run finished (completed, cached, or failed).
+    RunFinished(&'a RunRecord),
+}
+
+/// Work-queue executor over an owned pool of `workers` threads.
+///
+/// The pool is per-call: [`run_with`](Executor::run_with) spawns its
+/// workers, drains the queue, joins them, and returns — no detached
+/// threads outlive the call. The [`ResultCache`] *does* persist across
+/// calls (and can be shared across executors), which is how
+/// `elastisim serve` answers repeated campaigns without re-executing.
+pub struct Executor {
+    workers: usize,
+    cache: Arc<ResultCache>,
+}
+
+impl Executor {
+    /// An executor running up to `workers` scenarios concurrently
+    /// (clamped to at least 1), with a fresh private cache.
+    pub fn new(workers: usize) -> Self {
+        Executor {
+            workers: workers.max(1),
+            cache: Arc::new(ResultCache::new()),
+        }
+    }
+
+    /// Replaces the cache with a shared one.
+    pub fn with_cache(mut self, cache: Arc<ResultCache>) -> Self {
+        self.cache = cache;
+        self
+    }
+
+    /// The executor's result cache.
+    pub fn cache(&self) -> &Arc<ResultCache> {
+        &self.cache
+    }
+
+    /// The configured concurrency.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Runs the campaign and returns records merged ascending by spec id.
+    pub fn run(&self, specs: Vec<RunSpec>) -> Vec<RunRecord> {
+        self.run_with(specs, |_| {})
+    }
+
+    /// Runs the campaign, invoking `on_event` (on this thread) as runs
+    /// start and finish. Returns records merged ascending by spec id,
+    /// independent of completion order.
+    pub fn run_with(
+        &self,
+        specs: Vec<RunSpec>,
+        mut on_event: impl FnMut(&CampaignEvent),
+    ) -> Vec<RunRecord> {
+        if specs.is_empty() {
+            return Vec::new();
+        }
+        let total = specs.len();
+        let specs = Arc::new(specs);
+        let queue: Arc<Mutex<VecDeque<usize>>> = Arc::new(Mutex::new((0..total).collect()));
+        let (tx, rx) = mpsc::channel::<WorkerMsg>();
+
+        let workers = self.workers.min(total);
+        let mut handles = Vec::with_capacity(workers);
+        for w in 0..workers {
+            let specs = Arc::clone(&specs);
+            let queue = Arc::clone(&queue);
+            let cache = Arc::clone(&self.cache);
+            let tx = tx.clone();
+            let handle = std::thread::Builder::new()
+                .name(format!("campaign-worker-{w}"))
+                .spawn(move || loop {
+                    let next = {
+                        let mut q = queue.lock().unwrap_or_else(|p| p.into_inner());
+                        q.pop_front()
+                    };
+                    let Some(idx) = next else { break };
+                    let spec = &specs[idx];
+                    let _ = tx.send(WorkerMsg::Started {
+                        id: spec.id,
+                        label: spec.label.clone(),
+                    });
+                    let record = execute_one(spec, &cache);
+                    let _ = tx.send(WorkerMsg::Done {
+                        idx,
+                        record: Box::new(record),
+                    });
+                })
+                .expect("spawning campaign worker");
+            handles.push(handle);
+        }
+        drop(tx);
+
+        let mut slots: Vec<Option<RunRecord>> = (0..total).map(|_| None).collect();
+        let mut remaining = total;
+        while remaining > 0 {
+            match rx.recv() {
+                Ok(WorkerMsg::Started { id, label }) => {
+                    on_event(&CampaignEvent::RunStarted { id, label: &label });
+                }
+                Ok(WorkerMsg::Done { idx, record }) => {
+                    on_event(&CampaignEvent::RunFinished(&record));
+                    slots[idx] = Some(*record);
+                    remaining -= 1;
+                }
+                // All senders gone with work outstanding: a worker thread
+                // died outside the per-run catch_unwind. Backfilled below.
+                Err(_) => break,
+            }
+        }
+        for handle in handles {
+            let _ = handle.join();
+        }
+        let mut records: Vec<RunRecord> = slots
+            .into_iter()
+            .enumerate()
+            .map(|(idx, slot)| {
+                slot.unwrap_or_else(|| {
+                    let spec = &specs[idx];
+                    RunRecord {
+                        id: spec.id,
+                        label: spec.label.clone(),
+                        scheduler: spec.scheduler.label().to_owned(),
+                        scenario_fingerprint: spec.fingerprint(),
+                        cached: false,
+                        wall_seconds: 0.0,
+                        outcome: RunOutcome::Failed(RunError::Panicked(
+                            "worker thread died before reporting".into(),
+                        )),
+                    }
+                })
+            })
+            .collect();
+        records.sort_by_key(|r| r.id);
+        records
+    }
+}
+
+enum WorkerMsg {
+    Started { id: u64, label: String },
+    Done { idx: usize, record: Box<RunRecord> },
+}
+
+/// Executes one spec on the current thread: cache lookup, then build +
+/// run under `catch_unwind` so a panicking scenario yields a structured
+/// error instead of unwinding through the pool.
+fn execute_one(spec: &RunSpec, cache: &ResultCache) -> RunRecord {
+    let scenario_fingerprint = spec.fingerprint();
+    let start = Instant::now();
+    if let Some(hit) = cache.get(&scenario_fingerprint) {
+        return RunRecord {
+            id: spec.id,
+            label: spec.label.clone(),
+            scheduler: spec.scheduler.label().to_owned(),
+            scenario_fingerprint,
+            cached: true,
+            wall_seconds: start.elapsed().as_secs_f64(),
+            outcome: RunOutcome::Completed {
+                report: hit.report.clone(),
+                report_fingerprint: hit.report_fingerprint.clone(),
+            },
+        };
+    }
+    let result = catch_unwind(AssertUnwindSafe(|| -> Result<Report, RunError> {
+        let sim = spec.build().map_err(RunError::Setup)?;
+        sim.try_run().map_err(|e| RunError::Sim(e.to_string()))
+    }));
+    let outcome = match result {
+        Ok(Ok(report)) => {
+            let report_fingerprint = report_fingerprint(&report);
+            cache.insert(
+                scenario_fingerprint.clone(),
+                report.clone(),
+                report_fingerprint.clone(),
+            );
+            RunOutcome::Completed {
+                report,
+                report_fingerprint,
+            }
+        }
+        Ok(Err(e)) => RunOutcome::Failed(e),
+        Err(payload) => RunOutcome::Failed(RunError::Panicked(panic_message(payload))),
+    };
+    RunRecord {
+        id: spec.id,
+        label: spec.label.clone(),
+        scheduler: spec.scheduler.label().to_owned(),
+        scenario_fingerprint,
+        cached: false,
+        wall_seconds: start.elapsed().as_secs_f64(),
+        outcome,
+    }
+}
+
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_owned()
+    }
+}
+
+/// Per-scheduler aggregate over a merged campaign, for summary tables.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SchedulerAggregate {
+    /// Scheduler identity.
+    pub scheduler: String,
+    /// Completed runs.
+    pub completed: usize,
+    /// Failed runs.
+    pub failed: usize,
+    /// Results served from cache.
+    pub cached: usize,
+    /// Mean makespan over completed runs, seconds.
+    pub mean_makespan: f64,
+    /// Mean cluster utilization over completed runs, in `[0, 1]`.
+    pub mean_utilization: f64,
+    /// Mean of per-run mean waits, seconds.
+    pub mean_wait: f64,
+    /// Mean of per-run mean bounded slowdowns.
+    pub mean_bounded_slowdown: f64,
+}
+
+/// Aggregates merged records per scheduler, sorted by scheduler name —
+/// deterministic input (id-ordered records) gives deterministic output.
+pub fn aggregate_by_scheduler(records: &[RunRecord]) -> Vec<SchedulerAggregate> {
+    let mut by_sched: std::collections::BTreeMap<&str, Vec<&RunRecord>> =
+        std::collections::BTreeMap::new();
+    for record in records {
+        by_sched.entry(&record.scheduler).or_default().push(record);
+    }
+    by_sched
+        .into_iter()
+        .map(|(scheduler, group)| {
+            let summaries: Vec<elastisim::Summary> = group
+                .iter()
+                .filter_map(|r| r.report())
+                .map(|r| r.summary())
+                .collect();
+            let n = summaries.len().max(1) as f64;
+            SchedulerAggregate {
+                scheduler: scheduler.to_owned(),
+                completed: summaries.len(),
+                failed: group.iter().filter(|r| r.error().is_some()).count(),
+                cached: group.iter().filter(|r| r.cached).count(),
+                mean_makespan: summaries.iter().map(|s| s.makespan).sum::<f64>() / n,
+                mean_utilization: summaries.iter().map(|s| s.utilization).sum::<f64>() / n,
+                mean_wait: summaries.iter().map(|s| s.mean_wait).sum::<f64>() / n,
+                mean_bounded_slowdown: summaries
+                    .iter()
+                    .map(|s| s.mean_bounded_slowdown)
+                    .sum::<f64>()
+                    / n,
+            }
+        })
+        .collect()
+}

@@ -1,0 +1,48 @@
+//! Campaign runtime: many simulations as cheap, `Send`-able, cache-keyed
+//! units of work.
+//!
+//! The core engine runs one scenario per [`elastisim::Simulation`]. This
+//! crate is the layer above it for *campaigns* — parameter sweeps,
+//! scheduler comparisons, nightly conformance corpora — built from four
+//! pieces:
+//!
+//! - [`RunSpec`] ([`spec`]): an immutable scenario *specification*
+//!   (platform + workload + config + scheduler behind `Arc`s), split
+//!   from run *state*, with a canonical [`fingerprint`](RunSpec::fingerprint)
+//!   over every result-affecting input.
+//! - [`ResultCache`] ([`cache`]): a fingerprint-keyed report cache. The
+//!   determinism oracles make this sound: equal fingerprints mean equal
+//!   inputs mean byte-identical reports.
+//! - [`Executor`] ([`executor`]): a work-queue thread pool that runs
+//!   specs concurrently and merges [`RunRecord`]s id-ordered, so merged
+//!   output is byte-identical at any worker count.
+//! - [`protocol`]/[`serve()`]: the JSON-lines wire protocol and daemon
+//!   loop behind `elastisim serve`, streaming progress and answering
+//!   repeated campaigns from cache.
+//!
+//! ```
+//! use elastisim_campaign::{Executor, RunSpec};
+//!
+//! let specs: Vec<RunSpec> = (0..4)
+//!     .map(|seed| RunSpec::from_seed(seed, seed, "fcfs"))
+//!     .collect();
+//! let records = Executor::new(2).run(specs);
+//! assert_eq!(records.len(), 4);
+//! assert!(records.iter().all(|r| r.report().is_some()));
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod executor;
+pub mod protocol;
+pub mod serve;
+pub mod spec;
+
+pub use cache::{CachedRun, ResultCache};
+pub use executor::{
+    aggregate_by_scheduler, CampaignEvent, Executor, RunError, RunOutcome, RunRecord,
+    SchedulerAggregate,
+};
+pub use serve::{campaign_specs, serve, ServeOptions, ServeStats};
+pub use spec::{RunSpec, SchedulerSpec};

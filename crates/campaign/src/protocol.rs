@@ -1,0 +1,427 @@
+//! The versioned wire protocol of `elastisim serve`.
+//!
+//! Mirrors the scheduler boundary's envelope discipline
+//! (`elastisim_sched::protocol`): JSON-lines framing, a `protocol`
+//! version header on every message, and a client-chosen `seq` echoed on
+//! every reply so responses can be correlated over one long-lived pipe.
+//!
+//! ## Framing
+//!
+//! One JSON object per `\n`-terminated line. The client writes a
+//! [`Request`] to the daemon's stdin; the daemon answers with one or
+//! more [`Reply`] lines on stdout. Commands that execute work
+//! (`campaign`) stream progress replies (`run_started`, `run_finished`)
+//! before the terminal `campaign_done`, all echoing the request's `seq`.
+//! Both sides must set `protocol` to [`PROTOCOL_VERSION`]; a mismatch is
+//! a reported error, never a silent misinterpretation.
+
+use serde::{Deserialize, Serialize};
+
+/// Version of the serve wire protocol. Bumped on any incompatible change
+/// to the message schema.
+pub const PROTOCOL_VERSION: u32 = 1;
+
+/// Half-open seed range `[start, end)` for campaign fan-out.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct SeedRange {
+    /// First seed, inclusive.
+    pub start: u64,
+    /// End seed, exclusive.
+    pub end: u64,
+}
+
+impl SeedRange {
+    /// Number of seeds in the range.
+    pub fn len(&self) -> u64 {
+        self.end.saturating_sub(self.start)
+    }
+
+    /// Whether the range is empty.
+    pub fn is_empty(&self) -> bool {
+        self.end <= self.start
+    }
+
+    /// The seeds, ascending.
+    pub fn iter(&self) -> impl Iterator<Item = u64> {
+        self.start..self.end
+    }
+}
+
+/// What the client asks the daemon to do, tagged with a `command`
+/// discriminator.
+#[derive(Clone, PartialEq, Debug, Serialize, Deserialize)]
+#[serde(tag = "command", rename_all = "snake_case")]
+pub enum Command {
+    /// Liveness check; answered with `pong`.
+    Ping,
+    /// Run a campaign: the cross product of `seeds` × `schedulers` over
+    /// the conformance scenario corpus.
+    Campaign {
+        /// Seed range, half-open.
+        seeds: SeedRange,
+        /// Registry scheduler names (e.g. `fcfs`, `easy`).
+        schedulers: Vec<String>,
+        /// Concurrency override for this campaign; `None` uses the
+        /// daemon's default.
+        #[serde(default)]
+        workers: Option<usize>,
+    },
+    /// Report daemon counters (campaigns served, cache occupancy).
+    Stats,
+    /// Finish the current request queue and exit.
+    Shutdown,
+}
+
+/// One client → daemon line.
+#[derive(Clone, PartialEq, Debug, Serialize, Deserialize)]
+pub struct Request {
+    /// Must equal [`PROTOCOL_VERSION`].
+    pub protocol: u32,
+    /// Client-chosen sequence number; echoed on every reply this request
+    /// produces.
+    pub seq: u64,
+    /// The command, flattened into the envelope.
+    #[serde(flatten)]
+    pub command: Command,
+}
+
+impl Request {
+    /// Builds a current-version request.
+    pub fn new(seq: u64, command: Command) -> Request {
+        Request {
+            protocol: PROTOCOL_VERSION,
+            seq,
+            command,
+        }
+    }
+
+    /// Serializes to one JSON line (no trailing newline).
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(self).expect("request serialization cannot fail")
+    }
+
+    /// Parses a request line, checking the protocol version.
+    pub fn from_json(line: &str) -> Result<Request, ProtocolError> {
+        let req: Request =
+            serde_json::from_str(line).map_err(|e| ProtocolError::Malformed(e.to_string()))?;
+        check_version(req.protocol)?;
+        Ok(req)
+    }
+}
+
+/// Reply payload, tagged with a `msg` discriminator.
+#[derive(Clone, PartialEq, Debug, Serialize, Deserialize)]
+#[serde(tag = "msg", rename_all = "snake_case")]
+pub enum Msg {
+    /// Answer to `ping`.
+    Pong,
+    /// The request could not be served.
+    Error {
+        /// What went wrong.
+        message: String,
+    },
+    /// A campaign was validated and queued; `runs` results will stream.
+    CampaignAccepted {
+        /// Total runs (seeds × schedulers).
+        runs: usize,
+    },
+    /// A worker started a run.
+    RunStarted {
+        /// Run id within the campaign.
+        id: u64,
+        /// Run label (e.g. `seed17/fcfs`).
+        label: String,
+    },
+    /// A run finished (completed, cached, or failed).
+    RunFinished {
+        /// Run id within the campaign.
+        id: u64,
+        /// Run label.
+        label: String,
+        /// Scheduler name.
+        scheduler: String,
+        /// Scenario fingerprint (the cache key).
+        fingerprint: String,
+        /// Whether the result came from cache without re-executing.
+        cached: bool,
+        /// Whether the run completed.
+        ok: bool,
+        /// Structured error text when `ok` is false.
+        #[serde(default)]
+        error: Option<String>,
+        /// Makespan, seconds, when completed.
+        #[serde(default)]
+        makespan: Option<f64>,
+        /// Cluster utilization in `[0, 1]`, when completed.
+        #[serde(default)]
+        utilization: Option<f64>,
+        /// Wall-clock seconds on the worker. Nondeterministic.
+        wall_seconds: f64,
+    },
+    /// Terminal reply of a campaign: everything ran (or was served from
+    /// cache) and the merged records are final.
+    CampaignDone {
+        /// Total runs.
+        runs: usize,
+        /// Runs that failed.
+        failed: usize,
+        /// Runs served from cache.
+        cache_hits: usize,
+        /// Wall-clock seconds for the whole campaign. Nondeterministic.
+        wall_seconds: f64,
+        /// Per-scheduler aggregate summaries.
+        summary: Vec<SchedulerSummary>,
+    },
+    /// Daemon counters.
+    Stats {
+        /// Campaign commands served.
+        campaigns: u64,
+        /// Total runs executed or served from cache.
+        runs: u64,
+        /// Scenarios currently cached.
+        cache_entries: usize,
+        /// Cache hits since startup.
+        cache_hits: u64,
+    },
+    /// Acknowledges `shutdown`; the daemon exits after writing it.
+    ShuttingDown,
+}
+
+/// Per-scheduler aggregate in `campaign_done` — wire form of
+/// [`crate::SchedulerAggregate`].
+#[derive(Clone, PartialEq, Debug, Serialize, Deserialize)]
+pub struct SchedulerSummary {
+    /// Scheduler name.
+    pub scheduler: String,
+    /// Completed runs.
+    pub completed: usize,
+    /// Failed runs.
+    pub failed: usize,
+    /// Results served from cache.
+    pub cached: usize,
+    /// Mean makespan over completed runs, seconds.
+    pub mean_makespan: f64,
+    /// Mean cluster utilization over completed runs.
+    pub mean_utilization: f64,
+    /// Mean of per-run mean waits, seconds.
+    pub mean_wait: f64,
+    /// Mean of per-run mean bounded slowdowns.
+    pub mean_bounded_slowdown: f64,
+}
+
+impl From<&crate::SchedulerAggregate> for SchedulerSummary {
+    fn from(a: &crate::SchedulerAggregate) -> Self {
+        SchedulerSummary {
+            scheduler: a.scheduler.clone(),
+            completed: a.completed,
+            failed: a.failed,
+            cached: a.cached,
+            mean_makespan: a.mean_makespan,
+            mean_utilization: a.mean_utilization,
+            mean_wait: a.mean_wait,
+            mean_bounded_slowdown: a.mean_bounded_slowdown,
+        }
+    }
+}
+
+/// One daemon → client line.
+#[derive(Clone, PartialEq, Debug, Serialize, Deserialize)]
+pub struct Reply {
+    /// Must equal [`PROTOCOL_VERSION`].
+    pub protocol: u32,
+    /// Echo of the request's sequence number (0 for lines the daemon
+    /// could not attribute to a parsed request).
+    pub seq: u64,
+    /// The payload, flattened into the envelope.
+    #[serde(flatten)]
+    pub msg: Msg,
+}
+
+impl Reply {
+    /// Builds a current-version reply.
+    pub fn new(seq: u64, msg: Msg) -> Reply {
+        Reply {
+            protocol: PROTOCOL_VERSION,
+            seq,
+            msg,
+        }
+    }
+
+    /// Serializes to one JSON line (no trailing newline).
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(self).expect("reply serialization cannot fail")
+    }
+
+    /// Parses a reply line, checking the protocol version.
+    pub fn from_json(line: &str) -> Result<Reply, ProtocolError> {
+        let reply: Reply =
+            serde_json::from_str(line).map_err(|e| ProtocolError::Malformed(e.to_string()))?;
+        check_version(reply.protocol)?;
+        Ok(reply)
+    }
+}
+
+fn check_version(theirs: u32) -> Result<(), ProtocolError> {
+    if theirs == PROTOCOL_VERSION {
+        Ok(())
+    } else {
+        Err(ProtocolError::VersionMismatch {
+            ours: PROTOCOL_VERSION,
+            theirs,
+        })
+    }
+}
+
+/// Errors decoding a protocol message.
+#[derive(Clone, PartialEq, Debug)]
+pub enum ProtocolError {
+    /// The message parsed but declared an incompatible protocol version.
+    VersionMismatch {
+        /// This side's version.
+        ours: u32,
+        /// The peer's version.
+        theirs: u32,
+    },
+    /// The line was not a valid message of the expected shape.
+    Malformed(String),
+}
+
+impl std::fmt::Display for ProtocolError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ProtocolError::VersionMismatch { ours, theirs } => write!(
+                f,
+                "protocol version mismatch: we speak v{ours}, peer sent v{theirs}"
+            ),
+            ProtocolError::Malformed(msg) => write!(f, "malformed protocol message: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ProtocolError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn requests_roundtrip_through_json() {
+        for command in [
+            Command::Ping,
+            Command::Campaign {
+                seeds: SeedRange { start: 0, end: 100 },
+                schedulers: vec!["fcfs".into(), "easy".into()],
+                workers: Some(4),
+            },
+            Command::Stats,
+            Command::Shutdown,
+        ] {
+            let req = Request::new(3, command);
+            let back = Request::from_json(&req.to_json()).unwrap();
+            assert_eq!(req, back);
+        }
+    }
+
+    #[test]
+    fn replies_roundtrip_through_json() {
+        for msg in [
+            Msg::Pong,
+            Msg::Error {
+                message: "unknown scheduler `nope`".into(),
+            },
+            Msg::CampaignAccepted { runs: 200 },
+            Msg::RunStarted {
+                id: 3,
+                label: "seed3/fcfs".into(),
+            },
+            Msg::RunFinished {
+                id: 3,
+                label: "seed3/fcfs".into(),
+                scheduler: "fcfs".into(),
+                fingerprint: "sfp1-0123".into(),
+                cached: true,
+                ok: true,
+                error: None,
+                makespan: Some(1234.5),
+                utilization: Some(0.75),
+                wall_seconds: 0.01,
+            },
+            Msg::CampaignDone {
+                runs: 200,
+                failed: 1,
+                cache_hits: 100,
+                wall_seconds: 2.5,
+                summary: vec![SchedulerSummary {
+                    scheduler: "fcfs".into(),
+                    completed: 99,
+                    failed: 1,
+                    cached: 50,
+                    mean_makespan: 1000.0,
+                    mean_utilization: 0.5,
+                    mean_wait: 12.0,
+                    mean_bounded_slowdown: 1.5,
+                }],
+            },
+            Msg::Stats {
+                campaigns: 2,
+                runs: 400,
+                cache_entries: 200,
+                cache_hits: 200,
+            },
+            Msg::ShuttingDown,
+        ] {
+            let reply = Reply::new(9, msg);
+            let back = Reply::from_json(&reply.to_json()).unwrap();
+            assert_eq!(reply, back);
+        }
+    }
+
+    #[test]
+    fn discriminators_are_flattened_into_the_envelope() {
+        let req = Request::new(
+            1,
+            Command::Campaign {
+                seeds: SeedRange { start: 5, end: 8 },
+                schedulers: vec!["elastic".into()],
+                workers: None,
+            },
+        );
+        let json = req.to_json();
+        assert!(json.contains(r#""command":"campaign""#), "{json}");
+        assert!(json.contains(r#""protocol":1"#), "{json}");
+        let reply = Reply::new(1, Msg::Pong);
+        assert!(reply.to_json().contains(r#""msg":"pong""#));
+    }
+
+    #[test]
+    fn version_mismatch_is_detected() {
+        let mut reply = Reply::new(1, Msg::Pong);
+        reply.protocol = PROTOCOL_VERSION + 1;
+        let err = Reply::from_json(&reply.to_json()).unwrap_err();
+        assert!(matches!(
+            err,
+            ProtocolError::VersionMismatch { theirs, .. } if theirs == PROTOCOL_VERSION + 1
+        ));
+    }
+
+    #[test]
+    fn malformed_lines_are_reported() {
+        assert!(matches!(
+            Request::from_json("{not json"),
+            Err(ProtocolError::Malformed(_))
+        ));
+        assert!(matches!(
+            Request::from_json(r#"{"protocol":1,"seq":0,"command":"warp"}"#),
+            Err(ProtocolError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn seed_range_is_half_open() {
+        let range = SeedRange { start: 3, end: 6 };
+        assert_eq!(range.len(), 3);
+        assert_eq!(range.iter().collect::<Vec<_>>(), vec![3, 4, 5]);
+        assert!(SeedRange { start: 6, end: 6 }.is_empty());
+        assert_eq!(SeedRange { start: 9, end: 2 }.len(), 0);
+    }
+}

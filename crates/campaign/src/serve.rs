@@ -1,0 +1,400 @@
+//! The long-running campaign daemon behind `elastisim serve`.
+//!
+//! [`serve`] reads one [`Request`] per line
+//! from a reader, executes it, and streams [`Reply`]
+//! JSONL to a writer — flushed per line so a client watching the pipe
+//! sees progress live. One [`ResultCache`] persists across campaigns for
+//! the life of the daemon: resubmitting a campaign answers every run
+//! from cache without re-executing.
+
+use std::io::{BufRead, Write};
+use std::sync::Arc;
+use std::time::Instant;
+
+use crate::cache::ResultCache;
+use crate::executor::{aggregate_by_scheduler, CampaignEvent, Executor, RunOutcome, RunRecord};
+use crate::protocol::{Command, Msg, Reply, Request, SeedRange};
+use crate::spec::RunSpec;
+
+/// Daemon configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct ServeOptions {
+    /// Default campaign concurrency (overridable per request).
+    pub workers: usize,
+}
+
+impl Default for ServeOptions {
+    fn default() -> Self {
+        ServeOptions { workers: 1 }
+    }
+}
+
+/// Counters the daemon reports via the `stats` command and returns when
+/// the request stream ends.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ServeStats {
+    /// Campaign commands served to completion.
+    pub campaigns: u64,
+    /// Total runs executed or answered from cache.
+    pub runs: u64,
+}
+
+/// Runs the daemon loop until the reader is exhausted or a `shutdown`
+/// command arrives. Every reply is one flushed JSON line.
+pub fn serve(
+    input: impl BufRead,
+    mut output: impl Write,
+    opts: &ServeOptions,
+) -> std::io::Result<ServeStats> {
+    let cache = Arc::new(ResultCache::new());
+    let mut stats = ServeStats::default();
+    for line in input.lines() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let request = match Request::from_json(&line) {
+            Ok(request) => request,
+            Err(e) => {
+                // No seq to echo for a line that never parsed.
+                write_reply(
+                    &mut output,
+                    0,
+                    Msg::Error {
+                        message: e.to_string(),
+                    },
+                )?;
+                continue;
+            }
+        };
+        let seq = request.seq;
+        match request.command {
+            Command::Ping => write_reply(&mut output, seq, Msg::Pong)?,
+            Command::Stats => write_reply(
+                &mut output,
+                seq,
+                Msg::Stats {
+                    campaigns: stats.campaigns,
+                    runs: stats.runs,
+                    cache_entries: cache.len(),
+                    cache_hits: cache.hits(),
+                },
+            )?,
+            Command::Shutdown => {
+                write_reply(&mut output, seq, Msg::ShuttingDown)?;
+                break;
+            }
+            Command::Campaign {
+                seeds,
+                schedulers,
+                workers,
+            } => {
+                let specs = match campaign_specs(seeds, &schedulers) {
+                    Ok(specs) => specs,
+                    Err(message) => {
+                        write_reply(&mut output, seq, Msg::Error { message })?;
+                        continue;
+                    }
+                };
+                let runs = specs.len();
+                write_reply(&mut output, seq, Msg::CampaignAccepted { runs })?;
+                let executor =
+                    Executor::new(workers.unwrap_or(opts.workers)).with_cache(Arc::clone(&cache));
+                let start = Instant::now();
+                let mut stream_error = None;
+                let records = executor.run_with(specs, |event| {
+                    if stream_error.is_some() {
+                        return;
+                    }
+                    let msg = match event {
+                        CampaignEvent::RunStarted { id, label } => Msg::RunStarted {
+                            id: *id,
+                            label: (*label).to_owned(),
+                        },
+                        CampaignEvent::RunFinished(record) => finished_msg(record),
+                    };
+                    if let Err(e) = write_reply(&mut output, seq, msg) {
+                        stream_error = Some(e);
+                    }
+                });
+                if let Some(e) = stream_error {
+                    return Err(e);
+                }
+                stats.campaigns += 1;
+                stats.runs += records.len() as u64;
+                let summary = aggregate_by_scheduler(&records)
+                    .iter()
+                    .map(Into::into)
+                    .collect();
+                write_reply(
+                    &mut output,
+                    seq,
+                    Msg::CampaignDone {
+                        runs,
+                        failed: records.iter().filter(|r| r.error().is_some()).count(),
+                        cache_hits: records.iter().filter(|r| r.cached).count(),
+                        wall_seconds: start.elapsed().as_secs_f64(),
+                        summary,
+                    },
+                )?;
+            }
+        }
+    }
+    Ok(stats)
+}
+
+/// Expands a campaign command into id-ordered specs: the seed range is
+/// the outer loop, schedulers the inner, so run ids (and the merged
+/// output) are stable for a given request regardless of worker count.
+pub fn campaign_specs(seeds: SeedRange, schedulers: &[String]) -> Result<Vec<RunSpec>, String> {
+    if seeds.is_empty() {
+        return Err(format!(
+            "empty seed range {}..{} (end is exclusive)",
+            seeds.start, seeds.end
+        ));
+    }
+    if schedulers.is_empty() {
+        return Err("no schedulers requested".into());
+    }
+    for name in schedulers {
+        if elastisim_sched::by_name(name).is_none() {
+            return Err(format!(
+                "unknown scheduler `{name}` (known: {})",
+                elastisim_sched::SCHEDULER_NAMES.join(", ")
+            ));
+        }
+    }
+    let mut specs = Vec::with_capacity((seeds.len() as usize) * schedulers.len());
+    let mut id = 0u64;
+    for seed in seeds.iter() {
+        for scheduler in schedulers {
+            specs.push(RunSpec::from_seed(id, seed, scheduler));
+            id += 1;
+        }
+    }
+    Ok(specs)
+}
+
+fn finished_msg(record: &RunRecord) -> Msg {
+    let (ok, error, makespan, utilization) = match &record.outcome {
+        RunOutcome::Completed { report, .. } => {
+            let summary = report.summary();
+            (
+                true,
+                None,
+                Some(summary.makespan),
+                Some(summary.utilization),
+            )
+        }
+        RunOutcome::Failed(e) => (false, Some(e.to_string()), None, None),
+    };
+    Msg::RunFinished {
+        id: record.id,
+        label: record.label.clone(),
+        scheduler: record.scheduler.clone(),
+        fingerprint: record.scenario_fingerprint.clone(),
+        cached: record.cached,
+        ok,
+        error,
+        makespan,
+        utilization,
+        wall_seconds: record.wall_seconds,
+    }
+}
+
+fn write_reply(output: &mut impl Write, seq: u64, msg: Msg) -> std::io::Result<()> {
+    writeln!(output, "{}", Reply::new(seq, msg).to_json())?;
+    output.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run_session(requests: &[Request]) -> (Vec<Reply>, ServeStats) {
+        let mut input = String::new();
+        for request in requests {
+            input.push_str(&request.to_json());
+            input.push('\n');
+        }
+        let mut output = Vec::new();
+        let stats = serve(input.as_bytes(), &mut output, &ServeOptions::default()).unwrap();
+        let replies = String::from_utf8(output)
+            .unwrap()
+            .lines()
+            .map(|line| Reply::from_json(line).expect("daemon emits valid replies"))
+            .collect();
+        (replies, stats)
+    }
+
+    #[test]
+    fn ping_pong_echoes_seq() {
+        let (replies, _) = run_session(&[Request::new(42, Command::Ping)]);
+        assert_eq!(replies.len(), 1);
+        assert_eq!(replies[0].seq, 42);
+        assert_eq!(replies[0].msg, Msg::Pong);
+    }
+
+    #[test]
+    fn campaign_streams_progress_then_done() {
+        let (replies, stats) = run_session(&[Request::new(
+            1,
+            Command::Campaign {
+                seeds: SeedRange { start: 0, end: 2 },
+                schedulers: vec!["fcfs".into()],
+                workers: None,
+            },
+        )]);
+        assert!(matches!(replies[0].msg, Msg::CampaignAccepted { runs: 2 }));
+        let finished: Vec<_> = replies
+            .iter()
+            .filter(|r| matches!(r.msg, Msg::RunFinished { .. }))
+            .collect();
+        assert_eq!(finished.len(), 2);
+        match &replies.last().unwrap().msg {
+            Msg::CampaignDone {
+                runs,
+                failed,
+                cache_hits,
+                summary,
+                ..
+            } => {
+                assert_eq!(*runs, 2);
+                assert_eq!(*failed, 0);
+                assert_eq!(*cache_hits, 0);
+                assert_eq!(summary.len(), 1);
+                assert_eq!(summary[0].scheduler, "fcfs");
+                assert_eq!(summary[0].completed, 2);
+            }
+            other => panic!("expected campaign_done, got {other:?}"),
+        }
+        assert_eq!(
+            stats,
+            ServeStats {
+                campaigns: 1,
+                runs: 2
+            }
+        );
+    }
+
+    #[test]
+    fn resubmitted_campaign_is_served_from_cache() {
+        let campaign = || {
+            Request::new(
+                7,
+                Command::Campaign {
+                    seeds: SeedRange { start: 0, end: 3 },
+                    schedulers: vec!["easy".into()],
+                    workers: None,
+                },
+            )
+        };
+        let (replies, _) = run_session(&[campaign(), campaign()]);
+        let done: Vec<_> = replies
+            .iter()
+            .filter_map(|r| match &r.msg {
+                Msg::CampaignDone { cache_hits, .. } => Some(*cache_hits),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(done, vec![0, 3], "second submission must be all cache hits");
+        // And the streamed fingerprints are identical across submissions.
+        let fingerprints: Vec<Vec<&String>> = [false, true]
+            .iter()
+            .map(|want_cached| {
+                replies
+                    .iter()
+                    .filter_map(|r| match &r.msg {
+                        Msg::RunFinished {
+                            fingerprint,
+                            cached,
+                            ..
+                        } if cached == want_cached => Some(fingerprint),
+                        _ => None,
+                    })
+                    .collect()
+            })
+            .collect();
+        assert_eq!(fingerprints[0], fingerprints[1]);
+    }
+
+    #[test]
+    fn stats_and_shutdown() {
+        let (replies, stats) = run_session(&[
+            Request::new(
+                1,
+                Command::Campaign {
+                    seeds: SeedRange { start: 0, end: 1 },
+                    schedulers: vec!["fcfs".into()],
+                    workers: Some(2),
+                },
+            ),
+            Request::new(2, Command::Stats),
+            Request::new(3, Command::Shutdown),
+            Request::new(4, Command::Ping), // never reached
+        ]);
+        match replies
+            .iter()
+            .find(|r| matches!(r.msg, Msg::Stats { .. }))
+            .map(|r| &r.msg)
+        {
+            Some(Msg::Stats {
+                campaigns,
+                runs,
+                cache_entries,
+                ..
+            }) => {
+                assert_eq!(*campaigns, 1);
+                assert_eq!(*runs, 1);
+                assert_eq!(*cache_entries, 1);
+            }
+            other => panic!("expected stats reply, got {other:?}"),
+        }
+        assert_eq!(replies.last().unwrap().msg, Msg::ShuttingDown);
+        assert!(
+            !replies.iter().any(|r| r.seq == 4),
+            "no replies after shutdown"
+        );
+        assert_eq!(stats.campaigns, 1);
+    }
+
+    #[test]
+    fn bad_requests_get_structured_errors() {
+        let mut input = String::from("{not json}\n");
+        input.push_str(
+            &Request::new(
+                5,
+                Command::Campaign {
+                    seeds: SeedRange { start: 0, end: 1 },
+                    schedulers: vec!["warp-speed".into()],
+                    workers: None,
+                },
+            )
+            .to_json(),
+        );
+        input.push('\n');
+        let mut output = Vec::new();
+        serve(input.as_bytes(), &mut output, &ServeOptions::default()).unwrap();
+        let replies: Vec<Reply> = String::from_utf8(output)
+            .unwrap()
+            .lines()
+            .map(|l| Reply::from_json(l).unwrap())
+            .collect();
+        assert_eq!(replies.len(), 2);
+        assert!(matches!(&replies[0].msg, Msg::Error { .. }));
+        assert_eq!(replies[0].seq, 0);
+        match &replies[1].msg {
+            Msg::Error { message } => {
+                assert!(message.contains("unknown scheduler"), "{message}")
+            }
+            other => panic!("expected error, got {other:?}"),
+        }
+        assert_eq!(replies[1].seq, 5);
+    }
+
+    #[test]
+    fn empty_inputs_are_rejected() {
+        assert!(campaign_specs(SeedRange { start: 2, end: 2 }, &["fcfs".into()]).is_err());
+        assert!(campaign_specs(SeedRange { start: 0, end: 1 }, &[]).is_err());
+    }
+}

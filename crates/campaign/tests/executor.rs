@@ -1,0 +1,144 @@
+//! Campaign executor guarantees: worker-count independence, cache-hit
+//! byte-identity without re-execution, and panic isolation.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use elastisim_campaign::{Executor, ResultCache, RunError, RunSpec, SchedulerSpec};
+
+fn corpus(seeds: std::ops::Range<u64>, schedulers: &[&str]) -> Vec<RunSpec> {
+    let mut specs = Vec::new();
+    for seed in seeds {
+        for scheduler in schedulers {
+            specs.push(RunSpec::from_seed(specs.len() as u64, seed, scheduler));
+        }
+    }
+    specs
+}
+
+/// The merged report fingerprints of a campaign must be identical at any
+/// worker count — completion order must never leak into the output.
+#[test]
+fn merged_fingerprints_are_worker_count_independent() {
+    let specs = || corpus(0..6, &["fcfs", "easy"]);
+    let baseline: Vec<(u64, String)> = Executor::new(1)
+        .run(specs())
+        .into_iter()
+        .map(|r| {
+            let fp = r
+                .report_fingerprint()
+                .expect("corpus scenarios complete")
+                .to_owned();
+            (r.id, fp)
+        })
+        .collect();
+    assert_eq!(baseline.len(), 12);
+    for workers in [2, 8] {
+        let merged: Vec<(u64, String)> = Executor::new(workers)
+            .run(specs())
+            .into_iter()
+            .map(|r| (r.id, r.report_fingerprint().unwrap().to_owned()))
+            .collect();
+        assert_eq!(merged, baseline, "divergence at {workers} workers");
+    }
+}
+
+/// Resubmitting a campaign against a shared cache answers every run
+/// byte-identically *without re-running*: a build counter inside a
+/// custom scheduler factory proves no scenario was reconstructed.
+#[test]
+fn cache_hits_are_byte_identical_and_skip_execution() {
+    let builds = Arc::new(AtomicUsize::new(0));
+    let specs = |builds: &Arc<AtomicUsize>| -> Vec<RunSpec> {
+        (0..4)
+            .map(|seed| {
+                let builds = Arc::clone(builds);
+                RunSpec {
+                    scheduler: SchedulerSpec::Custom {
+                        label: "counted-fcfs".into(),
+                        factory: Arc::new(move || {
+                            builds.fetch_add(1, Ordering::SeqCst);
+                            elastisim_sched::by_name("fcfs").unwrap()
+                        }),
+                    },
+                    ..RunSpec::from_seed(seed, seed, "fcfs")
+                }
+            })
+            .collect()
+    };
+    let cache = Arc::new(ResultCache::new());
+    let executor = Executor::new(2).with_cache(Arc::clone(&cache));
+
+    let first = executor.run(specs(&builds));
+    assert_eq!(builds.load(Ordering::SeqCst), 4);
+    assert!(first.iter().all(|r| !r.cached));
+
+    let second = executor.run(specs(&builds));
+    assert_eq!(
+        builds.load(Ordering::SeqCst),
+        4,
+        "cache hits must not rebuild schedulers"
+    );
+    assert!(second.iter().all(|r| r.cached));
+    assert_eq!(cache.hits(), 4);
+    for (a, b) in first.iter().zip(&second) {
+        assert_eq!(a.id, b.id);
+        assert_eq!(a.scenario_fingerprint, b.scenario_fingerprint);
+        assert_eq!(a.report_fingerprint(), b.report_fingerprint());
+    }
+}
+
+/// A panicking scenario becomes a structured `RunError::Panicked` record
+/// while every other run on the pool still completes.
+#[test]
+fn panicking_run_does_not_poison_the_pool() {
+    let mut specs = corpus(0..5, &["fcfs"]);
+    specs.insert(
+        2,
+        RunSpec {
+            id: 99,
+            label: "saboteur".into(),
+            scheduler: SchedulerSpec::Custom {
+                label: "panics-on-build".into(),
+                factory: Arc::new(|| panic!("scheduler exploded")),
+            },
+            ..RunSpec::from_seed(99, 0, "fcfs")
+        },
+    );
+    let records = Executor::new(2).run(specs);
+    assert_eq!(records.len(), 6);
+    let failed: Vec<_> = records.iter().filter(|r| r.error().is_some()).collect();
+    assert_eq!(failed.len(), 1);
+    assert_eq!(failed[0].id, 99);
+    match failed[0].error().unwrap() {
+        RunError::Panicked(msg) => assert!(msg.contains("scheduler exploded"), "{msg}"),
+        other => panic!("expected Panicked, got {other:?}"),
+    }
+    assert_eq!(
+        records.iter().filter(|r| r.report().is_some()).count(),
+        5,
+        "the other runs must complete"
+    );
+    // The pool stays usable for a follow-up campaign on the same cache.
+    let executor = Executor::new(2);
+    let again = executor.run(corpus(0..2, &["fcfs"]));
+    assert!(again.iter().all(|r| r.report().is_some()));
+}
+
+/// Records come back ascending by id with per-scheduler aggregates in
+/// deterministic (name-sorted) order.
+#[test]
+fn records_merge_id_ordered_with_deterministic_aggregates() {
+    let records = Executor::new(4).run(corpus(0..3, &["easy", "fcfs"]));
+    let ids: Vec<u64> = records.iter().map(|r| r.id).collect();
+    assert_eq!(ids, (0..6).collect::<Vec<u64>>());
+    let aggregates = elastisim_campaign::aggregate_by_scheduler(&records);
+    assert_eq!(aggregates.len(), 2);
+    assert_eq!(aggregates[0].scheduler, "easy");
+    assert_eq!(aggregates[1].scheduler, "fcfs");
+    for aggregate in &aggregates {
+        assert_eq!(aggregate.completed, 3);
+        assert_eq!(aggregate.failed, 0);
+        assert!(aggregate.mean_makespan > 0.0);
+    }
+}

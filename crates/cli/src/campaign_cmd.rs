@@ -1,0 +1,289 @@
+//! The campaign-facing subcommands: `elastisim sweep` (sharded fan-out
+//! over the conformance seed corpus) and `elastisim serve` (the
+//! long-running JSON-lines daemon).
+
+use std::fs;
+
+use elastisim_campaign::protocol::SeedRange;
+use elastisim_campaign::{
+    aggregate_by_scheduler, campaign_specs, serve, CampaignEvent, Executor, RunRecord, ServeOptions,
+};
+
+use crate::args::{Args, UsageError};
+use crate::commands::CliError;
+
+/// Parses `--seeds A..B` (half-open) or a single seed `N` (meaning
+/// `N..N+1`).
+pub fn parse_seed_range(s: &str) -> Result<SeedRange, UsageError> {
+    let bad = || {
+        UsageError(format!(
+            "bad --seeds `{s}` (expected A..B or a single seed)"
+        ))
+    };
+    if let Some((start, end)) = s.split_once("..") {
+        let start: u64 = start.parse().map_err(|_| bad())?;
+        let end: u64 = end.parse().map_err(|_| bad())?;
+        if end <= start {
+            return Err(UsageError(format!(
+                "empty seed range `{s}` (end is exclusive)"
+            )));
+        }
+        Ok(SeedRange { start, end })
+    } else {
+        let seed: u64 = s.parse().map_err(|_| bad())?;
+        Ok(SeedRange {
+            start: seed,
+            end: seed + 1,
+        })
+    }
+}
+
+fn parse_workers(args: &Args) -> Result<usize, UsageError> {
+    let workers = args.int("workers", 1)? as usize;
+    if workers == 0 {
+        return Err(UsageError("--workers must be ≥ 1".into()));
+    }
+    Ok(workers)
+}
+
+/// One JSONL record per run, written by `sweep --records`. Schema keys
+/// sorted to match the streamed `run_finished` protocol message where
+/// they overlap.
+fn record_json(record: &RunRecord) -> String {
+    use std::fmt::Write as _;
+    let mut line = String::from("{");
+    let _ = write!(
+        line,
+        "\"id\":{},\"label\":{},\"scheduler\":{},\"fingerprint\":\"{}\",\"cached\":{},\"ok\":{}",
+        record.id,
+        serde_json::to_string(&record.label).expect("string"),
+        serde_json::to_string(&record.scheduler).expect("string"),
+        record.scenario_fingerprint,
+        record.cached,
+        record.report().is_some(),
+    );
+    match (record.report(), record.error()) {
+        (Some(report), _) => {
+            let summary = report.summary();
+            let _ = write!(
+                line,
+                ",\"makespan\":{},\"utilization\":{},\"mean_wait\":{},\"mean_bounded_slowdown\":{},\"report_fingerprint_len\":{}",
+                summary.makespan,
+                summary.utilization,
+                summary.mean_wait,
+                summary.mean_bounded_slowdown,
+                record.report_fingerprint().map_or(0, str::len),
+            );
+        }
+        (None, Some(error)) => {
+            let _ = write!(
+                line,
+                ",\"error\":{}",
+                serde_json::to_string(&error.to_string()).expect("string")
+            );
+        }
+        (None, None) => unreachable!("a record is either completed or failed"),
+    }
+    line.push('}');
+    line
+}
+
+/// Renders the merged per-scheduler summary table.
+fn render_table(records: &[RunRecord], workers: usize, wall_seconds: f64) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:<14} {:>5} {:>6} {:>6} {:>12} {:>8} {:>10} {:>9}\n",
+        "scheduler", "runs", "failed", "cached", "makespan", "util", "mean-wait", "bnd-slow"
+    ));
+    for aggregate in aggregate_by_scheduler(records) {
+        out.push_str(&format!(
+            "{:<14} {:>5} {:>6} {:>6} {:>12.1} {:>7.1}% {:>10.1} {:>9.2}\n",
+            aggregate.scheduler,
+            aggregate.completed + aggregate.failed,
+            aggregate.failed,
+            aggregate.cached,
+            aggregate.mean_makespan,
+            aggregate.mean_utilization * 100.0,
+            aggregate.mean_wait,
+            aggregate.mean_bounded_slowdown,
+        ));
+    }
+    out.push_str(&format!(
+        "{} runs on {} worker{} in {:.2} s\n",
+        records.len(),
+        workers,
+        if workers == 1 { "" } else { "s" },
+        wall_seconds,
+    ));
+    out
+}
+
+/// `elastisim sweep`: runs seeds × schedulers over the conformance
+/// corpus on a worker pool and prints the merged summary table. Returns
+/// an error if any run failed.
+pub fn cmd_sweep(args: &Args) -> Result<String, CliError> {
+    args.expect_only(&["seeds", "schedulers", "workers", "records", "progress"])?;
+    let seeds = parse_seed_range(args.require("seeds")?)?;
+    let schedulers: Vec<String> = args
+        .get_or("schedulers", "elastic")
+        .split(',')
+        .map(|s| s.trim().to_owned())
+        .filter(|s| !s.is_empty())
+        .collect();
+    let workers = parse_workers(args)?;
+    let progress = args.flag("progress")?;
+    let specs = campaign_specs(seeds, &schedulers).map_err(UsageError)?;
+    let total = specs.len();
+
+    let start = std::time::Instant::now();
+    let records = Executor::new(workers).run_with(specs, |event| {
+        if !progress {
+            return;
+        }
+        if let CampaignEvent::RunFinished(record) = event {
+            eprintln!(
+                "[{}/{total}] {} {}",
+                record.id + 1,
+                record.label,
+                match record.error() {
+                    None => "ok",
+                    Some(_) => "FAILED",
+                }
+            );
+        }
+    });
+    let wall_seconds = start.elapsed().as_secs_f64();
+
+    if let Some(path) = args.get("records") {
+        let mut lines = String::with_capacity(records.len() * 128);
+        for record in &records {
+            lines.push_str(&record_json(record));
+            lines.push('\n');
+        }
+        fs::write(path, lines).map_err(|e| CliError::Io(path.into(), e))?;
+    }
+
+    let table = render_table(&records, workers, wall_seconds);
+    let failures: Vec<&RunRecord> = records.iter().filter(|r| r.error().is_some()).collect();
+    if failures.is_empty() {
+        Ok(table)
+    } else {
+        let mut msg = format!("{}/{} runs failed:\n", failures.len(), records.len());
+        for record in failures.iter().take(5) {
+            msg.push_str(&format!(
+                "  {}: {}\n",
+                record.label,
+                record.error().expect("filtered")
+            ));
+        }
+        msg.push_str(&table);
+        Err(CliError::Data(msg))
+    }
+}
+
+/// `elastisim serve`: the stdin/stdout campaign daemon. Blocks until
+/// stdin closes or a `shutdown` command arrives.
+pub fn cmd_serve(args: &Args) -> Result<String, CliError> {
+    args.expect_only(&["workers"])?;
+    let opts = ServeOptions {
+        workers: parse_workers(args)?,
+    };
+    let stdin = std::io::stdin();
+    let stdout = std::io::stdout();
+    let stats =
+        serve(stdin.lock(), stdout.lock(), &opts).map_err(|e| CliError::Io("stdout".into(), e))?;
+    Ok(format!(
+        "served {} campaign{} ({} runs)",
+        stats.campaigns,
+        if stats.campaigns == 1 { "" } else { "s" },
+        stats.runs
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seed_range_parsing() {
+        assert_eq!(
+            parse_seed_range("0..100").unwrap(),
+            SeedRange { start: 0, end: 100 }
+        );
+        assert_eq!(
+            parse_seed_range("7").unwrap(),
+            SeedRange { start: 7, end: 8 }
+        );
+        assert!(parse_seed_range("5..5").is_err());
+        assert!(parse_seed_range("9..2").is_err());
+        assert!(parse_seed_range("a..b").is_err());
+        assert!(parse_seed_range("..").is_err());
+    }
+
+    #[test]
+    fn sweep_prints_table_and_writes_records() {
+        let dir = std::env::temp_dir().join(format!("elastisim-sweep-test-{}", std::process::id()));
+        fs::create_dir_all(&dir).unwrap();
+        let records = dir.join("records.jsonl");
+        let args = Args::parse([
+            "sweep",
+            "--seeds",
+            "0..3",
+            "--schedulers",
+            "fcfs,easy",
+            "--workers",
+            "2",
+            "--records",
+            records.to_str().unwrap(),
+        ])
+        .unwrap();
+        let table = cmd_sweep(&args).unwrap();
+        assert!(table.contains("fcfs"), "{table}");
+        assert!(table.contains("easy"), "{table}");
+        assert!(table.contains("6 runs on 2 workers"), "{table}");
+        let lines: Vec<String> = fs::read_to_string(&records)
+            .unwrap()
+            .lines()
+            .map(String::from)
+            .collect();
+        assert_eq!(lines.len(), 6);
+        for line in &lines {
+            let v: serde::Value = serde_json::from_str(line).expect("valid JSONL");
+            let serde::Value::Map(m) = v else {
+                panic!("record not an object")
+            };
+            assert!(m.iter().any(|(k, _)| k == "fingerprint"));
+            assert!(m.iter().any(|(k, _)| k == "makespan"));
+        }
+        fs::remove_dir_all(dir).unwrap();
+    }
+
+    #[test]
+    fn sweep_rejects_bad_input() {
+        for argv in [
+            vec!["sweep", "--seeds", "0..0"],
+            vec!["sweep", "--seeds", "0..2", "--schedulers", "warp"],
+            vec!["sweep", "--seeds", "0..2", "--workers", "0"],
+            vec!["sweep"],
+        ] {
+            assert!(cmd_sweep(&Args::parse(argv).unwrap()).is_err());
+        }
+    }
+
+    #[test]
+    fn sweep_matches_sequential_fingerprints() {
+        // The CLI-level guarantee: any worker count, same records.
+        let specs = || campaign_specs(SeedRange { start: 0, end: 4 }, &["fcfs".into()]).unwrap();
+        let sequential: Vec<String> = Executor::new(1)
+            .run(specs())
+            .iter()
+            .map(record_json)
+            .collect();
+        let sharded: Vec<String> = Executor::new(4)
+            .run(specs())
+            .iter()
+            .map(record_json)
+            .collect();
+        assert_eq!(sequential, sharded);
+    }
+}

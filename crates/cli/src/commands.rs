@@ -62,6 +62,9 @@ USAGE:
                       [--trace-events FILE] [--chrome-trace FILE]
                       [--metrics-out FILE] [--progress [SECS]]
                       [--out DIR]
+  elastisim sweep     --seeds A..B [--schedulers NAME,NAME,...]
+                      [--workers N] [--records FILE] [--progress]
+  elastisim serve     [--workers N]
   elastisim schedulers
   elastisim help
 
@@ -86,6 +89,18 @@ counters and latency histograms to FILE as JSON; either flag also
 appends the metrics to the printed summary (see DESIGN.md §10).
 --progress prints a heartbeat to stderr roughly every SECS wall-clock
 seconds (default 5).
+
+`sweep` runs the conformance-corpus scenario for every seed in the
+half-open range A..B under each listed scheduler (default elastic),
+sharded over --workers threads, and prints a merged per-scheduler
+summary table. Per-run records are byte-identical at any worker count.
+--records writes one JSON line per run (id, label, fingerprints,
+makespan, utilization); --progress streams per-run status to stderr.
+
+`serve` is a long-running campaign daemon speaking JSON-lines on
+stdin/stdout: one request per line in, streamed progress replies out
+(see DESIGN.md §11). Completed scenarios are cached by fingerprint, so
+resubmitting a campaign answers instantly without re-running.
 ";
 
 /// Parses a `--reconfig-cost` value: `free`, `fixed:SECONDS`, or
@@ -420,6 +435,8 @@ pub fn dispatch(args: &Args) -> Result<String, CliError> {
             Ok(format!("generated {} jobs", jobs.len()))
         }
         "run" => cmd_run(args).map(|(_, summary)| summary),
+        "sweep" => crate::campaign_cmd::cmd_sweep(args),
+        "serve" => crate::campaign_cmd::cmd_serve(args),
         "schedulers" => Ok(elastisim_sched::SCHEDULER_NAMES.join("\n")),
         "help" => Ok(HELP.to_string()),
         other => Err(UsageError(format!("unknown command `{other}`")).into()),

@@ -18,7 +18,9 @@
 //! wrapper.
 
 pub mod args;
+pub mod campaign_cmd;
 pub mod commands;
 
 pub use args::{Args, UsageError};
+pub use campaign_cmd::{cmd_serve, cmd_sweep};
 pub use commands::{dispatch, CliError, HELP};

@@ -980,6 +980,14 @@ impl Simulation {
     }
 }
 
+// A whole simulation run is a unit of work the campaign executor moves
+// across worker threads; this fails to compile if any layer regresses to
+// non-`Send` state (`Rc`, `RefCell`, raw pointers, ...).
+const _: () = {
+    const fn assert_send<T: Send>() {}
+    assert_send::<Simulation>();
+};
+
 /// Wall-clock progress heartbeat for `--progress`: prints sim-time, job
 /// completion, and event throughput to stderr. Reads the clock only every
 /// `CHECK_EVERY` events so the hot loop stays cheap, and writes nothing

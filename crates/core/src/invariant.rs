@@ -21,9 +21,8 @@
 //! [`crate::observe`] rather than reusing it: an independent
 //! re-implementation is what makes the cross-check meaningful.
 
-use std::cell::RefCell;
 use std::collections::{BTreeMap, BTreeSet, HashMap};
-use std::rc::Rc;
+use std::sync::{Arc, Mutex, MutexGuard};
 
 use elastisim_platform::NodeId;
 use elastisim_workload::{JobClass, JobId, JobSpec};
@@ -736,18 +735,27 @@ impl CheckerState {
 /// ```
 #[derive(Clone)]
 pub struct InvariantChecker {
-    state: Rc<RefCell<CheckerState>>,
+    state: Arc<Mutex<CheckerState>>,
 }
 
 /// The [`Observer`] half of a checker handle.
 struct CheckerObserver {
-    state: Rc<RefCell<CheckerState>>,
+    state: Arc<Mutex<CheckerState>>,
 }
 
 impl Observer for CheckerObserver {
     fn on_event(&mut self, event: &SimEvent) {
-        self.state.borrow_mut().on_event(event);
+        lock(&self.state).on_event(event);
     }
+}
+
+/// Locks checker state, forgiving poisoning: a panicking run inside the
+/// campaign executor must not wedge a checker handle the caller still
+/// holds to read violations from.
+fn lock(state: &Mutex<CheckerState>) -> MutexGuard<'_, CheckerState> {
+    state
+        .lock()
+        .unwrap_or_else(|poisoned| poisoned.into_inner())
 }
 
 impl InvariantChecker {
@@ -777,7 +785,7 @@ impl InvariantChecker {
             })
             .collect();
         InvariantChecker {
-            state: Rc::new(RefCell::new(CheckerState {
+            state: Arc::new(Mutex::new(CheckerState {
                 jobs: tracks,
                 total_nodes,
                 owner: BTreeMap::new(),
@@ -802,18 +810,18 @@ impl InvariantChecker {
 
     /// Feeds one event directly (for replaying recorded streams).
     pub fn observe(&self, event: &SimEvent) {
-        self.state.borrow_mut().on_event(event);
+        lock(&self.state).on_event(event);
     }
 
     /// The violations recorded so far.
     pub fn violations(&self) -> Vec<InvariantViolation> {
-        self.state.borrow().violations.clone()
+        lock(&self.state).violations.clone()
     }
 
     /// Cross-checks the final report against the event stream and returns
     /// *all* violations (stream-level and report-level).
     pub fn check_report(&self, report: &Report) -> Vec<InvariantViolation> {
-        let mut state = self.state.borrow_mut();
+        let mut state = lock(&self.state);
         state.check_report(report);
         state.violations.clone()
     }

@@ -71,6 +71,7 @@ pub use exec::ExecError;
 pub use invariant::{InvariantChecker, InvariantViolation};
 pub use observe::{EventTraceWriter, Observer, SimEvent, TimedObserver};
 pub use stats::{
-    GanttEntry, JobRecord, Outcome, Report, Summary, UtilizationSeries, Warning, WarningKind,
+    report_fingerprint, GanttEntry, JobRecord, Outcome, Report, Summary, UtilizationSeries,
+    Warning, WarningKind,
 };
 pub use trace::{gantt_csv, jobs_csv, utilization_csv};

@@ -132,7 +132,12 @@ impl SimEvent {
 }
 
 /// A listener on the simulation's event stream.
-pub trait Observer {
+///
+/// Observers are `Send` because a whole simulation run — observers
+/// included — is a unit of work the campaign executor moves across
+/// worker threads. Single-run observers still see events strictly in
+/// emission order from one thread at a time.
+pub trait Observer: Send {
     /// Called once per event, in emission order.
     fn on_event(&mut self, event: &SimEvent);
 
@@ -151,21 +156,34 @@ pub trait Observer {
 /// [`Observer::finish`] (subsequent events are dropped rather than
 /// aborting the simulation mid-run), and the writer flushes both on
 /// `finish` and on drop, so a trace is complete even if the run aborts
-/// between the last event and `finish`.
+/// between the last event and `finish`. On top of that, the writer
+/// flushes every [`EventTraceWriter::DEFAULT_FLUSH_EVERY`] events
+/// (tunable via [`with_flush_every`](Self::with_flush_every)), so a
+/// long-running campaign's trace can be tailed live instead of only
+/// materializing at the end of the run.
 pub struct EventTraceWriter {
-    out: Box<dyn Write>,
+    out: Box<dyn Write + Send>,
     /// First write error, kept until `finish` surfaces it.
     failed: Option<String>,
     finished: bool,
+    /// Flush after this many events (0 disables periodic flushing).
+    flush_every: usize,
+    /// Events written since the last flush.
+    since_flush: usize,
 }
 
 impl EventTraceWriter {
+    /// Default periodic-flush interval, in events.
+    pub const DEFAULT_FLUSH_EVERY: usize = 256;
+
     /// Wraps any writer (a file, a `Vec<u8>`, a pipe).
-    pub fn new(out: impl Write + 'static) -> Self {
+    pub fn new(out: impl Write + Send + 'static) -> Self {
         EventTraceWriter {
             out: Box::new(out),
             failed: None,
             finished: false,
+            flush_every: Self::DEFAULT_FLUSH_EVERY,
+            since_flush: 0,
         }
     }
 
@@ -173,6 +191,14 @@ impl EventTraceWriter {
     pub fn create(path: &std::path::Path) -> std::io::Result<Self> {
         let file = std::fs::File::create(path)?;
         Ok(EventTraceWriter::new(std::io::BufWriter::new(file)))
+    }
+
+    /// Sets the periodic-flush interval: the writer flushes its sink after
+    /// every `events` events. `0` disables periodic flushing (flush on
+    /// finish/drop only, the pre-campaign behaviour).
+    pub fn with_flush_every(mut self, events: usize) -> Self {
+        self.flush_every = events;
+        self
     }
 }
 
@@ -184,6 +210,14 @@ impl Observer for EventTraceWriter {
         let line = serde_json::to_string(event).expect("event serialization cannot fail");
         if let Err(e) = writeln!(self.out, "{line}") {
             self.failed = Some(format!("event trace write failed, trace truncated: {e}"));
+            return;
+        }
+        self.since_flush += 1;
+        if self.flush_every > 0 && self.since_flush >= self.flush_every {
+            self.since_flush = 0;
+            if let Err(e) = self.out.flush() {
+                self.failed = Some(format!("event trace flush failed, trace truncated: {e}"));
+            }
         }
     }
 
@@ -553,19 +587,19 @@ mod tests {
 
     #[test]
     fn external_observers_see_every_event() {
-        struct Counter(std::rc::Rc<std::cell::RefCell<usize>>);
+        struct Counter(std::sync::Arc<std::sync::Mutex<usize>>);
         impl Observer for Counter {
             fn on_event(&mut self, _: &SimEvent) {
-                *self.0.borrow_mut() += 1;
+                *self.0.lock().unwrap() += 1;
             }
         }
-        let count = std::rc::Rc::new(std::cell::RefCell::new(0));
+        let count = std::sync::Arc::new(std::sync::Mutex::new(0));
         let mut bus = EventBus::new(false);
         bus.add_observer(Box::new(Counter(count.clone())));
         bus.emit(started(0.0, 1, &[0]));
         bus.emit(completed(1.0, 1, &[0]));
         bus.into_parts(1.0).unwrap();
-        assert_eq!(*count.borrow(), 2);
+        assert_eq!(*count.lock().unwrap(), 2);
     }
 
     #[test]
@@ -613,11 +647,17 @@ mod tests {
     /// A sink shared with the test so flushes through a `BufWriter` are
     /// observable after the writer is gone.
     #[derive(Clone, Default)]
-    struct SharedSink(std::rc::Rc<std::cell::RefCell<Vec<u8>>>);
+    struct SharedSink(std::sync::Arc<std::sync::Mutex<Vec<u8>>>);
+
+    impl SharedSink {
+        fn contents(&self) -> Vec<u8> {
+            self.0.lock().unwrap().clone()
+        }
+    }
 
     impl Write for SharedSink {
         fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
-            self.0.borrow_mut().extend_from_slice(buf);
+            self.0.lock().unwrap().extend_from_slice(buf);
             Ok(buf.len())
         }
         fn flush(&mut self) -> std::io::Result<()> {
@@ -665,8 +705,52 @@ mod tests {
         writer.on_event(&started(0.0, 7, &[1]));
         // The line is small enough to still sit in the BufWriter.
         drop(writer);
-        let text = String::from_utf8(sink.0.borrow().clone()).unwrap();
+        let text = String::from_utf8(sink.contents()).unwrap();
         assert!(text.contains(r#""event":"job_started""#), "{text}");
+    }
+
+    #[test]
+    fn event_trace_writer_flushes_periodically_mid_run() {
+        let sink = SharedSink::default();
+        let mut writer =
+            EventTraceWriter::new(std::io::BufWriter::new(sink.clone())).with_flush_every(3);
+        for i in 0..2 {
+            writer.on_event(&started(i as f64, i, &[0]));
+        }
+        // Two events < interval: everything still sits in the BufWriter.
+        assert!(sink.contents().is_empty());
+        writer.on_event(&started(2.0, 2, &[0]));
+        // Third event crosses the interval: lines become visible live.
+        let text = String::from_utf8(sink.contents()).unwrap();
+        assert_eq!(text.lines().count(), 3, "{text}");
+        // And the interval re-arms rather than flushing every event after.
+        writer.on_event(&started(3.0, 3, &[0]));
+        assert_eq!(
+            String::from_utf8(sink.contents()).unwrap().lines().count(),
+            3
+        );
+        writer.finish(4.0).unwrap();
+        assert_eq!(
+            String::from_utf8(sink.contents()).unwrap().lines().count(),
+            4
+        );
+    }
+
+    #[test]
+    fn zero_interval_disables_periodic_flush() {
+        let sink = SharedSink::default();
+        let mut writer =
+            EventTraceWriter::new(std::io::BufWriter::new(sink.clone())).with_flush_every(0);
+        for i in 0..600 {
+            writer.on_event(&started(i as f64, i, &[0]));
+        }
+        // More events than the default interval, but nothing forced out
+        // beyond what the BufWriter spills on its own capacity.
+        writer.finish(600.0).unwrap();
+        assert_eq!(
+            String::from_utf8(sink.contents()).unwrap().lines().count(),
+            600
+        );
     }
 
     #[test]

@@ -332,6 +332,16 @@ impl Report {
         s
     }
 
+    /// The canonical determinism fingerprint of this report: its full
+    /// pretty-printed JSON serialization. Two runs are equivalent iff
+    /// their fingerprints are byte-identical. This is the single
+    /// implementation shared by the conformance goldens and the campaign
+    /// result cache — the cache is sound precisely because the
+    /// determinism oracles pin same-scenario ⇒ same-fingerprint.
+    pub fn fingerprint(&self) -> String {
+        report_fingerprint(self)
+    }
+
     /// The `q`-quantile (0 ≤ q ≤ 1, nearest-rank) of a per-job metric over
     /// finished jobs, e.g. `report.quantile(0.95, |j| j.wait())`.
     pub fn quantile(&self, q: f64, metric: impl Fn(&JobRecord) -> Option<f64>) -> Option<f64> {
@@ -344,6 +354,13 @@ impl Report {
         let idx = ((xs.len() - 1) as f64 * q).round() as usize;
         Some(xs[idx])
     }
+}
+
+/// Serializes the full report as a deterministic fingerprint: two runs
+/// are equivalent iff their fingerprints are byte-identical. Free-function
+/// form of [`Report::fingerprint`]; `simtest::fingerprint` re-exports it.
+pub fn report_fingerprint(report: &Report) -> String {
+    serde_json::to_string_pretty(report).expect("report serialization cannot fail")
 }
 
 fn mean(xs: &[f64]) -> f64 {

@@ -204,7 +204,10 @@ impl Decision {
 ///
 /// Implementations must be deterministic functions of the view sequence;
 /// they may keep internal state (e.g. reservations) across invocations.
-pub trait Scheduler {
+/// `Send` because a simulation run — scheduler included — is a unit of
+/// work the campaign executor moves across worker threads; a single run
+/// still invokes its scheduler from one thread at a time.
+pub trait Scheduler: Send {
     /// Algorithm name used in reports and traces.
     fn name(&self) -> &'static str;
 

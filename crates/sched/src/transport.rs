@@ -72,8 +72,9 @@ impl From<ProtocolError> for TransportError {
 }
 
 /// The engine's view of a scheduler, whatever side of a process boundary
-/// it lives on.
-pub trait SchedulerTransport {
+/// it lives on. `Send` for the same reason as [`Scheduler`]: whole runs
+/// migrate across campaign worker threads.
+pub trait SchedulerTransport: Send {
     /// Name used in reports and traces.
     fn name(&self) -> String;
 

@@ -29,15 +29,13 @@ pub mod scenario;
 
 pub use scenario::{ConformanceRun, Scenario};
 
-use elastisim::Report;
 use elastisim_platform::NodeId;
 use elastisim_sched::{Decision, Invocation, Scheduler, SystemView};
 
-/// Serializes the full report as a deterministic fingerprint: two runs are
-/// equivalent iff their fingerprints are byte-identical.
-pub fn fingerprint(report: &Report) -> String {
-    serde_json::to_string_pretty(report).expect("report serialization cannot fail")
-}
+/// The canonical report fingerprint, re-exported from
+/// [`elastisim::report_fingerprint`] so the conformance suite and the
+/// campaign result cache key runs identically.
+pub use elastisim::report_fingerprint as fingerprint;
 
 /// Compares `actual` against the golden snapshot at `path`, or rewrites the
 /// snapshot when the `UPDATE_GOLDEN` environment variable is set.

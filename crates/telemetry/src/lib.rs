@@ -11,7 +11,7 @@
 //! Design constraints, in priority order:
 //!
 //! 1. **Zero cost when disabled.** [`Telemetry`] is a cheap cloneable handle
-//!    around `Option<Rc<Inner>>`. The disabled handle (`Telemetry::default()`)
+//!    around `Option<Arc<Inner>>`. The disabled handle (`Telemetry::default()`)
 //!    is `None`: every recording call is a branch on a niche-optimized
 //!    pointer and returns immediately — no clocks read, no allocation, no
 //!    locking. Simulation results must be byte-identical either way, so no
@@ -20,9 +20,12 @@
 //!    `&'static str`; histograms use fixed log-scale buckets
 //!    (`[u64; 64]`), so the steady state after the first touch of each
 //!    metric is a map lookup plus integer arithmetic.
-//! 3. **Single-threaded.** The engine is single-threaded by design
-//!    (`Rc<RefCell>` is the established pattern, cf. the invariant
-//!    checker), so the registry is too.
+//! 3. **`Send` handles.** The simulation itself stays single-threaded, but
+//!    the campaign runtime moves whole runs across worker threads, so the
+//!    handle is `Arc<Mutex<_>>`-based. Locks are uncontended in practice
+//!    (one run owns its registry); the enabled path pays one atomic
+//!    lock/unlock per sample. Lock poisoning is deliberately forgiven —
+//!    a panicking run must not wedge a shared daemon registry.
 //!
 //! Wall-clock measurements ([`Span`], [`Telemetry::observe_since`]) use
 //! [`std::time::Instant`] and are inherently nondeterministic; they are
@@ -31,9 +34,8 @@
 //! and deterministic detail strings only — it is what the Chrome-trace
 //! exporter merges into the per-node timeline.
 
-use std::cell::RefCell;
 use std::collections::BTreeMap;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex, MutexGuard};
 use std::time::Instant;
 
 use serde::{Serialize, Serializer, Value};
@@ -204,17 +206,26 @@ struct Registry {
 }
 
 struct Inner {
-    registry: RefCell<Registry>,
-    timeline: RefCell<Timeline>,
+    registry: Mutex<Registry>,
+    timeline: Mutex<Timeline>,
     timeline_on: bool,
+}
+
+/// Locks a telemetry mutex, forgiving poisoning: metrics must survive a
+/// panicking run (the campaign executor catches the panic and keeps the
+/// registry alive for the remaining runs).
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
 }
 
 /// Cheap cloneable handle to the metrics registry; `None` inside = disabled.
 ///
 /// All recording methods are no-ops on a disabled handle. Clones share the
 /// same registry, so the engine, driver, and flow core can each carry one.
+/// The handle is `Send + Sync`, letting a whole simulation run (which owns
+/// clones of one) migrate across campaign worker threads.
 #[derive(Clone, Default)]
-pub struct Telemetry(Option<Rc<Inner>>);
+pub struct Telemetry(Option<Arc<Inner>>);
 
 impl Telemetry {
     /// An enabled registry without timeline capture (metrics only).
@@ -225,9 +236,9 @@ impl Telemetry {
     /// An enabled registry; `timeline` additionally buffers simulated-time
     /// instants for the Chrome-trace exporter (costs one `String` each).
     pub fn with_timeline(timeline: bool) -> Self {
-        Telemetry(Some(Rc::new(Inner {
-            registry: RefCell::new(Registry::default()),
-            timeline: RefCell::new(Timeline::default()),
+        Telemetry(Some(Arc::new(Inner {
+            registry: Mutex::new(Registry::default()),
+            timeline: Mutex::new(Timeline::default()),
             timeline_on: timeline,
         })))
     }
@@ -251,28 +262,21 @@ impl Telemetry {
     /// Adds `delta` to the named counter.
     pub fn counter_add(&self, name: &'static str, delta: u64) {
         if let Some(inner) = &self.0 {
-            *inner
-                .registry
-                .borrow_mut()
-                .counters
-                .entry(name)
-                .or_insert(0) += delta;
+            *lock(&inner.registry).counters.entry(name).or_insert(0) += delta;
         }
     }
 
     /// Sets the named gauge to its latest value.
     pub fn gauge_set(&self, name: &'static str, value: f64) {
         if let Some(inner) = &self.0 {
-            inner.registry.borrow_mut().gauges.insert(name, value);
+            lock(&inner.registry).gauges.insert(name, value);
         }
     }
 
     /// Records one observation into the named histogram.
     pub fn observe(&self, name: &'static str, value: f64) {
         if let Some(inner) = &self.0 {
-            inner
-                .registry
-                .borrow_mut()
+            lock(&inner.registry)
                 .histograms
                 .entry(name)
                 .or_default()
@@ -312,7 +316,7 @@ impl Telemetry {
         if !inner.timeline_on {
             return;
         }
-        let mut tl = inner.timeline.borrow_mut();
+        let mut tl = lock(&inner.timeline);
         if tl.events.len() >= Timeline::CAP {
             tl.dropped += 1;
             return;
@@ -331,13 +335,13 @@ impl Telemetry {
         let Some(inner) = &self.0 else {
             return Vec::new();
         };
-        let mut tl = inner.timeline.borrow_mut();
+        let mut tl = lock(&inner.timeline);
         if tl.dropped > 0 {
             let dropped = tl.dropped;
             tl.dropped = 0;
             drop(tl);
             self.counter_add("telemetry.timeline_dropped", dropped);
-            return std::mem::take(&mut inner.timeline.borrow_mut().events);
+            return std::mem::take(&mut lock(&inner.timeline).events);
         }
         std::mem::take(&mut tl.events)
     }
@@ -348,7 +352,7 @@ impl Telemetry {
         let Some(inner) = &self.0 else {
             return MetricsSnapshot::default();
         };
-        let reg = inner.registry.borrow();
+        let reg = lock(&inner.registry);
         MetricsSnapshot {
             counters: reg
                 .counters
@@ -583,6 +587,24 @@ mod tests {
         let snap = t.snapshot();
         assert_eq!(snap.counter("c"), Some(5));
         assert_eq!(snap.gauge("g"), Some(7.5));
+    }
+
+    #[test]
+    fn handles_are_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Telemetry>();
+        assert_send_sync::<MetricsSnapshot>();
+    }
+
+    #[test]
+    fn recording_works_across_threads() {
+        let t = Telemetry::enabled();
+        let t2 = t.clone();
+        std::thread::spawn(move || t2.counter_add("cross", 2))
+            .join()
+            .expect("worker thread");
+        t.counter_add("cross", 1);
+        assert_eq!(t.snapshot().counter("cross"), Some(3));
     }
 
     #[test]

@@ -1,0 +1,122 @@
+#!/usr/bin/env python3
+"""Stdlib-only client for the `elastisim serve` campaign daemon.
+
+Starts the daemon as a subprocess, speaks the JSON-lines protocol on its
+stdin/stdout (one request per line, streamed replies), and demonstrates
+the result cache: the same campaign submitted twice is answered the
+second time entirely from cache, with byte-identical fingerprints and
+without re-executing any scenario.
+
+Usage:
+    python3 examples/campaign_client.py [path/to/elastisim]
+
+Exits non-zero if any protocol expectation fails, so CI can use it as an
+integration check.
+"""
+
+import json
+import subprocess
+import sys
+
+PROTOCOL_VERSION = 1
+
+
+class ServeClient:
+    """A tiny request/streaming-reply wrapper around the daemon's pipes."""
+
+    def __init__(self, binary, workers=2):
+        self.proc = subprocess.Popen(
+            [binary, "serve", "--workers", str(workers)],
+            stdin=subprocess.PIPE,
+            stdout=subprocess.PIPE,
+            text=True,
+        )
+        self.seq = 0
+
+    def request(self, command, **fields):
+        """Sends one command; returns the list of replies it produced.
+
+        Streaming commands (campaign) produce many replies; the terminal
+        one is `campaign_done` (or `error`). Simple commands produce one.
+        """
+        self.seq += 1
+        line = {"protocol": PROTOCOL_VERSION, "seq": self.seq, "command": command}
+        line.update(fields)
+        self.proc.stdin.write(json.dumps(line) + "\n")
+        self.proc.stdin.flush()
+
+        replies = []
+        terminal = {"pong", "error", "campaign_done", "stats", "shutting_down"}
+        while True:
+            raw = self.proc.stdout.readline()
+            if not raw:
+                raise RuntimeError("daemon closed its stdout mid-request")
+            reply = json.loads(raw)
+            assert reply["protocol"] == PROTOCOL_VERSION, reply
+            assert reply["seq"] == self.seq, reply
+            replies.append(reply)
+            if reply["msg"] in terminal:
+                return replies
+
+    def close(self):
+        self.proc.stdin.close()
+        self.proc.wait(timeout=30)
+
+
+def run_campaign(client, label):
+    replies = client.request(
+        "campaign",
+        seeds={"start": 0, "end": 10},
+        schedulers=["fcfs", "elastic"],
+    )
+    accepted, progress, done = replies[0], replies[1:-1], replies[-1]
+    assert accepted["msg"] == "campaign_accepted" and accepted["runs"] == 20, accepted
+    assert done["msg"] == "campaign_done", done
+
+    finished = [r for r in progress if r["msg"] == "run_finished"]
+    assert len(finished) == 20, f"expected 20 run_finished lines, got {len(finished)}"
+    assert all(r["ok"] for r in finished), "a scenario failed"
+    print(f"{label}: {done['runs']} runs, "
+          f"{done['cache_hits']} cache hits, "
+          f"{done['wall_seconds']:.3f} s wall")
+    for row in done["summary"]:
+        print(f"    {row['scheduler']:<10} "
+              f"makespan {row['mean_makespan']:8.1f} s   "
+              f"utilization {100 * row['mean_utilization']:5.1f} %   "
+              f"mean wait {row['mean_wait']:6.1f} s")
+    # id -> scenario fingerprint, for cross-submission comparison.
+    return done, {r["id"]: r["fingerprint"] for r in finished}
+
+
+def main():
+    binary = sys.argv[1] if len(sys.argv) > 1 else "target/release/elastisim"
+    client = ServeClient(binary)
+    try:
+        (pong,) = client.request("ping")
+        assert pong["msg"] == "pong", pong
+        print("daemon is up")
+
+        first_done, first_fps = run_campaign(client, "first submission")
+        assert first_done["cache_hits"] == 0, first_done
+
+        second_done, second_fps = run_campaign(client, "second submission")
+        assert second_done["cache_hits"] == second_done["runs"], (
+            "resubmission must be answered entirely from cache: %r" % second_done)
+        assert first_fps == second_fps, "fingerprints diverged across submissions"
+        print("cache verified: resubmission re-executed nothing")
+
+        (stats,) = client.request("stats")
+        assert stats["msg"] == "stats", stats
+        assert stats["campaigns"] == 2 and stats["cache_hits"] >= 20, stats
+        print(f"daemon stats: {stats['campaigns']} campaigns, "
+              f"{stats['runs']} runs, {stats['cache_entries']} cached scenarios")
+
+        (bye,) = client.request("shutdown")
+        assert bye["msg"] == "shutting_down", bye
+    finally:
+        client.close()
+    print("OK")
+
+
+if __name__ == "__main__":
+    main()
