@@ -1,0 +1,416 @@
+//! Scale gate for the parallel component solver: a synthetic
+//! 100k-node / 1M-job flow-level run driven straight through the DES
+//! kernel, timed with the component partition disabled ("monolithic"),
+//! and enabled at 1/2/4/8 solver threads.
+//!
+//! The workload is the parallel solver's target regime: node-local jobs
+//! (every node is its own connected component) with periodic
+//! platform-wide capacity waves — a DVFS-style event that dirties half
+//! the platform at once, so each re-solve carries thousands of
+//! independent components. The monolithic arm merges those components
+//! into one progressive-filling solve (the pre-partitioning behaviour);
+//! the partitioned arms solve them per component, optionally fanned out
+//! over the work-stealing pool.
+//!
+//! Wall times are machine-dependent, so — as in `sweep_bench` — the
+//! `--check` gate compares *ratios* only, and only between runs of the
+//! same scale: the partitioned-vs-monolithic events/sec ratio against
+//! the committed ratio (>15% drop fails), and, only on machines with
+//! ≥ 8 cores, a ≥ 1.0x speedup floor at 8 solver threads. Every
+//! measured arm must reproduce the event-stream hash of the first arm
+//! byte-identically, so the numbers only exist if thread-count
+//! independence held. Full mode measures the smoke scale too, so the
+//! committed file always carries a smoke entry for the nightly gate.
+//!
+//! Usage: `scale_bench [--smoke] [--json-out FILE] [--check COMMITTED]`
+
+use std::time::Instant;
+
+use elastisim_des::{ActivitySpec, ParPolicy, ResourceId, Simulator, Time};
+use serde::Value;
+
+/// Event payloads of the synthetic run.
+#[derive(Clone, Copy)]
+enum Ev {
+    /// Job `i` arrives and starts on its node.
+    Arrive(u32),
+    /// Job `i` completed (activity payload).
+    Done(u32),
+    /// Capacity wave `k`: rescale a rotating half of the platform.
+    Wave(u32),
+}
+
+/// Deterministic LCG (no external RNG in the hot path, and the stream is
+/// pinned so every arm replays the identical workload).
+struct Lcg(u64);
+
+impl Lcg {
+    fn next_u64(&mut self) -> u64 {
+        self.0 = self
+            .0
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        self.0
+    }
+    /// Uniform in [lo, hi).
+    fn uniform(&mut self, lo: f64, hi: f64) -> f64 {
+        let u = (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        lo + u * (hi - lo)
+    }
+    fn index(&mut self, n: usize) -> usize {
+        (self.next_u64() % n as u64) as usize
+    }
+}
+
+struct Scale {
+    nodes: usize,
+    jobs: usize,
+    /// Arrival window, sim-seconds.
+    horizon: f64,
+    /// Capacity-wave period, sim-seconds.
+    wave_every: f64,
+    samples: usize,
+}
+
+const SMOKE: Scale = Scale {
+    nodes: 2_000,
+    jobs: 20_000,
+    horizon: 1_000.0,
+    wave_every: 25.0,
+    samples: 2,
+};
+
+const FULL: Scale = Scale {
+    nodes: 100_000,
+    jobs: 1_000_000,
+    horizon: 1_000.0,
+    wave_every: 25.0,
+    samples: 1,
+};
+
+struct Outcome {
+    wall: f64,
+    events: u64,
+    completion_hash: u64,
+    par_batches: u64,
+    stolen: u64,
+}
+
+/// One full synthetic run under the given parallel-solver policy.
+/// Returns wall time, event count, and an FNV hash over the complete
+/// (time-bits, payload) event stream — the cross-arm identity oracle.
+fn run_once(scale: &Scale, par: ParPolicy) -> Outcome {
+    let mut sim: Simulator<Ev> = Simulator::new();
+    sim.set_parallelism(par);
+    let mut rng = Lcg(0x5CA1_EB0B ^ scale.jobs as u64);
+    let rids: Vec<ResourceId> = (0..scale.nodes)
+        .map(|_| sim.add_resource(rng.uniform(0.5, 1.5)))
+        .collect();
+    // Job i: node, work — drawn up front so arrival order is the only
+    // thing the event queue decides.
+    let placements: Vec<(usize, f64)> = (0..scale.jobs)
+        .map(|_| (rng.index(scale.nodes), rng.uniform(5.0, 60.0)))
+        .collect();
+    for (i, _) in placements.iter().enumerate() {
+        sim.schedule_at(
+            Time::from_secs(rng.uniform(0.0, scale.horizon)),
+            Ev::Arrive(i as u32),
+        );
+    }
+    sim.schedule_at(Time::from_secs(scale.wave_every), Ev::Wave(0));
+
+    let mut hash: u64 = 0xcbf29ce484222325;
+    let mut fnv = |x: u64| {
+        for b in x.to_le_bytes() {
+            hash ^= b as u64;
+            hash = hash.wrapping_mul(0x100000001b3);
+        }
+    };
+    let t0 = Instant::now();
+    let mut events: u64 = 0;
+    while let Some((t, ev)) = sim.step() {
+        events += 1;
+        fnv(t.as_secs().to_bits());
+        match ev {
+            Ev::Arrive(i) => {
+                fnv(i as u64);
+                let (node, work) = placements[i as usize];
+                sim.start_activity(ActivitySpec::new(work, [rids[node]]), Ev::Done(i));
+            }
+            Ev::Done(i) => fnv(0x8000_0000_0000_0000 | i as u64),
+            Ev::Wave(k) => {
+                fnv(0x4000_0000_0000_0000 | k as u64);
+                // Rescale a rotating half of the platform in one batch —
+                // every busy node in the slice becomes a dirty component
+                // of the same re-solve. The per-node spread keeps
+                // capacities heterogeneous, so merged solves still freeze
+                // resources one by one.
+                let half = scale.nodes / 2;
+                let start = (k as usize % 2) * half;
+                let factor = 0.6 + 0.2 * (k % 4) as f64;
+                sim.set_capacities(
+                    (start..start + half).map(|n| (rids[n], factor + 0.05 * (n % 8) as f64)),
+                );
+                if (t.as_secs() + scale.wave_every) < scale.horizon {
+                    sim.schedule_at(
+                        Time::from_secs(t.as_secs() + scale.wave_every),
+                        Ev::Wave(k + 1),
+                    );
+                }
+            }
+        }
+    }
+    Outcome {
+        wall: t0.elapsed().as_secs_f64(),
+        events,
+        completion_hash: hash,
+        par_batches: sim.flow_par_batches(),
+        stolen: sim.flow_stolen_tasks(),
+    }
+}
+
+/// Measured numbers for one scale: the JSON entry plus the two gated
+/// ratios (partitioned-vs-monolithic, 8-thread speedup).
+struct ScaleResult {
+    entry: Value,
+    partition_ratio: f64,
+    speedup_at_8: f64,
+}
+
+fn measure(scale: &Scale) -> ScaleResult {
+    println!(
+        "  scale: {} nodes, {} jobs, capacity wave every {}s (best of {})",
+        scale.nodes, scale.jobs, scale.wave_every, scale.samples
+    );
+    // Arms: the merged pre-partitioning solve, then the partitioned
+    // solver at increasing thread counts. Partitioning kicks in at the
+    // default crossover; threads only change who executes the pieces.
+    let monolithic = ParPolicy {
+        threads: 1,
+        min_activities: usize::MAX,
+        min_components: 2,
+    };
+    let arms: Vec<(String, ParPolicy)> = std::iter::once(("monolithic".to_string(), monolithic))
+        .chain(
+            [1usize, 2, 4, 8]
+                .iter()
+                .map(|&t| (format!("threads/{t}"), ParPolicy::with_threads(t))),
+        )
+        .collect();
+
+    let mut best: Vec<Option<Outcome>> = arms.iter().map(|_| None).collect();
+    let mut reference_hash: Option<u64> = None;
+    for _ in 0..scale.samples {
+        for (i, (label, par)) in arms.iter().enumerate() {
+            let outcome = run_once(scale, *par);
+            match reference_hash {
+                None => reference_hash = Some(outcome.completion_hash),
+                Some(expected) => assert_eq!(
+                    expected, outcome.completion_hash,
+                    "event-stream divergence in arm `{label}`"
+                ),
+            }
+            if best[i].as_ref().is_none_or(|b| outcome.wall < b.wall) {
+                best[i] = Some(outcome);
+            }
+        }
+    }
+    let best: Vec<Outcome> = best.into_iter().map(Option::unwrap).collect();
+
+    let round1 = |x: f64| (x * 10.0).round() / 10.0;
+    let round2 = |x: f64| (x * 100.0).round() / 100.0;
+    let eps = |o: &Outcome| o.events as f64 / o.wall;
+    let serial_eps = eps(&best[1]);
+
+    let mut events_map = Vec::new();
+    let mut wall_map = Vec::new();
+    let mut speedup_map = Vec::new();
+    let mut speedup_at_8 = 1.0;
+    for (i, (label, _)) in arms.iter().enumerate() {
+        let o = &best[i];
+        let speedup = eps(o) / serial_eps;
+        println!(
+            "    {label:<12} {:>8.2}s  {:>10.0} events/sec  ({:>5.2}x vs 1 thread, {} par batches, {} steals)",
+            o.wall,
+            eps(o),
+            speedup,
+            o.par_batches,
+            o.stolen
+        );
+        events_map.push((label.clone(), Value::Num(round1(eps(o)))));
+        wall_map.push((label.clone(), Value::Num(round2(o.wall))));
+        if i >= 1 {
+            speedup_map.push((label.clone(), Value::Num(round2(speedup))));
+            if label == "threads/8" {
+                speedup_at_8 = speedup;
+            }
+        }
+    }
+    let partition_ratio = round2(serial_eps / eps(&best[0]));
+    println!(
+        "    partitioned vs monolithic: {partition_ratio:.2}x events/sec (single-threaded, pure algorithmic win)"
+    );
+
+    let entry = Value::Map(vec![
+        ("nodes".into(), Value::Num(scale.nodes as f64)),
+        ("jobs".into(), Value::Num(scale.jobs as f64)),
+        ("events".into(), Value::Num(best[0].events as f64)),
+        ("wall_seconds".into(), Value::Map(wall_map)),
+        ("events_per_sec".into(), Value::Map(events_map)),
+        (
+            "partitioned_vs_monolithic".into(),
+            Value::Num(partition_ratio),
+        ),
+        ("speedup_vs_one_thread".into(), Value::Map(speedup_map)),
+    ]);
+    ScaleResult {
+        entry,
+        partition_ratio,
+        speedup_at_8,
+    }
+}
+
+fn get<'a>(v: &'a Value, key: &str) -> Option<&'a Value> {
+    match v {
+        Value::Map(m) => m.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+        _ => None,
+    }
+}
+
+fn num(v: &Value) -> f64 {
+    match v {
+        Value::Num(n) => *n,
+        other => panic!("expected number, got {other:?}"),
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let arg_value = |name: &str| {
+        args.iter().position(|a| a == name).map(|i| {
+            args.get(i + 1)
+                .unwrap_or_else(|| panic!("{name} needs a value"))
+                .clone()
+        })
+    };
+    let json_out = arg_value("--json-out");
+    let check = arg_value("--check");
+    for (i, a) in args.iter().enumerate() {
+        if a.starts_with("--")
+            && a != "--smoke"
+            && a != "--json-out"
+            && a != "--check"
+            && !(i > 0 && (args[i - 1] == "--json-out" || args[i - 1] == "--check"))
+        {
+            eprintln!("unknown option {a}");
+            std::process::exit(2);
+        }
+    }
+
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    println!("parallel component solver scale gate ({cores} core(s) available)");
+    let scales: &[&Scale] = if smoke { &[&SMOKE] } else { &[&SMOKE, &FULL] };
+    let results: Vec<ScaleResult> = scales.iter().map(|s| measure(s)).collect();
+
+    let doc = Value::Map(vec![
+        (
+            "benchmark".into(),
+            Value::Str("crates/bench/src/bin/scale_bench.rs".into()),
+        ),
+        (
+            "unit".into(),
+            Value::Str(
+                "DES events/sec over the synthetic node-local workload with half-platform \
+                 capacity waves; monolithic = component partitioning disabled"
+                    .into(),
+            ),
+        ),
+        (
+            "machine_note".into(),
+            Value::Str(format!(
+                "measured with {cores} core(s) available; absolute events/sec and thread \
+                 speedups are machine-local (thread speedup cannot exceed the core count) — \
+                 regression gating compares the partitioned-vs-monolithic ratio between runs \
+                 of the same scale, and the 8-thread speedup floor only applies on machines \
+                 with >= 8 cores"
+            )),
+        ),
+        (
+            "correctness_note".into(),
+            Value::Str(
+                "every measured arm asserts an identical hash over the full (time, event) \
+                 stream, so the numbers only exist if thread-count independence held"
+                    .into(),
+            ),
+        ),
+        ("available_cores".into(), Value::Num(cores as f64)),
+        (
+            "runs".into(),
+            Value::Seq(results.iter().map(|r| r.entry.clone()).collect()),
+        ),
+    ]);
+
+    let json = serde_json::to_string_pretty(&doc).expect("serialize bench json");
+    if let Some(path) = &json_out {
+        std::fs::write(path, json.clone() + "\n").expect("write bench json");
+        println!("  json written to {path}");
+    }
+
+    let mut failures = Vec::new();
+    for (scale, result) in scales.iter().zip(&results) {
+        // Absolute floor: partitioning the solve must never be slower
+        // than the monolithic merge beyond noise, at any scale.
+        if result.partition_ratio < 0.9 {
+            failures.push(format!(
+                "partitioned solver slower than monolithic at {} nodes: {:.2}x",
+                scale.nodes, result.partition_ratio
+            ));
+        }
+        // Thread-speedup floor, only meaningful when the cores exist.
+        if cores >= 8 && result.speedup_at_8 < 1.0 {
+            failures.push(format!(
+                "8 solver threads slower than 1 on a {cores}-core machine at {} nodes: {:.2}x",
+                scale.nodes, result.speedup_at_8
+            ));
+        }
+    }
+    if let Some(committed_path) = &check {
+        let text = std::fs::read_to_string(committed_path)
+            .unwrap_or_else(|e| panic!("read {committed_path}: {e}"));
+        let committed: Value = serde_json::from_str(&text).expect("parse committed bench json");
+        let committed_runs = match get(&committed, "runs") {
+            Some(Value::Seq(runs)) => runs.as_slice(),
+            _ => panic!("{committed_path}: no `runs` array"),
+        };
+        for (scale, result) in scales.iter().zip(&results) {
+            // Ratios only compare like-for-like scales.
+            let Some(c) = committed_runs
+                .iter()
+                .find(|r| get(r, "nodes").is_some_and(|n| num(n) as usize == scale.nodes))
+            else {
+                println!(
+                    "  note: no committed entry at {} nodes; skipping the ratio gate",
+                    scale.nodes
+                );
+                continue;
+            };
+            let committed_ratio = num(get(c, "partitioned_vs_monolithic").expect("ratio"));
+            if result.partition_ratio < committed_ratio * 0.85 {
+                failures.push(format!(
+                    "partitioned-vs-monolithic ratio at {} nodes regressed >15%: \
+                     {:.2}x vs committed {committed_ratio:.2}x",
+                    scale.nodes, result.partition_ratio
+                ));
+            }
+        }
+    }
+
+    if !failures.is_empty() {
+        for f in &failures {
+            eprintln!("FAIL: {f}");
+        }
+        std::process::exit(1);
+    }
+    println!("PASS: thread-count independence held and the partitioned solver did not regress");
+}

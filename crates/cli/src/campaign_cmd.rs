@@ -122,7 +122,14 @@ fn render_table(records: &[RunRecord], workers: usize, wall_seconds: f64) -> Str
 /// corpus on a worker pool and prints the merged summary table. Returns
 /// an error if any run failed.
 pub fn cmd_sweep(args: &Args) -> Result<String, CliError> {
-    args.expect_only(&["seeds", "schedulers", "workers", "records", "progress"])?;
+    args.expect_only(&[
+        "seeds",
+        "schedulers",
+        "workers",
+        "solver-threads",
+        "records",
+        "progress",
+    ])?;
     let seeds = parse_seed_range(args.require("seeds")?)?;
     let schedulers: Vec<String> = args
         .get_or("schedulers", "elastic")
@@ -131,8 +138,30 @@ pub fn cmd_sweep(args: &Args) -> Result<String, CliError> {
         .filter(|s| !s.is_empty())
         .collect();
     let workers = parse_workers(args)?;
+    // Cap workers × solver-threads at the machine's parallelism: workers
+    // shard whole runs and win; solver threads absorb the reduction. A
+    // request of 0 means "all cores" (before the cap). Result-neutral
+    // either way — solver threads never change run output.
+    let solver_threads = match args.get("solver-threads") {
+        None => None,
+        Some(_) => {
+            let n = args.int("solver-threads", 0)? as usize;
+            Some(if n == 0 {
+                crate::commands::auto_threads()
+            } else {
+                n
+            })
+        }
+    };
+    let effective_solver =
+        solver_threads.map(|n| n.min((crate::commands::auto_threads() / workers).max(1)));
     let progress = args.flag("progress")?;
-    let specs = campaign_specs(seeds, &schedulers).map_err(UsageError)?;
+    let mut specs = campaign_specs(seeds, &schedulers).map_err(UsageError)?;
+    if let Some(n) = effective_solver {
+        for spec in &mut specs {
+            spec.config.solver_threads = Some(n);
+        }
+    }
     let total = specs.len();
 
     let start = std::time::Instant::now();
@@ -163,7 +192,19 @@ pub fn cmd_sweep(args: &Args) -> Result<String, CliError> {
         fs::write(path, lines).map_err(|e| CliError::Io(path.into(), e))?;
     }
 
-    let table = render_table(&records, workers, wall_seconds);
+    let mut table = render_table(&records, workers, wall_seconds);
+    if let (Some(requested), Some(effective)) = (solver_threads, effective_solver) {
+        if effective < requested {
+            table.push_str(&format!(
+                "solver threads: {effective} per worker (capped from {requested}: {workers} worker{} share {} core{})\n",
+                if workers == 1 { "" } else { "s" },
+                crate::commands::auto_threads(),
+                if crate::commands::auto_threads() == 1 { "" } else { "s" },
+            ));
+        } else {
+            table.push_str(&format!("solver threads: {effective} per worker\n"));
+        }
+    }
     let failures: Vec<&RunRecord> = records.iter().filter(|r| r.error().is_some()).collect();
     if failures.is_empty() {
         Ok(table)
@@ -268,6 +309,43 @@ mod tests {
         ] {
             assert!(cmd_sweep(&Args::parse(argv).unwrap()).is_err());
         }
+    }
+
+    #[test]
+    fn sweep_solver_threads_is_capped_and_result_neutral() {
+        let run = |extra: &[&str]| {
+            let mut argv = vec!["sweep", "--seeds", "0..2", "--schedulers", "fcfs"];
+            argv.extend_from_slice(extra);
+            cmd_sweep(&Args::parse(argv).unwrap()).unwrap()
+        };
+        let plain = run(&[]);
+        // An absurd request is capped so workers × solver threads never
+        // exceeds the machine, and the effective count is echoed.
+        let capped = run(&["--solver-threads", "4096", "--workers", "2"]);
+        let line = capped
+            .lines()
+            .find(|l| l.starts_with("solver threads:"))
+            .expect("echo line");
+        let effective: usize = line
+            .split_whitespace()
+            .nth(2)
+            .and_then(|s| s.parse().ok())
+            .expect("count");
+        assert!(
+            effective * 2 <= crate::commands::auto_threads().max(2),
+            "{line}"
+        );
+        // Result-neutral: the per-scheduler aggregate rows are identical
+        // with and without a parallel solver.
+        let rows = |table: &str| {
+            table
+                .lines()
+                .filter(|l| l.starts_with("fcfs"))
+                .map(String::from)
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(rows(&plain), rows(&capped));
+        assert!(!plain.contains("solver threads:"), "{plain}");
     }
 
     #[test]

@@ -61,9 +61,10 @@ USAGE:
                       [--seed N] [--check-invariants]
                       [--trace-events FILE] [--chrome-trace FILE]
                       [--metrics-out FILE] [--progress [SECS]]
-                      [--out DIR]
+                      [--solver-threads N] [--out DIR]
   elastisim sweep     --seeds A..B [--schedulers NAME,NAME,...]
-                      [--workers N] [--records FILE] [--progress]
+                      [--workers N] [--solver-threads N]
+                      [--records FILE] [--progress]
   elastisim serve     [--workers N]
   elastisim schedulers
   elastisim help
@@ -88,12 +89,18 @@ scheduler invocations, flow re-solves). --metrics-out writes internal
 counters and latency histograms to FILE as JSON; either flag also
 appends the metrics to the printed summary (see DESIGN.md §10).
 --progress prints a heartbeat to stderr roughly every SECS wall-clock
-seconds (default 5).
+seconds (default 5). --solver-threads fans the connected components of
+each flow re-solve out to a work-stealing pool (0 = all cores); results
+are bit-identical at any thread count, so this only changes wall time.
 
 `sweep` runs the conformance-corpus scenario for every seed in the
 half-open range A..B under each listed scheduler (default elastic),
 sharded over --workers threads, and prints a merged per-scheduler
 summary table. Per-run records are byte-identical at any worker count.
+--solver-threads gives each run a parallel flow solver; when workers ×
+solver threads would oversubscribe the machine, solver threads are
+reduced (workers win) and the effective counts are echoed in the
+summary.
 --records writes one JSON line per run (id, label, fingerprints,
 makespan, utilization); --progress streams per-run status to stderr.
 
@@ -102,6 +109,15 @@ stdin/stdout: one request per line in, streamed progress replies out
 (see DESIGN.md §11). Completed scenarios are cached by fingerprint, so
 resubmitting a campaign answers instantly without re-running.
 ";
+
+/// Number of threads to use when `--solver-threads 0` (or `--workers 0`)
+/// asks for auto-detection: the machine's available parallelism, or 1 if
+/// that cannot be determined.
+pub fn auto_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
 
 /// Parses a `--reconfig-cost` value: `free`, `fixed:SECONDS`, or
 /// `data:BYTES_PER_NODE`.
@@ -241,6 +257,7 @@ pub fn cmd_run(args: &Args) -> Result<(Report, String), CliError> {
         "chrome-trace",
         "metrics-out",
         "progress",
+        "solver-threads",
         "seed",
         "check-invariants",
         "out",
@@ -281,6 +298,18 @@ pub fn cmd_run(args: &Args) -> Result<(Report, String), CliError> {
             }
             cfg = cfg.with_progress(secs);
         }
+    }
+    // Parallel flow solver: result-neutral (reports are bit-identical at
+    // any thread count), so this is a pure wall-clock knob. 0 = auto.
+    let solver_threads = match args.get("solver-threads") {
+        None => None,
+        Some(_) => {
+            let n = args.int("solver-threads", 0)? as usize;
+            Some(if n == 0 { auto_threads() } else { n })
+        }
+    };
+    if let Some(n) = solver_threads {
+        cfg = cfg.with_solver_threads(n);
     }
 
     // Telemetry is off (and free) unless an output asked for it; the
@@ -349,6 +378,9 @@ pub fn cmd_run(args: &Args) -> Result<(Report, String), CliError> {
 
     let report = sim.try_run().map_err(|e| CliError::Data(e.to_string()))?;
     let mut summary = render_summary(&report, &sched_label, effective_seed);
+    if let Some(n) = solver_threads {
+        summary.push_str(&format!("solver threads   : {n}\n"));
+    }
     if telemetry.is_enabled() {
         let snapshot = telemetry.snapshot();
         if let Some(path) = &metrics_out {

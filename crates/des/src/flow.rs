@@ -69,7 +69,28 @@
 //! make identical choices. Both paths produce bit-identical rates — a
 //! partial solve of every component equals the full solve — so mode
 //! switching never changes simulation output, only wall time.
+//!
+//! ## Parallel component solver
+//!
+//! Large re-solves are *batched by connected component* and the
+//! components solved independently — serially, or fanned out over a
+//! work-stealing thread pool ([`ParPolicy`]). The closure property that
+//! makes the restricted solve exact also makes the per-component solves
+//! bit-identical to one merged progressive-filling solve: no activity
+//! outside a component touches any resource inside it, so each
+//! component's sequence of freeze events (and therefore every
+//! floating-point operation on its resources) is the same whether the
+//! components are solved together or apart, on one thread or eight.
+//! Components are emitted in ascending order of their smallest activity
+//! id, solved into disjoint slices of one output buffer, and *applied
+//! serially* in that deterministic order — completion-heap pushes,
+//! tie-breaking, and reports are byte-identical at any thread count.
+//! Below the [`ParPolicy::min_activities`] crossover the solve takes the
+//! exact pre-existing merged path (small re-solves never pay the
+//! partition walk or synchronization). Each solver thread owns a
+//! thread-local scratch arena, preserving the zero-allocation hot path.
 
+use std::cell::RefCell;
 use std::collections::{BinaryHeap, HashMap};
 
 use crate::fairshare::{self, PackedDemand};
@@ -160,6 +181,81 @@ impl Default for SolvePolicy {
             sweep_exit: 256,
             window: 48,
         }
+    }
+}
+
+/// The parallelism extension of [`SolvePolicy`]: when and how a re-solve
+/// is partitioned into connected components and fanned out over a
+/// work-stealing pool. Partitioning decisions depend only on the batch
+/// (never on `threads`), so runs with different thread counts make
+/// identical partitioning choices and produce byte-identical output —
+/// `threads` selects execution only.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ParPolicy {
+    /// Total solver threads, including the simulation thread itself.
+    /// 1 (the default) spawns no pool; components still partition past
+    /// `min_activities` but are solved in a serial loop.
+    pub threads: usize,
+    /// Re-solves covering fewer activities than this skip the partition
+    /// walk entirely and take the merged single-solve path — below the
+    /// crossover the walk and the pool handshake cost more than they
+    /// save (mirroring the adaptive sweep hysteresis).
+    pub min_activities: usize,
+    /// Minimum number of discovered components required to solve
+    /// per-component; batches that partition into fewer fall back to the
+    /// merged solve (one giant component gains nothing from the split).
+    pub min_components: usize,
+}
+
+impl Default for ParPolicy {
+    fn default() -> Self {
+        ParPolicy {
+            threads: 1,
+            min_activities: 1024,
+            min_components: 2,
+        }
+    }
+}
+
+impl ParPolicy {
+    /// A policy running `threads` solver threads with default crossovers.
+    pub fn with_threads(threads: usize) -> Self {
+        ParPolicy {
+            threads,
+            ..ParPolicy::default()
+        }
+    }
+}
+
+/// Per-thread solver scratch for parallel component solves: the
+/// fair-share workspace plus packed-demand and rate buffers, all reused
+/// across batches so the hot path allocates nothing once warm.
+#[derive(Default)]
+struct ParScratch {
+    ws: fairshare::Workspace,
+    packed: Vec<PackedDemand>,
+    rates: Vec<f64>,
+}
+
+thread_local! {
+    static PAR_SCRATCH: RefCell<ParScratch> = RefCell::new(ParScratch::default());
+}
+
+/// Raw output cursor shared by component-solve tasks. Each task writes
+/// only its component's disjoint `[lo, hi)` slice; the pool's quiescence
+/// barrier orders all writes before the caller reads the buffer back.
+#[derive(Clone, Copy)]
+struct OutPtr(*mut f64);
+unsafe impl Send for OutPtr {}
+unsafe impl Sync for OutPtr {}
+
+impl OutPtr {
+    /// Accessor (rather than a public field) so closures capture the
+    /// `Send + Sync` wrapper — edition-2021 closures capture disjoint
+    /// fields by default, and capturing the bare `*mut f64` would strip
+    /// the wrapper's thread-safety claim.
+    fn get(self) -> *mut f64 {
+        self.0
     }
 }
 
@@ -366,6 +462,19 @@ pub struct FlowNetwork {
     // ---- adaptive policy ----
     policy: SolvePolicy,
     adaptive: Adaptive,
+
+    // ---- parallel component solver ----
+    par: ParPolicy,
+    /// Work-stealing pool; present iff `par.threads > 1`.
+    pool: Option<workpool::Pool>,
+    /// Component end-offsets into `comp` for the last partitioned batch
+    /// (empty when the last re-solve took the merged path). Retained
+    /// after the solve as the telemetry view of component sizes.
+    comp_bounds: Vec<u32>,
+    /// Scratch for regrouping `comp` by component.
+    comp_grouped: Vec<u32>,
+    /// How many re-solves were solved per-component.
+    par_batches: u64,
 }
 
 impl Default for FlowNetwork {
@@ -420,7 +529,49 @@ impl FlowNetwork {
             last_solve: (0, SolveKind::Full),
             policy,
             adaptive: Adaptive::new(window),
+            par: ParPolicy::default(),
+            pool: None,
+            comp_bounds: Vec::new(),
+            comp_grouped: Vec::new(),
+            par_batches: 0,
         }
+    }
+
+    /// Replaces the parallel-solver policy (see [`ParPolicy`]). The pool
+    /// is (re)built only when the thread count changes. Rates and event
+    /// order are unaffected at any setting — partitioned and merged
+    /// solves are bit-identical; only wall time differs.
+    pub fn set_parallelism(&mut self, par: ParPolicy) {
+        assert!(par.threads >= 1, "need at least one solver thread");
+        assert!(par.min_components >= 1, "min_components must be at least 1");
+        if par.threads != self.par.threads {
+            self.pool = (par.threads > 1).then(|| workpool::Pool::new(par.threads));
+        }
+        self.par = par;
+    }
+
+    /// The active parallel-solver policy.
+    pub fn parallelism(&self) -> ParPolicy {
+        self.par
+    }
+
+    /// How many re-solves were partitioned and solved per-component
+    /// (telemetry counter `flow.par.batches`).
+    pub fn par_batches(&self) -> u64 {
+        self.par_batches
+    }
+
+    /// Component end-offsets of the most recent re-solve, if it was
+    /// partitioned; component `c` covered `bounds[c] - bounds[c-1]`
+    /// activities (with `bounds[-1] = 0`). Empty after a merged solve.
+    pub fn last_partition(&self) -> &[u32] {
+        &self.comp_bounds
+    }
+
+    /// Cumulative task indices moved between solver threads by work
+    /// stealing (telemetry counter `flow.par.stolen_tasks`).
+    pub fn stolen_tasks(&self) -> u64 {
+        self.pool.as_ref().map_or(0, |p| p.stolen())
     }
 
     /// Replaces the solve-path policy. Adaptive hysteresis state is reset;
@@ -977,19 +1128,43 @@ impl FlowNetwork {
             // Solve the affected set against the full capacity vector. The
             // component closure guarantees no activity outside `comp` uses
             // any resource a member uses, so the restricted solve is exact.
-            self.packed.clear();
-            for &s in &comp {
-                let si = s as usize;
-                let (start, len) = self.usage_range[si];
-                self.packed.push((start, len, self.bound[si]));
+            //
+            // Past the partition crossover the batch is regrouped by
+            // connected component and solved per-component (possibly on
+            // the pool) — bit-identical to the merged solve below, see the
+            // module docs. The partition decision depends only on the
+            // batch and the policy thresholds, never on the thread count.
+            let mut bounds = std::mem::take(&mut self.comp_bounds);
+            bounds.clear();
+            if comp.len() >= self.par.min_activities {
+                self.partition_components(&mut comp, &mut bounds);
             }
-            fairshare::solve_packed(
-                &mut self.scratch,
-                &self.caps,
-                &self.arena,
-                &self.packed,
-                &mut self.rates_buf,
-            );
+            if !bounds.is_empty() && bounds.len() >= self.par.min_components {
+                self.solve_partitioned(&comp, &bounds);
+                self.par_batches += 1;
+            } else {
+                if bounds.len() > 1 {
+                    // Partitioned below `min_components`: restore the
+                    // merged path's global id order.
+                    let ids = &self.ids;
+                    comp.sort_unstable_by_key(|&s| ids[s as usize]);
+                }
+                bounds.clear();
+                self.packed.clear();
+                for &s in &comp {
+                    let si = s as usize;
+                    let (start, len) = self.usage_range[si];
+                    self.packed.push((start, len, self.bound[si]));
+                }
+                fairshare::solve_packed(
+                    &mut self.scratch,
+                    &self.caps,
+                    &self.arena,
+                    &self.packed,
+                    &mut self.rates_buf,
+                );
+            }
+            self.comp_bounds = bounds;
             let now = self.last_update;
             for (k, &s) in comp.iter().enumerate() {
                 let si = s as usize;
@@ -1014,12 +1189,121 @@ impl FlowNetwork {
                     });
                 }
             }
+        } else {
+            self.comp_bounds.clear();
         }
         comp.clear();
         self.comp = comp;
         self.update_adaptive(live, self.last_solve.0, kind);
         self.maybe_compact_completions();
         true
+    }
+
+    /// Regroups `comp` (slots in ascending id order) into its connected
+    /// components: on return `comp` holds the same slots grouped by
+    /// component (each group id-sorted), and `bounds` the end offset of
+    /// every group. Components are emitted in ascending order of their
+    /// smallest activity id — iterating `comp` in id order and seeding a
+    /// walk at each unvisited slot guarantees exactly that — so the
+    /// grouping is deterministic regardless of how the batch was built.
+    fn partition_components(&mut self, comp: &mut Vec<u32>, bounds: &mut Vec<u32>) {
+        self.visit_epoch += 1;
+        let epoch = self.visit_epoch;
+        let mut grouped = std::mem::take(&mut self.comp_grouped);
+        grouped.clear();
+        let mut stack = std::mem::take(&mut self.bfs_stack);
+        stack.clear();
+        for &seed in comp.iter() {
+            if self.act_epoch[seed as usize] == epoch {
+                continue;
+            }
+            let group_start = grouped.len();
+            self.act_epoch[seed as usize] = epoch;
+            grouped.push(seed);
+            let (start, len) = self.usage_range[seed as usize];
+            for &(r, _) in &self.arena[start as usize..(start + len) as usize] {
+                if self.res_epoch[r] != epoch {
+                    self.res_epoch[r] = epoch;
+                    stack.push(r);
+                }
+            }
+            while let Some(r) = stack.pop() {
+                for i in 0..self.res_users[r].len() {
+                    let slot = self.res_users[r][i];
+                    let si = slot as usize;
+                    if self.act_epoch[si] == epoch {
+                        continue;
+                    }
+                    self.act_epoch[si] = epoch;
+                    grouped.push(slot);
+                    let (s2, l2) = self.usage_range[si];
+                    for &(r2, _) in &self.arena[s2 as usize..(s2 + l2) as usize] {
+                        if self.res_epoch[r2] != epoch {
+                            self.res_epoch[r2] = epoch;
+                            stack.push(r2);
+                        }
+                    }
+                }
+            }
+            let ids = &self.ids;
+            grouped[group_start..].sort_unstable_by_key(|&s| ids[s as usize]);
+            bounds.push(grouped.len() as u32);
+        }
+        debug_assert_eq!(grouped.len(), comp.len(), "partition must cover the batch");
+        std::mem::swap(comp, &mut grouped);
+        grouped.clear();
+        self.comp_grouped = grouped;
+        self.bfs_stack = stack;
+    }
+
+    /// Solves a partitioned batch: one `solve_packed` per component into
+    /// that component's disjoint slice of `rates_buf`, fanned out over
+    /// the pool when one exists (serial loop otherwise — same code, same
+    /// bits). Each participating thread uses its own thread-local
+    /// scratch, so nothing is allocated on the hot path once warm.
+    fn solve_partitioned(&mut self, comp: &[u32], bounds: &[u32]) {
+        let mut rates = std::mem::take(&mut self.rates_buf);
+        rates.clear();
+        rates.resize(comp.len(), 0.0);
+        let out = OutPtr(rates.as_mut_ptr());
+        let net = &*self;
+        let task = move |c: usize| {
+            let out = out.get();
+            let lo = if c == 0 { 0 } else { bounds[c - 1] as usize };
+            let hi = bounds[c] as usize;
+            PAR_SCRATCH.with(|scratch| {
+                let scratch = &mut *scratch.borrow_mut();
+                scratch.packed.clear();
+                for &s in &comp[lo..hi] {
+                    let si = s as usize;
+                    let (start, len) = net.usage_range[si];
+                    scratch.packed.push((start, len, net.bound[si]));
+                }
+                fairshare::solve_packed(
+                    &mut scratch.ws,
+                    &net.caps,
+                    &net.arena,
+                    &scratch.packed,
+                    &mut scratch.rates,
+                );
+                // Safety: component `c` exclusively owns `[lo, hi)` of the
+                // output buffer (bounds are strictly increasing), and the
+                // pool's quiescence barrier sequences these writes before
+                // the caller reads the buffer back.
+                unsafe {
+                    std::ptr::copy_nonoverlapping(scratch.rates.as_ptr(), out.add(lo), hi - lo);
+                }
+            });
+        };
+        match &net.pool {
+            Some(pool) => pool.run(bounds.len(), &task),
+            None => {
+                for c in 0..bounds.len() {
+                    task(c);
+                }
+            }
+        }
+        self.rates_buf = rates;
     }
 
     /// Rebuilds the completion heap without stale entries once they
@@ -1546,6 +1830,103 @@ mod tests {
         let adaptive = run(tight_adaptive());
         assert_eq!(sweep, incremental);
         assert_eq!(sweep, adaptive);
+    }
+
+    // -----------------------------------------------------------------
+    // Parallel component solver
+    // -----------------------------------------------------------------
+
+    /// Runs a churny multi-component trace under the given parallelism
+    /// policy and logs every bit of observable state (rates as raw bits,
+    /// completions, remaining work).
+    fn par_trace(par: ParPolicy) -> Vec<(u64, u64)> {
+        let mut net = FlowNetwork::new();
+        net.set_parallelism(par);
+        // Many islands of 2 resources each → many independent components.
+        let r: Vec<ResourceId> = (0..64).map(|i| net.add_resource(3.0 + i as f64)).collect();
+        let mut handles = Vec::new();
+        let mut log = Vec::new();
+        for i in 0..300usize {
+            let island = (i * 7) % 32;
+            let spec = ActivitySpec::new(20.0 + 3.0 * i as f64, [r[2 * island]])
+                .with_usage(r[2 * island + 1], 1.0 + (i % 2) as f64);
+            let spec = if i % 5 == 0 {
+                spec.with_bound(2.0 + (i % 11) as f64)
+            } else {
+                spec
+            };
+            handles.push(net.start(spec));
+            net.recompute();
+            if i % 9 == 4 {
+                net.set_capacity(r[(2 * island) % 64], 1.0 + (i % 13) as f64);
+                net.recompute();
+            }
+            if i % 6 == 5 {
+                if let Some(t) = net.next_completion() {
+                    net.advance_to(t);
+                    for done in net.harvest_completed() {
+                        log.push((done.0, net.last_update().as_secs().to_bits()));
+                    }
+                    net.recompute();
+                }
+            }
+            for h in &handles {
+                if let Some(p) = net.progress(*h) {
+                    log.push((h.0, p.rate.to_bits()));
+                    log.push((h.0, p.remaining.to_bits()));
+                }
+            }
+        }
+        log
+    }
+
+    #[test]
+    fn partitioned_solves_are_bitwise_identical_at_any_thread_count() {
+        // The merged path (partitioning off) is the pre-existing engine;
+        // every partitioned/parallel variant must match it bit for bit.
+        let merged = par_trace(ParPolicy {
+            threads: 1,
+            min_activities: usize::MAX,
+            min_components: 2,
+        });
+        for threads in [1, 2, 8] {
+            let par = par_trace(ParPolicy {
+                threads,
+                min_activities: 1, // partition every re-solve
+                min_components: 1,
+            });
+            assert_eq!(merged, par, "divergence at {threads} solver threads");
+        }
+    }
+
+    #[test]
+    fn partition_crossover_and_telemetry_counters() {
+        let mut net = FlowNetwork::new();
+        net.set_parallelism(ParPolicy {
+            threads: 2,
+            min_activities: 8,
+            min_components: 2,
+        });
+        let r: Vec<ResourceId> = (0..24).map(|_| net.add_resource(10.0)).collect();
+        // 4 activities: below the crossover → merged path, no partition.
+        for &res in &r[..4] {
+            net.start(ActivitySpec::new(100.0, [res]));
+        }
+        net.recompute();
+        assert_eq!(net.par_batches(), 0);
+        assert!(net.last_partition().is_empty());
+        // 20 more on distinct resources: the dirty set spans most of the
+        // platform (full-solve fallback over all 24 live), past the
+        // crossover → one partitioned batch of 24 single-activity
+        // components.
+        for &res in &r[4..] {
+            net.start(ActivitySpec::new(100.0, [res]));
+        }
+        net.recompute();
+        assert_eq!(net.par_batches(), 1);
+        assert_eq!(net.last_partition().len(), 24);
+        assert_eq!(*net.last_partition().last().unwrap(), 24);
+        assert_eq!(net.last_solve().0, 24);
     }
 
     #[test]

@@ -40,7 +40,7 @@ pub mod sim;
 pub mod time;
 
 pub use flow::{
-    ActivityId, ActivitySpec, FlowNetwork, Progress, ResourceId, SolveKind, SolvePolicy,
+    ActivityId, ActivitySpec, FlowNetwork, ParPolicy, Progress, ResourceId, SolveKind, SolvePolicy,
 };
 pub use queue::{EntryId, EventQueue};
 pub use sim::{Simulator, TimerId};

@@ -28,7 +28,7 @@ use std::collections::{HashMap, VecDeque};
 use elastisim_telemetry::Telemetry;
 
 use crate::flow::{
-    ActivityId, ActivitySpec, FlowNetwork, Progress, ResourceId, SolveKind, SolvePolicy,
+    ActivityId, ActivitySpec, FlowNetwork, ParPolicy, Progress, ResourceId, SolveKind, SolvePolicy,
 };
 use crate::queue::{EntryId, EventQueue};
 use crate::time::Time;
@@ -60,6 +60,9 @@ pub struct Simulator<E> {
     events_delivered: u64,
     /// Simulator-internals metrics (disabled by default: a no-op handle).
     telemetry: Telemetry,
+    /// Stolen-task watermark already reported to telemetry (the pool
+    /// counter is cumulative; metrics want per-batch deltas).
+    par_stolen_seen: u64,
 }
 
 impl<E> Default for Simulator<E> {
@@ -80,6 +83,7 @@ impl<E> Simulator<E> {
             flow_timer: None,
             events_delivered: 0,
             telemetry: Telemetry::disabled(),
+            par_stolen_seen: 0,
         }
     }
 
@@ -118,6 +122,37 @@ impl<E> Simulator<E> {
     /// counter `flow.mode_switches`).
     pub fn flow_mode_switches(&self) -> u64 {
         self.flow.mode_switches()
+    }
+
+    /// Replaces the parallel component-solver policy (see [`ParPolicy`]).
+    /// Like [`set_solve_policy`](Self::set_solve_policy) this never
+    /// affects rates or event order — partitioned and merged solves are
+    /// bit-identical at any thread count; only wall time differs.
+    pub fn set_parallelism(&mut self, par: ParPolicy) {
+        self.flow.set_parallelism(par);
+    }
+
+    /// Convenience: runs large re-solves on `threads` solver threads
+    /// (including this one) with the default partitioning crossovers.
+    pub fn set_solver_threads(&mut self, threads: usize) {
+        self.flow.set_parallelism(ParPolicy::with_threads(threads));
+    }
+
+    /// The active parallel-solver policy.
+    pub fn parallelism(&self) -> ParPolicy {
+        self.flow.parallelism()
+    }
+
+    /// How many re-solves were partitioned into per-component solves
+    /// (telemetry counter `flow.par.batches`).
+    pub fn flow_par_batches(&self) -> u64 {
+        self.flow.par_batches()
+    }
+
+    /// Cumulative component-solve tasks moved between solver threads by
+    /// work stealing (telemetry counter `flow.par.stolen_tasks`).
+    pub fn flow_stolen_tasks(&self) -> u64 {
+        self.flow.stolen_tasks()
     }
 
     /// Current simulated time.
@@ -178,6 +213,19 @@ impl<E> Simulator<E> {
     pub fn set_capacity(&mut self, id: ResourceId, capacity: f64) {
         self.flow.advance_to(self.now);
         self.flow.set_capacity(id, capacity);
+        self.refresh_flow();
+    }
+
+    /// Changes many capacities at once with a single re-solve — the batch
+    /// analog of [`set_capacity`](Self::set_capacity) for platform-wide
+    /// events (frequency scaling, power capping, failure waves). One call
+    /// with N updates is equivalent to N single calls at the same instant
+    /// but re-solves the sharing fixed point once instead of N times.
+    pub fn set_capacities(&mut self, updates: impl IntoIterator<Item = (ResourceId, f64)>) {
+        self.flow.advance_to(self.now);
+        for (id, capacity) in updates {
+            self.flow.set_capacity(id, capacity);
+        }
         self.refresh_flow();
     }
 
@@ -307,6 +355,29 @@ impl<E> Simulator<E> {
                     .timeline_push(self.now.as_secs(), "flow.resolve", || {
                         format!("activities={activities} full={full}")
                     });
+                let partition = self.flow.last_partition();
+                if !partition.is_empty() {
+                    let components = partition.len();
+                    self.telemetry.counter_add("flow.par.batches", 1);
+                    self.telemetry
+                        .observe("flow.par.components_per_batch", components as f64);
+                    let mut prev = 0u32;
+                    for &end in partition {
+                        self.telemetry
+                            .observe("flow.par.component_size", (end - prev) as f64);
+                        prev = end;
+                    }
+                    let stolen = self.flow.stolen_tasks();
+                    let delta = stolen - self.par_stolen_seen;
+                    if delta > 0 {
+                        self.telemetry.counter_add("flow.par.stolen_tasks", delta);
+                        self.par_stolen_seen = stolen;
+                    }
+                    self.telemetry
+                        .timeline_push(self.now.as_secs(), "flow.par.batch", || {
+                            format!("components={components} activities={activities}")
+                        });
+                }
             }
             self.telemetry
                 .observe("des.queue.depth", self.queue.len() as f64);

@@ -4,7 +4,8 @@
 
 use elastisim_des::fairshare::{check_feasible_and_fair, solve, solve_with, Demand, Workspace};
 use elastisim_des::{
-    ActivityId, ActivitySpec, EventQueue, FlowNetwork, ResourceId, Simulator, SolvePolicy, Time,
+    ActivityId, ActivitySpec, EventQueue, FlowNetwork, ParPolicy, ResourceId, Simulator,
+    SolvePolicy, Time,
 };
 use proptest::prelude::*;
 
@@ -374,8 +375,18 @@ fn close_t(a: f64, b: f64) -> bool {
 }
 
 fn replay(caps: &[f64], ops: &[Op], policy: SolvePolicy) -> Result<(), TestCaseError> {
+    replay_par(caps, ops, policy, ParPolicy::default())
+}
+
+fn replay_par(
+    caps: &[f64],
+    ops: &[Op],
+    policy: SolvePolicy,
+    par: ParPolicy,
+) -> Result<(), TestCaseError> {
     let mut net = FlowNetwork::new();
     net.set_solve_policy(policy);
+    net.set_parallelism(par);
     let rids: Vec<ResourceId> = caps.iter().map(|&c| net.add_resource(c)).collect();
     let mut reference = RefEngine::new(caps.to_vec());
     // Both engines hand out ids 0, 1, 2, … in start order; the pair list
@@ -582,6 +593,88 @@ proptest! {
     #[test]
     fn sweep_engine_matches_full_solve_reference((caps, ops) in arb_trace()) {
         replay(&caps, &ops, SolvePolicy::Sweep)?;
+    }
+}
+
+/// Partitioning forced on for every solve, regardless of batch size.
+fn forced_partitioning(threads: usize) -> ParPolicy {
+    ParPolicy {
+        threads,
+        min_activities: 1,
+        min_components: 1,
+    }
+}
+
+/// Replays one trace through a flow network configured with `par`,
+/// logging every live activity's rate and remaining-work bits after
+/// every operation — the raw material for bit-identity comparisons.
+fn par_rate_trace(caps: &[f64], ops: &[Op], par: ParPolicy) -> Vec<u64> {
+    let mut net = FlowNetwork::new();
+    net.set_parallelism(par);
+    let rids: Vec<ResourceId> = caps.iter().map(|&c| net.add_resource(c)).collect();
+    let mut live: Vec<ActivityId> = Vec::new();
+    let mut out = Vec::new();
+    for op in ops {
+        match op {
+            Op::Start { work, res, bound } => {
+                live.push(net.start(ActivitySpec {
+                    work: *work,
+                    usages: res.iter().map(|&(r, w)| (rids[r], w)).collect(),
+                    bound: *bound,
+                }));
+            }
+            Op::Cancel(k) => {
+                if !live.is_empty() {
+                    let a = live.remove(k % live.len());
+                    net.cancel(a);
+                }
+            }
+            Op::SetCap { res, cap } => net.set_capacity(rids[*res], *cap),
+            Op::Run => {
+                net.recompute();
+                if let Some(t) = net.next_completion() {
+                    net.advance_to(t);
+                    for done in net.harvest_completed() {
+                        live.retain(|a| *a != done);
+                    }
+                }
+            }
+        }
+        net.recompute();
+        for &a in &live {
+            let p = net.progress(a).expect("live");
+            out.push(p.rate.to_bits());
+            out.push(p.remaining.to_bits());
+        }
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(300))]
+
+    /// The differential oracle with component partitioning forced on and
+    /// the solve fanned out over worker threads: still indistinguishable
+    /// from the eager full-solve reference.
+    #[test]
+    fn partitioned_parallel_engine_matches_reference((caps, ops) in arb_trace()) {
+        replay_par(&caps, &ops, SolvePolicy::default(), forced_partitioning(2))?;
+    }
+
+    /// Partitioned solves are *bit-identical* to the merged solve at any
+    /// thread count — rates and remaining work compared via `to_bits`
+    /// after every operation of arbitrary traces.
+    #[test]
+    fn partitioned_rates_are_bit_identical_across_thread_counts((caps, ops) in arb_trace()) {
+        let merged = par_rate_trace(&caps, &ops, ParPolicy {
+            threads: 1,
+            min_activities: usize::MAX,
+            min_components: 2,
+        });
+        for threads in [1usize, 2, 8] {
+            let split = par_rate_trace(&caps, &ops, forced_partitioning(threads));
+            prop_assert_eq!(&merged, &split, "threads={}", threads);
+        }
     }
 }
 

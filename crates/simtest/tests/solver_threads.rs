@@ -1,0 +1,100 @@
+//! Thread-count independence of the parallel component solver.
+//!
+//! The golden scenario is run per scheduler with component partitioning
+//! forced on (so even these small scenarios split their re-solves) at 1,
+//! 2, and 8 solver threads. Every run must produce a report
+//! fingerprint-identical to the serial default — and therefore to the
+//! committed golden snapshots: parallelism is a pure wall-clock knob.
+
+use elastisim::{InvariantChecker, ParPolicy, Simulation};
+use elastisim_sched::SCHEDULER_NAMES;
+use elastisim_telemetry::Telemetry;
+use simtest::{assert_matches_golden, fingerprint, scenario::run_checked, Scenario};
+use std::path::PathBuf;
+
+/// Same seed as the golden snapshot suite, so these runs are directly
+/// comparable to the pinned reports.
+const GOLDEN_SEED: u64 = 0xE1A5_7151;
+
+fn golden_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(format!("{name}.json"))
+}
+
+/// Partitioning forced on for every solve, regardless of batch size.
+fn forced_partitioning(threads: usize) -> ParPolicy {
+    ParPolicy {
+        threads,
+        min_activities: 1,
+        min_components: 1,
+    }
+}
+
+/// Runs the scenario with the given parallel-solver policy and the
+/// invariant checker attached; returns the report fingerprint and the
+/// number of partitioned solve batches the flow engine executed.
+fn run_parallel(scenario: &Scenario, scheduler: &str, par: ParPolicy) -> (String, u64) {
+    let platform = scenario.platform();
+    let jobs = scenario.jobs();
+    let checker = InvariantChecker::new(&jobs, platform.nodes.len());
+    let sched = elastisim_sched::by_name(scheduler)
+        .unwrap_or_else(|| panic!("unknown scheduler `{scheduler}`"));
+    let mut sim = Simulation::new(&platform, jobs, sched, scenario.config())
+        .unwrap_or_else(|e| panic!("scenario seed {}: invalid setup: {e}", scenario.seed));
+    sim.set_parallelism(par);
+    let telemetry = Telemetry::with_timeline(false);
+    sim.set_telemetry(telemetry.clone());
+    sim.add_observer(checker.observer());
+    let report = sim.run();
+    let violations = checker.check_report(&report);
+    assert!(
+        violations.is_empty(),
+        "`{scheduler}` with {} solver threads: {violations:?}",
+        par.threads
+    );
+    let batches = telemetry
+        .snapshot()
+        .counter("flow.par.batches")
+        .unwrap_or(0);
+    (fingerprint(&report), batches)
+}
+
+#[test]
+fn reports_are_identical_at_1_2_and_8_solver_threads() {
+    let scenario = Scenario::from_seed(GOLDEN_SEED);
+    let mut partitioned_anywhere = false;
+    for name in SCHEDULER_NAMES {
+        let serial = fingerprint(&run_checked(&scenario, name).report);
+        for threads in [1usize, 2, 8] {
+            let (parallel, batches) = run_parallel(&scenario, name, forced_partitioning(threads));
+            assert_eq!(
+                serial, parallel,
+                "`{name}` at {threads} solver threads diverged from the serial run"
+            );
+            partitioned_anywhere |= batches > 0;
+        }
+        // And the parallel runs therefore match the committed goldens.
+        assert_matches_golden(&golden_path(name), &serial);
+    }
+    // The oracle must not pass vacuously: with partitioning forced, at
+    // least some re-solves must actually have gone down the parallel path.
+    assert!(
+        partitioned_anywhere,
+        "no run ever partitioned a solve; the thread-count oracle tested nothing"
+    );
+}
+
+/// The default policy (high crossover) must leave small scenarios fully
+/// serial: no partitioned batches, identical reports.
+#[test]
+fn default_policy_keeps_small_scenarios_serial() {
+    let scenario = Scenario::from_seed(GOLDEN_SEED);
+    let serial = fingerprint(&run_checked(&scenario, "elastic").report);
+    let (report, batches) = run_parallel(&scenario, "elastic", ParPolicy::with_threads(8));
+    assert_eq!(serial, report);
+    assert_eq!(
+        batches, 0,
+        "default thresholds should not partition a small scenario"
+    );
+}

@@ -1,0 +1,473 @@
+//! A minimal work-stealing thread pool for index-addressed task batches.
+//!
+//! Offline vendored stand-in (same policy as the `rand`/`proptest`
+//! stand-ins: no crates.io access, so the workspace resolves entirely from
+//! local paths). The API is deliberately tiny and tailored to the flow
+//! engine's needs:
+//!
+//! * [`Pool::run`] executes one *batch* of `n` tasks, identified by index
+//!   `0..n`, by calling a shared closure `f(i)` once per index. The call
+//!   blocks until every task has run; the calling thread participates in
+//!   the work, so a pool built with `threads = 1` spawns no workers and
+//!   degenerates to a plain serial loop.
+//! * Tasks are distributed as contiguous index ranges, one per
+//!   participant, packed into a single `AtomicU64` each (`lo` in the high
+//!   half, `hi` in the low half). An owner claims indices one at a time
+//!   from the front (CAS `lo += 1`); an idle participant *steals half* of
+//!   a victim's remaining range from the back (CAS `hi -= take`),
+//!   republishes the stolen range as its own, and drains it — so stolen
+//!   work is itself re-stealable and load balances recursively.
+//! * No allocation per task and none per batch beyond what the caller's
+//!   closure captures: the closure is passed by reference and shared by
+//!   all participants via a type-erased pointer that never outlives the
+//!   `run` call.
+//! * A panicking task does not tear down the pool: the first panic payload
+//!   is captured, the remaining tasks still run, and the payload is
+//!   resumed on the calling thread after the batch completes.
+//!
+//! Batches are serialized: concurrent `run` calls from different threads
+//! queue behind an internal lock. `run` is **not reentrant** — calling it
+//! from inside a task deadlocks.
+//!
+//! ## Why the barrier is quiescence, not a task counter
+//!
+//! `run` hands workers a borrowed closure, so it must not return (and the
+//! next batch must not start) while any worker could still dereference
+//! the closure pointer or observe the batch's index ranges. The pool
+//! therefore tracks an *idle worker count* under the state mutex: workers
+//! decrement it when they pick up a batch and increment it when they run
+//! out of stealable work, and `run` returns only once every worker is
+//! parked again. That quiescence point implies all ranges are empty and
+//! no task is in flight, and the mutex hand-off makes every task's writes
+//! visible to the caller. A fast caller can even drain the whole batch
+//! before a worker wakes; workers detect the cleared task slot and stay
+//! parked rather than touching a finished batch.
+
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::thread::JoinHandle;
+
+/// Type-erased pointer to the batch closure. The pointee is `Sync` (shared
+/// by all participants) and guaranteed by `Pool::run`'s quiescence barrier
+/// to outlive every dereference, which is what makes the `Send` claim and
+/// the lifetime erasure sound.
+#[derive(Clone, Copy)]
+struct TaskPtr(*const (dyn Fn(usize) + Sync + 'static));
+unsafe impl Send for TaskPtr {}
+
+/// Batch state shared under one mutex.
+struct BatchState {
+    /// Bumped once per batch; workers compare against their last seen
+    /// value to detect new work.
+    epoch: u64,
+    /// The current batch's closure; `None` between batches (and the
+    /// "batch already drained" signal for late-waking workers).
+    task: Option<TaskPtr>,
+    /// Workers currently parked waiting for a batch.
+    idle: usize,
+    /// First panic payload captured from a task, resumed on the caller.
+    panic: Option<Box<dyn std::any::Any + Send>>,
+    shutdown: bool,
+}
+
+struct Inner {
+    state: Mutex<BatchState>,
+    /// Workers wait here for a new batch (or shutdown).
+    work_ready: Condvar,
+    /// The caller waits here for all workers to park.
+    all_idle: Condvar,
+    /// One packed `lo:hi` index range per participant; slot 0 belongs to
+    /// the calling thread.
+    ranges: Vec<AtomicU64>,
+    /// Cumulative count of stolen task indices (telemetry).
+    stolen: AtomicU64,
+}
+
+#[inline]
+fn pack(lo: u32, hi: u32) -> u64 {
+    ((lo as u64) << 32) | hi as u64
+}
+
+#[inline]
+fn unpack(v: u64) -> (u32, u32) {
+    ((v >> 32) as u32, v as u32)
+}
+
+/// Recover from mutex poisoning: the pool's own invariants do not depend
+/// on the poisoned flag (task panics are caught before they can unwind
+/// through a locked section), and panicking in `Drop` would abort.
+fn lock(m: &Mutex<BatchState>) -> MutexGuard<'_, BatchState> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// A fixed-size work-stealing pool. See the crate docs for semantics.
+pub struct Pool {
+    inner: Arc<Inner>,
+    workers: Vec<JoinHandle<()>>,
+    /// Serializes whole batches (run-to-run mutual exclusion).
+    batch_lock: Mutex<()>,
+}
+
+impl Pool {
+    /// Creates a pool with `threads` total participants **including the
+    /// calling thread**: `threads - 1` workers are spawned. `threads` is
+    /// clamped to at least 1; with exactly 1, `run` executes inline with
+    /// no synchronization at all.
+    pub fn new(threads: usize) -> Self {
+        let threads = threads.max(1);
+        let inner = Arc::new(Inner {
+            state: Mutex::new(BatchState {
+                epoch: 0,
+                task: None,
+                idle: 0,
+                panic: None,
+                shutdown: false,
+            }),
+            work_ready: Condvar::new(),
+            all_idle: Condvar::new(),
+            ranges: (0..threads).map(|_| AtomicU64::new(0)).collect(),
+            stolen: AtomicU64::new(0),
+        });
+        let workers = (1..threads)
+            .filter_map(|i| {
+                let inner = Arc::clone(&inner);
+                std::thread::Builder::new()
+                    .name(format!("workpool-{i}"))
+                    .spawn(move || worker_loop(&inner, i))
+                    .ok() // spawn failure degrades to fewer participants
+            })
+            .collect();
+        Pool {
+            inner,
+            workers,
+            batch_lock: Mutex::new(()),
+        }
+    }
+
+    /// Total participants (spawned workers + the calling thread).
+    pub fn threads(&self) -> usize {
+        self.workers.len() + 1
+    }
+
+    /// Cumulative number of task indices moved by steals.
+    pub fn stolen(&self) -> u64 {
+        self.inner.stolen.load(Ordering::Relaxed)
+    }
+
+    /// Runs one batch: `f(i)` is called exactly once for every `i` in
+    /// `0..tasks`, concurrently across the participants, and the call
+    /// returns once all of them completed. If any task panicked, the
+    /// first captured payload is resumed here after the batch finishes.
+    pub fn run(&self, tasks: usize, f: &(dyn Fn(usize) + Sync)) {
+        if tasks == 0 {
+            return;
+        }
+        if self.workers.is_empty() || tasks == 1 {
+            // Serial fast path: no atomics, no handshake; panics propagate
+            // directly from the task like a plain loop.
+            for i in 0..tasks {
+                f(i);
+            }
+            return;
+        }
+        let _batch = self.batch_lock.lock().unwrap_or_else(|e| e.into_inner());
+        let participants = self.workers.len() + 1;
+        debug_assert!(tasks <= u32::MAX as usize, "batch too large");
+        let chunk = tasks.div_ceil(participants);
+        for (p, range) in self.inner.ranges.iter().enumerate() {
+            let lo = (p * chunk).min(tasks);
+            let hi = ((p + 1) * chunk).min(tasks);
+            range.store(pack(lo as u32, hi as u32), Ordering::Relaxed);
+        }
+        // Erase the closure's lifetime; the quiescence barrier below keeps
+        // every dereference inside this call's extent.
+        let ptr: TaskPtr = TaskPtr(unsafe {
+            std::mem::transmute::<*const (dyn Fn(usize) + Sync), *const (dyn Fn(usize) + Sync)>(
+                f as *const (dyn Fn(usize) + Sync),
+            )
+        });
+        {
+            let mut state = lock(&self.inner.state);
+            state.task = Some(ptr);
+            state.epoch += 1;
+            self.inner.work_ready.notify_all();
+        }
+        // The caller is participant 0.
+        work(&self.inner, 0, f);
+        let mut state = lock(&self.inner.state);
+        while state.idle != self.workers.len() {
+            state = self
+                .inner
+                .all_idle
+                .wait(state)
+                .unwrap_or_else(|e| e.into_inner());
+        }
+        state.task = None;
+        let panic = state.panic.take();
+        drop(state);
+        if let Some(payload) = panic {
+            resume_unwind(payload);
+        }
+    }
+}
+
+impl Drop for Pool {
+    fn drop(&mut self) {
+        {
+            let mut state = lock(&self.inner.state);
+            state.shutdown = true;
+            self.inner.work_ready.notify_all();
+        }
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+fn worker_loop(inner: &Inner, me: usize) {
+    let mut seen = 0u64;
+    let mut state = lock(&inner.state);
+    state.idle += 1;
+    inner.all_idle.notify_all();
+    loop {
+        while !state.shutdown && (state.epoch == seen || state.task.is_none()) {
+            // A cleared task slot with a fresh epoch means the caller
+            // drained the batch before we woke: acknowledge and stay
+            // parked.
+            seen = state.epoch;
+            state = inner
+                .work_ready
+                .wait(state)
+                .unwrap_or_else(|e| e.into_inner());
+        }
+        if state.shutdown {
+            return;
+        }
+        seen = state.epoch;
+        let TaskPtr(ptr) = state.task.expect("task set while batch active");
+        state.idle -= 1;
+        drop(state);
+        work(inner, me, unsafe { &*ptr });
+        state = lock(&inner.state);
+        state.idle += 1;
+        inner.all_idle.notify_all();
+    }
+}
+
+/// Drain own range, then steal until no participant has work left.
+fn work(inner: &Inner, me: usize, f: &(dyn Fn(usize) + Sync)) {
+    loop {
+        while let Some(i) = claim(&inner.ranges[me]) {
+            run_one(inner, f, i);
+        }
+        if !steal(inner, me) {
+            return;
+        }
+    }
+}
+
+/// Claim the next index from the front of a range.
+fn claim(range: &AtomicU64) -> Option<usize> {
+    let mut cur = range.load(Ordering::Acquire);
+    loop {
+        let (lo, hi) = unpack(cur);
+        if lo >= hi {
+            return None;
+        }
+        match range.compare_exchange_weak(
+            cur,
+            pack(lo + 1, hi),
+            Ordering::AcqRel,
+            Ordering::Acquire,
+        ) {
+            Ok(_) => return Some(lo as usize),
+            Err(actual) => cur = actual,
+        }
+    }
+}
+
+/// Steal half of some victim's remaining range (rounded up) from the back
+/// and republish it as `me`'s own range. Returns whether anything was
+/// stolen.
+fn steal(inner: &Inner, me: usize) -> bool {
+    let n = inner.ranges.len();
+    for off in 1..n {
+        let victim = &inner.ranges[(me + off) % n];
+        let mut cur = victim.load(Ordering::Acquire);
+        loop {
+            let (lo, hi) = unpack(cur);
+            if lo >= hi {
+                break;
+            }
+            let take = (hi - lo).div_ceil(2);
+            match victim.compare_exchange_weak(
+                cur,
+                pack(lo, hi - take),
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            ) {
+                Ok(_) => {
+                    inner.stolen.fetch_add(take as u64, Ordering::Relaxed);
+                    // Own range is empty (only the owner publishes to it
+                    // while empty), so a plain store cannot lose updates.
+                    inner.ranges[me].store(pack(hi - take, hi), Ordering::Release);
+                    return true;
+                }
+                Err(actual) => cur = actual,
+            }
+        }
+    }
+    false
+}
+
+fn run_one(inner: &Inner, f: &(dyn Fn(usize) + Sync), i: usize) {
+    if let Err(payload) = catch_unwind(AssertUnwindSafe(|| f(i))) {
+        let mut state = lock(&inner.state);
+        if state.panic.is_none() {
+            state.panic = Some(payload);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    fn counts_every_index(pool: &Pool, tasks: usize) {
+        let hits: Vec<AtomicUsize> = (0..tasks).map(|_| AtomicUsize::new(0)).collect();
+        pool.run(tasks, &|i| {
+            hits[i].fetch_add(1, Ordering::Relaxed);
+        });
+        for (i, h) in hits.iter().enumerate() {
+            assert_eq!(h.load(Ordering::Relaxed), 1, "task {i} ran wrong count");
+        }
+    }
+
+    #[test]
+    fn every_index_runs_exactly_once() {
+        for threads in [1, 2, 3, 8] {
+            let pool = Pool::new(threads);
+            for tasks in [0, 1, 2, 7, 64, 1000] {
+                counts_every_index(&pool, tasks);
+            }
+        }
+    }
+
+    #[test]
+    fn results_are_writable_through_disjoint_slices() {
+        // The intended flow-engine usage: tasks write disjoint output
+        // ranges; the quiescence barrier makes the writes visible.
+        let pool = Pool::new(4);
+        let n = 4096;
+        let out: Vec<AtomicU64> = (0..n).map(|_| AtomicU64::new(0)).collect();
+        pool.run(n, &|i| out[i].store((i as u64) * 3 + 1, Ordering::Relaxed));
+        for (i, v) in out.iter().enumerate() {
+            assert_eq!(v.load(Ordering::Relaxed), (i as u64) * 3 + 1);
+        }
+    }
+
+    #[test]
+    fn unbalanced_batches_get_stolen() {
+        // One enormous range plus tiny ones: with skewed per-task cost the
+        // idle participants must steal. (Steals are timing-dependent, so
+        // drive many batches and require that *some* steal happened.)
+        let pool = Pool::new(4);
+        if pool.threads() < 2 {
+            return; // spawn-degraded environment: nothing to assert
+        }
+        let spin = |i: usize| {
+            // Front-loaded cost: participant 0's range is the expensive one.
+            let iters = if i < 64 { 20_000 } else { 1 };
+            let mut acc = 0u64;
+            for k in 0..iters {
+                acc = acc.wrapping_mul(6364136223846793005).wrapping_add(k);
+            }
+            assert!(acc != 1, "keep the loop from optimizing away");
+        };
+        for _ in 0..50 {
+            pool.run(256, &spin);
+        }
+        assert!(pool.stolen() > 0, "no steals across 50 skewed batches");
+    }
+
+    #[test]
+    fn panicking_task_is_isolated_and_resumed() {
+        let pool = Pool::new(4);
+        let done = AtomicUsize::new(0);
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            pool.run(100, &|i| {
+                if i == 17 {
+                    panic!("task 17 exploded");
+                }
+                done.fetch_add(1, Ordering::Relaxed);
+            });
+        }));
+        let payload = result.expect_err("panic must propagate to the caller");
+        let msg = payload.downcast_ref::<&str>().copied().unwrap_or_default();
+        assert_eq!(msg, "task 17 exploded");
+        // Every non-panicking task still ran.
+        assert_eq!(done.load(Ordering::Relaxed), 99);
+        // And the pool survives for the next batch.
+        counts_every_index(&pool, 64);
+    }
+
+    #[test]
+    fn spawn_steal_shutdown_churn() {
+        // Pools created and dropped in a loop, each driving several
+        // batches with tasks that yield to force interleavings around the
+        // wake/park handshake.
+        for round in 0..30 {
+            let pool = Pool::new(1 + round % 5);
+            let sum = AtomicU64::new(0);
+            for batch in 0..10usize {
+                let n = 1 + (round * 7 + batch * 13) % 97;
+                pool.run(n, &|i| {
+                    if (i + batch) % 3 == 0 {
+                        std::thread::yield_now();
+                    }
+                    sum.fetch_add(i as u64 + 1, Ordering::Relaxed);
+                });
+            }
+            drop(pool); // explicit: joins all workers
+            assert!(sum.load(Ordering::Relaxed) > 0);
+        }
+    }
+
+    #[test]
+    fn fast_caller_can_drain_before_workers_wake() {
+        // Tiny batches back-to-back: the caller frequently finishes the
+        // whole batch before any worker wakes, exercising the
+        // cleared-task-slot path in the worker loop.
+        let pool = Pool::new(8);
+        for _ in 0..2000 {
+            counts_every_index(&pool, 2);
+        }
+    }
+
+    #[test]
+    fn serialized_batches_from_many_threads() {
+        // Concurrent run() calls queue behind the batch lock; every batch
+        // still executes all its tasks exactly once.
+        let pool = Arc::new(Pool::new(3));
+        let total = Arc::new(AtomicU64::new(0));
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let pool = Arc::clone(&pool);
+                let total = Arc::clone(&total);
+                std::thread::spawn(move || {
+                    for _ in 0..25 {
+                        pool.run(40, &|_| {
+                            total.fetch_add(1, Ordering::Relaxed);
+                        });
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(total.load(Ordering::Relaxed), 4 * 25 * 40);
+    }
+}
