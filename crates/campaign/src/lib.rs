@@ -36,6 +36,7 @@
 pub mod cache;
 pub mod executor;
 pub mod protocol;
+pub mod replay;
 pub mod serve;
 pub mod spec;
 
@@ -44,5 +45,6 @@ pub use executor::{
     aggregate_by_scheduler, CampaignEvent, Executor, RunError, RunOutcome, RunRecord,
     SchedulerAggregate,
 };
+pub use replay::{combined_fingerprint, ReplayCampaign, ReplaySpec};
 pub use serve::{campaign_specs, serve, ServeOptions, ServeStats};
 pub use spec::{RunSpec, SchedulerSpec};

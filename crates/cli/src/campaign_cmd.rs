@@ -46,10 +46,10 @@ fn parse_workers(args: &Args) -> Result<usize, UsageError> {
     Ok(workers)
 }
 
-/// One JSONL record per run, written by `sweep --records`. Schema keys
-/// sorted to match the streamed `run_finished` protocol message where
-/// they overlap.
-fn record_json(record: &RunRecord) -> String {
+/// One JSONL record per run, written by `sweep --records` (and reused by
+/// `replay --records`). Schema keys sorted to match the streamed
+/// `run_finished` protocol message where they overlap.
+pub(crate) fn record_json(record: &RunRecord) -> String {
     use std::fmt::Write as _;
     let mut line = String::from("{");
     let _ = write!(

@@ -62,6 +62,13 @@ USAGE:
                       [--trace-events FILE] [--chrome-trace FILE]
                       [--metrics-out FILE] [--progress [SECS]]
                       [--solver-threads N] [--out DIR]
+  elastisim replay    --swf trace.swf [--malleable-frac F] [--seed S]
+                      [--moldable-frac M] [--scaling-model linear|amdahl[:S]]
+                      [--schedulers NAME,NAME,...] [--nodes N]
+                      [--procs-per-node N] [--interval S] [--workers N]
+                      [--convert-only] [--records FILE] [--report-out FILE]
+                      [--check FILE] [--markdown] [--metrics-out FILE]
+                      [--progress]
   elastisim sweep     --seeds A..B [--schedulers NAME,NAME,...]
                       [--workers N] [--solver-threads N]
                       [--records FILE] [--progress]
@@ -92,6 +99,19 @@ appends the metrics to the printed summary (see DESIGN.md §10).
 seconds (default 5). --solver-threads fans the connected components of
 each flow re-solve out to a work-stealing pool (0 = all cores); results
 are bit-identical at any thread count, so this only changes wall time.
+
+`replay` streams a Standard Workload Format trace (tolerating `-1`
+sentinels, cancelled jobs, and malformed lines, all counted with line
+numbers), rewrites a seeded fraction of jobs as malleable/moldable —
+size ranges half-to-double around the recorded size, speedup curves
+from the recorded runtime under --scaling-model — and compares the
+listed schedulers (default: all) on the converted workload. The replay
+fingerprint is identical across repeated runs and worker counts, and
+--malleable-frac 0 reproduces the plain rigid conversion byte-for-byte.
+--convert-only stops after conversion; --metrics-out writes
+replay.{parsed,skipped,injected} counters; --report-out writes the
+deterministic report, which --check compares against on later runs;
+--markdown appends an EXPERIMENTS.md-ready table.
 
 `sweep` runs the conformance-corpus scenario for every seed in the
 half-open range A..B under each listed scheduler (default elastic),
@@ -467,6 +487,7 @@ pub fn dispatch(args: &Args) -> Result<String, CliError> {
             Ok(format!("generated {} jobs", jobs.len()))
         }
         "run" => cmd_run(args).map(|(_, summary)| summary),
+        "replay" => crate::replay_cmd::cmd_replay(args),
         "sweep" => crate::campaign_cmd::cmd_sweep(args),
         "serve" => crate::campaign_cmd::cmd_serve(args),
         "schedulers" => Ok(elastisim_sched::SCHEDULER_NAMES.join("\n")),

@@ -1,0 +1,172 @@
+//! Scale gate for the replay pipeline: a 100k+-job synthetic SWF must
+//! stream through conversion without O(jobs) peak *intermediate*
+//! allocation beyond the workload itself, and the CLI must surface
+//! parsed/skipped/injected counts in `--metrics-out`.
+//!
+//! The whole test binary runs under a byte-counting global allocator so
+//! the transient high-water mark of the conversion is measured, not
+//! guessed: peak live bytes during `convert_stream` minus the retained
+//! workload must stay well below the workload's own footprint. A
+//! regression that collected the records (or the whole file) into an
+//! intermediate per-job structure of JobSpec scale would trip it.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::fs;
+use std::io::{BufWriter, Write as _};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use elastisim_cli::{cmd_replay, Args};
+use elastisim_workload::{convert_stream, InjectionConfig, ScalingModel};
+
+struct CountingAlloc;
+
+static LIVE: AtomicUsize = AtomicUsize::new(0);
+static PEAK: AtomicUsize = AtomicUsize::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        let p = unsafe { System.alloc(layout) };
+        if !p.is_null() {
+            let live = LIVE.fetch_add(layout.size(), Ordering::Relaxed) + layout.size();
+            PEAK.fetch_max(live, Ordering::Relaxed);
+        }
+        p
+    }
+
+    unsafe fn dealloc(&self, p: *mut u8, layout: Layout) {
+        LIVE.fetch_sub(layout.size(), Ordering::Relaxed);
+        unsafe { System.dealloc(p, layout) }
+    }
+}
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
+const GOOD_JOBS: u64 = 100_000;
+const SUBSTITUTED: u64 = 300;
+const GARBAGE: u64 = 300;
+
+/// Writes the synthetic trace line-by-line (no whole-trace string on the
+/// test side either).
+fn write_synthetic_trace(path: &std::path::Path) {
+    let mut w = BufWriter::new(fs::File::create(path).unwrap());
+    writeln!(w, "; synthetic 100k-job scale-gate trace").unwrap();
+    writeln!(w, "; MaxNodes: 512").unwrap();
+    let mut state = 0x2545_F491_4F6C_DD1Du64;
+    let mut next = || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state
+    };
+    for i in 1..=GOOD_JOBS {
+        let submit = i * 3;
+        let runtime = 60 + next() % 4000;
+        let procs = 1 + next() % 256;
+        let req = runtime * 2;
+        writeln!(
+            w,
+            "{i} {submit} 5 {runtime} {procs} -1 -1 {procs} {req} -1 1 1 1 -1 1 -1 -1 -1"
+        )
+        .unwrap();
+        // Sprinkle records with a missing runtime (requested-time
+        // substitution) and outright garbage between the good ones.
+        if i % (GOOD_JOBS / SUBSTITUTED) == 0 {
+            writeln!(
+                w,
+                "{} {submit} -1 -1 4 -1 -1 4 600 -1 1 1 1 -1 1 -1 -1 -1",
+                GOOD_JOBS + i
+            )
+            .unwrap();
+        }
+        if i % (GOOD_JOBS / GARBAGE) == 0 {
+            writeln!(w, "not a record at all").unwrap();
+        }
+    }
+    w.flush().unwrap();
+}
+
+#[test]
+fn hundred_thousand_job_trace_streams_without_intermediate_blowup() {
+    let dir = std::env::temp_dir().join(format!("elastisim-replay-scale-{}", std::process::id()));
+    fs::create_dir_all(&dir).unwrap();
+    let trace = dir.join("big.swf");
+    write_synthetic_trace(&trace);
+    let file_bytes = fs::metadata(&trace).unwrap().len() as usize;
+    assert!(file_bytes > 5 << 20, "trace should be multi-megabyte");
+
+    let cfg = InjectionConfig {
+        seed: 42,
+        malleable_frac: 0.3,
+        moldable_frac: 0.1,
+        scaling: ScalingModel::Linear,
+        platform_nodes: None,
+    };
+    let live_before = LIVE.load(Ordering::Relaxed);
+    PEAK.store(live_before, Ordering::Relaxed);
+    let (jobs, stats) = {
+        let file = std::io::BufReader::new(fs::File::open(&trace).unwrap());
+        convert_stream(file, 2e12, 1, &cfg).unwrap()
+    };
+    let peak = PEAK.load(Ordering::Relaxed);
+    let live_after = LIVE.load(Ordering::Relaxed);
+
+    assert_eq!(jobs.len() as u64, GOOD_JOBS + SUBSTITUTED, "parsed jobs");
+    assert_eq!(stats.parsed, GOOD_JOBS + SUBSTITUTED);
+    assert_eq!(
+        stats.runtime_substituted, SUBSTITUTED,
+        "requested-time substitution"
+    );
+    assert_eq!(stats.skipped.total(), GARBAGE);
+    assert!(stats.injected() > 30_000, "injection applied at scale");
+
+    // The retained workload is what the caller keeps; everything else the
+    // conversion touched must have been transient and small. An
+    // intermediate O(jobs) structure at JobSpec scale would at least
+    // double the high-water mark.
+    let retained = live_after - live_before;
+    let transient = peak - live_after;
+    assert!(
+        retained > 10 << 20,
+        "expected a multi-MB workload, got {retained} bytes"
+    );
+    assert!(
+        transient < retained / 2,
+        "transient high-water {transient} B vs retained workload {retained} B: \
+         conversion is materializing intermediate per-job state"
+    );
+
+    // And the CLI surfaces the same counts via --metrics-out.
+    let metrics = dir.join("metrics.json");
+    let out = cmd_replay(
+        &Args::parse([
+            "replay",
+            "--swf",
+            trace.to_str().unwrap(),
+            "--malleable-frac",
+            "0.3",
+            "--moldable-frac",
+            "0.1",
+            "--seed",
+            "42",
+            "--convert-only",
+            "--metrics-out",
+            metrics.to_str().unwrap(),
+        ])
+        .unwrap(),
+    )
+    .unwrap();
+    assert!(
+        out.contains(&format!("parsed {} jobs", GOOD_JOBS + SUBSTITUTED)),
+        "{out}"
+    );
+    let text = fs::read_to_string(&metrics).unwrap();
+    for needle in [
+        format!("\"replay.parsed\": {}", GOOD_JOBS + SUBSTITUTED),
+        format!("\"replay.skipped\": {GARBAGE}"),
+        format!("\"replay.injected\": {}", stats.injected()),
+    ] {
+        assert!(text.contains(&needle), "{needle} missing in {text}");
+    }
+    fs::remove_dir_all(dir).unwrap();
+}

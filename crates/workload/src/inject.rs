@@ -1,0 +1,582 @@
+//! Malleability injection for replayed traces.
+//!
+//! Archive traces record only *rigid* jobs, so a trace replay alone cannot
+//! say anything about malleable scheduling. Following Zojer/Posner/Özden
+//! ("Evaluating Malleable Job Scheduling in HPC Clusters using Real-World
+//! Workloads"), [`convert_stream`] rewrites a seeded, deterministic
+//! fraction of the replayed jobs into moldable/malleable jobs:
+//!
+//! * **Which** jobs are rewritten depends only on `(seed, job id)` — a
+//!   per-job hash, not a shared RNG stream — so the injected set is
+//!   independent of iteration order, worker count, or how many jobs were
+//!   skipped before a given line.
+//! * **Size ranges** derive from the trace: an injected job may shrink to
+//!   half its recorded size and grow to double (capped at the platform),
+//!   so the original requested size is always inside the range.
+//! * **Speedup curves** derive from the recorded runtime via [`PerfExpr`]
+//!   performance models: the job's total recorded work is spread over
+//!   `num_nodes` under a [`ScalingModel`] (ideal linear, or Amdahl with a
+//!   serial fraction), so running smaller takes proportionally longer.
+//!
+//! With `malleable_frac = 0` and `moldable_frac = 0` every job takes the
+//! plain [`SwfJob::to_job_spec`] path, byte-for-byte — replay at fraction
+//! zero is *identical* to rigid conversion, which the conformance suite
+//! pins via report fingerprints.
+
+use std::collections::HashSet;
+use std::io;
+
+use crate::app::{ApplicationModel, Phase};
+use crate::expr_serde::PerfExpr;
+use crate::job::{JobSpec, WorkloadError};
+use crate::swf::{SkipReport, SwfHeader, SwfJob, SwfReader};
+use crate::task::Task;
+
+/// How an injected job's work scales with its node count.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub enum ScalingModel {
+    /// Ideal strong scaling: per-node work is `W / num_nodes`.
+    Linear,
+    /// Amdahl's law: a `serial_fraction` of the work does not parallelize,
+    /// so per-node work is `s·W + (1-s)·W / num_nodes`.
+    Amdahl {
+        /// The non-parallelizable share of the work, in `[0, 1]`.
+        serial_fraction: f64,
+    },
+}
+
+/// Default Amdahl serial fraction when `amdahl` is given without one.
+pub const DEFAULT_SERIAL_FRACTION: f64 = 0.05;
+
+impl ScalingModel {
+    /// Parses `linear`, `amdahl`, or `amdahl:<serial-fraction>`.
+    pub fn parse(s: &str) -> Result<ScalingModel, WorkloadError> {
+        match s {
+            "linear" => Ok(ScalingModel::Linear),
+            "amdahl" => Ok(ScalingModel::Amdahl {
+                serial_fraction: DEFAULT_SERIAL_FRACTION,
+            }),
+            _ => {
+                if let Some(frac) = s.strip_prefix("amdahl:") {
+                    let serial_fraction: f64 = frac.parse().map_err(|_| {
+                        WorkloadError::Invalid(format!(
+                            "bad scaling model `{s}`: `{frac}` is not a number"
+                        ))
+                    })?;
+                    if !(0.0..=1.0).contains(&serial_fraction) {
+                        return Err(WorkloadError::Invalid(format!(
+                            "bad scaling model `{s}`: serial fraction must be in [0, 1]"
+                        )));
+                    }
+                    Ok(ScalingModel::Amdahl { serial_fraction })
+                } else {
+                    Err(WorkloadError::Invalid(format!(
+                        "unknown scaling model `{s}` (expected linear, amdahl, or amdahl:<f>)"
+                    )))
+                }
+            }
+        }
+    }
+
+    /// Stable name used in labels and fingerprint-visible serialization.
+    pub fn name(&self) -> String {
+        match self {
+            ScalingModel::Linear => "linear".into(),
+            ScalingModel::Amdahl { serial_fraction } => format!("amdahl:{serial_fraction:?}"),
+        }
+    }
+
+    /// The per-node work expression for a job whose total recorded work is
+    /// `total_flops`. At the job's original size the model reproduces the
+    /// recorded runtime exactly (for linear) or by construction of the
+    /// serial split (for Amdahl).
+    pub fn work_expr(&self, total_flops: f64) -> PerfExpr {
+        let src = match self {
+            ScalingModel::Linear => format!("{total_flops:?} / num_nodes"),
+            ScalingModel::Amdahl { serial_fraction } => {
+                let serial = serial_fraction * total_flops;
+                let parallel = (1.0 - serial_fraction) * total_flops;
+                format!("{serial:?} + {parallel:?} / num_nodes")
+            }
+        };
+        PerfExpr::parse(&src).expect("scaling-model expressions are well-formed")
+    }
+}
+
+/// The job class an injection decision assigns.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum InjectedClass {
+    /// Left as recorded.
+    Rigid,
+    /// Size chosen once at start, fixed thereafter.
+    Moldable,
+    /// Resizable while running.
+    Malleable,
+}
+
+/// The seeded injection model: which jobs are rewritten, and how.
+#[derive(Clone, PartialEq, Debug)]
+pub struct InjectionConfig {
+    /// Seed of the per-job classification hash.
+    pub seed: u64,
+    /// Fraction of jobs rewritten as malleable, in `[0, 1]`.
+    pub malleable_frac: f64,
+    /// Fraction of jobs rewritten as moldable, in `[0, 1]`.
+    pub moldable_frac: f64,
+    /// The speedup curve injected jobs follow.
+    pub scaling: ScalingModel,
+    /// Platform size in nodes, capping injected maximum sizes. `None`
+    /// derives it from the trace (header `MaxNodes`/`MaxProcs`, else the
+    /// largest job).
+    pub platform_nodes: Option<u32>,
+}
+
+impl Default for InjectionConfig {
+    fn default() -> Self {
+        InjectionConfig {
+            seed: 0,
+            malleable_frac: 0.0,
+            moldable_frac: 0.0,
+            scaling: ScalingModel::Linear,
+            platform_nodes: None,
+        }
+    }
+}
+
+impl InjectionConfig {
+    /// Checks fractions are sane.
+    pub fn validate(&self) -> Result<(), WorkloadError> {
+        for (name, v) in [
+            ("malleable-frac", self.malleable_frac),
+            ("moldable-frac", self.moldable_frac),
+        ] {
+            if !(0.0..=1.0).contains(&v) {
+                return Err(WorkloadError::Invalid(format!(
+                    "--{name} must be in [0, 1], got {v}"
+                )));
+            }
+        }
+        if self.malleable_frac + self.moldable_frac > 1.0 {
+            return Err(WorkloadError::Invalid(format!(
+                "malleable-frac + moldable-frac must be ≤ 1, got {}",
+                self.malleable_frac + self.moldable_frac
+            )));
+        }
+        Ok(())
+    }
+
+    /// The class this configuration assigns to `job_id`. Pure in
+    /// `(seed, malleable_frac, moldable_frac, job_id)` — two configs that
+    /// agree on those agree on every decision, regardless of what else is
+    /// in the trace or in which order jobs are seen.
+    pub fn classify(&self, job_id: u64) -> InjectedClass {
+        let u = unit_hash(self.seed, job_id);
+        if u < self.malleable_frac {
+            InjectedClass::Malleable
+        } else if u < self.malleable_frac + self.moldable_frac {
+            InjectedClass::Moldable
+        } else {
+            InjectedClass::Rigid
+        }
+    }
+
+    /// Fingerprint-visible serialization of the injection parameters.
+    pub fn canonical(&self) -> String {
+        format!(
+            "seed={};malleable={:?};moldable={:?};scaling={};platform={:?}",
+            self.seed,
+            self.malleable_frac,
+            self.moldable_frac,
+            self.scaling.name(),
+            self.platform_nodes,
+        )
+    }
+}
+
+/// A per-job unit sample in `[0, 1)` from a SplitMix64-style finalizer
+/// over `(seed, job_id)`. No shared state: the same pair always maps to
+/// the same value.
+fn unit_hash(seed: u64, job_id: u64) -> f64 {
+    let mut z = seed
+        ^ job_id
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^= z >> 31;
+    (z >> 11) as f64 / (1u64 << 53) as f64
+}
+
+/// The injected elastic size range around a recorded size: shrink to half,
+/// grow to double (platform-capped), never excluding the original size.
+pub fn injected_range(orig_nodes: u32, platform_nodes: u32) -> (u32, u32) {
+    let min = (orig_nodes / 2).max(1);
+    let max = orig_nodes
+        .saturating_mul(2)
+        .min(platform_nodes)
+        .max(orig_nodes);
+    (min, max)
+}
+
+/// Counters from one streaming conversion, surfaced by `--metrics-out`
+/// and the replay report.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct ReplayStats {
+    /// Job lines successfully parsed.
+    pub parsed: u64,
+    /// Everything the lenient reader dropped, with reasons and lines.
+    pub skipped: SkipReport,
+    /// Jobs whose missing runtime was substituted by their request.
+    pub runtime_substituted: u64,
+    /// Jobs rewritten as malleable.
+    pub injected_malleable: u64,
+    /// Jobs rewritten as moldable.
+    pub injected_moldable: u64,
+    /// Jobs left rigid.
+    pub rigid: u64,
+    /// `preceding_job` references dropped because the target was skipped
+    /// or never appeared.
+    pub dropped_dependencies: u64,
+    /// The largest single-job node count seen.
+    pub max_job_nodes: u32,
+    /// Header directives of the trace.
+    pub header: SwfHeader,
+}
+
+impl ReplayStats {
+    /// Total rewritten (non-rigid) jobs.
+    pub fn injected(&self) -> u64 {
+        self.injected_malleable + self.injected_moldable
+    }
+
+    /// The platform size the conversion used: explicit override, else
+    /// header directive, else the largest job in the trace.
+    pub fn platform_nodes(&self, cfg: &InjectionConfig, procs_per_node: u32) -> u32 {
+        cfg.platform_nodes
+            .or_else(|| self.header.platform_nodes(procs_per_node))
+            .unwrap_or(0)
+            .max(self.max_job_nodes)
+            .max(1)
+    }
+}
+
+/// Streams an SWF trace into a workload, injecting malleability per
+/// `cfg`. One pass over the input: each record is parsed, classified,
+/// and converted straight into the output `Vec<JobSpec>` — no
+/// intermediate per-job collection exists besides the workload itself
+/// (plus an id set for dependency validation).
+///
+/// Injected size ranges are platform-capped in a fix-up pass *after*
+/// streaming (the platform size may only be known once the whole trace
+/// has been seen), which also drops dependencies on jobs that were
+/// skipped. Both passes depend only on trace content and `cfg`, so the
+/// result is deterministic and order-independent.
+pub fn convert_stream<R: io::BufRead>(
+    input: R,
+    node_flops: f64,
+    procs_per_node: u32,
+    cfg: &InjectionConfig,
+) -> Result<(Vec<JobSpec>, ReplayStats), WorkloadError> {
+    cfg.validate()?;
+    let mut reader = SwfReader::lenient(input);
+    let mut jobs: Vec<JobSpec> = Vec::new();
+    let mut seen_ids: HashSet<u64> = HashSet::new();
+    let mut stats = ReplayStats::default();
+    for record in reader.by_ref() {
+        let record = record?; // only I/O errors in lenient mode
+        let nodes = record.nodes(procs_per_node);
+        stats.max_job_nodes = stats.max_job_nodes.max(nodes);
+        let mut spec = match cfg.classify(record.job_id) {
+            InjectedClass::Rigid => {
+                stats.rigid += 1;
+                record.to_job_spec(node_flops, procs_per_node)
+            }
+            class => {
+                match class {
+                    InjectedClass::Malleable => stats.injected_malleable += 1,
+                    InjectedClass::Moldable => stats.injected_moldable += 1,
+                    InjectedClass::Rigid => unreachable!("matched above"),
+                }
+                injected_spec(&record, nodes, node_flops, class, cfg.scaling)
+            }
+        };
+        if let Some(dep) = record.preceding_job {
+            // Recorded "can only start after" dependency; targets that
+            // were skipped (or are forward references — unheard of in
+            // archive traces) are dropped in the fix-up pass below.
+            spec = spec.with_dependencies([dep]);
+        }
+        seen_ids.insert(record.job_id);
+        jobs.push(spec);
+    }
+    stats.parsed = reader.parsed();
+    stats.runtime_substituted = reader.runtime_substituted();
+    stats.skipped = reader.skip_report().clone();
+    stats.header = reader.header().clone();
+
+    // Fix-up pass over the workload itself: platform-cap the injected
+    // ranges now that the trace-wide maximum is known, and drop
+    // dependencies whose target never made it into the workload.
+    let platform = stats.platform_nodes(cfg, procs_per_node);
+    for spec in &mut jobs {
+        if spec.class.is_elastic() || spec.min_nodes != spec.max_nodes {
+            spec.max_nodes = spec.max_nodes.min(platform).max(spec.min_nodes);
+        }
+        let before = spec.dependencies.len();
+        spec.dependencies.retain(|d| seen_ids.contains(&d.0));
+        stats.dropped_dependencies += (before - spec.dependencies.len()) as u64;
+    }
+    Ok((jobs, stats))
+}
+
+/// Builds the moldable/malleable rewrite of one record: the recorded
+/// total work (`runtime × flops × original nodes`) spread over
+/// `num_nodes` under the scaling model, sized half-to-double around the
+/// recorded size. The platform cap is applied by the caller's fix-up
+/// pass. The trace's walltime is deliberately not carried over: it was
+/// requested for the rigid size, and an injected job legitimately runs
+/// longer when the scheduler shrinks it.
+fn injected_spec(
+    record: &SwfJob,
+    nodes: u32,
+    node_flops: f64,
+    class: InjectedClass,
+    scaling: ScalingModel,
+) -> JobSpec {
+    let total_flops = record.runtime.max(0.0) * node_flops * f64::from(nodes);
+    let app = ApplicationModel::new(vec![Phase::once(
+        "trace",
+        vec![Task::compute("recorded", scaling.work_expr(total_flops))],
+    )]);
+    let (min, max) = (
+        (nodes / 2).max(1),
+        nodes.saturating_mul(2), // capped to the platform by the caller
+    );
+    match class {
+        InjectedClass::Moldable => {
+            JobSpec::moldable(record.job_id, record.submit.max(0.0), min, max, app)
+        }
+        InjectedClass::Malleable => {
+            JobSpec::malleable(record.job_id, record.submit.max(0.0), min, max, app)
+        }
+        InjectedClass::Rigid => unreachable!("rigid jobs use SwfJob::to_job_spec"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job::JobClass;
+    use crate::swf::to_swf;
+
+    fn sample_trace(n: u64) -> String {
+        let jobs: Vec<SwfJob> = (1..=n)
+            .map(|i| SwfJob {
+                job_id: i,
+                submit: i as f64 * 10.0,
+                runtime: 600.0 + i as f64,
+                procs: 1 + (i % 64) as u32,
+                requested_time: Some(7200.0),
+                status: 1,
+                preceding_job: None,
+                think_time: None,
+            })
+            .collect();
+        to_swf(&jobs)
+    }
+
+    #[test]
+    fn scaling_model_parsing() {
+        assert_eq!(ScalingModel::parse("linear").unwrap(), ScalingModel::Linear);
+        assert_eq!(
+            ScalingModel::parse("amdahl").unwrap(),
+            ScalingModel::Amdahl {
+                serial_fraction: DEFAULT_SERIAL_FRACTION
+            }
+        );
+        assert_eq!(
+            ScalingModel::parse("amdahl:0.2").unwrap(),
+            ScalingModel::Amdahl {
+                serial_fraction: 0.2
+            }
+        );
+        assert!(ScalingModel::parse("amdahl:2").is_err());
+        assert!(ScalingModel::parse("amdahl:x").is_err());
+        assert!(ScalingModel::parse("cubic").is_err());
+    }
+
+    #[test]
+    fn linear_work_expr_reproduces_runtime_at_original_size() {
+        // 600 s on 8 nodes of 2e12 flop/s → total work 9.6e15.
+        let w = 600.0 * 2e12 * 8.0;
+        let expr = ScalingModel::Linear.work_expr(w);
+        assert_eq!(expr.eval_nodes(8).unwrap(), 600.0 * 2e12);
+        // Half the nodes → double the per-node work.
+        assert_eq!(expr.eval_nodes(4).unwrap(), 2.0 * 600.0 * 2e12);
+    }
+
+    #[test]
+    fn amdahl_work_expr_has_serial_floor() {
+        let w = 1e15;
+        let expr = ScalingModel::Amdahl {
+            serial_fraction: 0.1,
+        }
+        .work_expr(w);
+        // At 1 node: all of it. As nodes → ∞: the serial 10% remains.
+        assert_eq!(expr.eval_nodes(1).unwrap(), w);
+        let at_1000 = expr.eval_nodes(1000).unwrap();
+        assert!(at_1000 > 0.1 * w && at_1000 < 0.102 * w, "{at_1000:e}");
+    }
+
+    #[test]
+    fn classification_is_order_independent_and_frac_monotone() {
+        let cfg = |frac: f64| InjectionConfig {
+            seed: 42,
+            malleable_frac: frac,
+            ..InjectionConfig::default()
+        };
+        // Pure per-id: same answers regardless of call order.
+        let forward: Vec<InjectedClass> = (0..1000).map(|id| cfg(0.3).classify(id)).collect();
+        let backward: Vec<InjectedClass> =
+            (0..1000).rev().map(|id| cfg(0.3).classify(id)).collect();
+        assert_eq!(forward, backward.into_iter().rev().collect::<Vec<_>>());
+        // Fraction 0 and 1 are total.
+        assert!((0..1000).all(|id| cfg(0.0).classify(id) == InjectedClass::Rigid));
+        assert!((0..1000).all(|id| cfg(1.0).classify(id) == InjectedClass::Malleable));
+        // Raising the fraction only ever adds malleable jobs (nesting):
+        // a job malleable at 0.3 stays malleable at 0.6.
+        for id in 0..1000 {
+            if cfg(0.3).classify(id) == InjectedClass::Malleable {
+                assert_eq!(cfg(0.6).classify(id), InjectedClass::Malleable);
+            }
+        }
+        // And the hit rate is in the right ballpark.
+        let hits = forward
+            .iter()
+            .filter(|&&c| c == InjectedClass::Malleable)
+            .count();
+        assert!((200..400).contains(&hits), "{hits}");
+    }
+
+    #[test]
+    fn frac_zero_matches_plain_rigid_conversion() {
+        let trace = sample_trace(50);
+        let (jobs, stats) =
+            convert_stream(trace.as_bytes(), 2e12, 1, &InjectionConfig::default()).unwrap();
+        let rigid: Vec<JobSpec> = crate::swf::parse_swf(&trace)
+            .unwrap()
+            .iter()
+            .map(|j| j.to_job_spec(2e12, 1))
+            .collect();
+        assert_eq!(jobs, rigid);
+        assert_eq!(stats.parsed, 50);
+        assert_eq!(stats.rigid, 50);
+        assert_eq!(stats.injected(), 0);
+        assert!(stats.skipped.is_empty());
+    }
+
+    #[test]
+    fn injected_ranges_contain_the_original_size() {
+        let trace = sample_trace(200);
+        let originals: Vec<(u64, u32)> = crate::swf::parse_swf(&trace)
+            .unwrap()
+            .iter()
+            .map(|j| (j.job_id, j.nodes(1)))
+            .collect();
+        let cfg = InjectionConfig {
+            seed: 7,
+            malleable_frac: 0.4,
+            moldable_frac: 0.3,
+            ..InjectionConfig::default()
+        };
+        let (jobs, stats) = convert_stream(trace.as_bytes(), 2e12, 1, &cfg).unwrap();
+        assert!(stats.injected() > 0);
+        assert!(stats.injected_moldable > 0);
+        for (spec, (id, orig)) in jobs.iter().zip(&originals) {
+            assert_eq!(spec.id.0, *id);
+            assert!(
+                spec.min_nodes <= *orig && *orig <= spec.max_nodes,
+                "job {id}: {}..{} excludes original {orig}",
+                spec.min_nodes,
+                spec.max_nodes
+            );
+            assert!(spec.max_nodes <= stats.platform_nodes(&cfg, 1));
+        }
+        crate::job::validate_workload(&jobs, stats.platform_nodes(&cfg, 1) as usize).unwrap();
+    }
+
+    #[test]
+    fn injected_set_depends_only_on_seed_and_frac() {
+        let cfg = InjectionConfig {
+            seed: 11,
+            malleable_frac: 0.5,
+            ..InjectionConfig::default()
+        };
+        let ids = |trace: &str| -> Vec<u64> {
+            let (jobs, _) = convert_stream(trace.as_bytes(), 2e12, 1, &cfg).unwrap();
+            jobs.iter()
+                .filter(|j| j.class == JobClass::Malleable)
+                .map(|j| j.id.0)
+                .collect()
+        };
+        let full = sample_trace(100);
+        // Dropping unrelated lines does not change the decisions on the
+        // survivors — classification is per-id, not positional.
+        let half: String = full
+            .lines()
+            .filter(|l| l.starts_with(';') || !l.starts_with('9'))
+            .map(|l| format!("{l}\n"))
+            .collect();
+        let full_ids = ids(&full);
+        let half_ids = ids(&half);
+        assert!(half_ids.iter().all(|id| full_ids.contains(id)));
+        assert!(full_ids
+            .iter()
+            .filter(|id| !id.to_string().starts_with('9'))
+            .all(|id| half_ids.contains(id)));
+    }
+
+    #[test]
+    fn dependencies_survive_when_target_parsed_and_drop_otherwise() {
+        let trace = "\
+1 0 -1 600 4 -1 -1 4 1200 -1 1 -1 -1 -1 -1 -1 -1 -1
+2 10 -1 -1 -1 -1 -1 -1 -1 -1 1 -1 -1 -1 -1 -1 -1 -1
+3 20 -1 600 4 -1 -1 4 1200 -1 1 -1 -1 -1 -1 -1 1 -1
+4 30 -1 600 4 -1 -1 4 1200 -1 1 -1 -1 -1 -1 -1 2 -1
+";
+        let (jobs, stats) =
+            convert_stream(trace.as_bytes(), 2e12, 1, &InjectionConfig::default()).unwrap();
+        assert_eq!(jobs.len(), 3, "job 2 is skipped (no procs)");
+        let by_id = |id: u64| jobs.iter().find(|j| j.id.0 == id).unwrap();
+        assert_eq!(by_id(3).dependencies, vec![crate::job::JobId(1)]);
+        assert!(
+            by_id(4).dependencies.is_empty(),
+            "dependency on skipped job 2 is dropped"
+        );
+        assert_eq!(stats.dropped_dependencies, 1);
+        crate::job::validate_workload(&jobs, 4).unwrap();
+    }
+
+    #[test]
+    fn fractions_are_validated() {
+        for (m, o) in [(-0.1, 0.0), (1.1, 0.0), (0.0, 1.5), (0.6, 0.6)] {
+            let cfg = InjectionConfig {
+                malleable_frac: m,
+                moldable_frac: o,
+                ..InjectionConfig::default()
+            };
+            assert!(cfg.validate().is_err(), "{m} {o}");
+        }
+    }
+
+    #[test]
+    fn injected_range_helper_contains_original() {
+        for orig in [1u32, 2, 3, 64, 1000] {
+            for platform in [1u32, 4, 64, 4096] {
+                let (min, max) = injected_range(orig, platform.max(orig));
+                assert!(min <= orig && orig <= max, "{orig} {platform}");
+                assert!(min >= 1);
+            }
+        }
+    }
+}

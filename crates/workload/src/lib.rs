@@ -29,6 +29,7 @@ mod app;
 mod dist;
 mod expr_serde;
 mod generator;
+mod inject;
 mod job;
 mod swf;
 mod task;
@@ -38,6 +39,12 @@ pub use dist::{Distribution, Sampler};
 pub use expr_serde::PerfExpr;
 pub use generator::ClassMix;
 pub use generator::{AppTemplate, ArrivalProcess, SizeDistribution, WorkloadConfig};
+pub use inject::{
+    convert_stream, injected_range, InjectedClass, InjectionConfig, ReplayStats, ScalingModel,
+};
 pub use job::{validate_workload, JobClass, JobId, JobSpec, WorkloadError};
-pub use swf::{parse_swf, to_swf, SwfJob};
+pub use swf::{
+    parse_swf, to_swf, SkipReason, SkipReport, SwfHeader, SwfJob, SwfReader, SWF_STATUS_CANCELLED,
+    SWF_STATUS_COMPLETED, SWF_STATUS_FAILED,
+};
 pub use task::{CommPattern, ComputeTarget, IoTarget, Task, TaskKind};

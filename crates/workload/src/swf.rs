@@ -5,11 +5,36 @@
 //! Real traces can thus be replayed through the simulator as rigid
 //! workloads (the original ElastiSim evaluation also feeds on synthetic and
 //! trace-derived workloads).
+//!
+//! Two reading modes share one field decoder:
+//!
+//! * **Strict** ([`parse_swf`], [`SwfReader::strict`]) — any malformed
+//!   line is an error naming its line number. This is what `elastisim run`
+//!   uses for hand-written traces, where silence would hide typos.
+//! * **Lenient** ([`SwfReader::lenient`]) — real archive traces carry `-1`
+//!   sentinels, cancelled jobs that never ran, and the occasional mangled
+//!   line. The lenient reader skips such records instead of failing,
+//!   counting every skip by [`SkipReason`] with line numbers in a
+//!   [`SkipReport`], so a replay of a 100k-job trace states exactly what
+//!   was dropped and why. This is what `elastisim replay` uses.
+//!
+//! The reader is **streaming**: it pulls lines off any [`io::BufRead`]
+//! and yields jobs one at a time, so converting a archive-scale trace
+//! never materializes the record list besides the workload being built.
+
+use std::io;
 
 use crate::app::{ApplicationModel, Phase};
 use crate::expr_serde::PerfExpr;
 use crate::job::{JobSpec, WorkloadError};
 use crate::task::Task;
+
+/// PWA status code: the job ran to completion.
+pub const SWF_STATUS_COMPLETED: i32 = 1;
+/// PWA status code: the job failed.
+pub const SWF_STATUS_FAILED: i32 = 0;
+/// PWA status code: the job was cancelled (possibly before it started).
+pub const SWF_STATUS_CANCELLED: i32 = 5;
 
 /// One SWF record (the subset of fields the simulator uses, all fields
 /// parsed).
@@ -25,8 +50,16 @@ pub struct SwfJob {
     pub procs: u32,
     /// Field 9: requested time (walltime limit), seconds; `None` if -1.
     pub requested_time: Option<f64>,
-    /// Field 11: completion status (1 = completed).
+    /// Field 11: completion status (1 = completed, 0 = failed,
+    /// 5 = cancelled); -1 when the trace does not record it.
     pub status: i32,
+    /// Field 17: preceding job number this one depends on; `None` if -1
+    /// or absent. The PWA semantics are "can only start after", which maps
+    /// onto [`JobSpec::dependencies`].
+    pub preceding_job: Option<u64>,
+    /// Field 18: think time (seconds) from the preceding job's
+    /// termination to this job's submission; `None` if -1 or absent.
+    pub think_time: Option<f64>,
 }
 
 impl SwfJob {
@@ -35,7 +68,7 @@ impl SwfJob {
     /// `node_flops` flop/s, with `procs_per_node` processors folded into
     /// one simulated node.
     pub fn to_job_spec(&self, node_flops: f64, procs_per_node: u32) -> JobSpec {
-        let nodes = self.procs.div_ceil(procs_per_node).max(1);
+        let nodes = self.nodes(procs_per_node);
         let app = ApplicationModel::new(vec![Phase::once(
             "trace",
             vec![Task::compute(
@@ -49,58 +82,408 @@ impl SwfJob {
         }
         spec
     }
+
+    /// The simulated node count at `procs_per_node` processors per node.
+    pub fn nodes(&self, procs_per_node: u32) -> u32 {
+        self.procs.div_ceil(procs_per_node.max(1)).max(1)
+    }
 }
 
-/// Parses an SWF file. Comment (`;`) and blank lines are skipped; short or
-/// malformed lines are errors naming the line number.
-pub fn parse_swf(text: &str) -> Result<Vec<SwfJob>, WorkloadError> {
-    let mut out = Vec::new();
-    for (lineno, line) in text.lines().enumerate() {
-        let line = line.trim();
-        if line.is_empty() || line.starts_with(';') {
-            continue;
+/// Why the lenient reader dropped a line.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Debug)]
+pub enum SkipReason {
+    /// Short line or a non-numeric required field.
+    Malformed,
+    /// Neither allocated (field 5) nor requested (field 8) processors.
+    MissingProcessors,
+    /// Runtime is `-1` and there is no requested time to substitute.
+    MissingRuntime,
+    /// Status 5 (cancelled) with no recorded runtime: the job never ran,
+    /// so there is nothing to replay.
+    CancelledBeforeStart,
+}
+
+impl SkipReason {
+    /// Stable snake_case name, used in reports and metrics.
+    pub fn name(self) -> &'static str {
+        match self {
+            SkipReason::Malformed => "malformed",
+            SkipReason::MissingProcessors => "missing_processors",
+            SkipReason::MissingRuntime => "missing_runtime",
+            SkipReason::CancelledBeforeStart => "cancelled_before_start",
         }
-        let fields: Vec<&str> = line.split_whitespace().collect();
-        if fields.len() < 11 {
+    }
+
+    /// All reasons, in report order.
+    pub const ALL: [SkipReason; 4] = [
+        SkipReason::Malformed,
+        SkipReason::MissingProcessors,
+        SkipReason::MissingRuntime,
+        SkipReason::CancelledBeforeStart,
+    ];
+}
+
+impl std::fmt::Display for SkipReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// How many line numbers a [`SkipReport`] retains per reason.
+pub const SKIP_EXAMPLE_LINES: usize = 8;
+
+/// Line-numbered accounting of everything the lenient reader dropped.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct SkipReport {
+    counts: [u64; 4],
+    lines: [Vec<u64>; 4],
+}
+
+impl SkipReport {
+    fn record(&mut self, reason: SkipReason, lineno: u64) {
+        let i = reason as usize;
+        self.counts[i] += 1;
+        if self.lines[i].len() < SKIP_EXAMPLE_LINES {
+            self.lines[i].push(lineno);
+        }
+    }
+
+    /// Total skipped lines.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Skips for one reason.
+    pub fn count(&self, reason: SkipReason) -> u64 {
+        self.counts[reason as usize]
+    }
+
+    /// The first few (at most `SKIP_EXAMPLE_LINES`) 1-based line numbers
+    /// skipped for `reason`.
+    pub fn example_lines(&self, reason: SkipReason) -> &[u64] {
+        &self.lines[reason as usize]
+    }
+
+    /// Whether nothing was skipped.
+    pub fn is_empty(&self) -> bool {
+        self.total() == 0
+    }
+
+    /// One human-readable line per non-zero reason, e.g.
+    /// `malformed: 3 (lines 7, 22, 31)`.
+    pub fn render_lines(&self) -> Vec<String> {
+        SkipReason::ALL
+            .iter()
+            .filter(|&&r| self.count(r) > 0)
+            .map(|&r| {
+                let shown = self.example_lines(r);
+                let mut s = format!(
+                    "{}: {} (line{} {}",
+                    r.name(),
+                    self.count(r),
+                    if self.count(r) == 1 { "" } else { "s" },
+                    shown
+                        .iter()
+                        .map(u64::to_string)
+                        .collect::<Vec<_>>()
+                        .join(", ")
+                );
+                if (self.count(r) as usize) > shown.len() {
+                    s.push_str(", …");
+                }
+                s.push(')');
+                s
+            })
+            .collect()
+    }
+}
+
+impl std::fmt::Display for SkipReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.is_empty() {
+            return write!(f, "no lines skipped");
+        }
+        write!(
+            f,
+            "skipped {}: {}",
+            self.total(),
+            self.render_lines().join("; ")
+        )
+    }
+}
+
+/// The `; Key: value` preamble directives of a PWA trace that matter for
+/// replay. Unknown directives are ignored.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct SwfHeader {
+    /// `MaxNodes`: platform size in nodes.
+    pub max_nodes: Option<u32>,
+    /// `MaxProcs`: platform size in processors.
+    pub max_procs: Option<u32>,
+    /// `UnixStartTime`: epoch of the trace's t=0.
+    pub unix_start_time: Option<i64>,
+    /// `Computer`: the machine the trace was recorded on.
+    pub computer: Option<String>,
+}
+
+impl SwfHeader {
+    /// Best-known platform size at `procs_per_node` processors per node:
+    /// `MaxNodes` verbatim, else `MaxProcs` folded, else `None`.
+    pub fn platform_nodes(&self, procs_per_node: u32) -> Option<u32> {
+        self.max_nodes.or_else(|| {
+            self.max_procs
+                .map(|p| p.div_ceil(procs_per_node.max(1)).max(1))
+        })
+    }
+
+    fn absorb(&mut self, comment: &str) {
+        let Some((key, value)) = comment.split_once(':') else {
+            return;
+        };
+        let (key, value) = (key.trim(), value.trim());
+        match key {
+            "MaxNodes" => self.max_nodes = value.parse().ok(),
+            "MaxProcs" => self.max_procs = value.parse().ok(),
+            "UnixStartTime" => self.unix_start_time = value.parse().ok(),
+            "Computer" => self.computer = Some(value.to_owned()),
+            _ => {}
+        }
+    }
+}
+
+/// A streaming SWF reader over any [`io::BufRead`].
+///
+/// Yields `Result<SwfJob, WorkloadError>` items. In strict mode a bad
+/// line is an error (and iteration stops, matching [`parse_swf`]); in
+/// lenient mode bad or unreplayable lines are counted in the
+/// [`SkipReport`] and iteration continues. I/O errors surface in both
+/// modes.
+pub struct SwfReader<R: io::BufRead> {
+    input: R,
+    strict: bool,
+    lineno: u64,
+    buf: String,
+    parsed: u64,
+    runtime_substituted: u64,
+    skips: SkipReport,
+    header: SwfHeader,
+    fused: bool,
+}
+
+impl<R: io::BufRead> SwfReader<R> {
+    /// A strict reader: malformed lines are errors.
+    pub fn strict(input: R) -> Self {
+        Self::new(input, true)
+    }
+
+    /// A lenient reader: unreplayable lines are skipped and counted.
+    pub fn lenient(input: R) -> Self {
+        Self::new(input, false)
+    }
+
+    fn new(input: R, strict: bool) -> Self {
+        SwfReader {
+            input,
+            strict,
+            lineno: 0,
+            buf: String::new(),
+            parsed: 0,
+            runtime_substituted: 0,
+            skips: SkipReport::default(),
+            header: SwfHeader::default(),
+            fused: false,
+        }
+    }
+
+    /// Header directives seen so far (complete once the first job line
+    /// has been yielded — PWA headers precede all records).
+    pub fn header(&self) -> &SwfHeader {
+        &self.header
+    }
+
+    /// Jobs successfully yielded so far.
+    pub fn parsed(&self) -> u64 {
+        self.parsed
+    }
+
+    /// Jobs whose missing runtime was substituted by their requested
+    /// time (lenient mode only).
+    pub fn runtime_substituted(&self) -> u64 {
+        self.runtime_substituted
+    }
+
+    /// Everything skipped so far (lenient mode only).
+    pub fn skip_report(&self) -> &SkipReport {
+        &self.skips
+    }
+
+    fn next_job(&mut self) -> Option<Result<SwfJob, WorkloadError>> {
+        loop {
+            self.buf.clear();
+            match self.input.read_line(&mut self.buf) {
+                Ok(0) => return None,
+                Ok(_) => {}
+                Err(e) => {
+                    self.fused = true;
+                    return Some(Err(WorkloadError::Invalid(format!(
+                        "SWF read error after line {}: {e}",
+                        self.lineno
+                    ))));
+                }
+            }
+            self.lineno += 1;
+            let line = self.buf.trim();
+            if line.is_empty() {
+                continue;
+            }
+            if let Some(comment) = line.strip_prefix(';') {
+                self.header.absorb(comment);
+                continue;
+            }
+            match parse_record(line, self.lineno, self.strict) {
+                Ok(Parsed::Job {
+                    job,
+                    runtime_substituted,
+                }) => {
+                    self.parsed += 1;
+                    if runtime_substituted {
+                        self.runtime_substituted += 1;
+                    }
+                    return Some(Ok(job));
+                }
+                Ok(Parsed::Skip(reason)) => {
+                    self.skips.record(reason, self.lineno);
+                }
+                Err(e) => {
+                    self.fused = true;
+                    return Some(Err(e));
+                }
+            }
+        }
+    }
+}
+
+impl<R: io::BufRead> Iterator for SwfReader<R> {
+    type Item = Result<SwfJob, WorkloadError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.fused {
+            return None;
+        }
+        self.next_job()
+    }
+}
+
+enum Parsed {
+    Job {
+        job: SwfJob,
+        runtime_substituted: bool,
+    },
+    Skip(SkipReason),
+}
+
+/// Decodes one record line. In strict mode structural problems are
+/// `Err`s with the historical messages; in lenient mode they are
+/// `Parsed::Skip`s. The PWA `-1` sentinel conventions are applied here:
+/// allocated processors fall back to requested, a missing runtime falls
+/// back to the requested time, and cancelled never-started jobs are
+/// unreplayable.
+fn parse_record(line: &str, lineno: u64, strict: bool) -> Result<Parsed, WorkloadError> {
+    let fields: Vec<&str> = line.split_whitespace().collect();
+    if fields.len() < 11 {
+        if strict {
             return Err(WorkloadError::Invalid(format!(
-                "SWF line {}: expected ≥11 fields, got {}",
-                lineno + 1,
+                "SWF line {lineno}: expected ≥11 fields, got {}",
                 fields.len()
             )));
         }
-        let num = |i: usize| -> Result<f64, WorkloadError> {
-            fields[i].parse::<f64>().map_err(|_| {
-                WorkloadError::Invalid(format!(
-                    "SWF line {}: field {} (`{}`) is not a number",
-                    lineno + 1,
-                    i + 1,
-                    fields[i]
-                ))
-            })
-        };
-        let alloc = num(4)?;
-        let requested = num(7)?;
-        let procs = if alloc > 0.0 {
-            alloc
-        } else if requested > 0.0 {
-            requested
-        } else {
-            return Err(WorkloadError::Invalid(format!(
-                "SWF line {}: neither allocated nor requested processors known",
-                lineno + 1
-            )));
-        };
-        let req_time = num(8)?;
-        out.push(SwfJob {
-            job_id: num(0)? as u64,
-            submit: num(1)?,
-            runtime: num(3)?.max(0.0),
-            procs: procs as u32,
-            requested_time: if req_time > 0.0 { Some(req_time) } else { None },
-            status: num(10)? as i32,
-        });
+        return Ok(Parsed::Skip(SkipReason::Malformed));
     }
-    Ok(out)
+    // Required fields, parsed as before (indices are 0-based; SWF counts
+    // from 1). Optional trailing columns are decoded best-effort below.
+    let mut bad_field: Option<usize> = None;
+    let mut num = |i: usize| -> f64 {
+        fields[i].parse::<f64>().unwrap_or_else(|_| {
+            bad_field.get_or_insert(i);
+            f64::NAN
+        })
+    };
+    let job_id = num(0);
+    let submit = num(1);
+    let runtime_raw = num(3);
+    let alloc = num(4);
+    let requested = num(7);
+    let req_time = num(8);
+    let status = num(10);
+    if let Some(i) = bad_field {
+        if strict {
+            return Err(WorkloadError::Invalid(format!(
+                "SWF line {lineno}: field {} (`{}`) is not a number",
+                i + 1,
+                fields[i]
+            )));
+        }
+        return Ok(Parsed::Skip(SkipReason::Malformed));
+    }
+    let procs = if alloc > 0.0 {
+        alloc
+    } else if requested > 0.0 {
+        requested
+    } else {
+        if strict {
+            return Err(WorkloadError::Invalid(format!(
+                "SWF line {lineno}: neither allocated nor requested processors known"
+            )));
+        }
+        return Ok(Parsed::Skip(SkipReason::MissingProcessors));
+    };
+    let status = status as i32;
+    let requested_time = (req_time > 0.0).then_some(req_time);
+    // Runtime sentinels only matter in lenient mode; the strict reader
+    // keeps its historical clamp-to-zero behaviour.
+    let mut runtime_substituted = false;
+    let runtime = if strict {
+        runtime_raw.max(0.0)
+    } else if runtime_raw >= 0.0 {
+        runtime_raw
+    } else if status == SWF_STATUS_CANCELLED {
+        return Ok(Parsed::Skip(SkipReason::CancelledBeforeStart));
+    } else if let Some(req) = requested_time {
+        runtime_substituted = true;
+        req
+    } else {
+        return Ok(Parsed::Skip(SkipReason::MissingRuntime));
+    };
+    // Optional dependency columns (fields 17/18): `-1`, absent, or
+    // unparseable all mean "none" — archive traces are inconsistent here,
+    // and these columns were never load-bearing for the strict reader.
+    let optional = |i: usize| -> Option<f64> {
+        fields
+            .get(i)
+            .and_then(|t| t.parse::<f64>().ok())
+            .filter(|&v| v >= 0.0)
+    };
+    let preceding_job = optional(16).map(|v| v as u64);
+    let think_time = optional(17);
+    Ok(Parsed::Job {
+        job: SwfJob {
+            job_id: job_id as u64,
+            submit,
+            runtime,
+            procs: procs as u32,
+            requested_time,
+            status,
+            preceding_job,
+            think_time,
+        },
+        runtime_substituted,
+    })
+}
+
+/// Parses an SWF file strictly. Comment (`;`) and blank lines are
+/// skipped; short or malformed lines are errors naming the line number.
+pub fn parse_swf(text: &str) -> Result<Vec<SwfJob>, WorkloadError> {
+    SwfReader::strict(text.as_bytes()).collect()
 }
 
 /// Writes jobs back out as SWF (fields the parser reads are faithful,
@@ -109,7 +492,7 @@ pub fn to_swf(jobs: &[SwfJob]) -> String {
     let mut out = String::from("; generated by elastisim-workload\n");
     for j in jobs {
         out.push_str(&format!(
-            "{} {} -1 {} {} -1 -1 {} {} -1 {} -1 -1 -1 -1 -1 -1 -1\n",
+            "{} {} -1 {} {} -1 -1 {} {} -1 {} -1 -1 -1 -1 -1 {} {}\n",
             j.job_id,
             j.submit,
             j.runtime,
@@ -117,6 +500,8 @@ pub fn to_swf(jobs: &[SwfJob]) -> String {
             j.procs,
             j.requested_time.unwrap_or(-1.0),
             j.status,
+            j.preceding_job.map(|p| p as i64).unwrap_or(-1),
+            j.think_time.unwrap_or(-1.0),
         ));
     }
     out
@@ -148,6 +533,9 @@ mod tests {
         // Job 3: no requested time.
         assert_eq!(jobs[2].requested_time, None);
         assert_eq!(jobs[2].status, 0);
+        // Dependency columns are all -1 in the sample.
+        assert!(jobs.iter().all(|j| j.preceding_job.is_none()));
+        assert!(jobs.iter().all(|j| j.think_time.is_none()));
     }
 
     #[test]
@@ -190,5 +578,108 @@ mod tests {
     fn missing_procs_is_error() {
         let err = parse_swf("1 0 10 60 -1 -1 -1 -1 -1 -1 1").unwrap_err();
         assert!(err.to_string().contains("processors"));
+    }
+
+    #[test]
+    fn dependency_columns_parse_when_present() {
+        let jobs = parse_swf("7 60 -1 120 4 -1 -1 4 240 -1 1 3 4 -1 1 -1 3 30.5\n").unwrap();
+        assert_eq!(jobs[0].preceding_job, Some(3));
+        assert_eq!(jobs[0].think_time, Some(30.5));
+        // And they survive the writer round-trip.
+        let back = parse_swf(&to_swf(&jobs)).unwrap();
+        assert_eq!(jobs, back);
+    }
+
+    #[test]
+    fn header_directives_are_collected() {
+        let text = "\
+; Computer: IBM SP2
+; MaxNodes: 100
+; MaxProcs: 400
+; UnixStartTime: 820454400
+1 0 -1 60 4 -1 -1 4 120 -1 1 -1 -1 -1 -1 -1 -1 -1
+";
+        let mut reader = SwfReader::strict(text.as_bytes());
+        let job = reader.next().unwrap().unwrap();
+        assert_eq!(job.job_id, 1);
+        let header = reader.header();
+        assert_eq!(header.max_nodes, Some(100));
+        assert_eq!(header.max_procs, Some(400));
+        assert_eq!(header.unix_start_time, Some(820454400));
+        assert_eq!(header.computer.as_deref(), Some("IBM SP2"));
+        assert_eq!(header.platform_nodes(1), Some(100));
+        assert_eq!(
+            SwfHeader {
+                max_nodes: None,
+                ..header.clone()
+            }
+            .platform_nodes(4),
+            Some(100),
+            "MaxProcs folds by procs-per-node"
+        );
+    }
+
+    #[test]
+    fn lenient_reader_skips_with_reasons_and_line_numbers() {
+        let text = "\
+; header
+1 0 10 3600 64 -1 -1 64 7200 -1 1 -1 -1 -1 -1 -1 -1 -1
+garbage line
+2 10 10 -1 8 -1 -1 8 -1 -1 1 -1 -1 -1 -1 -1 -1 -1
+3 20 -1 -1 -1 -1 -1 -1 -1 -1 1 -1 -1 -1 -1 -1 -1 -1
+4 30 -1 -1 4 -1 -1 4 600 -1 5 -1 -1 -1 -1 -1 -1 -1
+5 40 -1 -1 4 -1 -1 4 600 -1 0 -1 -1 -1 -1 -1 -1 -1
+";
+        let mut reader = SwfReader::lenient(text.as_bytes());
+        let jobs: Vec<SwfJob> = reader.by_ref().map(|r| r.unwrap()).collect();
+        // Job 1 is fine; job 2 has runtime -1 and no requested time
+        // (skipped); job 3 has no processors (skipped); job 4 is cancelled
+        // before start (skipped); job 5 substitutes requested time.
+        assert_eq!(
+            jobs.iter().map(|j| j.job_id).collect::<Vec<_>>(),
+            vec![1, 5]
+        );
+        assert_eq!(jobs[1].runtime, 600.0, "requested time substituted");
+        assert_eq!(reader.parsed(), 2);
+        assert_eq!(reader.runtime_substituted(), 1);
+        let skips = reader.skip_report();
+        assert_eq!(skips.total(), 4);
+        assert_eq!(skips.count(SkipReason::Malformed), 1);
+        assert_eq!(skips.count(SkipReason::MissingRuntime), 1);
+        assert_eq!(skips.count(SkipReason::MissingProcessors), 1);
+        assert_eq!(skips.count(SkipReason::CancelledBeforeStart), 1);
+        assert_eq!(skips.example_lines(SkipReason::Malformed), &[3]);
+        assert_eq!(skips.example_lines(SkipReason::MissingRuntime), &[4]);
+        assert_eq!(skips.example_lines(SkipReason::MissingProcessors), &[5]);
+        assert_eq!(skips.example_lines(SkipReason::CancelledBeforeStart), &[6]);
+        let rendered = skips.to_string();
+        assert!(rendered.contains("malformed: 1 (line 3)"), "{rendered}");
+        assert!(
+            rendered.contains("cancelled_before_start: 1 (line 6)"),
+            "{rendered}"
+        );
+    }
+
+    #[test]
+    fn strict_reader_stops_at_first_error() {
+        let text = "1 0 10 60 2 -1 -1 2 120 -1 1\nbroken\n2 0 10 60 2 -1 -1 2 120 -1 1\n";
+        let mut reader = SwfReader::strict(text.as_bytes());
+        assert!(reader.next().unwrap().is_ok());
+        assert!(reader.next().unwrap().is_err());
+        assert!(reader.next().is_none(), "errors fuse the iterator");
+    }
+
+    #[test]
+    fn skip_report_caps_example_lines() {
+        let mut report = SkipReport::default();
+        for line in 0..20 {
+            report.record(SkipReason::Malformed, line + 1);
+        }
+        assert_eq!(report.count(SkipReason::Malformed), 20);
+        assert_eq!(
+            report.example_lines(SkipReason::Malformed).len(),
+            SKIP_EXAMPLE_LINES
+        );
+        assert!(report.to_string().contains('…'), "{report}");
     }
 }

@@ -1,0 +1,160 @@
+//! Property tests for the malleability-injection model.
+//!
+//! The three guarantees the replay pipeline leans on, each checked over
+//! arbitrary seeded traces rather than hand-picked examples:
+//!
+//! 1. fraction 0 ⇒ the converted workload is *equal* to the plain rigid
+//!    conversion (the CLI-level fingerprint identity reduces to this);
+//! 2. the injected job set is a pure function of `(seed, fractions)` and
+//!    each job's id — unchanged under reordering and subsetting of the
+//!    trace;
+//! 3. every injected size range contains the job's original recorded
+//!    size, and the workload as a whole validates against the derived
+//!    platform.
+
+use elastisim_workload::{
+    convert_stream, parse_swf, to_swf, validate_workload, InjectedClass, InjectionConfig, JobClass,
+    ScalingModel, SwfJob,
+};
+use proptest::prelude::*;
+
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n
+    }
+}
+
+/// A seeded trace of well-formed records with distinct ids.
+fn arbitrary_trace(rng: &mut Rng, max_jobs: u64) -> Vec<SwfJob> {
+    let mut next_id = 0;
+    (0..1 + rng.below(max_jobs))
+        .map(|_| SwfJob {
+            job_id: {
+                next_id += 1 + rng.below(5);
+                next_id
+            },
+            submit: rng.below(100_000) as f64,
+            runtime: rng.below(40_000) as f64,
+            procs: 1 + rng.below(512) as u32,
+            requested_time: (rng.below(2) == 0).then(|| (1 + rng.below(80_000)) as f64),
+            status: 1,
+            preceding_job: None,
+            think_time: None,
+        })
+        .collect()
+}
+
+fn cfg(seed: u64, malleable: f64, moldable: f64) -> InjectionConfig {
+    InjectionConfig {
+        seed,
+        malleable_frac: malleable,
+        moldable_frac: moldable,
+        scaling: ScalingModel::Linear,
+        platform_nodes: None,
+    }
+}
+
+proptest! {
+    /// Fraction 0 is the identity: the streamed conversion with no
+    /// injection equals mapping `to_job_spec` over the strict parse.
+    #[test]
+    fn frac_zero_is_the_rigid_conversion(seed in any::<u64>()) {
+        let mut rng = Rng(seed);
+        let trace = to_swf(&arbitrary_trace(&mut rng, 60));
+        let (jobs, stats) =
+            convert_stream(trace.as_bytes(), 2e12, 1, &cfg(seed, 0.0, 0.0)).unwrap();
+        let rigid: Vec<_> = parse_swf(&trace)
+            .unwrap()
+            .iter()
+            .map(|j| j.to_job_spec(2e12, 1))
+            .collect();
+        prop_assert_eq!(jobs, rigid);
+        prop_assert_eq!(stats.injected(), 0);
+        prop_assert_eq!(stats.rigid, stats.parsed);
+    }
+
+    /// Injection decisions commute with trace order and subsetting: the
+    /// classes assigned to surviving jobs are identical when the trace is
+    /// reversed and when an arbitrary subset of other jobs is removed.
+    #[test]
+    fn injected_set_is_order_and_subset_independent(
+        seed in any::<u64>(),
+        inj_seed in any::<u64>(),
+    ) {
+        let mut rng = Rng(seed);
+        let records = arbitrary_trace(&mut rng, 60);
+        let c = cfg(inj_seed, 0.25, 0.25);
+        let classes = |records: &[SwfJob]| -> Vec<(u64, JobClass)> {
+            let (jobs, _) =
+                convert_stream(to_swf(records).as_bytes(), 2e12, 1, &c).unwrap();
+            let mut v: Vec<(u64, JobClass)> =
+                jobs.iter().map(|j| (j.id.0, j.class)).collect();
+            v.sort_by_key(|p| p.0);
+            v
+        };
+        let forward = classes(&records);
+        let reversed: Vec<SwfJob> = records.iter().rev().copied().collect();
+        prop_assert_eq!(&forward, &classes(&reversed), "order must not matter");
+        let subset: Vec<SwfJob> = records.iter().step_by(2).copied().collect();
+        let sub_classes = classes(&subset);
+        for pair in &sub_classes {
+            prop_assert!(
+                forward.contains(pair),
+                "seed {}: job {} changed class when the trace was subset",
+                seed, pair.0
+            );
+        }
+        // And the per-id decision matches the public classifier.
+        for (id, class) in &forward {
+            let expected = match c.classify(*id) {
+                InjectedClass::Rigid => JobClass::Rigid,
+                InjectedClass::Moldable => JobClass::Moldable,
+                InjectedClass::Malleable => JobClass::Malleable,
+            };
+            prop_assert_eq!(*class, expected);
+        }
+    }
+
+    /// Every injected range brackets the original size, and the converted
+    /// workload validates on the platform the stats derive.
+    #[test]
+    fn ranges_contain_original_size_and_workload_validates(
+        seed in any::<u64>(),
+        malleable in 0.0f64..=1.0,
+    ) {
+        let mut rng = Rng(seed);
+        let records = arbitrary_trace(&mut rng, 60);
+        let moldable = (1.0 - malleable) / 2.0;
+        let c = cfg(seed, malleable, moldable);
+        let (jobs, stats) =
+            convert_stream(to_swf(&records).as_bytes(), 2e12, 1, &c).unwrap();
+        let platform = stats.platform_nodes(&c, 1);
+        for (spec, record) in jobs.iter().zip(&records) {
+            prop_assert_eq!(spec.id.0, record.job_id);
+            let orig = record.nodes(1);
+            prop_assert!(
+                spec.min_nodes <= orig && orig <= spec.max_nodes,
+                "seed {}: job {} range {}..{} excludes original {}",
+                seed, record.job_id, spec.min_nodes, spec.max_nodes, orig
+            );
+            prop_assert!(spec.max_nodes <= platform);
+        }
+        validate_workload(&jobs, platform as usize)
+            .unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+        prop_assert_eq!(
+            stats.rigid + stats.injected(),
+            stats.parsed,
+            "class counts partition the parsed jobs"
+        );
+    }
+}

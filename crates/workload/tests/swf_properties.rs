@@ -1,7 +1,7 @@
 //! Property tests for the SWF parser/writer, plus realistic header
 //! fixtures modeled on Parallel Workloads Archive traces.
 
-use elastisim_workload::{parse_swf, to_swf, SwfJob};
+use elastisim_workload::{parse_swf, to_swf, SkipReason, SwfJob, SwfReader};
 use proptest::prelude::*;
 
 /// Deterministic per-case generator (SplitMix64), mirroring the scheme the
@@ -34,6 +34,8 @@ fn arbitrary_job(rng: &mut Rng) -> SwfJob {
         procs: 1 + rng.below(4096) as u32,
         requested_time: (rng.below(2) == 0).then(|| (1 + rng.below(400_000)) as f64 / 4.0),
         status: if rng.below(2) == 0 { 1 } else { 0 },
+        preceding_job: (rng.below(4) == 0).then(|| rng.below(1 << 40)),
+        think_time: (rng.below(4) == 0).then(|| rng.below(400_000) as f64 / 4.0),
     }
 }
 
@@ -71,6 +73,140 @@ proptest! {
             seed, msg, at + 1
         );
     }
+
+    /// The lenient reader is total: garbage lines, `-1` sentinels, and
+    /// cancelled records never surface as errors — every line is either a
+    /// parsed job or a counted skip, and the two always partition the
+    /// record lines.
+    #[test]
+    fn lenient_reader_partitions_lines_into_jobs_and_counted_skips(seed in any::<u64>()) {
+        let mut rng = Rng(seed);
+        let jobs: Vec<SwfJob> = (0..1 + rng.below(20)).map(|_| arbitrary_job(&mut rng)).collect();
+        let mut lines: Vec<String> = to_swf(&jobs).lines().map(String::from).collect();
+        let garbage = [
+            "1 2 3",
+            "not numbers at all here x x x x x x x x",
+            "9 9 9 bogus 9 9 9 9 9 9 9",
+            // Cancelled before start: runtime -1, status 5.
+            "77 0 -1 -1 4 -1 -1 4 600 -1 5 -1 -1 -1 -1 -1 -1 -1",
+            // No processors at all.
+            "78 0 -1 60 -1 -1 -1 -1 -1 -1 1 -1 -1 -1 -1 -1 -1 -1",
+            // Runtime -1, no requested time to substitute.
+            "79 0 -1 -1 4 -1 -1 4 -1 -1 1 -1 -1 -1 -1 -1 -1 -1",
+        ];
+        let n_bad = 1 + rng.below(4) as usize;
+        for _ in 0..n_bad {
+            let bad = garbage[rng.below(garbage.len() as u64) as usize];
+            let at = rng.below(lines.len() as u64 + 1) as usize;
+            lines.insert(at, bad.to_string());
+        }
+        let text = lines.join("\n");
+        let mut reader = SwfReader::lenient(text.as_bytes());
+        let parsed: Vec<SwfJob> = reader.by_ref().map(|r| r.unwrap()).collect();
+        let record_lines = text
+            .lines()
+            .filter(|l| !l.trim().is_empty() && !l.trim_start().starts_with(';'))
+            .count() as u64;
+        prop_assert_eq!(
+            reader.parsed() + reader.skip_report().total(),
+            record_lines,
+            "seed {}: jobs + skips must cover every record line", seed
+        );
+        prop_assert_eq!(parsed.len() as u64, reader.parsed());
+        prop_assert_eq!(reader.skip_report().total(), n_bad as u64);
+        // Every original job survives untouched.
+        for job in &jobs {
+            prop_assert!(parsed.contains(job), "seed {}: job {} lost", seed, job.job_id);
+        }
+        // Skip example line numbers point at actual record lines.
+        for reason in SkipReason::ALL {
+            for &lineno in reader.skip_report().example_lines(reason) {
+                let line = text.lines().nth(lineno as usize - 1).unwrap_or("");
+                prop_assert!(
+                    garbage.contains(&line),
+                    "seed {}: {} line {} is `{}`, not an injected bad line",
+                    seed, reason, lineno, line
+                );
+            }
+        }
+    }
+}
+
+/// The malformed-trace fixture exercises every skip reason with known
+/// line numbers; the lenient reader's report is pinned exactly, and the
+/// strict parser rejects the file at its first bad line.
+#[test]
+fn malformed_fixture_skip_report_is_pinned() {
+    let dir = std::path::PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures");
+    let text = std::fs::read_to_string(dir.join("malformed-mixed.swf")).unwrap();
+
+    let mut reader = SwfReader::lenient(text.as_bytes());
+    let jobs: Vec<SwfJob> = reader.by_ref().map(|r| r.unwrap()).collect();
+    assert_eq!(
+        jobs.iter().map(|j| j.job_id).collect::<Vec<_>>(),
+        vec![1, 3, 6, 9],
+        "surviving jobs"
+    );
+    assert_eq!(reader.parsed(), 4);
+    let skips = reader.skip_report();
+    assert_eq!(skips.count(SkipReason::Malformed), 2);
+    assert_eq!(skips.count(SkipReason::MissingProcessors), 1);
+    assert_eq!(skips.count(SkipReason::MissingRuntime), 1);
+    assert_eq!(skips.count(SkipReason::CancelledBeforeStart), 1);
+    assert_eq!(skips.total(), 5);
+    assert_eq!(skips.example_lines(SkipReason::Malformed), &[7, 12]);
+    assert_eq!(skips.example_lines(SkipReason::MissingProcessors), &[9]);
+    assert_eq!(skips.example_lines(SkipReason::MissingRuntime), &[10]);
+    assert_eq!(skips.example_lines(SkipReason::CancelledBeforeStart), &[11]);
+    // Failed jobs (status 0) replay: they consumed their recorded time.
+    assert!(jobs.iter().any(|j| j.status == 0), "failed job 6 replays");
+    // Cancelled-but-ran jobs (status 5, runtime > 0) also replay.
+    assert!(
+        jobs.iter().any(|j| j.job_id == 9 && j.status == 5),
+        "cancelled job with recorded runtime replays"
+    );
+    // Job 3's missing runtime is substituted by its request.
+    assert_eq!(reader.runtime_substituted(), 1);
+    assert_eq!(jobs.iter().find(|j| j.job_id == 3).unwrap().runtime, 1800.0);
+    // Think-time/dependency columns survive on job 9.
+    let j9 = jobs.iter().find(|j| j.job_id == 9).unwrap();
+    assert_eq!(j9.preceding_job, Some(6));
+    assert_eq!(j9.think_time, Some(120.0));
+
+    // The strict parser refuses the same file at its first bad line.
+    let err = parse_swf(&text).expect_err("strict must reject");
+    assert!(err.to_string().contains("line 7"), "{err}");
+
+    // The rendered report names reasons and line numbers.
+    let rendered = skips.to_string();
+    assert!(
+        rendered.contains("malformed: 2 (lines 7, 12)"),
+        "{rendered}"
+    );
+    assert!(
+        rendered.contains("cancelled_before_start: 1 (line 11)"),
+        "{rendered}"
+    );
+}
+
+/// `-1` sentinel handling on the happy path: allocated processors fall
+/// back to requested, missing requested time stays `None`, and the
+/// optional trailing columns tolerate truncated 11-field records.
+#[test]
+fn sentinel_fixture_fields_resolve_per_pwa_conventions() {
+    let dir = std::path::PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures");
+    let text = std::fs::read_to_string(dir.join("sentinels.swf")).unwrap();
+    let jobs = parse_swf(&text).unwrap();
+    assert_eq!(jobs.len(), 3);
+    // Job 1: allocated -1 → requested 32.
+    assert_eq!(jobs[0].procs, 32);
+    // Job 2: truncated to the 11 required fields — optional columns None.
+    assert_eq!(jobs[1].preceding_job, None);
+    assert_eq!(jobs[1].think_time, None);
+    assert_eq!(jobs[1].requested_time, None);
+    // Job 3: full 18 columns with a dependency.
+    assert_eq!(jobs[2].preceding_job, Some(1));
+    assert_eq!(jobs[2].think_time, Some(30.0));
 }
 
 /// The fixture headers follow the PWA conventions (`; Field: value`
