@@ -13,10 +13,14 @@
 
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
 use std::sync::{mpsc, Arc, Mutex};
 use std::time::Instant;
 
-use elastisim::{report_fingerprint, Report};
+use elastisim::{report_fingerprint, FlightRecorder, Report};
+use elastisim_telemetry::log::{field, Logger};
+use elastisim_telemetry::{MetricsSnapshot, Telemetry};
+use serde::Value;
 
 use crate::cache::ResultCache;
 use crate::spec::RunSpec;
@@ -77,6 +81,15 @@ pub struct RunRecord {
     pub wall_seconds: f64,
     /// How the run ended.
     pub outcome: RunOutcome,
+    /// The run's telemetry snapshot, when the executor was configured
+    /// with [`Observability::collect_metrics`]. `None` for cache hits
+    /// (nothing executed) and for runs that died before a registry was
+    /// attached. Nondeterministic (wall-clock series); excluded from all
+    /// fingerprints.
+    pub metrics: Option<MetricsSnapshot>,
+    /// Path of the post-mortem dump, when a flight recorder was attached
+    /// and the run failed.
+    pub postmortem: Option<PathBuf>,
 }
 
 impl RunRecord {
@@ -123,6 +136,124 @@ pub enum CampaignEvent<'a> {
     RunFinished(&'a RunRecord),
 }
 
+/// Flight-recorder configuration for the executor.
+#[derive(Clone, Debug)]
+pub struct RecorderConfig {
+    /// Directory post-mortem dumps are written into (created on demand).
+    pub dir: PathBuf,
+    /// How many trailing [`elastisim::SimEvent`]s each run retains.
+    pub ring_capacity: usize,
+}
+
+impl Default for RecorderConfig {
+    fn default() -> Self {
+        RecorderConfig {
+            dir: PathBuf::from("."),
+            ring_capacity: elastisim::recorder::DEFAULT_RING_CAPACITY,
+        }
+    }
+}
+
+/// Observability options for an [`Executor`] — all off by default, and
+/// result-neutral when on: logging, per-run metrics, and the flight
+/// recorder never feed back into simulation decisions, so reports stay
+/// byte-identical (pinned by the simtest fingerprint oracles).
+#[derive(Clone, Debug, Default)]
+pub struct Observability {
+    /// Structured JSONL logger. Fields already bound on the handle
+    /// (campaign id, `rfp1-` fingerprint) carry into every record; the
+    /// executor additionally binds `worker`, `run_id`, `fingerprint`,
+    /// and `scheduler`.
+    pub logger: Logger,
+    /// Attach a per-run telemetry registry and keep its snapshot on the
+    /// [`RunRecord`], feeding campaign-level aggregation.
+    pub collect_metrics: bool,
+    /// Attach a flight recorder to every executed run and dump a
+    /// post-mortem JSON file when the run fails or panics.
+    pub recorder: Option<RecorderConfig>,
+}
+
+/// A finished campaign: id-ordered records plus metric aggregation.
+#[derive(Clone, Debug, Default)]
+pub struct CampaignResult {
+    /// Records merged ascending by spec id.
+    pub records: Vec<RunRecord>,
+}
+
+impl CampaignResult {
+    /// Per-scheduler summary aggregates ([`aggregate_by_scheduler`]).
+    pub fn aggregates(&self) -> Vec<SchedulerAggregate> {
+        aggregate_by_scheduler(&self.records)
+    }
+
+    /// The campaign-wide metrics snapshot: every per-run snapshot merged
+    /// (exact histogram merge, summed counters, peak gauges — see
+    /// [`MetricsSnapshot::merge`]) plus `campaign.*` series derived from
+    /// the records themselves, so the aggregate is populated even when
+    /// per-run collection was off:
+    ///
+    /// * counters `campaign.runs` / `.completed` / `.failed` /
+    ///   `.panicked` / `.cached`;
+    /// * histogram `campaign.run_wall_seconds` over executed runs;
+    /// * histogram `campaign.run_events_per_sec` (DES events per
+    ///   wall-clock second) over executed, completed runs.
+    pub fn merged_metrics(&self) -> MetricsSnapshot {
+        let mut out =
+            MetricsSnapshot::merged(self.records.iter().filter_map(|r| r.metrics.as_ref()));
+        out.merge(&derived_metrics(self.records.iter()));
+        out
+    }
+
+    /// [`merged_metrics`](Self::merged_metrics) restricted per scheduler,
+    /// sorted by scheduler name.
+    pub fn metrics_by_scheduler(&self) -> Vec<(String, MetricsSnapshot)> {
+        let mut by_sched: std::collections::BTreeMap<&str, Vec<&RunRecord>> =
+            std::collections::BTreeMap::new();
+        for record in &self.records {
+            by_sched.entry(&record.scheduler).or_default().push(record);
+        }
+        by_sched
+            .into_iter()
+            .map(|(scheduler, group)| {
+                let mut snap =
+                    MetricsSnapshot::merged(group.iter().filter_map(|r| r.metrics.as_ref()));
+                snap.merge(&derived_metrics(group.iter().copied()));
+                (scheduler.to_owned(), snap)
+            })
+            .collect()
+    }
+}
+
+/// `campaign.*` series computed from the records alone.
+fn derived_metrics<'a>(records: impl Iterator<Item = &'a RunRecord>) -> MetricsSnapshot {
+    let t = Telemetry::enabled();
+    for r in records {
+        t.counter_add("campaign.runs", 1);
+        match &r.outcome {
+            RunOutcome::Completed { .. } => t.counter_add("campaign.completed", 1),
+            RunOutcome::Failed(RunError::Panicked(_)) => {
+                t.counter_add("campaign.failed", 1);
+                t.counter_add("campaign.panicked", 1);
+            }
+            RunOutcome::Failed(_) => t.counter_add("campaign.failed", 1),
+        }
+        if r.cached {
+            t.counter_add("campaign.cached", 1);
+        } else {
+            t.observe("campaign.run_wall_seconds", r.wall_seconds);
+            if let Some(report) = r.report() {
+                if r.wall_seconds > 0.0 {
+                    t.observe(
+                        "campaign.run_events_per_sec",
+                        report.events as f64 / r.wall_seconds,
+                    );
+                }
+            }
+        }
+    }
+    t.snapshot()
+}
+
 /// Work-queue executor over an owned pool of `workers` threads.
 ///
 /// The pool is per-call: [`run_with`](Executor::run_with) spawns its
@@ -133,6 +264,7 @@ pub enum CampaignEvent<'a> {
 pub struct Executor {
     workers: usize,
     cache: Arc<ResultCache>,
+    obs: Observability,
 }
 
 impl Executor {
@@ -142,6 +274,7 @@ impl Executor {
         Executor {
             workers: workers.max(1),
             cache: Arc::new(ResultCache::new()),
+            obs: Observability::default(),
         }
     }
 
@@ -149,6 +282,18 @@ impl Executor {
     pub fn with_cache(mut self, cache: Arc<ResultCache>) -> Self {
         self.cache = cache;
         self
+    }
+
+    /// Enables observability (logging / per-run metrics / flight
+    /// recorder) for every campaign this executor runs.
+    pub fn with_observability(mut self, obs: Observability) -> Self {
+        self.obs = obs;
+        self
+    }
+
+    /// The executor's observability options.
+    pub fn observability(&self) -> &Observability {
+        &self.obs
     }
 
     /// The executor's result cache.
@@ -172,10 +317,25 @@ impl Executor {
     pub fn run_with(
         &self,
         specs: Vec<RunSpec>,
-        mut on_event: impl FnMut(&CampaignEvent),
+        on_event: impl FnMut(&CampaignEvent),
     ) -> Vec<RunRecord> {
+        self.run_campaign_with(specs, on_event).records
+    }
+
+    /// [`run_with`](Self::run_with) returning the full [`CampaignResult`]
+    /// with metric aggregation.
+    pub fn run_campaign(&self, specs: Vec<RunSpec>) -> CampaignResult {
+        self.run_campaign_with(specs, |_| {})
+    }
+
+    /// Runs the campaign and returns the full [`CampaignResult`].
+    pub fn run_campaign_with(
+        &self,
+        specs: Vec<RunSpec>,
+        mut on_event: impl FnMut(&CampaignEvent),
+    ) -> CampaignResult {
         if specs.is_empty() {
-            return Vec::new();
+            return CampaignResult::default();
         }
         let total = specs.len();
         let specs = Arc::new(specs);
@@ -188,25 +348,29 @@ impl Executor {
             let specs = Arc::clone(&specs);
             let queue = Arc::clone(&queue);
             let cache = Arc::clone(&self.cache);
+            let obs = self.obs.clone();
             let tx = tx.clone();
             let handle = std::thread::Builder::new()
                 .name(format!("campaign-worker-{w}"))
-                .spawn(move || loop {
-                    let next = {
-                        let mut q = queue.lock().unwrap_or_else(|p| p.into_inner());
-                        q.pop_front()
-                    };
-                    let Some(idx) = next else { break };
-                    let spec = &specs[idx];
-                    let _ = tx.send(WorkerMsg::Started {
-                        id: spec.id,
-                        label: spec.label.clone(),
-                    });
-                    let record = execute_one(spec, &cache);
-                    let _ = tx.send(WorkerMsg::Done {
-                        idx,
-                        record: Box::new(record),
-                    });
+                .spawn(move || {
+                    let wlog = obs.logger.with("worker", w);
+                    loop {
+                        let next = {
+                            let mut q = queue.lock().unwrap_or_else(|p| p.into_inner());
+                            q.pop_front()
+                        };
+                        let Some(idx) = next else { break };
+                        let spec = &specs[idx];
+                        let _ = tx.send(WorkerMsg::Started {
+                            id: spec.id,
+                            label: spec.label.clone(),
+                        });
+                        let record = execute_one(spec, &cache, &obs, &wlog);
+                        let _ = tx.send(WorkerMsg::Done {
+                            idx,
+                            record: Box::new(record),
+                        });
+                    }
                 })
                 .expect("spawning campaign worker");
             handles.push(handle);
@@ -249,12 +413,14 @@ impl Executor {
                         outcome: RunOutcome::Failed(RunError::Panicked(
                             "worker thread died before reporting".into(),
                         )),
+                        metrics: None,
+                        postmortem: None,
                     }
                 })
             })
             .collect();
         records.sort_by_key(|r| r.id);
-        records
+        CampaignResult { records }
     }
 }
 
@@ -266,10 +432,26 @@ enum WorkerMsg {
 /// Executes one spec on the current thread: cache lookup, then build +
 /// run under `catch_unwind` so a panicking scenario yields a structured
 /// error instead of unwinding through the pool.
-fn execute_one(spec: &RunSpec, cache: &ResultCache) -> RunRecord {
+///
+/// `wlog` is the worker-bound logger; the spec's run id, fingerprint,
+/// and scheduler are bound here so every downstream record carries them.
+fn execute_one(
+    spec: &RunSpec,
+    cache: &ResultCache,
+    obs: &Observability,
+    wlog: &Logger,
+) -> RunRecord {
     let scenario_fingerprint = spec.fingerprint();
     let start = Instant::now();
+    let rlog = if wlog.is_enabled() {
+        wlog.with("run_id", spec.id)
+            .with("fingerprint", scenario_fingerprint.as_str())
+            .with("scheduler", spec.scheduler.label())
+    } else {
+        Logger::disabled()
+    };
     if let Some(hit) = cache.get(&scenario_fingerprint) {
+        rlog.info("cache_hit", &[]);
         return RunRecord {
             id: spec.id,
             label: spec.label.clone(),
@@ -281,10 +463,37 @@ fn execute_one(spec: &RunSpec, cache: &ResultCache) -> RunRecord {
                 report: hit.report.clone(),
                 report_fingerprint: hit.report_fingerprint.clone(),
             },
+            metrics: None,
+            postmortem: None,
         };
     }
+    rlog.debug("run_executing", &[field("label", spec.label.as_str())]);
+
+    // Per-run instrumentation: the telemetry registry and the flight
+    // recorder are handles around `Arc` state, so both survive the
+    // simulation being consumed by `try_run` — and survive the panic
+    // that makes them interesting.
+    // Engine telemetry is attached only when someone will read it: the
+    // metrics collector, or a flight-recorder dump (post-mortems embed a
+    // snapshot). Logger-only campaigns skip it entirely.
+    let instrument = obs.collect_metrics || obs.recorder.is_some();
+    let telemetry = if instrument {
+        Telemetry::enabled()
+    } else {
+        Telemetry::disabled()
+    };
+    let recorder = obs
+        .recorder
+        .as_ref()
+        .map(|cfg| FlightRecorder::new(cfg.ring_capacity));
     let result = catch_unwind(AssertUnwindSafe(|| -> Result<Report, RunError> {
-        let sim = spec.build().map_err(RunError::Setup)?;
+        let mut sim = spec.build().map_err(RunError::Setup)?;
+        if instrument {
+            sim.set_telemetry(telemetry.clone());
+        }
+        if let Some(rec) = &recorder {
+            sim.add_observer(rec.observer());
+        }
         sim.try_run().map_err(|e| RunError::Sim(e.to_string()))
     }));
     let outcome = match result {
@@ -303,14 +512,102 @@ fn execute_one(spec: &RunSpec, cache: &ResultCache) -> RunRecord {
         Ok(Err(e)) => RunOutcome::Failed(e),
         Err(payload) => RunOutcome::Failed(RunError::Panicked(panic_message(payload))),
     };
+    let wall_seconds = start.elapsed().as_secs_f64();
+    let metrics = if obs.collect_metrics {
+        Some(telemetry.snapshot())
+    } else {
+        None
+    };
+    let postmortem = match &outcome {
+        RunOutcome::Failed(err) => write_postmortem(
+            spec,
+            &scenario_fingerprint,
+            err,
+            obs,
+            &recorder,
+            &telemetry,
+            &rlog,
+        ),
+        RunOutcome::Completed {
+            report_fingerprint, ..
+        } => {
+            rlog.info(
+                "run_finished",
+                &[
+                    field("report_fingerprint", report_fingerprint.as_str()),
+                    field("wall_seconds", wall_seconds),
+                ],
+            );
+            None
+        }
+    };
     RunRecord {
         id: spec.id,
         label: spec.label.clone(),
         scheduler: spec.scheduler.label().to_owned(),
         scenario_fingerprint,
         cached: false,
-        wall_seconds: start.elapsed().as_secs_f64(),
+        wall_seconds,
         outcome,
+        metrics,
+        postmortem,
+    }
+}
+
+/// Logs a run failure and, when a flight recorder is attached, dumps the
+/// post-mortem JSON. Dump failures are logged and swallowed — diagnostics
+/// must never escalate a run failure into a campaign failure.
+fn write_postmortem(
+    spec: &RunSpec,
+    scenario_fingerprint: &str,
+    err: &RunError,
+    obs: &Observability,
+    recorder: &Option<FlightRecorder>,
+    telemetry: &Telemetry,
+    rlog: &Logger,
+) -> Option<PathBuf> {
+    let reason = match err {
+        RunError::Setup(_) => "setup_error",
+        RunError::Sim(_) => "sim_error",
+        RunError::Panicked(_) => "panicked",
+    };
+    rlog.error(
+        "run_failed",
+        &[field("reason", reason), field("message", err.to_string())],
+    );
+    let (rec, cfg) = match (recorder, &obs.recorder) {
+        (Some(rec), Some(cfg)) => (rec, cfg),
+        _ => return None,
+    };
+    let json = rec.postmortem_json(
+        reason,
+        &err.to_string(),
+        &[
+            ("run_id", Value::Num(spec.id as f64)),
+            ("label", Value::Str(spec.label.clone())),
+            ("scheduler", Value::Str(spec.scheduler.label().to_owned())),
+            ("fingerprint", Value::Str(scenario_fingerprint.to_owned())),
+        ],
+        &telemetry.snapshot(),
+    );
+    let path = cfg.dir.join(format!(
+        "postmortem-run{}-{scenario_fingerprint}.json",
+        spec.id
+    ));
+    let written =
+        std::fs::create_dir_all(&cfg.dir).and_then(|()| std::fs::write(&path, json.as_bytes()));
+    match written {
+        Ok(()) => {
+            rlog.error(
+                "postmortem_written",
+                &[field("path", path.display().to_string())],
+            );
+            Some(path)
+        }
+        Err(e) => {
+            rlog.error("postmortem_write_failed", &[field("error", e.to_string())]);
+            None
+        }
     }
 }
 

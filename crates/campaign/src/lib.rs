@@ -42,8 +42,8 @@ pub mod spec;
 
 pub use cache::{CachedRun, ResultCache};
 pub use executor::{
-    aggregate_by_scheduler, CampaignEvent, Executor, RunError, RunOutcome, RunRecord,
-    SchedulerAggregate,
+    aggregate_by_scheduler, CampaignEvent, CampaignResult, Executor, Observability, RecorderConfig,
+    RunError, RunOutcome, RunRecord, SchedulerAggregate,
 };
 pub use replay::{combined_fingerprint, ReplayCampaign, ReplaySpec};
 pub use serve::{campaign_specs, serve, ServeOptions, ServeStats};

@@ -172,7 +172,9 @@ pub enum Msg {
         /// Per-scheduler aggregate summaries.
         summary: Vec<SchedulerSummary>,
     },
-    /// Daemon counters.
+    /// Daemon lifetime metrics. The four original counters predate the
+    /// observability layer; everything after is `#[serde(default)]` so
+    /// replies from older daemons still parse.
     Stats {
         /// Campaign commands served.
         campaigns: u64,
@@ -182,9 +184,69 @@ pub enum Msg {
         cache_entries: usize,
         /// Cache hits since startup.
         cache_hits: u64,
+        /// Cache misses since startup.
+        #[serde(default)]
+        cache_misses: u64,
+        /// Runs that failed (any [`crate::RunError`]).
+        #[serde(default)]
+        runs_failed: u64,
+        /// Runs that failed by panicking (subset of `runs_failed`).
+        #[serde(default)]
+        runs_panicked: u64,
+        /// Wall-clock seconds since the daemon started. Nondeterministic.
+        #[serde(default)]
+        uptime_seconds: f64,
+        /// Summed wall-clock seconds workers spent executing runs.
+        #[serde(default)]
+        worker_busy_seconds: f64,
+        /// Summed wall-clock seconds workers sat idle inside campaigns
+        /// (campaign wall × workers − busy).
+        #[serde(default)]
+        worker_idle_seconds: f64,
+        /// Digest of per-run wall-clock seconds (executed runs only).
+        #[serde(default)]
+        run_wall_seconds: HistogramStats,
+        /// Digest of per-run DES events per wall-clock second.
+        #[serde(default)]
+        run_events_per_sec: HistogramStats,
     },
     /// Acknowledges `shutdown`; the daemon exits after writing it.
     ShuttingDown,
+}
+
+/// Wire digest of one histogram, the quantile slice of
+/// [`elastisim_telemetry::HistogramSummary`] (bucket detail stays in the
+/// `--metrics-out` snapshot / Prometheus exposition).
+#[derive(Clone, PartialEq, Debug, Default, Serialize, Deserialize)]
+pub struct HistogramStats {
+    /// Number of observations.
+    pub count: u64,
+    /// Exact sum.
+    pub sum: f64,
+    /// Exact minimum (0 when empty).
+    pub min: f64,
+    /// Exact maximum (0 when empty).
+    pub max: f64,
+    /// Approximate median.
+    pub p50: f64,
+    /// Approximate 95th percentile.
+    pub p95: f64,
+    /// Approximate 99th percentile.
+    pub p99: f64,
+}
+
+impl From<&elastisim_telemetry::HistogramSummary> for HistogramStats {
+    fn from(h: &elastisim_telemetry::HistogramSummary) -> Self {
+        HistogramStats {
+            count: h.count,
+            sum: h.sum,
+            min: h.min,
+            max: h.max,
+            p50: h.p50,
+            p95: h.p95,
+            p99: h.p99,
+        }
+    }
 }
 
 /// Per-scheduler aggregate in `campaign_done` — wire form of
@@ -367,12 +429,51 @@ mod tests {
                 runs: 400,
                 cache_entries: 200,
                 cache_hits: 200,
+                cache_misses: 200,
+                runs_failed: 3,
+                runs_panicked: 1,
+                uptime_seconds: 12.5,
+                worker_busy_seconds: 8.0,
+                worker_idle_seconds: 4.0,
+                run_wall_seconds: HistogramStats {
+                    count: 200,
+                    sum: 8.0,
+                    min: 0.001,
+                    max: 0.5,
+                    p50: 0.02,
+                    p95: 0.2,
+                    p99: 0.4,
+                },
+                run_events_per_sec: HistogramStats::default(),
             },
             Msg::ShuttingDown,
         ] {
             let reply = Reply::new(9, msg);
             let back = Reply::from_json(&reply.to_json()).unwrap();
             assert_eq!(reply, back);
+        }
+    }
+
+    #[test]
+    fn stats_without_observability_fields_still_parses() {
+        // Compat: a v1 reply from a pre-observability daemon carries only
+        // the original four counters; the new fields default.
+        let old = r#"{"protocol":1,"seq":4,"msg":"stats","campaigns":2,"runs":400,"cache_entries":200,"cache_hits":200}"#;
+        let reply = Reply::from_json(old).unwrap();
+        match reply.msg {
+            Msg::Stats {
+                campaigns,
+                cache_misses,
+                runs_failed,
+                run_wall_seconds,
+                ..
+            } => {
+                assert_eq!(campaigns, 2);
+                assert_eq!(cache_misses, 0);
+                assert_eq!(runs_failed, 0);
+                assert_eq!(run_wall_seconds, HistogramStats::default());
+            }
+            other => panic!("expected stats, got {other:?}"),
         }
     }
 

@@ -6,27 +6,45 @@
 //! sees progress live. One [`ResultCache`] persists across campaigns for
 //! the life of the daemon: resubmitting a campaign answers every run
 //! from cache without re-executing.
+//!
+//! The daemon also keeps a **lifetime metrics registry**: cache
+//! hits/misses, per-run wall-time and events/sec histograms, worker
+//! busy/idle seconds, and panic/error counts, merged with every
+//! campaign's per-run telemetry. It surfaces through three channels —
+//! the deepened `stats` protocol reply, a JSON snapshot rewritten after
+//! every campaign (`--metrics-out`), and a Prometheus text exposition
+//! file (`--prom-out`) any scraper's textfile collector can pick up.
 
 use std::io::{BufRead, Write};
+use std::path::{Path, PathBuf};
 use std::sync::Arc;
 use std::time::Instant;
 
+use elastisim_telemetry::log::field;
+use elastisim_telemetry::{prom, MetricsSnapshot, Telemetry};
+
 use crate::cache::ResultCache;
-use crate::executor::{aggregate_by_scheduler, CampaignEvent, Executor, RunOutcome, RunRecord};
-use crate::protocol::{Command, Msg, Reply, Request, SeedRange};
+use crate::executor::{
+    aggregate_by_scheduler, CampaignEvent, Executor, Observability, RunError, RunOutcome, RunRecord,
+};
+use crate::protocol::{Command, HistogramStats, Msg, Reply, Request, SeedRange};
 use crate::spec::RunSpec;
 
 /// Daemon configuration.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Debug, Default)]
 pub struct ServeOptions {
-    /// Default campaign concurrency (overridable per request).
+    /// Default campaign concurrency (overridable per request); clamped
+    /// to at least 1.
     pub workers: usize,
-}
-
-impl Default for ServeOptions {
-    fn default() -> Self {
-        ServeOptions { workers: 1 }
-    }
+    /// Observability for the campaign executors (logger, per-run
+    /// metrics, flight recorder) and the daemon loop's own log records.
+    pub observability: Observability,
+    /// Rewrite the daemon's merged metrics snapshot (JSON) here after
+    /// every campaign and on exit.
+    pub metrics_out: Option<PathBuf>,
+    /// Rewrite the Prometheus text exposition here after every campaign
+    /// and on exit.
+    pub prom_out: Option<PathBuf>,
 }
 
 /// Counters the daemon reports via the `stats` command and returns when
@@ -37,6 +55,10 @@ pub struct ServeStats {
     pub campaigns: u64,
     /// Total runs executed or answered from cache.
     pub runs: u64,
+    /// Runs that failed.
+    pub runs_failed: u64,
+    /// Runs that failed by panicking (subset of `runs_failed`).
+    pub runs_panicked: u64,
 }
 
 /// Runs the daemon loop until the reader is exhausted or a `shutdown`
@@ -48,14 +70,26 @@ pub fn serve(
 ) -> std::io::Result<ServeStats> {
     let cache = Arc::new(ResultCache::new());
     let mut stats = ServeStats::default();
+    // Lifetime registry + accumulator of per-run/campaign telemetry.
+    // The registry holds the daemon's own `serve.*` series; run-level
+    // snapshots (engine/flow/des metrics, `campaign.*` aggregates) merge
+    // into `run_metrics` campaign by campaign.
+    let registry = Telemetry::enabled();
+    let mut run_metrics = MetricsSnapshot::default();
+    let started = Instant::now();
+    let log = &opts.observability.logger;
+    log.info("serve_started", &[field("workers", opts.workers.max(1))]);
     for line in input.lines() {
         let line = line?;
         if line.trim().is_empty() {
             continue;
         }
+        registry.counter_add("serve.requests", 1);
         let request = match Request::from_json(&line) {
             Ok(request) => request,
             Err(e) => {
+                registry.counter_add("serve.protocol_errors", 1);
+                log.warn("bad_request", &[field("error", e.to_string())]);
                 // No seq to echo for a line that never parsed.
                 write_reply(
                     &mut output,
@@ -70,17 +104,36 @@ pub fn serve(
         let seq = request.seq;
         match request.command {
             Command::Ping => write_reply(&mut output, seq, Msg::Pong)?,
-            Command::Stats => write_reply(
-                &mut output,
-                seq,
-                Msg::Stats {
-                    campaigns: stats.campaigns,
-                    runs: stats.runs,
-                    cache_entries: cache.len(),
-                    cache_hits: cache.hits(),
-                },
-            )?,
+            Command::Stats => {
+                let snap = lifetime_snapshot(&registry, &run_metrics, &stats, started);
+                log.info("stats_served", &[field("seq", seq)]);
+                write_reply(
+                    &mut output,
+                    seq,
+                    Msg::Stats {
+                        campaigns: stats.campaigns,
+                        runs: stats.runs,
+                        cache_entries: cache.len(),
+                        cache_hits: cache.hits(),
+                        cache_misses: cache.misses(),
+                        runs_failed: stats.runs_failed,
+                        runs_panicked: stats.runs_panicked,
+                        uptime_seconds: started.elapsed().as_secs_f64(),
+                        worker_busy_seconds: snap.gauge("serve.worker_busy_seconds").unwrap_or(0.0),
+                        worker_idle_seconds: snap.gauge("serve.worker_idle_seconds").unwrap_or(0.0),
+                        run_wall_seconds: snap
+                            .histogram("serve.run_wall_seconds")
+                            .map(HistogramStats::from)
+                            .unwrap_or_default(),
+                        run_events_per_sec: snap
+                            .histogram("serve.run_events_per_sec")
+                            .map(HistogramStats::from)
+                            .unwrap_or_default(),
+                    },
+                )?;
+            }
             Command::Shutdown => {
+                log.info("shutdown", &[field("seq", seq)]);
                 write_reply(&mut output, seq, Msg::ShuttingDown)?;
                 break;
             }
@@ -92,17 +145,34 @@ pub fn serve(
                 let specs = match campaign_specs(seeds, &schedulers) {
                     Ok(specs) => specs,
                     Err(message) => {
+                        registry.counter_add("serve.rejected_campaigns", 1);
+                        log.warn("campaign_rejected", &[field("error", message.as_str())]);
                         write_reply(&mut output, seq, Msg::Error { message })?;
                         continue;
                     }
                 };
                 let runs = specs.len();
+                let campaign_id = format!("serve-seq{seq}-c{}", stats.campaigns);
+                log.info(
+                    "campaign_accepted",
+                    &[field("campaign", campaign_id.as_str()), field("runs", runs)],
+                );
                 write_reply(&mut output, seq, Msg::CampaignAccepted { runs })?;
-                let executor =
-                    Executor::new(workers.unwrap_or(opts.workers)).with_cache(Arc::clone(&cache));
+                let used_workers = workers.unwrap_or(opts.workers).max(1).min(runs.max(1));
+                let mut obs = opts.observability.clone();
+                obs.logger = obs.logger.with("campaign", campaign_id.as_str());
+                let executor = Executor::new(used_workers)
+                    .with_cache(Arc::clone(&cache))
+                    .with_observability(obs);
                 let start = Instant::now();
                 let mut stream_error = None;
-                let records = executor.run_with(specs, |event| {
+                let mut in_flight = runs;
+                registry.gauge_set("serve.queue_depth", in_flight as f64);
+                let result = executor.run_campaign_with(specs, |event| {
+                    if let CampaignEvent::RunFinished(_) = event {
+                        in_flight -= 1;
+                        registry.gauge_set("serve.queue_depth", in_flight as f64);
+                    }
                     if stream_error.is_some() {
                         return;
                     }
@@ -120,9 +190,23 @@ pub fn serve(
                 if let Some(e) = stream_error {
                     return Err(e);
                 }
+                let wall = start.elapsed().as_secs_f64();
+                let records = &result.records;
                 stats.campaigns += 1;
                 stats.runs += records.len() as u64;
-                let summary = aggregate_by_scheduler(&records)
+                observe_campaign(&registry, records, wall, used_workers, &mut stats);
+                run_metrics.merge(&result.merged_metrics());
+                let failed = records.iter().filter(|r| r.error().is_some()).count();
+                log.info(
+                    "campaign_done",
+                    &[
+                        field("campaign", campaign_id.as_str()),
+                        field("runs", runs),
+                        field("failed", failed),
+                        field("wall_seconds", wall),
+                    ],
+                );
+                let summary = aggregate_by_scheduler(records)
                     .iter()
                     .map(Into::into)
                     .collect();
@@ -131,16 +215,132 @@ pub fn serve(
                     seq,
                     Msg::CampaignDone {
                         runs,
-                        failed: records.iter().filter(|r| r.error().is_some()).count(),
+                        failed,
                         cache_hits: records.iter().filter(|r| r.cached).count(),
-                        wall_seconds: start.elapsed().as_secs_f64(),
+                        wall_seconds: wall,
                         summary,
                     },
                 )?;
+                write_metric_files(
+                    opts,
+                    &lifetime_snapshot(&registry, &run_metrics, &stats, started),
+                );
             }
         }
     }
+    write_metric_files(
+        opts,
+        &lifetime_snapshot(&registry, &run_metrics, &stats, started),
+    );
+    log.info(
+        "serve_stopped",
+        &[
+            field("campaigns", stats.campaigns),
+            field("runs", stats.runs),
+        ],
+    );
     Ok(stats)
+}
+
+/// The daemon's merged lifetime snapshot: the `serve.*` registry, the
+/// accumulated run/campaign metrics, and point-in-time cache/uptime
+/// gauges refreshed on the registry just before snapshotting.
+fn lifetime_snapshot(
+    registry: &Telemetry,
+    run_metrics: &MetricsSnapshot,
+    stats: &ServeStats,
+    started: Instant,
+) -> MetricsSnapshot {
+    registry.gauge_set("serve.uptime_seconds", started.elapsed().as_secs_f64());
+    registry.gauge_set("serve.campaigns", stats.campaigns as f64);
+    let mut snap = registry.snapshot();
+    snap.merge(run_metrics);
+    snap
+}
+
+/// Folds one finished campaign into the lifetime registry and counters.
+fn observe_campaign(
+    registry: &Telemetry,
+    records: &[RunRecord],
+    wall: f64,
+    workers: usize,
+    stats: &mut ServeStats,
+) {
+    let mut busy = 0.0;
+    for record in records {
+        registry.counter_add("serve.runs", 1);
+        busy += record.wall_seconds;
+        match &record.outcome {
+            RunOutcome::Completed { report, .. } => {
+                if !record.cached {
+                    registry.observe("serve.run_wall_seconds", record.wall_seconds);
+                    if record.wall_seconds > 0.0 {
+                        registry.observe(
+                            "serve.run_events_per_sec",
+                            report.events as f64 / record.wall_seconds,
+                        );
+                    }
+                }
+            }
+            RunOutcome::Failed(e) => {
+                stats.runs_failed += 1;
+                registry.counter_add("serve.runs_failed", 1);
+                if matches!(e, RunError::Panicked(_)) {
+                    stats.runs_panicked += 1;
+                    registry.counter_add("serve.runs_panicked", 1);
+                }
+            }
+        }
+        if record.cached {
+            registry.counter_add("serve.runs_cached", 1);
+        }
+    }
+    registry.observe("serve.campaign_wall_seconds", wall);
+    // Busy = summed per-run worker time; idle = the rest of the pool's
+    // wall-clock inside campaigns. Accumulated across campaigns via the
+    // monotone gauges below (gauges merge by max, so the latest — and
+    // largest — value wins in any downstream merge).
+    let idle = (wall * workers as f64 - busy).max(0.0);
+    let busy_total = registry
+        .snapshot()
+        .gauge("serve.worker_busy_seconds")
+        .unwrap_or(0.0)
+        + busy;
+    let idle_total = registry
+        .snapshot()
+        .gauge("serve.worker_idle_seconds")
+        .unwrap_or(0.0)
+        + idle;
+    registry.gauge_set("serve.worker_busy_seconds", busy_total);
+    registry.gauge_set("serve.worker_idle_seconds", idle_total);
+}
+
+/// Rewrites `--metrics-out` (JSON) and `--prom-out` (Prometheus text).
+/// Best-effort: metric files must never take the daemon down.
+fn write_metric_files(opts: &ServeOptions, snapshot: &MetricsSnapshot) {
+    if let Some(path) = &opts.metrics_out {
+        let json = serde_json::to_string_pretty(snapshot).expect("snapshot serializes");
+        if let Err(e) = atomic_write(path, json.as_bytes()) {
+            opts.observability
+                .logger
+                .error("metrics_out_failed", &[field("error", e.to_string())]);
+        }
+    }
+    if let Some(path) = &opts.prom_out {
+        let text = prom::render(snapshot);
+        if let Err(e) = atomic_write(path, text.as_bytes()) {
+            opts.observability
+                .logger
+                .error("prom_out_failed", &[field("error", e.to_string())]);
+        }
+    }
+}
+
+/// Write-then-rename so scrapers never observe a torn file.
+fn atomic_write(path: &Path, bytes: &[u8]) -> std::io::Result<()> {
+    let tmp = path.with_extension("tmp");
+    std::fs::write(&tmp, bytes)?;
+    std::fs::rename(&tmp, path)
 }
 
 /// Expands a campaign command into id-ordered specs: the seed range is
@@ -272,7 +472,8 @@ mod tests {
             stats,
             ServeStats {
                 campaigns: 1,
-                runs: 2
+                runs: 2,
+                ..ServeStats::default()
             }
         );
     }

@@ -3,14 +3,56 @@
 //! long-running JSON-lines daemon).
 
 use std::fs;
+use std::path::PathBuf;
 
 use elastisim_campaign::protocol::SeedRange;
 use elastisim_campaign::{
-    aggregate_by_scheduler, campaign_specs, serve, CampaignEvent, Executor, RunRecord, ServeOptions,
+    aggregate_by_scheduler, campaign_specs, serve, CampaignEvent, Executor, Observability,
+    RecorderConfig, RunRecord, ServeOptions,
 };
+use elastisim_telemetry::{prom, MetricsSnapshot};
 
 use crate::args::{Args, UsageError};
 use crate::commands::CliError;
+
+/// Builds the executor observability options shared by `sweep`, `serve`,
+/// and `replay`: `--log-json PATH` opens a structured JSONL log (level
+/// from `ELASTISIM_LOG_LEVEL`, default info; falling back to the
+/// `ELASTISIM_LOG` env pair when the flag is absent), `--flight-recorder
+/// DIR` arms the post-mortem ring buffer, and `collect_metrics` is set
+/// by the caller when an output will consume per-run snapshots.
+pub(crate) fn observability_from_args(
+    args: &Args,
+    collect_metrics: bool,
+) -> Result<Observability, CliError> {
+    let logger = crate::commands::logger_from_args(args)?;
+    let recorder = args.get("flight-recorder").map(|dir| RecorderConfig {
+        dir: PathBuf::from(dir),
+        ..RecorderConfig::default()
+    });
+    Ok(Observability {
+        logger,
+        collect_metrics,
+        recorder,
+    })
+}
+
+/// Writes the merged campaign snapshot to `--metrics-out` (pretty JSON)
+/// and/or `--prom-out` (Prometheus text exposition).
+pub(crate) fn write_campaign_metrics(
+    args: &Args,
+    snapshot: &MetricsSnapshot,
+) -> Result<(), CliError> {
+    if let Some(path) = args.get("metrics-out") {
+        let json = serde_json::to_string_pretty(snapshot)
+            .map_err(|e| CliError::Data(format!("serializing metrics: {e}")))?;
+        fs::write(path, json + "\n").map_err(|e| CliError::Io(path.into(), e))?;
+    }
+    if let Some(path) = args.get("prom-out") {
+        fs::write(path, prom::render(snapshot)).map_err(|e| CliError::Io(path.into(), e))?;
+    }
+    Ok(())
+}
 
 /// Parses `--seeds A..B` (half-open) or a single seed `N` (meaning
 /// `N..N+1`).
@@ -129,6 +171,10 @@ pub fn cmd_sweep(args: &Args) -> Result<String, CliError> {
         "solver-threads",
         "records",
         "progress",
+        "metrics-out",
+        "prom-out",
+        "log-json",
+        "flight-recorder",
     ])?;
     let seeds = parse_seed_range(args.require("seeds")?)?;
     let schedulers: Vec<String> = args
@@ -164,8 +210,13 @@ pub fn cmd_sweep(args: &Args) -> Result<String, CliError> {
     }
     let total = specs.len();
 
+    // Per-run metric collection only when an aggregate output will
+    // consume it — the snapshots are wall-clock data, never fingerprinted.
+    let collect = args.get("metrics-out").is_some() || args.get("prom-out").is_some();
+    let obs = observability_from_args(args, collect)?;
+    let executor = Executor::new(workers).with_observability(obs);
     let start = std::time::Instant::now();
-    let records = Executor::new(workers).run_with(specs, |event| {
+    let result = executor.run_campaign_with(specs, |event| {
         if !progress {
             return;
         }
@@ -182,6 +233,10 @@ pub fn cmd_sweep(args: &Args) -> Result<String, CliError> {
         }
     });
     let wall_seconds = start.elapsed().as_secs_f64();
+    if collect {
+        write_campaign_metrics(args, &result.merged_metrics())?;
+    }
+    let records = result.records;
 
     if let Some(path) = args.get("records") {
         let mut lines = String::with_capacity(records.len() * 128);
@@ -193,6 +248,16 @@ pub fn cmd_sweep(args: &Args) -> Result<String, CliError> {
     }
 
     let mut table = render_table(&records, workers, wall_seconds);
+    let cache = executor.cache();
+    table.push_str(&format!(
+        "result cache: {} hit{}, {} miss{}, {} entr{}\n",
+        cache.hits(),
+        if cache.hits() == 1 { "" } else { "s" },
+        cache.misses(),
+        if cache.misses() == 1 { "" } else { "es" },
+        cache.len(),
+        if cache.len() == 1 { "y" } else { "ies" },
+    ));
     if let (Some(requested), Some(effective)) = (solver_threads, effective_solver) {
         if effective < requested {
             table.push_str(&format!(
@@ -225,9 +290,18 @@ pub fn cmd_sweep(args: &Args) -> Result<String, CliError> {
 /// `elastisim serve`: the stdin/stdout campaign daemon. Blocks until
 /// stdin closes or a `shutdown` command arrives.
 pub fn cmd_serve(args: &Args) -> Result<String, CliError> {
-    args.expect_only(&["workers"])?;
+    args.expect_only(&[
+        "workers",
+        "metrics-out",
+        "prom-out",
+        "log-json",
+        "flight-recorder",
+    ])?;
     let opts = ServeOptions {
         workers: parse_workers(args)?,
+        observability: observability_from_args(args, true)?,
+        metrics_out: args.get("metrics-out").map(PathBuf::from),
+        prom_out: args.get("prom-out").map(PathBuf::from),
     };
     let stdin = std::io::stdin();
     let stdout = std::io::stdout();
@@ -295,6 +369,79 @@ mod tests {
             };
             assert!(m.iter().any(|(k, _)| k == "fingerprint"));
             assert!(m.iter().any(|(k, _)| k == "makespan"));
+        }
+        fs::remove_dir_all(dir).unwrap();
+    }
+
+    #[test]
+    fn sweep_writes_campaign_metrics_prom_and_log() {
+        let dir = std::env::temp_dir().join(format!("elastisim-sweep-obs-{}", std::process::id()));
+        fs::create_dir_all(&dir).unwrap();
+        let metrics = dir.join("metrics.json");
+        let prom = dir.join("metrics.prom");
+        let log = dir.join("log.jsonl");
+        let args = Args::parse([
+            "sweep",
+            "--seeds",
+            "0..2",
+            "--schedulers",
+            "fcfs",
+            "--metrics-out",
+            metrics.to_str().unwrap(),
+            "--prom-out",
+            prom.to_str().unwrap(),
+            "--log-json",
+            log.to_str().unwrap(),
+        ])
+        .unwrap();
+        let table = cmd_sweep(&args).unwrap();
+        assert!(table.contains("result cache:"), "{table}");
+
+        // The merged snapshot carries both derived campaign series and
+        // rolled-up per-run engine counters.
+        let text = fs::read_to_string(&metrics).unwrap();
+        let serde::Value::Map(doc) = serde_json::parse_value(&text).unwrap() else {
+            panic!("metrics not an object");
+        };
+        let serde::Value::Map(counters) = &doc
+            .iter()
+            .find(|(k, _)| k == "counters")
+            .expect("counters")
+            .1
+        else {
+            panic!("counters not a map");
+        };
+        let count = |name: &str| -> f64 {
+            match counters.iter().find(|(k, _)| k == name) {
+                Some((_, serde::Value::Num(n))) => *n,
+                other => panic!("{name}: {other:?}"),
+            }
+        };
+        assert_eq!(count("campaign.runs"), 2.0);
+        assert_eq!(count("campaign.completed"), 2.0);
+        assert!(count("des.events_delivered") > 0.0);
+
+        // The Prometheus exposition parses as TYPE + sample lines.
+        let prom_text = fs::read_to_string(&prom).unwrap();
+        assert!(
+            prom_text.contains("# TYPE elastisim_campaign_runs counter"),
+            "{prom_text}"
+        );
+        assert!(
+            prom_text.contains("elastisim_campaign_run_wall_seconds_bucket"),
+            "{prom_text}"
+        );
+        assert!(prom_text.contains("le=\"+Inf\""), "{prom_text}");
+
+        // Structured log: every line is valid JSON carrying run context.
+        let log_text = fs::read_to_string(&log).unwrap();
+        assert!(
+            log_text.contains("\"event\":\"run_finished\""),
+            "{log_text}"
+        );
+        assert!(log_text.contains("\"run_id\":"), "{log_text}");
+        for line in log_text.lines() {
+            serde_json::parse_value(line).expect("valid log JSONL");
         }
         fs::remove_dir_all(dir).unwrap();
     }

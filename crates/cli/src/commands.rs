@@ -2,18 +2,37 @@
 //! without spawning processes.
 
 use std::fs;
-use std::path::Path;
+use std::path::{Path, PathBuf};
 
 use elastisim::{
-    gantt_csv, jobs_csv, utilization_csv, ChromeTraceWriter, EventTraceWriter, InvariantChecker,
-    ReconfigCost, Report, SimConfig, Simulation, TimedObserver,
+    gantt_csv, jobs_csv, utilization_csv, ChromeTraceWriter, EventTraceWriter, FlightRecorder,
+    InvariantChecker, ReconfigCost, Report, SimConfig, Simulation, TimedObserver,
 };
 use elastisim_platform::{NodeSpec, PlatformSpec};
 use elastisim_sched::ExternalProcess;
+use elastisim_telemetry::log::{field, Level, Logger};
 use elastisim_telemetry::Telemetry;
 use elastisim_workload::{parse_swf, ArrivalProcess, JobSpec, SizeDistribution, WorkloadConfig};
+use serde::Value;
 
 use crate::args::{Args, UsageError};
+
+/// Opens the structured JSONL logger for a command: `--log-json PATH`
+/// (level from `ELASTISIM_LOG_LEVEL`, default info), else the
+/// `ELASTISIM_LOG` / `ELASTISIM_LOG_LEVEL` environment pair, else a
+/// disabled handle whose every call is one branch.
+pub(crate) fn logger_from_args(args: &Args) -> Result<Logger, CliError> {
+    match args.get("log-json") {
+        Some(path) => {
+            let min = std::env::var("ELASTISIM_LOG_LEVEL")
+                .ok()
+                .and_then(|s| Level::parse(&s))
+                .unwrap_or(Level::Info);
+            Logger::create(Path::new(path), min).map_err(|e| CliError::Io(path.into(), e))
+        }
+        None => Logger::from_env().map_err(|e| CliError::Io("ELASTISIM_LOG".into(), e)),
+    }
+}
 
 /// Top-level error for CLI commands.
 #[derive(Debug)]
@@ -61,18 +80,23 @@ USAGE:
                       [--seed N] [--check-invariants]
                       [--trace-events FILE] [--chrome-trace FILE]
                       [--metrics-out FILE] [--progress [SECS]]
-                      [--solver-threads N] [--out DIR]
+                      [--solver-threads N] [--log-json FILE]
+                      [--flight-recorder DIR] [--out DIR]
   elastisim replay    --swf trace.swf [--malleable-frac F] [--seed S]
                       [--moldable-frac M] [--scaling-model linear|amdahl[:S]]
                       [--schedulers NAME,NAME,...] [--nodes N]
                       [--procs-per-node N] [--interval S] [--workers N]
                       [--convert-only] [--records FILE] [--report-out FILE]
                       [--check FILE] [--markdown] [--metrics-out FILE]
-                      [--progress]
+                      [--prom-out FILE] [--log-json FILE]
+                      [--flight-recorder DIR] [--progress]
   elastisim sweep     --seeds A..B [--schedulers NAME,NAME,...]
                       [--workers N] [--solver-threads N]
-                      [--records FILE] [--progress]
-  elastisim serve     [--workers N]
+                      [--records FILE] [--metrics-out FILE]
+                      [--prom-out FILE] [--log-json FILE]
+                      [--flight-recorder DIR] [--progress]
+  elastisim serve     [--workers N] [--metrics-out FILE] [--prom-out FILE]
+                      [--log-json FILE] [--flight-recorder DIR]
   elastisim schedulers
   elastisim help
 
@@ -128,6 +152,19 @@ makespan, utilization); --progress streams per-run status to stderr.
 stdin/stdout: one request per line in, streamed progress replies out
 (see DESIGN.md §11). Completed scenarios are cached by fingerprint, so
 resubmitting a campaign answers instantly without re-running.
+
+Observability (all commands above; see DESIGN.md §13): --log-json
+writes structured JSONL log records correlated by campaign/run ids and
+fingerprints (level via ELASTISIM_LOG_LEVEL; the ELASTISIM_LOG env var
+enables the same without the flag). --flight-recorder DIR keeps a
+bounded ring of each run's last simulation events and dumps a
+post-mortem JSON file into DIR when a run fails, panics, or trips the
+invariant checker. For sweep/replay, --metrics-out writes the merged
+campaign metrics snapshot (exact histogram merge across runs) and
+--prom-out the same in Prometheus text exposition; serve rewrites both
+files after every campaign with lifetime daemon metrics included. All
+of these are off by default and result-neutral: reports and
+fingerprints are byte-identical with them on or off.
 ";
 
 /// Number of threads to use when `--solver-threads 0` (or `--workers 0`)
@@ -280,6 +317,8 @@ pub fn cmd_run(args: &Args) -> Result<(Report, String), CliError> {
         "solver-threads",
         "seed",
         "check-invariants",
+        "log-json",
+        "flight-recorder",
         "out",
     ])?;
     let platform_path = args.require("platform")?;
@@ -339,6 +378,10 @@ pub fn cmd_run(args: &Args) -> Result<(Report, String), CliError> {
     let metrics_out = args.get("metrics-out").map(String::from);
     let telemetry = if chrome_trace.is_some() || metrics_out.is_some() {
         Telemetry::with_timeline(chrome_trace.is_some())
+    } else if args.get("flight-recorder").is_some() {
+        // The post-mortem dump embeds a telemetry snapshot; arming the
+        // recorder turns collection on even without a metrics output.
+        Telemetry::enabled()
     } else {
         Telemetry::disabled()
     };
@@ -373,6 +416,18 @@ pub fn cmd_run(args: &Args) -> Result<(Report, String), CliError> {
         (sim, sched_name.to_string())
     };
 
+    let logger = logger_from_args(args)?.with("scheduler", sched_label.as_str());
+    // The flight recorder tails the event stream into a bounded ring so a
+    // failing run can be dumped post-mortem; the handle shares its state
+    // with the observer, so the ring survives `try_run` consuming `sim`.
+    let recorder_dir = args.get("flight-recorder").map(PathBuf::from);
+    let recorder = recorder_dir
+        .as_ref()
+        .map(|_| FlightRecorder::new(elastisim::recorder::DEFAULT_RING_CAPACITY));
+    if let Some(rec) = &recorder {
+        sim.add_observer(rec.observer());
+    }
+
     sim.set_telemetry(telemetry.clone());
     if let Some(path) = args.get("trace-events") {
         let writer =
@@ -396,12 +451,35 @@ pub fn cmd_run(args: &Args) -> Result<(Report, String), CliError> {
         }
     }
 
-    let report = sim.try_run().map_err(|e| CliError::Data(e.to_string()))?;
+    logger.info("run_started", &[field("jobs", jobs_path)]);
+    let report = match sim.try_run() {
+        Ok(report) => report,
+        Err(e) => {
+            logger.error("run_failed", &[field("error", e.to_string())]);
+            dump_run_postmortem(
+                &recorder,
+                &recorder_dir,
+                "sim_error",
+                &e.to_string(),
+                &sched_label,
+                &telemetry,
+                &logger,
+            );
+            return Err(CliError::Data(e.to_string()));
+        }
+    };
+    logger.info(
+        "run_finished",
+        &[
+            field("makespan", report.summary().makespan),
+            field("events", report.events),
+        ],
+    );
     let mut summary = render_summary(&report, &sched_label, effective_seed);
     if let Some(n) = solver_threads {
         summary.push_str(&format!("solver threads   : {n}\n"));
     }
-    if telemetry.is_enabled() {
+    if chrome_trace.is_some() || metrics_out.is_some() {
         let snapshot = telemetry.snapshot();
         if let Some(path) = &metrics_out {
             let json = serde_json::to_string_pretty(&snapshot)
@@ -415,9 +493,25 @@ pub fn cmd_run(args: &Args) -> Result<(Report, String), CliError> {
         let violations = checker.check_report(&report);
         for v in &violations {
             summary.push_str(&format!("invariant violation: {v}\n"));
+            logger.error("invariant_violation", &[field("violation", v.to_string())]);
         }
         if violations.is_empty() {
             summary.push_str("invariants       : ok\n");
+        } else {
+            let joined = violations
+                .iter()
+                .map(|v| v.to_string())
+                .collect::<Vec<_>>()
+                .join("; ");
+            dump_run_postmortem(
+                &recorder,
+                &recorder_dir,
+                "invariant_violation",
+                &joined,
+                &sched_label,
+                &telemetry,
+                &logger,
+            );
         }
     }
 
@@ -434,6 +528,40 @@ pub fn cmd_run(args: &Args) -> Result<(Report, String), CliError> {
         write("summary.txt", summary.clone())?;
     }
     Ok((report, summary))
+}
+
+/// Writes the flight-recorder post-mortem for a failed (or
+/// invariant-violating) `elastisim run`, when `--flight-recorder DIR`
+/// armed one. Best-effort: dump failures are logged and swallowed so
+/// diagnostics never mask the underlying error.
+#[allow(clippy::too_many_arguments)]
+fn dump_run_postmortem(
+    recorder: &Option<FlightRecorder>,
+    dir: &Option<PathBuf>,
+    reason: &str,
+    message: &str,
+    scheduler: &str,
+    telemetry: &Telemetry,
+    logger: &Logger,
+) {
+    let (Some(rec), Some(dir)) = (recorder, dir) else {
+        return;
+    };
+    let json = rec.postmortem_json(
+        reason,
+        message,
+        &[("scheduler", Value::Str(scheduler.to_owned()))],
+        &telemetry.snapshot(),
+    );
+    let path = dir.join(format!("postmortem-{reason}.json"));
+    let written = fs::create_dir_all(dir).and_then(|()| fs::write(&path, json.as_bytes()));
+    match written {
+        Ok(()) => logger.error(
+            "postmortem_written",
+            &[field("path", path.display().to_string())],
+        ),
+        Err(e) => logger.error("postmortem_write_failed", &[field("error", e.to_string())]),
+    }
 }
 
 /// Renders the human-readable run summary. `seed` is the effective
@@ -864,6 +992,79 @@ mod tests {
             }
             other => panic!("expected Data error, got {other:?}"),
         }
+        fs::remove_dir_all(dir).unwrap();
+    }
+
+    #[test]
+    fn run_dumps_postmortem_when_the_scheduler_dies_mid_run() {
+        let dir = tmpdir();
+        let p = dir.join("platform.json");
+        let j = dir.join("jobs.json");
+        let pm = dir.join("pm");
+        let log = dir.join("log.jsonl");
+        cmd_platform(
+            &Args::parse(["platform", "--nodes", "4", "--out", p.to_str().unwrap()]).unwrap(),
+        )
+        .unwrap();
+        cmd_generate(
+            &Args::parse([
+                "generate",
+                "--nodes",
+                "4",
+                "--jobs",
+                "3",
+                "--out",
+                j.to_str().unwrap(),
+            ])
+            .unwrap(),
+        )
+        .unwrap();
+        // `false` spawns fine, then breaks the wire protocol at the first
+        // invocation — a mid-run simulation error.
+        let args = Args::parse([
+            "run",
+            "--platform",
+            p.to_str().unwrap(),
+            "--jobs",
+            j.to_str().unwrap(),
+            "--scheduler-cmd",
+            "false",
+            "--flight-recorder",
+            pm.to_str().unwrap(),
+            "--log-json",
+            log.to_str().unwrap(),
+        ])
+        .unwrap();
+        assert!(matches!(cmd_run(&args), Err(CliError::Data(_))));
+
+        let dump = pm.join("postmortem-sim_error.json");
+        let text = fs::read_to_string(&dump).expect("post-mortem written");
+        let serde::Value::Map(mut doc) = serde_json::parse_value(&text).expect("valid JSON") else {
+            panic!("dump not an object");
+        };
+        assert_eq!(
+            serde::map_take(&mut doc, "postmortem"),
+            Some(serde::Value::Str("pm1".into()))
+        );
+        assert_eq!(
+            serde::map_take(&mut doc, "reason"),
+            Some(serde::Value::Str("sim_error".into()))
+        );
+        assert!(matches!(
+            serde::map_take(&mut doc, "events"),
+            Some(serde::Value::Seq(_))
+        ));
+        assert!(matches!(
+            serde::map_take(&mut doc, "metrics"),
+            Some(serde::Value::Map(_))
+        ));
+
+        let log_text = fs::read_to_string(&log).unwrap();
+        assert!(log_text.contains("\"event\":\"run_failed\""), "{log_text}");
+        assert!(
+            log_text.contains("\"event\":\"postmortem_written\""),
+            "{log_text}"
+        );
         fs::remove_dir_all(dir).unwrap();
     }
 

@@ -39,6 +39,9 @@ pub fn cmd_replay(args: &Args) -> Result<String, CliError> {
         "check",
         "markdown",
         "metrics-out",
+        "prom-out",
+        "log-json",
+        "flight-recorder",
         "progress",
     ])?;
     let path = args.require("swf")?;
@@ -88,15 +91,19 @@ pub fn cmd_replay(args: &Args) -> Result<String, CliError> {
         .convert(BufReader::new(file))
         .map_err(|e| CliError::Data(format!("{path}: {e}")))?;
 
-    if let Some(metrics_path) = args.get("metrics-out") {
+    // Conversion counters always enter the metrics outputs; when the
+    // campaign actually runs, per-run snapshots are merged in below.
+    let collect = args.get("metrics-out").is_some() || args.get("prom-out").is_some();
+    let conversion_metrics = collect.then(|| {
         let telemetry = Telemetry::enabled();
         record_replay_counters(&telemetry, &campaign);
-        let json = serde_json::to_string_pretty(&telemetry.snapshot())
-            .map_err(|e| CliError::Data(format!("serializing metrics: {e}")))?;
-        fs::write(metrics_path, json + "\n").map_err(|e| CliError::Io(metrics_path.into(), e))?;
-    }
+        telemetry.snapshot()
+    });
 
     if args.flag("convert-only")? {
+        if let Some(snapshot) = &conversion_metrics {
+            crate::campaign_cmd::write_campaign_metrics(args, snapshot)?;
+        }
         let mut out = convert_summary(&campaign);
         out.push_str(&format!(
             "campaign fingerprint: {}\n",
@@ -105,10 +112,18 @@ pub fn cmd_replay(args: &Args) -> Result<String, CliError> {
         return Ok(out);
     }
 
+    // Every structured log record of this replay carries the rfp1-
+    // fingerprint, correlating run-level records back to the experiment.
+    let mut obs = crate::campaign_cmd::observability_from_args(args, collect)?;
+    obs.logger = obs
+        .logger
+        .with("replay_fingerprint", campaign.fingerprint().as_str());
+
     let progress = args.flag("progress")?;
     let total = campaign.spec.schedulers.len();
+    let executor = Executor::new(workers).with_observability(obs);
     let start = std::time::Instant::now();
-    let records = Executor::new(workers).run_with(campaign.run_specs(), |event| {
+    let result = executor.run_campaign_with(campaign.run_specs(), |event| {
         if !progress {
             return;
         }
@@ -125,6 +140,11 @@ pub fn cmd_replay(args: &Args) -> Result<String, CliError> {
         }
     });
     let wall_seconds = start.elapsed().as_secs_f64();
+    if let Some(mut snapshot) = conversion_metrics {
+        snapshot.merge(&result.merged_metrics());
+        crate::campaign_cmd::write_campaign_metrics(args, &snapshot)?;
+    }
+    let records = result.records;
 
     if let Some(records_path) = args.get("records") {
         let mut lines = String::with_capacity(records.len() * 128);
@@ -331,6 +351,57 @@ mod tests {
                 + count("replay.skipped.missing_runtime")
                 + count("replay.skipped.missing_processors"),
             18.0
+        );
+        fs::remove_dir_all(dir).unwrap();
+    }
+
+    #[test]
+    fn full_replay_metrics_merge_campaign_series_and_log_carries_fingerprint() {
+        let dir = tmpdir();
+        let metrics = dir.join("metrics.json");
+        let log = dir.join("log.jsonl");
+        replay(&[
+            "--schedulers",
+            "fcfs",
+            "--malleable-frac",
+            "0.3",
+            "--seed",
+            "42",
+            "--metrics-out",
+            metrics.to_str().unwrap(),
+            "--log-json",
+            log.to_str().unwrap(),
+        ])
+        .unwrap();
+        let text = fs::read_to_string(&metrics).unwrap();
+        let serde::Value::Map(doc) = serde_json::from_str::<serde::Value>(&text).unwrap() else {
+            panic!("not a map");
+        };
+        let serde::Value::Map(counters) = &doc.iter().find(|(k, _)| k == "counters").unwrap().1
+        else {
+            panic!("counters not a map");
+        };
+        let count = |name: &str| -> f64 {
+            match counters.iter().find(|(k, _)| k == name) {
+                Some((_, serde::Value::Num(n))) => *n,
+                other => panic!("{name}: {other:?}"),
+            }
+        };
+        // Conversion counters and campaign aggregation in one snapshot.
+        assert_eq!(count("replay.parsed"), 494.0);
+        assert_eq!(count("campaign.runs"), 1.0);
+        assert_eq!(count("campaign.completed"), 1.0);
+        assert!(count("des.events_delivered") > 0.0);
+
+        // Every record carries the replay fingerprint for correlation.
+        let log_text = fs::read_to_string(&log).unwrap();
+        assert!(
+            log_text.contains("\"event\":\"run_finished\""),
+            "{log_text}"
+        );
+        assert!(
+            log_text.contains("\"replay_fingerprint\":\"rfp1-"),
+            "{log_text}"
         );
         fs::remove_dir_all(dir).unwrap();
     }

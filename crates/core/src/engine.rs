@@ -286,6 +286,7 @@ impl Simulation {
                 message: format!("{} activities stalled at end of simulation", stalled.len()),
             });
         }
+        self.sim.flush_telemetry();
         if self.telemetry.is_enabled() {
             let wall = run_start.elapsed().as_secs_f64();
             let events = self.sim.events_delivered();

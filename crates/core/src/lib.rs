@@ -60,6 +60,7 @@ mod exec;
 pub mod invariant;
 mod lifecycle;
 pub mod observe;
+pub mod recorder;
 mod stats;
 mod trace;
 
@@ -71,6 +72,7 @@ pub use engine::Simulation;
 pub use exec::ExecError;
 pub use invariant::{InvariantChecker, InvariantViolation};
 pub use observe::{EventTraceWriter, Observer, SimEvent, TimedObserver};
+pub use recorder::FlightRecorder;
 pub use stats::{
     report_fingerprint, GanttEntry, JobRecord, Outcome, Report, Summary, UtilizationSeries,
     Warning, WarningKind,

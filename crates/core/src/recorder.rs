@@ -1,0 +1,307 @@
+//! Flight recorder: a bounded ring of recent [`SimEvent`]s for post-mortems.
+//!
+//! When a run dies — a scheduler panic, a fatal [`SimError`], an invariant
+//! violation — the one-line error message says *what* happened but not
+//! what the simulation was doing. The flight recorder keeps the last N
+//! events of the observer stream in a fixed-size ring; on failure the
+//! campaign executor (or the CLI) dumps the ring, the run's identity, and
+//! the telemetry snapshot as one structured JSON document, turning an
+//! ephemeral fuzzer or production failure into a diagnosable artifact.
+//!
+//! Like [`InvariantChecker`](crate::InvariantChecker), the recorder is a
+//! handle around `Arc<Mutex<…>>`: [`FlightRecorder::observer`] hands the
+//! simulation a recording observer while the caller keeps the handle, so
+//! the ring survives `Simulation::try_run` consuming the simulation — and
+//! survives the panic that made the dump necessary (locks forgive
+//! poisoning). The observer buffers its tail locally and publishes it to
+//! the shared ring on drop — which happens during panic unwinding too —
+//! so the per-event path touches no lock and no shared state. Recording
+//! never feeds back into simulation decisions, so reports are
+//! byte-identical with or without a recorder attached.
+//!
+//! [`SimError`]: crate::SimError
+
+use std::collections::VecDeque;
+use std::sync::{Arc, Mutex, MutexGuard};
+
+use elastisim_telemetry::MetricsSnapshot;
+use serde::Value;
+
+use crate::observe::{Observer, SimEvent};
+
+/// Format tag stamped into every post-mortem document.
+pub const POSTMORTEM_FORMAT: &str = "pm1";
+
+/// Default ring capacity: enough tail to see the scheduling decisions
+/// leading into a failure without post-mortems growing unbounded.
+pub const DEFAULT_RING_CAPACITY: usize = 256;
+
+struct RecorderState {
+    ring: VecDeque<SimEvent>,
+    seen: u64,
+}
+
+/// Bounded ring-buffer of the most recent simulation events.
+///
+/// Cheap to clone; clones share the ring. See the module docs for the
+/// intended panic-surviving usage pattern.
+#[derive(Clone)]
+pub struct FlightRecorder {
+    state: Arc<Mutex<RecorderState>>,
+    capacity: usize,
+}
+
+fn lock(state: &Mutex<RecorderState>) -> MutexGuard<'_, RecorderState> {
+    state
+        .lock()
+        .unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+impl FlightRecorder {
+    /// A recorder keeping the last `capacity` events (at least 1).
+    pub fn new(capacity: usize) -> FlightRecorder {
+        let capacity = capacity.max(1);
+        FlightRecorder {
+            state: Arc::new(Mutex::new(RecorderState {
+                ring: VecDeque::with_capacity(capacity),
+                seen: 0,
+            })),
+            capacity,
+        }
+    }
+
+    /// The ring capacity this recorder was built with.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// A boxed observer feeding this recorder, for
+    /// [`Simulation::add_observer`](crate::Simulation::add_observer).
+    ///
+    /// The observer buffers events in a ring it owns — no lock, no shared
+    /// state on the per-event path — and publishes into this handle's
+    /// shared ring when it is dropped. Dropping is exactly when the tail
+    /// becomes readable: a completed or failed `try_run` has consumed the
+    /// simulation (observers and all), and a panicking run drops its
+    /// observers during unwinding, before `catch_unwind` returns to the
+    /// code that dumps the post-mortem. Readers that hold an observer
+    /// directly (tests, custom harnesses) must drop it before inspecting
+    /// the handle.
+    pub fn observer(&self) -> Box<dyn Observer> {
+        Box::new(RecorderObserver {
+            ring: VecDeque::with_capacity(self.capacity),
+            seen: 0,
+            recorder: self.clone(),
+        })
+    }
+
+    /// Records one event directly into the shared ring (for callers that
+    /// do not go through an [`observer`](Self::observer), e.g. tests).
+    pub fn record(&self, event: &SimEvent) {
+        let mut st = lock(&self.state);
+        if st.ring.len() == self.capacity {
+            st.ring.pop_front();
+        }
+        st.ring.push_back(event.clone());
+        st.seen += 1;
+    }
+
+    /// Total events observed, including those evicted from the ring.
+    pub fn events_seen(&self) -> u64 {
+        lock(&self.state).seen
+    }
+
+    /// The retained tail of the event stream, oldest first.
+    pub fn events(&self) -> Vec<SimEvent> {
+        lock(&self.state).ring.iter().cloned().collect()
+    }
+
+    /// Renders a structured post-mortem document.
+    ///
+    /// * `reason` — machine-readable failure class (`"panicked"`,
+    ///   `"sim_error"`, `"invariant_violation"`);
+    /// * `message` — the human-readable error;
+    /// * `context` — run identity (campaign id, fingerprint, run id,
+    ///   scheduler, …), emitted in the given order;
+    /// * `metrics` — the run's telemetry snapshot at time of death.
+    ///
+    /// The document is pretty-printed JSON tagged with
+    /// [`POSTMORTEM_FORMAT`] and carries the ring (`events`, oldest
+    /// first), the total `events_seen`, and the `ring_capacity` so
+    /// consumers can tell a complete stream from a truncated tail.
+    pub fn postmortem_json(
+        &self,
+        reason: &str,
+        message: &str,
+        context: &[(&str, Value)],
+        metrics: &MetricsSnapshot,
+    ) -> String {
+        let st = lock(&self.state);
+        let mut map = vec![
+            (
+                "postmortem".to_owned(),
+                Value::Str(POSTMORTEM_FORMAT.to_owned()),
+            ),
+            ("reason".to_owned(), Value::Str(reason.to_owned())),
+            ("message".to_owned(), Value::Str(message.to_owned())),
+        ];
+        for (k, v) in context {
+            map.push(((*k).to_owned(), v.clone()));
+        }
+        map.push(("events_seen".to_owned(), Value::Num(st.seen as f64)));
+        map.push(("ring_capacity".to_owned(), Value::Num(self.capacity as f64)));
+        let events: Vec<Value> = st
+            .ring
+            .iter()
+            .map(|e| serde::to_value(e).expect("SimEvent serializes"))
+            .collect();
+        map.push(("events".to_owned(), Value::Seq(events)));
+        map.push((
+            "metrics".to_owned(),
+            serde::to_value(metrics).expect("snapshot serializes"),
+        ));
+        serde_json::to_string_pretty(&Value::Map(map)).expect("postmortem serializes")
+    }
+}
+
+struct RecorderObserver {
+    /// Locally owned tail: always holds the last `capacity` events this
+    /// observer saw, so it can replace the shared ring wholesale on drop.
+    ring: VecDeque<SimEvent>,
+    seen: u64,
+    recorder: FlightRecorder,
+}
+
+impl Observer for RecorderObserver {
+    fn on_event(&mut self, event: &SimEvent) {
+        if self.ring.len() == self.recorder.capacity {
+            self.ring.pop_front();
+        }
+        self.ring.push_back(event.clone());
+        self.seen += 1;
+    }
+}
+
+impl Drop for RecorderObserver {
+    fn drop(&mut self) {
+        // Publish the buffered tail. Runs on normal completion (`try_run`
+        // consumes the simulation) and during panic unwinding alike; the
+        // lock forgives poisoning, so this cannot double-panic.
+        let mut st = lock(&self.recorder.state);
+        st.seen += self.seen;
+        for event in self.ring.drain(..) {
+            if st.ring.len() == self.recorder.capacity {
+                st.ring.pop_front();
+            }
+            st.ring.push_back(event);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn warning(time: f64, i: usize) -> SimEvent {
+        SimEvent::SchedulerInvoked {
+            time,
+            reason: format!("r{i}"),
+            decisions: i,
+            applied: 0,
+        }
+    }
+
+    #[test]
+    fn ring_keeps_only_the_tail() {
+        let rec = FlightRecorder::new(3);
+        let mut obs = rec.observer();
+        for i in 0..5 {
+            obs.on_event(&warning(i as f64, i));
+        }
+        // The observer publishes its buffered tail on drop.
+        drop(obs);
+        assert_eq!(rec.events_seen(), 5);
+        let tail = rec.events();
+        assert_eq!(tail.len(), 3);
+        assert_eq!(tail[0].time(), 2.0);
+        assert_eq!(tail[2].time(), 4.0);
+    }
+
+    #[test]
+    fn capacity_is_at_least_one() {
+        let rec = FlightRecorder::new(0);
+        assert_eq!(rec.capacity(), 1);
+        rec.record(&warning(0.0, 0));
+        rec.record(&warning(1.0, 1));
+        assert_eq!(rec.events().len(), 1);
+        assert_eq!(rec.events_seen(), 2);
+    }
+
+    #[test]
+    fn clones_share_the_ring() {
+        let rec = FlightRecorder::new(8);
+        let clone = rec.clone();
+        clone.record(&warning(0.0, 0));
+        assert_eq!(rec.events_seen(), 1);
+    }
+
+    #[test]
+    fn postmortem_is_structured_json() {
+        let rec = FlightRecorder::new(2);
+        for i in 0..4 {
+            rec.record(&warning(i as f64, i));
+        }
+        let t = elastisim_telemetry::Telemetry::enabled();
+        t.counter_add("des.events_delivered", 4);
+        let json = rec.postmortem_json(
+            "panicked",
+            "scheduler exploded",
+            &[
+                ("run_id", Value::Num(3.0)),
+                ("fingerprint", Value::Str("sfp1-abc".to_owned())),
+            ],
+            &t.snapshot(),
+        );
+        let parsed = serde_json::parse_value(&json).expect("valid JSON");
+        let Value::Map(mut map) = parsed else {
+            panic!("postmortem is not an object");
+        };
+        assert_eq!(
+            serde::map_take(&mut map, "postmortem"),
+            Some(Value::Str(POSTMORTEM_FORMAT.to_owned()))
+        );
+        assert_eq!(
+            serde::map_take(&mut map, "reason"),
+            Some(Value::Str("panicked".to_owned()))
+        );
+        assert_eq!(serde::map_take(&mut map, "run_id"), Some(Value::Num(3.0)));
+        assert_eq!(
+            serde::map_take(&mut map, "events_seen"),
+            Some(Value::Num(4.0))
+        );
+        let Some(Value::Seq(events)) = serde::map_take(&mut map, "events") else {
+            panic!("events missing");
+        };
+        assert_eq!(events.len(), 2);
+        let Some(Value::Map(metrics)) = serde::map_take(&mut map, "metrics") else {
+            panic!("metrics missing");
+        };
+        assert!(metrics.iter().any(|(k, _)| k == "counters"));
+    }
+
+    #[test]
+    fn recorder_survives_a_panicking_holder() {
+        let rec = FlightRecorder::new(4);
+        let clone = rec.clone();
+        let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(move || {
+            clone.record(&warning(0.0, 0));
+            panic!("simulated run panic");
+        }));
+        // The ring is intact and usable after the panic.
+        rec.record(&warning(1.0, 1));
+        assert_eq!(rec.events_seen(), 2);
+        assert!(!rec
+            .postmortem_json("panicked", "boom", &[], &MetricsSnapshot::default())
+            .is_empty());
+    }
+}

@@ -25,7 +25,7 @@
 
 use std::collections::{HashMap, VecDeque};
 
-use elastisim_telemetry::Telemetry;
+use elastisim_telemetry::{LogHistogram, Telemetry};
 
 use crate::flow::{
     ActivityId, ActivitySpec, FlowNetwork, ParPolicy, Progress, ResourceId, SolveKind, SolvePolicy,
@@ -41,6 +41,39 @@ enum Internal<E> {
     User(E),
     /// Wake-up at a predicted flow completion instant.
     FlowWake,
+}
+
+/// Locally-batched flow/queue statistics, published to the telemetry
+/// registry in one burst by [`Simulator::flush_telemetry`]. Recording
+/// into plain fields costs a few arithmetic ops per re-solve; registry
+/// calls each take a mutex plus a map lookup, which dominates small
+/// simulations when paid per recompute.
+/// Sampling cadence for the per-recompute *histograms* (re-solve wall
+/// time, solved-activity counts, partition shapes, queue depth): only
+/// every Nth refresh records them. Counters (`flow.resolves_*`,
+/// `flow.par.batches`) stay exact — they are single integer increments —
+/// but histogram records touch several cache lines each and the timing
+/// one reads the clock twice, which together would dominate small
+/// simulations if paid on every recompute. Power of two, so the cadence
+/// check compiles to a mask.
+const FLOW_STATS_SAMPLE: u64 = 8;
+
+#[derive(Default)]
+struct FlowStats {
+    /// Refresh calls so far, driving the sample cadence.
+    refreshes: u64,
+    /// Wall time per re-solve, sampled 1-in-[`FLOW_STATS_SAMPLE`] (its
+    /// `count` is the sample count, not the recompute count — same for
+    /// the other histograms here).
+    resolve_seconds: LogHistogram,
+    resolve_activities: LogHistogram,
+    resolves_full: u64,
+    resolves_partial: u64,
+    resolves_adaptive: u64,
+    par_batches: u64,
+    components_per_batch: LogHistogram,
+    component_size: LogHistogram,
+    queue_depth: LogHistogram,
 }
 
 /// A discrete-event simulator with flow-level resource sharing.
@@ -61,8 +94,10 @@ pub struct Simulator<E> {
     /// Simulator-internals metrics (disabled by default: a no-op handle).
     telemetry: Telemetry,
     /// Stolen-task watermark already reported to telemetry (the pool
-    /// counter is cumulative; metrics want per-batch deltas).
+    /// counter is cumulative; metrics want per-flush deltas).
     par_stolen_seen: u64,
+    /// Batched per-recompute statistics awaiting a flush.
+    stats: FlowStats,
 }
 
 impl<E> Default for Simulator<E> {
@@ -84,13 +119,71 @@ impl<E> Simulator<E> {
             events_delivered: 0,
             telemetry: Telemetry::disabled(),
             par_stolen_seen: 0,
+            stats: FlowStats::default(),
         }
     }
 
     /// Attaches a telemetry handle; flow re-solves and event-queue depth
     /// are recorded through it. The default handle is disabled (no-op).
+    ///
+    /// Per-recompute statistics are batched locally and only reach the
+    /// registry when [`flush_telemetry`](Self::flush_telemetry) runs —
+    /// the engine does this at end of run; raw `Simulator` users should
+    /// flush before snapshotting the handle.
     pub fn set_telemetry(&mut self, telemetry: Telemetry) {
         self.telemetry = telemetry;
+    }
+
+    /// Publishes the locally-batched flow/queue statistics (re-solve
+    /// timings, solve-kind counts, parallel-batch shapes, queue depth)
+    /// to the attached telemetry handle. Each call publishes only what
+    /// accumulated since the previous one, so flushing twice never
+    /// double-counts; a disabled handle makes this a no-op.
+    pub fn flush_telemetry(&mut self) {
+        if !self.telemetry.is_enabled() {
+            return;
+        }
+        let stats = std::mem::take(&mut self.stats);
+        self.telemetry
+            .observe_batch("flow.resolve_seconds", &stats.resolve_seconds);
+        self.telemetry
+            .observe_batch("flow.resolve_activities", &stats.resolve_activities);
+        if stats.resolves_full > 0 {
+            self.telemetry
+                .counter_add("flow.resolves_full", stats.resolves_full);
+        }
+        if stats.resolves_partial > 0 {
+            self.telemetry
+                .counter_add("flow.resolves_partial", stats.resolves_partial);
+        }
+        if stats.resolves_adaptive > 0 {
+            self.telemetry
+                .counter_add("flow.resolves_adaptive", stats.resolves_adaptive);
+        }
+        if stats.resolves_full + stats.resolves_partial + stats.resolves_adaptive > 0 {
+            // Gauge semantics (last write wins): the live flow state at
+            // flush time IS the latest value, no per-recompute tracking
+            // needed. Guarded so a flush without recomputes since the
+            // last one never creates or overwrites the key.
+            self.telemetry
+                .gauge_set("flow.adaptive_mode", self.flow.sweep_mode() as u8 as f64);
+        }
+        if stats.par_batches > 0 {
+            self.telemetry
+                .counter_add("flow.par.batches", stats.par_batches);
+        }
+        self.telemetry
+            .observe_batch("flow.par.components_per_batch", &stats.components_per_batch);
+        self.telemetry
+            .observe_batch("flow.par.component_size", &stats.component_size);
+        let stolen = self.flow.stolen_tasks();
+        let delta = stolen - self.par_stolen_seen;
+        if delta > 0 {
+            self.telemetry.counter_add("flow.par.stolen_tasks", delta);
+            self.par_stolen_seen = stolen;
+        }
+        self.telemetry
+            .observe_batch("des.queue.depth", &stats.queue_depth);
     }
 
     /// How many times the event-queue heap compacted away cancelled
@@ -332,55 +425,62 @@ impl<E> Simulator<E> {
     /// recompute.
     fn refresh_flow(&mut self) {
         if self.telemetry.is_enabled() {
-            let start = std::time::Instant::now();
+            // Record into the local batch only — no registry call on this
+            // path. The batch is published by `flush_telemetry` once per
+            // run, keeping the enabled-telemetry cost per recompute to a
+            // few integer ops (histograms and the clock-read pair only on
+            // sampled refreshes).
+            let sample = self.stats.refreshes.is_multiple_of(FLOW_STATS_SAMPLE);
+            self.stats.refreshes += 1;
+            let start = sample.then(std::time::Instant::now);
             if self.flow.recompute() {
-                self.telemetry.observe_since("flow.resolve_seconds", start);
+                if let Some(start) = start {
+                    self.stats
+                        .resolve_seconds
+                        .record(start.elapsed().as_secs_f64());
+                }
                 let (activities, kind) = self.flow.last_solve();
-                self.telemetry
-                    .observe("flow.resolve_activities", activities as f64);
-                self.telemetry.counter_add(
-                    match kind {
-                        SolveKind::Full => "flow.resolves_full",
-                        SolveKind::Partial => "flow.resolves_partial",
-                        SolveKind::Sweep => "flow.resolves_adaptive",
-                    },
-                    1,
-                );
-                self.telemetry
-                    .gauge_set("flow.adaptive_mode", self.flow.sweep_mode() as u8 as f64);
-                // The detail string is pinned by the Chrome-trace golden:
-                // keep "full=" (did the solve cover all live activities).
-                let full = kind.is_full();
-                self.telemetry
-                    .timeline_push(self.now.as_secs(), "flow.resolve", || {
-                        format!("activities={activities} full={full}")
-                    });
+                if sample {
+                    self.stats.resolve_activities.record(activities as f64);
+                }
+                match kind {
+                    SolveKind::Full => self.stats.resolves_full += 1,
+                    SolveKind::Partial => self.stats.resolves_partial += 1,
+                    SolveKind::Sweep => self.stats.resolves_adaptive += 1,
+                }
+                if self.telemetry.timeline_enabled() {
+                    // The detail string is pinned by the Chrome-trace
+                    // golden: keep "full=" (did the solve cover all live
+                    // activities).
+                    let full = kind.is_full();
+                    self.telemetry
+                        .timeline_push(self.now.as_secs(), "flow.resolve", || {
+                            format!("activities={activities} full={full}")
+                        });
+                }
                 let partition = self.flow.last_partition();
                 if !partition.is_empty() {
                     let components = partition.len();
-                    self.telemetry.counter_add("flow.par.batches", 1);
-                    self.telemetry
-                        .observe("flow.par.components_per_batch", components as f64);
-                    let mut prev = 0u32;
-                    for &end in partition {
+                    self.stats.par_batches += 1;
+                    if sample {
+                        self.stats.components_per_batch.record(components as f64);
+                        let mut prev = 0u32;
+                        for &end in partition {
+                            self.stats.component_size.record((end - prev) as f64);
+                            prev = end;
+                        }
+                    }
+                    if self.telemetry.timeline_enabled() {
                         self.telemetry
-                            .observe("flow.par.component_size", (end - prev) as f64);
-                        prev = end;
+                            .timeline_push(self.now.as_secs(), "flow.par.batch", || {
+                                format!("components={components} activities={activities}")
+                            });
                     }
-                    let stolen = self.flow.stolen_tasks();
-                    let delta = stolen - self.par_stolen_seen;
-                    if delta > 0 {
-                        self.telemetry.counter_add("flow.par.stolen_tasks", delta);
-                        self.par_stolen_seen = stolen;
-                    }
-                    self.telemetry
-                        .timeline_push(self.now.as_secs(), "flow.par.batch", || {
-                            format!("components={components} activities={activities}")
-                        });
                 }
             }
-            self.telemetry
-                .observe("des.queue.depth", self.queue.len() as f64);
+            if sample {
+                self.stats.queue_depth.record(self.queue.len() as f64);
+            }
         } else {
             self.flow.recompute();
         }

@@ -3,18 +3,25 @@
 //! The zero-sink guarantee the telemetry subsystem makes is behavioral,
 //! not just performance: attaching the registry, the timeline buffer, and
 //! the Chrome trace exporter must leave the simulation's report
-//! byte-identical to a bare run. These oracles check that over seeded
-//! scenarios for every in-process scheduler.
+//! byte-identical to a bare run — and so must the flight recorder's
+//! event-ring observer. These oracles check that over seeded scenarios
+//! for every in-process scheduler.
 
-use elastisim::{ChromeTraceWriter, Simulation};
+use elastisim::{ChromeTraceWriter, FlightRecorder, Simulation};
 use elastisim_sched::SCHEDULER_NAMES;
 use elastisim_telemetry::Telemetry;
 use proptest::prelude::*;
 use simtest::{fingerprint, Scenario};
 
 /// Runs `scenario` bare, or with full telemetry (registry + timeline +
-/// Chrome exporter into a sink), and fingerprints the report.
-fn run_fingerprint(scenario: &Scenario, scheduler: &str, telemetry: bool) -> String {
+/// Chrome exporter into a sink) and/or the flight-recorder ring
+/// attached, and fingerprints the report.
+fn run_fingerprint(
+    scenario: &Scenario,
+    scheduler: &str,
+    telemetry: bool,
+    recorder: bool,
+) -> String {
     let sched = elastisim_sched::by_name(scheduler)
         .unwrap_or_else(|| panic!("unknown scheduler `{scheduler}`"));
     let mut sim = Simulation::new(
@@ -29,7 +36,15 @@ fn run_fingerprint(scenario: &Scenario, scheduler: &str, telemetry: bool) -> Str
         sim.set_telemetry(handle.clone());
         sim.add_observer(Box::new(ChromeTraceWriter::new(std::io::sink(), handle)));
     }
-    fingerprint(&sim.run())
+    let rec = recorder.then(|| FlightRecorder::new(64));
+    if let Some(rec) = &rec {
+        sim.add_observer(rec.observer());
+    }
+    let fp = fingerprint(&sim.run());
+    if let Some(rec) = &rec {
+        assert!(rec.events_seen() > 0, "recorder saw no events");
+    }
+    fp
 }
 
 fn cases() -> u32 {
@@ -47,25 +62,59 @@ proptest! {
     fn telemetry_does_not_change_reports(seed in any::<u64>()) {
         let scenario = Scenario::from_seed(seed);
         for name in SCHEDULER_NAMES {
-            let bare = run_fingerprint(&scenario, name, false);
-            let instrumented = run_fingerprint(&scenario, name, true);
+            let bare = run_fingerprint(&scenario, name, false, false);
+            let instrumented = run_fingerprint(&scenario, name, true, false);
             prop_assert!(
                 bare == instrumented,
                 "seed {seed} under `{name}`: telemetry changed the report"
             );
         }
     }
+
+    /// Flight recorder attached (with and without telemetry) vs bare:
+    /// byte-identical reports, for every scheduler.
+    #[test]
+    fn flight_recorder_does_not_change_reports(seed in any::<u64>()) {
+        let scenario = Scenario::from_seed(seed);
+        for name in SCHEDULER_NAMES {
+            let bare = run_fingerprint(&scenario, name, false, false);
+            let recorded = run_fingerprint(&scenario, name, false, true);
+            prop_assert!(
+                bare == recorded,
+                "seed {seed} under `{name}`: flight recorder changed the report"
+            );
+            let both = run_fingerprint(&scenario, name, true, true);
+            prop_assert!(
+                bare == both,
+                "seed {seed} under `{name}`: telemetry + recorder changed the report"
+            );
+        }
+    }
 }
 
-/// The same oracle on one fixed seed, so the property is exercised even in
-/// the fastest test runs (proptest case counts can be dialed to zero).
+/// The same oracles on one fixed seed, so the properties are exercised
+/// even in the fastest test runs (proptest case counts can be dialed to
+/// zero).
 #[test]
 fn telemetry_is_transparent_on_a_known_seed() {
     let scenario = Scenario::from_seed(7);
     for name in SCHEDULER_NAMES {
         assert_eq!(
-            run_fingerprint(&scenario, name, false),
-            run_fingerprint(&scenario, name, true),
+            run_fingerprint(&scenario, name, false, false),
+            run_fingerprint(&scenario, name, true, false),
+            "scheduler `{name}`"
+        );
+    }
+}
+
+/// Fixed-seed variant of the flight-recorder transparency oracle.
+#[test]
+fn flight_recorder_is_transparent_on_a_known_seed() {
+    let scenario = Scenario::from_seed(7);
+    for name in SCHEDULER_NAMES {
+        assert_eq!(
+            run_fingerprint(&scenario, name, false, false),
+            run_fingerprint(&scenario, name, true, true),
             "scheduler `{name}`"
         );
     }

@@ -40,6 +40,9 @@ use std::time::Instant;
 
 use serde::{Serialize, Serializer, Value};
 
+pub mod log;
+pub mod prom;
+
 /// Number of histogram buckets. Base-2 buckets starting at [`BUCKET_MIN`]
 /// span `1e-9 * 2^64 ≈ 1.8e10`, covering nanoseconds to centuries for time
 /// histograms and 1..~1.8e10 for value histograms with ≤ 2x relative error.
@@ -81,12 +84,12 @@ pub fn bucket_index(value: f64) -> usize {
         // NaN, negatives, zero, and subnormal-small all land in bucket 0.
         return 0;
     }
-    let idx = (value / BUCKET_MIN).log2().floor();
-    if idx >= (BUCKETS - 1) as f64 {
-        BUCKETS - 1
-    } else {
-        idx as usize
-    }
+    let ratio = value / BUCKET_MIN;
+    // `ratio` is > 1 (normal or +inf), so its biased exponent field IS
+    // floor(log2(ratio)) + 1023 — a couple of integer ops instead of a
+    // libm `log2` call, which matters because `record` sits on hot loops.
+    let idx = ((ratio.to_bits() >> 52) & 0x7ff) as usize - 1023;
+    idx.min(BUCKETS - 1)
 }
 
 /// Upper edge of bucket `i`: `BUCKET_MIN * 2^(i+1)`.
@@ -160,6 +163,23 @@ impl LogHistogram {
             }
         }
         self.max
+    }
+
+    /// Merges another histogram into this one, bucketwise. The merge is
+    /// *exact*: bucket counts, `count`, `sum`, `min`, and `max` all combine
+    /// losslessly, so quantiles of the merged histogram equal quantiles of
+    /// one histogram fed the concatenated observation stream (the bucket
+    /// array is order-independent by construction).
+    pub fn merge(&mut self, other: &LogHistogram) {
+        for (b, &o) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *b += o;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        // The empty-histogram sentinels (+inf min, -inf max) are absorbing
+        // identities for min/max, so empties merge as no-ops.
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
     }
 
     /// The non-empty buckets as `(upper_bound, count)` pairs.
@@ -281,6 +301,26 @@ impl Telemetry {
                 .entry(name)
                 .or_default()
                 .record(value);
+        }
+    }
+
+    /// Merges a locally-batched histogram into the named registry
+    /// histogram in one lock acquisition. Hot loops accumulate into a
+    /// plain [`LogHistogram`] (no lock, no map lookup per sample) and
+    /// publish once at end of run; the merge is bucketwise exact, so the
+    /// result is identical to calling [`observe`](Self::observe) per
+    /// sample. Empty batches leave the registry untouched (no key is
+    /// created).
+    pub fn observe_batch(&self, name: &'static str, batch: &LogHistogram) {
+        if batch.count() == 0 {
+            return;
+        }
+        if let Some(inner) = &self.0 {
+            lock(&inner.registry)
+                .histograms
+                .entry(name)
+                .or_default()
+                .merge(batch);
         }
     }
 
@@ -412,7 +452,8 @@ pub struct HistogramSummary {
 }
 
 impl HistogramSummary {
-    fn of(h: &LogHistogram) -> Self {
+    /// Digests a [`LogHistogram`] into its serializable summary form.
+    pub fn of(h: &LogHistogram) -> Self {
         HistogramSummary {
             count: h.count(),
             sum: h.sum(),
@@ -424,6 +465,36 @@ impl HistogramSummary {
             p99: h.quantile(0.99),
             buckets: h.nonzero_buckets(),
         }
+    }
+
+    /// Reconstructs the exact [`LogHistogram`] this summary was taken from.
+    ///
+    /// Lossless: the summary keeps every non-zero bucket count plus the
+    /// exact `count`/`sum`/`min`/`max`, which is the histogram's entire
+    /// state. Bucket indices are recovered from the stored upper bounds by
+    /// probing a point strictly inside the bucket (`0.75 * upper_bound`
+    /// is the bucket midpoint in log space).
+    pub fn to_histogram(&self) -> LogHistogram {
+        let mut h = LogHistogram::default();
+        for &(le, n) in &self.buckets {
+            h.buckets[bucket_index(le * 0.75)] += n;
+        }
+        h.count = self.count;
+        h.sum = self.sum;
+        if self.count > 0 {
+            h.min = self.min;
+            h.max = self.max;
+        }
+        h
+    }
+
+    /// Exact bucketwise merge of two summaries (see [`LogHistogram::merge`]):
+    /// quantiles of the result equal quantiles of one histogram fed both
+    /// observation streams.
+    pub fn merge(&self, other: &HistogramSummary) -> HistogramSummary {
+        let mut h = self.to_histogram();
+        h.merge(&other.to_histogram());
+        HistogramSummary::of(&h)
     }
 
     fn to_value(&self) -> Value {
@@ -489,6 +560,66 @@ impl MetricsSnapshot {
             .iter()
             .find(|(k, _)| k == name)
             .map(|(_, v)| v)
+    }
+
+    /// Merges another snapshot into this one. The merge policy, by metric
+    /// kind:
+    ///
+    /// * **counters** sum — they are monotonic event counts, so the merged
+    ///   value is the fleet-wide total;
+    /// * **gauges** keep the **maximum** — gauges record instantaneous
+    ///   levels (queue depth, events/sec), and the peak is the only
+    ///   aggregate that is both order-independent and meaningful without
+    ///   a timestamp per sample;
+    /// * **histograms** merge bucketwise and exactly
+    ///   ([`HistogramSummary::merge`]): counts/sums/min/max are lossless
+    ///   and quantiles stay identical to a single histogram that observed
+    ///   every sample.
+    ///
+    /// Merging is associative and commutative (up to float rounding in
+    /// gauge/sum arithmetic), so campaign-level aggregates are independent
+    /// of worker count and completion order.
+    pub fn merge(&mut self, other: &MetricsSnapshot) {
+        let mut counters: BTreeMap<String, u64> =
+            std::mem::take(&mut self.counters).into_iter().collect();
+        for (k, v) in &other.counters {
+            *counters.entry(k.clone()).or_insert(0) += v;
+        }
+        self.counters = counters.into_iter().collect();
+
+        let mut gauges: BTreeMap<String, f64> =
+            std::mem::take(&mut self.gauges).into_iter().collect();
+        for (k, v) in &other.gauges {
+            gauges
+                .entry(k.clone())
+                .and_modify(|g| *g = g.max(*v))
+                .or_insert(*v);
+        }
+        self.gauges = gauges.into_iter().collect();
+
+        let mut histograms: BTreeMap<String, HistogramSummary> =
+            std::mem::take(&mut self.histograms).into_iter().collect();
+        for (k, h) in &other.histograms {
+            match histograms.entry(k.clone()) {
+                std::collections::btree_map::Entry::Occupied(mut e) => {
+                    let merged = e.get().merge(h);
+                    e.insert(merged);
+                }
+                std::collections::btree_map::Entry::Vacant(e) => {
+                    e.insert(h.clone());
+                }
+            }
+        }
+        self.histograms = histograms.into_iter().collect();
+    }
+
+    /// Merges an iterator of snapshots into one ([`merge`](Self::merge)).
+    pub fn merged<'a>(snaps: impl IntoIterator<Item = &'a MetricsSnapshot>) -> MetricsSnapshot {
+        let mut out = MetricsSnapshot::default();
+        for s in snaps {
+            out.merge(s);
+        }
+        out
     }
 
     /// Renders the snapshot as aligned `key : value` lines for the CLI

@@ -1,0 +1,197 @@
+//! Snapshot-merge conformance: merging must be *exact*.
+//!
+//! The campaign runtime aggregates per-run `MetricsSnapshot`s by merging;
+//! for that aggregate to be trustworthy, merging two histograms must give
+//! the same digest as one histogram that observed every sample. These
+//! tests pin the edge cases (empty, single-bucket, min/max propagation)
+//! and a property: `merge(a, b)` equals recording the interleaved stream
+//! into a single histogram.
+
+use elastisim_telemetry::{
+    bucket_index, bucket_upper_bound, HistogramSummary, LogHistogram, MetricsSnapshot, Telemetry,
+    BUCKETS,
+};
+use proptest::prelude::*;
+
+fn summarize(values: &[f64]) -> HistogramSummary {
+    let mut h = LogHistogram::default();
+    for &v in values {
+        h.record(v);
+    }
+    HistogramSummary::of(&h)
+}
+
+#[test]
+fn merging_two_empties_is_empty() {
+    let empty = summarize(&[]);
+    let merged = empty.merge(&empty);
+    assert_eq!(merged, empty);
+    assert_eq!(merged.count, 0);
+    assert!(merged.buckets.is_empty());
+}
+
+#[test]
+fn empty_is_the_merge_identity() {
+    let empty = summarize(&[]);
+    let h = summarize(&[1.0, 2.0, 400.0]);
+    assert_eq!(empty.merge(&h), h);
+    assert_eq!(h.merge(&empty), h);
+}
+
+#[test]
+fn single_bucket_merge_adds_counts() {
+    // 1.1 and 1.3 share a base-2 bucket.
+    let a = summarize(&[1.1]);
+    let b = summarize(&[1.3]);
+    let merged = a.merge(&b);
+    assert_eq!(merged.count, 2);
+    assert_eq!(merged.buckets.len(), 1);
+    assert_eq!(merged.buckets[0].1, 2);
+    assert_eq!(merged.min, 1.1);
+    assert_eq!(merged.max, 1.3);
+    assert_eq!(merged.sum, 1.1 + 1.3);
+}
+
+#[test]
+fn min_max_propagate_across_merge() {
+    let a = summarize(&[5.0, 9.0]);
+    let b = summarize(&[0.25, 2.0]);
+    let merged = a.merge(&b);
+    assert_eq!(merged.min, 0.25);
+    assert_eq!(merged.max, 9.0);
+    // Symmetric.
+    assert_eq!(b.merge(&a), merged);
+}
+
+#[test]
+fn extreme_buckets_survive_merge() {
+    // Underflow (bucket 0) and overflow (bucket 63) both merge exactly.
+    let a = summarize(&[0.0]);
+    let b = summarize(&[1e30]);
+    let merged = a.merge(&b);
+    assert_eq!(merged.count, 2);
+    assert_eq!(merged.buckets.len(), 2);
+    assert_eq!(merged.buckets[0].0, bucket_upper_bound(0));
+    assert_eq!(merged.buckets[1].0, bucket_upper_bound(BUCKETS - 1));
+}
+
+#[test]
+fn summary_to_histogram_roundtrip_is_lossless() {
+    let values = [0.0, 1e-9, 3.5e-9, 0.5, 1.0, 7.25, 1e12];
+    let summary = summarize(&values);
+    assert_eq!(HistogramSummary::of(&summary.to_histogram()), summary);
+}
+
+#[test]
+fn snapshot_merge_sums_counters_and_keeps_gauge_peaks() {
+    let a = Telemetry::enabled();
+    a.counter_add("runs", 3);
+    a.counter_add("only_a", 1);
+    a.gauge_set("depth", 4.0);
+    a.observe("wall", 1.0);
+    let b = Telemetry::enabled();
+    b.counter_add("runs", 2);
+    b.counter_add("only_b", 7);
+    b.gauge_set("depth", 2.0);
+    b.gauge_set("only_b_gauge", 9.0);
+    b.observe("wall", 3.0);
+
+    let mut merged = a.snapshot();
+    merged.merge(&b.snapshot());
+    assert_eq!(merged.counter("runs"), Some(5));
+    assert_eq!(merged.counter("only_a"), Some(1));
+    assert_eq!(merged.counter("only_b"), Some(7));
+    assert_eq!(merged.gauge("depth"), Some(4.0));
+    assert_eq!(merged.gauge("only_b_gauge"), Some(9.0));
+    let wall = merged.histogram("wall").expect("merged histogram");
+    assert_eq!(wall.count, 2);
+    assert_eq!(wall.min, 1.0);
+    assert_eq!(wall.max, 3.0);
+
+    // Names stay sorted so merged snapshots serialize deterministically.
+    let names: Vec<&str> = merged.counters.iter().map(|(k, _)| k.as_str()).collect();
+    let mut sorted = names.clone();
+    sorted.sort_unstable();
+    assert_eq!(names, sorted);
+}
+
+#[test]
+fn merge_is_associative_over_snapshots() {
+    let snap = |c: u64, g: f64, v: f64| {
+        let t = Telemetry::enabled();
+        t.counter_add("c", c);
+        t.gauge_set("g", g);
+        t.observe("h", v);
+        t.snapshot()
+    };
+    let (a, b, c) = (snap(1, 5.0, 0.5), snap(2, 3.0, 8.0), snap(4, 9.0, 2.0));
+    let mut left = a.clone();
+    left.merge(&b);
+    left.merge(&c);
+    let mut bc = b.clone();
+    bc.merge(&c);
+    let mut right = a.clone();
+    right.merge(&bc);
+    assert_eq!(left, right);
+    assert_eq!(MetricsSnapshot::merged([&a, &b, &c]), left);
+}
+
+fn cases() -> u32 {
+    std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(64)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(cases()))]
+
+    /// `merge(a, b)` equals recording the interleaved stream into one
+    /// histogram. Values are integers so sums are exact under any addition
+    /// order; bucket counts and min/max are order-independent by
+    /// construction, making the equality byte-exact.
+    #[test]
+    fn merge_equals_interleaved_recording(
+        a in proptest::collection::vec(1u64..1_000_000_000u64, 0..40),
+        b in proptest::collection::vec(1u64..1_000_000_000u64, 0..40),
+    ) {
+        let a: Vec<f64> = a.into_iter().map(|v| v as f64).collect();
+        let b: Vec<f64> = b.into_iter().map(|v| v as f64).collect();
+        let merged = summarize(&a).merge(&summarize(&b));
+
+        // Interleave a and b round-robin into a single histogram.
+        let mut one = LogHistogram::default();
+        let mut ia = a.iter();
+        let mut ib = b.iter();
+        loop {
+            match (ia.next(), ib.next()) {
+                (None, None) => break,
+                (va, vb) => {
+                    if let Some(&v) = va { one.record(v); }
+                    if let Some(&v) = vb { one.record(v); }
+                }
+            }
+        }
+        prop_assert_eq!(&merged, &HistogramSummary::of(&one));
+
+        // The digest agrees with the raw histogram on quantiles.
+        prop_assert_eq!(merged.p50, one.quantile(0.50));
+        prop_assert_eq!(merged.p99, one.quantile(0.99));
+    }
+
+    /// Reconstructing a histogram from its summary is lossless for any
+    /// value stream, including sub-bucket-0 and overflow values.
+    #[test]
+    fn roundtrip_any_stream(
+        values in proptest::collection::vec(0.0f64..1e15, 0..50),
+    ) {
+        let summary = summarize(&values);
+        let back = summary.to_histogram();
+        prop_assert_eq!(&HistogramSummary::of(&back), &summary);
+        for &v in &values {
+            // Every recorded value's bucket is represented.
+            let le = bucket_upper_bound(bucket_index(v));
+            prop_assert!(summary.buckets.iter().any(|&(b, _)| b == le));
+        }
+    }
+}
